@@ -1,0 +1,29 @@
+# Program the DMA to copy 8 words within public RAM, then wait for it.
+        li   t0, 0x0
+        li   t1, 0x11111111 # pattern
+        li   t2, 8
+fill:
+        sw   t1, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, 1
+        addi t2, t2, -1
+        bne  t2, zero, fill
+
+        li   t0, 0x20044    # dma.src (word address)
+        sw   zero, 0(t0)
+        li   t0, 0x20048    # dma.dst
+        li   t1, 64
+        sw   t1, 0(t0)
+        li   t0, 0x2004c    # dma.len
+        li   t1, 8
+        sw   t1, 0(t0)
+        li   t0, 0x20040    # dma.ctrl: start
+        li   t1, 1
+        sw   t1, 0(t0)
+wait:
+        lw   a0, 0(t0)      # status: bit0 busy, bit1 done
+        andi a1, a0, 2
+        beq  a1, zero, wait
+        li   t0, 0x100      # first copied word (byte address 64*4)
+        lw   a2, 0(t0)
+        ebreak

@@ -1,0 +1,12 @@
+# Sum the integers 1..100 into a0 and store the result in memory.
+        li   t0, 0          # loop counter
+        li   a0, 0          # accumulator
+        li   t1, 100
+loop:
+        addi t0, t0, 1
+        add  a0, a0, t0
+        blt  t0, t1, loop
+        li   t2, 0x0        # public RAM base (byte address)
+        sw   a0, 0(t2)
+        lw   a1, 0(t2)      # read it back
+        ebreak

@@ -1,0 +1,12 @@
+# Enable the system timer, burn some cycles, read the elapsed count.
+# Timer ctrl/value live in the APB region of the memory map.
+        li   t0, 0x20000    # timer ctrl  (byte address)
+        li   t1, 1
+        sw   t1, 0(t0)      # enable
+        li   t2, 50
+spin:
+        addi t2, t2, -1
+        bne  t2, zero, spin
+        li   t0, 0x20004    # timer value
+        lw   a0, 0(t0)
+        ebreak
