@@ -1,0 +1,130 @@
+(* Firmware runner: assemble a .s file and execute it on the simulated
+   SoC, with optional instruction tracing and VCD waveform output.
+
+   Examples:
+     dune exec bin/soc_run.exe -- examples/firmware/quicksort.s
+     dune exec bin/soc_run.exe -- prog.s --trace --vcd waves.vcd
+     dune exec bin/soc_run.exe -- prog.s --arbiter tdma --max-cycles 100000 *)
+
+open Cmdliner
+
+let run path trace vcd_path arbiter max_cycles dump_mem =
+  let cfg =
+    {
+      Soc.Config.sim_default with
+      Soc.Config.arbiter =
+        (match arbiter with
+        | "tdma" -> `Tdma
+        | "fixed" -> `Fixed_priority
+        | _ -> `Round_robin);
+    }
+  in
+  let stmts = Isa.Parser.parse_file path in
+  let rom = Isa.Asm.assemble stmts in
+  Format.printf "assembled %d words from %s@." (Array.length rom) path;
+  let soc = Soc.Builder.build cfg (Soc.Builder.Sim { rom }) in
+  let nl = soc.Soc.Builder.netlist in
+  let eng = Sim.Engine.create nl in
+  let core = Option.get soc.Soc.Builder.cpu in
+  let vcd =
+    Option.map
+      (fun p ->
+        let oc = open_out p in
+        let v =
+          Sim.Vcd.attach eng oc ~module_name:"soc"
+            [
+              ("pc", Soc.Cpu.pc core);
+              ("halted", Soc.Cpu.halted core);
+              ("dma_busy", Rtl.Expr.reg (Rtl.Netlist.find_reg nl "dma.busy").Rtl.Netlist.rd_signal);
+              ("hwpe_busy", Rtl.Expr.reg (Rtl.Netlist.find_reg nl "hwpe.busy").Rtl.Netlist.rd_signal);
+              ("hwpe_cnt", Rtl.Expr.reg (Rtl.Netlist.find_reg nl "hwpe.cnt").Rtl.Netlist.rd_signal);
+              ("timer", Rtl.Expr.reg (Rtl.Netlist.find_reg nl "timer.value").Rtl.Netlist.rd_signal);
+            ]
+        in
+        (v, oc))
+      vcd_path
+  in
+  let listing = Isa.Asm.disassemble rom in
+  let last_pc = ref (-1) in
+  let rec go cycles =
+    if cycles > max_cycles then begin
+      Format.printf "cycle budget exhausted at pc=0x%x@."
+        (Rtl.Bitvec.to_int (Sim.Engine.peek_output eng "pc"));
+      cycles
+    end
+    else if Rtl.Bitvec.to_int (Sim.Engine.peek_output eng "halted") = 1 then
+      cycles
+    else begin
+      (if trace then
+         let pc = Rtl.Bitvec.to_int (Sim.Engine.peek_output eng "pc") in
+         if pc <> !last_pc then begin
+           last_pc := pc;
+           match List.nth_opt listing (pc / 4) with
+           | Some line -> Format.printf "%s@." line
+           | None -> ()
+         end);
+      Sim.Engine.step eng;
+      go (cycles + 1)
+    end
+  in
+  let cycles = go 0 in
+  Option.iter
+    (fun (v, oc) ->
+      Sim.Vcd.close v;
+      close_out oc;
+      Format.printf "waveform written to %s@." (Option.get vcd_path))
+    vcd;
+  Format.printf "halted after %d cycles@." cycles;
+  Format.printf "registers:@.";
+  for i = 0 to 31 do
+    let v =
+      if i = 0 then 0
+      else Rtl.Bitvec.to_int (Sim.Engine.mem_value eng "cpu.regs" i)
+    in
+    if v <> 0 then Format.printf "  x%-2d = 0x%08x (%d)@." i v v
+  done;
+  if dump_mem > 0 then begin
+    Format.printf "public memory (first %d words):@." dump_mem;
+    for w = 0 to dump_mem - 1 do
+      let bank = w land (cfg.Soc.Config.pub_banks - 1) in
+      let idx = w / cfg.Soc.Config.pub_banks in
+      let v =
+        Rtl.Bitvec.to_int
+          (Sim.Engine.mem_value eng (Printf.sprintf "pub%d.mem" bank) idx)
+      in
+      if v <> 0 then Format.printf "  [0x%04x] = 0x%08x@." (w * 4) v
+    done
+  end
+
+let () =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FIRMWARE.s")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print each executed instruction.")
+  in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~doc:"Write a VCD waveform of key signals.")
+  in
+  let arbiter =
+    Arg.(
+      value & opt string "rr"
+      & info [ "arbiter" ] ~doc:"Arbitration policy: rr, fixed or tdma.")
+  in
+  let max_cycles =
+    Arg.(value & opt int 200000 & info [ "max-cycles" ] ~doc:"Cycle budget.")
+  in
+  let dump_mem =
+    Arg.(
+      value & opt int 0
+      & info [ "dump-mem" ] ~doc:"Dump the first N words of public memory.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "soc_run" ~doc:"Run RV32 firmware on the simulated SoC")
+      Term.(const run $ path $ trace $ vcd $ arbiter $ max_cycles $ dump_mem)
+  in
+  exit (Cmd.eval cmd)

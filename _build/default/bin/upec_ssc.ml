@@ -1,0 +1,161 @@
+(* Command-line driver for the UPEC-SSC analyses.
+
+   Examples:
+     upec_ssc check --variant vulnerable --alg 2
+     upec_ssc check --variant secure --alg 1 --depth 8
+     upec_ssc invariants --variant secure
+     upec_ssc stats --depth 16 *)
+
+open Cmdliner
+
+let cfg_of ~depth ~banks ~arbiter ~no_dma ~no_hwpe =
+  {
+    Soc.Config.formal_default with
+    Soc.Config.pub_depth = depth;
+    priv_depth = depth;
+    pub_banks = banks;
+    priv_banks = banks;
+    with_dma = not no_dma;
+    with_hwpe = not no_hwpe;
+    arbiter =
+      (match arbiter with
+      | "fixed" -> `Fixed_priority
+      | "tdma" -> `Tdma
+      | _ -> `Round_robin);
+  }
+
+let spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe =
+  let cfg = cfg_of ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
+  let soc = Soc.Builder.build cfg Soc.Builder.Formal in
+  let variant =
+    match variant with
+    | "secure" -> Upec.Spec.Secure
+    | _ -> Upec.Spec.Vulnerable
+  in
+  let pers_model =
+    match pers with
+    | "memory" -> Upec.Spec.Memory_only
+    | _ -> Upec.Spec.Full_pers
+  in
+  Upec.Spec.make ~pers_model soc variant
+
+let variant_arg =
+  let doc = "SoC variant to analyse: 'vulnerable' or 'secure'." in
+  Arg.(value & opt string "vulnerable" & info [ "variant" ] ~doc)
+
+let alg_arg =
+  let doc = "Procedure: 1 (fixed point, Alg. 1) or 2 (unrolled, Alg. 2)." in
+  Arg.(value & opt int 1 & info [ "alg" ] ~doc)
+
+let pers_arg =
+  let doc = "S_pers model: 'full' or 'memory' (footprint-only retrieval)." in
+  Arg.(value & opt string "full" & info [ "pers" ] ~doc)
+
+let depth_arg =
+  let doc = "Words per SRAM bank." in
+  Arg.(value & opt int 8 & info [ "depth" ] ~doc)
+
+let banks_arg =
+  let doc = "SRAM banks per region (power of two)." in
+  Arg.(value & opt int 2 & info [ "banks" ] ~doc)
+
+let arbiter_arg =
+  let doc = "Arbitration policy: 'rr', 'fixed' or 'tdma'." in
+  Arg.(value & opt string "rr" & info [ "arbiter" ] ~doc)
+
+let no_dma_arg =
+  let doc = "Build the SoC without the DMA engine." in
+  Arg.(value & flag & info [ "no-dma" ] ~doc)
+
+let no_hwpe_arg =
+  let doc = "Build the SoC without the HWPE accelerator." in
+  Arg.(value & flag & info [ "no-hwpe" ] ~doc)
+
+let max_k_arg =
+  let doc = "Maximum unrolling depth for Alg. 2." in
+  Arg.(value & opt int 8 & info [ "max-k" ] ~doc)
+
+let full_cex_arg =
+  let doc = "Print the full counterexample waveform." in
+  Arg.(value & flag & info [ "full-cex" ] ~doc)
+
+let incremental_arg =
+  let doc = "Keep one solver session across Alg. 1 iterations." in
+  Arg.(value & flag & info [ "incremental" ] ~doc)
+
+let check_cmd =
+  let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
+      incremental =
+    let spec = spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
+    let report =
+      if alg = 2 then Upec.Alg2.conclude ~max_k spec
+      else Upec.Alg1.run ~incremental spec
+    in
+    Format.printf "%a@." Upec.Report.pp report;
+    (match (full_cex, report.Upec.Report.verdict) with
+    | true, Upec.Report.Vulnerable { cex; _ } ->
+        Format.printf "%a@." Ipc.Cex.pp_full cex
+    | _ -> ());
+    if Upec.Report.is_vulnerable report then exit 10 else exit 0
+  in
+  let doc = "Run the UPEC-SSC security analysis." in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const run $ variant_arg $ alg_arg $ pers_arg $ depth_arg $ banks_arg
+      $ arbiter_arg $ no_dma_arg $ no_hwpe_arg $ max_k_arg $ full_cex_arg
+      $ incremental_arg)
+
+let invariants_cmd =
+  let run variant depth banks arbiter =
+    let spec =
+      spec_of ~variant ~pers:"full" ~depth ~banks ~arbiter ~no_dma:false
+        ~no_hwpe:false
+    in
+    Format.printf "base case (reset state):@.";
+    List.iter
+      (fun (name, ok) ->
+        Format.printf "  [%s] %s@." (if ok then "ok" else "FAIL") name)
+      (Upec.Invariant.check_base spec);
+    Format.printf "induction step:@.";
+    List.iter
+      (fun (name, ok) ->
+        Format.printf "  [%s] %s@." (if ok then "ok" else "FAIL") name)
+      (Upec.Invariant.check_inductive spec)
+  in
+  let doc = "Check that the assumed reachability invariants are sound." in
+  Cmd.v
+    (Cmd.info "invariants" ~doc)
+    Term.(const run $ variant_arg $ depth_arg $ banks_arg $ arbiter_arg)
+
+let emit_cmd =
+  let run depth banks arbiter out =
+    let cfg = cfg_of ~depth ~banks ~arbiter ~no_dma:false ~no_hwpe:false in
+    let soc = Soc.Builder.build cfg Soc.Builder.Formal in
+    Rtl.Verilog.write_file out soc.Soc.Builder.netlist;
+    Format.printf "wrote %s (%s)@." out
+      (Rtl.Netlist.stats soc.Soc.Builder.netlist)
+  in
+  let out_arg =
+    Arg.(value & opt string "soc.v" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let doc = "Export the formal-mode SoC netlist as Verilog." in
+  Cmd.v
+    (Cmd.info "emit" ~doc)
+    Term.(const run $ depth_arg $ banks_arg $ arbiter_arg $ out_arg)
+
+let stats_cmd =
+  let run depth banks arbiter =
+    let cfg = cfg_of ~depth ~banks ~arbiter ~no_dma:false ~no_hwpe:false in
+    let soc = Soc.Builder.build cfg Soc.Builder.Formal in
+    print_endline (Rtl.Netlist.stats soc.Soc.Builder.netlist)
+  in
+  let doc = "Print netlist statistics for a configuration." in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(const run $ depth_arg $ banks_arg $ arbiter_arg)
+
+let () =
+  let doc = "UPEC-SSC: formal detection of MCU-wide timing side channels" in
+  let info = Cmd.info "upec_ssc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; invariants_cmd; stats_cmd; emit_cmd ]))

@@ -1,0 +1,1 @@
+examples/busted_dma_timer.ml: Format List Scenarios

@@ -1,0 +1,1 @@
+examples/busted_hwpe_memory.mli:

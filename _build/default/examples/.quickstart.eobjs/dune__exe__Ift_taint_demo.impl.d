@@ -1,0 +1,1 @@
+examples/ift_taint_demo.ml: Bitvec Format Ift List Netlist Rtl Sim Soc Structural Upec

@@ -1,0 +1,1 @@
+examples/ift_taint_demo.mli:

@@ -1,0 +1,40 @@
+(* The Fig. 1 attack, end to end in simulation: DMA + timer.
+
+   Preparation: the attacker task programs the DMA with a transfer and
+   arms the timer's auto-start-on-DMA-completion event.
+   Recording: the victim task performs a secret-dependent number of
+   memory accesses; each access that wins bus arbitration against the
+   DMA delays the transfer, postponing the timer's start.
+   Retrieval: back in the attacker task, the timer value reveals how
+   long ago the DMA finished — and with it the victim's access count.
+
+   Run with:  dune exec examples/busted_dma_timer.exe *)
+
+let () =
+  Format.printf "== BUSted-style attack: DMA contention read via timer ==@.@.";
+  Format.printf
+    "The attacker arms the timer to start when its DMA transfer completes;@.";
+  Format.printf
+    "victim accesses that win arbitration delay the DMA, so a LOWER timer@.";
+  Format.printf "reading at the retrieval point means MORE victim accesses.@.@.";
+  Format.printf "victim accesses | timer at retrieval | total cycles@.";
+  Format.printf "----------------+--------------------+-------------@.";
+  let readings = Scenarios.Attacks.dma_timer [ 0; 2; 4; 6; 8; 10 ] in
+  List.iter
+    (fun r ->
+      Format.printf "%15d | %18d | %12d@." r.Scenarios.Attacks.dt_accesses
+        r.Scenarios.Attacks.dt_timer r.Scenarios.Attacks.dt_cycles)
+    readings;
+  let distinguishable =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun r -> r.Scenarios.Attacks.dt_timer) readings))
+  in
+  Format.printf "@.distinct timer readings: %d of %d runs@." distinguishable
+    (List.length readings);
+  if distinguishable > 1 then
+    Format.printf
+      "=> the timer leaks the victim's memory access behaviour (no cache,@.   \
+       no attacker concurrency — an MCU-wide timing side channel).@."
+  else
+    Format.printf "=> no leak observed under this schedule (try other phases)@."

@@ -1,0 +1,70 @@
+(* Information-flow-tracking demo: instrument the formal-mode SoC with
+   shadow taint logic, drive one protected victim access through the bus
+   from the simulator, and watch the taint spread cycle by cycle — then
+   contrast the formal IFT verdicts with UPEC-SSC's on both variants.
+
+   Run with:  dune exec examples/ift_taint_demo.exe *)
+
+open Rtl
+
+let cfg = Soc.Config.formal_tiny
+
+let () =
+  Format.printf "== IFT baseline demo ==@.@.";
+  let soc = Soc.Builder.build cfg Soc.Builder.Formal in
+  let nl = soc.Soc.Builder.netlist in
+  let inst, sh = Ift.Taint.instrument nl ~taint_inputs:soc.Soc.Builder.victim_port in
+  Format.printf "original:     %s@." (Netlist.stats nl);
+  Format.printf "instrumented: %s@.@." (Netlist.stats inst);
+
+  (* simulate: one tainted (protected) victim read, then idle cycles *)
+  let eng = Ift.Simtaint.engine inst in
+  let all = Structural.all_svars nl in
+  let spies =
+    Structural.Svar_set.filter
+      (fun sv -> Soc.Builder.is_persistent soc sv)
+      all
+  in
+  Sim.Engine.set_input_int eng "victim.req" 1;
+  Sim.Engine.set_input_int eng "victim.addr" 2;
+  Sim.Engine.set_input_int eng "victim.we" 0;
+  Ift.Simtaint.set_input_taint eng "victim.addr" 0xff;
+  (* make the spying IPs active so contention can carry the taint *)
+  Sim.Engine.poke_reg eng "hwpe.busy" (Bitvec.one 1);
+  Sim.Engine.poke_reg eng "hwpe.len" (Bitvec.of_int ~width:8 8);
+  Format.printf "cycle | tainted state vars | tainted persistent vars@.";
+  Format.printf "------+--------------------+------------------------@.";
+  for c = 1 to 6 do
+    Sim.Engine.step eng;
+    if c = 2 then begin
+      (* victim goes quiet after its access; taint must persist *)
+      Sim.Engine.set_input_int eng "victim.req" 0;
+      Ift.Simtaint.set_input_taint eng "victim.addr" 0
+    end;
+    Format.printf "%5d | %18d | %23d@." c
+      (Ift.Simtaint.count_tainted eng sh all)
+      (Ift.Simtaint.count_tainted eng sh spies)
+  done;
+
+  (* formal comparison *)
+  Format.printf "@.formal verdicts (same assumptions as UPEC-SSC):@.";
+  List.iter
+    (fun (label, variant) ->
+      let spec = Upec.Spec.make soc variant in
+      let ift_verdict, secs = Ift.Formal.analyze ~max_k:2 spec in
+      let upec = Upec.Alg1.run spec in
+      let ift_str =
+        match ift_verdict with
+        | Ift.Formal.Flow { k; tainted } ->
+            Format.asprintf "ALARM at k=%d (%d persistent vars tainted)" k
+              (List.length tainted)
+        | Ift.Formal.No_flow { k } -> Format.asprintf "no flow up to k=%d" k
+      in
+      Format.printf "  %-10s IFT: %-45s (%.2fs)@." label ift_str secs;
+      Format.printf "  %-10s UPEC-SSC: %a@." "" Upec.Report.pp_verdict
+        upec.Upec.Report.verdict)
+    [ ("baseline", Upec.Spec.Vulnerable); ("secured", Upec.Spec.Secure) ];
+  Format.printf
+    "@.IFT raises the same alarm on both variants: the taint abstraction@.";
+  Format.printf
+    "cannot distinguish the secured design — UPEC-SSC can (Sec. 5).@."

@@ -1,0 +1,66 @@
+(** And-Inverter Graphs with structural hashing.
+
+    Nodes are either the constant, free variables, or two-input AND
+    gates; edges carry an optional complement. A literal is encoded as
+    [2 * node + (1 if complemented)]; {!true_lit} and {!false_lit} are
+    the two polarities of the constant node. Structural hashing and
+    local simplification keep the graph small. *)
+
+type t
+(** A growable graph. *)
+
+type lit = int
+
+val create : unit -> t
+val true_lit : lit
+val false_lit : lit
+val fresh_var : t -> lit
+(** A new free variable (positive literal). *)
+
+val lit_not : lit -> lit
+val is_const : lit -> bool
+val num_nodes : t -> int
+(** Nodes allocated so far (constant and variables included). *)
+
+val num_ands : t -> int
+
+(** {1 Gates} *)
+
+val mk_and : t -> lit -> lit -> lit
+val mk_or : t -> lit -> lit -> lit
+val mk_xor : t -> lit -> lit -> lit
+val mk_xnor : t -> lit -> lit -> lit
+val mk_mux : t -> lit -> lit -> lit -> lit
+(** [mk_mux t sel a b] is [if sel then a else b]. *)
+
+val mk_implies : t -> lit -> lit -> lit
+val mk_and_list : t -> lit list -> lit
+val mk_or_list : t -> lit list -> lit
+
+(** {1 Evaluation}
+
+    For testing: evaluate literals under an assignment of variables. *)
+
+val eval : t -> (lit -> bool) -> lit -> bool
+(** [eval t var_value l]: [var_value] is consulted for variable nodes
+    (given the positive literal of the variable). *)
+
+(** {1 CNF encoding} *)
+
+module Cnf : sig
+  type ctx
+  (** Incremental Tseitin context bound to one SAT solver. Nodes are
+      encoded on demand, once. *)
+
+  val create : t -> Satsolver.Solver.t -> ctx
+
+  val sat_lit : ctx -> lit -> Satsolver.Lit.t
+  (** SAT literal equisatisfiable with the AIG literal; encodes the
+      transitive fan-in into the solver on first use. *)
+
+  val assert_lit : ctx -> lit -> unit
+  (** Add a unit clause forcing the AIG literal true. *)
+
+  val assert_implies : ctx -> lit -> lit -> unit
+  (** Add clause [¬a ∨ b]. *)
+end

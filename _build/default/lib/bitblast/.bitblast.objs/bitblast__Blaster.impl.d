@@ -1,0 +1,1 @@
+lib/bitblast/blaster.ml: Aig Array Bitvec Expr Hashtbl List Rtl

@@ -1,0 +1,1 @@
+lib/bitblast/blaster.mli: Aig Bitvec Expr Rtl

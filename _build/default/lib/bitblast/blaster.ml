@@ -1,0 +1,176 @@
+open Rtl
+
+type vec = Aig.lit array
+
+type env = {
+  lookup_input : Expr.signal -> vec;
+  lookup_param : Expr.signal -> vec;
+  lookup_reg : Expr.signal -> vec;
+  lookup_mem : Expr.mem -> int -> vec;
+}
+
+let const_vec b =
+  Array.init (Bitvec.width b) (fun i ->
+      if Bitvec.bit b i then Aig.true_lit else Aig.false_lit)
+
+let fresh_vec g w = Array.init w (fun _ -> Aig.fresh_var g)
+let v_and g a b = Array.map2 (Aig.mk_and g) a b
+let v_or g a b = Array.map2 (Aig.mk_or g) a b
+let v_xor g a b = Array.map2 (Aig.mk_xor g) a b
+let v_not _g a = Array.map Aig.lit_not a
+
+let full_adder g a b cin =
+  let s = Aig.mk_xor g (Aig.mk_xor g a b) cin in
+  let cout =
+    Aig.mk_or g (Aig.mk_and g a b) (Aig.mk_and g cin (Aig.mk_xor g a b))
+  in
+  (s, cout)
+
+let add_with_carry g a b cin =
+  let w = Array.length a in
+  let out = Array.make w Aig.false_lit in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_adder g a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+let v_add g a b = fst (add_with_carry g a b Aig.false_lit)
+let v_sub g a b = fst (add_with_carry g a (v_not g b) Aig.true_lit)
+let v_neg g a = v_sub g (const_vec (Bitvec.zero (Array.length a))) a
+
+let v_mux g sel a b = Array.map2 (Aig.mk_mux g sel) a b
+
+let v_mul g a b =
+  let w = Array.length a in
+  let acc = ref (const_vec (Bitvec.zero w)) in
+  for i = 0 to w - 1 do
+    (* partial product: (a << i) & replicate b.(i) *)
+    let shifted =
+      Array.init w (fun j -> if j < i then Aig.false_lit else a.(j - i))
+    in
+    let pp = Array.map (fun bit -> Aig.mk_and g bit b.(i)) shifted in
+    acc := v_add g !acc pp
+  done;
+  !acc
+
+let v_eq g a b =
+  Aig.mk_and_list g (Array.to_list (Array.map2 (Aig.mk_xnor g) a b))
+
+let v_ult g a b =
+  (* a < b  <=>  borrow out of a - b *)
+  let _, carry = add_with_carry g a (v_not g b) Aig.true_lit in
+  Aig.lit_not carry
+
+let v_ule g a b = Aig.lit_not (v_ult g b a)
+
+let v_slt g a b =
+  let w = Array.length a in
+  let sa = a.(w - 1) and sb = b.(w - 1) in
+  (* different signs: a < b iff a negative; same signs: unsigned compare *)
+  Aig.mk_mux g (Aig.mk_xor g sa sb) sa (v_ult g a b)
+
+let v_sle g a b = Aig.lit_not (v_slt g b a)
+
+let v_eq_const g a value =
+  Aig.mk_and_list g
+    (List.init (Array.length a) (fun i ->
+         if value land (1 lsl i) <> 0 then a.(i) else Aig.lit_not a.(i)))
+
+(* Barrel shifter: stage k shifts by 2^k when the k-th bit of the shift
+   amount is set. Shift amounts >= width must produce zero (or sign),
+   which the high-amount guard handles. *)
+let shifter g ~fill a amount ~left =
+  let w = Array.length a in
+  let stages = Array.length amount in
+  let result = ref (Array.copy a) in
+  for k = 0 to stages - 1 do
+    let dist = 1 lsl k in
+    if dist < 2 * w then begin
+      let shifted =
+        Array.init w (fun i ->
+            if left then if i >= dist then !result.(i - dist) else fill
+            else if i + dist < w then !result.(i + dist)
+            else fill)
+      in
+      result := v_mux g amount.(k) shifted !result
+    end
+    else
+      (* shifting by >= 2w wipes everything if the bit is set *)
+      result :=
+        v_mux g amount.(k) (Array.make w fill) !result
+  done;
+  !result
+
+let v_shl g a b = shifter g ~fill:Aig.false_lit a b ~left:true
+let v_lshr g a b = shifter g ~fill:Aig.false_lit a b ~left:false
+
+let v_ashr g a b =
+  let w = Array.length a in
+  shifter g ~fill:a.(w - 1) a b ~left:false
+
+let v_redand g a = Aig.mk_and_list g (Array.to_list a)
+let v_redor g a = Aig.mk_or_list g (Array.to_list a)
+let v_redxor g a = Array.fold_left (Aig.mk_xor g) Aig.false_lit a
+
+let blaster g env =
+  let memo : (int, vec) Hashtbl.t = Hashtbl.create 256 in
+  let rec go e =
+    match Hashtbl.find_opt memo (Expr.tag e) with
+    | Some v -> v
+    | None ->
+        let v = compute e in
+        assert (Array.length v = Expr.width e);
+        Hashtbl.add memo (Expr.tag e) v;
+        v
+  and compute e =
+    match Expr.node e with
+    | Expr.Const b -> const_vec b
+    | Expr.Input s -> env.lookup_input s
+    | Expr.Param s -> env.lookup_param s
+    | Expr.Reg s -> env.lookup_reg s
+    | Expr.Memread (m, addr) ->
+        let addr_bits = go addr in
+        let zero = const_vec (Bitvec.zero m.Expr.m_data_width) in
+        let rec select i acc =
+          if i >= m.Expr.m_depth then acc
+          else
+            let hit = v_eq_const g addr_bits i in
+            select (i + 1) (v_mux g hit (env.lookup_mem m i) acc)
+        in
+        select 0 zero
+    | Expr.Unop (op, a) -> (
+        let av = go a in
+        match op with
+        | Expr.Not -> v_not g av
+        | Expr.Neg -> v_neg g av
+        | Expr.Redand -> [| v_redand g av |]
+        | Expr.Redor -> [| v_redor g av |]
+        | Expr.Redxor -> [| v_redxor g av |])
+    | Expr.Binop (op, a, b) -> (
+        let av = go a and bv = go b in
+        match op with
+        | Expr.Add -> v_add g av bv
+        | Expr.Sub -> v_sub g av bv
+        | Expr.Mul -> v_mul g av bv
+        | Expr.And -> v_and g av bv
+        | Expr.Or -> v_or g av bv
+        | Expr.Xor -> v_xor g av bv
+        | Expr.Eq -> [| v_eq g av bv |]
+        | Expr.Ne -> [| Aig.lit_not (v_eq g av bv) |]
+        | Expr.Ult -> [| v_ult g av bv |]
+        | Expr.Ule -> [| v_ule g av bv |]
+        | Expr.Slt -> [| v_slt g av bv |]
+        | Expr.Sle -> [| v_sle g av bv |]
+        | Expr.Shl -> v_shl g av bv
+        | Expr.Lshr -> v_lshr g av bv
+        | Expr.Ashr -> v_ashr g av bv)
+    | Expr.Mux (sel, a, b) ->
+        let sv = go sel in
+        v_mux g sv.(0) (go a) (go b)
+    | Expr.Concat (hi, lo) -> Array.append (go lo) (go hi)
+    | Expr.Slice (a, hi, lo) -> Array.sub (go a) lo (hi - lo + 1)
+  in
+  go

@@ -1,0 +1,50 @@
+open Rtl
+
+(** Word-level to bit-level lowering.
+
+    Translates {!Rtl.Expr} trees into vectors of AIG literals. Bit 0 of
+    a vector is the least significant bit. Leaves (inputs, parameters,
+    registers, memory elements) are resolved through an environment so
+    the unroller can bind them per time frame and per design instance.
+    Memory reads out of range (address [>= depth]) produce zero, in
+    agreement with the simulator. *)
+
+type vec = Aig.lit array
+
+type env = {
+  lookup_input : Expr.signal -> vec;
+  lookup_param : Expr.signal -> vec;
+  lookup_reg : Expr.signal -> vec;
+  lookup_mem : Expr.mem -> int -> vec;
+}
+
+val blaster : Aig.t -> env -> Expr.t -> vec
+(** [blaster g env] returns a memoising translation function (one memo
+    table per call to [blaster]; discard it when the environment must
+    change). *)
+
+(** {1 Word-level primitives over vectors}
+
+    Exposed for tests and for building constraints directly at the AIG
+    level. *)
+
+val const_vec : Bitvec.t -> vec
+val fresh_vec : Aig.t -> int -> vec
+val v_and : Aig.t -> vec -> vec -> vec
+val v_or : Aig.t -> vec -> vec -> vec
+val v_xor : Aig.t -> vec -> vec -> vec
+val v_not : Aig.t -> vec -> vec
+val v_add : Aig.t -> vec -> vec -> vec
+val v_sub : Aig.t -> vec -> vec -> vec
+val v_neg : Aig.t -> vec -> vec
+val v_mul : Aig.t -> vec -> vec -> vec
+val v_eq : Aig.t -> vec -> vec -> Aig.lit
+val v_ult : Aig.t -> vec -> vec -> Aig.lit
+val v_ule : Aig.t -> vec -> vec -> Aig.lit
+val v_slt : Aig.t -> vec -> vec -> Aig.lit
+val v_sle : Aig.t -> vec -> vec -> Aig.lit
+val v_mux : Aig.t -> Aig.lit -> vec -> vec -> vec
+val v_shl : Aig.t -> vec -> vec -> vec
+val v_lshr : Aig.t -> vec -> vec -> vec
+val v_ashr : Aig.t -> vec -> vec -> vec
+val v_eq_const : Aig.t -> vec -> int -> Aig.lit

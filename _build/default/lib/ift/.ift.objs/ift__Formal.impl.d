@@ -1,0 +1,1 @@
+lib/ift/formal.ml: Aig Array Bitvec Expr Ipc List Netlist Option Rtl Soc Structural Taint Unix Upec

@@ -1,0 +1,1 @@
+lib/ift/formal.mli: Rtl Structural Upec

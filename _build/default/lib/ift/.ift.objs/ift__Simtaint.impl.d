@@ -1,0 +1,1 @@
+lib/ift/simtaint.ml: Bitvec Rtl Sim Structural Taint

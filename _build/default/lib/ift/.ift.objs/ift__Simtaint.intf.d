@@ -1,0 +1,1 @@
+lib/ift/simtaint.mli: Netlist Rtl Sim Structural Taint

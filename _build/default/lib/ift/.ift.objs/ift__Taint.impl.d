@@ -1,0 +1,1 @@
+lib/ift/taint.ml: Array Expr Hashtbl List Netlist Printf Rtl Structural

@@ -1,0 +1,1 @@
+lib/ift/taint.mli: Expr Netlist Rtl Structural

@@ -1,0 +1,26 @@
+open Rtl
+
+(** Formal taint reachability: the IFT formulation of the timing
+    side-channel question (Sec. 5 of the paper argues this baseline is
+    ill-suited; this module lets the benches quantify that claim).
+
+    The victim's protected accesses are the taint source: whenever the
+    victim port carries an address inside the symbolic protected range,
+    the address and data taints are raised. The question asked is
+    whether, starting from a taint-free system, taint can reach any
+    persistent attacker-visible state within [k] cycles.
+
+    Unlike UPEC-SSC the verdict is {e bounded} (no induction argument
+    comes with the taint abstraction here), and the abstraction is
+    conservative: taint on an arbitration input smears into every
+    granted master, so secure designs can still alarm. *)
+
+type verdict =
+  | No_flow of { k : int }  (** no taint reached S_pers within k cycles *)
+  | Flow of { k : int; tainted : Structural.svar list }
+
+val analyze : ?max_k:int -> Upec.Spec.t -> verdict * float
+(** Returns the verdict and the analysis wall-clock time in seconds.
+    Uses the same environment assumptions (well-formedness, threat
+    model, policy, invariants) as the UPEC-SSC runs for a fair
+    comparison. *)

@@ -1,0 +1,16 @@
+open Rtl
+
+let engine inst_nl = Sim.Engine.create inst_nl
+
+let set_input_taint eng name mask =
+  Sim.Engine.set_input_int eng (name ^ "#t") mask
+
+let svar_tainted eng sh sv =
+  match Taint.shadow_of_svar sh sv with
+  | None -> false
+  | Some te -> not (Bitvec.is_zero (Sim.Engine.peek eng te))
+
+let count_tainted eng sh set =
+  Structural.Svar_set.fold
+    (fun sv acc -> if svar_tainted eng sh sv then acc + 1 else acc)
+    set 0

@@ -1,0 +1,18 @@
+open Rtl
+
+(** Simulation-based taint tracking: run the instrumented netlist in
+    the ordinary simulator (the shadow logic is plain RTL) and observe
+    taint spreading concretely. *)
+
+val engine : Netlist.t -> Sim.Engine.t
+(** Create a simulator for an instrumented netlist with all shadow
+    state initially clear. *)
+
+val set_input_taint : Sim.Engine.t -> string -> int -> unit
+(** [set_input_taint eng "victim.addr" mask] drives the shadow input of
+    a tainted source. *)
+
+val svar_tainted : Sim.Engine.t -> Taint.shadow -> Structural.svar -> bool
+(** Is any taint bit of this (original-design) state variable set? *)
+
+val count_tainted : Sim.Engine.t -> Taint.shadow -> Structural.Svar_set.t -> int

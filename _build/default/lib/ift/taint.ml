@@ -1,0 +1,159 @@
+open Rtl
+
+type shadow = {
+  sh_regs : (int, Expr.t) Hashtbl.t;  (* signal id -> shadow reg expr *)
+  sh_inputs : (int, Expr.t) Hashtbl.t;
+  sh_cells : (int, Expr.t array) Hashtbl.t;  (* mem id -> per-cell regs *)
+  sh_memo : (int, Expr.t) Hashtbl.t;  (* expr tag -> taint expr *)
+}
+
+let replicate bit w = Expr.mux bit (Expr.ones w) (Expr.zero w)
+let any t = Expr.unop Expr.Redor t
+
+let rec taint_with sh e =
+  match Hashtbl.find_opt sh.sh_memo (Expr.tag e) with
+  | Some te -> te
+  | None ->
+      let te = compute sh e in
+      assert (Expr.width te = Expr.width e);
+      Hashtbl.replace sh.sh_memo (Expr.tag e) te;
+      te
+
+and compute sh e =
+  let w = Expr.width e in
+  let t x = taint_with sh x in
+  match Expr.node e with
+  | Expr.Const _ | Expr.Param _ -> Expr.zero w
+  | Expr.Input s -> (
+      match Hashtbl.find_opt sh.sh_inputs s.Expr.s_id with
+      | Some te -> te
+      | None -> Expr.zero w)
+  | Expr.Reg s -> (
+      match Hashtbl.find_opt sh.sh_regs s.Expr.s_id with
+      | Some te -> te
+      | None -> Expr.zero w)
+  | Expr.Memread (m, a) -> (
+      match Hashtbl.find_opt sh.sh_cells m.Expr.m_id with
+      | None -> Expr.zero w
+      | Some shadow_cells ->
+          let data_taint =
+            Expr.mux_list a ~default:(Expr.zero w)
+              (Array.to_list (Array.mapi (fun i te -> (i, te)) shadow_cells))
+          in
+          (* a tainted address may read any cell: smear *)
+          Expr.(data_taint |: replicate (any (t a)) w))
+  | Expr.Unop (op, a) -> (
+      let ta = t a in
+      match op with
+      | Expr.Not -> ta
+      | Expr.Neg -> replicate (any ta) w
+      | Expr.Redand | Expr.Redor | Expr.Redxor -> any ta)
+  | Expr.Binop (op, a, b) -> (
+      let ta = t a and tb = t b in
+      match op with
+      | Expr.And ->
+          (* precise gate rule: an output bit is tainted if a tainted
+             input bit can flip it given the other operand's value *)
+          Expr.(ta &: tb |: (ta &: b) |: (tb &: a))
+      | Expr.Or -> Expr.(ta &: tb |: (ta &: ~:b) |: (tb &: ~:a))
+      | Expr.Xor -> Expr.(ta |: tb)
+      | Expr.Add | Expr.Sub | Expr.Mul -> replicate (any Expr.(ta |: tb)) w
+      | Expr.Eq | Expr.Ne | Expr.Ult | Expr.Ule | Expr.Slt | Expr.Sle ->
+          any Expr.(ta |: tb)
+      | Expr.Shl -> Expr.(shl ta b |: replicate (any tb) w)
+      | Expr.Lshr -> Expr.(lshr ta b |: replicate (any tb) w)
+      | Expr.Ashr -> Expr.(ashr ta b |: replicate (any tb) w))
+  | Expr.Mux (s, a, b) -> Expr.(mux s (t a) (t b) |: replicate (any (t s)) w)
+  | Expr.Concat (hi, lo) -> Expr.concat (t hi) (t lo)
+  | Expr.Slice (a, hi, lo) -> Expr.slice (t a) ~hi ~lo
+
+let taint_of_expr sh e = taint_with sh e
+
+let shadow_of_svar sh = function
+  | Structural.Sreg s -> Hashtbl.find_opt sh.sh_regs s.Expr.s_id
+  | Structural.Smem (m, i) -> (
+      match Hashtbl.find_opt sh.sh_cells m.Expr.m_id with
+      | Some cells -> Some cells.(i)
+      | None -> None)
+
+let shadow_input sh (s : Expr.signal) = Hashtbl.find_opt sh.sh_inputs s.Expr.s_id
+
+let instrument (nl : Netlist.t) ~taint_inputs =
+  let b = Netlist.Builder.create (nl.Netlist.name ^ "_ift") in
+  Netlist.Builder.import b nl;
+  let sh =
+    {
+      sh_regs = Hashtbl.create 64;
+      sh_inputs = Hashtbl.create 16;
+      sh_cells = Hashtbl.create 4;
+      sh_memo = Hashtbl.create 1024;
+    }
+  in
+  (* shadow inputs for the designated taint sources *)
+  List.iter
+    (fun (s : Expr.signal) ->
+      if List.mem s.Expr.s_name taint_inputs then
+        Hashtbl.replace sh.sh_inputs s.Expr.s_id
+          (Netlist.Builder.input b (s.Expr.s_name ^ "#t") s.Expr.s_width))
+    nl.Netlist.inputs;
+  (* shadow registers *)
+  List.iter
+    (fun rd ->
+      let s = rd.Netlist.rd_signal in
+      Hashtbl.replace sh.sh_regs s.Expr.s_id
+        (Netlist.Builder.reg b (s.Expr.s_name ^ "#t") s.Expr.s_width))
+    nl.Netlist.regs;
+  (* shadow memory cells as registers; read-only memories (no write
+     ports) stay untainted and get no shadow *)
+  List.iter
+    (fun md ->
+      let m = md.Netlist.md_mem in
+      if md.Netlist.md_ports <> [] then
+        Hashtbl.replace sh.sh_cells m.Expr.m_id
+          (Array.init m.Expr.m_depth (fun i ->
+               Netlist.Builder.reg b
+                 (Printf.sprintf "%s#t[%d]" m.Expr.m_name i)
+                 m.Expr.m_data_width)))
+    nl.Netlist.mems;
+  let t e = taint_with sh e in
+  (* shadow register next-states *)
+  List.iter
+    (fun rd ->
+      let s = rd.Netlist.rd_signal in
+      let shadow = Hashtbl.find sh.sh_regs s.Expr.s_id in
+      Netlist.Builder.set_next b shadow (t rd.Netlist.rd_next))
+    nl.Netlist.regs;
+  (* shadow memory cell next-states *)
+  List.iter
+    (fun md ->
+      let m = md.Netlist.md_mem in
+      match Hashtbl.find_opt sh.sh_cells m.Expr.m_id with
+      | None -> ()
+      | Some shadow_cells ->
+          Array.iteri
+            (fun i shadow_cell ->
+              let w = m.Expr.m_data_width in
+              let aw = m.Expr.m_addr_width in
+              let next =
+                List.fold_left
+                  (fun acc wp ->
+                    let en = wp.Netlist.wp_enable in
+                    let addr = wp.Netlist.wp_addr in
+                    let data_taint = t wp.Netlist.wp_data in
+                    let ctrl_taint = Expr.(any (t en) |: any (t addr)) in
+                    let hit = Expr.(en &: (addr ==: of_int ~width:aw i)) in
+                    (* tainted control: the cell may or may not be
+                       (over)written — taint it entirely *)
+                    Expr.(
+                      mux ctrl_taint (ones w) (mux hit data_taint acc)))
+                  shadow_cell
+                  (List.rev md.Netlist.md_ports)
+              in
+              Netlist.Builder.set_next b shadow_cell next)
+            shadow_cells)
+    nl.Netlist.mems;
+  (* shadow outputs *)
+  List.iter
+    (fun (name, e) -> Netlist.Builder.output b (name ^ "#t") (t e))
+    nl.Netlist.outputs;
+  (Netlist.Builder.finalize b, sh)

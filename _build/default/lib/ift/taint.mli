@@ -1,0 +1,31 @@
+open Rtl
+
+(** Information Flow Tracking instrumentation at the RTL (the baseline
+    of the Sec. 5 comparison; gate-precise rules for bitwise operators,
+    conservative word-level rules for arithmetic, and classic control
+    smearing for muxes, shifts and memory addressing).
+
+    For every signal a shadow vector of the same width carries one taint
+    bit per data bit. Shadow memory cells are individual registers so a
+    tainted write address can conservatively taint a whole array. *)
+
+type shadow
+
+val instrument : Netlist.t -> taint_inputs:string list -> Netlist.t * shadow
+(** [instrument nl ~taint_inputs] returns a netlist containing the
+    original design plus its shadow logic, and a handle for reading
+    taints. Shadow state is named ["<name>#t"]. Inputs listed in
+    [taint_inputs] get fresh shadow inputs (the environment decides what
+    is tainted); all other inputs and all parameters are untainted.
+    Every original output gains a ["<name>#t"] shadow output. *)
+
+val taint_of_expr : shadow -> Expr.t -> Expr.t
+(** Taint vector of a combinational expression over the instrumented
+    design's state. *)
+
+val shadow_of_svar : shadow -> Structural.svar -> Expr.t option
+(** The taint vector of a state variable of the {e original} netlist;
+    [None] for cells of read-only memories (always untainted). *)
+
+val shadow_input : shadow -> Expr.signal -> Expr.t option
+(** The shadow input created for a tainted input signal. *)

@@ -1,0 +1,1 @@
+lib/ipc/cex.ml: Array Bitvec Expr Format Hashtbl List Netlist Printf Rtl Structural Unroller

@@ -1,0 +1,1 @@
+lib/ipc/cex.mli: Aig Bitvec Expr Format Rtl Structural Unroller

@@ -1,0 +1,1 @@
+lib/ipc/engine.ml: Aig Array Cex List Rtl Satsolver Unroller

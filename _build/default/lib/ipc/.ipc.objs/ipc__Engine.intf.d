@@ -1,0 +1,1 @@
+lib/ipc/engine.mli: Aig Cex Rtl Satsolver Unroller

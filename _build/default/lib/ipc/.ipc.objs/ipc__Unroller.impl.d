@@ -1,0 +1,1 @@
+lib/ipc/unroller.ml: Aig Array Bitblast Blaster Expr Format Hashtbl List Netlist Printf Rtl Structural

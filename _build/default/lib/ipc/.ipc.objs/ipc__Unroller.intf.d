@@ -1,0 +1,1 @@
+lib/ipc/unroller.mli: Aig Bitblast Blaster Expr Format Netlist Rtl Structural

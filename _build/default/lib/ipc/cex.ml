@@ -1,0 +1,138 @@
+open Rtl
+
+type t = {
+  k : int;
+  two : bool;
+  nl : Netlist.t;
+  svals : (string, Bitvec.t) Hashtbl.t;  (* "A/3/name" -> value *)
+  ivals : (string, Bitvec.t) Hashtbl.t;
+  pvals : (string, Bitvec.t) Hashtbl.t;
+}
+
+let key inst frame name =
+  Printf.sprintf "%s/%d/%s"
+    (match inst with Unroller.A -> "A" | Unroller.B -> "B")
+    frame name
+
+let vec_value model vec =
+  let w = Array.length vec in
+  let v = ref 0 in
+  for i = w - 1 downto 0 do
+    v := (!v lsl 1) lor (if model vec.(i) then 1 else 0)
+  done;
+  Bitvec.of_int ~width:w !v
+
+let extract u model =
+  let nl = Unroller.netlist u in
+  let k = Unroller.frames u in
+  let two = Unroller.two_instance u in
+  let instances = if two then [ Unroller.A; Unroller.B ] else [ Unroller.A ] in
+  let svals = Hashtbl.create 1024 in
+  let ivals = Hashtbl.create 256 in
+  let pvals = Hashtbl.create 16 in
+  let svars = Structural.all_svars nl in
+  List.iter
+    (fun inst ->
+      for frame = 0 to k do
+        Structural.Svar_set.iter
+          (fun sv ->
+            let vec = Unroller.svar_vec u inst ~frame sv in
+            Hashtbl.replace svals
+              (key inst frame (Structural.svar_name sv))
+              (vec_value model vec))
+          svars;
+        List.iter
+          (fun (s : Expr.signal) ->
+            let vec = Unroller.input_vec u inst ~frame s in
+            Hashtbl.replace ivals
+              (key inst frame s.Expr.s_name)
+              (vec_value model vec))
+          nl.Netlist.inputs
+      done)
+    instances;
+  List.iter
+    (fun (s : Expr.signal) ->
+      Hashtbl.replace pvals s.Expr.s_name
+        (vec_value model (Unroller.param_vec u s)))
+    nl.Netlist.params;
+  { k; two; nl; svals; ivals; pvals }
+
+let frames t = t.k
+let two_instance t = t.two
+
+let svar_value t inst ~frame sv =
+  Hashtbl.find t.svals (key inst frame (Structural.svar_name sv))
+
+let input_value t inst ~frame (s : Expr.signal) =
+  Hashtbl.find t.ivals (key inst frame s.Expr.s_name)
+
+let param_value t (s : Expr.signal) = Hashtbl.find t.pvals s.Expr.s_name
+let param_value_by_name t name = Hashtbl.find t.pvals name
+
+let diff_svars t ~frame =
+  if not t.two then Structural.Svar_set.empty
+  else
+    Structural.Svar_set.filter
+      (fun sv ->
+        not
+          (Bitvec.equal
+             (svar_value t Unroller.A ~frame sv)
+             (svar_value t Unroller.B ~frame sv)))
+      (Structural.all_svars t.nl)
+
+let diff_inputs t ~frame =
+  if not t.two then []
+  else
+    List.filter
+      (fun s ->
+        not
+          (Bitvec.equal
+             (input_value t Unroller.A ~frame s)
+             (input_value t Unroller.B ~frame s)))
+      t.nl.Netlist.inputs
+
+let pp_gen ~full fmt t =
+  let open Format in
+  fprintf fmt "@[<v>counterexample over %d cycle(s)%s@," t.k
+    (if t.two then " (two instances)" else "");
+  if Hashtbl.length t.pvals > 0 then begin
+    fprintf fmt "parameters:@,";
+    List.iter
+      (fun (s : Expr.signal) ->
+        fprintf fmt "  %s = %a@," s.Expr.s_name Bitvec.pp
+          (param_value t s))
+      t.nl.Netlist.params
+  end;
+  for frame = 0 to t.k do
+    fprintf fmt "cycle %d:@," frame;
+    if frame < t.k || t.k = 0 then
+      List.iter
+        (fun (s : Expr.signal) ->
+          let va = input_value t Unroller.A ~frame s in
+          if t.two then begin
+            let vb = input_value t Unroller.B ~frame s in
+            if full || not (Bitvec.equal va vb) then
+              fprintf fmt "  in  %s: A=%a B=%a@," s.Expr.s_name Bitvec.pp va
+                Bitvec.pp vb
+          end
+          else if full then
+            fprintf fmt "  in  %s = %a@," s.Expr.s_name Bitvec.pp va)
+        t.nl.Netlist.inputs;
+    let to_show =
+      if full then Structural.all_svars t.nl else diff_svars t ~frame
+    in
+    Structural.Svar_set.iter
+      (fun sv ->
+        let va = svar_value t Unroller.A ~frame sv in
+        if t.two then
+          let vb = svar_value t Unroller.B ~frame sv in
+          fprintf fmt "  st  %s: A=%a B=%a@," (Structural.svar_name sv)
+            Bitvec.pp va Bitvec.pp vb
+        else
+          fprintf fmt "  st  %s = %a@," (Structural.svar_name sv) Bitvec.pp va)
+      to_show
+  done;
+  fprintf fmt "@]"
+
+let pp fmt t = pp_gen ~full:false fmt t
+let pp_full fmt t = pp_gen ~full:true fmt t

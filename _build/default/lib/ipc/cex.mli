@@ -1,0 +1,34 @@
+open Rtl
+
+(** Extracted counterexamples: a concrete two-instance waveform over
+    the materialised time frames (Sec. 3.5 of the paper asks for
+    explicit multi-cycle counterexamples; this module is their
+    representation). *)
+
+type t
+
+val extract : Unroller.t -> (Aig.lit -> bool) -> t
+(** Snapshot every state variable, input and parameter over all
+    materialised frames of both instances under the given AIG model. *)
+
+val frames : t -> int
+val two_instance : t -> bool
+val svar_value : t -> Unroller.instance -> frame:int -> Structural.svar -> Bitvec.t
+val input_value : t -> Unroller.instance -> frame:int -> Expr.signal -> Bitvec.t
+val param_value : t -> Expr.signal -> Bitvec.t
+val param_value_by_name : t -> string -> Bitvec.t
+
+val diff_svars : t -> frame:int -> Structural.Svar_set.t
+(** State variables whose values differ between the two instances at
+    the given cycle (S_cex of the paper when read at the violated
+    cycle). Empty for single-instance counterexamples. *)
+
+val diff_inputs : t -> frame:int -> Expr.signal list
+
+val pp : Format.formatter -> t -> unit
+(** Waveform dump: parameters, then per cycle the inputs and the
+    differing state variables with their A/B values. *)
+
+val pp_full : Format.formatter -> t -> unit
+(** Like {!pp} but prints every state variable, not only differing
+    ones. *)

@@ -1,0 +1,82 @@
+module S = Satsolver.Solver
+module L = Satsolver.Lit
+
+type t = {
+  g : Aig.t;
+  u : Unroller.t;
+  solver : S.t;
+  cnf : Aig.Cnf.ctx;
+}
+
+let create ?solver_options ~two_instance nl =
+  let g = Aig.create () in
+  let u = Unroller.create g nl ~two_instance in
+  let solver = S.create ?options:solver_options () in
+  let cnf = Aig.Cnf.create g solver in
+  { g; u; solver; cnf }
+
+let unroller t = t.u
+let graph t = t.g
+let ensure_frames t k = Unroller.ensure_frames t.u k
+let assume t l = Aig.Cnf.assert_lit t.cnf l
+let assume_implication t a b = Aig.Cnf.assert_implies t.cnf a b
+
+(* Pre-encode every extractable variable so model extraction never
+   consults a SAT variable allocated after solving. *)
+let pre_encode t =
+  let nl = Unroller.netlist t.u in
+  let instances =
+    if Unroller.two_instance t.u then [ Unroller.A; Unroller.B ]
+    else [ Unroller.A ]
+  in
+  let svars = Rtl.Structural.all_svars nl in
+  List.iter
+    (fun inst ->
+      for frame = 0 to Unroller.frames t.u do
+        Rtl.Structural.Svar_set.iter
+          (fun sv ->
+            Array.iter
+              (fun l -> ignore (Aig.Cnf.sat_lit t.cnf l))
+              (Unroller.svar_vec t.u inst ~frame sv))
+          svars;
+        List.iter
+          (fun (s : Rtl.Expr.signal) ->
+            Array.iter
+              (fun l -> ignore (Aig.Cnf.sat_lit t.cnf l))
+              (Unroller.input_vec t.u inst ~frame s))
+          nl.Rtl.Netlist.inputs
+      done)
+    instances;
+  List.iter
+    (fun (s : Rtl.Expr.signal) ->
+      Array.iter
+        (fun l -> ignore (Aig.Cnf.sat_lit t.cnf l))
+        (Unroller.param_vec t.u s))
+    nl.Rtl.Netlist.params
+
+let model_fn t =
+  (* AIG literal -> bool via the SAT model. All relevant variable nodes
+     were pre-encoded; defensively treat unknown nodes as false. *)
+  let g = t.g in
+  fun l ->
+    let sat_value lit =
+      try S.value t.solver (Aig.Cnf.sat_lit t.cnf lit)
+      with Invalid_argument _ -> false
+    in
+    Aig.eval g (fun var_lit -> sat_value var_lit) l
+
+type outcome = Holds | Cex of Cex.t
+
+let check_sat t extra =
+  pre_encode t;
+  let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
+  match S.solve ~assumptions t.solver with
+  | S.Unsat -> None
+  | S.Sat -> Some (Cex.extract t.u (model_fn t))
+
+let check t goal =
+  match check_sat t [ Aig.lit_not goal ] with
+  | None -> Holds
+  | Some cex -> Cex cex
+
+let solve_stats t = S.stats t.solver

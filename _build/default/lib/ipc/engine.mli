@@ -1,0 +1,40 @@
+(** Property checking over an unrolled design.
+
+    A session owns the AIG, the unroller and one SAT solver. Properties
+    are given as AIG literals: assumptions are asserted permanently;
+    each {!check} call temporarily asserts the negation of the proof
+    obligation through an activation literal, so successive checks with
+    different obligations reuse all learnt clauses. *)
+
+type t
+
+val create :
+  ?solver_options:Satsolver.Solver.options ->
+  two_instance:bool ->
+  Rtl.Netlist.t ->
+  t
+
+val unroller : t -> Unroller.t
+val graph : t -> Aig.t
+
+val ensure_frames : t -> int -> unit
+
+val assume : t -> Aig.lit -> unit
+(** Permanently assume the literal. *)
+
+val assume_implication : t -> Aig.lit -> Aig.lit -> unit
+(** Permanently assume [a -> b]; with a fresh activation variable as
+    [a], this arms retractable obligations for incremental checking. *)
+
+type outcome = Holds | Cex of Cex.t
+
+val check : t -> Aig.lit -> outcome
+(** [check t goal] decides whether the assumptions imply [goal]. If
+    satisfiable with [¬goal], returns the extracted counterexample over
+    all materialised frames. *)
+
+val check_sat : t -> Aig.lit list -> Cex.t option
+(** Low-level: is the conjunction of assumptions and the given literals
+    satisfiable? Returns the witness if so. *)
+
+val solve_stats : t -> Satsolver.Solver.stats

@@ -1,0 +1,208 @@
+open Rtl
+open Bitblast
+
+type instance = A | B
+
+let pp_instance fmt = function
+  | A -> Format.pp_print_string fmt "A"
+  | B -> Format.pp_print_string fmt "B"
+
+(* Per-frame, per-instance storage keyed by signal / mem ids. *)
+type frame = {
+  f_regs : (int, Blaster.vec) Hashtbl.t;  (* signal id -> vec *)
+  f_mems : (int, Blaster.vec array) Hashtbl.t;  (* mem id -> element vecs *)
+  f_inputs : (int, Blaster.vec) Hashtbl.t;  (* signal id -> vec *)
+}
+
+type t = {
+  g : Aig.t;
+  nl : Netlist.t;
+  duo : bool;
+  params : (int, Blaster.vec) Hashtbl.t;  (* shared across inst and time *)
+  mutable frames_a : frame list;  (* index 0 first *)
+  mutable frames_b : frame list;
+  mutable nframes : int;  (* highest state frame materialised *)
+}
+
+let graph t = t.g
+let netlist t = t.nl
+let two_instance t = t.duo
+
+let new_frame () =
+  {
+    f_regs = Hashtbl.create 64;
+    f_mems = Hashtbl.create 8;
+    f_inputs = Hashtbl.create 32;
+  }
+
+let create g nl ~two_instance =
+  let t =
+    {
+      g;
+      nl;
+      duo = two_instance;
+      params = Hashtbl.create 8;
+      frames_a = [];
+      frames_b = [];
+      nframes = -1;
+    }
+  in
+  List.iter
+    (fun (s : Expr.signal) ->
+      Hashtbl.replace t.params s.Expr.s_id
+        (Blaster.fresh_vec g s.Expr.s_width))
+    nl.Netlist.params;
+  t
+
+let instances t = if t.duo then [ A; B ] else [ A ]
+
+let frame_of t inst i =
+  let lst = match inst with A -> t.frames_a | B -> t.frames_b in
+  List.nth lst i
+
+let fresh_state_frame t =
+  let mk () =
+    let f = new_frame () in
+    List.iter
+      (fun rd ->
+        let s = rd.Netlist.rd_signal in
+        Hashtbl.replace f.f_regs s.Expr.s_id
+          (Blaster.fresh_vec t.g s.Expr.s_width))
+      t.nl.Netlist.regs;
+    List.iter
+      (fun md ->
+        let m = md.Netlist.md_mem in
+        Hashtbl.replace f.f_mems m.Expr.m_id
+          (Array.init m.Expr.m_depth (fun _ ->
+               Blaster.fresh_vec t.g m.Expr.m_data_width)))
+      t.nl.Netlist.mems;
+    f
+  in
+  (mk, ())
+
+let env_of t inst i =
+  let f = frame_of t inst i in
+  {
+    Blaster.lookup_input =
+      (fun s ->
+        match Hashtbl.find_opt f.f_inputs s.Expr.s_id with
+        | Some v -> v
+        | None ->
+            let v = Blaster.fresh_vec t.g s.Expr.s_width in
+            Hashtbl.replace f.f_inputs s.Expr.s_id v;
+            v);
+    Blaster.lookup_param = (fun s -> Hashtbl.find t.params s.Expr.s_id);
+    Blaster.lookup_reg = (fun s -> Hashtbl.find f.f_regs s.Expr.s_id);
+    Blaster.lookup_mem = (fun m idx -> (Hashtbl.find f.f_mems m.Expr.m_id).(idx));
+  }
+
+(* Compute frame i+1 of one instance from frame i. *)
+let advance t inst =
+  let i = List.length (match inst with A -> t.frames_a | B -> t.frames_b) - 1 in
+  let blast = Blaster.blaster t.g (env_of t inst i) in
+  let next = new_frame () in
+  List.iter
+    (fun rd ->
+      let s = rd.Netlist.rd_signal in
+      Hashtbl.replace next.f_regs s.Expr.s_id (blast rd.Netlist.rd_next))
+    t.nl.Netlist.regs;
+  List.iter
+    (fun md ->
+      let m = md.Netlist.md_mem in
+      let cur = Hashtbl.find (frame_of t inst i).f_mems m.Expr.m_id in
+      (* Apply write ports; fold from last to first so the first port
+         wins on an address clash, matching the simulator. *)
+      let ports =
+        List.map
+          (fun wp ->
+            ( blast wp.Netlist.wp_enable,
+              blast wp.Netlist.wp_addr,
+              blast wp.Netlist.wp_data ))
+          md.Netlist.md_ports
+      in
+      let elems =
+        Array.init m.Expr.m_depth (fun idx ->
+            List.fold_left
+              (fun acc (en, addr, data) ->
+                let hit =
+                  Aig.mk_and t.g en.(0) (Blaster.v_eq_const t.g addr idx)
+                in
+                Blaster.v_mux t.g hit data acc)
+              cur.(idx) (List.rev ports))
+      in
+      Hashtbl.replace next.f_mems m.Expr.m_id elems)
+    t.nl.Netlist.mems;
+  match inst with
+  | A -> t.frames_a <- t.frames_a @ [ next ]
+  | B -> t.frames_b <- t.frames_b @ [ next ]
+
+let ensure_frames t k =
+  if t.nframes < 0 then begin
+    (* materialise frame 0: fully symbolic starting state *)
+    List.iter
+      (fun inst ->
+        let mk, () = fresh_state_frame t in
+        let f = mk () in
+        match inst with
+        | A -> t.frames_a <- [ f ]
+        | B -> t.frames_b <- [ f ])
+      (instances t);
+    t.nframes <- 0
+  end;
+  while t.nframes < k do
+    List.iter (fun inst -> advance t inst) (instances t);
+    t.nframes <- t.nframes + 1
+  done
+
+let frames t = t.nframes
+
+let check_frame t i =
+  if i > t.nframes then
+    invalid_arg
+      (Printf.sprintf "Unroller: frame %d not materialised (have %d)" i
+         t.nframes)
+
+let check_inst t inst =
+  if inst = B && not t.duo then
+    invalid_arg "Unroller: instance B of a single-instance unroller"
+
+let reg_vec t inst ~frame s =
+  check_inst t inst;
+  check_frame t frame;
+  Hashtbl.find (frame_of t inst frame).f_regs s.Expr.s_id
+
+let mem_vec t inst ~frame m idx =
+  check_inst t inst;
+  check_frame t frame;
+  (Hashtbl.find (frame_of t inst frame).f_mems m.Expr.m_id).(idx)
+
+let svar_vec t inst ~frame v =
+  match v with
+  | Structural.Sreg s -> reg_vec t inst ~frame s
+  | Structural.Smem (m, i) -> mem_vec t inst ~frame m i
+
+let input_vec t inst ~frame s =
+  check_inst t inst;
+  check_frame t frame;
+  let f = frame_of t inst frame in
+  match Hashtbl.find_opt f.f_inputs s.Expr.s_id with
+  | Some v -> v
+  | None ->
+      let v = Blaster.fresh_vec t.g s.Expr.s_width in
+      Hashtbl.replace f.f_inputs s.Expr.s_id v;
+      v
+
+let param_vec t s = Hashtbl.find t.params s.Expr.s_id
+
+let blast_at t inst ~frame e =
+  check_inst t inst;
+  check_frame t frame;
+  Blaster.blaster t.g (env_of t inst frame) e
+
+let svar_equal_lit t ~frame v =
+  if not t.duo then invalid_arg "Unroller.svar_equal_lit: single instance";
+  Blaster.v_eq t.g (svar_vec t A ~frame v) (svar_vec t B ~frame v)
+
+let inputs_equal_lit t ~frame s =
+  if not t.duo then invalid_arg "Unroller.inputs_equal_lit: single instance";
+  Blaster.v_eq t.g (input_vec t A ~frame s) (input_vec t B ~frame s)

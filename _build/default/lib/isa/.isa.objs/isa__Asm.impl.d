@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Bitvec Encoding Format Hashtbl List Printf Rtl

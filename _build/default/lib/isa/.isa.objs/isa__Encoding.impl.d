@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Bitvec Format Printf Rtl

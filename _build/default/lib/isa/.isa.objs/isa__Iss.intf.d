@@ -1,0 +1,1 @@
+lib/isa/iss.mli: Bitvec Rtl

@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Asm Encoding List Printf String

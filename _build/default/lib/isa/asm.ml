@@ -1,0 +1,97 @@
+open Rtl
+
+type stmt =
+  | L of string
+  | I of Encoding.instr
+  | Li of Encoding.reg * int
+  | La of Encoding.reg * string
+  | Jal_l of Encoding.reg * string
+  | J of string
+  | Beq_l of Encoding.reg * Encoding.reg * string
+  | Bne_l of Encoding.reg * Encoding.reg * string
+  | Blt_l of Encoding.reg * Encoding.reg * string
+  | Bge_l of Encoding.reg * Encoding.reg * string
+  | Bltu_l of Encoding.reg * Encoding.reg * string
+  | Bgeu_l of Encoding.reg * Encoding.reg * string
+  | Nop
+
+let stmt_words = function
+  | L _ -> 0
+  | Li _ | La _ -> 2
+  | I _ | Jal_l _ | J _ | Beq_l _ | Bne_l _ | Blt_l _ | Bge_l _ | Bltu_l _
+  | Bgeu_l _ | Nop ->
+      1
+
+let size_in_words stmts =
+  List.fold_left (fun acc s -> acc + stmt_words s) 0 stmts
+
+(* split a 32-bit value into LUI/ADDI parts: v = (hi << 12) + sext(lo) *)
+let split_imm v =
+  let v = v land 0xffffffff in
+  let lo = v land 0xfff in
+  let lo_signed = if lo >= 0x800 then lo - 0x1000 else lo in
+  let hi = ((v - lo_signed) lsr 12) land 0xfffff in
+  (hi, lo_signed)
+
+let assemble_with_symbols stmts =
+  (* pass 1: label addresses *)
+  let labels = Hashtbl.create 16 in
+  let pos = ref 0 in
+  List.iter
+    (fun s ->
+      (match s with
+      | L name ->
+          if Hashtbl.mem labels name then failwith ("duplicate label " ^ name);
+          Hashtbl.replace labels name (!pos * 4)
+      | _ -> ());
+      pos := !pos + stmt_words s)
+    stmts;
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> failwith ("undefined label " ^ name)
+  in
+  (* pass 2: emit *)
+  let words = ref [] in
+  let pc = ref 0 in
+  let emit i =
+    words := Encoding.encode i :: !words;
+    pc := !pc + 4
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | L _ -> ()
+      | I i -> emit i
+      | Nop -> emit (Encoding.Addi (0, 0, 0))
+      | Li (rd, v) ->
+          let hi, lo = split_imm v in
+          emit (Encoding.Lui (rd, hi));
+          emit (Encoding.Addi (rd, rd, lo))
+      | La (rd, name) ->
+          let hi, lo = split_imm (resolve name) in
+          emit (Encoding.Lui (rd, hi));
+          emit (Encoding.Addi (rd, rd, lo))
+      | Jal_l (rd, name) -> emit (Encoding.Jal (rd, resolve name - !pc))
+      | J name -> emit (Encoding.Jal (0, resolve name - !pc))
+      | Beq_l (a, b, name) -> emit (Encoding.Beq (a, b, resolve name - !pc))
+      | Bne_l (a, b, name) -> emit (Encoding.Bne (a, b, resolve name - !pc))
+      | Blt_l (a, b, name) -> emit (Encoding.Blt (a, b, resolve name - !pc))
+      | Bge_l (a, b, name) -> emit (Encoding.Bge (a, b, resolve name - !pc))
+      | Bltu_l (a, b, name) -> emit (Encoding.Bltu (a, b, resolve name - !pc))
+      | Bgeu_l (a, b, name) -> emit (Encoding.Bgeu (a, b, resolve name - !pc)))
+    stmts;
+  ( Array.of_list (List.rev !words),
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [] )
+
+let assemble stmts = fst (assemble_with_symbols stmts)
+
+let disassemble words =
+  Array.to_list
+    (Array.mapi
+       (fun i w ->
+         let addr = i * 4 in
+         match Encoding.decode w with
+         | Some instr -> Format.asprintf "%4x: %a" addr Encoding.pp instr
+         | None -> Printf.sprintf "%4x: .word 0x%08x" addr (Bitvec.to_int w))
+       words)

@@ -1,0 +1,38 @@
+open Rtl
+
+(** Two-pass assembler with labels and a few pseudo-instructions.
+
+    Programs are lists of statements; the assembler resolves label
+    references to pc-relative offsets and expands pseudo-instructions.
+    [Li] always expands to two instructions (LUI + ADDI) so statement
+    sizes are fixed before label resolution. *)
+
+type stmt =
+  | L of string  (** define a label at the current position *)
+  | I of Encoding.instr  (** a concrete instruction *)
+  | Li of Encoding.reg * int  (** load a 32-bit immediate (2 insns) *)
+  | La of Encoding.reg * string  (** load a label's byte address (2 insns) *)
+  | Jal_l of Encoding.reg * string
+  | J of string  (** jal x0, label *)
+  | Beq_l of Encoding.reg * Encoding.reg * string
+  | Bne_l of Encoding.reg * Encoding.reg * string
+  | Blt_l of Encoding.reg * Encoding.reg * string
+  | Bge_l of Encoding.reg * Encoding.reg * string
+  | Bltu_l of Encoding.reg * Encoding.reg * string
+  | Bgeu_l of Encoding.reg * Encoding.reg * string
+  | Nop
+
+val assemble : stmt list -> Bitvec.t array
+(** Raises [Failure] on undefined or duplicate labels, and
+    [Invalid_argument] on out-of-range operands. The program is placed
+    at byte address 0. *)
+
+val assemble_with_symbols : stmt list -> Bitvec.t array * (string * int) list
+(** Like {!assemble}, also returning every label's byte address (the
+    symbol table) — used by harnesses that emulate preemptive task
+    switches by redirecting the core to a label. *)
+
+val size_in_words : stmt list -> int
+
+val disassemble : Bitvec.t array -> string list
+(** Best-effort listing, one line per word. *)

@@ -1,0 +1,254 @@
+open Rtl
+
+type reg = int
+
+type instr =
+  | Lui of reg * int
+  | Auipc of reg * int
+  | Jal of reg * int
+  | Jalr of reg * reg * int
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Bltu of reg * reg * int
+  | Bgeu of reg * reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int
+  | Addi of reg * reg * int
+  | Slti of reg * reg * int
+  | Sltiu of reg * reg * int
+  | Xori of reg * reg * int
+  | Ori of reg * reg * int
+  | Andi of reg * reg * int
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Or of reg * reg * reg
+  | And of reg * reg * reg
+  | Ecall
+  | Ebreak
+
+let check_reg r =
+  if r < 0 || r > 31 then invalid_arg (Printf.sprintf "bad register x%d" r);
+  r
+
+let check_imm ~bits ~signed v =
+  let lo = if signed then -(1 lsl (bits - 1)) else 0 in
+  let hi = if signed then (1 lsl (bits - 1)) - 1 else (1 lsl bits) - 1 in
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "immediate %d out of %d-bit range" v bits);
+  v land ((1 lsl bits) - 1)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (check_reg rs2 lsl 20) lor (check_reg rs1 lsl 15)
+  lor (funct3 lsl 12) lor (check_reg rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  let imm = check_imm ~bits:12 ~signed:true imm in
+  (imm lsl 20) lor (check_reg rs1 lsl 15) lor (funct3 lsl 12)
+  lor (check_reg rd lsl 7) lor opcode
+
+let shift_type ~funct7 ~shamt ~rs1 ~funct3 ~rd =
+  if shamt < 0 || shamt > 31 then invalid_arg "shift amount out of range";
+  (funct7 lsl 25) lor (shamt lsl 20) lor (check_reg rs1 lsl 15)
+  lor (funct3 lsl 12) lor (check_reg rd lsl 7) lor 0b0010011
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  let imm = check_imm ~bits:12 ~signed:true imm in
+  ((imm lsr 5) lsl 25) lor (check_reg rs2 lsl 20) lor (check_reg rs1 lsl 15)
+  lor (funct3 lsl 12) lor ((imm land 0x1f) lsl 7) lor opcode
+
+let b_type ~imm ~rs2 ~rs1 ~funct3 =
+  if imm land 1 <> 0 then invalid_arg "branch offset must be even";
+  let imm = check_imm ~bits:13 ~signed:true imm in
+  let b12 = (imm lsr 12) land 1 and b11 = (imm lsr 11) land 1 in
+  let b10_5 = (imm lsr 5) land 0x3f and b4_1 = (imm lsr 1) land 0xf in
+  (b12 lsl 31) lor (b10_5 lsl 25) lor (check_reg rs2 lsl 20)
+  lor (check_reg rs1 lsl 15) lor (funct3 lsl 12) lor (b4_1 lsl 8)
+  lor (b11 lsl 7) lor 0b1100011
+
+let u_type ~imm20 ~rd ~opcode =
+  let imm20 = check_imm ~bits:20 ~signed:false imm20 in
+  (imm20 lsl 12) lor (check_reg rd lsl 7) lor opcode
+
+let j_type ~imm ~rd =
+  if imm land 1 <> 0 then invalid_arg "jump offset must be even";
+  let imm = check_imm ~bits:21 ~signed:true imm in
+  let b20 = (imm lsr 20) land 1 in
+  let b10_1 = (imm lsr 1) land 0x3ff in
+  let b11 = (imm lsr 11) land 1 in
+  let b19_12 = (imm lsr 12) land 0xff in
+  (b20 lsl 31) lor (b10_1 lsl 21) lor (b11 lsl 20) lor (b19_12 lsl 12)
+  lor (check_reg rd lsl 7) lor 0b1101111
+
+let encode_int = function
+  | Lui (rd, imm) -> u_type ~imm20:imm ~rd ~opcode:0b0110111
+  | Auipc (rd, imm) -> u_type ~imm20:imm ~rd ~opcode:0b0010111
+  | Jal (rd, off) -> j_type ~imm:off ~rd
+  | Jalr (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0 ~rd ~opcode:0b1100111
+  | Beq (rs1, rs2, off) -> b_type ~imm:off ~rs2 ~rs1 ~funct3:0b000
+  | Bne (rs1, rs2, off) -> b_type ~imm:off ~rs2 ~rs1 ~funct3:0b001
+  | Blt (rs1, rs2, off) -> b_type ~imm:off ~rs2 ~rs1 ~funct3:0b100
+  | Bge (rs1, rs2, off) -> b_type ~imm:off ~rs2 ~rs1 ~funct3:0b101
+  | Bltu (rs1, rs2, off) -> b_type ~imm:off ~rs2 ~rs1 ~funct3:0b110
+  | Bgeu (rs1, rs2, off) -> b_type ~imm:off ~rs2 ~rs1 ~funct3:0b111
+  | Lw (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b010 ~rd ~opcode:0b0000011
+  | Sw (rs2, rs1, imm) -> s_type ~imm ~rs2 ~rs1 ~funct3:0b010 ~opcode:0b0100011
+  | Addi (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b000 ~rd ~opcode:0b0010011
+  | Slti (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b010 ~rd ~opcode:0b0010011
+  | Sltiu (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b011 ~rd ~opcode:0b0010011
+  | Xori (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b100 ~rd ~opcode:0b0010011
+  | Ori (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b110 ~rd ~opcode:0b0010011
+  | Andi (rd, rs1, imm) -> i_type ~imm ~rs1 ~funct3:0b111 ~rd ~opcode:0b0010011
+  | Slli (rd, rs1, sh) -> shift_type ~funct7:0 ~shamt:sh ~rs1 ~funct3:0b001 ~rd
+  | Srli (rd, rs1, sh) -> shift_type ~funct7:0 ~shamt:sh ~rs1 ~funct3:0b101 ~rd
+  | Srai (rd, rs1, sh) ->
+      shift_type ~funct7:0b0100000 ~shamt:sh ~rs1 ~funct3:0b101 ~rd
+  | Add (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b000 ~rd ~opcode:0b0110011
+  | Sub (rd, rs1, rs2) ->
+      r_type ~funct7:0b0100000 ~rs2 ~rs1 ~funct3:0b000 ~rd ~opcode:0b0110011
+  | Sll (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b001 ~rd ~opcode:0b0110011
+  | Slt (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b010 ~rd ~opcode:0b0110011
+  | Sltu (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b011 ~rd ~opcode:0b0110011
+  | Xor (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b100 ~rd ~opcode:0b0110011
+  | Srl (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b101 ~rd ~opcode:0b0110011
+  | Sra (rd, rs1, rs2) ->
+      r_type ~funct7:0b0100000 ~rs2 ~rs1 ~funct3:0b101 ~rd ~opcode:0b0110011
+  | Or (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b110 ~rd ~opcode:0b0110011
+  | And (rd, rs1, rs2) ->
+      r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0b111 ~rd ~opcode:0b0110011
+  | Ecall -> 0b1110011
+  | Ebreak -> (1 lsl 20) lor 0b1110011
+
+let encode i = Bitvec.of_int ~width:32 (encode_int i)
+
+let sext v bits = if v land (1 lsl (bits - 1)) <> 0 then v - (1 lsl bits) else v
+
+let decode w =
+  let w = Bitvec.to_int w in
+  let opcode = w land 0x7f in
+  let rd = (w lsr 7) land 0x1f in
+  let funct3 = (w lsr 12) land 0x7 in
+  let rs1 = (w lsr 15) land 0x1f in
+  let rs2 = (w lsr 20) land 0x1f in
+  let funct7 = w lsr 25 in
+  let imm_i = sext (w lsr 20) 12 in
+  let imm_s = sext (((w lsr 25) lsl 5) lor ((w lsr 7) land 0x1f)) 12 in
+  let imm_b =
+    sext
+      ((((w lsr 31) land 1) lsl 12)
+      lor (((w lsr 7) land 1) lsl 11)
+      lor (((w lsr 25) land 0x3f) lsl 5)
+      lor (((w lsr 8) land 0xf) lsl 1))
+      13
+  in
+  let imm_u = (w lsr 12) land 0xfffff in
+  let imm_j =
+    sext
+      ((((w lsr 31) land 1) lsl 20)
+      lor (((w lsr 12) land 0xff) lsl 12)
+      lor (((w lsr 20) land 1) lsl 11)
+      lor (((w lsr 21) land 0x3ff) lsl 1))
+      21
+  in
+  match opcode with
+  | 0b0110111 -> Some (Lui (rd, imm_u))
+  | 0b0010111 -> Some (Auipc (rd, imm_u))
+  | 0b1101111 -> Some (Jal (rd, imm_j))
+  | 0b1100111 when funct3 = 0 -> Some (Jalr (rd, rs1, imm_i))
+  | 0b1100011 -> (
+      match funct3 with
+      | 0b000 -> Some (Beq (rs1, rs2, imm_b))
+      | 0b001 -> Some (Bne (rs1, rs2, imm_b))
+      | 0b100 -> Some (Blt (rs1, rs2, imm_b))
+      | 0b101 -> Some (Bge (rs1, rs2, imm_b))
+      | 0b110 -> Some (Bltu (rs1, rs2, imm_b))
+      | 0b111 -> Some (Bgeu (rs1, rs2, imm_b))
+      | _ -> None)
+  | 0b0000011 when funct3 = 0b010 -> Some (Lw (rd, rs1, imm_i))
+  | 0b0100011 when funct3 = 0b010 -> Some (Sw (rs2, rs1, imm_s))
+  | 0b0010011 -> (
+      match funct3 with
+      | 0b000 -> Some (Addi (rd, rs1, imm_i))
+      | 0b010 -> Some (Slti (rd, rs1, imm_i))
+      | 0b011 -> Some (Sltiu (rd, rs1, imm_i))
+      | 0b100 -> Some (Xori (rd, rs1, imm_i))
+      | 0b110 -> Some (Ori (rd, rs1, imm_i))
+      | 0b111 -> Some (Andi (rd, rs1, imm_i))
+      | 0b001 when funct7 = 0 -> Some (Slli (rd, rs1, rs2))
+      | 0b101 when funct7 = 0 -> Some (Srli (rd, rs1, rs2))
+      | 0b101 when funct7 = 0b0100000 -> Some (Srai (rd, rs1, rs2))
+      | _ -> None)
+  | 0b0110011 -> (
+      match (funct3, funct7) with
+      | 0b000, 0 -> Some (Add (rd, rs1, rs2))
+      | 0b000, 0b0100000 -> Some (Sub (rd, rs1, rs2))
+      | 0b001, 0 -> Some (Sll (rd, rs1, rs2))
+      | 0b010, 0 -> Some (Slt (rd, rs1, rs2))
+      | 0b011, 0 -> Some (Sltu (rd, rs1, rs2))
+      | 0b100, 0 -> Some (Xor (rd, rs1, rs2))
+      | 0b101, 0 -> Some (Srl (rd, rs1, rs2))
+      | 0b101, 0b0100000 -> Some (Sra (rd, rs1, rs2))
+      | 0b110, 0 -> Some (Or (rd, rs1, rs2))
+      | 0b111, 0 -> Some (And (rd, rs1, rs2))
+      | _ -> None)
+  | 0b1110011 when w = 0b1110011 -> Some Ecall
+  | 0b1110011 when w = (1 lsl 20) lor 0b1110011 -> Some Ebreak
+  | _ -> None
+
+let pp fmt i =
+  let x n = Printf.sprintf "x%d" n in
+  let s =
+    match i with
+    | Lui (rd, imm) -> Printf.sprintf "lui %s, 0x%x" (x rd) imm
+    | Auipc (rd, imm) -> Printf.sprintf "auipc %s, 0x%x" (x rd) imm
+    | Jal (rd, off) -> Printf.sprintf "jal %s, %d" (x rd) off
+    | Jalr (rd, rs1, imm) -> Printf.sprintf "jalr %s, %s, %d" (x rd) (x rs1) imm
+    | Beq (a, b, o) -> Printf.sprintf "beq %s, %s, %d" (x a) (x b) o
+    | Bne (a, b, o) -> Printf.sprintf "bne %s, %s, %d" (x a) (x b) o
+    | Blt (a, b, o) -> Printf.sprintf "blt %s, %s, %d" (x a) (x b) o
+    | Bge (a, b, o) -> Printf.sprintf "bge %s, %s, %d" (x a) (x b) o
+    | Bltu (a, b, o) -> Printf.sprintf "bltu %s, %s, %d" (x a) (x b) o
+    | Bgeu (a, b, o) -> Printf.sprintf "bgeu %s, %s, %d" (x a) (x b) o
+    | Lw (rd, rs1, imm) -> Printf.sprintf "lw %s, %d(%s)" (x rd) imm (x rs1)
+    | Sw (rs2, rs1, imm) -> Printf.sprintf "sw %s, %d(%s)" (x rs2) imm (x rs1)
+    | Addi (rd, rs1, imm) -> Printf.sprintf "addi %s, %s, %d" (x rd) (x rs1) imm
+    | Slti (rd, rs1, imm) -> Printf.sprintf "slti %s, %s, %d" (x rd) (x rs1) imm
+    | Sltiu (rd, rs1, imm) ->
+        Printf.sprintf "sltiu %s, %s, %d" (x rd) (x rs1) imm
+    | Xori (rd, rs1, imm) -> Printf.sprintf "xori %s, %s, %d" (x rd) (x rs1) imm
+    | Ori (rd, rs1, imm) -> Printf.sprintf "ori %s, %s, %d" (x rd) (x rs1) imm
+    | Andi (rd, rs1, imm) -> Printf.sprintf "andi %s, %s, %d" (x rd) (x rs1) imm
+    | Slli (rd, rs1, sh) -> Printf.sprintf "slli %s, %s, %d" (x rd) (x rs1) sh
+    | Srli (rd, rs1, sh) -> Printf.sprintf "srli %s, %s, %d" (x rd) (x rs1) sh
+    | Srai (rd, rs1, sh) -> Printf.sprintf "srai %s, %s, %d" (x rd) (x rs1) sh
+    | Add (rd, a, b) -> Printf.sprintf "add %s, %s, %s" (x rd) (x a) (x b)
+    | Sub (rd, a, b) -> Printf.sprintf "sub %s, %s, %s" (x rd) (x a) (x b)
+    | Sll (rd, a, b) -> Printf.sprintf "sll %s, %s, %s" (x rd) (x a) (x b)
+    | Slt (rd, a, b) -> Printf.sprintf "slt %s, %s, %s" (x rd) (x a) (x b)
+    | Sltu (rd, a, b) -> Printf.sprintf "sltu %s, %s, %s" (x rd) (x a) (x b)
+    | Xor (rd, a, b) -> Printf.sprintf "xor %s, %s, %s" (x rd) (x a) (x b)
+    | Srl (rd, a, b) -> Printf.sprintf "srl %s, %s, %s" (x rd) (x a) (x b)
+    | Sra (rd, a, b) -> Printf.sprintf "sra %s, %s, %s" (x rd) (x a) (x b)
+    | Or (rd, a, b) -> Printf.sprintf "or %s, %s, %s" (x rd) (x a) (x b)
+    | And (rd, a, b) -> Printf.sprintf "and %s, %s, %s" (x rd) (x a) (x b)
+    | Ecall -> "ecall"
+    | Ebreak -> "ebreak"
+  in
+  Format.pp_print_string fmt s

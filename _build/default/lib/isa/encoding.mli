@@ -1,0 +1,51 @@
+open Rtl
+
+(** RV32I-subset instruction encoding (the subset implemented by
+    {!Soc.Cpu}). *)
+
+type reg = int
+(** Register index 0..31. *)
+
+type instr =
+  | Lui of reg * int  (** [Lui (rd, imm20)]: upper 20 bits *)
+  | Auipc of reg * int
+  | Jal of reg * int  (** byte offset, even, ±1 MiB *)
+  | Jalr of reg * reg * int  (** [Jalr (rd, rs1, imm12)] *)
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Bltu of reg * reg * int
+  | Bgeu of reg * reg * int
+  | Lw of reg * reg * int  (** [Lw (rd, rs1, imm12)] *)
+  | Sw of reg * reg * int  (** [Sw (rs2, rs1, imm12)]: stores rs2 *)
+  | Addi of reg * reg * int
+  | Slti of reg * reg * int
+  | Sltiu of reg * reg * int
+  | Xori of reg * reg * int
+  | Ori of reg * reg * int
+  | Andi of reg * reg * int
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  | Add of reg * reg * reg  (** [Add (rd, rs1, rs2)] *)
+  | Sub of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Or of reg * reg * reg
+  | And of reg * reg * reg
+  | Ecall
+  | Ebreak
+
+val encode : instr -> Bitvec.t
+(** 32-bit instruction word. Raises [Invalid_argument] when an
+    immediate or register is out of range. *)
+
+val decode : Bitvec.t -> instr option
+(** Inverse of {!encode}; [None] for words outside the subset. *)
+
+val pp : Format.formatter -> instr -> unit

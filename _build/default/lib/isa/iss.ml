@@ -1,0 +1,99 @@
+open Rtl
+
+type memory = { load_word : int -> int; store_word : int -> int -> unit }
+
+type t = {
+  rom : Bitvec.t array;
+  mem : memory;
+  regs : int array;  (* 32 entries, values in [0, 2^32) *)
+  mutable pc : int;
+  mutable is_halted : bool;
+}
+
+let mask32 = 0xffffffff
+
+let create ~rom mem =
+  { rom; mem; regs = Array.make 32 0; pc = 0; is_halted = false }
+
+let halted t = t.is_halted
+let pc t = t.pc
+let reg t i = if i = 0 then 0 else t.regs.(i)
+
+let set_reg t i v = if i <> 0 then t.regs.(i) <- v land mask32
+
+let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let fetch t =
+  let idx = t.pc lsr 2 in
+  if idx < Array.length t.rom then Encoding.decode t.rom.(idx) else None
+
+let step t =
+  if not t.is_halted then begin
+    let instr = fetch t in
+    let next_pc = ref ((t.pc + 4) land mask32) in
+    (match instr with
+    | None -> () (* unknown encodings execute as NOPs, like the core *)
+    | Some i -> (
+        let r = reg t in
+        let open Encoding in
+        match i with
+        | Lui (rd, imm) -> set_reg t rd (imm lsl 12)
+        | Auipc (rd, imm) -> set_reg t rd (t.pc + (imm lsl 12))
+        | Jal (rd, off) ->
+            set_reg t rd (t.pc + 4);
+            next_pc := (t.pc + off) land mask32
+        | Jalr (rd, rs1, imm) ->
+            let target = (r rs1 + imm) land mask32 land lnot 1 in
+            set_reg t rd (t.pc + 4);
+            next_pc := target
+        | Beq (a, b, off) -> if r a = r b then next_pc := (t.pc + off) land mask32
+        | Bne (a, b, off) -> if r a <> r b then next_pc := (t.pc + off) land mask32
+        | Blt (a, b, off) ->
+            if signed (r a) < signed (r b) then next_pc := (t.pc + off) land mask32
+        | Bge (a, b, off) ->
+            if signed (r a) >= signed (r b) then
+              next_pc := (t.pc + off) land mask32
+        | Bltu (a, b, off) -> if r a < r b then next_pc := (t.pc + off) land mask32
+        | Bgeu (a, b, off) ->
+            if r a >= r b then next_pc := (t.pc + off) land mask32
+        | Lw (rd, rs1, imm) ->
+            set_reg t rd (t.mem.load_word ((r rs1 + imm) land mask32))
+        | Sw (rs2, rs1, imm) ->
+            t.mem.store_word ((r rs1 + imm) land mask32) (r rs2)
+        | Addi (rd, rs1, imm) -> set_reg t rd (r rs1 + imm)
+        | Slti (rd, rs1, imm) ->
+            set_reg t rd (if signed (r rs1) < imm then 1 else 0)
+        | Sltiu (rd, rs1, imm) ->
+            set_reg t rd (if r rs1 < imm land mask32 then 1 else 0)
+        | Xori (rd, rs1, imm) -> set_reg t rd (r rs1 lxor (imm land mask32))
+        | Ori (rd, rs1, imm) -> set_reg t rd (r rs1 lor (imm land mask32))
+        | Andi (rd, rs1, imm) -> set_reg t rd (r rs1 land imm land mask32)
+        | Slli (rd, rs1, sh) -> set_reg t rd (r rs1 lsl sh)
+        | Srli (rd, rs1, sh) -> set_reg t rd (r rs1 lsr sh)
+        | Srai (rd, rs1, sh) -> set_reg t rd (signed (r rs1) asr sh)
+        | Add (rd, a, b) -> set_reg t rd (r a + r b)
+        | Sub (rd, a, b) -> set_reg t rd (r a - r b)
+        | Sll (rd, a, b) -> set_reg t rd (r a lsl (r b land 31))
+        | Slt (rd, a, b) ->
+            set_reg t rd (if signed (r a) < signed (r b) then 1 else 0)
+        | Sltu (rd, a, b) -> set_reg t rd (if r a < r b then 1 else 0)
+        | Xor (rd, a, b) -> set_reg t rd (r a lxor r b)
+        | Srl (rd, a, b) -> set_reg t rd (r a lsr (r b land 31))
+        | Sra (rd, a, b) -> set_reg t rd (signed (r a) asr (r b land 31))
+        | Or (rd, a, b) -> set_reg t rd (r a lor r b)
+        | And (rd, a, b) -> set_reg t rd (r a land r b)
+        | Ecall -> ()
+        | Ebreak -> t.is_halted <- true));
+    if not t.is_halted then t.pc <- !next_pc
+  end
+
+let run ?(max_steps = 100000) t =
+  let rec go n =
+    if t.is_halted then n
+    else if n >= max_steps then failwith "Iss.run: step budget exhausted"
+    else begin
+      step t;
+      go (n + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,34 @@
+open Rtl
+
+(** Instruction-set simulator: an architectural golden model for the
+    {!Soc.Cpu} RTL core, used for differential testing.
+
+    Semantics follow the RTL core's conventions: the implemented RV32I
+    subset; unknown opcodes and ECALL execute as NOPs; EBREAK halts.
+    Memory is abstract — the harness supplies word-granular load/store
+    callbacks, so it can model a flat RAM, the SoC memory map, or traps
+    on stray accesses. *)
+
+type memory = {
+  load_word : int -> int;  (** byte address (word aligned) -> value *)
+  store_word : int -> int -> unit;
+}
+
+type t
+
+val create : rom:Bitvec.t array -> memory -> t
+(** Execution starts at byte address 0 of [rom]. *)
+
+val step : t -> unit
+(** Execute one instruction (no-op once halted). *)
+
+val run : ?max_steps:int -> t -> int
+(** Run until EBREAK; returns the number of instructions retired.
+    Raises [Failure] if the budget is exhausted. *)
+
+val halted : t -> bool
+val pc : t -> int
+val reg : t -> int -> int
+(** Architectural register value (32-bit, [reg t 0 = 0]). *)
+
+val set_reg : t -> int -> int -> unit

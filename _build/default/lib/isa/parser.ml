@@ -1,0 +1,139 @@
+let abi_names =
+  [
+    ("zero", 0); ("ra", 1); ("sp", 2); ("gp", 3); ("tp", 4);
+    ("t0", 5); ("t1", 6); ("t2", 7);
+    ("s0", 8); ("fp", 8); ("s1", 9);
+    ("a0", 10); ("a1", 11); ("a2", 12); ("a3", 13);
+    ("a4", 14); ("a5", 15); ("a6", 16); ("a7", 17);
+    ("s2", 18); ("s3", 19); ("s4", 20); ("s5", 21); ("s6", 22);
+    ("s7", 23); ("s8", 24); ("s9", 25); ("s10", 26); ("s11", 27);
+    ("t3", 28); ("t4", 29); ("t5", 30); ("t6", 31);
+  ]
+
+exception Syntax of string
+
+let parse_reg tok =
+  let tok = String.lowercase_ascii tok in
+  match List.assoc_opt tok abi_names with
+  | Some r -> r
+  | None ->
+      if String.length tok >= 2 && tok.[0] = 'x' then
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some r when r >= 0 && r <= 31 -> r
+        | Some _ | None -> raise (Syntax ("bad register " ^ tok))
+      else raise (Syntax ("bad register " ^ tok))
+
+let parse_imm tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> raise (Syntax ("bad immediate " ^ tok))
+
+(* "8(x1)" -> (8, reg 1) *)
+let parse_mem_operand tok =
+  match String.index_opt tok '(' with
+  | Some i when String.length tok > 0 && tok.[String.length tok - 1] = ')' ->
+      let off = if i = 0 then 0 else parse_imm (String.sub tok 0 i) in
+      let reg = String.sub tok (i + 1) (String.length tok - i - 2) in
+      (off, parse_reg reg)
+  | Some _ | None -> raise (Syntax ("bad memory operand " ^ tok))
+
+let strip_comment line =
+  let cut c s =
+    match String.index_opt s c with Some i -> String.sub s 0 i | None -> s
+  in
+  cut '#' (cut ';' line)
+
+let tokenize line =
+  String.split_on_char ' ' (String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let rec parse_line line =
+  let open Asm in
+  match tokenize line with
+  | [] -> []
+  | label :: rest when String.length label > 1 && label.[String.length label - 1] = ':' ->
+      L (String.sub label 0 (String.length label - 1))
+      :: (match rest with [] -> [] | _ -> parse_tokens rest)
+  | toks -> parse_tokens toks
+
+and parse_tokens toks =
+  let open Encoding in
+  let open Asm in
+  let r = parse_reg and imm = parse_imm in
+  let rrr f = function
+    | [ a; b; c ] -> [ I (f (r a) (r b) (r c)) ]
+    | _ -> raise (Syntax "expected rd, rs1, rs2")
+  in
+  let rri f = function
+    | [ a; b; c ] -> [ I (f (r a) (r b) (imm c)) ]
+    | _ -> raise (Syntax "expected rd, rs1, imm")
+  in
+  let branch f = function
+    | [ a; b; target ] -> [ f (r a) (r b) target ]
+    | _ -> raise (Syntax "expected rs1, rs2, label")
+  in
+  match toks with
+  | [] -> []
+  | op :: args -> (
+      match (String.lowercase_ascii op, args) with
+      | "nop", [] -> [ Nop ]
+      | "ebreak", [] -> [ I Ebreak ]
+      | "ecall", [] -> [ I Ecall ]
+      | "li", [ a; v ] -> [ Li (r a, imm v) ]
+      | "la", [ a; l ] -> [ La (r a, l) ]
+      | "lui", [ a; v ] -> [ I (Lui (r a, imm v)) ]
+      | "auipc", [ a; v ] -> [ I (Auipc (r a, imm v)) ]
+      | "mv", [ a; b ] -> [ I (Addi (r a, r b, 0)) ]
+      | "not", [ a; b ] -> [ I (Xori (r a, r b, -1)) ]
+      | "j", [ l ] -> [ J l ]
+      | "jal", [ a; l ] -> [ Jal_l (r a, l) ]
+      | "jalr", [ a; b; v ] -> [ I (Jalr (r a, r b, imm v)) ]
+      | "ret", [] -> [ I (Jalr (0, 1, 0)) ]
+      | "lw", [ a; m ] ->
+          let off, base = parse_mem_operand m in
+          [ I (Lw (r a, base, off)) ]
+      | "sw", [ a; m ] ->
+          let off, base = parse_mem_operand m in
+          [ I (Sw (r a, base, off)) ]
+      | "addi", _ -> rri (fun a b c -> Addi (a, b, c)) args
+      | "slti", _ -> rri (fun a b c -> Slti (a, b, c)) args
+      | "sltiu", _ -> rri (fun a b c -> Sltiu (a, b, c)) args
+      | "xori", _ -> rri (fun a b c -> Xori (a, b, c)) args
+      | "ori", _ -> rri (fun a b c -> Ori (a, b, c)) args
+      | "andi", _ -> rri (fun a b c -> Andi (a, b, c)) args
+      | "slli", _ -> rri (fun a b c -> Slli (a, b, c)) args
+      | "srli", _ -> rri (fun a b c -> Srli (a, b, c)) args
+      | "srai", _ -> rri (fun a b c -> Srai (a, b, c)) args
+      | "add", _ -> rrr (fun a b c -> Add (a, b, c)) args
+      | "sub", _ -> rrr (fun a b c -> Sub (a, b, c)) args
+      | "sll", _ -> rrr (fun a b c -> Sll (a, b, c)) args
+      | "slt", _ -> rrr (fun a b c -> Slt (a, b, c)) args
+      | "sltu", _ -> rrr (fun a b c -> Sltu (a, b, c)) args
+      | "xor", _ -> rrr (fun a b c -> Xor (a, b, c)) args
+      | "srl", _ -> rrr (fun a b c -> Srl (a, b, c)) args
+      | "sra", _ -> rrr (fun a b c -> Sra (a, b, c)) args
+      | "or", _ -> rrr (fun a b c -> Or (a, b, c)) args
+      | "and", _ -> rrr (fun a b c -> And (a, b, c)) args
+      | "beq", _ -> branch (fun a b l -> Beq_l (a, b, l)) args
+      | "bne", _ -> branch (fun a b l -> Bne_l (a, b, l)) args
+      | "blt", _ -> branch (fun a b l -> Blt_l (a, b, l)) args
+      | "bge", _ -> branch (fun a b l -> Bge_l (a, b, l)) args
+      | "bltu", _ -> branch (fun a b l -> Bltu_l (a, b, l)) args
+      | "bgeu", _ -> branch (fun a b l -> Bgeu_l (a, b, l)) args
+      | op, _ -> raise (Syntax ("unknown instruction " ^ op)))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun lineno line ->
+         try parse_line (String.trim (strip_comment line))
+         with Syntax msg -> failwith (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+       lines)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text

@@ -1,0 +1,27 @@
+(** Text assembler front-end.
+
+    Parses a small, standard-looking RISC-V assembly dialect into
+    {!Asm.stmt} lists:
+
+    {v
+    # comments run to end of line
+    start:
+        li   t0, 0x20000        ; li/la expand to lui+addi
+        addi t1, zero, 42
+        sw   t1, 0(t0)
+        lw   t2, 0(t0)
+        beq  t1, t2, done
+        j    start
+    done:
+        ebreak
+    v}
+
+    Registers may be named [x0..x31] or by ABI name ([zero], [ra], [sp],
+    [gp], [tp], [t0..t6], [s0..s11], [a0..a7], [fp]). Immediates are
+    decimal or [0x] hexadecimal, optionally negative. Branch and jump
+    targets are labels. *)
+
+val parse : string -> Asm.stmt list
+(** Raises [Failure "line N: ..."] on syntax errors. *)
+
+val parse_file : string -> Asm.stmt list

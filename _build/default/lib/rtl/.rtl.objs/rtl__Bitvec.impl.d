@@ -1,0 +1,1 @@
+lib/rtl/bitvec.ml: Format Hashtbl Printf Stdlib Sys

@@ -1,0 +1,1 @@
+lib/rtl/bitvec.mli: Format

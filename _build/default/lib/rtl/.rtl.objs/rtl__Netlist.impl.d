@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Bitvec Expr Hashtbl List Printf

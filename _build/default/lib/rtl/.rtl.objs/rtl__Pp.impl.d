@@ -1,0 +1,1 @@
+lib/rtl/pp.ml: Bitvec Expr Format List Netlist

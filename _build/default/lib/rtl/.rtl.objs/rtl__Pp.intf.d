@@ -1,0 +1,1 @@
+lib/rtl/pp.mli: Expr Format Netlist

@@ -1,0 +1,1 @@
+lib/rtl/structural.ml: Expr Format Hashtbl List Netlist Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/rtl/structural.mli: Expr Format Netlist Set

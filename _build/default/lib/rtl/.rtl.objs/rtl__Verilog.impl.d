@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Array Bitvec Buffer Expr Format Hashtbl List Netlist Option Printf String

@@ -1,0 +1,72 @@
+open Format
+
+let unop_str = function
+  | Expr.Not -> "~"
+  | Expr.Neg -> "-"
+  | Expr.Redand -> "&"
+  | Expr.Redor -> "|"
+  | Expr.Redxor -> "^"
+
+let binop_str = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.And -> "&"
+  | Expr.Or -> "|"
+  | Expr.Xor -> "^"
+  | Expr.Eq -> "=="
+  | Expr.Ne -> "!="
+  | Expr.Ult -> "<u"
+  | Expr.Ule -> "<=u"
+  | Expr.Slt -> "<s"
+  | Expr.Sle -> "<=s"
+  | Expr.Shl -> "<<"
+  | Expr.Lshr -> ">>"
+  | Expr.Ashr -> ">>>"
+
+let rec pp_expr fmt e =
+  match Expr.node e with
+  | Expr.Const b -> Bitvec.pp fmt b
+  | Expr.Input s -> fprintf fmt "%s" s.Expr.s_name
+  | Expr.Param s -> fprintf fmt "$%s" s.Expr.s_name
+  | Expr.Reg s -> fprintf fmt "%s" s.Expr.s_name
+  | Expr.Memread (m, a) -> fprintf fmt "%s[%a]" m.Expr.m_name pp_expr a
+  | Expr.Unop (op, a) -> fprintf fmt "%s(%a)" (unop_str op) pp_expr a
+  | Expr.Binop (op, a, b) ->
+      fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Expr.Mux (s, a, b) ->
+      fprintf fmt "(%a ? %a : %a)" pp_expr s pp_expr a pp_expr b
+  | Expr.Concat (a, b) -> fprintf fmt "{%a, %a}" pp_expr a pp_expr b
+  | Expr.Slice (a, hi, lo) -> fprintf fmt "%a[%d:%d]" pp_expr a hi lo
+
+let expr_to_string e = asprintf "%a" pp_expr e
+
+let pp_netlist fmt (nl : Netlist.t) =
+  fprintf fmt "@[<v>module %s@," nl.Netlist.name;
+  List.iter
+    (fun s -> fprintf fmt "  input  [%d] %s@," s.Expr.s_width s.Expr.s_name)
+    nl.Netlist.inputs;
+  List.iter
+    (fun s -> fprintf fmt "  param  [%d] %s@," s.Expr.s_width s.Expr.s_name)
+    nl.Netlist.params;
+  List.iter
+    (fun rd ->
+      fprintf fmt "  reg    [%d] %s <= %a@," rd.Netlist.rd_signal.Expr.s_width
+        rd.Netlist.rd_signal.Expr.s_name pp_expr rd.Netlist.rd_next)
+    nl.Netlist.regs;
+  List.iter
+    (fun md ->
+      let m = md.Netlist.md_mem in
+      fprintf fmt "  mem    %s[%d] x %d bits@," m.Expr.m_name m.Expr.m_depth
+        m.Expr.m_data_width;
+      List.iter
+        (fun wp ->
+          fprintf fmt "    write when %a: [%a] <= %a@," pp_expr
+            wp.Netlist.wp_enable pp_expr wp.Netlist.wp_addr pp_expr
+            wp.Netlist.wp_data)
+        md.Netlist.md_ports)
+    nl.Netlist.mems;
+  List.iter
+    (fun (name, e) -> fprintf fmt "  output %s = %a@," name pp_expr e)
+    nl.Netlist.outputs;
+  fprintf fmt "endmodule@]"

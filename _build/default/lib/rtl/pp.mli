@@ -1,0 +1,12 @@
+(** Pretty-printing of expressions and netlists (a Verilog-flavoured
+    human-readable dump, for debugging and documentation). *)
+
+val pp_expr : Format.formatter -> Expr.t -> unit
+(** Inline rendering; shared sub-expressions are not factored. Intended
+    for small expressions (assertions, counterexample explanations). *)
+
+val expr_to_string : Expr.t -> string
+
+val pp_netlist : Format.formatter -> Netlist.t -> unit
+(** Full dump: inputs, params, registers with next-state expressions,
+    memories with write ports, outputs. *)

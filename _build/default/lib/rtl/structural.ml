@@ -1,0 +1,150 @@
+type svar = Sreg of Expr.signal | Smem of Expr.mem * int
+
+let svar_name = function
+  | Sreg s -> s.Expr.s_name
+  | Smem (m, i) -> Printf.sprintf "%s[%d]" m.Expr.m_name i
+
+let svar_width = function
+  | Sreg s -> s.Expr.s_width
+  | Smem (m, _) -> m.Expr.m_data_width
+
+let compare_svar a b =
+  match (a, b) with
+  | Sreg x, Sreg y -> Expr.compare_signal x y
+  | Smem (mx, ix), Smem (my, iy) ->
+      let c = Expr.compare_mem mx my in
+      if c <> 0 then c else Stdlib.compare ix iy
+  | Sreg _, Smem _ -> -1
+  | Smem _, Sreg _ -> 1
+
+let equal_svar a b = compare_svar a b = 0
+let pp_svar fmt v = Format.pp_print_string fmt (svar_name v)
+
+module Svar_set = Set.Make (struct
+  type t = svar
+
+  let compare = compare_svar
+end)
+
+let mem_elements m =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (Svar_set.add (Smem (m, i)) acc)
+  in
+  go (m.Expr.m_depth - 1) Svar_set.empty
+
+let all_svars (nl : Netlist.t) =
+  let regs =
+    List.fold_left
+      (fun acc rd -> Svar_set.add (Sreg rd.Netlist.rd_signal) acc)
+      Svar_set.empty nl.Netlist.regs
+  in
+  List.fold_left
+    (fun acc md -> Svar_set.union acc (mem_elements md.Netlist.md_mem))
+    regs nl.Netlist.mems
+
+let ip_of v =
+  let name =
+    match v with Sreg s -> s.Expr.s_name | Smem (m, _) -> m.Expr.m_name
+  in
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let svars_matching nl p = Svar_set.filter p (all_svars nl)
+let svars_of_ip nl prefix = svars_matching nl (fun v -> ip_of v = prefix)
+
+let cone_of e =
+  let seen = Hashtbl.create 64 in
+  let acc = ref Svar_set.empty in
+  let rec go e =
+    if not (Hashtbl.mem seen (Expr.tag e)) then begin
+      Hashtbl.add seen (Expr.tag e) ();
+      match Expr.node e with
+      | Expr.Const _ | Expr.Input _ | Expr.Param _ -> ()
+      | Expr.Reg s -> acc := Svar_set.add (Sreg s) !acc
+      | Expr.Memread (m, a) ->
+          acc := Svar_set.union (mem_elements m) !acc;
+          go a
+      | Expr.Unop (_, a) | Expr.Slice (a, _, _) -> go a
+      | Expr.Binop (_, a, b) | Expr.Concat (a, b) ->
+          go a;
+          go b
+      | Expr.Mux (s, a, b) ->
+          go s;
+          go a;
+          go b
+    end
+  in
+  go e;
+  !acc
+
+let reg_support (nl : Netlist.t) v =
+  match v with
+  | Sreg s ->
+      let rd =
+        List.find
+          (fun rd -> Expr.signals_equal rd.Netlist.rd_signal s)
+          nl.Netlist.regs
+      in
+      cone_of rd.Netlist.rd_next
+  | Smem (m, i) ->
+      let md =
+        List.find
+          (fun md -> Expr.mems_equal md.Netlist.md_mem m)
+          nl.Netlist.mems
+      in
+      let from_ports =
+        List.fold_left
+          (fun acc wp ->
+            Svar_set.union acc
+              (Svar_set.union
+                 (cone_of wp.Netlist.wp_enable)
+                 (Svar_set.union
+                    (cone_of wp.Netlist.wp_addr)
+                    (cone_of wp.Netlist.wp_data))))
+          Svar_set.empty md.Netlist.md_ports
+      in
+      Svar_set.add (Smem (m, i)) from_ports
+
+let pp_svar_set fmt set =
+  (* Group memory elements of the same memory into ranges for brevity. *)
+  let regs, mems =
+    Svar_set.fold
+      (fun v (regs, mems) ->
+        match v with
+        | Sreg s -> (s.Expr.s_name :: regs, mems)
+        | Smem (m, i) ->
+            let key = m.Expr.m_name in
+            let cur = try List.assoc key mems with Not_found -> [] in
+            (regs, (key, i :: cur) :: List.remove_assoc key mems))
+      set ([], [])
+  in
+  let ranges indices =
+    let sorted = List.sort_uniq Stdlib.compare indices in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | x :: rest ->
+          let rec extend last = function
+            | y :: more when y = last + 1 -> extend y more
+            | tail -> (last, tail)
+          in
+          let hi, tail = extend x rest in
+          go ((x, hi) :: acc) tail
+    in
+    go [] sorted
+  in
+  let mem_strs =
+    List.map
+      (fun (name, indices) ->
+        let parts =
+          List.map
+            (fun (lo, hi) ->
+              if lo = hi then Printf.sprintf "%s[%d]" name lo
+              else Printf.sprintf "%s[%d..%d]" name lo hi)
+            (ranges indices)
+        in
+        String.concat ", " parts)
+      mems
+  in
+  Format.pp_print_string fmt
+    (String.concat ", " (List.sort Stdlib.compare regs @ List.sort Stdlib.compare mem_strs))

@@ -1,0 +1,50 @@
+(** Structural analysis of netlists: state variables, per-IP grouping,
+    fan-in cones.
+
+    State variables are the unit of reasoning of UPEC-SSC: every
+    register is one state variable, and every memory element (one word)
+    is one state variable, as the paper treats memory arrays
+    element-wise when classifying counterexamples. *)
+
+(** A state variable: a register, or one element of a memory array. *)
+type svar = Sreg of Expr.signal | Smem of Expr.mem * int
+
+val svar_name : svar -> string
+(** ["dma.count"] for registers, ["sram0.mem[3]"] for memory elements. *)
+
+val svar_width : svar -> int
+val compare_svar : svar -> svar -> int
+val equal_svar : svar -> svar -> bool
+val pp_svar : Format.formatter -> svar -> unit
+
+module Svar_set : Set.S with type elt = svar
+
+val all_svars : Netlist.t -> Svar_set.t
+(** Every state variable of the netlist (S_all of the paper, minus the
+    parts not modelled as state). *)
+
+val ip_of : svar -> string
+(** Owning IP by naming convention: the dotted prefix of the name, e.g.
+    ["dma"] for ["dma.count"]; the whole name when there is no dot. *)
+
+val svars_of_ip : Netlist.t -> string -> Svar_set.t
+(** All state variables whose {!ip_of} equals the given prefix. *)
+
+val svars_matching : Netlist.t -> (svar -> bool) -> Svar_set.t
+
+val mem_elements : Expr.mem -> Svar_set.t
+(** All elements of one memory as state variables. *)
+
+val cone_of : Expr.t -> Svar_set.t
+(** State variables read (directly) by an expression: registers
+    occurring in it, plus, for every memory read, all elements of the
+    memory read. Conservative for memories. *)
+
+val reg_support : Netlist.t -> svar -> Svar_set.t
+(** Fan-in of the next-state function of a state variable: the state
+    variables whose current value can influence its value at the next
+    cycle. For memory elements the write ports' cones are included. *)
+
+val pp_svar_set : Format.formatter -> Svar_set.t -> unit
+(** Comma-separated names; abbreviates runs of elements of the same
+    memory as ["m[lo..hi]"]. *)

@@ -1,0 +1,298 @@
+(* The emitter works in three passes: (1) choose legal identifiers,
+   (2) count node uses to decide which hash-consed sub-expressions get
+   their own wire, (3) print wires in dependency order, then registers,
+   memories and outputs. *)
+
+let mangle table name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let base = Buffer.contents buf in
+  let base = if base = "" || (base.[0] >= '0' && base.[0] <= '9') then "n" ^ base else base in
+  let rec unique candidate i =
+    if Hashtbl.mem table candidate then unique (Printf.sprintf "%s_%d" base i) (i + 1)
+    else candidate
+  in
+  let id = unique base 0 in
+  Hashtbl.replace table id ();
+  id
+
+type names = {
+  used : (string, unit) Hashtbl.t;
+  sig_names : (int, string) Hashtbl.t;  (* signal id -> identifier *)
+  mem_names : (int, string) Hashtbl.t;
+}
+
+let signal_id names (s : Expr.signal) =
+  match Hashtbl.find_opt names.sig_names s.Expr.s_id with
+  | Some n -> n
+  | None ->
+      let n = mangle names.used s.Expr.s_name in
+      Hashtbl.replace names.sig_names s.Expr.s_id n;
+      n
+
+let mem_id names (m : Expr.mem) =
+  match Hashtbl.find_opt names.mem_names m.Expr.m_id with
+  | Some n -> n
+  | None ->
+      let n = mangle names.used m.Expr.m_name in
+      Hashtbl.replace names.mem_names m.Expr.m_id n;
+      n
+
+(* roots of the combinational logic *)
+let roots (nl : Netlist.t) =
+  List.map (fun rd -> rd.Netlist.rd_next) nl.Netlist.regs
+  @ List.concat_map
+      (fun md ->
+        List.concat_map
+          (fun wp -> [ wp.Netlist.wp_enable; wp.Netlist.wp_addr; wp.Netlist.wp_data ])
+          md.Netlist.md_ports)
+      nl.Netlist.mems
+  @ List.map snd nl.Netlist.outputs
+
+let count_uses rs =
+  let uses = Hashtbl.create 1024 in
+  let bump e =
+    let t = Expr.tag e in
+    Hashtbl.replace uses t (1 + Option.value ~default:0 (Hashtbl.find_opt uses t))
+  in
+  let seen = Hashtbl.create 1024 in
+  let rec go e =
+    bump e;
+    if not (Hashtbl.mem seen (Expr.tag e)) then begin
+      Hashtbl.add seen (Expr.tag e) ();
+      match Expr.node e with
+      | Expr.Const _ | Expr.Input _ | Expr.Param _ | Expr.Reg _ -> ()
+      | Expr.Memread (_, a) | Expr.Unop (_, a) | Expr.Slice (a, _, _) -> go a
+      | Expr.Binop (_, a, b) | Expr.Concat (a, b) ->
+          go a;
+          go b
+      | Expr.Mux (s, a, b) ->
+          go s;
+          go a;
+          go b
+    end
+  in
+  List.iter go rs;
+  uses
+
+let is_leaf e =
+  match Expr.node e with
+  | Expr.Const _ | Expr.Input _ | Expr.Param _ | Expr.Reg _ -> true
+  | Expr.Memread _ | Expr.Unop _ | Expr.Binop _ | Expr.Mux _ | Expr.Concat _
+  | Expr.Slice _ ->
+      false
+
+let emit fmt (nl : Netlist.t) =
+  let names =
+    {
+      used = Hashtbl.create 256;
+      sig_names = Hashtbl.create 256;
+      mem_names = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun k -> Hashtbl.replace names.used k ())
+    [ "clk"; "rst"; "module"; "input"; "output"; "wire"; "reg"; "assign";
+      "always"; "begin"; "end"; "if"; "else"; "posedge"; "signed" ];
+  let rs = roots nl in
+  let uses = count_uses rs in
+  (* decide wires: shared non-leaf nodes, and slice/memread operands *)
+  let wire_of : (int, string) Hashtbl.t = Hashtbl.create 256 in
+  let wire_decls = Buffer.create 1024 in
+  let wire_defs = Buffer.create 4096 in
+  let rec atom e =
+    (* a printable operand: leaf, or a named wire *)
+    match Expr.node e with
+    | Expr.Const b ->
+        Printf.sprintf "%d'h%x" (Bitvec.width b) (Bitvec.to_int b)
+    | Expr.Input s | Expr.Param s | Expr.Reg s -> signal_id names s
+    | Expr.Memread _ | Expr.Unop _ | Expr.Binop _ | Expr.Mux _ | Expr.Concat _
+    | Expr.Slice _ ->
+        wire e
+  and wire e =
+    match Hashtbl.find_opt wire_of (Expr.tag e) with
+    | Some w -> w
+    | None ->
+        let w = mangle names.used (Printf.sprintf "w%d" (Expr.tag e)) in
+        Hashtbl.replace wire_of (Expr.tag e) w;
+        let body = rhs e in
+        Buffer.add_string wire_decls
+          (Printf.sprintf "  wire [%d:0] %s;\n" (Expr.width e - 1) w);
+        Buffer.add_string wire_defs
+          (Printf.sprintf "  assign %s = %s;\n" w body);
+        w
+  and operand e =
+    (* inline small single-use nodes, name the rest *)
+    if is_leaf e then atom e
+    else if Option.value ~default:0 (Hashtbl.find_opt uses (Expr.tag e)) > 1
+    then wire e
+    else Printf.sprintf "(%s)" (rhs e)
+  and rhs e =
+    match Expr.node e with
+    | Expr.Const _ | Expr.Input _ | Expr.Param _ | Expr.Reg _ -> atom e
+    | Expr.Memread (m, a) ->
+        let mn = mem_id names m in
+        let an = operand a in
+        if m.Expr.m_depth < 1 lsl m.Expr.m_addr_width then
+          (* out-of-range reads are zero, as in the simulator *)
+          Printf.sprintf "(%s < %d) ? %s[%s] : %d'h0" an m.Expr.m_depth mn an
+            m.Expr.m_data_width
+        else Printf.sprintf "%s[%s]" mn an
+    | Expr.Unop (op, a) -> (
+        let an = operand a in
+        match op with
+        | Expr.Not -> "~" ^ an
+        | Expr.Neg -> "-" ^ an
+        | Expr.Redand -> "&" ^ an
+        | Expr.Redor -> "|" ^ an
+        | Expr.Redxor -> "^" ^ an)
+    | Expr.Binop (op, a, b) -> (
+        let an = operand a and bn = operand b in
+        let bin s = Printf.sprintf "%s %s %s" an s bn in
+        match op with
+        | Expr.Add -> bin "+"
+        | Expr.Sub -> bin "-"
+        | Expr.Mul -> bin "*"
+        | Expr.And -> bin "&"
+        | Expr.Or -> bin "|"
+        | Expr.Xor -> bin "^"
+        | Expr.Eq -> bin "=="
+        | Expr.Ne -> bin "!="
+        | Expr.Ult -> bin "<"
+        | Expr.Ule -> bin "<="
+        | Expr.Slt -> Printf.sprintf "$signed(%s) < $signed(%s)" an bn
+        | Expr.Sle -> Printf.sprintf "$signed(%s) <= $signed(%s)" an bn
+        | Expr.Shl -> bin "<<"
+        | Expr.Lshr -> bin ">>"
+        | Expr.Ashr -> Printf.sprintf "$signed(%s) >>> %s" an bn)
+    | Expr.Mux (s, a, b) ->
+        Printf.sprintf "%s ? %s : %s" (operand s) (operand a) (operand b)
+    | Expr.Concat (a, b) -> Printf.sprintf "{%s, %s}" (operand a) (operand b)
+    | Expr.Slice (a, hi, lo) ->
+        (* part-selects require a named operand *)
+        let an = if is_leaf a then atom a else wire a in
+        if hi = lo then Printf.sprintf "%s[%d]" an hi
+        else Printf.sprintf "%s[%d:%d]" an hi lo
+  in
+  (* reserve port names first so internal wires cannot steal them *)
+  let ports =
+    List.map
+      (fun (s : Expr.signal) -> (signal_id names s, s.Expr.s_width, `In))
+      (nl.Netlist.inputs @ nl.Netlist.params)
+    @ List.map
+        (fun (name, e) -> (mangle names.used name, Expr.width e, `Out))
+        nl.Netlist.outputs
+  in
+  let reg_ids =
+    List.map (fun rd -> signal_id names rd.Netlist.rd_signal) nl.Netlist.regs
+  in
+  ignore reg_ids;
+  (* compute all rhs strings (fills wire buffers) *)
+  let reg_nexts =
+    List.map
+      (fun rd ->
+        (rd, signal_id names rd.Netlist.rd_signal, rhs rd.Netlist.rd_next))
+      nl.Netlist.regs
+  in
+  let mem_ports =
+    List.map
+      (fun md ->
+        ( md,
+          mem_id names md.Netlist.md_mem,
+          List.map
+            (fun wp ->
+              ( rhs wp.Netlist.wp_enable,
+                rhs wp.Netlist.wp_addr,
+                rhs wp.Netlist.wp_data ))
+            md.Netlist.md_ports ))
+      nl.Netlist.mems
+  in
+  let outputs =
+    List.map2
+      (fun (name, e) (port_name, _, _) -> (name, port_name, rhs e))
+      nl.Netlist.outputs
+      (List.filter (fun (_, _, dir) -> dir = `Out) ports)
+  in
+  (* ---- print ---- *)
+  let p f = Format.fprintf fmt f in
+  p "// generated by upec-ssc from netlist '%s'@." nl.Netlist.name;
+  p "// semantics notes: parameters are inputs the environment holds stable;@.";
+  p "// rst loads the simulator's reset values.@.";
+  p "module %s(@." (mangle names.used ("top_" ^ nl.Netlist.name));
+  p "  input wire clk,@.";
+  p "  input wire rst%s@."
+    (if ports = [] then "" else ",");
+  List.iteri
+    (fun i (name, w, dir) ->
+      let comma = if i = List.length ports - 1 then "" else "," in
+      match dir with
+      | `In -> p "  input wire [%d:0] %s%s@." (w - 1) name comma
+      | `Out -> p "  output wire [%d:0] %s%s@." (w - 1) name comma)
+    ports;
+  p ");@.@.";
+  (* registers *)
+  List.iter
+    (fun (rd, id, _) ->
+      p "  reg [%d:0] %s;@." (rd.Netlist.rd_signal.Expr.s_width - 1) id)
+    reg_nexts;
+  (* memories *)
+  List.iter
+    (fun (md, id, _) ->
+      let m = md.Netlist.md_mem in
+      p "  reg [%d:0] %s [0:%d];@." (m.Expr.m_data_width - 1) id
+        (m.Expr.m_depth - 1))
+    mem_ports;
+  p "@.%s@.%s@." (Buffer.contents wire_decls) (Buffer.contents wire_defs);
+  (* clocked processes *)
+  List.iter
+    (fun (rd, id, next) ->
+      let init =
+        match rd.Netlist.rd_init with
+        | Some v -> Bitvec.to_int v
+        | None -> 0
+      in
+      p "  always @@(posedge clk)@.";
+      p "    if (rst) %s <= %d'h%x;@." id rd.Netlist.rd_signal.Expr.s_width
+        init;
+      p "    else %s <= %s;@.@." id next)
+    reg_nexts;
+  List.iter
+    (fun ((md : Netlist.mem_def), id, ports) ->
+      (match md.Netlist.md_init with
+      | Some contents when Array.exists (fun v -> not (Bitvec.is_zero v)) contents
+        ->
+          p "  initial begin@.";
+          Array.iteri
+            (fun i v ->
+              if not (Bitvec.is_zero v) then
+                p "    %s[%d] = %d'h%x;@." id i (Bitvec.width v)
+                  (Bitvec.to_int v))
+            contents;
+          p "  end@."
+      | Some _ | None -> ());
+      if ports <> [] then begin
+        p "  always @@(posedge clk) begin@.";
+        (* reversed so the first port wins on an address clash *)
+        List.iter
+          (fun (en, addr, data) ->
+            p "    if (!rst && (%s)) %s[%s] <= %s;@." en id addr data)
+          (List.rev ports);
+        p "  end@.@."
+      end)
+    mem_ports;
+  (* outputs *)
+  List.iter (fun (_, port, body) -> p "  assign %s = %s;@." port body) outputs;
+  p "@.endmodule@."
+
+let to_string nl = Format.asprintf "%a" emit nl
+
+let write_file path nl =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  emit fmt nl;
+  Format.pp_print_flush fmt ();
+  close_out oc

@@ -1,0 +1,26 @@
+(** Structural Verilog-2001 emission.
+
+    Exports a netlist as a single synthesisable module so the designs
+    built with this library (the SoC, its taint-instrumented variant)
+    can be taken to standard simulators and FPGA/ASIC flows. The
+    translation is direct:
+
+    - primary inputs and parameters become module inputs (parameters are
+      inputs the environment must hold stable);
+    - every register becomes a [reg] with one clocked process; an
+      [init] value is emitted as synchronous reset behaviour under the
+      [rst] input;
+    - memories become unpacked [reg] arrays with their write ports in
+      one clocked process (first port wins on an address clash, matching
+      the simulator);
+    - shared combinational sub-expressions are factored into [wire]
+      assignments (one per hash-consed node above a size threshold).
+
+    Identifiers are mangled: dots and other non-identifier characters
+    become underscores; collisions get numeric suffixes. *)
+
+val emit : Format.formatter -> Netlist.t -> unit
+
+val to_string : Netlist.t -> string
+
+val write_file : string -> Netlist.t -> unit

@@ -1,0 +1,59 @@
+let parse text =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match
+          List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+        with
+        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
+        | _ -> failwith "Dimacs.parse: malformed problem line"
+      end
+      else
+        List.iter
+          (fun tok ->
+            if tok <> "" then begin
+              let i =
+                try int_of_string tok
+                with Failure _ -> failwith ("Dimacs.parse: bad token " ^ tok)
+              in
+              if i = 0 then begin
+                clauses := List.rev !current :: !clauses;
+                current := []
+              end
+              else begin
+                nvars := max !nvars (abs i);
+                current := Lit.of_dimacs i :: !current
+              end
+            end)
+          (String.split_on_char ' ' line))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  (!nvars, List.rev !clauses)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let print fmt (nvars, clauses) =
+  Format.fprintf fmt "p cnf %d %d@." nvars (List.length clauses);
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_dimacs l)) clause;
+      Format.fprintf fmt "0@.")
+    clauses
+
+let load solver text =
+  let nvars, clauses = parse text in
+  for _ = Solver.nvars solver to nvars - 1 do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses

@@ -1,0 +1,16 @@
+(** DIMACS CNF reading and writing, for interoperability and for
+    debugging the solver against external tools. *)
+
+val parse : string -> int * Lit.t list list
+(** [parse text] reads a DIMACS CNF body and returns
+    [(num_vars, clauses)]. Comment lines and the problem line are
+    handled; raises [Failure] on malformed input. *)
+
+val parse_file : string -> int * Lit.t list list
+
+val print : Format.formatter -> int * Lit.t list list -> unit
+(** Write a problem in DIMACS format. *)
+
+val load : Solver.t -> string -> unit
+(** Parse and add all clauses into a solver, allocating variables as
+    needed (variables must start at 1 in the file). *)

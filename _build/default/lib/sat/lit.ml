@@ -1,0 +1,21 @@
+type t = int
+
+let make v sign =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (2 * v) + if sign then 0 else 1
+
+let pos v = make v true
+let neg_of_var v = make v false
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_int l = l
+let of_int i = i
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if i > 0 then pos (i - 1) else neg_of_var (-i - 1)
+
+let compare = Stdlib.compare
+let pp fmt l = Format.fprintf fmt "%d" (to_dimacs l)

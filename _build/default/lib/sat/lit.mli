@@ -1,0 +1,29 @@
+(** Propositional literals.
+
+    A literal packs a variable index (non-negative int) and a sign. The
+    encoding is [2 * var + (if negative then 1 else 0)], compatible with
+    MiniSat conventions. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make v sign] is the literal over variable [v]; [sign = true] gives
+    the positive literal. *)
+
+val pos : int -> t
+val neg_of_var : int -> t
+val var : t -> int
+val sign : t -> bool
+(** [true] for positive literals. *)
+
+val negate : t -> t
+val to_int : t -> int
+(** The raw encoding, usable as an array index in [0, 2*nvars). *)
+
+val of_int : int -> t
+val to_dimacs : t -> int
+(** Signed DIMACS form: [var+1] or [-(var+1)]. *)
+
+val of_dimacs : int -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

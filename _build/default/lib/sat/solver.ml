@@ -1,0 +1,769 @@
+(* CDCL solver, MiniSat-flavoured. The implementation notes below follow
+   the usual conventions:
+   - assigns.(v): 0 = unassigned, 1 = true, -1 = false
+   - a clause watches its first two literals; it is registered in the
+     watch list of the *negation* of each watched literal, so when a
+     literal p is enqueued (made true) the clauses in watches.(p) have a
+     watched literal that just became false. *)
+
+type clause = {
+  mutable lits : int array;  (* Lit.to_int encoded *)
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+  mutable removed : bool;
+}
+
+type options = {
+  use_vsids : bool;
+  use_restarts : bool;
+  use_phase_saving : bool;
+  use_minimization : bool;
+  var_decay : float;
+  clause_decay : float;
+  restart_base : int;
+  max_learnts_factor : float;
+}
+
+let default_options =
+  {
+    use_vsids = true;
+    use_restarts = true;
+    use_phase_saving = true;
+    use_minimization = true;
+    var_decay = 0.95;
+    clause_decay = 0.999;
+    restart_base = 100;
+    max_learnts_factor = 0.4;
+  }
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+  deleted_clauses : int;
+}
+
+(* Growable clause vectors for watch lists. *)
+module Cvec = struct
+  type t = { mutable data : clause array; mutable len : int }
+
+  let dummy =
+    { lits = [||]; learnt = false; activity = 0.; lbd = 0; removed = true }
+
+  let create () = { data = Array.make 4 dummy; len = 0 }
+
+  let push v c =
+    if v.len = Array.length v.data then begin
+      let bigger = Array.make (2 * v.len) dummy in
+      Array.blit v.data 0 bigger 0 v.len;
+      v.data <- bigger
+    end;
+    v.data.(v.len) <- c;
+    v.len <- v.len + 1
+
+  let remove v c =
+    let rec find i = if i >= v.len then -1 else if v.data.(i) == c then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then begin
+      v.data.(i) <- v.data.(v.len - 1);
+      v.len <- v.len - 1
+    end
+end
+
+type lastres = RSat | RUnsat | RNone
+
+type t = {
+  opts : options;
+  mutable nvars : int;
+  mutable assigns : int array;  (* by var *)
+  mutable level : int array;  (* by var *)
+  mutable reason : clause option array;  (* by var *)
+  mutable activity : float array;  (* by var *)
+  mutable polarity : bool array;  (* saved phase, by var *)
+  mutable seen : bool array;  (* by var, scratch *)
+  mutable watches : Cvec.t array;  (* by lit code *)
+  mutable heap : int array;  (* binary max-heap of vars *)
+  mutable heap_len : int;
+  mutable heap_pos : int array;  (* by var; -1 when absent *)
+  mutable trail : int array;  (* lit codes *)
+  mutable trail_len : int;
+  mutable trail_lim : int array;
+  mutable trail_lim_len : int;
+  mutable qhead : int;
+  mutable clauses : clause list;
+  mutable learnts : clause list;
+  mutable nlearnts : int;
+  mutable var_inc : float;
+  mutable clause_inc : float;
+  mutable ok : bool;  (* false once trivially unsat *)
+  mutable model : int array;
+  mutable last_result : lastres;
+  mutable conflict_core : int list;  (* assumption lits of final conflict *)
+  (* stats *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learnt_total : int;
+  mutable n_deleted : int;
+}
+
+let create ?(options = default_options) () =
+  {
+    opts = options;
+    nvars = 0;
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    polarity = [||];
+    seen = [||];
+    watches = [||];
+    heap = [||];
+    heap_len = 0;
+    heap_pos = [||];
+    trail = [||];
+    trail_len = 0;
+    trail_lim = [||];
+    trail_lim_len = 0;
+    qhead = 0;
+    clauses = [];
+    learnts = [];
+    nlearnts = 0;
+    var_inc = 1.0;
+    clause_inc = 1.0;
+    ok = true;
+    model = [||];
+    last_result = RNone;
+    conflict_core = [];
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+    n_learnt_total = 0;
+    n_deleted = 0;
+  }
+
+let nvars t = t.nvars
+
+let grow_array a n default =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let bigger = Array.make (max n (max 16 (2 * old))) default in
+    Array.blit a 0 bigger 0 old;
+    bigger
+  end
+
+(* ---- value of literals ---- *)
+
+let lit_value t l =
+  (* 1 true, -1 false, 0 undef *)
+  let a = t.assigns.(l lsr 1) in
+  if l land 1 = 0 then a else -a
+
+(* ---- VSIDS heap (max-heap on activity) ---- *)
+
+let heap_lt t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(b) <- i;
+  t.heap_pos.(a) <- j
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_lt t t.heap.(i) t.heap.(parent) then begin
+      heap_swap t i parent;
+      heap_up t parent
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_len && heap_lt t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_len && heap_lt t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap <- grow_array t.heap (t.heap_len + 1) 0;
+    t.heap.(t.heap_len) <- v;
+    t.heap_pos.(v) <- t.heap_len;
+    t.heap_len <- t.heap_len + 1;
+    heap_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_len <- t.heap_len - 1;
+  t.heap.(0) <- t.heap.(t.heap_len);
+  t.heap_pos.(t.heap.(0)) <- 0;
+  t.heap_pos.(v) <- -1;
+  if t.heap_len > 0 then heap_down t 0;
+  v
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  t.assigns <- grow_array t.assigns t.nvars 0;
+  t.level <- grow_array t.level t.nvars 0;
+  t.reason <- grow_array t.reason t.nvars None;
+  t.activity <- grow_array t.activity t.nvars 0.0;
+  t.polarity <- grow_array t.polarity t.nvars false;
+  t.seen <- grow_array t.seen t.nvars false;
+  t.heap_pos <- grow_array t.heap_pos t.nvars (-1);
+  t.trail <- grow_array t.trail t.nvars 0;
+  if Array.length t.watches < 2 * t.nvars then begin
+    let old = Array.length t.watches in
+    let bigger =
+      Array.init (max (2 * t.nvars) (2 * old)) (fun i ->
+          if i < old then t.watches.(i) else Cvec.create ())
+    in
+    t.watches <- bigger
+  end;
+  t.assigns.(v) <- 0;
+  t.level.(v) <- 0;
+  t.reason.(v) <- None;
+  t.activity.(v) <- 0.0;
+  t.polarity.(v) <- false;
+  t.seen.(v) <- false;
+  t.heap_pos.(v) <- -1;
+  heap_insert t v;
+  v
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+let var_decay t = t.var_inc <- t.var_inc /. t.opts.var_decay
+
+let clause_bump t (c : clause) =
+  c.activity <- c.activity +. t.clause_inc;
+  if c.activity > 1e20 then begin
+    List.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.clause_inc <- t.clause_inc *. 1e-20
+  end
+
+let clause_decay t = t.clause_inc <- t.clause_inc /. t.opts.clause_decay
+
+(* ---- trail ---- *)
+
+let decision_level t = t.trail_lim_len
+
+let enqueue t l reason =
+  let v = l lsr 1 in
+  t.assigns.(v) <- (if l land 1 = 0 then 1 else -1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.trail <- grow_array t.trail (t.trail_len + 1) 0;
+  t.trail.(t.trail_len) <- l;
+  t.trail_len <- t.trail_len + 1
+
+let new_decision_level t =
+  t.trail_lim <- grow_array t.trail_lim (t.trail_lim_len + 1) 0;
+  t.trail_lim.(t.trail_lim_len) <- t.trail_len;
+  t.trail_lim_len <- t.trail_lim_len + 1
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_len - 1 downto bound do
+      let l = t.trail.(i) in
+      let v = l lsr 1 in
+      if t.opts.use_phase_saving then t.polarity.(v) <- l land 1 = 0;
+      t.assigns.(v) <- 0;
+      t.reason.(v) <- None;
+      heap_insert t v
+    done;
+    t.trail_len <- bound;
+    t.qhead <- bound;
+    t.trail_lim_len <- lvl
+  end
+
+(* ---- watches ---- *)
+
+let attach t c =
+  Cvec.push t.watches.(c.lits.(0) lxor 1) c;
+  Cvec.push t.watches.(c.lits.(1) lxor 1) c
+
+let detach t c =
+  Cvec.remove t.watches.(c.lits.(0) lxor 1) c;
+  Cvec.remove t.watches.(c.lits.(1) lxor 1) c
+
+(* ---- propagation ---- *)
+
+exception Conflict of clause
+
+let propagate t =
+  try
+    while t.qhead < t.trail_len do
+      let p = t.trail.(t.qhead) in
+      t.qhead <- t.qhead + 1;
+      t.n_propagations <- t.n_propagations + 1;
+      let ws = t.watches.(p) in
+      let i = ref 0 in
+      while !i < ws.Cvec.len do
+        let c = ws.Cvec.data.(!i) in
+        if c.removed then begin
+          (* lazy removal *)
+          ws.Cvec.data.(!i) <- ws.Cvec.data.(ws.Cvec.len - 1);
+          ws.Cvec.len <- ws.Cvec.len - 1
+        end
+        else begin
+          let false_lit = p lxor 1 in
+          (* Ensure the false literal is at position 1. *)
+          if c.lits.(0) = false_lit then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- false_lit
+          end;
+          if lit_value t c.lits.(0) = 1 then incr i (* satisfied *)
+          else begin
+            (* Find a new literal to watch. *)
+            let n = Array.length c.lits in
+            let rec find k = if k >= n then -1 else if lit_value t c.lits.(k) <> -1 then k else find (k + 1) in
+            let k = find 2 in
+            if k >= 0 then begin
+              c.lits.(1) <- c.lits.(k);
+              c.lits.(k) <- false_lit;
+              Cvec.push t.watches.(c.lits.(1) lxor 1) c;
+              ws.Cvec.data.(!i) <- ws.Cvec.data.(ws.Cvec.len - 1);
+              ws.Cvec.len <- ws.Cvec.len - 1
+            end
+            else if lit_value t c.lits.(0) = -1 then begin
+              (* conflict *)
+              t.qhead <- t.trail_len;
+              raise (Conflict c)
+            end
+            else begin
+              (* unit *)
+              enqueue t c.lits.(0) (Some c);
+              incr i
+            end
+          end
+        end
+      done
+    done;
+    None
+  with Conflict c -> Some c
+
+(* ---- clause addition ---- *)
+
+let add_clause t lits =
+  if t.ok then begin
+    t.last_result <- RNone;
+    if decision_level t > 0 then cancel_until t 0;
+    (* normalise: dedupe, drop false-at-0, detect tautology / sat-at-0 *)
+    let lits = List.sort_uniq Stdlib.compare (List.map Lit.to_int lits) in
+    let tauto =
+      let rec chk = function
+        | a :: (b :: _ as rest) -> if a lxor 1 = b then true else chk rest
+        | _ -> false
+      in
+      chk lits
+    in
+    if not tauto then begin
+      let lits = List.filter (fun l -> lit_value t l <> -1) lits in
+      let sat0 = List.exists (fun l -> lit_value t l = 1) lits in
+      if not sat0 then
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] -> (
+            enqueue t l None;
+            match propagate t with None -> () | Some _ -> t.ok <- false)
+        | _ ->
+            let c =
+              {
+                lits = Array.of_list lits;
+                learnt = false;
+                activity = 0.0;
+                lbd = 0;
+                removed = false;
+              }
+            in
+            t.clauses <- c :: t.clauses;
+            attach t c
+    end
+  end
+
+(* ---- conflict analysis ---- *)
+
+let compute_lbd t lits =
+  let levels = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace levels t.level.(l lsr 1) ()) lits;
+  Hashtbl.length levels
+
+(* Is l redundant w.r.t. the current learnt clause (all its reason
+   antecedents eventually hit seen literals)? On failure, the marks
+   added during this check are undone to keep later checks sound. *)
+let lit_redundant t l abstract_levels to_clear =
+  let stack = ref [ l ] in
+  let local_marks = ref [] in
+  let ok = ref true in
+  (try
+     while !stack <> [] do
+       let p =
+         match !stack with x :: rest -> stack := rest; x | [] -> assert false
+       in
+       match t.reason.(p lsr 1) with
+       | None ->
+           ok := false;
+           raise Exit
+       | Some c ->
+           Array.iter
+             (fun q ->
+               let v = q lsr 1 in
+               if (not t.seen.(v)) && t.level.(v) > 0 then begin
+                 if
+                   t.reason.(v) <> None
+                   && abstract_levels land (1 lsl (t.level.(v) land 31)) <> 0
+                 then begin
+                   t.seen.(v) <- true;
+                   local_marks := v :: !local_marks;
+                   stack := q :: !stack
+                 end
+                 else begin
+                   ok := false;
+                   raise Exit
+                 end
+               end)
+             c.lits
+     done
+   with Exit -> ());
+  if !ok then to_clear := !local_marks @ !to_clear
+  else List.iter (fun v -> t.seen.(v) <- false) !local_marks;
+  !ok
+
+let analyze t confl =
+  (* returns (learnt lits array with UIP first, backtrack level, lbd) *)
+  let learnt = ref [] in
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let index = ref (t.trail_len - 1) in
+  let confl = ref (Some confl) in
+  let to_clear = ref [] in
+  let continue_loop = ref true in
+  while !continue_loop do
+    (match !confl with
+    | None -> assert false
+    | Some c ->
+        if c.learnt then clause_bump t c;
+        Array.iter
+          (fun q ->
+            if q <> !p then begin
+              let v = q lsr 1 in
+              if (not t.seen.(v)) && t.level.(v) > 0 then begin
+                var_bump t v;
+                t.seen.(v) <- true;
+                to_clear := v :: !to_clear;
+                if t.level.(v) >= decision_level t then incr path_c
+                else learnt := q :: !learnt
+              end
+            end)
+          c.lits);
+    (* next literal to expand *)
+    while not t.seen.(t.trail.(!index) lsr 1) do
+      decr index
+    done;
+    p := t.trail.(!index);
+    decr index;
+    let v = !p lsr 1 in
+    t.seen.(v) <- false;
+    confl := t.reason.(v);
+    decr path_c;
+    if !path_c <= 0 then continue_loop := false
+  done;
+  let uip = !p lxor 1 in
+  (* minimisation *)
+  let tail =
+    if t.opts.use_minimization then begin
+      let abstract_levels =
+        List.fold_left
+          (fun acc q -> acc lor (1 lsl (t.level.(q lsr 1) land 31)))
+          0 !learnt
+      in
+      List.filter
+        (fun q ->
+          t.reason.(q lsr 1) = None
+          || not (lit_redundant t q abstract_levels to_clear))
+        !learnt
+    end
+    else !learnt
+  in
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  let lits = Array.of_list (uip :: tail) in
+  (* backtrack level: highest level among tail; move that literal to
+     position 1 so it is watched. *)
+  let bt =
+    if Array.length lits = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Array.length lits - 1 do
+        if t.level.(lits.(i) lsr 1) > t.level.(lits.(!max_i) lsr 1) then
+          max_i := i
+      done;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!max_i);
+      lits.(!max_i) <- tmp;
+      t.level.(lits.(1) lsr 1)
+    end
+  in
+  (lits, bt, compute_lbd t lits)
+
+(* Final conflict analysis: [failed] is an assumption literal found
+   false. Returns the subset of assumption literals responsible (the
+   decisions reachable in the reason graph from [failed]), including
+   [failed] itself. *)
+let analyze_final t failed =
+  let core = ref [ failed ] in
+  if decision_level t > 0 then begin
+    let seen = Array.make t.nvars false in
+    seen.(failed lsr 1) <- true;
+    for i = t.trail_len - 1 downto t.trail_lim.(0) do
+      let q = t.trail.(i) in
+      let v = q lsr 1 in
+      if seen.(v) then begin
+        (match t.reason.(v) with
+        | None ->
+            (* a decision at level >= 1 under assumptions is an
+               assumption; it was enqueued with its own polarity *)
+            if t.level.(v) > 0 && q <> failed then core := q :: !core
+        | Some c ->
+            Array.iter (fun r -> if r <> q then seen.(r lsr 1) <- true) c.lits);
+        seen.(v) <- false
+      end
+    done
+  end;
+  !core
+
+(* ---- learnt DB reduction ---- *)
+
+let reduce_db t =
+  let cmp a b =
+    (* worse first: higher lbd, then lower activity *)
+    if a.lbd <> b.lbd then Stdlib.compare b.lbd a.lbd
+    else Stdlib.compare a.activity b.activity
+  in
+  let arr = Array.of_list t.learnts in
+  Array.sort cmp arr;
+  let n = Array.length arr in
+  let locked c =
+    Array.length c.lits > 0
+    &&
+    let l = c.lits.(0) in
+    lit_value t l = 1
+    && (match t.reason.(l lsr 1) with Some r -> r == c | None -> false)
+  in
+  let removed = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if i < n / 2 && c.lbd > 2 && not (locked c) then begin
+        c.removed <- true;
+        (* watches cleaned lazily; detach eagerly to keep lists short *)
+        detach t c;
+        incr removed
+      end)
+    arr;
+  t.learnts <- List.filter (fun c -> not c.removed) t.learnts;
+  t.nlearnts <- t.nlearnts - !removed;
+  t.n_deleted <- t.n_deleted + !removed
+
+(* ---- decisions ---- *)
+
+let pick_branch_var t =
+  if t.opts.use_vsids then begin
+    let v = ref (-1) in
+    while !v < 0 && t.heap_len > 0 do
+      let cand = heap_pop t in
+      if t.assigns.(cand) = 0 then v := cand
+    done;
+    !v
+  end
+  else begin
+    let rec find i =
+      if i >= t.nvars then -1 else if t.assigns.(i) = 0 then i else find (i + 1)
+    in
+    find 0
+  end
+
+let luby y x =
+  (* MiniSat's Luby sequence: find the finite subsequence containing
+     index x, then the position within it. *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y ** float_of_int !seq
+
+(* ---- main search ---- *)
+
+type result = Sat | Unsat
+
+exception Found_unsat
+
+let search t ~assumptions ~conflict_budget =
+  (* returns Some result, or None if budget exhausted (restart) *)
+  let max_learnts =
+    max 1000
+      (int_of_float
+         (t.opts.max_learnts_factor *. float_of_int (List.length t.clauses)))
+  in
+  let conflicts_here = ref 0 in
+  let result = ref None in
+  (try
+     while !result = None do
+       match propagate t with
+       | Some confl ->
+           t.n_conflicts <- t.n_conflicts + 1;
+           incr conflicts_here;
+           if decision_level t = 0 then begin
+             t.ok <- false;
+             t.conflict_core <- [];
+             result := Some Unsat
+           end
+           else begin
+             let lits, bt, lbd = analyze t confl in
+             cancel_until t bt;
+             (if Array.length lits = 1 then enqueue t lits.(0) None
+              else begin
+                let c =
+                  { lits; learnt = true; activity = 0.0; lbd; removed = false }
+                in
+                t.learnts <- c :: t.learnts;
+                t.nlearnts <- t.nlearnts + 1;
+                t.n_learnt_total <- t.n_learnt_total + 1;
+                clause_bump t c;
+                attach t c;
+                enqueue t lits.(0) (Some c)
+              end);
+             var_decay t;
+             clause_decay t
+           end
+       | None ->
+           if
+             t.opts.use_restarts
+             && conflict_budget >= 0
+             && !conflicts_here >= conflict_budget
+           then begin
+             (* restart *)
+             cancel_until t 0;
+             t.n_restarts <- t.n_restarts + 1;
+             raise Exit
+           end
+           else begin
+             if t.nlearnts >= max_learnts then reduce_db t;
+             (* assumption handling / decision *)
+             let next = ref (-2) in
+             while !next = -2 do
+               if decision_level t < List.length assumptions then begin
+                 let p = List.nth assumptions (decision_level t) in
+                 let pv = lit_value t (Lit.to_int p) in
+                 if pv = 1 then new_decision_level t (* already satisfied *)
+                 else if pv = -1 then begin
+                   t.conflict_core <- analyze_final t (Lit.to_int p);
+                   result := Some Unsat;
+                   raise Found_unsat
+                 end
+                 else next := Lit.to_int p
+               end
+               else begin
+                 let v = pick_branch_var t in
+                 if v < 0 then begin
+                   result := Some Sat;
+                   raise Found_unsat (* exit loops; result already set *)
+                 end
+                 else next := (2 * v) + if t.polarity.(v) then 0 else 1
+               end
+             done;
+             t.n_decisions <- t.n_decisions + 1;
+             new_decision_level t;
+             enqueue t !next None
+           end
+     done;
+     !result
+   with
+  | Exit -> None
+  | Found_unsat -> !result)
+
+let solve ?(assumptions = []) t =
+  if not t.ok then begin
+    t.last_result <- RUnsat;
+    t.conflict_core <- [];
+    Unsat
+  end
+  else begin
+    cancel_until t 0;
+    t.conflict_core <- [];
+    let rec loop restarts =
+      let budget =
+        if t.opts.use_restarts then
+          int_of_float (luby 2.0 restarts *. float_of_int t.opts.restart_base)
+        else -1
+      in
+      match search t ~assumptions ~conflict_budget:budget with
+      | Some r -> r
+      | None -> loop (restarts + 1)
+    in
+    let r = loop 0 in
+    (match r with
+    | Sat ->
+        t.model <- Array.sub t.assigns 0 t.nvars;
+        t.last_result <- RSat
+    | Unsat -> t.last_result <- RUnsat);
+    cancel_until t 0;
+    r
+  end
+
+let value t l =
+  if t.last_result <> RSat then invalid_arg "Solver.value: last result not Sat";
+  let v = Lit.var l in
+  if v >= Array.length t.model then invalid_arg "Solver.value: unknown var";
+  let a = t.model.(v) in
+  (* unassigned vars (eliminated by simplification) default to false *)
+  if Lit.sign l then a = 1 else a <> 1
+
+let value_var t v = value t (Lit.pos v)
+
+let unsat_assumptions t =
+  if t.last_result <> RUnsat then
+    invalid_arg "Solver.unsat_assumptions: last result not Unsat";
+  List.map Lit.of_int t.conflict_core
+
+let stats t =
+  {
+    conflicts = t.n_conflicts;
+    decisions = t.n_decisions;
+    propagations = t.n_propagations;
+    restarts = t.n_restarts;
+    learnt_clauses = t.n_learnt_total;
+    deleted_clauses = t.n_deleted;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d deleted=%d"
+    s.conflicts s.decisions s.propagations s.restarts s.learnt_clauses
+    s.deleted_clauses

@@ -1,0 +1,66 @@
+(** CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal
+    propagation, first-UIP learning with recursive clause minimisation,
+    EVSIDS branching, phase saving, Luby restarts and LBD-based learnt
+    clause database reduction. Supports incremental solving under
+    assumptions; clauses may be added between [solve] calls.
+
+    Feature toggles exist so benches can ablate individual heuristics. *)
+
+type t
+
+type options = {
+  use_vsids : bool;  (** activity-ordered decisions (else lowest index) *)
+  use_restarts : bool;
+  use_phase_saving : bool;
+  use_minimization : bool;  (** learnt clause minimisation *)
+  var_decay : float;  (** EVSIDS decay, in (0, 1) *)
+  clause_decay : float;
+  restart_base : int;  (** conflicts per Luby unit *)
+  max_learnts_factor : float;  (** learnt DB size as fraction of clauses *)
+}
+
+val default_options : options
+val create : ?options:options -> unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a problem clause. Duplicate literals are removed; tautologies
+    are dropped; an empty (or falsified-at-level-0) clause makes the
+    instance trivially unsatisfiable. *)
+
+type result = Sat | Unsat
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve the current clause set under the given assumptions. *)
+
+val value : t -> Lit.t -> bool
+(** Value of a literal in the model of the last [Sat] answer. Raises
+    [Invalid_argument] if the last call did not return [Sat]. *)
+
+val value_var : t -> int -> bool
+
+val unsat_assumptions : t -> Lit.t list
+(** After an [Unsat] answer under assumptions: a subset of the
+    assumptions sufficient for unsatisfiability (the final conflict
+    clause restricted to assumption literals). Empty when the clause set
+    itself is unsatisfiable. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+  deleted_clauses : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/scenarios/attacks.ml: Isa List Rtl Sim Soc

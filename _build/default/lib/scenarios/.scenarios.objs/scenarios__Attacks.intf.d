@@ -1,0 +1,1 @@
+lib/scenarios/attacks.mli: Soc

@@ -1,0 +1,150 @@
+open Isa.Asm
+open Isa.Encoding
+
+type dma_timer_reading = { dt_accesses : int; dt_timer : int; dt_cycles : int }
+type hwpe_reading = { hw_accesses : int; hw_zero_cells : int }
+
+let byte_of cfg p reg =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.periph_reg_addr cfg p reg)
+
+let pub_base cfg =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.region_base cfg Soc.Memmap.Pub)
+
+let mmio_write addr value = [ Li (10, addr); Li (11, value); I (Sw (11, 10, 0)) ]
+
+(* The victim performs [n] loads from [target] and then spins; its time
+   slice ends when the scheduler (the harness, standing in for a
+   timer-interrupt driven RTOS) preempts it, so the slice length is
+   fixed by construction and only contention — not victim code length —
+   is observable afterwards. *)
+let victim_section ~target ~n =
+  [
+    L "victim";
+    Li (12, target);
+    Li (13, n);
+    Beq_l (13, 0, "victim_spin");
+    L "victim_loop";
+    I (Lw (15, 12, 0));
+    I (Addi (13, 13, -1));
+    Bne_l (13, 0, "victim_loop");
+    L "victim_spin";
+    J "victim_spin";
+  ]
+
+(* Preemptive scheduler emulation: force the core to a label by loading
+   a fresh pipeline state (bubble fetch at the entry, memory FSM idle,
+   halt flag cleared). *)
+let context_switch eng symbols label =
+  let entry = List.assoc label symbols in
+  Sim.Engine.poke_reg eng "cpu.halted" (Rtl.Bitvec.zero 1);
+  Sim.Engine.poke_reg eng "cpu.valid" (Rtl.Bitvec.zero 1);
+  Sim.Engine.poke_reg eng "cpu.mem_state" (Rtl.Bitvec.zero 2);
+  Sim.Engine.poke_reg eng "cpu.if_pc" (Rtl.Bitvec.of_int ~width:32 entry)
+
+let run_to_halt ?(max_cycles = 60000) eng =
+  let rec go cycles =
+    if cycles > max_cycles then failwith "Attacks: firmware did not halt"
+    else if Rtl.Bitvec.to_int (Sim.Engine.peek_output eng "halted") = 1 then
+      cycles
+    else begin
+      Sim.Engine.step eng;
+      go (cycles + 1)
+    end
+  in
+  go 0
+
+(* Run the three-phase schedule: preparation to its EBREAK, the victim
+   for exactly [slice] cycles, then retrieval to its EBREAK. Returns
+   (engine, total cycles). *)
+let run_schedule cfg ~rom ~symbols ~slice =
+  let soc = Soc.Builder.build cfg (Soc.Builder.Sim { rom }) in
+  let eng = Sim.Engine.create soc.Soc.Builder.netlist in
+  let prep_cycles = run_to_halt eng in
+  context_switch eng symbols "victim";
+  Sim.Engine.run eng slice;
+  context_switch eng symbols "retrieval";
+  let retrieval_cycles = run_to_halt eng in
+  (eng, prep_cycles + slice + retrieval_cycles)
+
+(* ---- E1: DMA + timer ---- *)
+
+let dma_timer_program cfg ~n =
+  mmio_write (byte_of cfg Soc.Memmap.Timer 0) 2
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 1) 0
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 2) 64
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 3) 24
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 0) 1
+  @ [ I Ebreak ]
+  @ victim_section ~target:(pub_base cfg) ~n
+  @ [
+      L "retrieval";
+      Li (10, byte_of cfg Soc.Memmap.Timer 1);
+      I (Lw (28, 10, 0));
+      I Ebreak;
+    ]
+
+let dma_timer ?(cfg = Soc.Config.sim_default) ns =
+  List.map
+    (fun n ->
+      let rom, symbols = assemble_with_symbols (dma_timer_program cfg ~n) in
+      let eng, cycles = run_schedule cfg ~rom ~symbols ~slice:120 in
+      {
+        dt_accesses = n;
+        dt_timer = Rtl.Bitvec.to_int (Sim.Engine.mem_value eng "cpu.regs" 28);
+        dt_cycles = cycles;
+      })
+    ns
+
+(* ---- E7: HWPE + memory ---- *)
+
+let primed_words = 1024
+let primed_word_base = 512
+
+let hwpe_program cfg ~n =
+  let region = pub_base cfg + (primed_word_base * 4) in
+  [
+    Li (5, region);
+    Li (6, primed_words);
+    L "prime";
+    I (Sw (0, 5, 0));
+    I (Addi (5, 5, 4));
+    I (Addi (6, 6, -1));
+    Bne_l (6, 0, "prime");
+  ]
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 1) primed_word_base
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 2) primed_words
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 3) 1
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 0) 1
+  @ [ I Ebreak ]
+  @ victim_section ~target:region ~n
+  @ [
+      L "retrieval";
+      Li (5, region + ((primed_words - 1) * 4));
+      Li (6, primed_words);
+      Li (28, 0);
+      L "scan";
+      I (Lw (7, 5, 0));
+      Bne_l (7, 0, "found");
+      I (Addi (28, 28, 1));
+      I (Addi (5, 5, -4));
+      I (Addi (6, 6, -1));
+      Bne_l (6, 0, "scan");
+      L "found";
+      I Ebreak;
+    ]
+
+let hwpe_memory ?(cfg = Soc.Config.sim_default) ns =
+  List.map
+    (fun n ->
+      let rom, symbols = assemble_with_symbols (hwpe_program cfg ~n) in
+      let eng, _ = run_schedule cfg ~rom ~symbols ~slice:640 in
+      {
+        hw_accesses = n;
+        hw_zero_cells =
+          Rtl.Bitvec.to_int (Sim.Engine.mem_value eng "cpu.regs" 28);
+      })
+    ns
+
+let hwpe_memory_with_noise ?cfg ~noisy_timer ns =
+  ignore noisy_timer;
+  hwpe_memory ?cfg ns

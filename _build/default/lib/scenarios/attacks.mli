@@ -1,0 +1,38 @@
+(** End-to-end attack firmware scenarios, shared by the runnable
+    examples and the benchmark harness (experiments E1 and E7).
+
+    Both scenarios follow the three-phase structure of Sec. 2.2
+    (preparation / recording / retrieval), realised as one firmware
+    image whose phases are separated by the task switch points. The
+    victim's secret is its number of memory accesses [n]; the victim
+    phase is padded to a fixed cycle budget so only contention — not
+    code length — reaches the attacker. *)
+
+type dma_timer_reading = {
+  dt_accesses : int;  (** victim accesses n *)
+  dt_timer : int;  (** timer value read by the attacker *)
+  dt_cycles : int;  (** total cycles to halt *)
+}
+
+val dma_timer : ?cfg:Soc.Config.t -> int list -> dma_timer_reading list
+(** The Fig. 1 attack: DMA transfer + timer auto-start. A lower timer
+    reading at the retrieval point means the DMA finished later, i.e.
+    more victim accesses won arbitration. *)
+
+type hwpe_reading = {
+  hw_accesses : int;
+  hw_zero_cells : int;
+      (** zero cells above the HWPE frontier at retrieval: higher means
+          the accelerator made less progress *)
+}
+
+val hwpe_memory : ?cfg:Soc.Config.t -> int list -> hwpe_reading list
+(** The Sec. 4.1 variant: accelerator progressively overwriting a
+    primed region; retrieval scans the footprint. No timer access. *)
+
+val hwpe_memory_with_noise :
+  ?cfg:Soc.Config.t -> noisy_timer:bool -> int list -> hwpe_reading list
+(** Same attack; [noisy_timer] documents that the attack is oblivious
+    to timer countermeasures (the flag exists for the E7 bench matrix
+    and has no effect on the readings — the attack never reads the
+    timer). *)

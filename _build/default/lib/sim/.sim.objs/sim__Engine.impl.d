@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Bitvec Eval Expr Hashtbl List Netlist Printf Rtl

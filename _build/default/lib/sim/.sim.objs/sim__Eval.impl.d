@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Bitvec Expr Hashtbl Rtl

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Bitvec Engine Expr Format List Rtl String

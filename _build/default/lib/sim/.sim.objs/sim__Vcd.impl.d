@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Bitvec Char Engine Expr List Printf Rtl String

@@ -1,0 +1,154 @@
+open Rtl
+
+type t = {
+  nl : Netlist.t;
+  regs : (int, Bitvec.t) Hashtbl.t;  (** by signal id *)
+  mems : (int, Bitvec.t array) Hashtbl.t;  (** by mem id *)
+  inputs : (int, Bitvec.t) Hashtbl.t;  (** by signal id *)
+  params : (int, Bitvec.t) Hashtbl.t;
+  input_by_name : (string, Expr.signal) Hashtbl.t;
+  param_by_name : (string, Expr.signal) Hashtbl.t;
+  reg_by_name : (string, Expr.signal) Hashtbl.t;
+  mem_by_name : (string, Expr.mem) Hashtbl.t;
+  mutable cycle : int;
+  mutable hooks : (t -> unit) list;  (** reversed *)
+}
+
+let create (nl : Netlist.t) =
+  let t =
+    {
+      nl;
+      regs = Hashtbl.create 64;
+      mems = Hashtbl.create 8;
+      inputs = Hashtbl.create 32;
+      params = Hashtbl.create 8;
+      input_by_name = Hashtbl.create 32;
+      param_by_name = Hashtbl.create 8;
+      reg_by_name = Hashtbl.create 64;
+      mem_by_name = Hashtbl.create 8;
+      cycle = 0;
+      hooks = [];
+    }
+  in
+  List.iter
+    (fun (s : Expr.signal) ->
+      Hashtbl.replace t.input_by_name s.Expr.s_name s;
+      Hashtbl.replace t.inputs s.Expr.s_id (Bitvec.zero s.Expr.s_width))
+    nl.Netlist.inputs;
+  List.iter
+    (fun (s : Expr.signal) ->
+      Hashtbl.replace t.param_by_name s.Expr.s_name s;
+      Hashtbl.replace t.params s.Expr.s_id (Bitvec.zero s.Expr.s_width))
+    nl.Netlist.params;
+  List.iter
+    (fun rd ->
+      let s = rd.Netlist.rd_signal in
+      let init =
+        match rd.Netlist.rd_init with
+        | Some v -> v
+        | None -> Bitvec.zero s.Expr.s_width
+      in
+      Hashtbl.replace t.reg_by_name s.Expr.s_name s;
+      Hashtbl.replace t.regs s.Expr.s_id init)
+    nl.Netlist.regs;
+  List.iter
+    (fun md ->
+      let m = md.Netlist.md_mem in
+      let contents =
+        match md.Netlist.md_init with
+        | Some a -> Array.copy a
+        | None -> Array.make m.Expr.m_depth (Bitvec.zero m.Expr.m_data_width)
+      in
+      Hashtbl.replace t.mem_by_name m.Expr.m_name m;
+      Hashtbl.replace t.mems m.Expr.m_id contents)
+    nl.Netlist.mems;
+  t
+
+let env t =
+  {
+    Eval.lookup_input = (fun s -> Hashtbl.find t.inputs s.Expr.s_id);
+    Eval.lookup_param = (fun s -> Hashtbl.find t.params s.Expr.s_id);
+    Eval.lookup_reg = (fun s -> Hashtbl.find t.regs s.Expr.s_id);
+    Eval.lookup_mem = (fun m i -> (Hashtbl.find t.mems m.Expr.m_id).(i));
+  }
+
+let set_param t name v =
+  let s = Hashtbl.find t.param_by_name name in
+  if Bitvec.width v <> s.Expr.s_width then
+    invalid_arg (Printf.sprintf "Engine.set_param %s: width mismatch" name);
+  Hashtbl.replace t.params s.Expr.s_id v
+
+let set_input t name v =
+  let s = Hashtbl.find t.input_by_name name in
+  if Bitvec.width v <> s.Expr.s_width then
+    invalid_arg (Printf.sprintf "Engine.set_input %s: width mismatch" name);
+  Hashtbl.replace t.inputs s.Expr.s_id v
+
+let set_input_int t name v =
+  let s = Hashtbl.find t.input_by_name name in
+  Hashtbl.replace t.inputs s.Expr.s_id (Bitvec.of_int ~width:s.Expr.s_width v)
+
+let peek t e = Eval.eval (env t) e
+
+let peek_output t name = peek t (Netlist.find_output t.nl name)
+
+let reg_value t name =
+  let s = Hashtbl.find t.reg_by_name name in
+  Hashtbl.find t.regs s.Expr.s_id
+
+let mem_value t name i =
+  let m = Hashtbl.find t.mem_by_name name in
+  (Hashtbl.find t.mems m.Expr.m_id).(i)
+
+let poke_reg t name v =
+  let s = Hashtbl.find t.reg_by_name name in
+  if Bitvec.width v <> s.Expr.s_width then
+    invalid_arg (Printf.sprintf "Engine.poke_reg %s: width mismatch" name);
+  Hashtbl.replace t.regs s.Expr.s_id v
+
+let poke_mem t name i v =
+  let m = Hashtbl.find t.mem_by_name name in
+  (Hashtbl.find t.mems m.Expr.m_id).(i) <- v
+
+let step t =
+  let ev = Eval.evaluator (env t) in
+  (* Phase 1: compute all next values against the pre-edge state. *)
+  let reg_next =
+    List.map (fun rd -> (rd.Netlist.rd_signal, ev rd.Netlist.rd_next)) t.nl.Netlist.regs
+  in
+  let mem_writes =
+    List.map
+      (fun md ->
+        let writes =
+          List.filter_map
+            (fun wp ->
+              if Bitvec.is_zero (ev wp.Netlist.wp_enable) then None
+              else Some (Bitvec.to_int (ev wp.Netlist.wp_addr), ev wp.Netlist.wp_data))
+            md.Netlist.md_ports
+        in
+        (md.Netlist.md_mem, writes))
+      t.nl.Netlist.mems
+  in
+  (* Phase 2: commit. Later ports are applied first so earlier ports win
+     on an address clash, matching the documented priority. *)
+  List.iter
+    (fun ((s : Expr.signal), v) -> Hashtbl.replace t.regs s.Expr.s_id v)
+    reg_next;
+  List.iter
+    (fun ((m : Expr.mem), writes) ->
+      let arr = Hashtbl.find t.mems m.Expr.m_id in
+      List.iter
+        (fun (addr, data) -> if addr < m.Expr.m_depth then arr.(addr) <- data)
+        (List.rev writes))
+    mem_writes;
+  t.cycle <- t.cycle + 1;
+  List.iter (fun hook -> hook t) (List.rev t.hooks)
+
+let run t n =
+  for _ = 1 to n do
+    step t
+  done
+
+let cycle t = t.cycle
+let netlist t = t.nl
+let on_step t hook = t.hooks <- hook :: t.hooks

@@ -1,0 +1,61 @@
+open Rtl
+
+type env = {
+  lookup_input : Expr.signal -> Bitvec.t;
+  lookup_param : Expr.signal -> Bitvec.t;
+  lookup_reg : Expr.signal -> Bitvec.t;
+  lookup_mem : Expr.mem -> int -> Bitvec.t;
+}
+
+let unop_fn = function
+  | Expr.Not -> Bitvec.lognot
+  | Expr.Neg -> Bitvec.neg
+  | Expr.Redand -> Bitvec.redand
+  | Expr.Redor -> Bitvec.redor
+  | Expr.Redxor -> Bitvec.redxor
+
+let binop_fn = function
+  | Expr.Add -> Bitvec.add
+  | Expr.Sub -> Bitvec.sub
+  | Expr.Mul -> Bitvec.mul
+  | Expr.And -> Bitvec.logand
+  | Expr.Or -> Bitvec.logor
+  | Expr.Xor -> Bitvec.logxor
+  | Expr.Eq -> Bitvec.eq
+  | Expr.Ne -> Bitvec.ne
+  | Expr.Ult -> Bitvec.ult
+  | Expr.Ule -> Bitvec.ule
+  | Expr.Slt -> Bitvec.slt
+  | Expr.Sle -> Bitvec.sle
+  | Expr.Shl -> Bitvec.shl
+  | Expr.Lshr -> Bitvec.lshr
+  | Expr.Ashr -> Bitvec.ashr
+
+let evaluator env =
+  let memo : (int, Bitvec.t) Hashtbl.t = Hashtbl.create 256 in
+  let rec go e =
+    match Hashtbl.find_opt memo (Expr.tag e) with
+    | Some v -> v
+    | None ->
+        let v =
+          match Expr.node e with
+          | Expr.Const b -> b
+          | Expr.Input s -> env.lookup_input s
+          | Expr.Param s -> env.lookup_param s
+          | Expr.Reg s -> env.lookup_reg s
+          | Expr.Memread (m, a) ->
+              let addr = Bitvec.to_int (go a) in
+              if addr < m.Expr.m_depth then env.lookup_mem m addr
+              else Bitvec.zero m.Expr.m_data_width
+          | Expr.Unop (op, a) -> unop_fn op (go a)
+          | Expr.Binop (op, a, b) -> binop_fn op (go a) (go b)
+          | Expr.Mux (s, a, b) -> if Bitvec.is_zero (go s) then go b else go a
+          | Expr.Concat (a, b) -> Bitvec.concat (go a) (go b)
+          | Expr.Slice (a, hi, lo) -> Bitvec.slice (go a) ~hi ~lo
+        in
+        Hashtbl.add memo (Expr.tag e) v;
+        v
+  in
+  go
+
+let eval env e = evaluator env e

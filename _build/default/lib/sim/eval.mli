@@ -1,0 +1,23 @@
+open Rtl
+
+(** Concrete evaluation of expressions against an environment.
+
+    Evaluation is memoised per call on hash-cons tags, so shared
+    sub-expressions are computed once. Out-of-range memory reads
+    (address [>= depth]) evaluate to zero. *)
+
+type env = {
+  lookup_input : Expr.signal -> Bitvec.t;
+  lookup_param : Expr.signal -> Bitvec.t;
+  lookup_reg : Expr.signal -> Bitvec.t;
+  lookup_mem : Expr.mem -> int -> Bitvec.t;
+}
+
+val eval : env -> Expr.t -> Bitvec.t
+(** Evaluate one expression (fresh memo table). *)
+
+val evaluator : env -> Expr.t -> Bitvec.t
+(** [evaluator env] returns an evaluation function sharing one memo
+    table across calls; use for evaluating many expressions against the
+    same environment. The memo table is never invalidated: discard the
+    evaluator when the environment changes. *)

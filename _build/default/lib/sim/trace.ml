@@ -1,0 +1,44 @@
+open Rtl
+
+type t = {
+  names : string list;
+  exprs : (string * Expr.t) list;
+  mutable rows : Bitvec.t list list;  (** reversed; each row parallel to names *)
+}
+
+let attach engine exprs =
+  let t = { names = List.map fst exprs; exprs; rows = [] } in
+  Engine.on_step engine (fun eng ->
+      let row = List.map (fun (_, e) -> Engine.peek eng e) t.exprs in
+      t.rows <- row :: t.rows);
+  t
+
+let length t = List.length t.rows
+
+let index_of t name =
+  let rec find i = function
+    | [] -> raise Not_found
+    | n :: _ when String.equal n name -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 t.names
+
+let get t name cycle =
+  let idx = index_of t name in
+  let rows = List.rev t.rows in
+  match List.nth_opt rows cycle with
+  | Some row -> List.nth row idx
+  | None -> invalid_arg "Trace.get: cycle out of range"
+
+let series t name =
+  let idx = index_of t name in
+  List.rev_map (fun row -> List.nth row idx) t.rows
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>cycle  %s@," (String.concat "  " t.names);
+  List.iteri
+    (fun i row ->
+      Format.fprintf fmt "%5d  %s@," i
+        (String.concat "  " (List.map Bitvec.to_string row)))
+    (List.rev t.rows);
+  Format.fprintf fmt "@]"

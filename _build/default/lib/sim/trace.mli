@@ -1,0 +1,23 @@
+open Rtl
+
+(** Bounded recording of named expressions over simulation cycles. *)
+
+type t
+
+val attach : Engine.t -> (string * Expr.t) list -> t
+(** Record the given expressions after every subsequent step of the
+    engine. Values are evaluated post-edge (i.e. they reflect the state
+    after the clock edge of that cycle). *)
+
+val length : t -> int
+(** Number of recorded cycles. *)
+
+val get : t -> string -> int -> Bitvec.t
+(** [get t name cycle] is the recorded value; [cycle] counts from 0 =
+    first recorded step. Raises [Not_found] / [Invalid_argument]. *)
+
+val series : t -> string -> Bitvec.t list
+(** All recorded values of one signal, oldest first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular dump, one row per cycle. *)

@@ -1,0 +1,74 @@
+open Rtl
+
+type t = {
+  oc : out_channel;
+  signals : (string * Expr.t * string) list;  (** name, expr, vcd id *)
+  mutable last : (string * Bitvec.t) list;  (** vcd id -> last value *)
+  mutable time : int;
+  mutable closed : bool;
+}
+
+let vcd_id i =
+  (* Printable VCD identifier codes: '!' .. '~' base-94. *)
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if i < 94 then acc else go ((i / 94) - 1) acc
+  in
+  go i ""
+
+let emit_value oc id v =
+  let w = Bitvec.width v in
+  if w = 1 then Printf.fprintf oc "%d%s\n" (Bitvec.to_int v) id
+  else begin
+    output_char oc 'b';
+    for i = w - 1 downto 0 do
+      output_char oc (if Bitvec.bit v i then '1' else '0')
+    done;
+    Printf.fprintf oc " %s\n" id
+  end
+
+let attach engine oc ?(module_name = "top") exprs =
+  let signals =
+    List.mapi (fun i (name, e) -> (name, e, vcd_id i)) exprs
+  in
+  Printf.fprintf oc "$date reproduction run $end\n";
+  Printf.fprintf oc "$version upec-ssc sim $end\n";
+  Printf.fprintf oc "$timescale 1ns $end\n";
+  Printf.fprintf oc "$scope module %s $end\n" module_name;
+  List.iter
+    (fun (name, e, id) ->
+      Printf.fprintf oc "$var wire %d %s %s $end\n" (Expr.width e) id name)
+    signals;
+  Printf.fprintf oc "$upscope $end\n$enddefinitions $end\n";
+  let t = { oc; signals; last = []; time = 0; closed = false } in
+  Printf.fprintf oc "#0\n";
+  List.iter
+    (fun (_, e, id) ->
+      let v = Engine.peek engine e in
+      emit_value oc id v;
+      t.last <- (id, v) :: t.last)
+    signals;
+  Engine.on_step engine (fun eng ->
+      if not t.closed then begin
+        t.time <- t.time + 1;
+        Printf.fprintf t.oc "#%d\n" t.time;
+        List.iter
+          (fun (_, e, id) ->
+            let v = Engine.peek eng e in
+            let changed =
+              match List.assoc_opt id t.last with
+              | Some prev -> not (Bitvec.equal prev v)
+              | None -> true
+            in
+            if changed then begin
+              emit_value t.oc id v;
+              t.last <- (id, v) :: List.remove_assoc id t.last
+            end)
+          t.signals
+      end);
+  t
+
+let close t =
+  t.closed <- true;
+  flush t.oc

@@ -1,0 +1,18 @@
+open Rtl
+
+(** VCD (Value Change Dump) waveform writer.
+
+    Attach to an engine to dump the values of selected expressions after
+    every step; the resulting file can be opened with GTKWave or any VCD
+    viewer. *)
+
+type t
+
+val attach :
+  Engine.t -> out_channel -> ?module_name:string -> (string * Expr.t) list -> t
+(** Write the VCD header now and a snapshot after every subsequent step.
+    The channel is flushed but not closed by {!close}. *)
+
+val close : t -> unit
+(** Stop recording (detaches are not possible; the hook becomes a
+    no-op) and flush the channel. *)

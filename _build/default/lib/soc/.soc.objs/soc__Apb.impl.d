@@ -1,0 +1,1 @@
+lib/soc/apb.ml: Bus Config Expr Memmap Netlist Rtl

@@ -1,0 +1,1 @@
+lib/soc/apb.mli: Bus Config Expr Memmap Netlist Rtl

@@ -1,0 +1,1 @@
+lib/soc/arbiter.ml: Array Expr List Netlist Rtl

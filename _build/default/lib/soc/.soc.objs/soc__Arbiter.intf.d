@@ -1,0 +1,1 @@
+lib/soc/arbiter.mli: Expr Netlist Rtl

@@ -1,0 +1,1 @@
+lib/soc/builder.ml: Bitvec Bus Config Cpu Crossbar Dma Expr Hwpe List Memmap Netlist Option Printf Rtl Sram String Structural Timer Uart

@@ -1,0 +1,1 @@
+lib/soc/builder.mli: Bitvec Config Cpu Dma Expr Netlist Rtl Structural

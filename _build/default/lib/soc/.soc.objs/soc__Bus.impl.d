@@ -1,0 +1,1 @@
+lib/soc/bus.ml: Config Expr Rtl

@@ -1,0 +1,1 @@
+lib/soc/bus.mli: Config Expr Rtl

@@ -1,0 +1,1 @@
+lib/soc/cpu.ml: Array Bitvec Bus Config Expr Netlist Rtl

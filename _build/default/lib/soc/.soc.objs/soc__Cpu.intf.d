@@ -1,0 +1,1 @@
+lib/soc/cpu.mli: Bitvec Bus Config Expr Netlist Rtl

@@ -1,0 +1,1 @@
+lib/soc/crossbar.ml: Arbiter Bus Config Expr List Netlist Printf Rtl

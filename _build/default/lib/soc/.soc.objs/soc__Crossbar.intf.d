@@ -1,0 +1,1 @@
+lib/soc/crossbar.mli: Bus Config Netlist Rtl

@@ -1,0 +1,1 @@
+lib/soc/dma.ml: Apb Bus Config Expr Memmap Netlist Rtl

@@ -1,0 +1,1 @@
+lib/soc/dma.mli: Bus Config Expr Netlist Rtl

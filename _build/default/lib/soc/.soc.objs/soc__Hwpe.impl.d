@@ -1,0 +1,1 @@
+lib/soc/hwpe.ml: Apb Bus Config Expr Memmap Netlist Rtl

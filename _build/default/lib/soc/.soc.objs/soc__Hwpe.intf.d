@@ -1,0 +1,1 @@
+lib/soc/hwpe.mli: Bus Config Expr Netlist Rtl

@@ -1,0 +1,1 @@
+lib/soc/sram.ml: Bus Config Expr Memmap Netlist Rtl

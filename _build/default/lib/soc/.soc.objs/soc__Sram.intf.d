@@ -1,0 +1,1 @@
+lib/soc/sram.mli: Bus Config Memmap Netlist Rtl

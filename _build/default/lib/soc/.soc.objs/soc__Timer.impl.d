@@ -1,0 +1,1 @@
+lib/soc/timer.ml: Apb Bus Config Expr Memmap Netlist Rtl

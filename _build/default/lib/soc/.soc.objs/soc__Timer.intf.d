@@ -1,0 +1,1 @@
+lib/soc/timer.mli: Bus Config Expr Netlist Rtl

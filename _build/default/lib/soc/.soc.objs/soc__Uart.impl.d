@@ -1,0 +1,1 @@
+lib/soc/uart.ml: Apb Bus Config Expr Memmap Netlist Rtl

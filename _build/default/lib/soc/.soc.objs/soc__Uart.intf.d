@@ -1,0 +1,1 @@
+lib/soc/uart.mli: Bus Config Netlist Rtl

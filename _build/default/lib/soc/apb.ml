@@ -1,0 +1,26 @@
+open Rtl
+
+type write_bus = { w_en : Expr.t; w_idx : Expr.t; w_data : Expr.t }
+
+let reg_slave b ~name ~(cfg : Config.t) ~periph ~read =
+  let ridx_q = Netlist.Builder.reg b (name ^ ".ridx_q") 4 in
+  let wb = ref None in
+  let build ~granted ~addr ~we ~wdata =
+    let idx = Memmap.periph_reg_index cfg addr in
+    Netlist.Builder.set_next b ridx_q (Expr.mux granted idx ridx_q);
+    wb := Some { w_en = Expr.(granted &: we); w_idx = idx; w_data = wdata };
+    read ridx_q
+  in
+  let slave =
+    {
+      Bus.sl_name = name;
+      Bus.sl_match = (fun addr -> Memmap.decode_periph_select cfg addr periph);
+      Bus.sl_build = build;
+    }
+  in
+  let get_wb () =
+    match !wb with
+    | Some w -> w
+    | None -> failwith (name ^ ": write bus requested before crossbar build")
+  in
+  (slave, get_wb)

@@ -1,0 +1,28 @@
+open Rtl
+
+(** Peripheral register-file slaves.
+
+    Wraps the crossbar slave protocol for memory-mapped IP registers:
+    captures the register index on grant so reads have the required
+    next-cycle validity, and exposes the decoded write strobe to the
+    owning IP. The IP wires its register next-states from the returned
+    {!write_bus} after the crossbar has been built. *)
+
+type write_bus = {
+  w_en : Expr.t;  (** a write was granted this cycle *)
+  w_idx : Expr.t;  (** register index, 4 bits *)
+  w_data : Expr.t;  (** data, [Config.data_width] bits *)
+}
+
+val reg_slave :
+  Netlist.Builder.builder ->
+  name:string ->
+  cfg:Config.t ->
+  periph:Memmap.periph ->
+  read:(Expr.t -> Expr.t) ->
+  Bus.slave * (unit -> write_bus)
+(** [reg_slave b ~name ~cfg ~periph ~read] returns the slave and a
+    thunk yielding the write bus; the thunk raises [Failure] until the
+    crossbar has invoked the slave's build function. [read idx] must
+    return the current value of register [idx] (width
+    [Config.data_width]). *)

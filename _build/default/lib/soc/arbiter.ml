@@ -1,0 +1,72 @@
+open Rtl
+
+let fixed_priority reqs =
+  let rec go blocked = function
+    | [] -> []
+    | r :: rest ->
+        Expr.(r &: ~:blocked) :: go Expr.(blocked |: r) rest
+  in
+  go Expr.gnd reqs
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let tdma b ~name reqs =
+  match reqs with
+  | [] -> []
+  | [ r ] -> [ r ]
+  | _ ->
+      let n = List.length reqs in
+      let w = max 1 (log2 (n - 1) + 1) in
+      let slot = Netlist.Builder.reg b (name ^ ".slot") w in
+      (* wrap at n so every master owns exactly one slot per round; a
+         symbolic start with slot >= n self-heals at the next cycle *)
+      let next =
+        Expr.mux
+          Expr.(slot >=: of_int ~width:w (n - 1))
+          (Expr.zero w)
+          Expr.(slot +: one w)
+      in
+      Netlist.Builder.set_next b slot next;
+      List.mapi
+        (fun i r -> Expr.(r &: (slot ==: of_int ~width:w i)))
+        reqs
+
+let round_robin b ~name reqs =
+  match reqs with
+  | [] -> []
+  | [ r ] -> [ r ]
+  | _ ->
+      let n = List.length reqs in
+      let w = max 1 (log2 (n - 1) + 1) in
+      let last = Netlist.Builder.reg b (name ^ ".last") w in
+      let req_arr = Array.of_list reqs in
+      (* For each possible value of [last], grant the first requester in
+         the rotated order last+1, last+2, ..., last. *)
+      let grant_for_last l i =
+        (* is request i granted when last = l? i wins iff i requests and
+           no j strictly earlier in the rotation requests. *)
+        let order = List.init n (fun k -> (l + 1 + k) mod n) in
+        let rec earlier acc = function
+          | [] -> acc
+          | j :: _ when j = i -> acc
+          | j :: rest -> earlier (Expr.(acc |: req_arr.(j))) rest
+        in
+        let blocked = earlier Expr.gnd order in
+        Expr.(req_arr.(i) &: ~:blocked)
+      in
+      let grants =
+        List.init n (fun i ->
+            let cases =
+              List.init n (fun l -> (l, grant_for_last l i))
+            in
+            Expr.mux_list last ~default:Expr.gnd cases)
+      in
+      (* advance last to the winner *)
+      let next_last =
+        List.fold_left
+          (fun acc (i, g) -> Expr.mux g (Expr.of_int ~width:w i) acc)
+          last
+          (List.mapi (fun i g -> (i, g)) grants)
+      in
+      Netlist.Builder.set_next b last next_last;
+      grants

@@ -1,0 +1,26 @@
+open Rtl
+
+(** Bus arbiters.
+
+    Both arbiters produce a one-hot grant vector from a request vector.
+    The round-robin arbiter keeps a last-granted register (named
+    ["<name>.last"]) and gives priority to the requester after the last
+    winner — the policy of the PULP TCDM interconnect, and the source of
+    the victim-dependent grant timing the paper's attacks observe. *)
+
+val round_robin :
+  Netlist.Builder.builder -> name:string -> Expr.t list -> Expr.t list
+(** [round_robin b ~name reqs] returns one grant per request. At most
+    one grant is high; a grant implies its request. *)
+
+val fixed_priority : Expr.t list -> Expr.t list
+(** Stateless: index 0 wins. *)
+
+val tdma : Netlist.Builder.builder -> name:string -> Expr.t list -> Expr.t list
+(** Time-division arbiter: a free-running slot counter (named
+    ["<name>.slot"]) gives each master a fixed grant slot, whether or
+    not anyone else requests. Grant timing is therefore independent of
+    the other masters' traffic — a contention-free interconnect, the
+    "less conservative countermeasure" direction the paper's conclusion
+    sketches. The price is bandwidth: each master gets 1/n of the
+    slots. *)

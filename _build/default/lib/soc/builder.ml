@@ -1,0 +1,232 @@
+open Rtl
+
+type mode = Formal | Sim of { rom : Bitvec.t array }
+
+type ip_range = { ir_name : string; ir_base : Expr.t; ir_len : Expr.t }
+
+type t = {
+  soc_cfg : Config.t;
+  netlist : Netlist.t;
+  mode_formal : bool;
+  victim_port : string list;
+  victim_base : Expr.signal option;
+  victim_limit : Expr.signal option;
+  ip_ranges : ip_range list;
+  pub_mems : Expr.mem list;
+  priv_mems : Expr.mem list;
+  cell_addr : Expr.mem -> int -> int option;
+  cpu : Cpu.t option;
+  dma : Dma.t option;
+  pub_masters : string list;
+  priv_masters : string list;
+}
+
+let build (cfg : Config.t) mode =
+  Config.validate cfg;
+  let b = Netlist.Builder.create "soc" in
+  let aw = cfg.Config.addr_width and dw = cfg.Config.data_width in
+  (* --- the CPU / the cut --- *)
+  let cpu, victim_out, victim_port, victim_base, victim_limit =
+    match mode with
+    | Sim { rom } ->
+        let core = Cpu.create b ~cfg ~rom in
+        (Some core, Cpu.data_master core, [], None, None)
+    | Formal ->
+        let req = Netlist.Builder.input b "victim.req" 1 in
+        let addr = Netlist.Builder.input b "victim.addr" aw in
+        let we = Netlist.Builder.input b "victim.we" 1 in
+        let wdata = Netlist.Builder.input b "victim.wdata" dw in
+        let base = Expr.signal "victim_base" aw in
+        let limit = Expr.signal "victim_limit" aw in
+        (* parameters must be registered with the builder *)
+        let base_e = Netlist.Builder.param b "victim_base" aw in
+        let limit_e = Netlist.Builder.param b "victim_limit" aw in
+        ignore base;
+        ignore limit;
+        let base_sig =
+          match Expr.node base_e with Expr.Param s -> s | _ -> assert false
+        in
+        let limit_sig =
+          match Expr.node limit_e with Expr.Param s -> s | _ -> assert false
+        in
+        ( None,
+          { Bus.req; addr; we; wdata },
+          [ "victim.req"; "victim.addr"; "victim.we"; "victim.wdata" ],
+          Some base_sig,
+          Some limit_sig )
+  in
+  (* --- IPs --- *)
+  let dma = if cfg.Config.with_dma then Some (Dma.create b ~cfg) else None in
+  let hwpe = if cfg.Config.with_hwpe then Some (Hwpe.create b ~cfg) else None in
+  let timer =
+    if cfg.Config.with_timer then Some (Timer.create b ~cfg) else None
+  in
+  let uart = if cfg.Config.with_uart then Some (Uart.create b ~cfg) else None in
+  (* --- SRAM banks --- *)
+  let pub_banks =
+    List.init cfg.Config.pub_banks (fun i ->
+        Sram.bank b ~name:(Printf.sprintf "pub%d" i) ~cfg ~region:Memmap.Pub
+          ~bank:i)
+  in
+  let priv_banks =
+    List.init cfg.Config.priv_banks (fun i ->
+        Sram.bank b ~name:(Printf.sprintf "priv%d" i) ~cfg ~region:Memmap.Priv
+          ~bank:i)
+  in
+  (* --- routing --- *)
+  let in_priv (mo : Bus.master_out) = Memmap.decode_region cfg mo.Bus.addr Memmap.Priv in
+  let victim_pub, victim_priv = Bus.split_by (in_priv victim_out) victim_out in
+  let dma_split =
+    Option.map
+      (fun d ->
+        let out = Dma.master_out d in
+        if cfg.Config.dma_on_private then Bus.split_by (in_priv out) out
+        else (out, Bus.idle_master cfg))
+      dma
+  in
+  let pub_masters =
+    [ ("victim", victim_pub) ]
+    @ (match dma_split with Some (p, _) -> [ ("dma", p) ] | None -> [])
+    @ match hwpe with Some h -> [ ("hwpe", Hwpe.master_out h) ] | None -> []
+  in
+  let priv_masters =
+    [ ("victim", victim_priv) ]
+    @
+    match dma_split with
+    | Some (_, p) when cfg.Config.dma_on_private -> [ ("dma", p) ]
+    | _ -> []
+  in
+  let apb_slaves =
+    (match timer with Some t -> [ Timer.config_slave t ] | None -> [])
+    @ (match dma with Some d -> [ Dma.config_slave d ] | None -> [])
+    @ (match hwpe with Some h -> [ Hwpe.config_slave h ] | None -> [])
+    @ match uart with Some u -> [ Uart.config_slave u ] | None -> []
+  in
+  let pub_resp =
+    Crossbar.build b ~name:"xbar_pub" ~cfg ~masters:pub_masters
+      ~slaves:(pub_banks @ apb_slaves)
+  in
+  let priv_resp =
+    Crossbar.build b ~name:"xbar_priv" ~cfg ~masters:priv_masters
+      ~slaves:priv_banks
+  in
+  let resp_of name lst = List.assoc name lst in
+  let victim_in =
+    Bus.merge_in (resp_of "victim" pub_resp) (resp_of "victim" priv_resp)
+  in
+  let dma_in =
+    Option.map
+      (fun _ ->
+        if cfg.Config.dma_on_private then
+          Bus.merge_in (resp_of "dma" pub_resp) (resp_of "dma" priv_resp)
+        else resp_of "dma" pub_resp)
+      dma
+  in
+  let hwpe_in = Option.map (fun _ -> resp_of "hwpe" pub_resp) hwpe in
+  (* --- connect FSMs --- *)
+  Option.iter (fun d -> Dma.connect d (Option.get dma_in)) dma;
+  Option.iter (fun h -> Hwpe.connect h (Option.get hwpe_in)) hwpe;
+  let dma_done = match dma with Some d -> Dma.done_wire d | None -> Expr.gnd in
+  Option.iter (fun t -> Timer.connect t ~dma_done) timer;
+  Option.iter (fun u -> Uart.connect u) uart;
+  Option.iter (fun core -> Cpu.connect core victim_in) cpu;
+  (* --- outputs --- *)
+  (match mode with
+  | Formal ->
+      Netlist.Builder.output b "victim.gnt" victim_in.Bus.gnt;
+      Netlist.Builder.output b "victim.rvalid" victim_in.Bus.rvalid;
+      Netlist.Builder.output b "victim.rdata" victim_in.Bus.rdata
+  | Sim _ ->
+      let core = Option.get cpu in
+      Netlist.Builder.output b "halted" (Cpu.halted core);
+      Netlist.Builder.output b "pc" (Cpu.pc core));
+  Option.iter
+    (fun d -> Netlist.Builder.output b "dma_done" (Dma.done_wire d))
+    dma;
+  let netlist = Netlist.Builder.finalize b in
+  (* --- handles --- *)
+  let ip_ranges =
+    (match dma with
+    | Some d ->
+        [
+          { ir_name = "dma.src"; ir_base = Dma.src_reg d; ir_len = Dma.len_reg d };
+          { ir_name = "dma.dst"; ir_base = Dma.dst_reg d; ir_len = Dma.len_reg d };
+        ]
+    | None -> [])
+    @
+    match hwpe with
+    | Some h ->
+        [ { ir_name = "hwpe.dst"; ir_base = Hwpe.dst_reg h; ir_len = Hwpe.len_reg h } ]
+    | None -> []
+  in
+  let pub_mems =
+    List.init cfg.Config.pub_banks (fun i ->
+        (Netlist.find_mem netlist (Sram.mem_name (Printf.sprintf "pub%d" i)))
+          .Netlist.md_mem)
+  in
+  let priv_mems =
+    List.init cfg.Config.priv_banks (fun i ->
+        (Netlist.find_mem netlist (Sram.mem_name (Printf.sprintf "priv%d" i)))
+          .Netlist.md_mem)
+  in
+  let cell_addr m index =
+    let find region mems =
+      let rec go bank = function
+        | [] -> None
+        | m' :: rest ->
+            if Expr.mems_equal m m' then
+              Some (Memmap.cell_addr cfg region ~bank ~index)
+            else go (bank + 1) rest
+      in
+      go 0 mems
+    in
+    match find Memmap.Pub pub_mems with
+    | Some a -> Some a
+    | None -> find Memmap.Priv priv_mems
+  in
+  {
+    soc_cfg = cfg;
+    netlist;
+    mode_formal = (match mode with Formal -> true | Sim _ -> false);
+    victim_port;
+    victim_base;
+    victim_limit;
+    ip_ranges;
+    pub_mems;
+    priv_mems;
+    cell_addr;
+    cpu;
+    dma;
+    pub_masters = List.map fst pub_masters;
+    priv_masters = List.map fst priv_masters;
+  }
+
+(* ---- classification ---- *)
+
+let name_of = Structural.svar_name
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let has_suffix suf s =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+let is_interconnect _t sv =
+  let n = name_of sv in
+  has_prefix "xbar_" n || has_suffix ".raddr_q" n || has_suffix ".ridx_q" n
+
+let is_cpu _t sv = has_prefix "cpu." (name_of sv)
+
+let is_persistent t sv =
+  match sv with
+  | Structural.Smem (m, _) ->
+      (* bus-addressable memory cells are attacker-readable (whether a
+         specific cell is protected depends on the symbolic range and is
+         handled by the macros) *)
+      t.cell_addr m 0 <> None
+  | Structural.Sreg _ ->
+      let n = name_of sv in
+      (not (is_interconnect t sv))
+      && (not (is_cpu t sv))
+      && (has_prefix "dma." n || has_prefix "hwpe." n || has_prefix "timer." n
+        || has_prefix "uart." n)

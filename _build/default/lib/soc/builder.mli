@@ -1,0 +1,59 @@
+open Rtl
+
+(** SoC top-level assembly.
+
+    Two build modes share all the RTL generators:
+
+    - {b Simulation}: the full SoC including the RV32 core executing a
+      firmware image from its instruction ROM.
+    - {b Formal}: the SoC {e cut at the CPU/system interface}. The
+      paper's S_not_victim excludes all CPU state, and its properties
+      constrain only the CPU's bus transactions — so the formal netlist
+      replaces the core by free primary inputs ([victim.req],
+      [victim.addr], [victim.we], [victim.wdata]) and exposes the bus
+      responses as outputs. Two symbolic parameters, [victim_base] and
+      [victim_limit], model the protected address range (any possible
+      victim memory layout, Sec. 3.4). *)
+
+type mode = Formal | Sim of { rom : Bitvec.t array }
+
+(** The address range a spying IP is configured to access, as
+    expressions over its configuration registers. Used by the firmware
+    constraints of Sec. 4.2. *)
+type ip_range = { ir_name : string; ir_base : Expr.t; ir_len : Expr.t }
+
+type t = {
+  soc_cfg : Config.t;
+  netlist : Netlist.t;
+  mode_formal : bool;
+  victim_port : string list;  (** names of the cut inputs (formal) *)
+  victim_base : Expr.signal option;
+  victim_limit : Expr.signal option;
+  ip_ranges : ip_range list;
+  pub_mems : Expr.mem list;  (** public SRAM cell arrays *)
+  priv_mems : Expr.mem list;
+  cell_addr : Expr.mem -> int -> int option;
+      (** bus word address of a memory element; [None] for memories that
+          are not bus-addressable (CPU register file, ROM) *)
+  cpu : Cpu.t option;
+  dma : Dma.t option;
+  pub_masters : string list;  (** master order on the public crossbar *)
+  priv_masters : string list;
+}
+
+val build : Config.t -> mode -> t
+
+(** {1 Classification helpers (Sec. 3.4)} *)
+
+val is_interconnect : t -> Structural.svar -> bool
+(** Buffers overwritten by every transaction: crossbar arbiter and
+    response-routing registers, SRAM read-address registers, APB
+    read-index registers. Never part of S_pers. *)
+
+val is_cpu : t -> Structural.svar -> bool
+
+val is_persistent : t -> Structural.svar -> bool
+(** S_pers membership for registers, and for memory elements the static
+    part of it (attacker-accessible array); whether a particular cell
+    is inside the victim's protected range is a per-counterexample,
+    parameter-dependent question handled by the UPEC macros. *)

@@ -1,0 +1,36 @@
+open Rtl
+
+type master_out = {
+  req : Expr.t;
+  addr : Expr.t;
+  we : Expr.t;
+  wdata : Expr.t;
+}
+
+type master_in = { gnt : Expr.t; rvalid : Expr.t; rdata : Expr.t }
+
+let idle_master (cfg : Config.t) =
+  {
+    req = Expr.gnd;
+    addr = Expr.zero cfg.Config.addr_width;
+    we = Expr.gnd;
+    wdata = Expr.zero cfg.Config.data_width;
+  }
+
+let split_by sel mo =
+  ( { mo with req = Expr.(mo.req &: ~:sel) },
+    { mo with req = Expr.(mo.req &: sel) } )
+
+let merge_in a b =
+  {
+    gnt = Expr.(a.gnt |: b.gnt);
+    rvalid = Expr.(a.rvalid |: b.rvalid);
+    rdata = Expr.mux b.rvalid b.rdata a.rdata;
+  }
+
+type slave = {
+  sl_name : string;
+  sl_match : Expr.t -> Expr.t;
+  sl_build :
+    granted:Expr.t -> addr:Expr.t -> we:Expr.t -> wdata:Expr.t -> Expr.t;
+}

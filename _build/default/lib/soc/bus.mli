@@ -1,0 +1,47 @@
+open Rtl
+
+(** OBI-style bus interface records.
+
+    A master drives [req], [addr], [we], [wdata]; the interconnect
+    answers with a combinational [gnt] in the same cycle and, one cycle
+    after a grant, [rvalid] with [rdata]. Masters must hold a request
+    until granted; outputs must be Moore-style (functions of registers
+    only), which keeps the interconnect free of combinational loops. *)
+
+type master_out = {
+  req : Expr.t;  (** 1 bit *)
+  addr : Expr.t;  (** word address, [Config.addr_width] bits *)
+  we : Expr.t;  (** 1 bit *)
+  wdata : Expr.t;  (** [Config.data_width] bits *)
+}
+
+type master_in = {
+  gnt : Expr.t;  (** 1 bit, same cycle as [req] *)
+  rvalid : Expr.t;  (** 1 bit, cycle after the grant *)
+  rdata : Expr.t;  (** valid when [rvalid] *)
+}
+
+val idle_master : Config.t -> master_out
+(** A master that never requests. *)
+
+val split_by : Expr.t -> master_out -> master_out * master_out
+(** [split_by sel mo] routes a master to two interconnects: the first
+    output requests when [sel] is low, the second when [sel] is high.
+    Address and data pass through unchanged. *)
+
+val merge_in : master_in -> master_in -> master_in
+(** Combine the responses of two interconnects for one master. At most
+    one side may grant (or respond) in a given cycle, which [split_by]
+    guarantees. *)
+
+(** A slave as seen by a crossbar: an address decoder and a builder
+    that receives the muxed request signals and returns read data with
+    next-cycle validity. *)
+type slave = {
+  sl_name : string;
+  sl_match : Expr.t -> Expr.t;  (** address decode, 1 bit *)
+  sl_build :
+    granted:Expr.t -> addr:Expr.t -> we:Expr.t -> wdata:Expr.t -> Expr.t;
+      (** invoked exactly once; the result must be the read data for the
+          request granted in the {e previous} cycle *)
+}

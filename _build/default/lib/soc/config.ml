@@ -1,0 +1,84 @@
+type t = {
+  data_width : int;
+  addr_width : int;
+  pub_banks : int;
+  priv_banks : int;
+  pub_depth : int;
+  priv_depth : int;
+  with_dma : bool;
+  with_hwpe : bool;
+  with_timer : bool;
+  with_uart : bool;
+  dma_on_private : bool;
+  timer_width : int;
+  arbiter : [ `Round_robin | `Fixed_priority | `Tdma ];
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let validate t =
+  let fail msg = invalid_arg ("Soc.Config: " ^ msg) in
+  if t.data_width < 8 || t.data_width > 32 then fail "data_width out of [8,32]";
+  if t.addr_width < 6 || t.addr_width > 30 then fail "addr_width out of [6,30]";
+  if not (is_pow2 t.pub_banks) then fail "pub_banks not a power of two";
+  if not (is_pow2 t.priv_banks) then fail "priv_banks not a power of two";
+  if t.pub_depth < 1 || t.priv_depth < 1 then fail "bank depth < 1";
+  let region_words = 1 lsl (t.addr_width - 2) in
+  if t.pub_banks * t.pub_depth > region_words then fail "public region overflow";
+  if t.priv_banks * t.priv_depth > region_words then
+    fail "private region overflow";
+  if t.timer_width < 2 || t.timer_width > t.data_width then
+    fail "timer_width out of range";
+  ignore (log2 t.pub_banks)
+
+let formal_tiny =
+  {
+    data_width = 8;
+    addr_width = 8;
+    pub_banks = 2;
+    priv_banks = 2;
+    pub_depth = 4;
+    priv_depth = 4;
+    with_dma = true;
+    with_hwpe = true;
+    with_timer = true;
+    with_uart = true;
+    dma_on_private = true;
+    timer_width = 8;
+    arbiter = `Round_robin;
+  }
+
+let formal_default = { formal_tiny with pub_depth = 8; priv_depth = 8 }
+
+let sim_default =
+  {
+    data_width = 32;
+    addr_width = 16;
+    pub_banks = 2;
+    priv_banks = 2;
+    pub_depth = 1024;
+    priv_depth = 256;
+    with_dma = true;
+    with_hwpe = true;
+    with_timer = true;
+    with_uart = true;
+    dma_on_private = true;
+    timer_width = 32;
+    arbiter = `Round_robin;
+  }
+
+let scale t ~factor =
+  if factor < 1 then invalid_arg "Soc.Config.scale: factor < 1";
+  { t with pub_depth = t.pub_depth * factor; priv_depth = t.priv_depth * factor }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "dw=%d aw=%d pub=%dx%d priv=%dx%d dma=%b hwpe=%b timer=%b uart=%b arb=%s"
+    t.data_width t.addr_width t.pub_banks t.pub_depth t.priv_banks t.priv_depth
+    t.with_dma t.with_hwpe t.with_timer t.with_uart
+    (match t.arbiter with
+    | `Round_robin -> "rr"
+    | `Fixed_priority -> "fixed"
+    | `Tdma -> "tdma")

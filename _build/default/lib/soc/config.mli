@@ -1,0 +1,50 @@
+(** SoC configuration.
+
+    The same generators build both the small configurations used for
+    formal analysis and the larger ones used for firmware simulation.
+    Public and private memories are banked; banks are interleaved on the
+    low address bits, as in PULP-style tightly-coupled memories, so that
+    victim accesses to different addresses can contend with different
+    spying-IP accesses — the contention the paper's attacks exploit. *)
+
+type t = {
+  data_width : int;  (** bus data width in bits *)
+  addr_width : int;  (** bus word-address width in bits *)
+  pub_banks : int;  (** public SRAM banks (power of two) *)
+  priv_banks : int;  (** private SRAM banks (power of two) *)
+  pub_depth : int;  (** words per public bank *)
+  priv_depth : int;  (** words per private bank *)
+  with_dma : bool;
+  with_hwpe : bool;
+  with_timer : bool;
+  with_uart : bool;
+  dma_on_private : bool;
+      (** the DMA has a master port on the private crossbar (as in
+          Pulpissimo, where a few IPs besides the core reach the private
+          memory) *)
+  timer_width : int;
+  arbiter : [ `Round_robin | `Fixed_priority | `Tdma ];
+      (** [`Tdma] is the contention-free extension (see {!Arbiter.tdma}) *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent configurations (widths out
+    of range, bank counts not powers of two, regions overflowing the
+    address space). *)
+
+val formal_tiny : t
+(** Smallest config that exhibits every behaviour: 8-bit data, 8-bit
+    addresses, 2+2 banks of 4 words. Used by unit tests. *)
+
+val formal_default : t
+(** Default config for the paper experiments (E2, E3): 8-bit data, 2+2
+    banks of 8 words. *)
+
+val sim_default : t
+(** Simulation config for the firmware examples: 32-bit data, 16-bit
+    word addresses, 2 public banks of 1024 words. *)
+
+val scale : t -> factor:int -> t
+(** Scale memory depths by a factor (E5 sweep). *)
+
+val pp : Format.formatter -> t -> unit

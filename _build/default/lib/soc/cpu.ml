@@ -1,0 +1,234 @@
+open Rtl
+
+type t = {
+  b : Netlist.Builder.builder;
+  cfg : Config.t;
+  pc : Expr.t;
+  if_pc : Expr.t;
+  ir : Expr.t;
+  valid : Expr.t;
+  mem_state : Expr.t;  (* 0 idle, 1 wait_gnt, 2 wait_rvalid *)
+  halted_r : Expr.t;
+  regs : Expr.mem;
+  rom : Expr.mem;
+  rom_aw : int;
+  mutable connected : bool;
+}
+
+let rec log2_up n = if n <= 1 then 0 else 1 + log2_up ((n + 1) / 2)
+
+let create b ~(cfg : Config.t) ~rom =
+  if cfg.Config.data_width <> 32 then
+    invalid_arg "Cpu.create: requires a 32-bit data bus";
+  let depth = max 2 (Array.length rom) in
+  let rom_aw = max 1 (log2_up depth) in
+  let rom_init =
+    Array.init depth (fun i ->
+        if i < Array.length rom then rom.(i) else Bitvec.zero 32)
+  in
+  let rom_mem =
+    Netlist.Builder.mem b ~init:rom_init "cpu.rom" ~addr_width:rom_aw
+      ~data_width:32 ~depth
+  in
+  let regs =
+    Netlist.Builder.mem b "cpu.regs" ~addr_width:5 ~data_width:32 ~depth:32
+  in
+  let pc = Netlist.Builder.reg b "cpu.pc" 32 in
+  let if_pc = Netlist.Builder.reg b "cpu.if_pc" 32 in
+  let ir = Netlist.Builder.reg b "cpu.ir" 32 in
+  let valid = Netlist.Builder.reg b "cpu.valid" 1 in
+  let mem_state = Netlist.Builder.reg b "cpu.mem_state" 2 in
+  let halted_r = Netlist.Builder.reg b "cpu.halted" 1 in
+  {
+    b;
+    cfg;
+    pc;
+    if_pc;
+    ir;
+    valid;
+    mem_state;
+    halted_r;
+    regs;
+    rom = rom_mem;
+    rom_aw;
+    connected = false;
+  }
+
+(* ---- decode helpers ---- *)
+
+let decode t =
+  let open Expr in
+  let ir = t.ir in
+  let opcode = slice ir ~hi:6 ~lo:0 in
+  let rd = slice ir ~hi:11 ~lo:7 in
+  let funct3 = slice ir ~hi:14 ~lo:12 in
+  let rs1 = slice ir ~hi:19 ~lo:15 in
+  let rs2 = slice ir ~hi:24 ~lo:20 in
+  let funct7 = slice ir ~hi:31 ~lo:25 in
+  let imm_i = sign_extend (slice ir ~hi:31 ~lo:20) 32 in
+  let imm_s =
+    sign_extend (concat (slice ir ~hi:31 ~lo:25) (slice ir ~hi:11 ~lo:7)) 32
+  in
+  let imm_b =
+    sign_extend
+      (concat (bit ir 31)
+         (concat (bit ir 7)
+            (concat (slice ir ~hi:30 ~lo:25)
+               (concat (slice ir ~hi:11 ~lo:8) (zero 1)))))
+      32
+  in
+  let imm_u = concat (slice ir ~hi:31 ~lo:12) (zero 12) in
+  let imm_j =
+    sign_extend
+      (concat (bit ir 31)
+         (concat (slice ir ~hi:19 ~lo:12)
+            (concat (bit ir 20)
+               (concat (slice ir ~hi:30 ~lo:21) (zero 1)))))
+      32
+  in
+  (opcode, rd, funct3, rs1, rs2, funct7, imm_i, imm_s, imm_b, imm_u, imm_j)
+
+let read_reg t idx =
+  Expr.mux
+    Expr.(idx ==: zero 5)
+    (Expr.zero 32) (Expr.memread t.regs idx)
+
+let data_master t =
+  let open Expr in
+  let opcode, _, funct3, rs1, _, _, imm_i, imm_s, _, _, _ = decode t in
+  let is_load = (opcode ==: of_int ~width:7 0b0000011) &: (funct3 ==: of_int ~width:3 0b010) in
+  let is_store = (opcode ==: of_int ~width:7 0b0100011) &: (funct3 ==: of_int ~width:3 0b010) in
+  let rs1_val = read_reg t rs1 in
+  let ea = rs1_val +: mux is_store imm_s imm_i in
+  let aw = t.cfg.Config.addr_width in
+  let bus_addr = slice ea ~hi:(aw + 1) ~lo:2 in
+  let idle = t.mem_state ==: zero 2 in
+  let wait_gnt = t.mem_state ==: one 2 in
+  let starting =
+    and_list [ t.valid; ~:(t.halted_r); is_load |: is_store; idle ]
+  in
+  let rs2_val = read_reg t (slice t.ir ~hi:24 ~lo:20) in
+  {
+    Bus.req = starting |: wait_gnt;
+    Bus.addr = bus_addr;
+    Bus.we = is_store;
+    Bus.wdata = rs2_val;
+  }
+
+let halted t = t.halted_r
+let pc t = t.pc
+let reg_file_mem t = t.regs
+
+let connect t (mi : Bus.master_in) =
+  if t.connected then invalid_arg "Cpu.connect: already connected";
+  t.connected <- true;
+  let open Expr in
+  let b = t.b in
+  let opcode, rd, funct3, rs1, rs2, funct7, imm_i, imm_s, imm_b, imm_u, imm_j =
+    decode t
+  in
+  ignore imm_s;
+  let rs1_val = read_reg t rs1 in
+  let rs2_val = read_reg t rs2 in
+  let op7 v = opcode ==: of_int ~width:7 v in
+  let is_lui = op7 0b0110111 in
+  let is_auipc = op7 0b0010111 in
+  let is_jal = op7 0b1101111 in
+  let is_jalr = op7 0b1100111 in
+  let is_branch = op7 0b1100011 in
+  let is_load = op7 0b0000011 &: (funct3 ==: of_int ~width:3 0b010) in
+  let is_store = op7 0b0100011 &: (funct3 ==: of_int ~width:3 0b010) in
+  let is_alu_imm = op7 0b0010011 in
+  let is_alu_reg = op7 0b0110011 in
+  let is_system = op7 0b1110011 in
+  let is_ebreak = is_system &: (imm_i ==: one 32) in
+  (* ALU *)
+  let alu_b = mux is_alu_imm imm_i rs2_val in
+  let shamt = zero_extend (slice alu_b ~hi:4 ~lo:0) 32 in
+  let is_sub = is_alu_reg &: bit funct7 5 in
+  let is_sra = bit funct7 5 in
+  let alu_result =
+    mux_list funct3 ~default:(zero 32)
+      [
+        (0b000, mux is_sub (rs1_val -: alu_b) (rs1_val +: alu_b));
+        (0b001, shl rs1_val shamt);
+        (0b010, zero_extend (slt rs1_val alu_b) 32);
+        (0b011, zero_extend (rs1_val <: alu_b) 32);
+        (0b100, rs1_val ^: alu_b);
+        (0b101, mux is_sra (ashr rs1_val shamt) (lshr rs1_val shamt));
+        (0b110, rs1_val |: alu_b);
+        (0b111, rs1_val &: alu_b);
+      ]
+  in
+  (* branches *)
+  let cond =
+    mux_list funct3 ~default:gnd
+      [
+        (0b000, rs1_val ==: rs2_val);
+        (0b001, rs1_val <>: rs2_val);
+        (0b100, slt rs1_val rs2_val);
+        (0b101, sle rs2_val rs1_val);
+        (0b110, rs1_val <: rs2_val);
+        (0b111, rs2_val <=: rs1_val);
+      ]
+  in
+  (* memory FSM *)
+  let idle = t.mem_state ==: zero 2 in
+  let wait_gnt = t.mem_state ==: one 2 in
+  let wait_rvalid = t.mem_state ==: of_int ~width:2 2 in
+  let is_mem = is_load |: is_store in
+  let starting = and_list [ t.valid; ~:(t.halted_r); is_mem; idle ] in
+  let req_active = starting |: wait_gnt in
+  let got_gnt = req_active &: mi.Bus.gnt in
+  let store_done = got_gnt &: is_store in
+  let load_granted = got_gnt &: is_load in
+  let load_done = wait_rvalid &: mi.Bus.rvalid in
+  let mem_state_next =
+    mux load_granted (of_int ~width:2 2)
+      (mux (req_active &: ~:(mi.Bus.gnt)) (one 2)
+         (mux (store_done |: load_done) (zero 2) t.mem_state))
+  in
+  Netlist.Builder.set_next b t.mem_state mem_state_next;
+  (* retirement *)
+  let exec_simple =
+    and_list [ t.valid; ~:(t.halted_r); ~:is_mem ]
+  in
+  let instr_done = or_list [ exec_simple; store_done; load_done ] in
+  let take_jump = is_jal |: is_jalr in
+  let take_branch = is_branch &: cond in
+  let redirect = instr_done &: (take_jump |: take_branch) in
+  let target =
+    mux is_jalr
+      ((rs1_val +: imm_i) &: of_int ~width:32 (-2))
+      (t.pc +: mux is_jal imm_j imm_b)
+  in
+  (* pc / ir advance *)
+  let stall = and_list [ t.valid; is_mem; ~:(store_done |: load_done) ] in
+  let refill = ~:(t.halted_r) &: ~:stall &: ~:redirect in
+  let rom_idx = slice t.if_pc ~hi:(t.rom_aw + 1) ~lo:2 in
+  let fetched = memread t.rom rom_idx in
+  let halt_next = t.halted_r |: (instr_done &: is_ebreak) in
+  Netlist.Builder.set_next b t.halted_r halt_next;
+  Netlist.Builder.set_next b t.ir (mux refill fetched t.ir);
+  Netlist.Builder.set_next b t.pc (mux refill t.if_pc t.pc);
+  Netlist.Builder.set_next b t.if_pc
+    (mux redirect target
+       (mux refill (t.if_pc +: of_int ~width:32 4) t.if_pc));
+  Netlist.Builder.set_next b t.valid
+    (mux (redirect |: halt_next) gnd (mux refill vdd t.valid));
+  (* register file write ports *)
+  let writes_rd =
+    or_list [ is_lui; is_auipc; is_jal; is_jalr; is_alu_imm; is_alu_reg ]
+  in
+  let wb_value =
+    mux (is_jal |: is_jalr)
+      (t.pc +: of_int ~width:32 4)
+      (mux is_lui imm_u (mux is_auipc (t.pc +: imm_u) alu_result))
+  in
+  Netlist.Builder.write_port b t.regs
+    ~enable:(and_list [ instr_done; writes_rd; rd <>: zero 5 ])
+    ~addr:rd ~data:wb_value;
+  Netlist.Builder.write_port b t.regs
+    ~enable:(and_list [ load_done; rd <>: zero 5 ])
+    ~addr:rd
+    ~data:(uresize mi.Bus.rdata 32)

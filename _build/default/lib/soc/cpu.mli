@@ -1,0 +1,38 @@
+open Rtl
+
+(** RV32I-subset CPU core, 2-stage (fetch / execute), as in the
+    Pulpissimo case study's RISC-V core.
+
+    Supported instructions: LUI, AUIPC, JAL, JALR, BEQ/BNE/BLT/BGE/
+    BLTU/BGEU, LW, SW, the OP-IMM and OP ALU groups, and EBREAK (halts
+    the core). Unknown opcodes execute as NOPs. Only word-sized,
+    word-aligned memory accesses are generated.
+
+    Fetch reads a dedicated instruction ROM combinationally; data
+    accesses go to the bus through a req/gnt/rvalid port and stall the
+    pipeline until the response arrives — every arbitration stall is
+    therefore visible in the program's timing, which is what the attack
+    firmware measures.
+
+    The core requires a 32-bit data bus ([Config.data_width = 32]); it
+    is instantiated only in simulation builds (formal builds cut the
+    SoC at this bus port, per the paper's S_not_victim definition). *)
+
+type t
+
+val create :
+  Netlist.Builder.builder -> cfg:Config.t -> rom:Bitvec.t array -> t
+(** [rom] holds instruction words; the core starts fetching at byte
+    address 0. *)
+
+val data_master : t -> Bus.master_out
+val connect : t -> Bus.master_in -> unit
+val halted : t -> Expr.t
+(** High after EBREAK retires; the core then stops. *)
+
+val pc : t -> Expr.t
+(** Program counter of the instruction in execute. *)
+
+val reg_file_mem : t -> Expr.mem
+(** The architectural register file (32 x 32 memory named
+    ["cpu.regs"]). *)

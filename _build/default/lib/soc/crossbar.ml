@@ -1,0 +1,72 @@
+open Rtl
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let build b ~name ~(cfg : Config.t) ~masters ~slaves =
+  let nm = List.length masters in
+  let midx_w = max 1 (log2 (max 1 (nm - 1)) + 1) in
+  let master_outs = List.map snd masters in
+  (* Per slave: arbitrate, drive the slave, register response routing. *)
+  let per_slave =
+    List.map
+      (fun (sl : Bus.slave) ->
+        let sname = Printf.sprintf "%s.%s" name sl.Bus.sl_name in
+        let reqs_here =
+          List.map
+            (fun (mo : Bus.master_out) ->
+              Expr.(mo.Bus.req &: sl.Bus.sl_match mo.Bus.addr))
+            master_outs
+        in
+        let grants =
+          match cfg.Config.arbiter with
+          | `Round_robin -> Arbiter.round_robin b ~name:(sname ^ ".arb") reqs_here
+          | `Fixed_priority -> Arbiter.fixed_priority reqs_here
+          | `Tdma -> Arbiter.tdma b ~name:(sname ^ ".arb") reqs_here
+        in
+        let granted_any = Expr.or_list grants in
+        let mux_field f =
+          List.fold_left2
+            (fun acc g (mo : Bus.master_out) -> Expr.mux g (f mo) acc)
+            (f (Bus.idle_master cfg))
+            grants master_outs
+        in
+        let addr = mux_field (fun mo -> mo.Bus.addr) in
+        let we = mux_field (fun mo -> mo.Bus.we) in
+        let wdata = mux_field (fun mo -> mo.Bus.wdata) in
+        let rdata = sl.Bus.sl_build ~granted:granted_any ~addr ~we ~wdata in
+        (* response routing: one cycle after a grant, answer the winner *)
+        let resp_valid = Netlist.Builder.reg b (sname ^ ".resp_valid") 1 in
+        let resp_master = Netlist.Builder.reg b (sname ^ ".resp_master") midx_w in
+        Netlist.Builder.set_next b resp_valid granted_any;
+        let winner_idx =
+          List.fold_left
+            (fun acc (i, g) -> Expr.mux g (Expr.of_int ~width:midx_w i) acc)
+            resp_master
+            (List.mapi (fun i g -> (i, g)) grants)
+        in
+        Netlist.Builder.set_next b resp_master winner_idx;
+        (grants, resp_valid, resp_master, rdata))
+      slaves
+  in
+  List.mapi
+    (fun i (mname, _) ->
+      ignore mname;
+      let gnt =
+        Expr.or_list
+          (List.map (fun (grants, _, _, _) -> List.nth grants i) per_slave)
+      in
+      let rvalid_terms =
+        List.map
+          (fun (_, resp_valid, resp_master, _) ->
+            Expr.(resp_valid &: (resp_master ==: of_int ~width:midx_w i)))
+          per_slave
+      in
+      let rvalid = Expr.or_list rvalid_terms in
+      let rdata =
+        List.fold_left2
+          (fun acc hit (_, _, _, rdata) -> Expr.mux hit rdata acc)
+          (Expr.zero cfg.Config.data_width)
+          rvalid_terms per_slave
+      in
+      (fst (List.nth masters i), { Bus.gnt; rvalid; rdata }))
+    masters

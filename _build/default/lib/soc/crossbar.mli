@@ -1,0 +1,25 @@
+open Rtl
+
+(** Crossbar interconnect: per-slave arbitration between masters,
+    response routing back to the granting master one cycle later.
+
+    Registers created per slave [s] under [<name>.<s>]:
+    - [arb.last] (round-robin pointer, when that policy is selected)
+    - [resp_valid], [resp_master]: response routing for the request
+      granted in the previous cycle.
+
+    These are the paper's "buffers in the interconnect which are
+    overwritten with every communication transaction": they are
+    {e not} persistent state in the S_pers sense. *)
+
+val build :
+  Netlist.Builder.builder ->
+  name:string ->
+  cfg:Config.t ->
+  masters:(string * Bus.master_out) list ->
+  slaves:Bus.slave list ->
+  (string * Bus.master_in) list
+(** Returns the response interface for each master, in input order. A
+    master is granted only when it is the arbitration winner for the
+    slave its address decodes to; requests to unmapped addresses are
+    never granted. *)

@@ -1,0 +1,136 @@
+open Rtl
+
+type t = {
+  b : Netlist.Builder.builder;
+  cfg : Config.t;
+  src : Expr.t;
+  dst : Expr.t;
+  len : Expr.t;
+  cnt : Expr.t;
+  busy : Expr.t;
+  done_ : Expr.t;
+  state : Expr.t;  (* 0 rd_req, 1 rd_wait, 2 wr_req *)
+  data_q : Expr.t;
+  slave : Bus.slave;
+  get_wb : unit -> Apb.write_bus;
+  mutable done_pulse : Expr.t;
+  mutable connected : bool;
+}
+
+let create b ~(cfg : Config.t) =
+  let aw = cfg.Config.addr_width and dw = cfg.Config.data_width in
+  let src = Netlist.Builder.reg b "dma.src" aw in
+  let dst = Netlist.Builder.reg b "dma.dst" aw in
+  let len = Netlist.Builder.reg b "dma.len" aw in
+  let cnt = Netlist.Builder.reg b "dma.cnt" aw in
+  let busy = Netlist.Builder.reg b "dma.busy" 1 in
+  let done_ = Netlist.Builder.reg b "dma.done" 1 in
+  let state = Netlist.Builder.reg b "dma.state" 2 in
+  let data_q = Netlist.Builder.reg b "dma.data_q" dw in
+  let read idx =
+    let status =
+      Expr.uresize (Expr.concat done_ busy) dw
+    in
+    Expr.mux_list idx ~default:(Expr.zero dw)
+      [
+        (0, status);
+        (1, Expr.uresize src dw);
+        (2, Expr.uresize dst dw);
+        (3, Expr.uresize len dw);
+      ]
+  in
+  let slave, get_wb = Apb.reg_slave b ~name:"dma.cfg" ~cfg ~periph:Memmap.Dma ~read in
+  {
+    b;
+    cfg;
+    src;
+    dst;
+    len;
+    cnt;
+    busy;
+    done_;
+    state;
+    data_q;
+    slave;
+    get_wb;
+    done_pulse = Expr.gnd;
+    connected = false;
+  }
+
+let st_rd_req = 0
+let st_rd_wait = 1
+let st_wr_req = 2
+
+let active t =
+  (* issue requests only while there is work left; a (normally
+     unreachable) state with cnt >= len self-heals in [connect] *)
+  Expr.(t.busy &: (t.cnt <: t.len))
+
+let master_out t =
+  let open Expr in
+  let reading = t.state ==: of_int ~width:2 st_rd_req in
+  let writing = t.state ==: of_int ~width:2 st_wr_req in
+  {
+    Bus.req = and_list [ active t; reading |: writing ];
+    Bus.addr = mux reading (t.src +: t.cnt) (t.dst +: t.cnt);
+    Bus.we = writing;
+    Bus.wdata = t.data_q;
+  }
+
+let config_slave t = t.slave
+let done_wire t = t.done_pulse
+
+let src_reg t = t.src
+let dst_reg t = t.dst
+let len_reg t = t.len
+let cnt_reg t = t.cnt
+let busy_reg t = t.busy
+let state_reg t = t.state
+
+let connect t (mi : Bus.master_in) =
+  if t.connected then invalid_arg "Dma.connect: already connected";
+  t.connected <- true;
+  let open Expr in
+  let b = t.b in
+  let wb = t.get_wb () in
+  let aw = t.cfg.Config.addr_width in
+  let wr idx = wb.Apb.w_en &: (wb.Apb.w_idx ==: of_int ~width:4 idx) in
+  let start = wr 0 &: bit wb.Apb.w_data 0 in
+  let reading = t.state ==: of_int ~width:2 st_rd_req in
+  let waiting = t.state ==: of_int ~width:2 st_rd_wait in
+  let writing = t.state ==: of_int ~width:2 st_wr_req in
+  let act = active t in
+  let last_write = and_list [ act; writing; mi.Bus.gnt ] in
+  let finishing = last_write &: (t.cnt +: one aw ==: t.len) in
+  t.done_pulse <- finishing;
+  (* configuration registers: writable only while idle *)
+  let cfg_write idx reg =
+    mux (wr idx &: ~:(t.busy)) (uresize wb.Apb.w_data aw) reg
+  in
+  Netlist.Builder.set_next b t.src (cfg_write 1 t.src);
+  Netlist.Builder.set_next b t.dst (cfg_write 2 t.dst);
+  Netlist.Builder.set_next b t.len (cfg_write 3 t.len);
+  (* counter and handshake FSM *)
+  Netlist.Builder.set_next b t.cnt
+    (mux start (zero aw) (mux last_write (t.cnt +: one aw) t.cnt));
+  let stuck = t.busy &: ~:(t.cnt <: t.len) in
+  Netlist.Builder.set_next b t.busy
+    (mux start (t.len >: zero aw) (mux (finishing |: stuck) gnd t.busy));
+  Netlist.Builder.set_next b t.done_
+    (mux start gnd (mux (finishing |: stuck) vdd t.done_));
+  let next_state =
+    mux start (of_int ~width:2 st_rd_req)
+      (mux
+         (and_list [ act; reading; mi.Bus.gnt ])
+         (of_int ~width:2 st_rd_wait)
+         (mux
+            (and_list [ t.busy; waiting; mi.Bus.rvalid ])
+            (of_int ~width:2 st_wr_req)
+            (mux last_write (of_int ~width:2 st_rd_req) t.state)))
+  in
+  Netlist.Builder.set_next b t.state next_state;
+  Netlist.Builder.set_next b t.data_q
+    (mux
+       (and_list [ t.busy; waiting; mi.Bus.rvalid ])
+       (uresize mi.Bus.rdata t.cfg.Config.data_width)
+       t.data_q)

@@ -1,0 +1,44 @@
+open Rtl
+
+(** DMA engine: copies [len] words from [src] to [dst].
+
+    Memory-mapped registers (peripheral {!Memmap.Dma}):
+    - 0 [ctrl]: write bit 0 = start (resets the counter, clears [done]);
+      read returns [busy] in bit 0 and [done] in bit 1;
+    - 1 [src], 2 [dst], 3 [len]: word addresses / word count. Writes
+      are ignored while the engine is busy, so a transfer's address
+      range is stable for its whole duration.
+
+    The engine is a read-request / read-wait / write-request FSM; each
+    copied word costs at least three cycles plus any arbitration
+    stalls — those stalls are the timing channel of Fig. 1. The [done]
+    wire pulses high on completion (it drives the timer's auto-start
+    event input). State is under the ["dma."] prefix; the configuration
+    and status registers are persistent in the S_pers sense, the FSM
+    state and data latch are too (they survive a context switch). *)
+
+type t
+
+val create : Netlist.Builder.builder -> cfg:Config.t -> t
+
+val master_out : t -> Bus.master_out
+(** The full request stream (route it with {!Bus.split_by} when the DMA
+    sits on two crossbars). *)
+
+val config_slave : t -> Bus.slave
+val done_wire : t -> Expr.t
+(** High in the cycle the last write is granted. *)
+
+val connect : t -> Bus.master_in -> unit
+(** Wire the FSM from the (merged) interconnect response. Must be
+    called exactly once, after the crossbars are built. *)
+
+val src_reg : t -> Expr.t
+val dst_reg : t -> Expr.t
+val len_reg : t -> Expr.t
+val cnt_reg : t -> Expr.t
+val busy_reg : t -> Expr.t
+val state_reg : t -> Expr.t
+val st_rd_wait : int
+(** FSM encoding of the read-wait state (the cycle(s) between a granted
+    read and its response) — used by the response-path invariants. *)

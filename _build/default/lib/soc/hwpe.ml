@@ -1,0 +1,84 @@
+open Rtl
+
+type t = {
+  b : Netlist.Builder.builder;
+  cfg : Config.t;
+  dst : Expr.t;
+  len : Expr.t;
+  coef : Expr.t;
+  cnt : Expr.t;
+  busy : Expr.t;
+  done_ : Expr.t;
+  slave : Bus.slave;
+  get_wb : unit -> Apb.write_bus;
+  mutable connected : bool;
+}
+
+let create b ~(cfg : Config.t) =
+  let aw = cfg.Config.addr_width and dw = cfg.Config.data_width in
+  let dst = Netlist.Builder.reg b "hwpe.dst" aw in
+  let len = Netlist.Builder.reg b "hwpe.len" aw in
+  let coef = Netlist.Builder.reg b "hwpe.coef" dw in
+  let cnt = Netlist.Builder.reg b "hwpe.cnt" aw in
+  let busy = Netlist.Builder.reg b "hwpe.busy" 1 in
+  let done_ = Netlist.Builder.reg b "hwpe.done" 1 in
+  let read idx =
+    Expr.mux_list idx ~default:(Expr.zero dw)
+      [
+        (0, Expr.uresize (Expr.concat done_ busy) dw);
+        (1, Expr.uresize dst dw);
+        (2, Expr.uresize len dw);
+        (3, coef);
+      ]
+  in
+  let slave, get_wb =
+    Apb.reg_slave b ~name:"hwpe.cfg" ~cfg ~periph:Memmap.Hwpe ~read
+  in
+  { b; cfg; dst; len; coef; cnt; busy; done_; slave; get_wb; connected = false }
+
+let active t = Expr.(t.busy &: (t.cnt <: t.len))
+
+let master_out t =
+  let open Expr in
+  let dw = t.cfg.Config.data_width and aw = t.cfg.Config.addr_width in
+  (* the "complex arithmetic" product stream: (cnt+1) * coef, non-zero
+     for coef = 1 and cnt + 1 < 2^dw *)
+  let stream = uresize (t.cnt +: one aw) dw *: t.coef in
+  {
+    Bus.req = active t;
+    Bus.addr = t.dst +: t.cnt;
+    Bus.we = vdd;
+    Bus.wdata = stream;
+  }
+
+let config_slave t = t.slave
+let dst_reg t = t.dst
+let len_reg t = t.len
+let cnt_reg t = t.cnt
+let busy_reg t = t.busy
+
+let connect t (mi : Bus.master_in) =
+  if t.connected then invalid_arg "Hwpe.connect: already connected";
+  t.connected <- true;
+  let open Expr in
+  let b = t.b in
+  let wb = t.get_wb () in
+  let aw = t.cfg.Config.addr_width in
+  let wr idx = wb.Apb.w_en &: (wb.Apb.w_idx ==: of_int ~width:4 idx) in
+  let start = wr 0 &: bit wb.Apb.w_data 0 in
+  let granted = active t &: mi.Bus.gnt in
+  let finishing = granted &: (t.cnt +: one aw ==: t.len) in
+  let stuck = t.busy &: ~:(t.cnt <: t.len) in
+  let cfg_write idx reg w =
+    mux (wr idx &: ~:(t.busy)) (uresize wb.Apb.w_data w) reg
+  in
+  Netlist.Builder.set_next b t.dst (cfg_write 1 t.dst aw);
+  Netlist.Builder.set_next b t.len (cfg_write 2 t.len aw);
+  Netlist.Builder.set_next b t.coef
+    (cfg_write 3 t.coef t.cfg.Config.data_width);
+  Netlist.Builder.set_next b t.cnt
+    (mux start (zero aw) (mux granted (t.cnt +: one aw) t.cnt));
+  Netlist.Builder.set_next b t.busy
+    (mux start (t.len >: zero aw) (mux (finishing |: stuck) gnd t.busy));
+  Netlist.Builder.set_next b t.done_
+    (mux start gnd (mux (finishing |: stuck) vdd t.done_))

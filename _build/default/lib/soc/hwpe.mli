@@ -1,0 +1,28 @@
+open Rtl
+
+(** HWPE-style accelerator.
+
+    Models the Hardware Processing Engine of the Pulpissimo case study
+    (Sec. 4.1): configured with a destination region and a length, it
+    progressively overwrites [dst .. dst+len-1] with the non-zero
+    stream [(i+1) * coef], one word per granted write. Arbitration
+    stalls delay its progress — the footprint the new BUSted variant
+    reads back from memory, with no timer involved.
+
+    Registers (peripheral {!Memmap.Hwpe}):
+    - 0 [ctrl]: write bit 0 = start; read bit 0 = busy, bit 1 = done;
+    - 1 [dst], 2 [len], 3 [coef] (ignored while busy).
+
+    State lives under ["hwpe."]; configuration, status, and the
+    progress counter are persistent (S_pers). *)
+
+type t
+
+val create : Netlist.Builder.builder -> cfg:Config.t -> t
+val master_out : t -> Bus.master_out
+val config_slave : t -> Bus.slave
+val connect : t -> Bus.master_in -> unit
+val dst_reg : t -> Expr.t
+val len_reg : t -> Expr.t
+val cnt_reg : t -> Expr.t
+val busy_reg : t -> Expr.t

@@ -1,0 +1,83 @@
+open Rtl
+
+type region = Pub | Priv | Apb
+
+type periph = Timer | Dma | Hwpe | Uart
+
+let periph_id = function Timer -> 0 | Dma -> 1 | Hwpe -> 2 | Uart -> 3
+
+let region_code = function Pub -> 0 | Priv -> 1 | Apb -> 2
+
+let region_base (cfg : Config.t) r =
+  let region_words = 1 lsl (cfg.Config.addr_width - 2) in
+  region_code r * region_words
+
+let pub_words (cfg : Config.t) = cfg.Config.pub_banks * cfg.Config.pub_depth
+let priv_words (cfg : Config.t) = cfg.Config.priv_banks * cfg.Config.priv_depth
+
+let banks_of cfg = function
+  | Pub -> cfg.Config.pub_banks
+  | Priv -> cfg.Config.priv_banks
+  | Apb -> invalid_arg "Memmap: APB has no banks"
+
+let depth_of cfg = function
+  | Pub -> cfg.Config.pub_depth
+  | Priv -> cfg.Config.priv_depth
+  | Apb -> invalid_arg "Memmap: APB has no depth"
+
+let cell_addr cfg r ~bank ~index =
+  let banks = banks_of cfg r in
+  assert (bank < banks && index < depth_of cfg r);
+  region_base cfg r + (index * banks) + bank
+
+let periph_reg_addr cfg p reg =
+  assert (reg < 16);
+  region_base cfg Apb + (16 * periph_id p) + reg
+
+let in_range cfg r a =
+  let base = region_base cfg r in
+  let words = banks_of cfg r * depth_of cfg r in
+  a >= base && a < base + words
+
+let in_priv_range cfg a = in_range cfg Priv a
+let in_pub_range cfg a = in_range cfg Pub a
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let decode_region (cfg : Config.t) addr r =
+  let aw = cfg.Config.addr_width in
+  let top = Expr.slice addr ~hi:(aw - 1) ~lo:(aw - 2) in
+  Expr.(top ==: of_int ~width:2 (region_code r))
+
+let sram_index cfg addr r =
+  let aw = cfg.Config.addr_width in
+  let bank_bits = log2 (banks_of cfg r) in
+  let idx_lo = bank_bits in
+  let idx_hi = aw - 3 in
+  if idx_hi < idx_lo then Expr.zero 1
+  else Expr.slice addr ~hi:idx_hi ~lo:idx_lo
+
+let decode_sram_select cfg addr r ~bank =
+  let banks = banks_of cfg r in
+  let depth = depth_of cfg r in
+  let bank_bits = log2 banks in
+  let region_ok = decode_region cfg addr r in
+  let bank_ok =
+    if bank_bits = 0 then Expr.vdd
+    else Expr.(slice addr ~hi:(bank_bits - 1) ~lo:0 ==: of_int ~width:bank_bits bank)
+  in
+  let idx = sram_index cfg addr r in
+  let mapped =
+    if depth >= 1 lsl Expr.width idx then Expr.vdd
+    else Expr.(idx <: of_int ~width:(Expr.width idx) depth)
+  in
+  Expr.and_list [ region_ok; bank_ok; mapped ]
+
+let decode_periph_select cfg addr p =
+  let region_ok = decode_region cfg addr Apb in
+  let id = Expr.slice addr ~hi:5 ~lo:4 in
+  Expr.(region_ok &: (id ==: of_int ~width:2 (periph_id p)))
+
+let periph_reg_index _cfg addr = Expr.slice addr ~hi:3 ~lo:0
+
+let byte_addr _cfg word = word * 4

@@ -1,0 +1,64 @@
+open Rtl
+
+(** Address map of the SoC.
+
+    Bus addresses are word addresses of [Config.addr_width] bits. The
+    top two bits select the region:
+
+    {v
+    00  public SRAM   (banked, interleaved on the low address bits)
+    01  private SRAM  (banked, interleaved)
+    10  APB peripherals
+    11  unmapped
+    v}
+
+    Within an SRAM region, [bank = addr mod banks] and
+    [index = (addr / banks)]; addresses whose index exceeds the bank
+    depth are unmapped. Within the APB region, bits [5:4] select the
+    peripheral and bits [3:0] the register. *)
+
+type region = Pub | Priv | Apb
+
+type periph = Timer | Dma | Hwpe | Uart
+
+val periph_id : periph -> int
+val region_base : Config.t -> region -> int
+(** First word address of a region. *)
+
+val pub_words : Config.t -> int
+(** Mapped words in the public region ([banks * depth]). *)
+
+val priv_words : Config.t -> int
+
+val cell_addr : Config.t -> region -> bank:int -> index:int -> int
+(** Bus word address of one SRAM cell. *)
+
+val periph_reg_addr : Config.t -> periph -> int -> int
+(** Bus word address of an APB register. *)
+
+val in_priv_range : Config.t -> int -> bool
+(** Is this word address a mapped private-SRAM cell? *)
+
+val in_pub_range : Config.t -> int -> bool
+
+(** {1 Expression-level decoders} *)
+
+val decode_region : Config.t -> Expr.t -> region -> Expr.t
+(** 1-bit: the address lies in the region (mapped or not). *)
+
+val decode_sram_select : Config.t -> Expr.t -> region -> bank:int -> Expr.t
+(** 1-bit: the address selects this bank and its index is mapped. *)
+
+val sram_index : Config.t -> Expr.t -> region -> Expr.t
+(** Index within a bank, as an expression of the bank's address width
+    ([log2 depth] bits, at least 1). *)
+
+val decode_periph_select : Config.t -> Expr.t -> periph -> Expr.t
+val periph_reg_index : Config.t -> Expr.t -> Expr.t
+(** Register index within a peripheral (4 bits). *)
+
+(** {1 Byte addresses (for firmware)} *)
+
+val byte_addr : Config.t -> int -> int
+(** Byte address of a bus word address ([word * 4] — the CPU uses
+    byte addressing with word-aligned accesses). *)

@@ -1,0 +1,34 @@
+open Rtl
+
+let rec log2_up n = if n <= 1 then 0 else 1 + log2_up ((n + 1) / 2)
+
+let mem_name name = name ^ ".mem"
+
+let bank b ~name ~(cfg : Config.t) ~region ~bank =
+  let depth =
+    match region with
+    | Memmap.Pub -> cfg.Config.pub_depth
+    | Memmap.Priv -> cfg.Config.priv_depth
+    | Memmap.Apb -> invalid_arg "Sram.bank: APB region"
+  in
+  let idx_w = max 1 (log2_up depth) in
+  let mem =
+    Netlist.Builder.mem b (mem_name name) ~addr_width:idx_w
+      ~data_width:cfg.Config.data_width ~depth
+  in
+  let raddr_q = Netlist.Builder.reg b (name ^ ".raddr_q") idx_w in
+  let build ~granted ~addr ~we ~wdata =
+    let idx = Expr.uresize (Memmap.sram_index cfg addr region) idx_w in
+    Netlist.Builder.write_port b mem ~enable:Expr.(granted &: we) ~addr:idx
+      ~data:wdata;
+    (* captured on every grant (not only reads) so that raddr_q always
+       names the transaction the next cycle's response belongs to; the
+       UPEC invariants on response routing rely on this *)
+    Netlist.Builder.set_next b raddr_q (Expr.mux granted idx raddr_q);
+    Expr.memread mem raddr_q
+  in
+  {
+    Bus.sl_name = name;
+    Bus.sl_match = (fun addr -> Memmap.decode_sram_select cfg addr region ~bank);
+    Bus.sl_build = build;
+  }

@@ -1,0 +1,22 @@
+open Rtl
+
+(** Single-port synchronous SRAM banks.
+
+    One bank is one crossbar slave. Reads are registered: the index is
+    captured on grant and the data is valid the following cycle, which
+    matches the crossbar's response routing. State:
+    - ["<name>.mem"]: the cell array (persistent, attacker-accessible
+      when the bank belongs to a region the attacker can read);
+    - ["<name>.raddr_q"]: the registered read index (a transient
+      interconnect-side buffer). *)
+
+val bank :
+  Netlist.Builder.builder ->
+  name:string ->
+  cfg:Config.t ->
+  region:Memmap.region ->
+  bank:int ->
+  Bus.slave
+
+val mem_name : string -> string
+(** The cell-array name for a bank name ("<name>.mem"). *)

@@ -1,0 +1,50 @@
+open Rtl
+
+type t = {
+  b : Netlist.Builder.builder;
+  cfg : Config.t;
+  ctrl : Expr.t;  (* bit0 enable, bit1 auto-start *)
+  value : Expr.t;
+  slave : Bus.slave;
+  get_wb : unit -> Apb.write_bus;
+  mutable connected : bool;
+}
+
+let create b ~(cfg : Config.t) =
+  let dw = cfg.Config.data_width in
+  let ctrl = Netlist.Builder.reg b "timer.ctrl" 2 in
+  let value = Netlist.Builder.reg b "timer.value" cfg.Config.timer_width in
+  let read idx =
+    Expr.mux_list idx ~default:(Expr.zero dw)
+      [ (0, Expr.uresize ctrl dw); (1, Expr.uresize value dw) ]
+  in
+  let slave, get_wb =
+    Apb.reg_slave b ~name:"timer.cfg" ~cfg ~periph:Memmap.Timer ~read
+  in
+  { b; cfg; ctrl; value; slave; get_wb; connected = false }
+
+let config_slave t = t.slave
+let value_reg t = t.value
+
+let connect t ~dma_done =
+  if t.connected then invalid_arg "Timer.connect: already connected";
+  t.connected <- true;
+  let open Expr in
+  let wb = t.get_wb () in
+  let tw = t.cfg.Config.timer_width in
+  let wr idx = wb.Apb.w_en &: (wb.Apb.w_idx ==: of_int ~width:4 idx) in
+  let auto = bit t.ctrl 1 and enable = bit t.ctrl 0 in
+  let auto_fire = auto &: dma_done in
+  let ctrl_next =
+    mux (wr 0)
+      (slice wb.Apb.w_data ~hi:1 ~lo:0)
+      (mux auto_fire (t.ctrl |: of_int ~width:2 1) t.ctrl)
+  in
+  Netlist.Builder.set_next t.b t.ctrl ctrl_next;
+  let counting = enable |: auto_fire in
+  let value_next =
+    mux (wr 1)
+      (uresize wb.Apb.w_data tw)
+      (mux counting (t.value +: one tw) t.value)
+  in
+  Netlist.Builder.set_next t.b t.value value_next

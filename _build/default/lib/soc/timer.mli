@@ -1,0 +1,23 @@
+open Rtl
+
+(** System timer (peripheral {!Memmap.Timer}).
+
+    Registers:
+    - 0 [ctrl]: bit 0 = enable (count every cycle), bit 1 = auto-start
+      (set enable when the DMA completion event fires — the hardware
+      event chain of the Fig. 1 attack);
+    - 1 [value]: free-running counter, writable (the attacker primes it).
+
+    Both registers are persistent and attacker-readable: the timer is
+    the classic retrieval vehicle for MCU timing side channels. *)
+
+type t
+
+val create : Netlist.Builder.builder -> cfg:Config.t -> t
+val config_slave : t -> Bus.slave
+
+val connect : t -> dma_done:Expr.t -> unit
+(** Wire register next-states; [dma_done] is the completion event (use
+    {!Rtl.Expr.gnd} when no DMA is present). *)
+
+val value_reg : t -> Expr.t

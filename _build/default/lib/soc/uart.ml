@@ -1,0 +1,40 @@
+open Rtl
+
+type t = {
+  b : Netlist.Builder.builder;
+  cfg : Config.t;
+  tx_data : Expr.t;
+  busy_cnt : Expr.t;
+  slave : Bus.slave;
+  get_wb : unit -> Apb.write_bus;
+  mutable connected : bool;
+}
+
+let create b ~(cfg : Config.t) =
+  let dw = cfg.Config.data_width in
+  let tx_data = Netlist.Builder.reg b "uart.tx_data" dw in
+  let busy_cnt = Netlist.Builder.reg b "uart.busy_cnt" 4 in
+  let read idx =
+    Expr.mux_list idx ~default:(Expr.zero dw)
+      [
+        (0, tx_data);
+        (1, Expr.uresize Expr.(busy_cnt <>: zero 4) dw);
+      ]
+  in
+  let slave, get_wb =
+    Apb.reg_slave b ~name:"uart.cfg" ~cfg ~periph:Memmap.Uart ~read
+  in
+  { b; cfg; tx_data; busy_cnt; slave; get_wb; connected = false }
+
+let config_slave t = t.slave
+
+let connect t =
+  if t.connected then invalid_arg "Uart.connect: already connected";
+  t.connected <- true;
+  let open Expr in
+  let wb = t.get_wb () in
+  let wr0 = wb.Apb.w_en &: (wb.Apb.w_idx ==: zero 4) in
+  Netlist.Builder.set_next t.b t.tx_data (mux wr0 wb.Apb.w_data t.tx_data);
+  Netlist.Builder.set_next t.b t.busy_cnt
+    (mux wr0 (of_int ~width:4 10)
+       (mux (t.busy_cnt >: zero 4) (t.busy_cnt -: one 4) t.busy_cnt))

@@ -1,0 +1,16 @@
+open Rtl
+
+(** Minimal UART transmitter model (peripheral {!Memmap.Uart}).
+
+    Registers:
+    - 0 [tx_data]: write starts a (modelled) transmission; persistent;
+    - 1 [status]: read-only, bit 0 = busy while the shift counter runs.
+
+    Present to make the SoC's peripheral population realistic; its
+    persistent [tx_data] register participates in S_pers. *)
+
+type t
+
+val create : Netlist.Builder.builder -> cfg:Config.t -> t
+val config_slave : t -> Bus.slave
+val connect : t -> unit

@@ -1,0 +1,1 @@
+lib/upec/alg1.ml: Aig Hashtbl Ipc List Macros Netlist Report Rtl Soc Spec Structural Unix

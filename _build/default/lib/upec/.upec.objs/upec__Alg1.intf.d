@@ -1,0 +1,1 @@
+lib/upec/alg1.mli: Report Rtl Satsolver Spec Structural

@@ -1,0 +1,1 @@
+lib/upec/alg2.ml: Aig Alg1 Array Ipc List Macros Netlist Printf Report Rtl Soc Spec Structural Unix

@@ -1,0 +1,1 @@
+lib/upec/alg2.mli: Report Rtl Satsolver Spec Structural

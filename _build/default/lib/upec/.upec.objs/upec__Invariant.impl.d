@@ -1,0 +1,1 @@
+lib/upec/invariant.ml: Array Bitvec Expr Ipc List Rtl Sim Soc Spec

@@ -1,0 +1,1 @@
+lib/upec/invariant.mli: Satsolver Spec

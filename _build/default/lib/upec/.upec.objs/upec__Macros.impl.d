@@ -1,0 +1,1 @@
+lib/upec/macros.ml: Aig Array Bitblast Bitvec Expr Ipc List Netlist Rtl Soc Spec Structural

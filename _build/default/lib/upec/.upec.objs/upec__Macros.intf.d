@@ -1,0 +1,1 @@
+lib/upec/macros.mli: Aig Ipc Rtl Spec Structural

@@ -1,0 +1,1 @@
+lib/upec/replay.ml: Bitvec Expr Format Ipc List Netlist Rtl Sim Structural

@@ -1,0 +1,1 @@
+lib/upec/replay.mli: Bitvec Format Ipc Netlist Rtl Structural

@@ -1,0 +1,1 @@
+lib/upec/report.ml: Format Ipc List Rtl Spec Structural

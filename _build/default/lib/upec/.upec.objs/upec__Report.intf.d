@@ -1,0 +1,1 @@
+lib/upec/report.mli: Format Ipc Rtl Spec Structural

@@ -1,0 +1,1 @@
+lib/upec/spec.ml: Expr List Netlist Option Printf Rtl Soc String Structural

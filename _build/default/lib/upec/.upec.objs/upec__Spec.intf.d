@@ -1,0 +1,1 @@
+lib/upec/spec.mli: Expr Rtl Soc Structural

@@ -1,0 +1,130 @@
+open Rtl
+module U = Ipc.Unroller
+
+let check_once ?solver_options spec s =
+  let eng =
+    Ipc.Engine.create ?solver_options ~two_instance:true
+      spec.Spec.soc.Soc.Builder.netlist
+  in
+  Ipc.Engine.ensure_frames eng 1;
+  Macros.assume_env eng spec ~frames:1;
+  for f = 0 to 1 do
+    Macros.primary_input_constraints eng spec ~frame:f;
+    Macros.victim_task_executing eng spec ~frame:f
+  done;
+  Macros.state_equivalence_assume eng spec ~frame:0 s;
+  let goal = Macros.state_equivalence_goal eng spec ~frame:1 s in
+  match Ipc.Engine.check eng goal with
+  | Ipc.Engine.Holds -> None
+  | Ipc.Engine.Cex cex -> Some (cex, Macros.violations eng spec cex ~frame:1 s)
+
+(* Incremental variant: one engine for the whole fixed-point loop. The
+   State_Equivalence(S) assumption travels through solver assumptions
+   and each iteration's obligation is armed by an activation literal,
+   so learnt clauses survive across iterations. *)
+let make_incremental_checker ?solver_options spec s0 =
+  let eng =
+    Ipc.Engine.create ?solver_options ~two_instance:true
+      spec.Spec.soc.Soc.Builder.netlist
+  in
+  Ipc.Engine.ensure_frames eng 1;
+  Macros.assume_env eng spec ~frames:1;
+  for f = 0 to 1 do
+    Macros.primary_input_constraints eng spec ~frame:f;
+    Macros.victim_task_executing eng spec ~frame:f
+  done;
+  let g = Ipc.Engine.graph eng in
+  (* per-svar condition literals at both cycles, computed once *)
+  let conds = Hashtbl.create 256 in
+  Structural.Svar_set.iter
+    (fun sv ->
+      let eq0 = Macros.sv_condition eng spec ~frame:0 sv in
+      let diff1 = Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) in
+      Hashtbl.replace conds (Structural.svar_name sv) (eq0, diff1))
+    s0;
+  fun s ->
+    let act = Aig.fresh_var g in
+    let diffs =
+      Structural.Svar_set.fold
+        (fun sv acc -> snd (Hashtbl.find conds (Structural.svar_name sv)) :: acc)
+        s []
+    in
+    Ipc.Engine.assume_implication eng act (Aig.mk_or_list g diffs);
+    let assumptions =
+      act
+      :: Structural.Svar_set.fold
+           (fun sv acc ->
+             fst (Hashtbl.find conds (Structural.svar_name sv)) :: acc)
+           s []
+    in
+    match Ipc.Engine.check_sat eng assumptions with
+    | None -> None
+    | Some cex -> Some (cex, Macros.violations eng spec cex ~frame:1 s)
+
+let run ?initial_s ?(max_iterations = 64) ?solver_options
+    ?(incremental = false) spec =
+  let nl = spec.Spec.soc.Soc.Builder.netlist in
+  let t0 = Unix.gettimeofday () in
+  let s0 =
+    match initial_s with Some s -> s | None -> Spec.s_neg_victim spec
+  in
+  let checker =
+    if incremental then make_incremental_checker ?solver_options spec s0
+    else check_once ?solver_options spec
+  in
+  let steps = ref [] in
+  let finish verdict =
+    {
+      Report.procedure =
+        (if incremental then "UPEC-SSC (Alg. 1, incremental)"
+         else "UPEC-SSC (Alg. 1)");
+      variant = spec.Spec.variant;
+      verdict;
+      steps = List.rev !steps;
+      total_seconds = Unix.gettimeofday () -. t0;
+      state_bits = Netlist.state_bits nl;
+      svar_count = Structural.Svar_set.cardinal (Structural.all_svars nl);
+    }
+  in
+  let rec loop iter s =
+    if iter > max_iterations then
+      finish (Report.Inconclusive "iteration budget exhausted")
+    else begin
+      let it0 = Unix.gettimeofday () in
+      match checker s with
+      | None ->
+          steps :=
+            {
+              Report.st_iter = iter;
+              st_k = 1;
+              st_s_size = Structural.Svar_set.cardinal s;
+              st_cex = Structural.Svar_set.empty;
+              st_pers_hit = Structural.Svar_set.empty;
+              st_seconds = Unix.gettimeofday () -. it0;
+            }
+            :: !steps;
+          finish (Report.Secure { s_final = s })
+      | Some (cex, s_cex) ->
+          let pers_hit =
+            Structural.Svar_set.filter (Spec.is_pers spec) s_cex
+          in
+          steps :=
+            {
+              Report.st_iter = iter;
+              st_k = 1;
+              st_s_size = Structural.Svar_set.cardinal s;
+              st_cex = s_cex;
+              st_pers_hit = pers_hit;
+              st_seconds = Unix.gettimeofday () -. it0;
+            }
+            :: !steps;
+          if Structural.Svar_set.is_empty s_cex then
+            finish
+              (Report.Inconclusive
+                 "counterexample without S_cex (spurious model)")
+          else if not (Structural.Svar_set.is_empty pers_hit) then
+            finish (Report.Vulnerable { s_cex; cex })
+          else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
+    end
+  in
+  loop 1 s0

@@ -1,0 +1,28 @@
+open Rtl
+
+(** Algorithm 1: the fixed-point UPEC-SSC procedure over the two-cycle
+    property of Fig. 3.
+
+    Starting from S = S_not_victim (or a caller-provided S, e.g. the
+    result of the unrolled procedure for the final induction step), each
+    iteration checks the 2-cycle property for the current S. A failing
+    check yields S_cex; persistent hits mean the design is vulnerable;
+    otherwise S_cex is removed from S and the check repeats. When the
+    property holds, it is inductive for the final S, which proves —
+    with unbounded validity — that the victim cannot influence any
+    attacker-visible persistent state (the induction base being the
+    cycle before the victim's first transaction). *)
+
+val run :
+  ?initial_s:Structural.Svar_set.t ->
+  ?max_iterations:int ->
+  ?solver_options:Satsolver.Solver.options ->
+  ?incremental:bool ->
+  Spec.t ->
+  Report.run
+(** [incremental] (default [false], matching the paper's per-iteration
+    tool runs) keeps a single solver session across iterations: the
+    State_Equivalence(S) assumption is passed as solver assumptions and
+    each iteration's obligation is armed by an activation literal, so
+    learnt clauses are reused as S shrinks. Verdicts are identical
+    either way; the bench harness compares the runtimes. *)

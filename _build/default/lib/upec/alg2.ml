@@ -1,0 +1,151 @@
+open Rtl
+module U = Ipc.Unroller
+
+type outcome =
+  | Hold of { s_final : Structural.Svar_set.t; k : int }
+  | Found_vulnerable
+  | Gave_up
+
+let check_once ?solver_options ?(reset_start = false) spec s_frames k =
+  (* s_frames: array of length k+1 with the per-cycle sets *)
+  let eng =
+    Ipc.Engine.create ?solver_options ~two_instance:true
+      spec.Spec.soc.Soc.Builder.netlist
+  in
+  Ipc.Engine.ensure_frames eng k;
+  if reset_start then Macros.assume_reset_state eng spec;
+  Macros.assume_env eng spec ~frames:k;
+  for f = 0 to k do
+    Macros.primary_input_constraints eng spec ~frame:f;
+    (* Fig. 4: Victim_Task_Executing during t..t+1 only; beyond that the
+       victim port carries equal traffic in both instances *)
+    if f <= 1 then Macros.victim_task_executing eng spec ~frame:f
+    else Macros.victim_port_equal eng spec ~frame:f
+  done;
+  Macros.state_equivalence_assume eng spec ~frame:0 s_frames.(0);
+  let g = Ipc.Engine.graph eng in
+  let goal = ref Aig.true_lit in
+  for j = 1 to k do
+    goal :=
+      Aig.mk_and g !goal
+        (Macros.state_equivalence_goal eng spec ~frame:j s_frames.(j))
+  done;
+  match Ipc.Engine.check eng !goal with
+  | Ipc.Engine.Holds -> None
+  | Ipc.Engine.Cex cex ->
+      let per_frame =
+        List.init k (fun j ->
+            let j = j + 1 in
+            (j, Macros.violations eng spec cex ~frame:j s_frames.(j)))
+      in
+      Some (cex, per_frame)
+
+let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
+    ?(reset_start = false) spec =
+  let nl = spec.Spec.soc.Soc.Builder.netlist in
+  let t0 = Unix.gettimeofday () in
+  let s0 = Spec.s_neg_victim spec in
+  let steps = ref [] in
+  let finish verdict outcome =
+    ( {
+        Report.procedure =
+          (if reset_start then "BMC-from-reset (Alg. 2 property)"
+           else "UPEC-SSC-unrolled (Alg. 2)");
+        variant = spec.Spec.variant;
+        verdict;
+        steps = List.rev !steps;
+        total_seconds = Unix.gettimeofday () -. t0;
+        state_bits = Netlist.state_bits nl;
+        svar_count = Structural.Svar_set.cardinal (Structural.all_svars nl);
+      },
+      outcome )
+  in
+  let record iter k s_size cex pers dt =
+    steps :=
+      {
+        Report.st_iter = iter;
+        st_k = k;
+        st_s_size = s_size;
+        st_cex = cex;
+        st_pers_hit = pers;
+        st_seconds = dt;
+      }
+      :: !steps
+  in
+  (* growable array of per-cycle sets *)
+  let s_frames = ref [| s0; s0 |] in
+  let rec loop iter k =
+    if iter > max_iterations then
+      finish (Report.Inconclusive "iteration budget exhausted") Gave_up
+    else begin
+      let it0 = Unix.gettimeofday () in
+      let sf = !s_frames in
+      match check_once ?solver_options ~reset_start spec sf k with
+      | None ->
+          let dt = Unix.gettimeofday () -. it0 in
+          record iter k (Structural.Svar_set.cardinal sf.(k))
+            Structural.Svar_set.empty Structural.Svar_set.empty dt;
+          if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
+            if reset_start then
+              (* a concrete-start (BMC) pass proves nothing beyond the
+                 window: report it as such *)
+              finish
+                (Report.Inconclusive
+                   (Printf.sprintf
+                      "BMC from reset: no detection within %d cycles (no \
+                       inductive meaning)" k))
+                (Hold { s_final = sf.(k); k })
+            else
+              finish
+                (Report.Secure { s_final = sf.(k) })
+                (Hold { s_final = sf.(k); k })
+          else if k >= max_k then
+            finish (Report.Inconclusive "max unrolling reached") Gave_up
+          else begin
+            s_frames := Array.append sf [| sf.(k) |];
+            loop (iter + 1) (k + 1)
+          end
+      | Some (cex, per_frame) ->
+          let dt = Unix.gettimeofday () -. it0 in
+          let all_cex =
+            List.fold_left
+              (fun acc (_, v) -> Structural.Svar_set.union acc v)
+              Structural.Svar_set.empty per_frame
+          in
+          let pers_hit =
+            Structural.Svar_set.filter (Spec.is_pers spec) all_cex
+          in
+          record iter k (Structural.Svar_set.cardinal sf.(k)) all_cex pers_hit
+            dt;
+          if Structural.Svar_set.is_empty all_cex then
+            finish
+              (Report.Inconclusive
+                 "counterexample without S_cex (spurious model)")
+              Gave_up
+          else if not (Structural.Svar_set.is_empty pers_hit) then
+            finish (Report.Vulnerable { s_cex = all_cex; cex }) Found_vulnerable
+          else begin
+            List.iter
+              (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
+              per_frame;
+            loop (iter + 1) k
+          end
+    end
+  in
+  loop 1 1
+
+let conclude ?max_k ?max_iterations ?solver_options spec =
+  let report, outcome = run ?max_k ?max_iterations ?solver_options spec in
+  match outcome with
+  | Found_vulnerable | Gave_up -> report
+  | Hold { s_final; k = _ } ->
+      let induction =
+        Alg1.run ~initial_s:s_final ?max_iterations ?solver_options spec
+      in
+      {
+        induction with
+        Report.procedure = "UPEC-SSC-unrolled + induction";
+        steps = report.Report.steps @ induction.Report.steps;
+        total_seconds =
+          report.Report.total_seconds +. induction.Report.total_seconds;
+      }

@@ -1,0 +1,37 @@
+open Rtl
+
+(** Algorithm 2: the unrolled UPEC-SSC procedure (Fig. 4).
+
+    Maintains one state set per cycle; the property is unrolled cycle
+    by cycle until either a persistent state variable diverges (a
+    vulnerability, with an {e explicit} multi-cycle counterexample as
+    Sec. 3.5 advocates) or no new state variables are influenced at the
+    deepest cycle. A [Hold] outcome still requires the inductive proof,
+    which {!conclude} performs by running Algorithm 1 from the final
+    set. *)
+
+type outcome =
+  | Hold of { s_final : Structural.Svar_set.t; k : int }
+  | Found_vulnerable
+  | Gave_up
+
+val run :
+  ?max_k:int ->
+  ?max_iterations:int ->
+  ?solver_options:Satsolver.Solver.options ->
+  ?reset_start:bool ->
+  Spec.t ->
+  Report.run * outcome
+(** [reset_start] pins cycle 0 to the concrete reset state, degrading
+    IPC to plain bounded model checking — the E9 comparison. A [Hold]
+    outcome under [reset_start] carries no inductive meaning; it shows
+    BMC finding nothing within the window. *)
+
+val conclude :
+  ?max_k:int ->
+  ?max_iterations:int ->
+  ?solver_options:Satsolver.Solver.options ->
+  Spec.t ->
+  Report.run
+(** Run the unrolled procedure; on [Hold], finish with the Algorithm 1
+    induction from the computed set and merge the reports. *)

@@ -1,0 +1,73 @@
+open Rtl
+
+type step = {
+  st_iter : int;
+  st_k : int;
+  st_s_size : int;
+  st_cex : Structural.Svar_set.t;
+  st_pers_hit : Structural.Svar_set.t;
+  st_seconds : float;
+}
+
+type verdict =
+  | Secure of { s_final : Structural.Svar_set.t }
+  | Vulnerable of { s_cex : Structural.Svar_set.t; cex : Ipc.Cex.t }
+  | Inconclusive of string
+
+type run = {
+  procedure : string;
+  variant : Spec.variant;
+  verdict : verdict;
+  steps : step list;
+  total_seconds : float;
+  state_bits : int;
+  svar_count : int;
+}
+
+let is_secure r = match r.verdict with Secure _ -> true | _ -> false
+let is_vulnerable r = match r.verdict with Vulnerable _ -> true | _ -> false
+let iterations r = List.length r.steps
+
+let final_k r =
+  List.fold_left (fun acc s -> max acc s.st_k) 0 r.steps
+
+let variant_name = function
+  | Spec.Vulnerable -> "baseline (no countermeasure)"
+  | Spec.Secure -> "with countermeasure (Sec. 4.2)"
+
+let pp_verdict fmt = function
+  | Secure { s_final } ->
+      Format.fprintf fmt "SECURE (inductive for |S| = %d)"
+        (Structural.Svar_set.cardinal s_final)
+  | Vulnerable { s_cex; _ } ->
+      Format.fprintf fmt "VULNERABLE (S_cex ∩ S_pers: %a)"
+        Structural.pp_svar_set s_cex
+  | Inconclusive msg -> Format.fprintf fmt "INCONCLUSIVE (%s)" msg
+
+let pp_summary fmt r =
+  Format.fprintf fmt "%s [%s]: %a, %d iteration(s), %.2fs" r.procedure
+    (variant_name r.variant) pp_verdict r.verdict (iterations r)
+    r.total_seconds
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>=== %s on SoC (%d state bits, %d state vars) ===@,"
+    r.procedure r.state_bits r.svar_count;
+  Format.fprintf fmt "variant: %s@," (variant_name r.variant);
+  Format.fprintf fmt "iter  k   |S|    |S_cex|  persistent hits  time@,";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%4d  %d  %5d  %7d  %15s  %6.2fs@," s.st_iter s.st_k
+        s.st_s_size
+        (Structural.Svar_set.cardinal s.st_cex)
+        (if Structural.Svar_set.is_empty s.st_pers_hit then "-"
+         else
+           Format.asprintf "%a" Structural.pp_svar_set s.st_pers_hit)
+        s.st_seconds)
+    r.steps;
+  Format.fprintf fmt "verdict: %a@," pp_verdict r.verdict;
+  (match r.verdict with
+  | Vulnerable { cex; s_cex } ->
+      Format.fprintf fmt "S_cex: %a@," Structural.pp_svar_set s_cex;
+      Format.fprintf fmt "%a@," Ipc.Cex.pp cex
+  | Secure _ | Inconclusive _ -> ());
+  Format.fprintf fmt "total: %.2fs@]" r.total_seconds

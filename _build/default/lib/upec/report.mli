@@ -1,0 +1,43 @@
+open Rtl
+
+(** Verdicts and run reports for the UPEC-SSC procedures. *)
+
+type step = {
+  st_iter : int;  (** 1-based iteration number *)
+  st_k : int;  (** unrolling depth of this check *)
+  st_s_size : int;  (** |S| going into the check *)
+  st_cex : Structural.Svar_set.t;  (** S_cex (empty when the check held) *)
+  st_pers_hit : Structural.Svar_set.t;  (** S_cex ∩ S_pers *)
+  st_seconds : float;
+}
+
+type verdict =
+  | Secure of { s_final : Structural.Svar_set.t }
+      (** the property became inductive for [s_final] *)
+  | Vulnerable of { s_cex : Structural.Svar_set.t; cex : Ipc.Cex.t }
+  | Inconclusive of string
+      (** iteration budget exhausted or an internal anomaly *)
+
+type run = {
+  procedure : string;  (** "UPEC-SSC" or "UPEC-SSC-unrolled" *)
+  variant : Spec.variant;
+  verdict : verdict;
+  steps : step list;  (** chronological *)
+  total_seconds : float;
+  state_bits : int;
+  svar_count : int;
+}
+
+val is_secure : run -> bool
+val is_vulnerable : run -> bool
+val iterations : run -> int
+val final_k : run -> int
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp : Format.formatter -> run -> unit
+(** Full report: per-iteration table and the verdict; for vulnerable
+    runs, the S_cex classification and the counterexample waveform
+    digest. *)
+
+val pp_summary : Format.formatter -> run -> unit
+(** One line: verdict, iterations, time. *)

@@ -1,0 +1,1 @@
+test/test_bitblast.ml: Aig Alcotest Array Bitblast Bitvec Expr Hashtbl List Printf QCheck QCheck_alcotest Random Rtl Satsolver Sim

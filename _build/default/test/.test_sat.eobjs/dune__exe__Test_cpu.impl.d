@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Bitvec Isa List Printf Rtl Sim Soc Testutil

@@ -1,0 +1,1 @@
+test/test_ift.ml: Alcotest Bitvec Expr Ift List Netlist QCheck QCheck_alcotest Rtl Sim Soc Upec

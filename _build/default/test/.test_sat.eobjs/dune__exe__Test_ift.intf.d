@@ -1,0 +1,1 @@
+test/test_ift.mli:

@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Array Bitvec Expr Fun Gen List Netlist Printf QCheck QCheck_alcotest Rtl Sim Soc

@@ -1,0 +1,1 @@
+test/test_ipc.ml: Aig Alcotest Array Bitblast Bitvec Expr Format Gen Ipc List Netlist QCheck QCheck_alcotest Random Rtl Sim String Structural

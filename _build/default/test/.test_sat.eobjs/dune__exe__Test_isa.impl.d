@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bitvec Format Isa List Printf QCheck QCheck_alcotest Random Rtl String

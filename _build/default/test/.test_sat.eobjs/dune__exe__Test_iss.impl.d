@@ -1,0 +1,1 @@
+test/test_iss.ml: Alcotest Bitvec Fun Hashtbl Isa List Printf QCheck QCheck_alcotest Random Rtl Sim Soc

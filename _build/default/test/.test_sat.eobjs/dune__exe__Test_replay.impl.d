@@ -1,0 +1,1 @@
+test/test_replay.ml: Aig Alcotest Bitblast Bitvec Expr Format Ipc List Netlist Rtl Soc Upec

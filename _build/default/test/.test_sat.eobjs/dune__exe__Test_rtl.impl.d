@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Bitvec Expr Format Int64 List Netlist Pp Printf QCheck QCheck_alcotest Rtl Sim String Structural

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Dimacs Format List Lit Printf QCheck QCheck_alcotest Random Satsolver Solver

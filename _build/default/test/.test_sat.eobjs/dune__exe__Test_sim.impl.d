@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bitvec Expr Filename Gen List Netlist QCheck QCheck_alcotest Rtl Sim String Sys

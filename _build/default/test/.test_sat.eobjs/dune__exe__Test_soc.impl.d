@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Bitvec List Netlist Printf Rtl Sim Soc Testutil

@@ -1,0 +1,1 @@
+test/test_upec.ml: Aig Alcotest Array Bitvec Expr Format Fun Ipc List Netlist Option Rtl Soc String Structural Upec

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Bitvec Expr Filename Isa List Netlist Rtl Soc String Sys Verilog

@@ -1,0 +1,1 @@
+test/testutil.ml: Bitvec Isa Printf Rtl Sim Soc

@@ -1,0 +1,231 @@
+(* Tests for the AIG and the word-level bit-blaster. The central
+   property: for random expressions and random input values, the
+   bit-blasted AIG evaluates to exactly what the concrete simulator
+   evaluator computes. *)
+
+open Rtl
+
+let bv w v = Bitvec.of_int ~width:w v
+
+(* ---- AIG unit tests ---- *)
+
+let test_aig_consts () =
+  let g = Aig.create () in
+  Alcotest.(check int) "and(T,F)" Aig.false_lit
+    (Aig.mk_and g Aig.true_lit Aig.false_lit);
+  let x = Aig.fresh_var g in
+  Alcotest.(check int) "and(x,T)" x (Aig.mk_and g x Aig.true_lit);
+  Alcotest.(check int) "and(x,x)" x (Aig.mk_and g x x);
+  Alcotest.(check int) "and(x,~x)" Aig.false_lit
+    (Aig.mk_and g x (Aig.lit_not x));
+  Alcotest.(check int) "xor(x,x)" Aig.false_lit (Aig.mk_xor g x x);
+  Alcotest.(check int) "xor(x,~x)" Aig.true_lit (Aig.mk_xor g x (Aig.lit_not x))
+
+let test_aig_strash () =
+  let g = Aig.create () in
+  let x = Aig.fresh_var g and y = Aig.fresh_var g in
+  let a1 = Aig.mk_and g x y in
+  let a2 = Aig.mk_and g y x in
+  Alcotest.(check int) "structural sharing (commuted)" a1 a2;
+  let n = Aig.num_ands g in
+  ignore (Aig.mk_and g x y);
+  Alcotest.(check int) "no new node" n (Aig.num_ands g)
+
+let test_aig_eval () =
+  let g = Aig.create () in
+  let x = Aig.fresh_var g and y = Aig.fresh_var g in
+  let f = Aig.mk_xor g x y in
+  let value assign l = List.assoc l assign in
+  Alcotest.(check bool) "xor(1,0)" true
+    (Aig.eval g (value [ (x, true); (y, false) ]) f);
+  Alcotest.(check bool) "xor(1,1)" false
+    (Aig.eval g (value [ (x, true); (y, true) ]) f);
+  let m = Aig.mk_mux g x y (Aig.lit_not y) in
+  Alcotest.(check bool) "mux sel=1" true
+    (Aig.eval g (value [ (x, true); (y, true) ]) m);
+  Alcotest.(check bool) "mux sel=0" true
+    (Aig.eval g (value [ (x, false); (y, false) ]) m)
+
+(* ---- AIG <-> CNF consistency ---- *)
+
+let test_cnf_equisat () =
+  let g = Aig.create () in
+  let x = Aig.fresh_var g and y = Aig.fresh_var g and z = Aig.fresh_var g in
+  (* f = (x ^ y) & ~z  — satisfiable; f & (x<->y) unsat *)
+  let f = Aig.mk_and g (Aig.mk_xor g x y) (Aig.lit_not z) in
+  let solver = Satsolver.Solver.create () in
+  let ctx = Aig.Cnf.create g solver in
+  Aig.Cnf.assert_lit ctx f;
+  Alcotest.(check bool) "sat" true
+    (Satsolver.Solver.solve solver = Satsolver.Solver.Sat);
+  (* model must actually satisfy f *)
+  let model l = Satsolver.Solver.value solver (Aig.Cnf.sat_lit ctx l) in
+  Alcotest.(check bool) "model satisfies f" true (Aig.eval g model f);
+  Aig.Cnf.assert_lit ctx (Aig.mk_xnor g x y);
+  Alcotest.(check bool) "unsat with x<->y" true
+    (Satsolver.Solver.solve solver = Satsolver.Solver.Unsat)
+
+(* ---- bit-blaster vs concrete evaluation ---- *)
+
+(* Random expression generator over a fixed set of input signals. *)
+let inputs_8 =
+  [| Expr.signal "bb_a" 8; Expr.signal "bb_b" 8; Expr.signal "bb_c" 8 |]
+
+let gen_expr rs depth =
+  let open Expr in
+  let rec go depth w =
+    if depth = 0 then
+      match Random.State.int rs 3 with
+      | 0 -> of_int ~width:w (Random.State.int rs (1 lsl min w 30))
+      | _ ->
+          let s = inputs_8.(Random.State.int rs 3) in
+          uresize (input s) w
+    else
+      let sub w = go (depth - 1) w in
+      match Random.State.int rs 16 with
+      | 0 -> binop Add (sub w) (sub w)
+      | 1 -> binop Sub (sub w) (sub w)
+      | 2 -> binop And (sub w) (sub w)
+      | 3 -> binop Or (sub w) (sub w)
+      | 4 -> binop Xor (sub w) (sub w)
+      | 5 -> unop Not (sub w)
+      | 6 -> unop Neg (sub w)
+      | 7 -> mux (sub 1) (sub w) (sub w)
+      | 8 -> uresize (binop Eq (sub 8) (sub 8)) w
+      | 9 -> uresize (binop Ult (sub 8) (sub 8)) w
+      | 10 -> uresize (binop Slt (sub 8) (sub 8)) w
+      | 11 ->
+          if w >= 2 then concat (sub (w / 2)) (sub (w - (w / 2))) else sub w
+      | 12 ->
+          let inner = sub (w + 2) in
+          slice inner ~hi:w ~lo:1
+      | 13 -> binop Shl (sub w) (sub w)
+      | 14 -> binop Lshr (sub w) (sub w)
+      | _ -> binop Mul (sub w) (sub w)
+  in
+  go depth 8
+
+let concrete_env values =
+  {
+    Sim.Eval.lookup_input =
+      (fun s -> List.assoc s.Expr.s_name values);
+    Sim.Eval.lookup_param = (fun _ -> assert false);
+    Sim.Eval.lookup_reg = (fun _ -> assert false);
+    Sim.Eval.lookup_mem = (fun _ _ -> assert false);
+  }
+
+let qcheck_blast_matches_eval =
+  QCheck.Test.make ~count:500 ~name:"bit-blast agrees with concrete eval"
+    QCheck.(pair (int_range 0 1073741823) (int_range 1 5))
+    (fun (seed, depth) ->
+      let rs = Random.State.make [| seed |] in
+      let e = gen_expr rs depth in
+      let values =
+        Array.to_list
+          (Array.map
+             (fun (s : Expr.signal) ->
+               (s.Expr.s_name, bv 8 (Random.State.int rs 256)))
+             inputs_8)
+      in
+      let expected = Sim.Eval.eval (concrete_env values) e in
+      (* blast with fresh AIG vars for inputs, then evaluate the AIG
+         under the same input values *)
+      let g = Aig.create () in
+      let bound = Hashtbl.create 8 in
+      let env =
+        {
+          Bitblast.Blaster.lookup_input =
+            (fun s ->
+              match Hashtbl.find_opt bound s.Expr.s_name with
+              | Some v -> v
+              | None ->
+                  let v = Bitblast.Blaster.fresh_vec g s.Expr.s_width in
+                  Hashtbl.replace bound s.Expr.s_name v;
+                  v);
+          lookup_param = (fun _ -> assert false);
+          lookup_reg = (fun _ -> assert false);
+          lookup_mem = (fun _ _ -> assert false);
+        }
+      in
+      let vec = Bitblast.Blaster.blaster g env e in
+      let lit_assignment = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun name v ->
+          let value = List.assoc name values in
+          Array.iteri
+            (fun i l -> Hashtbl.replace lit_assignment l (Bitvec.bit value i))
+            v)
+        bound;
+      let var_value l =
+        match Hashtbl.find_opt lit_assignment l with
+        | Some b -> b
+        | None -> false
+      in
+      let got = ref 0 in
+      Array.iteri
+        (fun i l -> if Aig.eval g var_value l then got := !got lor (1 lsl i))
+        vec;
+      !got = Bitvec.to_int expected)
+
+(* memory read lowering *)
+let test_blast_memread () =
+  let m = Expr.memory "bbm" ~addr_width:3 ~data_width:8 ~depth:5 in
+  let addr_sig = Expr.signal "bb_addr" 3 in
+  let e = Expr.memread m (Expr.input addr_sig) in
+  let g = Aig.create () in
+  let addr_vec = Bitblast.Blaster.fresh_vec g 3 in
+  let elem_vecs = Array.init 5 (fun _ -> Bitblast.Blaster.fresh_vec g 8) in
+  let env =
+    {
+      Bitblast.Blaster.lookup_input = (fun _ -> addr_vec);
+      lookup_param = (fun _ -> assert false);
+      lookup_reg = (fun _ -> assert false);
+      lookup_mem = (fun _ i -> elem_vecs.(i));
+    }
+  in
+  let out = Bitblast.Blaster.blaster g env e in
+  (* concrete: elements 10,20,30,40,50; reading each address *)
+  let elem_values = [| 10; 20; 30; 40; 50 |] in
+  let check_addr a expected =
+    let assign = Hashtbl.create 64 in
+    Array.iteri
+      (fun i l -> Hashtbl.replace assign l (a land (1 lsl i) <> 0))
+      addr_vec;
+    Array.iteri
+      (fun idx vec ->
+        Array.iteri
+          (fun i l ->
+            Hashtbl.replace assign l (elem_values.(idx) land (1 lsl i) <> 0))
+          vec)
+      elem_vecs;
+    let var_value l =
+      match Hashtbl.find_opt assign l with Some b -> b | None -> false
+    in
+    let got = ref 0 in
+    Array.iteri
+      (fun i l -> if Aig.eval g var_value l then got := !got lor (1 lsl i))
+      out;
+    Alcotest.(check int) (Printf.sprintf "mem[%d]" a) expected !got
+  in
+  check_addr 0 10;
+  check_addr 4 50;
+  check_addr 5 0;
+  (* out of range -> 0, like the simulator *)
+  check_addr 7 0
+
+let () =
+  Alcotest.run "bitblast"
+    [
+      ( "aig",
+        [
+          Alcotest.test_case "constant rules" `Quick test_aig_consts;
+          Alcotest.test_case "structural hashing" `Quick test_aig_strash;
+          Alcotest.test_case "evaluation" `Quick test_aig_eval;
+          Alcotest.test_case "cnf equisatisfiable" `Quick test_cnf_equisat;
+        ] );
+      ( "blaster",
+        [
+          Alcotest.test_case "memory read" `Quick test_blast_memread;
+          QCheck_alcotest.to_alcotest qcheck_blast_matches_eval;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+(* Tests for the RV32 core: firmware programs executed on the full
+   simulated SoC. *)
+
+open Rtl
+open Testutil
+
+let cfg = Soc.Config.sim_default
+
+let run_program ?(max_cycles = 20000) prog =
+  let soc = build_sim ~cfg prog in
+  let eng = Sim.Engine.create soc.Soc.Builder.netlist in
+  let cycles = run_until_halt ~max_cycles eng in
+  (eng, cycles)
+
+let i x = Isa.Asm.I x
+
+(* byte addresses of the memory map *)
+let pub_base = Soc.Memmap.byte_addr cfg (Soc.Memmap.region_base cfg Soc.Memmap.Pub)
+let priv_base =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.region_base cfg Soc.Memmap.Priv)
+let timer_value_addr =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.periph_reg_addr cfg Soc.Memmap.Timer 1)
+let timer_ctrl_addr =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.periph_reg_addr cfg Soc.Memmap.Timer 0)
+
+let test_arith () =
+  let open Isa.Encoding in
+  let eng, _ =
+    run_program
+      [
+        i (Addi (1, 0, 5));
+        i (Addi (2, 0, 7));
+        i (Add (3, 1, 2));
+        i (Sub (4, 2, 1));
+        i (Xor (5, 1, 2));
+        i (Or (6, 1, 2));
+        i (And (7, 1, 2));
+        i (Slli (8, 1, 4));
+        i (Srli (9, 8, 2));
+        i Ebreak;
+      ]
+  in
+  Alcotest.(check int) "add" 12 (cpu_reg eng 3);
+  Alcotest.(check int) "sub" 2 (cpu_reg eng 4);
+  Alcotest.(check int) "xor" 2 (cpu_reg eng 5);
+  Alcotest.(check int) "or" 7 (cpu_reg eng 6);
+  Alcotest.(check int) "and" 5 (cpu_reg eng 7);
+  Alcotest.(check int) "slli" 80 (cpu_reg eng 8);
+  Alcotest.(check int) "srli" 20 (cpu_reg eng 9)
+
+let test_signed_ops () =
+  let open Isa.Encoding in
+  let eng, _ =
+    run_program
+      [
+        i (Addi (1, 0, -5));
+        i (Srai (2, 1, 1));
+        i (Slti (3, 1, 0));
+        i (Sltiu (4, 1, 0));
+        i (Slt (5, 0, 1));
+        i (Sltu (6, 0, 1));
+        i Ebreak;
+      ]
+  in
+  Alcotest.(check int) "addi negative" 0xfffffffb (cpu_reg eng 1);
+  Alcotest.(check int) "srai" 0xfffffffd (cpu_reg eng 2);
+  Alcotest.(check int) "slti (-5 < 0)" 1 (cpu_reg eng 3);
+  Alcotest.(check int) "sltiu (big < 0)" 0 (cpu_reg eng 4);
+  Alcotest.(check int) "slt (0 < -5)" 0 (cpu_reg eng 5);
+  Alcotest.(check int) "sltu (0 < big)" 1 (cpu_reg eng 6)
+
+let test_lui_auipc () =
+  let open Isa.Encoding in
+  let eng, _ =
+    run_program [ i (Lui (1, 0x12345)); i (Auipc (2, 0x1)); i Ebreak ]
+  in
+  Alcotest.(check int) "lui" 0x12345000 (cpu_reg eng 1);
+  (* auipc at pc=4 *)
+  Alcotest.(check int) "auipc" 0x1004 (cpu_reg eng 2)
+
+let test_branch_loop () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  (* sum 1..10 into x3 *)
+  let eng, _ =
+    run_program
+      [
+        I (Addi (1, 0, 0));
+        (* i *)
+        I (Addi (3, 0, 0));
+        (* sum *)
+        L "loop";
+        I (Addi (1, 1, 1));
+        I (Add (3, 3, 1));
+        I (Addi (2, 0, 10));
+        Blt_l (1, 2, "loop");
+        I Ebreak;
+      ]
+  in
+  Alcotest.(check int) "sum 1..10" 55 (cpu_reg eng 3)
+
+let test_branch_not_taken_penalty () =
+  let open Isa.Encoding in
+  (* not-taken branch costs 1 cycle; taken costs 2 (bubble) *)
+  let _, c_not_taken =
+    run_program [ i (Beq (1, 2, 8)); i Ebreak; i Ebreak ]
+  in
+  let open Isa.Asm in
+  let _, c_taken =
+    run_program [ I (Addi (1, 0, 1)); Bne_l (1, 0, "t"); Nop; L "t"; I Ebreak ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "taken (%d) > not taken (%d)" c_taken c_not_taken)
+    true
+    (c_taken > c_not_taken)
+
+let test_jal_jalr_call () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  let eng, _ =
+    run_program
+      [
+        Jal_l (1, "func");
+        (* call *)
+        I (Addi (3, 0, 99));
+        (* after return *)
+        I Ebreak;
+        L "func";
+        I (Addi (2, 0, 42));
+        I (Jalr (0, 1, 0));
+        (* return *)
+      ]
+  in
+  Alcotest.(check int) "function ran" 42 (cpu_reg eng 2);
+  Alcotest.(check int) "returned" 99 (cpu_reg eng 3);
+  Alcotest.(check int) "link register" 4 (cpu_reg eng 1)
+
+let test_memory_rw () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  let eng, _ =
+    run_program
+      [
+        Li (1, pub_base);
+        I (Addi (2, 0, 123));
+        I (Sw (2, 1, 0));
+        I (Sw (2, 1, 4));
+        I (Lw (3, 1, 0));
+        I (Addi (3, 3, 1));
+        I (Sw (3, 1, 8));
+        I (Lw (4, 1, 8));
+        I Ebreak;
+      ]
+  in
+  Alcotest.(check int) "store/load roundtrip" 124 (cpu_reg eng 4);
+  Alcotest.(check int) "memory cell" 123
+    (Bitvec.to_int (Sim.Engine.mem_value eng "pub0.mem" 0));
+  (* word address 1 -> bank 1, index 0 *)
+  Alcotest.(check int) "interleaved cell" 123
+    (Bitvec.to_int (Sim.Engine.mem_value eng "pub1.mem" 0))
+
+let test_private_memory_access () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  let eng, _ =
+    run_program
+      [
+        Li (1, priv_base);
+        I (Addi (2, 0, 77));
+        I (Sw (2, 1, 0));
+        I (Lw (3, 1, 0));
+        I Ebreak;
+      ]
+  in
+  Alcotest.(check int) "private rw" 77 (cpu_reg eng 3)
+
+let test_fibonacci_in_memory () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  (* compute fib(0..9) into memory, read back fib(9) *)
+  let eng, _ =
+    run_program
+      [
+        Li (1, pub_base);
+        I (Addi (2, 0, 0));
+        I (Addi (3, 0, 1));
+        I (Sw (2, 1, 0));
+        I (Sw (3, 1, 4));
+        I (Addi (4, 0, 2));
+        (* index *)
+        L "loop";
+        I (Lw (5, 1, 0));
+        I (Lw (6, 1, 4));
+        I (Add (7, 5, 6));
+        I (Sw (6, 1, 0));
+        I (Sw (7, 1, 4));
+        I (Addi (4, 4, 1));
+        I (Addi (8, 0, 10));
+        Blt_l (4, 8, "loop");
+        I (Lw (9, 1, 4));
+        I Ebreak;
+      ]
+  in
+  Alcotest.(check int) "fib(9)" 34 (cpu_reg eng 9)
+
+let test_timer_measured_delay () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  (* measure elapsed cycles around a loop with the system timer *)
+  let prog n =
+    [
+      Li (1, timer_ctrl_addr);
+      I (Addi (2, 0, 1));
+      I (Sw (2, 1, 0));
+      (* enable timer *)
+      I (Addi (3, 0, n));
+      L "spin";
+      I (Addi (3, 3, -1));
+      Bne_l (3, 0, "spin");
+      Li (4, timer_value_addr);
+      I (Lw (5, 4, 0));
+      I Ebreak;
+    ]
+  in
+  let eng1, _ = run_program (prog 5) in
+  let eng2, _ = run_program (prog 10) in
+  let t1 = cpu_reg eng1 5 and t2 = cpu_reg eng2 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "longer loop reads larger timer (%d vs %d)" t2 t1)
+    true (t2 > t1)
+
+let test_x0_hardwired () =
+  let open Isa.Encoding in
+  let eng, _ = run_program [ i (Addi (0, 0, 7)); i (Add (1, 0, 0)); i Ebreak ] in
+  Alcotest.(check int) "x0 stays zero" 0 (cpu_reg eng 1)
+
+let test_halt_stops_execution () =
+  let open Isa.Encoding in
+  let soc =
+    build_sim ~cfg [ i (Addi (1, 0, 1)); i Ebreak; i (Addi (1, 0, 9)) ]
+  in
+  let eng = Sim.Engine.create soc.Soc.Builder.netlist in
+  ignore (run_until_halt eng);
+  Sim.Engine.run eng 10;
+  Alcotest.(check int) "post-halt instruction not executed" 1 (cpu_reg eng 1)
+
+let periph_byte p reg =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.periph_reg_addr cfg p reg)
+
+let mmio_write reg_addr value =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  [ Li (10, reg_addr); Li (11, value); I (Sw (11, 10, 0)) ]
+
+let test_load_stall_with_contention () =
+  (* Functional results are independent of IP traffic, but the cycle
+     count is not. One greedy IP cannot delay a sparse CPU stream under
+     round-robin (the CPU wins its collisions); with both the DMA and
+     the HWPE saturating the banks, the CPU loses arbitration rounds
+     and its loop visibly slows down. *)
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  let ip_setup =
+    (* HWPE: overwrite 64 words from word 0 *)
+    mmio_write (periph_byte Soc.Memmap.Hwpe 1) 0
+    @ mmio_write (periph_byte Soc.Memmap.Hwpe 2) 64
+    @ mmio_write (periph_byte Soc.Memmap.Hwpe 3) 1
+    (* DMA: copy 64 words within the public memory *)
+    @ mmio_write (periph_byte Soc.Memmap.Dma 1) 0
+    @ mmio_write (periph_byte Soc.Memmap.Dma 2) 64
+    @ mmio_write (periph_byte Soc.Memmap.Dma 3) 64
+    @ mmio_write (periph_byte Soc.Memmap.Dma 0) 1
+    @ mmio_write (periph_byte Soc.Memmap.Hwpe 0) 1
+  in
+  let measured_loop =
+    [
+      Li (1, pub_base);
+      I (Addi (2, 0, 20));
+      L "loop";
+      I (Lw (3, 1, 0));
+      I (Lw (4, 1, 4));
+      I (Addi (2, 2, -1));
+      Bne_l (2, 0, "loop");
+      I Ebreak;
+    ]
+  in
+  let nop_setup = List.concat_map (fun _ -> [ Nop; Nop; Nop ]) ip_setup in
+  ignore nop_setup;
+  (* equalise the setup cost with harmless MMIO writes to the UART *)
+  let idle_setup =
+    List.concat_map
+      (fun _ -> mmio_write (periph_byte Soc.Memmap.Uart 0) 0)
+      [ (); (); (); (); (); (); (); () ]
+  in
+  let _, cycles_noisy = run_program (ip_setup @ measured_loop) in
+  let _, cycles_quiet = run_program (idle_setup @ measured_loop) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ip traffic slows the cpu (%d vs %d)" cycles_noisy
+       cycles_quiet)
+    true
+    (cycles_noisy > cycles_quiet)
+
+let () =
+  Alcotest.run "cpu"
+    [
+      ( "alu",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "signed ops" `Quick test_signed_ops;
+          Alcotest.test_case "lui/auipc" `Quick test_lui_auipc;
+          Alcotest.test_case "x0 hardwired" `Quick test_x0_hardwired;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "branch loop" `Quick test_branch_loop;
+          Alcotest.test_case "branch penalty" `Quick
+            test_branch_not_taken_penalty;
+          Alcotest.test_case "call/return" `Quick test_jal_jalr_call;
+          Alcotest.test_case "halt" `Quick test_halt_stops_execution;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "load/store" `Quick test_memory_rw;
+          Alcotest.test_case "private region" `Quick test_private_memory_access;
+          Alcotest.test_case "fibonacci" `Quick test_fibonacci_in_memory;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "timer measures delay" `Quick
+            test_timer_measured_delay;
+          Alcotest.test_case "load stall under contention" `Quick
+            test_load_stall_with_contention;
+        ] );
+    ]

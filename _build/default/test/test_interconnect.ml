@@ -1,0 +1,296 @@
+(* Focused tests for the interconnect building blocks: address map,
+   configuration validation, arbiters (including qcheck properties over
+   random request sequences), and the bus routing helpers. *)
+
+open Rtl
+
+let cfg = Soc.Config.formal_tiny
+
+(* ---- memory map ---- *)
+
+let test_memmap_regions () =
+  Alcotest.(check int) "pub base" 0 (Soc.Memmap.region_base cfg Soc.Memmap.Pub);
+  Alcotest.(check int) "priv base" 64
+    (Soc.Memmap.region_base cfg Soc.Memmap.Priv);
+  Alcotest.(check int) "apb base" 128
+    (Soc.Memmap.region_base cfg Soc.Memmap.Apb);
+  Alcotest.(check int) "pub words" 8 (Soc.Memmap.pub_words cfg);
+  Alcotest.(check bool) "pub addr in pub" true (Soc.Memmap.in_pub_range cfg 3);
+  Alcotest.(check bool) "priv addr not in pub" false
+    (Soc.Memmap.in_pub_range cfg 65);
+  Alcotest.(check bool) "unmapped pub tail" false
+    (Soc.Memmap.in_pub_range cfg 9)
+
+let test_memmap_cells () =
+  (* interleaving: consecutive addresses alternate banks *)
+  Alcotest.(check int) "bank0 idx0" 0
+    (Soc.Memmap.cell_addr cfg Soc.Memmap.Pub ~bank:0 ~index:0);
+  Alcotest.(check int) "bank1 idx0" 1
+    (Soc.Memmap.cell_addr cfg Soc.Memmap.Pub ~bank:1 ~index:0);
+  Alcotest.(check int) "bank0 idx1" 2
+    (Soc.Memmap.cell_addr cfg Soc.Memmap.Pub ~bank:0 ~index:1);
+  Alcotest.(check int) "priv bank1 idx3" (64 + 7)
+    (Soc.Memmap.cell_addr cfg Soc.Memmap.Priv ~bank:1 ~index:3)
+
+let test_memmap_periph () =
+  Alcotest.(check int) "timer reg 1" (128 + 1)
+    (Soc.Memmap.periph_reg_addr cfg Soc.Memmap.Timer 1);
+  Alcotest.(check int) "uart reg 0" (128 + 48)
+    (Soc.Memmap.periph_reg_addr cfg Soc.Memmap.Uart 0);
+  Alcotest.(check int) "byte addr" 516 (Soc.Memmap.byte_addr cfg 129)
+
+let test_memmap_decoders_agree () =
+  (* the expression-level decoder agrees with the integer-level map on
+     every address *)
+  let open Netlist.Builder in
+  let b = create "dectest" in
+  let addr = input b "addr" cfg.Soc.Config.addr_width in
+  output b "pub0" (Soc.Memmap.decode_sram_select cfg addr Soc.Memmap.Pub ~bank:0);
+  output b "pub1" (Soc.Memmap.decode_sram_select cfg addr Soc.Memmap.Pub ~bank:1);
+  output b "priv0"
+    (Soc.Memmap.decode_sram_select cfg addr Soc.Memmap.Priv ~bank:0);
+  output b "timer" (Soc.Memmap.decode_periph_select cfg addr Soc.Memmap.Timer);
+  let nl = finalize b in
+  let eng = Sim.Engine.create nl in
+  for a = 0 to 255 do
+    Sim.Engine.set_input_int eng "addr" a;
+    let expect_pub0 =
+      Soc.Memmap.in_pub_range cfg a && a land 1 = 0
+    in
+    let expect_pub1 = Soc.Memmap.in_pub_range cfg a && a land 1 = 1 in
+    let expect_priv0 = Soc.Memmap.in_priv_range cfg a && a land 1 = 0 in
+    let expect_timer = a >= 128 && a < 144 in
+    let check name expected =
+      Alcotest.(check bool)
+        (Printf.sprintf "%s @%d" name a)
+        expected
+        (Bitvec.to_int (Sim.Engine.peek_output eng name) = 1)
+    in
+    check "pub0" expect_pub0;
+    check "pub1" expect_pub1;
+    check "priv0" expect_priv0;
+    check "timer" expect_timer
+  done
+
+(* ---- config validation ---- *)
+
+let test_config_validation () =
+  let expect_invalid c =
+    match Soc.Config.validate c with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.fail "invalid config accepted"
+  in
+  Soc.Config.validate Soc.Config.formal_tiny;
+  Soc.Config.validate Soc.Config.formal_default;
+  Soc.Config.validate Soc.Config.sim_default;
+  expect_invalid { cfg with Soc.Config.pub_banks = 3 };
+  expect_invalid { cfg with Soc.Config.data_width = 4 };
+  expect_invalid { cfg with Soc.Config.pub_depth = 1000 };
+  expect_invalid { cfg with Soc.Config.timer_width = 1 };
+  let scaled = Soc.Config.scale cfg ~factor:2 in
+  Alcotest.(check int) "scale doubles depth" 8 scaled.Soc.Config.pub_depth
+
+(* ---- arbiters: build a harness netlist around one arbiter ---- *)
+
+let arbiter_harness which n =
+  let open Netlist.Builder in
+  let b = create "arb" in
+  let reqs = List.init n (fun i -> input b (Printf.sprintf "r%d" i) 1) in
+  let grants =
+    match which with
+    | `Round_robin -> Soc.Arbiter.round_robin b ~name:"a" reqs
+    | `Fixed -> Soc.Arbiter.fixed_priority reqs
+    | `Tdma -> Soc.Arbiter.tdma b ~name:"a" reqs
+  in
+  List.iteri (fun i g -> output b (Printf.sprintf "g%d" i) g) grants;
+  Sim.Engine.create (finalize b)
+
+let qcheck_arbiter_sound =
+  QCheck.Test.make ~count:200
+    ~name:"arbiter: grants one-hot and imply requests"
+    QCheck.(
+      triple
+        (oneofl [ `Round_robin; `Fixed; `Tdma ])
+        (int_range 2 4)
+        (list_of_size Gen.(int_range 1 20) (int_range 0 15)))
+    (fun (which, n, reqs_per_cycle) ->
+      let eng = arbiter_harness which n in
+      List.for_all
+        (fun req_bits ->
+          for i = 0 to n - 1 do
+            Sim.Engine.set_input_int eng (Printf.sprintf "r%d" i)
+              ((req_bits lsr i) land 1)
+          done;
+          let grants =
+            List.init n (fun i ->
+                Bitvec.to_int
+                  (Sim.Engine.peek_output eng (Printf.sprintf "g%d" i)))
+          in
+          let popcount = List.fold_left ( + ) 0 grants in
+          let implied =
+            List.for_all2
+              (fun g i -> g = 0 || (req_bits lsr i) land 1 = 1)
+              grants
+              (List.init n Fun.id)
+          in
+          Sim.Engine.step eng;
+          popcount <= 1 && implied)
+        reqs_per_cycle)
+
+let qcheck_rr_work_conserving =
+  QCheck.Test.make ~count:200
+    ~name:"round-robin grants whenever someone requests"
+    QCheck.(
+      pair (int_range 2 4) (list_of_size Gen.(int_range 1 20) (int_range 1 15)))
+    (fun (n, reqs_per_cycle) ->
+      let eng = arbiter_harness `Round_robin n in
+      List.for_all
+        (fun req_bits ->
+          let req_bits = req_bits land ((1 lsl n) - 1) in
+          for i = 0 to n - 1 do
+            Sim.Engine.set_input_int eng (Printf.sprintf "r%d" i)
+              ((req_bits lsr i) land 1)
+          done;
+          let granted =
+            List.exists
+              (fun i ->
+                Bitvec.to_int
+                  (Sim.Engine.peek_output eng (Printf.sprintf "g%d" i))
+                = 1)
+              (List.init n Fun.id)
+          in
+          Sim.Engine.step eng;
+          req_bits = 0 || granted)
+        reqs_per_cycle)
+
+let test_rr_no_starvation () =
+  (* all three masters hammer; everyone is granted within 2n cycles *)
+  let n = 3 in
+  let eng = arbiter_harness `Round_robin n in
+  for i = 0 to n - 1 do
+    Sim.Engine.set_input_int eng (Printf.sprintf "r%d" i) 1
+  done;
+  let got = Array.make n 0 in
+  for _ = 1 to 2 * n do
+    for i = 0 to n - 1 do
+      got.(i) <-
+        got.(i)
+        + Bitvec.to_int (Sim.Engine.peek_output eng (Printf.sprintf "g%d" i))
+    done;
+    Sim.Engine.step eng
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "master %d served" i) true (c >= 1))
+    got
+
+let test_fixed_priority_starves () =
+  let eng = arbiter_harness `Fixed 2 in
+  Sim.Engine.set_input_int eng "r0" 1;
+  Sim.Engine.set_input_int eng "r1" 1;
+  for _ = 1 to 5 do
+    Alcotest.(check int) "master 0 wins" 1
+      (Bitvec.to_int (Sim.Engine.peek_output eng "g0"));
+    Alcotest.(check int) "master 1 starves" 0
+      (Bitvec.to_int (Sim.Engine.peek_output eng "g1"));
+    Sim.Engine.step eng
+  done
+
+let test_tdma_slot_schedule () =
+  (* grants rotate with the slot counter regardless of who else asks *)
+  let n = 3 in
+  let eng = arbiter_harness `Tdma n in
+  for i = 0 to n - 1 do
+    Sim.Engine.set_input_int eng (Printf.sprintf "r%d" i) 1
+  done;
+  let sequence = ref [] in
+  for _ = 1 to 6 do
+    let winner =
+      List.find_opt
+        (fun i ->
+          Bitvec.to_int (Sim.Engine.peek_output eng (Printf.sprintf "g%d" i))
+          = 1)
+        (List.init n Fun.id)
+    in
+    sequence := winner :: !sequence;
+    Sim.Engine.step eng
+  done;
+  match List.rev !sequence with
+  | [ Some a; Some b; Some c; Some a'; Some b'; Some c' ] ->
+      Alcotest.(check bool) "all distinct in a round" true
+        (List.sort_uniq compare [ a; b; c ] = [ 0; 1; 2 ]);
+      Alcotest.(check (list int)) "period n" [ a; b; c ] [ a'; b'; c' ]
+  | _ -> Alcotest.fail "tdma skipped a slot with all masters requesting"
+
+let test_tdma_timing_independence () =
+  (* master 1's grant cycles are identical whether or not master 0
+     requests: the contention-freedom property *)
+  let run_with_m0 m0 =
+    let eng = arbiter_harness `Tdma 2 in
+    Sim.Engine.set_input_int eng "r0" m0;
+    Sim.Engine.set_input_int eng "r1" 1;
+    List.init 8 (fun _ ->
+        let g = Bitvec.to_int (Sim.Engine.peek_output eng "g1") in
+        Sim.Engine.step eng;
+        g)
+  in
+  Alcotest.(check (list int))
+    "same grant pattern" (run_with_m0 0) (run_with_m0 1)
+
+(* ---- bus helpers ---- *)
+
+let test_bus_split_merge () =
+  let open Netlist.Builder in
+  let b = create "bus" in
+  let req = input b "req" 1 in
+  let sel = input b "sel" 1 in
+  let mo =
+    {
+      Soc.Bus.req;
+      addr = Expr.zero cfg.Soc.Config.addr_width;
+      we = Expr.gnd;
+      wdata = Expr.zero cfg.Soc.Config.data_width;
+    }
+  in
+  let low, high = Soc.Bus.split_by sel mo in
+  output b "req_low" low.Soc.Bus.req;
+  output b "req_high" high.Soc.Bus.req;
+  let nl = finalize b in
+  let eng = Sim.Engine.create nl in
+  Sim.Engine.set_input_int eng "req" 1;
+  Sim.Engine.set_input_int eng "sel" 0;
+  Alcotest.(check int) "low side" 1
+    (Bitvec.to_int (Sim.Engine.peek_output eng "req_low"));
+  Alcotest.(check int) "high side quiet" 0
+    (Bitvec.to_int (Sim.Engine.peek_output eng "req_high"));
+  Sim.Engine.set_input_int eng "sel" 1;
+  Alcotest.(check int) "high side" 1
+    (Bitvec.to_int (Sim.Engine.peek_output eng "req_high"))
+
+let () =
+  Alcotest.run "interconnect"
+    [
+      ( "memmap",
+        [
+          Alcotest.test_case "regions" `Quick test_memmap_regions;
+          Alcotest.test_case "cell addresses" `Quick test_memmap_cells;
+          Alcotest.test_case "peripheral registers" `Quick test_memmap_periph;
+          Alcotest.test_case "decoders agree with map" `Quick
+            test_memmap_decoders_agree;
+        ] );
+      ( "config",
+        [ Alcotest.test_case "validation" `Quick test_config_validation ] );
+      ( "arbiter",
+        [
+          QCheck_alcotest.to_alcotest qcheck_arbiter_sound;
+          QCheck_alcotest.to_alcotest qcheck_rr_work_conserving;
+          Alcotest.test_case "round-robin serves everyone" `Quick
+            test_rr_no_starvation;
+          Alcotest.test_case "fixed priority starves" `Quick
+            test_fixed_priority_starves;
+          Alcotest.test_case "tdma slot schedule" `Quick test_tdma_slot_schedule;
+          Alcotest.test_case "tdma timing independence" `Quick
+            test_tdma_timing_independence;
+        ] );
+      ("bus", [ Alcotest.test_case "split/merge" `Quick test_bus_split_merge ]);
+    ]

@@ -1,0 +1,282 @@
+(* Tests for instruction encoding and the assembler. *)
+
+open Rtl
+
+let all_sample_instrs =
+  let open Isa.Encoding in
+  [
+    Lui (1, 0x12345);
+    Auipc (2, 0xfffff);
+    Jal (1, 2048);
+    Jal (0, -4);
+    Jalr (1, 2, -8);
+    Beq (1, 2, 16);
+    Bne (3, 4, -16);
+    Blt (5, 6, 64);
+    Bge (7, 8, -64);
+    Bltu (9, 10, 254);
+    Bgeu (11, 12, -256);
+    Lw (1, 2, 4);
+    Lw (3, 4, -4);
+    Sw (5, 6, 8);
+    Sw (7, 8, -2048);
+    Addi (1, 2, 2047);
+    Addi (3, 4, -2048);
+    Slti (5, 6, 1);
+    Sltiu (7, 8, 100);
+    Xori (9, 10, -1);
+    Ori (11, 12, 0x55);
+    Andi (13, 14, 0xff);
+    Slli (15, 16, 31);
+    Srli (17, 18, 1);
+    Srai (19, 20, 16);
+    Add (21, 22, 23);
+    Sub (24, 25, 26);
+    Sll (27, 28, 29);
+    Slt (30, 31, 1);
+    Sltu (2, 3, 4);
+    Xor (5, 6, 7);
+    Srl (8, 9, 10);
+    Sra (11, 12, 13);
+    Or (14, 15, 16);
+    And (17, 18, 19);
+    Ecall;
+    Ebreak;
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun i ->
+      match Isa.Encoding.decode (Isa.Encoding.encode i) with
+      | Some i' ->
+          Alcotest.(check string)
+            (Format.asprintf "%a" Isa.Encoding.pp i)
+            (Format.asprintf "%a" Isa.Encoding.pp i)
+            (Format.asprintf "%a" Isa.Encoding.pp i')
+      | None ->
+          Alcotest.fail
+            (Format.asprintf "decode failed for %a" Isa.Encoding.pp i))
+    all_sample_instrs
+
+let test_known_encodings () =
+  (* cross-checked against a reference assembler *)
+  let check name expected i =
+    Alcotest.(check int) name expected (Bitvec.to_int (Isa.Encoding.encode i))
+  in
+  check "addi x1, x0, 1" 0x00100093 (Isa.Encoding.Addi (1, 0, 1));
+  check "add x3, x1, x2" 0x002081b3 (Isa.Encoding.Add (3, 1, 2));
+  check "lui x5, 0x12345" 0x123452b7 (Isa.Encoding.Lui (5, 0x12345));
+  check "lw x6, 8(x7)" 0x0083a303 (Isa.Encoding.Lw (6, 7, 8));
+  check "sw x6, 12(x7)" 0x0063a623 (Isa.Encoding.Sw (6, 7, 12));
+  check "jal x1, 8" 0x008000ef (Isa.Encoding.Jal (1, 8));
+  check "beq x1, x2, 8" 0x00208463 (Isa.Encoding.Beq (1, 2, 8));
+  check "ebreak" 0x00100073 Isa.Encoding.Ebreak
+
+let test_imm_range_checks () =
+  Alcotest.check_raises "addi imm too large"
+    (Invalid_argument "immediate 2048 out of 12-bit range") (fun () ->
+      ignore (Isa.Encoding.encode (Isa.Encoding.Addi (1, 0, 2048))));
+  Alcotest.check_raises "branch offset odd"
+    (Invalid_argument "branch offset must be even") (fun () ->
+      ignore (Isa.Encoding.encode (Isa.Encoding.Beq (1, 2, 3))))
+
+let test_assembler_labels () =
+  let open Isa.Asm in
+  let prog =
+    [
+      I (Isa.Encoding.Addi (1, 0, 0));
+      L "loop";
+      I (Isa.Encoding.Addi (1, 1, 1));
+      Bne_l (1, 2, "loop");
+      I Isa.Encoding.Ebreak;
+    ]
+  in
+  let words = assemble prog in
+  Alcotest.(check int) "4 words" 4 (Array.length words);
+  (* the bne at word 2 must jump back 4 bytes *)
+  match Isa.Encoding.decode words.(2) with
+  | Some (Isa.Encoding.Bne (1, 2, -4)) -> ()
+  | Some i ->
+      Alcotest.fail (Format.asprintf "unexpected %a" Isa.Encoding.pp i)
+  | None -> Alcotest.fail "undecodable branch"
+
+let test_assembler_li () =
+  let open Isa.Asm in
+  let check_li v =
+    let words = assemble [ Li (5, v) ] in
+    Alcotest.(check int) "2 words" 2 (Array.length words);
+    match (Isa.Encoding.decode words.(0), Isa.Encoding.decode words.(1)) with
+    | Some (Isa.Encoding.Lui (5, hi)), Some (Isa.Encoding.Addi (5, 5, lo)) ->
+        let got = ((hi lsl 12) + lo) land 0xffffffff in
+        Alcotest.(check int) (Printf.sprintf "li %d" v) (v land 0xffffffff) got
+    | _ -> Alcotest.fail "li expansion shape"
+  in
+  List.iter check_li [ 0; 1; 0x800; 0xfff; 0x1000; 0x12345678; -1; -4096 ]
+
+let test_assembler_errors () =
+  let open Isa.Asm in
+  (try
+     ignore (assemble [ J "nowhere" ]);
+     Alcotest.fail "undefined label accepted"
+   with Failure msg ->
+     Alcotest.(check string) "msg" "undefined label nowhere" msg);
+  try
+    ignore (assemble [ L "a"; L "a" ]);
+    Alcotest.fail "duplicate label accepted"
+  with Failure msg -> Alcotest.(check string) "msg" "duplicate label a" msg
+
+let test_disassemble () =
+  let words = Isa.Asm.assemble [ I (Isa.Encoding.Addi (1, 0, 5)) ] in
+  match Isa.Asm.disassemble words with
+  | [ line ] ->
+      Alcotest.(check bool) "mentions addi" true
+        (String.length line > 0
+        &&
+        let rec contains i =
+          i + 4 <= String.length line
+          && (String.sub line i 4 = "addi" || contains (i + 1))
+        in
+        contains 0)
+  | _ -> Alcotest.fail "expected one line"
+
+let qcheck_encode_decode =
+  QCheck.Test.make ~count:500 ~name:"random instr encode/decode roundtrip"
+    QCheck.(int_range 0 1073741823)
+    (fun seed ->
+      let rs = Random.State.make [| seed |] in
+      let reg () = Random.State.int rs 32 in
+      let imm12 () = Random.State.int rs 4096 - 2048 in
+      let off13 () = (Random.State.int rs 2048 - 1024) * 2 in
+      let off21 () = (Random.State.int rs 16384 - 8192) * 2 in
+      let sh () = Random.State.int rs 32 in
+      let open Isa.Encoding in
+      let i =
+        match Random.State.int rs 12 with
+        | 0 -> Lui (reg (), Random.State.int rs (1 lsl 20))
+        | 1 -> Auipc (reg (), Random.State.int rs (1 lsl 20))
+        | 2 -> Jal (reg (), off21 ())
+        | 3 -> Jalr (reg (), reg (), imm12 ())
+        | 4 -> Beq (reg (), reg (), off13 ())
+        | 5 -> Lw (reg (), reg (), imm12 ())
+        | 6 -> Sw (reg (), reg (), imm12 ())
+        | 7 -> Addi (reg (), reg (), imm12 ())
+        | 8 -> Slli (reg (), reg (), sh ())
+        | 9 -> Sub (reg (), reg (), reg ())
+        | 10 -> And (reg (), reg (), reg ())
+        | _ -> Bgeu (reg (), reg (), off13 ())
+      in
+      Isa.Encoding.decode (Isa.Encoding.encode i) = Some i)
+
+(* ---- text parser ---- *)
+
+let test_parser_basic () =
+  let prog =
+    Isa.Parser.parse
+      "start:\n  li t0, 0x20\n  addi t1, zero, 42\n  sw t1, 0(t0)\n  lw t2, \
+       0(t0)\n  beq t1, t2, done\n  j start\ndone:\n  ebreak\n"
+  in
+  let words = Isa.Asm.assemble prog in
+  (* li = 2 words, then 5 instructions + ebreak *)
+  Alcotest.(check int) "word count" 8 (Array.length words);
+  match Isa.Encoding.decode words.(2) with
+  | Some (Isa.Encoding.Addi (6, 0, 42)) -> ()
+  | _ -> Alcotest.fail "addi t1, zero, 42 mis-parsed"
+
+let test_parser_abi_names () =
+  let check name idx =
+    match Isa.Parser.parse (Printf.sprintf "addi %s, zero, 1" name) with
+    | [ Isa.Asm.I (Isa.Encoding.Addi (r, 0, 1)) ] ->
+        Alcotest.(check int) name idx r
+    | _ -> Alcotest.fail ("parse failed for " ^ name)
+  in
+  List.iter
+    (fun (n, i) -> check n i)
+    [ ("ra", 1); ("sp", 2); ("t0", 5); ("s0", 8); ("fp", 8); ("a0", 10);
+      ("a7", 17); ("s11", 27); ("t6", 31); ("x13", 13) ]
+
+let test_parser_comments_and_blank () =
+  let prog =
+    Isa.Parser.parse "# full line comment\n\n  nop ; trailing\n  ebreak\n"
+  in
+  Alcotest.(check int) "two statements" 2 (List.length prog)
+
+let test_parser_pseudo () =
+  (match Isa.Parser.parse "mv a0, a1" with
+  | [ Isa.Asm.I (Isa.Encoding.Addi (10, 11, 0)) ] -> ()
+  | _ -> Alcotest.fail "mv");
+  (match Isa.Parser.parse "not a0, a1" with
+  | [ Isa.Asm.I (Isa.Encoding.Xori (10, 11, -1)) ] -> ()
+  | _ -> Alcotest.fail "not");
+  match Isa.Parser.parse "ret" with
+  | [ Isa.Asm.I (Isa.Encoding.Jalr (0, 1, 0)) ] -> ()
+  | _ -> Alcotest.fail "ret"
+
+let test_parser_mem_operand () =
+  (match Isa.Parser.parse "lw a0, -8(sp)" with
+  | [ Isa.Asm.I (Isa.Encoding.Lw (10, 2, -8)) ] -> ()
+  | _ -> Alcotest.fail "negative offset");
+  match Isa.Parser.parse "sw a0, (t0)" with
+  | [ Isa.Asm.I (Isa.Encoding.Sw (10, 5, 0)) ] -> ()
+  | _ -> Alcotest.fail "implicit zero offset"
+
+let test_parser_errors () =
+  let expect_failure src =
+    match Isa.Parser.parse src with
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions line (%s)" msg)
+          true
+          (String.length msg > 5 && String.sub msg 0 5 = "line ")
+    | _ -> Alcotest.fail ("accepted bad input: " ^ src)
+  in
+  expect_failure "frobnicate x1, x2";
+  expect_failure "addi x99, x0, 1";
+  expect_failure "addi x1, x0";
+  expect_failure "lw x1, nonsense"
+
+let test_parser_roundtrip_via_iss () =
+  (* parse, assemble, run: the sum.s firmware computes 5050 *)
+  let src =
+    "  li t0, 0\n  li a0, 0\n  li t1, 100\nloop:\n  addi t0, t0, 1\n  add a0, \
+     a0, t0\n  blt t0, t1, loop\n  ebreak\n"
+  in
+  let rom = Isa.Asm.assemble (Isa.Parser.parse src) in
+  let mem =
+    { Isa.Iss.load_word = (fun _ -> 0); Isa.Iss.store_word = (fun _ _ -> ()) }
+  in
+  let iss = Isa.Iss.create ~rom mem in
+  ignore (Isa.Iss.run iss);
+  Alcotest.(check int) "a0 = 5050" 5050 (Isa.Iss.reg iss 10)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basic program" `Quick test_parser_basic;
+          Alcotest.test_case "abi register names" `Quick test_parser_abi_names;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_parser_comments_and_blank;
+          Alcotest.test_case "pseudo instructions" `Quick test_parser_pseudo;
+          Alcotest.test_case "memory operands" `Quick test_parser_mem_operand;
+          Alcotest.test_case "errors carry line numbers" `Quick
+            test_parser_errors;
+          Alcotest.test_case "roundtrip through iss" `Quick
+            test_parser_roundtrip_via_iss;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "sample roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "known encodings" `Quick test_known_encodings;
+          Alcotest.test_case "immediate range checks" `Quick
+            test_imm_range_checks;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "labels" `Quick test_assembler_labels;
+          Alcotest.test_case "li expansion" `Quick test_assembler_li;
+          Alcotest.test_case "errors" `Quick test_assembler_errors;
+          Alcotest.test_case "disassemble" `Quick test_disassemble;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_encode_decode ]);
+    ]

@@ -1,0 +1,214 @@
+(* The ISS golden model, and differential testing of the RTL core
+   against it: random terminating programs must leave the architectural
+   registers and the data memory in identical states. *)
+
+open Rtl
+
+let cfg = Soc.Config.sim_default
+
+let pub_base =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.region_base cfg Soc.Memmap.Pub)
+
+let pub_bytes = Soc.Memmap.pub_words cfg * 4
+
+(* flat memory model over the public RAM region *)
+let flat_memory () =
+  let table : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let mem =
+    {
+      Isa.Iss.load_word =
+        (fun addr ->
+          match Hashtbl.find_opt table (addr land lnot 3) with
+          | Some v -> v
+          | None -> 0);
+      Isa.Iss.store_word =
+        (fun addr v -> Hashtbl.replace table (addr land lnot 3) v);
+    }
+  in
+  (mem, table)
+
+let run_iss prog =
+  let rom = Isa.Asm.assemble prog in
+  let mem, table = flat_memory () in
+  let iss = Isa.Iss.create ~rom mem in
+  ignore (Isa.Iss.run iss);
+  (iss, table)
+
+(* ---- ISS unit tests ---- *)
+
+let i x = Isa.Asm.I x
+
+let test_iss_arith () =
+  let open Isa.Encoding in
+  let iss, _ =
+    run_iss [ i (Addi (1, 0, 40)); i (Addi (2, 1, 2)); i (Add (3, 1, 2)); i Ebreak ]
+  in
+  Alcotest.(check int) "x3" 82 (Isa.Iss.reg iss 3);
+  Alcotest.(check bool) "halted" true (Isa.Iss.halted iss)
+
+let test_iss_wrap () =
+  let open Isa.Encoding in
+  let iss, _ =
+    run_iss
+      [ i (Addi (1, 0, -1)); i (Addi (2, 1, 1)); i (Srai (3, 1, 4)); i Ebreak ]
+  in
+  Alcotest.(check int) "wrap to zero" 0 (Isa.Iss.reg iss 2);
+  Alcotest.(check int) "arithmetic shift keeps sign" 0xffffffff
+    (Isa.Iss.reg iss 3)
+
+let test_iss_memory () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  let iss, table =
+    run_iss
+      [ Li (1, 0x1000); I (Addi (2, 0, 99)); I (Sw (2, 1, 4)); I (Lw (3, 1, 4)); I Ebreak ]
+  in
+  Alcotest.(check int) "loaded back" 99 (Isa.Iss.reg iss 3);
+  Alcotest.(check int) "stored" 99 (Hashtbl.find table 0x1004)
+
+let test_iss_loop () =
+  let open Isa.Asm in
+  let open Isa.Encoding in
+  let iss, _ =
+    run_iss
+      [
+        I (Addi (1, 0, 0));
+        I (Addi (2, 0, 0));
+        L "loop";
+        I (Addi (1, 1, 1));
+        I (Add (2, 2, 1));
+        I (Addi (3, 0, 100));
+        Blt_l (1, 3, "loop");
+        I Ebreak;
+      ]
+  in
+  Alcotest.(check int) "sum 1..100" 5050 (Isa.Iss.reg iss 2)
+
+let test_iss_x0 () =
+  let open Isa.Encoding in
+  let iss, _ = run_iss [ i (Addi (0, 0, 7)); i (Add (1, 0, 0)); i Ebreak ] in
+  Alcotest.(check int) "x0 immutable" 0 (Isa.Iss.reg iss 1)
+
+(* ---- differential testing against the RTL core ---- *)
+
+(* Random terminating programs: a DAG of segments with forward branches
+   only; loads/stores go through pointer registers x1..x2 initialised to
+   word-aligned addresses inside the public RAM. *)
+let gen_program rs =
+  let n_segments = 2 + Random.State.int rs 4 in
+  let seg_label i = Printf.sprintf "seg%d" i in
+  let reg () = 4 + Random.State.int rs 12 in
+  let ptr () = 1 + Random.State.int rs 2 in
+  let off () = 4 * Random.State.int rs 16 in
+  let random_instr () =
+    let open Isa.Encoding in
+    match Random.State.int rs 14 with
+    | 0 -> Isa.Asm.I (Addi (reg (), reg (), Random.State.int rs 4096 - 2048))
+    | 1 -> Isa.Asm.I (Add (reg (), reg (), reg ()))
+    | 2 -> Isa.Asm.I (Sub (reg (), reg (), reg ()))
+    | 3 -> Isa.Asm.I (Xor (reg (), reg (), reg ()))
+    | 4 -> Isa.Asm.I (Or (reg (), reg (), reg ()))
+    | 5 -> Isa.Asm.I (And (reg (), reg (), reg ()))
+    | 6 -> Isa.Asm.I (Slli (reg (), reg (), Random.State.int rs 32))
+    | 7 -> Isa.Asm.I (Srli (reg (), reg (), Random.State.int rs 32))
+    | 8 -> Isa.Asm.I (Srai (reg (), reg (), Random.State.int rs 32))
+    | 9 -> Isa.Asm.I (Slt (reg (), reg (), reg ()))
+    | 10 -> Isa.Asm.I (Sltu (reg (), reg (), reg ()))
+    | 11 -> Isa.Asm.I (Lui (reg (), Random.State.int rs (1 lsl 20)))
+    | 12 -> Isa.Asm.I (Lw (reg (), ptr (), off ()))
+    | _ -> Isa.Asm.I (Sw (reg (), ptr (), off ()))
+  in
+  let header =
+    [
+      Isa.Asm.Li (1, pub_base + 4 * (Random.State.int rs 64));
+      Isa.Asm.Li (2, pub_base + 256 + (4 * Random.State.int rs 64));
+      Isa.Asm.Li (3, Random.State.int rs 1000);
+    ]
+  in
+  let segments =
+    List.concat
+      (List.init n_segments (fun s ->
+           let body =
+             List.init (1 + Random.State.int rs 8) (fun _ -> random_instr ())
+           in
+           let branch =
+             if s < n_segments - 1 && Random.State.bool rs then
+               let target = s + 1 + Random.State.int rs (n_segments - s - 1) in
+               let a = reg () and b = reg () in
+               [
+                 (match Random.State.int rs 4 with
+                 | 0 -> Isa.Asm.Beq_l (a, b, seg_label target)
+                 | 1 -> Isa.Asm.Bne_l (a, b, seg_label target)
+                 | 2 -> Isa.Asm.Blt_l (a, b, seg_label target)
+                 | _ -> Isa.Asm.Bgeu_l (a, b, seg_label target));
+               ]
+             else []
+           in
+           (Isa.Asm.L (seg_label s) :: body) @ branch))
+  in
+  header @ segments @ [ Isa.Asm.I Isa.Encoding.Ebreak ]
+
+let run_rtl prog =
+  let rom = Isa.Asm.assemble prog in
+  let soc = Soc.Builder.build cfg (Soc.Builder.Sim { rom }) in
+  let eng = Sim.Engine.create soc.Soc.Builder.netlist in
+  let rec go n =
+    if n > 50000 then failwith "rtl did not halt"
+    else if Bitvec.to_int (Sim.Engine.peek_output eng "halted") = 1 then eng
+    else begin
+      Sim.Engine.step eng;
+      go (n + 1)
+    end
+  in
+  go 0
+
+let rtl_mem_word eng byte_addr =
+  let word = (byte_addr - pub_base) / 4 in
+  let bank = word land (cfg.Soc.Config.pub_banks - 1) in
+  let index = word / cfg.Soc.Config.pub_banks in
+  Bitvec.to_int (Sim.Engine.mem_value eng (Printf.sprintf "pub%d.mem" bank) index)
+
+let qcheck_rtl_vs_iss =
+  QCheck.Test.make ~count:60 ~name:"RTL core matches the ISS golden model"
+    QCheck.(int_range 0 1073741823)
+    (fun seed ->
+      let rs = Random.State.make [| seed |] in
+      let prog = gen_program rs in
+      let iss, table = run_iss prog in
+      let eng = run_rtl prog in
+      (* architectural registers *)
+      let regs_ok =
+        List.for_all
+          (fun r ->
+            let rtl =
+              if r = 0 then 0
+              else Bitvec.to_int (Sim.Engine.mem_value eng "cpu.regs" r)
+            in
+            rtl = Isa.Iss.reg iss r)
+          (List.init 32 Fun.id)
+      in
+      (* every memory word the ISS touched *)
+      let mem_ok =
+        Hashtbl.fold
+          (fun addr v acc ->
+            acc
+            && addr >= pub_base
+            && addr < pub_base + pub_bytes
+            && rtl_mem_word eng addr = v)
+          table true
+      in
+      regs_ok && mem_ok)
+
+let () =
+  Alcotest.run "iss"
+    [
+      ( "golden model",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_iss_arith;
+          Alcotest.test_case "wrapping and shifts" `Quick test_iss_wrap;
+          Alcotest.test_case "memory" `Quick test_iss_memory;
+          Alcotest.test_case "loop" `Quick test_iss_loop;
+          Alcotest.test_case "x0" `Quick test_iss_x0;
+        ] );
+      ("differential", [ QCheck_alcotest.to_alcotest qcheck_rtl_vs_iss ]);
+    ]

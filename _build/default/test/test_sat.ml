@@ -1,0 +1,329 @@
+(* Tests for the CDCL SAT solver: handwritten instances, classic
+   families, and random instances cross-checked against brute force. *)
+
+open Satsolver
+
+let lit v s = Lit.make v s
+
+let mk_solver ?options nv =
+  let s = Solver.create ?options () in
+  for _ = 1 to nv do
+    ignore (Solver.new_var s)
+  done;
+  s
+
+let all_option_variants =
+  let d = Solver.default_options in
+  [
+    ("default", d);
+    ("no_vsids", { d with Solver.use_vsids = false });
+    ("no_restarts", { d with Solver.use_restarts = false });
+    ("no_phase", { d with Solver.use_phase_saving = false });
+    ("no_minimize", { d with Solver.use_minimization = false });
+    ( "bare",
+      {
+        d with
+        Solver.use_vsids = false;
+        use_restarts = false;
+        use_phase_saving = false;
+        use_minimization = false;
+      } );
+  ]
+
+(* ---- brute force reference ---- *)
+
+let brute_force nv clauses =
+  (* true = satisfiable *)
+  let rec try_assignment bits =
+    if bits >= 1 lsl nv then false
+    else
+      let sat_clause clause =
+        List.exists
+          (fun l ->
+            let v = Lit.var l in
+            let value = bits land (1 lsl v) <> 0 in
+            if Lit.sign l then value else not value)
+          clause
+      in
+      if List.for_all sat_clause clauses then true
+      else try_assignment (bits + 1)
+  in
+  try_assignment 0
+
+let check_model s clauses =
+  List.for_all (fun clause -> List.exists (fun l -> Solver.value s l) clause)
+    clauses
+
+(* ---- handwritten cases ---- *)
+
+let test_empty () =
+  let s = mk_solver 3 in
+  Alcotest.(check bool) "no clauses is sat" true (Solver.solve s = Solver.Sat)
+
+let test_unit () =
+  let s = mk_solver 2 in
+  Solver.add_clause s [ lit 0 true ];
+  Solver.add_clause s [ lit 1 false ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "v0 true" true (Solver.value s (lit 0 true));
+  Alcotest.(check bool) "v1 false" true (Solver.value s (lit 1 false))
+
+let test_conflicting_units () =
+  let s = mk_solver 1 in
+  Solver.add_clause s [ lit 0 true ];
+  Solver.add_clause s [ lit 0 false ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_empty_clause () =
+  let s = mk_solver 1 in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_implication_chain () =
+  (* x0 -> x1 -> ... -> x9, x0 asserted, ~x9 asserted: unsat *)
+  let s = mk_solver 10 in
+  for i = 0 to 8 do
+    Solver.add_clause s [ lit i false; lit (i + 1) true ]
+  done;
+  Solver.add_clause s [ lit 0 true ];
+  Solver.add_clause s [ lit 9 false ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_implication_chain_sat () =
+  let s = mk_solver 10 in
+  for i = 0 to 8 do
+    Solver.add_clause s [ lit i false; lit (i + 1) true ]
+  done;
+  Solver.add_clause s [ lit 0 true ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  for i = 0 to 9 do
+    Alcotest.(check bool)
+      (Printf.sprintf "x%d forced true" i)
+      true
+      (Solver.value s (lit i true))
+  done
+
+let test_tautology_dropped () =
+  let s = mk_solver 2 in
+  Solver.add_clause s [ lit 0 true; lit 0 false ];
+  Solver.add_clause s [ lit 1 true ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let pigeonhole s pigeons holes =
+  (* var p*holes + h: pigeon p in hole h *)
+  let v p h = lit ((p * holes) + h) true in
+  let nv p h = lit ((p * holes) + h) false in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> v p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ nv p1 h; nv p2 h ]
+      done
+    done
+  done
+
+let test_pigeonhole_unsat () =
+  List.iter
+    (fun (name, options) ->
+      let s = mk_solver ~options (5 * 4) in
+      pigeonhole s 5 4;
+      Alcotest.(check bool)
+        (Printf.sprintf "php(5,4) unsat under %s" name)
+        true
+        (Solver.solve s = Solver.Unsat))
+    all_option_variants
+
+let test_pigeonhole_sat () =
+  let s = mk_solver (4 * 4) in
+  pigeonhole s 4 4;
+  Alcotest.(check bool) "php(4,4) sat" true (Solver.solve s = Solver.Sat)
+
+let test_assumptions () =
+  let s = mk_solver 3 in
+  Solver.add_clause s [ lit 0 false; lit 1 true ];
+  (* x0 -> x1 *)
+  Solver.add_clause s [ lit 1 false; lit 2 true ];
+  (* x1 -> x2 *)
+  Alcotest.(check bool)
+    "sat under x0" true
+    (Solver.solve ~assumptions:[ lit 0 true ] s = Solver.Sat);
+  Alcotest.(check bool) "x2 implied" true (Solver.value s (lit 2 true));
+  Alcotest.(check bool)
+    "unsat under x0 & ~x2" true
+    (Solver.solve ~assumptions:[ lit 0 true; lit 2 false ] s = Solver.Unsat);
+  Alcotest.(check bool)
+    "sat again without assumptions" true
+    (Solver.solve s = Solver.Sat)
+
+let test_unsat_core () =
+  let s = mk_solver 4 in
+  Solver.add_clause s [ lit 0 false; lit 1 true ];
+  Solver.add_clause s [ lit 1 false; lit 2 true ];
+  let r =
+    Solver.solve ~assumptions:[ lit 3 true; lit 0 true; lit 2 false ] s
+  in
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat);
+  let core = Solver.unsat_assumptions s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool)
+    "core is subset of assumptions" true
+    (List.for_all
+       (fun l -> List.mem l [ lit 3 true; lit 0 true; lit 2 false ])
+       core);
+  Alcotest.(check bool)
+    "irrelevant assumption not in core" true
+    (not (List.mem (lit 3 true) core))
+
+let test_incremental () =
+  let s = mk_solver 3 in
+  Solver.add_clause s [ lit 0 true; lit 1 true ];
+  Alcotest.(check bool) "sat 1" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ lit 0 false ];
+  Alcotest.(check bool) "sat 2" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x1 now forced" true (Solver.value s (lit 1 true));
+  Solver.add_clause s [ lit 1 false ];
+  Alcotest.(check bool) "unsat 3" true (Solver.solve s = Solver.Unsat)
+
+let test_new_vars_after_solve () =
+  let s = mk_solver 1 in
+  Solver.add_clause s [ lit 0 true ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let v = Solver.new_var s in
+  Solver.add_clause s [ lit v false ];
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "new var false" true (Solver.value s (lit v false))
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n" in
+  let nv, clauses = Dimacs.parse text in
+  Alcotest.(check int) "vars" 3 nv;
+  Alcotest.(check int) "clauses" 3 (List.length clauses);
+  let printed = Format.asprintf "%a" Dimacs.print (nv, clauses) in
+  let nv', clauses' = Dimacs.parse printed in
+  Alcotest.(check bool) "roundtrip" true (nv = nv' && clauses = clauses');
+  let s = Solver.create () in
+  Dimacs.load s text;
+  Alcotest.(check bool) "solvable" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "x1 false" true (Solver.value s (lit 0 false));
+  Alcotest.(check bool) "x2 true (1 -2 with -1)" true
+    (Solver.value s (lit 1 false));
+  Alcotest.(check bool) "x3 true" true (Solver.value s (lit 2 true))
+
+let test_stats_populated () =
+  let s = mk_solver (5 * 4) in
+  pigeonhole s 5 4;
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "conflicts > 0" true (st.Solver.conflicts > 0);
+  Alcotest.(check bool) "propagations > 0" true (st.Solver.propagations > 0)
+
+(* ---- randomised cross-check ---- *)
+
+let random_cnf rand_state ~nv ~nc ~len =
+  List.init nc (fun _ ->
+      List.init len (fun _ ->
+          let v = Random.State.int rand_state nv in
+          lit v (Random.State.bool rand_state)))
+
+let qcheck_random_vs_brute =
+  QCheck.Test.make ~count:300 ~name:"random 3-cnf matches brute force"
+    QCheck.(triple (int_range 1 10) (int_range 1 40) (int_range 0 1073741823))
+    (fun (nv, nc, seed) ->
+      let rs = Random.State.make [| seed |] in
+      let clauses = random_cnf rs ~nv ~nc ~len:3 in
+      let expected = brute_force nv clauses in
+      let s = mk_solver nv in
+      List.iter (Solver.add_clause s) clauses;
+      let got = Solver.solve s = Solver.Sat in
+      if got && not (check_model s clauses) then false
+      else got = expected)
+
+let qcheck_random_all_variants =
+  QCheck.Test.make ~count:60
+    ~name:"option variants agree on random instances"
+    QCheck.(triple (int_range 1 9) (int_range 1 35) (int_range 0 1073741823))
+    (fun (nv, nc, seed) ->
+      let rs = Random.State.make [| seed |] in
+      let clauses = random_cnf rs ~nv ~nc ~len:3 in
+      let expected = brute_force nv clauses in
+      List.for_all
+        (fun (_, options) ->
+          let s = mk_solver ~options nv in
+          List.iter (Solver.add_clause s) clauses;
+          let got = Solver.solve s = Solver.Sat in
+          (not got) || check_model s clauses)
+        all_option_variants
+      && List.for_all
+           (fun (_, options) ->
+             let s = mk_solver ~options nv in
+             List.iter (Solver.add_clause s) clauses;
+             (Solver.solve s = Solver.Sat) = expected)
+           all_option_variants)
+
+let qcheck_random_assumptions =
+  QCheck.Test.make ~count:150
+    ~name:"assumptions behave like added unit clauses"
+    QCheck.(triple (int_range 2 8) (int_range 1 25) (int_range 0 1073741823))
+    (fun (nv, nc, seed) ->
+      let rs = Random.State.make [| seed |] in
+      let clauses = random_cnf rs ~nv ~nc ~len:3 in
+      let n_assum = 1 + Random.State.int rs 2 in
+      let assumptions =
+        List.init n_assum (fun _ ->
+            lit (Random.State.int rs nv) (Random.State.bool rs))
+      in
+      let s = mk_solver nv in
+      List.iter (Solver.add_clause s) clauses;
+      let with_assumptions = Solver.solve ~assumptions s = Solver.Sat in
+      let s2 = mk_solver nv in
+      List.iter (Solver.add_clause s2) clauses;
+      List.iter (fun l -> Solver.add_clause s2 [ l ]) assumptions;
+      let with_units = Solver.solve s2 = Solver.Sat in
+      with_assumptions = with_units)
+
+let qcheck_lit_encoding =
+  QCheck.Test.make ~count:200 ~name:"literal encoding roundtrips"
+    QCheck.(pair (int_range 0 10000) bool)
+    (fun (v, sign) ->
+      let l = Lit.make v sign in
+      Lit.var l = v && Lit.sign l = sign
+      && Lit.var (Lit.negate l) = v
+      && Lit.sign (Lit.negate l) = not sign
+      && Lit.of_dimacs (Lit.to_dimacs l) = l)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty problem" `Quick test_empty;
+          Alcotest.test_case "unit clauses" `Quick test_unit;
+          Alcotest.test_case "conflicting units" `Quick test_conflicting_units;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "implication chain unsat" `Quick
+            test_implication_chain;
+          Alcotest.test_case "implication chain sat" `Quick
+            test_implication_chain_sat;
+          Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+          Alcotest.test_case "pigeonhole unsat (all options)" `Quick
+            test_pigeonhole_unsat;
+          Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "unsat core" `Quick test_unsat_core;
+          Alcotest.test_case "incremental solving" `Quick test_incremental;
+          Alcotest.test_case "new vars after solve" `Quick
+            test_new_vars_after_solve;
+          Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "stats populated" `Quick test_stats_populated;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_random_vs_brute;
+            qcheck_random_all_variants;
+            qcheck_random_assumptions;
+            qcheck_lit_encoding;
+          ] );
+    ]

@@ -1,0 +1,203 @@
+(* Tests for the cycle-accurate simulator. *)
+
+open Rtl
+
+let bv w v = Bitvec.of_int ~width:w v
+
+let build_counter () =
+  let open Netlist.Builder in
+  let b = create "counter" in
+  let enable = input b "enable" 1 in
+  let count = reg b "count" 8 in
+  set_next b count (Expr.mux enable Expr.(count +: one 8) count);
+  output b "next_is_five" Expr.(count +: one 8 ==: of_int ~width:8 5);
+  finalize b
+
+let test_counter_steps () =
+  let eng = Sim.Engine.create (build_counter ()) in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 5;
+  Alcotest.(check int) "count = 5" 5
+    (Bitvec.to_int (Sim.Engine.reg_value eng "count"));
+  Sim.Engine.set_input_int eng "enable" 0;
+  Sim.Engine.run eng 3;
+  Alcotest.(check int) "still 5" 5
+    (Bitvec.to_int (Sim.Engine.reg_value eng "count"));
+  Alcotest.(check int) "cycles" 8 (Sim.Engine.cycle eng)
+
+let test_peek_output () =
+  let eng = Sim.Engine.create (build_counter ()) in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 4;
+  Alcotest.(check int) "combinational output" 1
+    (Bitvec.to_int (Sim.Engine.peek_output eng "next_is_five"))
+
+let test_reset_values () =
+  let open Netlist.Builder in
+  let b = create "resettest" in
+  let r = reg b ~init:(bv 8 42) "r" 8 in
+  ignore r;
+  let nl = finalize b in
+  let eng = Sim.Engine.create nl in
+  Alcotest.(check int) "init value" 42
+    (Bitvec.to_int (Sim.Engine.reg_value eng "r"));
+  Sim.Engine.step eng;
+  Alcotest.(check int) "held" 42 (Bitvec.to_int (Sim.Engine.reg_value eng "r"))
+
+let build_memory_device () =
+  let open Netlist.Builder in
+  let b = create "mem" in
+  let wen = input b "wen" 1 in
+  let waddr = input b "waddr" 3 in
+  let wdata = input b "wdata" 8 in
+  let raddr = input b "raddr" 3 in
+  let m = mem b "m" ~addr_width:3 ~data_width:8 ~depth:8 in
+  write_port b m ~enable:wen ~addr:waddr ~data:wdata;
+  output b "rdata" (Expr.memread m raddr);
+  finalize b
+
+let test_memory_write_read () =
+  let eng = Sim.Engine.create (build_memory_device ()) in
+  Sim.Engine.set_input_int eng "wen" 1;
+  Sim.Engine.set_input_int eng "waddr" 3;
+  Sim.Engine.set_input_int eng "wdata" 0xab;
+  Sim.Engine.step eng;
+  Sim.Engine.set_input_int eng "wen" 0;
+  Sim.Engine.set_input_int eng "raddr" 3;
+  Alcotest.(check int) "read back" 0xab
+    (Bitvec.to_int (Sim.Engine.peek_output eng "rdata"));
+  Alcotest.(check int) "mem_value" 0xab
+    (Bitvec.to_int (Sim.Engine.mem_value eng "m" 3));
+  Sim.Engine.set_input_int eng "raddr" 2;
+  Alcotest.(check int) "other cell zero" 0
+    (Bitvec.to_int (Sim.Engine.peek_output eng "rdata"))
+
+let test_memory_port_priority () =
+  let open Netlist.Builder in
+  let b = create "prio" in
+  let m = mem b "m" ~addr_width:2 ~data_width:8 ~depth:4 in
+  (* two always-on ports to the same address; first must win *)
+  write_port b m ~enable:Expr.vdd ~addr:(Expr.zero 2)
+    ~data:(Expr.of_int ~width:8 1);
+  write_port b m ~enable:Expr.vdd ~addr:(Expr.zero 2)
+    ~data:(Expr.of_int ~width:8 2);
+  let nl = finalize b in
+  let eng = Sim.Engine.create nl in
+  Sim.Engine.step eng;
+  Alcotest.(check int) "first port wins" 1
+    (Bitvec.to_int (Sim.Engine.mem_value eng "m" 0))
+
+let test_two_phase_semantics () =
+  (* A swap register pair must exchange values atomically. *)
+  let open Netlist.Builder in
+  let b = create "swap" in
+  let x = reg b ~init:(bv 8 1) "x" 8 in
+  let y = reg b ~init:(bv 8 2) "y" 8 in
+  set_next b x y;
+  set_next b y x;
+  let nl = finalize b in
+  let eng = Sim.Engine.create nl in
+  Sim.Engine.step eng;
+  Alcotest.(check int) "x got y" 2 (Bitvec.to_int (Sim.Engine.reg_value eng "x"));
+  Alcotest.(check int) "y got x" 1 (Bitvec.to_int (Sim.Engine.reg_value eng "y"))
+
+let test_params () =
+  let open Netlist.Builder in
+  let b = create "ptest" in
+  let base = param b "base" 8 in
+  let r = reg b "r" 8 in
+  set_next b r Expr.(base +: one 8);
+  let nl = finalize b in
+  let eng = Sim.Engine.create nl in
+  Sim.Engine.set_param eng "base" (bv 8 9);
+  Sim.Engine.step eng;
+  Alcotest.(check int) "param used" 10
+    (Bitvec.to_int (Sim.Engine.reg_value eng "r"))
+
+let test_poke () =
+  let eng = Sim.Engine.create (build_counter ()) in
+  Sim.Engine.poke_reg eng "count" (bv 8 100);
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.step eng;
+  Alcotest.(check int) "poked then stepped" 101
+    (Bitvec.to_int (Sim.Engine.reg_value eng "count"))
+
+let test_trace () =
+  let nl = build_counter () in
+  let eng = Sim.Engine.create nl in
+  let rd = Netlist.find_reg nl "count" in
+  let tr = Sim.Trace.attach eng [ ("count", Expr.reg rd.Netlist.rd_signal) ] in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 4;
+  Alcotest.(check int) "trace length" 4 (Sim.Trace.length tr);
+  Alcotest.(check int) "cycle 0 value" 1
+    (Bitvec.to_int (Sim.Trace.get tr "count" 0));
+  Alcotest.(check int) "cycle 3 value" 4
+    (Bitvec.to_int (Sim.Trace.get tr "count" 3));
+  let series = List.map Bitvec.to_int (Sim.Trace.series tr "count") in
+  Alcotest.(check (list int)) "series" [ 1; 2; 3; 4 ] series
+
+let test_vcd () =
+  let nl = build_counter () in
+  let eng = Sim.Engine.create nl in
+  let rd = Netlist.find_reg nl "count" in
+  let path = Filename.temp_file "upec" ".vcd" in
+  let oc = open_out path in
+  let v =
+    Sim.Vcd.attach eng oc [ ("count", Expr.reg rd.Netlist.rd_signal) ]
+  in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 3;
+  Sim.Vcd.close v;
+  close_out oc;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header present" true (contains contents "$date");
+  Alcotest.(check bool) "has var decl" true (contains contents "$var wire 8");
+  Alcotest.(check bool) "has timesteps" true (contains contents "#3")
+
+(* qcheck: simulator counter matches a functional model *)
+let qcheck_counter_model =
+  QCheck.Test.make ~count:100 ~name:"counter matches functional model"
+    QCheck.(list_of_size Gen.(int_range 1 30) bool)
+    (fun enables ->
+      let eng = Sim.Engine.create (build_counter ()) in
+      let expected = ref 0 in
+      List.iter
+        (fun en ->
+          Sim.Engine.set_input_int eng "enable" (if en then 1 else 0);
+          Sim.Engine.step eng;
+          if en then expected := (!expected + 1) land 0xff)
+        enables;
+      Bitvec.to_int (Sim.Engine.reg_value eng "count") = !expected)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_steps;
+          Alcotest.test_case "peek output" `Quick test_peek_output;
+          Alcotest.test_case "reset values" `Quick test_reset_values;
+          Alcotest.test_case "memory write/read" `Quick test_memory_write_read;
+          Alcotest.test_case "memory port priority" `Quick
+            test_memory_port_priority;
+          Alcotest.test_case "two-phase semantics" `Quick
+            test_two_phase_semantics;
+          Alcotest.test_case "parameters" `Quick test_params;
+          Alcotest.test_case "poke" `Quick test_poke;
+        ] );
+      ( "trace+vcd",
+        [
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "vcd dump" `Quick test_vcd;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_counter_model ]);
+    ]

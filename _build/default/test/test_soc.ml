@@ -1,0 +1,396 @@
+(* SoC-level tests, driving the formal-mode netlist's victim bus port
+   from the simulator: SRAM, APB peripherals, DMA, HWPE, arbitration,
+   and — crucially — the existence of the contention timing channel. *)
+
+open Rtl
+open Testutil
+
+let cfg = Soc.Config.formal_tiny
+
+let pub_addr ~bank ~index = Soc.Memmap.cell_addr cfg Soc.Memmap.Pub ~bank ~index
+let priv_addr ~bank ~index = Soc.Memmap.cell_addr cfg Soc.Memmap.Priv ~bank ~index
+
+let fresh () =
+  let soc = build_formal ~cfg () in
+  (soc, engine_of soc)
+
+(* ---- memory ---- *)
+
+let test_sram_rw () =
+  let _, eng = fresh () in
+  let a0 = pub_addr ~bank:0 ~index:0 in
+  let a1 = pub_addr ~bank:1 ~index:2 in
+  ignore (bus_write eng cfg ~addr:a0 ~data:0xaa);
+  ignore (bus_write eng cfg ~addr:a1 ~data:0x55);
+  Alcotest.(check int) "bank0" 0xaa (bus_read_value eng cfg ~addr:a0);
+  Alcotest.(check int) "bank1" 0x55 (bus_read_value eng cfg ~addr:a1);
+  Alcotest.(check int) "mem array updated" 0xaa
+    (Bitvec.to_int (Sim.Engine.mem_value eng "pub0.mem" 0))
+
+let test_priv_sram_rw () =
+  let _, eng = fresh () in
+  let a = priv_addr ~bank:1 ~index:3 in
+  ignore (bus_write eng cfg ~addr:a ~data:0x7f);
+  Alcotest.(check int) "priv readback" 0x7f (bus_read_value eng cfg ~addr:a)
+
+let test_bank_interleave () =
+  (* consecutive addresses land in alternating banks *)
+  let _, eng = fresh () in
+  ignore (bus_write eng cfg ~addr:(pub_addr ~bank:0 ~index:0) ~data:1);
+  ignore (bus_write eng cfg ~addr:(pub_addr ~bank:1 ~index:0) ~data:2);
+  Alcotest.(check int) "bank0 cell" 1
+    (Bitvec.to_int (Sim.Engine.mem_value eng "pub0.mem" 0));
+  Alcotest.(check int) "bank1 cell" 2
+    (Bitvec.to_int (Sim.Engine.mem_value eng "pub1.mem" 0))
+
+let test_unmapped_no_grant () =
+  let _, eng = fresh () in
+  let unmapped = (3 lsl (cfg.Soc.Config.addr_width - 2)) + 1 in
+  set_victim eng cfg ~req:1 ~addr:unmapped ~we:1 ~wdata:0;
+  Alcotest.(check int) "no grant" 0
+    (Bitvec.to_int (Sim.Engine.peek_output eng "victim.gnt"));
+  Sim.Engine.step eng;
+  Alcotest.(check int) "still none" 0
+    (Bitvec.to_int (Sim.Engine.peek_output eng "victim.gnt"))
+
+(* ---- timer ---- *)
+
+let test_timer_counts () =
+  let _, eng = fresh () in
+  let ctrl = periph_addr cfg Soc.Memmap.Timer 0 in
+  let value = periph_addr cfg Soc.Memmap.Timer 1 in
+  Alcotest.(check int) "initially zero" 0 (bus_read_value eng cfg ~addr:value);
+  ignore (bus_write eng cfg ~addr:ctrl ~data:1);
+  Sim.Engine.run eng 10;
+  let v = bus_read_value eng cfg ~addr:value in
+  Alcotest.(check bool) "counted" true (v >= 10);
+  (* disable: count freezes *)
+  ignore (bus_write eng cfg ~addr:ctrl ~data:0);
+  let v1 = bus_read_value eng cfg ~addr:value in
+  Sim.Engine.run eng 5;
+  let v2 = bus_read_value eng cfg ~addr:value in
+  Alcotest.(check int) "frozen" v1 v2
+
+let test_timer_prime () =
+  let _, eng = fresh () in
+  let value = periph_addr cfg Soc.Memmap.Timer 1 in
+  ignore (bus_write eng cfg ~addr:value ~data:42);
+  Alcotest.(check int) "primed" 42 (bus_read_value eng cfg ~addr:value)
+
+(* ---- uart ---- *)
+
+let test_uart_busy () =
+  let _, eng = fresh () in
+  let tx = periph_addr cfg Soc.Memmap.Uart 0 in
+  let status = periph_addr cfg Soc.Memmap.Uart 1 in
+  Alcotest.(check int) "idle" 0 (bus_read_value eng cfg ~addr:status);
+  ignore (bus_write eng cfg ~addr:tx ~data:0x41);
+  Alcotest.(check int) "busy" 1 (bus_read_value eng cfg ~addr:status);
+  Alcotest.(check int) "data latched" 0x41 (bus_read_value eng cfg ~addr:tx);
+  Sim.Engine.run eng 12;
+  Alcotest.(check int) "idle again" 0 (bus_read_value eng cfg ~addr:status)
+
+(* ---- DMA ---- *)
+
+let dma_ctrl = periph_addr cfg Soc.Memmap.Dma 0
+let dma_src = periph_addr cfg Soc.Memmap.Dma 1
+let dma_dst = periph_addr cfg Soc.Memmap.Dma 2
+let dma_len = periph_addr cfg Soc.Memmap.Dma 3
+
+let test_dma_copy () =
+  let _, eng = fresh () in
+  (* source data in pub bank cells at word addresses 0,1,2 *)
+  ignore (bus_write eng cfg ~addr:0 ~data:11);
+  ignore (bus_write eng cfg ~addr:1 ~data:22);
+  ignore (bus_write eng cfg ~addr:2 ~data:33);
+  ignore (bus_write eng cfg ~addr:dma_src ~data:0);
+  ignore (bus_write eng cfg ~addr:dma_dst ~data:4);
+  ignore (bus_write eng cfg ~addr:dma_len ~data:3);
+  ignore (bus_write eng cfg ~addr:dma_ctrl ~data:1);
+  Sim.Engine.run eng 30;
+  Alcotest.(check int) "copied 0" 11 (bus_read_value eng cfg ~addr:4);
+  Alcotest.(check int) "copied 1" 22 (bus_read_value eng cfg ~addr:5);
+  Alcotest.(check int) "copied 2" 33 (bus_read_value eng cfg ~addr:6);
+  let status = bus_read_value eng cfg ~addr:dma_ctrl in
+  Alcotest.(check int) "done, not busy" 2 status
+
+let test_dma_to_private () =
+  let _, eng = fresh () in
+  ignore (bus_write eng cfg ~addr:0 ~data:0x5a);
+  ignore (bus_write eng cfg ~addr:dma_src ~data:0);
+  ignore (bus_write eng cfg ~addr:dma_dst ~data:(priv_addr ~bank:0 ~index:1));
+  ignore (bus_write eng cfg ~addr:dma_len ~data:1);
+  ignore (bus_write eng cfg ~addr:dma_ctrl ~data:1);
+  Sim.Engine.run eng 20;
+  Alcotest.(check int) "landed in private memory" 0x5a
+    (bus_read_value eng cfg ~addr:(priv_addr ~bank:0 ~index:1))
+
+let test_dma_cfg_locked_while_busy () =
+  let _, eng = fresh () in
+  ignore (bus_write eng cfg ~addr:dma_src ~data:0);
+  ignore (bus_write eng cfg ~addr:dma_dst ~data:4);
+  ignore (bus_write eng cfg ~addr:dma_len ~data:3);
+  ignore (bus_write eng cfg ~addr:dma_ctrl ~data:1);
+  (* busy now: try to corrupt len *)
+  ignore (bus_write eng cfg ~addr:dma_len ~data:7);
+  Sim.Engine.run eng 30;
+  Alcotest.(check int) "len unchanged" 3 (bus_read_value eng cfg ~addr:dma_len)
+
+let test_timer_autostart_on_dma_done () =
+  let _, eng = fresh () in
+  let tctrl = periph_addr cfg Soc.Memmap.Timer 0 in
+  let tvalue = periph_addr cfg Soc.Memmap.Timer 1 in
+  ignore (bus_write eng cfg ~addr:tctrl ~data:2);
+  (* auto-start armed *)
+  ignore (bus_write eng cfg ~addr:dma_src ~data:0);
+  ignore (bus_write eng cfg ~addr:dma_dst ~data:4);
+  ignore (bus_write eng cfg ~addr:dma_len ~data:2);
+  ignore (bus_write eng cfg ~addr:dma_ctrl ~data:1);
+  Alcotest.(check int) "timer still 0 while DMA runs" 0
+    (bus_read_value eng cfg ~addr:tvalue);
+  Sim.Engine.run eng 30;
+  let v = bus_read_value eng cfg ~addr:tvalue in
+  Alcotest.(check bool) "timer started by dma_done" true (v > 0)
+
+(* ---- HWPE ---- *)
+
+let hwpe_ctrl = periph_addr cfg Soc.Memmap.Hwpe 0
+let hwpe_dst = periph_addr cfg Soc.Memmap.Hwpe 1
+let hwpe_len = periph_addr cfg Soc.Memmap.Hwpe 2
+let hwpe_coef = periph_addr cfg Soc.Memmap.Hwpe 3
+
+let start_hwpe eng ~dst ~len ~coef =
+  ignore (bus_write eng cfg ~addr:hwpe_dst ~data:dst);
+  ignore (bus_write eng cfg ~addr:hwpe_len ~data:len);
+  ignore (bus_write eng cfg ~addr:hwpe_coef ~data:coef);
+  ignore (bus_write eng cfg ~addr:hwpe_ctrl ~data:1)
+
+let test_hwpe_overwrites () =
+  let _, eng = fresh () in
+  start_hwpe eng ~dst:0 ~len:4 ~coef:1;
+  Sim.Engine.run eng 10;
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "cell %d" i)
+      (i + 1)
+      (bus_read_value eng cfg ~addr:i)
+  done;
+  Alcotest.(check int) "done" 2 (bus_read_value eng cfg ~addr:hwpe_ctrl)
+
+let test_hwpe_coef_stream () =
+  let _, eng = fresh () in
+  start_hwpe eng ~dst:0 ~len:3 ~coef:3;
+  Sim.Engine.run eng 10;
+  Alcotest.(check int) "3*1" 3 (bus_read_value eng cfg ~addr:0);
+  Alcotest.(check int) "3*2" 6 (bus_read_value eng cfg ~addr:1);
+  Alcotest.(check int) "3*3" 9 (bus_read_value eng cfg ~addr:2)
+
+let test_hwpe_progress_visible () =
+  (* the heart of the Sec. 4.1 attack: partial progress is readable *)
+  let _, eng = fresh () in
+  (* prime with zeros *)
+  for i = 0 to 3 do
+    ignore (bus_write eng cfg ~addr:i ~data:0)
+  done;
+  start_hwpe eng ~dst:0 ~len:4 ~coef:1;
+  Sim.Engine.run eng 2;
+  (* after 2 cycles, exactly 2 writes have been granted *)
+  let progress =
+    List.length
+      (List.filter
+         (fun i -> Bitvec.to_int (Sim.Engine.mem_value eng
+                                    (if i mod 2 = 0 then "pub0.mem" else "pub1.mem")
+                                    (i / 2)) <> 0)
+         [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check int) "two cells overwritten" 2 progress
+
+(* ---- arbitration and the timing channel ---- *)
+
+(* Run the HWPE over 4 cells while the victim port issues [victim_reads]
+   reads at [victim_target] starting at cycle [victim_start]; return the
+   cycle count until the HWPE is done.
+
+   Note on arbitration dynamics: with round-robin arbitration, a victim
+   that greedily re-requests after every completed read anti-aligns with
+   the bank-interleaved HWPE stream and causes {e no} delay — the victim
+   must win a collision cycle, which happens when the arbiter's
+   last-grant points at the HWPE. This state-dependence is precisely why
+   the paper's exhaustive method beats simulation-based search. *)
+let hwpe_completion_time ?(victim_start = 0) ~victim_reads ~victim_target () =
+  let _, eng = fresh () in
+  start_hwpe eng ~dst:0 ~len:4 ~coef:1;
+  let reads = ref victim_reads in
+  let cycles = ref 0 in
+  let rec go () =
+    if !cycles > 100 then Alcotest.fail "hwpe never finished";
+    let hwpe_busy = Bitvec.to_int (Sim.Engine.reg_value eng "hwpe.busy") in
+    if hwpe_busy = 0 then ()
+    else begin
+      if !reads > 0 && !cycles >= victim_start then begin
+        set_victim eng cfg ~req:1 ~addr:victim_target ~we:0 ~wdata:0;
+        let gnt = Bitvec.to_int (Sim.Engine.peek_output eng "victim.gnt") in
+        if gnt = 1 then decr reads
+      end
+      else victim_idle eng cfg;
+      Sim.Engine.step eng;
+      incr cycles;
+      go ()
+    end
+  in
+  go ();
+  !cycles
+
+let test_contention_channel_exists () =
+  (* a victim read winning a bank-0 collision delays the HWPE; the same
+     access pattern against the private memory does not: the SoC-wide
+     timing side channel of Sec. 4.1 *)
+  let quiet = hwpe_completion_time ~victim_reads:0 ~victim_target:0 () in
+  let contended =
+    hwpe_completion_time ~victim_start:2 ~victim_reads:1
+      ~victim_target:(pub_addr ~bank:0 ~index:2) ()
+  in
+  let private_side =
+    hwpe_completion_time ~victim_start:2 ~victim_reads:1
+      ~victim_target:(priv_addr ~bank:0 ~index:0) ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "contention delays hwpe (%d vs %d)" contended quiet)
+    true (contended > quiet);
+  Alcotest.(check int)
+    (Printf.sprintf "private accesses do not (%d vs %d)" private_side quiet)
+    quiet private_side
+
+let test_greedy_victim_antialigns () =
+  (* documents the round-robin dynamics described above: a greedy victim
+     stream does not delay the bank-interleaved HWPE at all *)
+  let quiet = hwpe_completion_time ~victim_reads:0 ~victim_target:0 () in
+  let greedy =
+    hwpe_completion_time ~victim_reads:3
+      ~victim_target:(pub_addr ~bank:0 ~index:2) ()
+  in
+  Alcotest.(check int) "greedy victim causes no delay" quiet greedy
+
+let test_round_robin_fairness () =
+  (* DMA copying within bank 0 while victim also reads bank 0: both
+     must make progress (no starvation) *)
+  let _, eng = fresh () in
+  ignore (bus_write eng cfg ~addr:0 ~data:9);
+  ignore (bus_write eng cfg ~addr:dma_src ~data:0);
+  ignore (bus_write eng cfg ~addr:dma_dst ~data:2);
+  ignore (bus_write eng cfg ~addr:dma_len ~data:1);
+  ignore (bus_write eng cfg ~addr:dma_ctrl ~data:1);
+  (* victim keeps reading the same bank *)
+  let v = bus_read_value eng cfg ~addr:0 in
+  Alcotest.(check int) "victim read ok" 9 v;
+  Sim.Engine.run eng 20;
+  Alcotest.(check int) "dma finished too" 9 (bus_read_value eng cfg ~addr:2)
+
+let test_tdma_no_contention_channel () =
+  (* under TDMA, the HWPE's completion time is a function of the slot
+     schedule only — victim traffic cannot modulate it *)
+  let cfg_tdma = { cfg with Soc.Config.arbiter = `Tdma } in
+  let completion ~victim_reads ~victim_start =
+    let soc = build_formal ~cfg:cfg_tdma () in
+    let eng = engine_of soc in
+    ignore (bus_write eng cfg_tdma ~addr:hwpe_dst ~data:0);
+    ignore (bus_write eng cfg_tdma ~addr:hwpe_len ~data:4);
+    ignore (bus_write eng cfg_tdma ~addr:hwpe_coef ~data:1);
+    ignore (bus_write eng cfg_tdma ~addr:hwpe_ctrl ~data:1);
+    let reads = ref victim_reads in
+    let cycles = ref 0 in
+    let rec go () =
+      if !cycles > 200 then Alcotest.fail "hwpe never finished under tdma";
+      if Bitvec.to_int (Sim.Engine.reg_value eng "hwpe.busy") = 0 then ()
+      else begin
+        if !reads > 0 && !cycles >= victim_start then begin
+          set_victim eng cfg_tdma ~req:1 ~addr:(pub_addr ~bank:0 ~index:2)
+            ~we:0 ~wdata:0;
+          let gnt =
+            Bitvec.to_int (Sim.Engine.peek_output eng "victim.gnt")
+          in
+          if gnt = 1 then decr reads
+        end
+        else victim_idle eng cfg_tdma;
+        Sim.Engine.step eng;
+        incr cycles;
+        go ()
+      end
+    in
+    go ();
+    !cycles
+  in
+  let quiet = completion ~victim_reads:0 ~victim_start:0 in
+  List.iter
+    (fun (reads, start) ->
+      Alcotest.(check int)
+        (Printf.sprintf "victim (%d reads from cycle %d) cannot delay hwpe"
+           reads start)
+        quiet
+        (completion ~victim_reads:reads ~victim_start:start))
+    [ (1, 0); (1, 1); (1, 2); (3, 0); (3, 2) ]
+
+let test_fixed_priority_config () =
+  let cfg_fp = { cfg with Soc.Config.arbiter = `Fixed_priority } in
+  let soc = build_formal ~cfg:cfg_fp () in
+  let eng = engine_of soc in
+  (* single-master transactions still work *)
+  ignore (bus_write eng cfg_fp ~addr:1 ~data:0x3c);
+  Alcotest.(check int) "rw under fixed priority" 0x3c
+    (bus_read_value eng cfg_fp ~addr:1)
+
+let test_netlist_stats () =
+  let soc, _ = fresh () in
+  let bits = Netlist.state_bits soc.Soc.Builder.netlist in
+  Alcotest.(check bool)
+    (Printf.sprintf "state bits = %d" bits)
+    true (bits > 100)
+
+let () =
+  Alcotest.run "soc"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "public sram rw" `Quick test_sram_rw;
+          Alcotest.test_case "private sram rw" `Quick test_priv_sram_rw;
+          Alcotest.test_case "bank interleaving" `Quick test_bank_interleave;
+          Alcotest.test_case "unmapped never granted" `Quick
+            test_unmapped_no_grant;
+        ] );
+      ( "peripherals",
+        [
+          Alcotest.test_case "timer counts" `Quick test_timer_counts;
+          Alcotest.test_case "timer primeable" `Quick test_timer_prime;
+          Alcotest.test_case "uart busy" `Quick test_uart_busy;
+        ] );
+      ( "dma",
+        [
+          Alcotest.test_case "copy" `Quick test_dma_copy;
+          Alcotest.test_case "copy to private" `Quick test_dma_to_private;
+          Alcotest.test_case "config locked while busy" `Quick
+            test_dma_cfg_locked_while_busy;
+          Alcotest.test_case "timer auto-start" `Quick
+            test_timer_autostart_on_dma_done;
+        ] );
+      ( "hwpe",
+        [
+          Alcotest.test_case "progressive overwrite" `Quick test_hwpe_overwrites;
+          Alcotest.test_case "coefficient stream" `Quick test_hwpe_coef_stream;
+          Alcotest.test_case "partial progress visible" `Quick
+            test_hwpe_progress_visible;
+        ] );
+      ( "arbitration",
+        [
+          Alcotest.test_case "contention timing channel exists" `Quick
+            test_contention_channel_exists;
+          Alcotest.test_case "greedy victim anti-aligns" `Quick
+            test_greedy_victim_antialigns;
+          Alcotest.test_case "round-robin fairness" `Quick
+            test_round_robin_fairness;
+          Alcotest.test_case "tdma removes the channel" `Quick
+            test_tdma_no_contention_channel;
+          Alcotest.test_case "fixed-priority variant" `Quick
+            test_fixed_priority_config;
+          Alcotest.test_case "netlist stats" `Quick test_netlist_stats;
+        ] );
+    ]

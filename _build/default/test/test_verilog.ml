@@ -1,0 +1,121 @@
+(* Structural checks on the Verilog backend (no Verilog simulator is
+   available in this environment, so the tests validate shape:
+   identifier legality, port lists, per-register processes, memory
+   declarations and ROM initialisation). *)
+
+open Rtl
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let build_counter () =
+  let open Netlist.Builder in
+  let b = create "counter" in
+  let enable = input b "enable" 1 in
+  let count = reg b ~init:(Bitvec.of_int ~width:8 5) "count" 8 in
+  set_next b count (Expr.mux enable Expr.(count +: one 8) count);
+  output b "value" count;
+  finalize b
+
+let test_counter_emission () =
+  let v = Verilog.to_string (build_counter ()) in
+  Alcotest.(check bool) "module header" true (contains v "module top_counter(");
+  Alcotest.(check bool) "clk port" true (contains v "input wire clk");
+  Alcotest.(check bool) "enable port" true
+    (contains v "input wire [0:0] enable");
+  Alcotest.(check bool) "output port" true
+    (contains v "output wire [7:0] value");
+  Alcotest.(check bool) "register decl" true (contains v "reg [7:0] count;");
+  Alcotest.(check bool) "reset value" true (contains v "count <= 8'h5;");
+  Alcotest.(check bool) "endmodule" true (contains v "endmodule")
+
+let test_one_process_per_register () =
+  let soc = Soc.Builder.build Soc.Config.formal_tiny Soc.Builder.Formal in
+  let nl = soc.Soc.Builder.netlist in
+  let v = Verilog.to_string nl in
+  let regs = List.length nl.Netlist.regs in
+  let mems_with_ports =
+    List.length
+      (List.filter (fun md -> md.Netlist.md_ports <> []) nl.Netlist.mems)
+  in
+  Alcotest.(check int) "always blocks" (regs + mems_with_ports)
+    (count_occurrences v "always @(posedge clk)")
+
+let test_soc_memories () =
+  let soc = Soc.Builder.build Soc.Config.formal_tiny Soc.Builder.Formal in
+  let v = Verilog.to_string soc.Soc.Builder.netlist in
+  Alcotest.(check bool) "pub bank array" true
+    (contains v "reg [7:0] pub0_mem [0:3];");
+  Alcotest.(check bool) "mangled dotted names" true (contains v "dma_state");
+  Alcotest.(check bool) "symbolic params become inputs" true
+    (contains v "input wire [7:0] victim_base")
+
+let test_rom_initialisation () =
+  let rom =
+    Isa.Asm.assemble [ Isa.Asm.I (Isa.Encoding.Addi (1, 0, 1)); Isa.Asm.I Isa.Encoding.Ebreak ]
+  in
+  let soc = Soc.Builder.build Soc.Config.sim_default (Soc.Builder.Sim { rom }) in
+  let v = Verilog.to_string soc.Soc.Builder.netlist in
+  Alcotest.(check bool) "initial block for rom" true (contains v "initial begin");
+  Alcotest.(check bool) "first instruction word" true
+    (contains v "cpu_rom[0] = 32'h100093;")
+
+let test_identifier_legality () =
+  let soc = Soc.Builder.build Soc.Config.formal_tiny Soc.Builder.Formal in
+  let v = Verilog.to_string soc.Soc.Builder.netlist in
+  (* dotted RTL names must not survive into declarations *)
+  String.split_on_char '\n' v
+  |> List.iter (fun line ->
+         if contains line "  reg [" || contains line "  wire [" then
+           Alcotest.(check bool)
+             ("no dot in: " ^ line)
+             false (String.contains line '.'))
+
+let test_name_collisions_resolved () =
+  let open Netlist.Builder in
+  let b = create "collide" in
+  let x1 = reg b "a.b" 4 in
+  let x2 = reg b "a_b" 4 in
+  ignore x1;
+  ignore x2;
+  let v = Verilog.to_string (finalize b) in
+  Alcotest.(check bool) "both registers present" true
+    (contains v "reg [3:0] a_b;" && contains v "reg [3:0] a_b_0;")
+
+let test_write_file () =
+  let path = Filename.temp_file "upec" ".v" in
+  Verilog.write_file path (build_counter ());
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true (contains text "endmodule")
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "emission",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_emission;
+          Alcotest.test_case "one process per register" `Quick
+            test_one_process_per_register;
+          Alcotest.test_case "soc memories" `Quick test_soc_memories;
+          Alcotest.test_case "rom initialisation" `Quick test_rom_initialisation;
+          Alcotest.test_case "identifier legality" `Quick
+            test_identifier_legality;
+          Alcotest.test_case "name collisions" `Quick
+            test_name_collisions_resolved;
+          Alcotest.test_case "write_file" `Quick test_write_file;
+        ] );
+    ]

@@ -1,0 +1,76 @@
+(* Shared helpers for SoC-level tests: drive the formal-mode netlist's
+   victim bus port from a simulator, mimicking CPU transactions. *)
+
+open Rtl
+
+let bv w v = Bitvec.of_int ~width:w v
+
+let build_formal ?(cfg = Soc.Config.formal_tiny) () =
+  Soc.Builder.build cfg Soc.Builder.Formal
+
+let engine_of (soc : Soc.Builder.t) = Sim.Engine.create soc.Soc.Builder.netlist
+
+let set_victim eng (cfg : Soc.Config.t) ~req ~addr ~we ~wdata =
+  Sim.Engine.set_input_int eng "victim.req" req;
+  Sim.Engine.set_input eng "victim.addr" (bv cfg.Soc.Config.addr_width addr);
+  Sim.Engine.set_input_int eng "victim.we" we;
+  Sim.Engine.set_input eng "victim.wdata" (bv cfg.Soc.Config.data_width wdata)
+
+let victim_idle eng cfg = set_victim eng cfg ~req:0 ~addr:0 ~we:0 ~wdata:0
+
+exception Bus_timeout of string
+
+(* Issue one write; returns the number of cycles it stalled for. *)
+let bus_write ?(max_wait = 50) eng cfg ~addr ~data =
+  let rec wait n =
+    if n > max_wait then raise (Bus_timeout (Printf.sprintf "write @%x" addr));
+    set_victim eng cfg ~req:1 ~addr ~we:1 ~wdata:data;
+    let gnt = Bitvec.to_int (Sim.Engine.peek_output eng "victim.gnt") in
+    Sim.Engine.step eng;
+    if gnt = 1 then n else wait (n + 1)
+  in
+  let stalls = wait 0 in
+  victim_idle eng cfg;
+  stalls
+
+(* Issue one read; returns (value, stall_cycles). *)
+let bus_read ?(max_wait = 50) eng cfg ~addr =
+  let rec wait n =
+    if n > max_wait then raise (Bus_timeout (Printf.sprintf "read @%x" addr));
+    set_victim eng cfg ~req:1 ~addr ~we:0 ~wdata:0;
+    let gnt = Bitvec.to_int (Sim.Engine.peek_output eng "victim.gnt") in
+    Sim.Engine.step eng;
+    if gnt = 1 then n else wait (n + 1)
+  in
+  let stalls = wait 0 in
+  victim_idle eng cfg;
+  (* response arrives in the cycle after the grant *)
+  let rvalid = Bitvec.to_int (Sim.Engine.peek_output eng "victim.rvalid") in
+  if rvalid <> 1 then raise (Bus_timeout (Printf.sprintf "rvalid @%x" addr));
+  let v = Bitvec.to_int (Sim.Engine.peek_output eng "victim.rdata") in
+  Sim.Engine.step eng;
+  (v, stalls)
+
+let bus_read_value ?max_wait eng cfg ~addr = fst (bus_read ?max_wait eng cfg ~addr)
+
+(* Peripheral register addresses *)
+let periph_addr cfg p reg = Soc.Memmap.periph_reg_addr cfg p reg
+
+(* Simulation-mode SoC running a firmware image. *)
+let build_sim ?(cfg = Soc.Config.sim_default) program =
+  let rom = Isa.Asm.assemble program in
+  Soc.Builder.build cfg (Soc.Builder.Sim { rom })
+
+let run_until_halt ?(max_cycles = 20000) eng =
+  let rec go n =
+    if n > max_cycles then failwith "run_until_halt: cycle budget exhausted";
+    if Bitvec.to_int (Sim.Engine.peek_output eng "halted") = 1 then n
+    else begin
+      Sim.Engine.step eng;
+      go (n + 1)
+    end
+  in
+  go 0
+
+let cpu_reg eng i =
+  if i = 0 then 0 else Bitvec.to_int (Sim.Engine.mem_value eng "cpu.regs" i)
