@@ -5,14 +5,27 @@
 
    Run everything:        dune exec bench/main.exe
    Select experiments:    dune exec bench/main.exe -- E2 E3 A4
-   Include the slow k=2 unrolled secure proof:  ... -- full *)
+   Run experiments concurrently on 4 domains:      ... -- -j 4
+   Parallelise inside one experiment's proofs:     ... -- E2 -j 4
+   Quick smoke run (E1+E2, writes BENCH_smoke.json):  ... -- smoke
+   Include the slow k=2 unrolled secure proof:  ... -- full
 
-let section title =
-  Format.printf "@.============================================================@.";
-  Format.printf "%s@." title;
-  Format.printf "============================================================@."
+   Each experiment writes to its own buffer, so concurrent runs print
+   exactly the same report as sequential ones, in selection order. With
+   several experiments selected, -j runs whole experiments concurrently;
+   with exactly one, -j is handed to the provers (per-svar strategy),
+   which keeps the two levels of parallelism from oversubscribing. *)
 
-let paper_note text = Format.printf "paper: %s@.@." text
+type ctx = { fmt : Format.formatter; jobs : int option }
+
+let section ctx title =
+  Format.fprintf ctx.fmt
+    "@.============================================================@.";
+  Format.fprintf ctx.fmt "%s@." title;
+  Format.fprintf ctx.fmt
+    "============================================================@."
+
+let paper_note ctx text = Format.fprintf ctx.fmt "paper: %s@.@." text
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -29,24 +42,26 @@ let spec ?cfg ?(pers = Upec.Spec.Full_pers) variant =
 (* E1: Fig. 1 — the DMA + timer attack walkthrough                   *)
 (* ---------------------------------------------------------------- *)
 
-let e1 () =
-  section "E1 (Fig. 1): DMA + timer attack — victim accesses vs timer reading";
-  paper_note
+let e1 ctx =
+  section ctx
+    "E1 (Fig. 1): DMA + timer attack — victim accesses vs timer reading";
+  paper_note ctx
     "the attacker deduces the victim's memory access count from the timer \
      state after a DMA transfer (illustrative walkthrough in Sec. 2.2)";
-  Format.printf "victim accesses | timer at retrieval | total cycles@.";
+  Format.fprintf ctx.fmt "victim accesses | timer at retrieval | total cycles@.";
   let readings = Scenarios.Attacks.dma_timer [ 0; 2; 4; 6; 8; 10 ] in
   List.iter
     (fun r ->
-      Format.printf "%15d | %18d | %12d@." r.Scenarios.Attacks.dt_accesses
-        r.Scenarios.Attacks.dt_timer r.Scenarios.Attacks.dt_cycles)
+      Format.fprintf ctx.fmt "%15d | %18d | %12d@."
+        r.Scenarios.Attacks.dt_accesses r.Scenarios.Attacks.dt_timer
+        r.Scenarios.Attacks.dt_cycles)
     readings;
   let distinct =
     List.length
       (List.sort_uniq compare
          (List.map (fun r -> r.Scenarios.Attacks.dt_timer) readings))
   in
-  Format.printf "distinct readings: %d/%d -> channel %s@." distinct
+  Format.fprintf ctx.fmt "distinct readings: %d/%d -> channel %s@." distinct
     (List.length readings)
     (if distinct > 1 then "EXISTS" else "not observed")
 
@@ -54,31 +69,32 @@ let e1 () =
 (* E2: Sec. 4.1 — vulnerability detection                            *)
 (* ---------------------------------------------------------------- *)
 
-let print_report r = Format.printf "%a@." Upec.Report.pp r
+let print_report ctx r = Format.fprintf ctx.fmt "%a@." Upec.Report.pp r
 
-let e2 () =
-  section "E2 (Sec. 4.1): UPEC-SSC detects the vulnerability";
-  paper_note
+let e2 ctx =
+  section ctx "E2 (Sec. 4.1): UPEC-SSC detects the vulnerability";
+  paper_note ctx
     "several counterexamples on Pulpissimo; the highlighted one shows the \
      HWPE + memory variant, found with Alg. 2 unrolled to observe the \
      delayed HWPE access; iteration runtimes below one minute";
-  Format.printf "--- full S_pers, Alg. 1 (first persistent hit) ---@.";
-  let r1 = Upec.Alg1.run (spec Upec.Spec.Vulnerable) in
-  print_report r1;
-  Format.printf
+  Format.fprintf ctx.fmt "--- full S_pers, Alg. 1 (first persistent hit) ---@.";
+  let r1 = Upec.Alg1.run ?jobs:ctx.jobs (spec Upec.Spec.Vulnerable) in
+  print_report ctx r1;
+  Format.fprintf ctx.fmt
     "@.--- HWPE + memory variant: footprint-only retrieval (no timer), DMA \
      disabled, Alg. 2 ---@.";
   let cfg = { Soc.Config.formal_default with Soc.Config.with_dma = false } in
   let r2, _ =
-    Upec.Alg2.run (spec ~cfg ~pers:Upec.Spec.Memory_only Upec.Spec.Vulnerable)
+    Upec.Alg2.run ?jobs:ctx.jobs
+      (spec ~cfg ~pers:Upec.Spec.Memory_only Upec.Spec.Vulnerable)
   in
-  print_report r2;
+  print_report ctx r2;
   let max_iter_time =
     List.fold_left
       (fun acc s -> max acc s.Upec.Report.st_seconds)
       0. r1.Upec.Report.steps
   in
-  Format.printf
+  Format.fprintf ctx.fmt
     "@.shape check: vulnerable in both runs; slowest proof iteration %.1fs \
      (paper: < 60s)@."
     max_iter_time
@@ -87,16 +103,16 @@ let e2 () =
 (* E3: Sec. 4.2 — the countermeasure proof                           *)
 (* ---------------------------------------------------------------- *)
 
-let e3 ~full () =
-  section "E3 (Sec. 4.2): countermeasure proven secure";
-  paper_note
+let e3 ~full ctx =
+  section ctx "E3 (Sec. 4.2): countermeasure proven secure";
+  paper_note ctx
     "after the fix, Alg. 1 proves the SoC secure in 3 iterations; iteration \
      runtimes between 58 s and 2 h 52 min";
-  Format.printf "--- Alg. 1 to fixed point + induction ---@.";
-  let r = Upec.Alg1.run (spec Upec.Spec.Secure) in
-  print_report r;
+  Format.fprintf ctx.fmt "--- Alg. 1 to fixed point + induction ---@.";
+  let r = Upec.Alg1.run ?jobs:ctx.jobs (spec Upec.Spec.Secure) in
+  print_report ctx r;
   let times = List.map (fun s -> s.Upec.Report.st_seconds) r.Upec.Report.steps in
-  Format.printf
+  Format.fprintf ctx.fmt
     "@.shape check: SECURE; %d iterations (paper: 3); iteration times \
      %.2fs..%.2fs — the final inductive check dominates, mirroring the \
      paper's spread@."
@@ -104,21 +120,24 @@ let e3 ~full () =
     (List.fold_left min infinity times)
     (List.fold_left max 0. times);
   if full then begin
-    Format.printf "@.--- Alg. 2 (unrolled) + induction, k up to 2 ---@.";
-    let r2 = Upec.Alg2.conclude ~max_k:4 (spec Upec.Spec.Secure) in
-    print_report r2
+    Format.fprintf ctx.fmt
+      "@.--- Alg. 2 (unrolled) + induction, k up to 2 ---@.";
+    let r2 =
+      Upec.Alg2.conclude ~max_k:4 ?jobs:ctx.jobs (spec Upec.Spec.Secure)
+    in
+    print_report ctx r2
   end
   else
-    Format.printf
+    Format.fprintf ctx.fmt
       "@.(run with 'full' to include the k=2 unrolled secure proof, ~5 min)@."
 
 (* ---------------------------------------------------------------- *)
 (* E4: Fig. 2 — property time-window reduction                       *)
 (* ---------------------------------------------------------------- *)
 
-let e4 () =
-  section "E4 (Fig. 2): property window reduction (Obs. 1 + Obs. 2)";
-  paper_note
+let e4 ctx =
+  section ctx "E4 (Fig. 2): property window reduction (Obs. 1 + Obs. 2)";
+  paper_note ctx
     "describing the whole attack needs hundreds/thousands of cycles; Obs. 1 \
      drops the preparation phase, Obs. 2 ends the window at the first \
      persistent-state divergence: two cycles suffice";
@@ -127,13 +146,13 @@ let e4 () =
   let attack_cycles =
     match readings with r :: _ -> r.Scenarios.Attacks.dt_cycles | [] -> 0
   in
-  Format.printf
+  Format.fprintf ctx.fmt
     "measured end-to-end attack length (E1 firmware): %d cycles@."
     attack_cycles;
-  Format.printf "UPEC-SSC property window (Fig. 3): 2 cycles@.@.";
+  Format.fprintf ctx.fmt "UPEC-SSC property window (Fig. 3): 2 cycles@.@.";
   (* (b) the cost of longer windows: size and solve time of the first
      check at k = 1..4 *)
-  Format.printf
+  Format.fprintf ctx.fmt
     "window k | AIG and-gates | first-check time (vulnerable, Alg. 2 window)@.";
   List.iter
     (fun k ->
@@ -159,11 +178,11 @@ let e4 () =
             in
             ignore (Ipc.Engine.check eng goal))
       in
-      Format.printf "%8d | %13d | %6.2fs@." k
+      Format.fprintf ctx.fmt "%8d | %13d | %6.2fs@." k
         (Aig.num_ands (Ipc.Engine.graph eng))
         dt)
     [ 1; 2; 3; 4 ];
-  Format.printf
+  Format.fprintf ctx.fmt
     "=> cost grows with the window; the 2-cycle property keeps every check \
      tractable while the symbolic start covers all longer histories@."
 
@@ -171,12 +190,12 @@ let e4 () =
 (* E5: scalability sweep                                             *)
 (* ---------------------------------------------------------------- *)
 
-let e5 () =
-  section "E5: scalability with SoC size";
-  paper_note
+let e5 ctx =
+  section ctx "E5: scalability with SoC size";
+  paper_note ctx
     "the method scales to an SoC of realistic size (>5M state bits on \
      Pulpissimo with OneSpin); here: state bits vs check time on our stack";
-  Format.printf
+  Format.fprintf ctx.fmt
     "bank depth | state bits | state vars | iter-1 check | secure proof@.";
   let rec log2_up n = if n <= 1 then 0 else 1 + log2_up ((n + 1) / 2) in
   List.iter
@@ -191,7 +210,7 @@ let e5 () =
       in
       let s = spec ~cfg Upec.Spec.Vulnerable in
       let nl = s.Upec.Spec.soc.Soc.Builder.netlist in
-      let r1 = Upec.Alg1.run ~max_iterations:1 s in
+      let r1 = Upec.Alg1.run ~max_iterations:1 ?jobs:ctx.jobs s in
       let iter1 =
         match r1.Upec.Report.steps with
         | st :: _ -> st.Upec.Report.st_seconds
@@ -199,12 +218,12 @@ let e5 () =
       in
       let secure_time =
         if depth <= 8 then begin
-          let r = Upec.Alg1.run (spec ~cfg Upec.Spec.Secure) in
+          let r = Upec.Alg1.run ?jobs:ctx.jobs (spec ~cfg Upec.Spec.Secure) in
           Format.asprintf "%8.2fs" r.Upec.Report.total_seconds
         end
         else "   (skip)"
       in
-      Format.printf "%10d | %10d | %10d | %11.2fs | %s@." depth
+      Format.fprintf ctx.fmt "%10d | %10d | %10d | %11.2fs | %s@." depth
         (Rtl.Netlist.state_bits nl)
         (Rtl.Structural.Svar_set.cardinal (Rtl.Structural.all_svars nl))
         iter1 secure_time)
@@ -214,20 +233,20 @@ let e5 () =
 (* E6: IFT baseline comparison                                       *)
 (* ---------------------------------------------------------------- *)
 
-let e6 () =
-  section "E6 (Sec. 5): IFT baseline vs UPEC-SSC";
-  paper_note
+let e6 ctx =
+  section ctx "E6 (Sec. 5): IFT baseline vs UPEC-SSC";
+  paper_note ctx
     "the paper argues IFT cannot practically provide exhaustive SoC-wide \
      guarantees for timing channels; we quantify: verdicts and runtimes of \
      a CellIFT-style taint analysis vs UPEC-SSC on both SoC variants";
-  Format.printf
+  Format.fprintf ctx.fmt
     "variant    | IFT verdict                  | IFT time | UPEC verdict | \
      UPEC time@.";
   List.iter
     (fun (label, variant) ->
       let s = spec variant in
       let ift_verdict, ift_time = Ift.Formal.analyze ~max_k:2 s in
-      let upec_report = Upec.Alg1.run s in
+      let upec_report = Upec.Alg1.run ?jobs:ctx.jobs s in
       let ift_str =
         match ift_verdict with
         | Ift.Formal.Flow { k; tainted } ->
@@ -240,10 +259,10 @@ let e6 () =
         else if Upec.Report.is_secure upec_report then "SECURE"
         else "INCONCLUSIVE"
       in
-      Format.printf "%-10s | %-28s | %7.2fs | %-12s | %8.2fs@." label ift_str
-        ift_time upec_str upec_report.Upec.Report.total_seconds)
+      Format.fprintf ctx.fmt "%-10s | %-28s | %7.2fs | %-12s | %8.2fs@." label
+        ift_str ift_time upec_str upec_report.Upec.Report.total_seconds)
     [ ("baseline", Upec.Spec.Vulnerable); ("secured", Upec.Spec.Secure) ];
-  Format.printf
+  Format.fprintf ctx.fmt
     "=> IFT alarms on both variants (false positive on the secured SoC): \
      the taint abstraction smears through arbitration. UPEC-SSC \
      distinguishes them.@."
@@ -252,16 +271,18 @@ let e6 () =
 (* E7: HWPE + memory attack (no timer)                               *)
 (* ---------------------------------------------------------------- *)
 
-let e7 () =
-  section "E7 (Sec. 4.1): accelerator + memory attack — no timer involved";
-  paper_note
+let e7 ctx =
+  section ctx
+    "E7 (Sec. 4.1): accelerator + memory attack — no timer involved";
+  paper_note ctx
     "the detected variant lets an attacker open a timing channel without a \
      timer, undermining timer-denial countermeasures";
-  Format.printf "victim accesses | zero cells above the HWPE frontier@.";
+  Format.fprintf ctx.fmt
+    "victim accesses | zero cells above the HWPE frontier@.";
   let readings = Scenarios.Attacks.hwpe_memory [ 0; 32; 64; 96; 128 ] in
   List.iter
     (fun r ->
-      Format.printf "%15d | %34d@." r.Scenarios.Attacks.hw_accesses
+      Format.fprintf ctx.fmt "%15d | %34d@." r.Scenarios.Attacks.hw_accesses
         r.Scenarios.Attacks.hw_zero_cells)
     readings;
   let distinct =
@@ -269,7 +290,8 @@ let e7 () =
       (List.sort_uniq compare
          (List.map (fun r -> r.Scenarios.Attacks.hw_zero_cells) readings))
   in
-  Format.printf "distinct readings: %d/%d -> footprint channel %s@." distinct
+  Format.fprintf ctx.fmt "distinct readings: %d/%d -> footprint channel %s@."
+    distinct
     (List.length readings)
     (if distinct > 1 then "EXISTS" else "not observed")
 
@@ -277,20 +299,21 @@ let e7 () =
 (* E8 (extension): a less conservative countermeasure                *)
 (* ---------------------------------------------------------------- *)
 
-let e8 () =
-  section
+let e8 ctx =
+  section ctx
     "E8 (extension, Sec. 6 future work): contention-free TDMA interconnect";
-  paper_note
+  paper_note ctx
     "the conclusion sketches a UPEC-SSC-driven methodology towards less \
      conservative countermeasures; here is one: replace the round-robin \
      arbiters by time-division arbiters, making grant timing independent \
      of other masters' traffic. No private-memory remapping needed.";
-  Format.printf "arbiter     | policy assumptions        | UPEC-SSC verdict@.";
+  Format.fprintf ctx.fmt
+    "arbiter     | policy assumptions        | UPEC-SSC verdict@.";
   List.iter
     (fun (label, arb, variant) ->
       let cfg = { Soc.Config.formal_default with Soc.Config.arbiter = arb } in
-      let r = Upec.Alg1.run (spec ~cfg variant) in
-      Format.printf "%-11s | %-25s | %s (%d iters, %.1fs)@." label
+      let r = Upec.Alg1.run ?jobs:ctx.jobs (spec ~cfg variant) in
+      Format.fprintf ctx.fmt "%-11s | %-25s | %s (%d iters, %.1fs)@." label
         (match variant with
         | Upec.Spec.Vulnerable -> "threat model only"
         | Upec.Spec.Secure -> "+ Sec. 4.2 countermeasure")
@@ -312,12 +335,12 @@ let e8 () =
     Scenarios.Attacks.hwpe_memory ~cfg:tdma_sim [ 0; 32; 64; 96; 128 ]
   in
   let distinct f l = List.length (List.sort_uniq compare (List.map f l)) in
-  Format.printf
+  Format.fprintf ctx.fmt
     "@.attack replay under TDMA: timer readings %d distinct (was >1 under \
      RR); footprint readings %d distinct (was 5)@."
     (distinct (fun r -> r.Scenarios.Attacks.dt_timer) dma_readings)
     (distinct (fun r -> r.Scenarios.Attacks.hw_zero_cells) hwpe_readings);
-  Format.printf
+  Format.fprintf ctx.fmt
     "=> the contention-free interconnect closes the whole channel class; \
      the trade-off is bandwidth (each master owns 1/n of the slots)@."
 
@@ -325,33 +348,35 @@ let e8 () =
 (* E9: symbolic starting state vs concrete-reset BMC                 *)
 (* ---------------------------------------------------------------- *)
 
-let e9 () =
-  section "E9 (Sec. 3.2): why the symbolic starting state is load-bearing";
-  paper_note
+let e9 ctx =
+  section ctx "E9 (Sec. 3.2): why the symbolic starting state is load-bearing";
+  paper_note ctx
     "IPC employs a symbolic starting state modelling all possible input \
      histories — different from bounded model checking, which starts from \
      a concrete state. The preparation phase of the attack lives entirely \
      in that start state.";
   let s = spec Upec.Spec.Vulnerable in
   let (bmc_report, bmc_outcome), bmc_t =
-    time (fun () -> Upec.Alg2.run ~max_k:4 ~reset_start:true s)
+    time (fun () ->
+        Upec.Alg2.run ~max_k:4 ~reset_start:true ?jobs:ctx.jobs s)
   in
   let (ipc_report, _), ipc_t =
-    time (fun () -> Upec.Alg2.run (spec Upec.Spec.Vulnerable))
+    time (fun () -> Upec.Alg2.run ?jobs:ctx.jobs (spec Upec.Spec.Vulnerable))
   in
-  Format.printf "start state      | verdict on the vulnerable SoC | time@.";
-  Format.printf "concrete (reset) | %-29s | %5.2fs@."
+  Format.fprintf ctx.fmt
+    "start state      | verdict on the vulnerable SoC | time@.";
+  Format.fprintf ctx.fmt "concrete (reset) | %-29s | %5.2fs@."
     (match bmc_outcome with
     | Upec.Alg2.Found_vulnerable -> "VULNERABLE"
     | Upec.Alg2.Hold { k; _ } ->
         Printf.sprintf "nothing within k=%d (MISSED)" k
     | Upec.Alg2.Gave_up -> "gave up")
     bmc_t;
-  Format.printf "symbolic (IPC)   | %-29s | %5.2fs@."
+  Format.fprintf ctx.fmt "symbolic (IPC)   | %-29s | %5.2fs@."
     (if Upec.Report.is_vulnerable ipc_report then "VULNERABLE" else "??")
     ipc_t;
   ignore bmc_report;
-  Format.printf
+  Format.fprintf ctx.fmt
     "=> from reset the spying IPs are unconfigured, so no short window can \
      see the attack; the symbolic start subsumes every preparation phase \
      and detects immediately@."
@@ -360,21 +385,21 @@ let e9 () =
 (* A1: arbitration policy ablation                                   *)
 (* ---------------------------------------------------------------- *)
 
-let a1 () =
-  section "A1 (ablation): arbitration policy";
-  Format.printf
+let a1 ctx =
+  section ctx "A1 (ablation): arbitration policy";
+  Format.fprintf ctx.fmt
     "policy        | baseline verdict | secured verdict | secure proof time@.";
   List.iter
     (fun (label, arb) ->
       let cfg = { Soc.Config.formal_default with Soc.Config.arbiter = arb } in
-      let rv = Upec.Alg1.run (spec ~cfg Upec.Spec.Vulnerable) in
-      let rs = Upec.Alg1.run (spec ~cfg Upec.Spec.Secure) in
-      Format.printf "%-13s | %-16s | %-15s | %8.2fs@." label
+      let rv = Upec.Alg1.run ?jobs:ctx.jobs (spec ~cfg Upec.Spec.Vulnerable) in
+      let rs = Upec.Alg1.run ?jobs:ctx.jobs (spec ~cfg Upec.Spec.Secure) in
+      Format.fprintf ctx.fmt "%-13s | %-16s | %-15s | %8.2fs@." label
         (if Upec.Report.is_vulnerable rv then "VULNERABLE" else "secure?!")
         (if Upec.Report.is_secure rs then "SECURE" else "vulnerable?!")
         rs.Upec.Report.total_seconds)
     [ ("round-robin", `Round_robin); ("fixed-prio", `Fixed_priority) ];
-  Format.printf
+  Format.fprintf ctx.fmt
     "=> the channel and the countermeasure are independent of the \
      arbitration policy@."
 
@@ -382,9 +407,9 @@ let a1 () =
 (* A2: S_pers classification ablation                                *)
 (* ---------------------------------------------------------------- *)
 
-let a2 () =
-  section "A2 (ablation): treating interconnect buffers as persistent";
-  Format.printf
+let a2 ctx =
+  section ctx "A2 (ablation): treating interconnect buffers as persistent";
+  Format.fprintf ctx.fmt
     "If the Sec. 3.4 classification is ignored and every state variable is \
      persistent,@.the very first transient divergence is reported as a \
      'vulnerability':@.@.";
@@ -392,41 +417,43 @@ let a2 () =
      all of its members are interconnect buffers, i.e. false alarms under
      the naive classification *)
   let s = spec Upec.Spec.Secure in
-  let r = Upec.Alg1.run ~max_iterations:1 s in
+  let r = Upec.Alg1.run ~max_iterations:1 ?jobs:ctx.jobs s in
   (match r.Upec.Report.steps with
   | st :: _ ->
-      Format.printf "secured SoC, iteration 1 S_cex: %a@."
+      Format.fprintf ctx.fmt "secured SoC, iteration 1 S_cex: %a@."
         Rtl.Structural.pp_svar_set st.Upec.Report.st_cex;
       let all_interconnect =
         Rtl.Structural.Svar_set.for_all
           (fun sv -> Soc.Builder.is_interconnect s.Upec.Spec.soc sv)
           st.Upec.Report.st_cex
       in
-      Format.printf
+      Format.fprintf ctx.fmt
         "all members are interconnect buffers: %b -> naive classification \
          would flag a secure design@."
         all_interconnect
-  | [] -> Format.printf "unexpected: no counterexample at iteration 1@.")
+  | [] -> Format.fprintf ctx.fmt "unexpected: no counterexample at iteration 1@.")
 
 (* ---------------------------------------------------------------- *)
 (* A3: Alg. 1 vs Alg. 2 on the vulnerable SoC                        *)
 (* ---------------------------------------------------------------- *)
 
-let a3 () =
-  section "A3 (ablation): fixed-point (Alg. 1) vs unrolled (Alg. 2)";
+let a3 ctx =
+  section ctx "A3 (ablation): fixed-point (Alg. 1) vs unrolled (Alg. 2)";
   let s1 = spec Upec.Spec.Vulnerable in
-  let r1, t1 = time (fun () -> Upec.Alg1.run s1) in
-  let (r2, _), t2 = time (fun () -> Upec.Alg2.run (spec Upec.Spec.Vulnerable)) in
-  Format.printf "procedure | iterations | final k | verdict | time@.";
-  Format.printf "Alg. 1    | %10d | %7d | %-7s | %5.2fs@."
+  let r1, t1 = time (fun () -> Upec.Alg1.run ?jobs:ctx.jobs s1) in
+  let (r2, _), t2 =
+    time (fun () -> Upec.Alg2.run ?jobs:ctx.jobs (spec Upec.Spec.Vulnerable))
+  in
+  Format.fprintf ctx.fmt "procedure | iterations | final k | verdict | time@.";
+  Format.fprintf ctx.fmt "Alg. 1    | %10d | %7d | %-7s | %5.2fs@."
     (Upec.Report.iterations r1) (Upec.Report.final_k r1)
     (if Upec.Report.is_vulnerable r1 then "VULN" else "other")
     t1;
-  Format.printf "Alg. 2    | %10d | %7d | %-7s | %5.2fs@."
+  Format.fprintf ctx.fmt "Alg. 2    | %10d | %7d | %-7s | %5.2fs@."
     (Upec.Report.iterations r2) (Upec.Report.final_k r2)
     (if Upec.Report.is_vulnerable r2 then "VULN" else "other")
     t2;
-  Format.printf
+  Format.fprintf ctx.fmt
     "=> both detect; Alg. 2's counterexamples make every cycle explicit \
      (Sec. 3.5)@."
 
@@ -434,8 +461,8 @@ let a3 () =
 (* A4: solver feature ablation                                       *)
 (* ---------------------------------------------------------------- *)
 
-let a4 () =
-  section "A4 (ablation): SAT solver heuristics on the proof obligations";
+let a4 ctx =
+  section ctx "A4 (ablation): SAT solver heuristics on the proof obligations";
   let d = Satsolver.Solver.default_options in
   let heavy_variants =
     (* decision-heuristic-free search is hopeless at this CNF size, so
@@ -446,19 +473,21 @@ let a4 () =
       ("no minimise", { d with Satsolver.Solver.use_minimization = false });
     ]
   in
-  Format.printf "--- UPEC-SSC vulnerable detection (tens of kvars) ---@.";
-  Format.printf "solver config | time | verdict@.";
+  Format.fprintf ctx.fmt
+    "--- UPEC-SSC vulnerable detection (tens of kvars) ---@.";
+  Format.fprintf ctx.fmt "solver config | time | verdict@.";
   List.iter
     (fun (label, options) ->
       let r, dt =
         time (fun () ->
             Upec.Alg1.run ~solver_options:options (spec Upec.Spec.Vulnerable))
       in
-      Format.printf "%-13s | %5.2fs | %s@." label dt
+      Format.fprintf ctx.fmt "%-13s | %5.2fs | %s@." label dt
         (if Upec.Report.is_vulnerable r then "VULN" else "??"))
     heavy_variants;
-  Format.printf "@.--- pigeonhole php(8,7) UNSAT (combinatorial core) ---@.";
-  Format.printf "solver config | time | conflicts@.";
+  Format.fprintf ctx.fmt
+    "@.--- pigeonhole php(8,7) UNSAT (combinatorial core) ---@.";
+  Format.fprintf ctx.fmt "solver config | time | conflicts@.";
   List.iter
     (fun (label, options) ->
       let s = Satsolver.Solver.create ~options () in
@@ -479,7 +508,7 @@ let a4 () =
       done;
       let result, dt = time (fun () -> Satsolver.Solver.solve s) in
       assert (result = Satsolver.Solver.Unsat);
-      Format.printf "%-13s | %5.2fs | %d@." label dt
+      Format.fprintf ctx.fmt "%-13s | %5.2fs | %d@." label dt
         (Satsolver.Solver.stats s).Satsolver.Solver.conflicts)
     (heavy_variants
     @ [ ("no VSIDS", { d with Satsolver.Solver.use_vsids = false }) ])
@@ -488,20 +517,20 @@ let a4 () =
 (* A5: incremental vs from-scratch solving across Alg. 1 iterations  *)
 (* ---------------------------------------------------------------- *)
 
-let a5 () =
-  section "A5 (ablation): incremental vs per-iteration solver sessions";
-  Format.printf
+let a5 ctx =
+  section ctx "A5 (ablation): incremental vs per-iteration solver sessions";
+  Format.fprintf ctx.fmt
     "The paper re-runs the property checker per iteration; an engineering@.";
-  Format.printf
+  Format.fprintf ctx.fmt
     "alternative keeps one session and passes State_Equivalence(S) as@.";
-  Format.printf "solver assumptions (learnt clauses survive).@.@.";
-  Format.printf "mode         | variant    | verdict | iterations | time@.";
+  Format.fprintf ctx.fmt "solver assumptions (learnt clauses survive).@.@.";
+  Format.fprintf ctx.fmt "mode         | variant    | verdict | iterations | time@.";
   List.iter
     (fun (label, incremental, variant) ->
       let r, dt =
         time (fun () -> Upec.Alg1.run ~incremental (spec variant))
       in
-      Format.printf "%-12s | %-10s | %-7s | %10d | %5.2fs@." label
+      Format.fprintf ctx.fmt "%-12s | %-10s | %-7s | %10d | %5.2fs@." label
         (match variant with
         | Upec.Spec.Vulnerable -> "baseline"
         | Upec.Spec.Secure -> "secured")
@@ -515,7 +544,7 @@ let a5 () =
       ("per-check", false, Upec.Spec.Secure);
       ("incremental", true, Upec.Spec.Secure);
     ];
-  Format.printf
+  Format.fprintf ctx.fmt
     "=> counterexample iterations become nearly free incrementally; the \
      final inductive UNSAT dominates either way@."
 
@@ -523,8 +552,8 @@ let a5 () =
 (* Bechamel micro-benchmarks for the substrate kernels               *)
 (* ---------------------------------------------------------------- *)
 
-let kernels () =
-  section "substrate kernels (Bechamel)";
+let kernels ctx =
+  section ctx "substrate kernels (Bechamel)";
   let open Bechamel in
   let soc = formal_soc ~cfg:Soc.Config.formal_tiny () in
   let nl = soc.Soc.Builder.netlist in
@@ -583,8 +612,8 @@ let kernels () =
   Hashtbl.iter
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> Format.printf "%-28s %12.1f ns/run@." name est
-      | Some _ | None -> Format.printf "%-28s (no estimate)@." name)
+      | Some [ est ] -> Format.fprintf ctx.fmt "%-28s %12.1f ns/run@." name est
+      | Some _ | None -> Format.fprintf ctx.fmt "%-28s (no estimate)@." name)
     results
 
 (* ---------------------------------------------------------------- *)
@@ -608,21 +637,89 @@ let all_experiments ~full =
     ("kernels", kernels);
   ]
 
+let write_smoke_json ~jobs ~total results =
+  let oc = open_out "BENCH_smoke.json" in
+  Printf.fprintf oc "{\n  \"mode\": \"smoke\",\n  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"experiments\": [\n" total;
+  List.iteri
+    (fun i (name, _, dt) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"seconds\": %.3f }%s\n" name
+        dt
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote BENCH_smoke.json@."
+
+let usage () =
+  Format.printf
+    "usage: main.exe [E1..E9 A1..A5 kernels]* [smoke] [full] [-j N]@."
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse jobs sel = function
+    | [] -> (jobs, List.rev sel)
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n -> parse (Some n) sel rest
+        | None ->
+            usage ();
+            exit 1)
+    | ("-j" | "--jobs") :: [] ->
+        usage ();
+        exit 1
+    | a :: rest -> parse jobs (a :: sel) rest
+  in
+  let jobs_arg, args = parse None [] args in
   let full = List.mem "full" args in
-  let selected = List.filter (fun a -> a <> "full") args in
+  let smoke = List.mem "smoke" args in
+  let selected = List.filter (fun a -> a <> "full" && a <> "smoke") args in
   let experiments = all_experiments ~full in
   let to_run =
-    if selected = [] then experiments
-    else
-      List.filter (fun (name, _) -> List.mem name selected) experiments
+    if smoke then
+      List.filter (fun (name, _) -> name = "E1" || name = "E2") experiments
+    else if selected = [] then experiments
+    else List.filter (fun (name, _) -> List.mem name selected) experiments
   in
   if to_run = [] then begin
     Format.printf "unknown selection; available: %s@."
       (String.concat " " (List.map fst experiments));
     exit 1
   end;
+  (* Two levels of parallelism, never both: with one experiment selected,
+     -j goes to the provers (per-svar strategy); with several, -j runs
+     whole experiments concurrently and the provers stay sequential. *)
+  let resolve n = if n <= 0 then Parallel.Pool.default_jobs () else n in
+  let outer_jobs, inner_jobs =
+    match (jobs_arg, to_run) with
+    | None, _ -> (1, None)
+    | Some n, [ _ ] -> (1, Some (resolve n))
+    | Some n, _ -> (min (resolve n) (List.length to_run), None)
+  in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ()) to_run;
-  Format.printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let results =
+    Parallel.Pool.with_pool ~jobs:outer_jobs (fun pool ->
+        Parallel.Pool.map pool
+          (fun (name, f) ->
+            let buf = Buffer.create 4096 in
+            let fmt = Format.formatter_of_buffer buf in
+            let e0 = Unix.gettimeofday () in
+            f { fmt; jobs = inner_jobs };
+            Format.pp_print_flush fmt ();
+            (name, Buffer.contents buf, Unix.gettimeofday () -. e0))
+          to_run)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter (fun (_, output, _) -> print_string output) results;
+  Format.printf "@.---------------- timing summary ----------------@.";
+  Format.printf "experiment | wall-clock@.";
+  List.iter
+    (fun (name, _, dt) -> Format.printf "%-10s | %8.2fs@." name dt)
+    results;
+  let sum = List.fold_left (fun acc (_, _, dt) -> acc +. dt) 0. results in
+  Format.printf "sum of experiments: %.1fs; wall: %.1fs" sum wall;
+  if outer_jobs > 1 then
+    Format.printf " (aggregate speedup %.2fx on %d domains)" (sum /. wall)
+      outer_jobs;
+  Format.printf "@.";
+  if smoke then write_smoke_json ~jobs:outer_jobs ~total:wall results

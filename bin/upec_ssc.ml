@@ -83,15 +83,39 @@ let incremental_arg =
   let doc = "Keep one solver session across Alg. 1 iterations." in
   Arg.(value & flag & info [ "incremental" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run the per-svar strategy on N worker domains (0 = auto: \\$(b,UPEC_JOBS) \
+     or the recommended domain count). Verdicts and reports are identical \
+     for every N."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+let portfolio_arg =
+  let doc =
+    "Race K diversified solver configurations inside every SAT call."
+  in
+  Arg.(value & opt int 1 & info [ "portfolio" ] ~doc ~docv:"K")
+
+let stats_flag_arg =
+  let doc = "Print per-iteration solver statistics and portfolio winners." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let resolve_jobs = function
+  | Some 0 -> Some (Parallel.Pool.default_jobs ())
+  | j -> j
+
 let check_cmd =
   let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
-      incremental =
+      incremental jobs portfolio stats =
     let spec = spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
+    let jobs = resolve_jobs jobs in
     let report =
-      if alg = 2 then Upec.Alg2.conclude ~max_k spec
-      else Upec.Alg1.run ~incremental spec
+      if alg = 2 then Upec.Alg2.conclude ~max_k ?jobs ~portfolio spec
+      else Upec.Alg1.run ~incremental ?jobs ~portfolio spec
     in
     Format.printf "%a@." Upec.Report.pp report;
+    if stats then Format.printf "%a@." Upec.Report.pp_stats report;
     (match (full_cex, report.Upec.Report.verdict) with
     | true, Upec.Report.Vulnerable { cex; _ } ->
         Format.printf "%a@." Ipc.Cex.pp_full cex
@@ -104,7 +128,7 @@ let check_cmd =
     Term.(
       const run $ variant_arg $ alg_arg $ pers_arg $ depth_arg $ banks_arg
       $ arbiter_arg $ no_dma_arg $ no_hwpe_arg $ max_k_arg $ full_cex_arg
-      $ incremental_arg)
+      $ incremental_arg $ jobs_arg $ portfolio_arg $ stats_flag_arg)
 
 let invariants_cmd =
   let run variant depth banks arbiter =

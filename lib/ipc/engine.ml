@@ -6,14 +6,32 @@ type t = {
   u : Unroller.t;
   solver : S.t;
   cnf : Aig.Cnf.ctx;
+  portfolio : int;  (* configs raced per solve; <= 1 means sequential *)
+  configs : S.options list option;
+  mutable pre_encoded : int;  (* high-water mark: frames <= this are done *)
+  mutable params_encoded : bool;
+  mutable last_stats : S.stats;
+  mutable last_winner_ : int option;
 }
 
-let create ?solver_options ~two_instance nl =
+let create ?solver_options ?(portfolio = 1) ?portfolio_configs ~two_instance nl
+    =
   let g = Aig.create () in
   let u = Unroller.create g nl ~two_instance in
   let solver = S.create ?options:solver_options () in
   let cnf = Aig.Cnf.create g solver in
-  { g; u; solver; cnf }
+  {
+    g;
+    u;
+    solver;
+    cnf;
+    portfolio;
+    configs = portfolio_configs;
+    pre_encoded = -1;
+    params_encoded = false;
+    last_stats = S.zero_stats;
+    last_winner_ = None;
+  }
 
 let unroller t = t.u
 let graph t = t.g
@@ -22,7 +40,9 @@ let assume t l = Aig.Cnf.assert_lit t.cnf l
 let assume_implication t a b = Aig.Cnf.assert_implies t.cnf a b
 
 (* Pre-encode every extractable variable so model extraction never
-   consults a SAT variable allocated after solving. *)
+   consults a SAT variable allocated after solving. Incremental: the set
+   of state variables and inputs at a materialised frame never changes,
+   so frames at or below the high-water mark are skipped. *)
 let pre_encode t =
   let nl = Unroller.netlist t.u in
   let instances =
@@ -32,7 +52,7 @@ let pre_encode t =
   let svars = Rtl.Structural.all_svars nl in
   List.iter
     (fun inst ->
-      for frame = 0 to Unroller.frames t.u do
+      for frame = t.pre_encoded + 1 to Unroller.frames t.u do
         Rtl.Structural.Svar_set.iter
           (fun sv ->
             Array.iter
@@ -47,32 +67,68 @@ let pre_encode t =
           nl.Rtl.Netlist.inputs
       done)
     instances;
-  List.iter
-    (fun (s : Rtl.Expr.signal) ->
-      Array.iter
-        (fun l -> ignore (Aig.Cnf.sat_lit t.cnf l))
-        (Unroller.param_vec t.u s))
-    nl.Rtl.Netlist.params
+  t.pre_encoded <- Unroller.frames t.u;
+  if not t.params_encoded then begin
+    List.iter
+      (fun (s : Rtl.Expr.signal) ->
+        Array.iter
+          (fun l -> ignore (Aig.Cnf.sat_lit t.cnf l))
+          (Unroller.param_vec t.u s))
+      nl.Rtl.Netlist.params;
+    t.params_encoded <- true
+  end
 
-let model_fn t =
-  (* AIG literal -> bool via the SAT model. All relevant variable nodes
-     were pre-encoded; defensively treat unknown nodes as false. *)
+let sat_vars t = S.nvars t.solver
+
+(* Value of an AIG literal under a SAT-variable valuation. *)
+let model_fn_of t sat_value =
   let g = t.g in
-  fun l ->
-    let sat_value lit =
-      try S.value t.solver (Aig.Cnf.sat_lit t.cnf lit)
-      with Invalid_argument _ -> false
+  fun l -> Aig.eval g (fun var_lit -> sat_value var_lit) l
+
+let solve_raw t extra =
+  pre_encode t;
+  let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
+  if t.portfolio <= 1 then begin
+    let before = S.stats t.solver in
+    let r = S.solve ~assumptions t.solver in
+    t.last_stats <- S.diff_stats (S.stats t.solver) before;
+    t.last_winner_ <- None;
+    match r with
+    | S.Unsat -> `Unsat
+    | S.Sat ->
+        let sat_value lit =
+          try S.value t.solver lit with Invalid_argument _ -> false
+        in
+        `Sat (fun l -> sat_value (Aig.Cnf.sat_lit t.cnf l))
+  end
+  else begin
+    let nvars, clauses = S.export t.solver in
+    let o =
+      Parallel.Portfolio.solve ?configs:t.configs ~jobs:t.portfolio ~nvars
+        ~clauses ~assumptions ()
     in
-    Aig.eval g (fun var_lit -> sat_value var_lit) l
+    t.last_stats <- o.Parallel.Portfolio.stats;
+    t.last_winner_ <- Some o.Parallel.Portfolio.winner;
+    match o.Parallel.Portfolio.verdict with
+    | Parallel.Portfolio.Unsat -> `Unsat
+    | Parallel.Portfolio.Sat model ->
+        let sat_value lit =
+          let v = L.var lit in
+          if v < Array.length model then
+            if L.sign lit then model.(v) else not model.(v)
+          else false
+        in
+        `Sat (fun l -> sat_value (Aig.Cnf.sat_lit t.cnf l))
+  end
 
 type outcome = Holds | Cex of Cex.t
 
 let check_sat t extra =
-  pre_encode t;
-  let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
-  match S.solve ~assumptions t.solver with
-  | S.Unsat -> None
-  | S.Sat -> Some (Cex.extract t.u (model_fn t))
+  match solve_raw t extra with
+  | `Unsat -> None
+  | `Sat value -> Some (Cex.extract t.u (model_fn_of t value))
+
+let sat t extra = match solve_raw t extra with `Unsat -> false | `Sat _ -> true
 
 let check t goal =
   match check_sat t [ Aig.lit_not goal ] with
@@ -80,3 +136,5 @@ let check t goal =
   | Some cex -> Cex cex
 
 let solve_stats t = S.stats t.solver
+let last_stats t = t.last_stats
+let last_winner t = t.last_winner_

@@ -4,12 +4,19 @@
     are given as AIG literals: assumptions are asserted permanently;
     each {!check} call temporarily asserts the negation of the proof
     obligation through an activation literal, so successive checks with
-    different obligations reuse all learnt clauses. *)
+    different obligations reuse all learnt clauses.
+
+    With [portfolio > 1], every solve exports the current CNF and races
+    that many diversified solver configurations in parallel domains (see
+    {!Parallel.Portfolio}); the verdict is identical to the sequential
+    one, but learnt clauses are not carried between checks. *)
 
 type t
 
 val create :
   ?solver_options:Satsolver.Solver.options ->
+  ?portfolio:int ->
+  ?portfolio_configs:Satsolver.Solver.options list ->
   two_instance:bool ->
   Rtl.Netlist.t ->
   t
@@ -26,6 +33,15 @@ val assume_implication : t -> Aig.lit -> Aig.lit -> unit
 (** Permanently assume [a -> b]; with a fresh activation variable as
     [a], this arms retractable obligations for incremental checking. *)
 
+val pre_encode : t -> unit
+(** Force SAT encodings for every state variable, input and parameter of
+    all materialised frames. Called implicitly before each solve;
+    incremental — frames already encoded are skipped. *)
+
+val sat_vars : t -> int
+(** Number of SAT variables allocated so far (observability hook for the
+    incremental pre-encoding). *)
+
 type outcome = Holds | Cex of Cex.t
 
 val check : t -> Aig.lit -> outcome
@@ -37,4 +53,19 @@ val check_sat : t -> Aig.lit list -> Cex.t option
 (** Low-level: is the conjunction of assumptions and the given literals
     satisfiable? Returns the witness if so. *)
 
+val sat : t -> Aig.lit list -> bool
+(** Like {!check_sat} but without counterexample extraction — the cheap
+    form for per-svar condition checks where only the verdict matters. *)
+
 val solve_stats : t -> Satsolver.Solver.stats
+(** Cumulative statistics of the engine's own solver (sequential solves
+    only; portfolio solves run in throwaway solvers). *)
+
+val last_stats : t -> Satsolver.Solver.stats
+(** Statistics of the most recent solve alone: the per-check delta in
+    sequential mode, the winning configuration's totals in portfolio
+    mode. *)
+
+val last_winner : t -> int option
+(** Index of the configuration that won the most recent portfolio race;
+    [None] after a sequential solve. *)

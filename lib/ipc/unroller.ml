@@ -14,13 +14,34 @@ type frame = {
   f_inputs : (int, Blaster.vec) Hashtbl.t;  (* signal id -> vec *)
 }
 
+(* Growable frame store: O(1) indexed lookup and amortised O(1) append.
+   The previous [frame list] representation made [frame_of] O(n) and the
+   append on advance O(n), turning deep unrollings quadratic. *)
+type frames = { mutable arr : frame array; mutable len : int }
+
+let fv_create () = { arr = [||]; len = 0 }
+
+let fv_get fv i =
+  if i < 0 || i >= fv.len then invalid_arg "Unroller: frame out of range";
+  fv.arr.(i)
+
+let fv_push fv f =
+  if fv.len = Array.length fv.arr then begin
+    let cap = max 4 (2 * fv.len) in
+    let arr = Array.make cap f in
+    Array.blit fv.arr 0 arr 0 fv.len;
+    fv.arr <- arr
+  end;
+  fv.arr.(fv.len) <- f;
+  fv.len <- fv.len + 1
+
 type t = {
   g : Aig.t;
   nl : Netlist.t;
   duo : bool;
   params : (int, Blaster.vec) Hashtbl.t;  (* shared across inst and time *)
-  mutable frames_a : frame list;  (* index 0 first *)
-  mutable frames_b : frame list;
+  frames_a : frames;  (* index 0 first *)
+  frames_b : frames;
   mutable nframes : int;  (* highest state frame materialised *)
 }
 
@@ -42,8 +63,8 @@ let create g nl ~two_instance =
       nl;
       duo = two_instance;
       params = Hashtbl.create 8;
-      frames_a = [];
-      frames_b = [];
+      frames_a = fv_create ();
+      frames_b = fv_create ();
       nframes = -1;
     }
   in
@@ -56,9 +77,8 @@ let create g nl ~two_instance =
 
 let instances t = if t.duo then [ A; B ] else [ A ]
 
-let frame_of t inst i =
-  let lst = match inst with A -> t.frames_a | B -> t.frames_b in
-  List.nth lst i
+let frames_of t inst = match inst with A -> t.frames_a | B -> t.frames_b
+let frame_of t inst i = fv_get (frames_of t inst) i
 
 let fresh_state_frame t =
   let mk () =
@@ -98,7 +118,7 @@ let env_of t inst i =
 
 (* Compute frame i+1 of one instance from frame i. *)
 let advance t inst =
-  let i = List.length (match inst with A -> t.frames_a | B -> t.frames_b) - 1 in
+  let i = (frames_of t inst).len - 1 in
   let blast = Blaster.blaster t.g (env_of t inst i) in
   let next = new_frame () in
   List.iter
@@ -132,9 +152,7 @@ let advance t inst =
       in
       Hashtbl.replace next.f_mems m.Expr.m_id elems)
     t.nl.Netlist.mems;
-  match inst with
-  | A -> t.frames_a <- t.frames_a @ [ next ]
-  | B -> t.frames_b <- t.frames_b @ [ next ]
+  fv_push (frames_of t inst) next
 
 let ensure_frames t k =
   if t.nframes < 0 then begin
@@ -142,10 +160,7 @@ let ensure_frames t k =
     List.iter
       (fun inst ->
         let mk, () = fresh_state_frame t in
-        let f = mk () in
-        match inst with
-        | A -> t.frames_a <- [ f ]
-        | B -> t.frames_b <- [ f ])
+        fv_push (frames_of t inst) (mk ()))
       (instances t);
     t.nframes <- 0
   end;

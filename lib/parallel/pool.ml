@@ -1,0 +1,158 @@
+type task = { run : int -> unit }
+
+type t = {
+  n_jobs : int;
+  queues : task Queue.t array;
+  qlocks : Mutex.t array;
+  pending : int Atomic.t;  (* enqueued, not yet popped *)
+  sleep_mu : Mutex.t;
+  sleep_cv : Condition.t;
+  stop : bool Atomic.t;
+  rr : int Atomic.t;  (* round-robin submission cursor *)
+  mutable domains : unit Domain.t list;
+  mutable shut : bool;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "UPEC_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.n_jobs
+
+let try_pop t i =
+  let mu = t.qlocks.(i) in
+  Mutex.lock mu;
+  let r = Queue.take_opt t.queues.(i) in
+  Mutex.unlock mu;
+  r
+
+(* Own queue first, then a steal scan over siblings. *)
+let find_task t wid =
+  match try_pop t wid with
+  | Some _ as r -> r
+  | None ->
+      let n = t.n_jobs in
+      let rec scan k =
+        if k = n then None
+        else
+          match try_pop t ((wid + k) mod n) with
+          | Some _ as r -> r
+          | None -> scan (k + 1)
+      in
+      scan 1
+
+let worker t wid =
+  let continue = ref true in
+  while !continue do
+    match find_task t wid with
+    | Some task ->
+        Atomic.decr t.pending;
+        task.run wid
+    | None ->
+        Mutex.lock t.sleep_mu;
+        if Atomic.get t.stop then continue := false
+        else if Atomic.get t.pending = 0 then Condition.wait t.sleep_cv t.sleep_mu;
+        Mutex.unlock t.sleep_mu
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      n_jobs = jobs;
+      queues = Array.init jobs (fun _ -> Queue.create ());
+      qlocks = Array.init jobs (fun _ -> Mutex.create ());
+      pending = Atomic.make 0;
+      sleep_mu = Mutex.create ();
+      sleep_cv = Condition.create ();
+      stop = Atomic.make false;
+      rr = Atomic.make 0;
+      domains = [];
+      shut = false;
+    }
+  in
+  if jobs > 1 then
+    t.domains <-
+      List.init jobs (fun wid -> Domain.spawn (fun () -> worker t wid));
+  t
+
+let submit t task =
+  let i = Atomic.fetch_and_add t.rr 1 mod t.n_jobs in
+  let mu = t.qlocks.(i) in
+  Mutex.lock mu;
+  Queue.add task t.queues.(i);
+  Mutex.unlock mu;
+  Atomic.incr t.pending;
+  Mutex.lock t.sleep_mu;
+  Condition.broadcast t.sleep_cv;
+  Mutex.unlock t.sleep_mu
+
+let map_wid t f items =
+  if t.shut then invalid_arg "Pool.map: pool is shut down";
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if t.n_jobs = 1 then
+    (* Inline: sequential semantics, no queueing, caller is worker 0. *)
+    List.map (f 0) items
+  else begin
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_mu = Mutex.create () in
+    let done_cv = Condition.create () in
+    for i = 0 to n - 1 do
+      submit t
+        {
+          run =
+            (fun wid ->
+              let r =
+                try Ok (f wid arr.(i))
+                with e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              results.(i) <- Some r;
+              if Atomic.fetch_and_add remaining (-1) = 1 then begin
+                Mutex.lock done_mu;
+                Condition.broadcast done_cv;
+                Mutex.unlock done_mu
+              end);
+        }
+    done;
+    Mutex.lock done_mu;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cv done_mu
+    done;
+    Mutex.unlock done_mu;
+    (* Deterministic error choice: lowest submission index wins. *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | _ -> assert false (* all settled, none Error *))
+         results)
+  end
+
+let map t f items = map_wid t (fun _ x -> f x) items
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Atomic.set t.stop true;
+    Mutex.lock t.sleep_mu;
+    Condition.broadcast t.sleep_cv;
+    Mutex.unlock t.sleep_mu;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

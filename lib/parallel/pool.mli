@@ -1,0 +1,39 @@
+(** Domain pool with a work-stealing task queue.
+
+    A pool owns [jobs - 1] worker domains (the caller's domain acts as
+    worker 0 when [jobs = 1], in which case no domains are spawned and
+    every [map] runs inline — sequential semantics, zero overhead).
+    Tasks submitted by [map] are distributed round-robin over per-worker
+    queues; an idle worker steals from its siblings before sleeping.
+
+    Results are always returned in submission order, so callers get
+    deterministic output regardless of scheduling. If any task raises,
+    the exception of the lowest-indexed failing task is re-raised in the
+    caller after all tasks of that [map] have settled. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [UPEC_JOBS] from the environment if set to a positive integer,
+    otherwise {!Domain.recommended_domain_count}. *)
+
+val create : jobs:int -> t
+(** Spawn a pool with [jobs] workers ([jobs >= 1]; values above the
+    recommended domain count are allowed but rarely useful). *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every element, in parallel; blocks until all are done.
+    Results are in submission (list) order. *)
+
+val map_wid : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, but [f] also receives the worker id (in
+    [0 .. jobs-1]) running the task, for per-worker state such as
+    proof engines that are not safe to share between domains. *)
+
+val shutdown : t -> unit
+(** Join all workers. The pool must be idle; using it afterwards raises. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] — also on exceptions. *)

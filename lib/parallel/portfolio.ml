@@ -1,0 +1,79 @@
+module S = Satsolver.Solver
+
+type verdict = Sat of bool array | Unsat
+type outcome = { verdict : verdict; winner : int; stats : S.stats }
+
+let default_configs k =
+  let d = S.default_options in
+  let variants =
+    [|
+      d;
+      { d with init_polarity = true; restart_base = 64 };
+      { d with restart_base = 512; var_decay = 0.99 };
+      { d with use_phase_saving = false; restart_base = 32 };
+      { d with init_polarity = true; use_minimization = false };
+      { d with var_decay = 0.85; restart_base = 256 };
+      { d with use_restarts = false };
+      { d with init_polarity = true; var_decay = 0.99; restart_base = 1024 };
+    |]
+  in
+  List.init (max 1 k) (fun i ->
+      if i < Array.length variants then variants.(i)
+      else
+        (* Past the hand-picked set: cycle polarity and spread restarts. *)
+        {
+          d with
+          init_polarity = i mod 2 = 1;
+          restart_base = 32 * (1 + (i mod 6));
+          var_decay = if i mod 3 = 0 then 0.93 else 0.97;
+        })
+
+let run_config ~nvars ~clauses opts =
+  let s = S.create ~options:opts () in
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) clauses;
+  s
+
+let solve ?configs ~jobs ~nvars ~clauses ~assumptions () =
+  let configs =
+    match configs with
+    | Some (_ :: _ as cs) -> cs
+    | Some [] | None -> default_configs (max 1 jobs)
+  in
+  let k = min (max 1 jobs) (List.length configs) in
+  let configs = Array.of_list configs in
+  if k <= 1 then begin
+    (* Inline sequential solve with configuration 0. *)
+    let s = run_config ~nvars ~clauses configs.(0) in
+    let verdict =
+      match S.solve ~assumptions s with
+      | S.Sat -> Sat (Array.init nvars (S.value_var s))
+      | S.Unsat -> Unsat
+    in
+    { verdict; winner = 0; stats = S.stats s }
+  end
+  else begin
+    let winner = Atomic.make (-1) in
+    let outcomes = Array.make k None in
+    let body i () =
+      let s = run_config ~nvars ~clauses configs.(i) in
+      S.set_terminate s (Some (fun () -> Atomic.get winner >= 0));
+      match S.solve ~assumptions s with
+      | exception S.Interrupted -> ()
+      | r ->
+          if Atomic.compare_and_set winner (-1) i then
+            let verdict =
+              match r with
+              | S.Sat -> Sat (Array.init nvars (S.value_var s))
+              | S.Unsat -> Unsat
+            in
+            outcomes.(i) <- Some { verdict; winner = i; stats = S.stats s }
+    in
+    let doms = List.init k (fun i -> Domain.spawn (body i)) in
+    List.iter Domain.join doms;
+    match outcomes.(Atomic.get winner) with
+    | Some o -> o
+    | None -> assert false (* some domain always finishes and wins *)
+  end

@@ -1,0 +1,31 @@
+(** Portfolio SAT: race diversified solver configurations on one CNF.
+
+    Every configuration is a complete, sound CDCL solver, so the
+    verdict is deterministic — identical to a sequential solve — even
+    though which configuration finishes first (and hence the reported
+    model and statistics) depends on scheduling. The first finisher
+    publishes itself through an atomic flag; the losers poll it via
+    {!Satsolver.Solver.set_terminate} and abandon their search. *)
+
+type verdict = Sat of bool array  (** model, indexed by variable *) | Unsat
+type outcome = { verdict : verdict; winner : int; stats : Satsolver.Solver.stats }
+
+val default_configs : int -> Satsolver.Solver.options list
+(** [default_configs k] returns [k] configurations. Configuration 0 is
+    always {!Satsolver.Solver.default_options}; the rest vary restart
+    pacing, decay, phase saving, initial polarity and clause
+    minimisation. VSIDS is never disabled: index-order branching is
+    hopeless at proof-obligation sizes. *)
+
+val solve :
+  ?configs:Satsolver.Solver.options list ->
+  jobs:int ->
+  nvars:int ->
+  clauses:Satsolver.Lit.t list list ->
+  assumptions:Satsolver.Lit.t list ->
+  unit ->
+  outcome
+(** Race [min jobs (length configs)] configurations, each in its own
+    domain with its own solver over a private copy of the CNF. With
+    [jobs <= 1] only configuration 0 runs, inline — bit-for-bit the
+    sequential solve. *)

@@ -45,28 +45,35 @@ let tag e = e.tag
 let width e = e.width
 let node e = e.node
 
+(* The id counters and the hash-cons table below are global, so they are
+   guarded by a mutex: expressions may be built from several domains at
+   once (per-worker proof engines, concurrent bench experiments). The
+   lock is uncontended in single-domain runs. *)
+let global_lock = Mutex.create ()
 let next_signal_id = ref 0
 let next_mem_id = ref 0
 
 let signal name w =
   if w < 1 || w > Bitvec.max_width then
     invalid_arg (Printf.sprintf "Expr.signal %s: bad width %d" name w);
-  incr next_signal_id;
-  { s_name = name; s_width = w; s_id = !next_signal_id }
+  Mutex.protect global_lock (fun () ->
+      incr next_signal_id;
+      { s_name = name; s_width = w; s_id = !next_signal_id })
 
 let memory name ~addr_width ~data_width ~depth =
   if depth < 1 || (addr_width < Bitvec.max_width && depth > 1 lsl addr_width)
   then invalid_arg (Printf.sprintf "Expr.memory %s: bad depth %d" name depth);
   if data_width < 1 || data_width > Bitvec.max_width then
     invalid_arg (Printf.sprintf "Expr.memory %s: bad data width" name);
-  incr next_mem_id;
-  {
-    m_name = name;
-    m_addr_width = addr_width;
-    m_data_width = data_width;
-    m_depth = depth;
-    m_id = !next_mem_id;
-  }
+  Mutex.protect global_lock (fun () ->
+      incr next_mem_id;
+      {
+        m_name = name;
+        m_addr_width = addr_width;
+        m_data_width = data_width;
+        m_depth = depth;
+        m_id = !next_mem_id;
+      })
 
 (* Hash-consing: structural key over the node shape with children
    identified by tag. *)
@@ -113,13 +120,14 @@ let next_tag = ref 0
 
 let mk width node =
   let key = Key.of_node width node in
-  match Tbl.find_opt table key with
-  | Some e -> e
-  | None ->
-      incr next_tag;
-      let e = { tag = !next_tag; width; node } in
-      Tbl.add table key e;
-      e
+  Mutex.protect global_lock (fun () ->
+      match Tbl.find_opt table key with
+      | Some e -> e
+      | None ->
+          incr next_tag;
+          let e = { tag = !next_tag; width; node } in
+          Tbl.add table key e;
+          e)
 
 let const b = mk (Bitvec.width b) (Const b)
 let of_int ~width v = const (Bitvec.of_int ~width v)

@@ -23,6 +23,7 @@ type options = {
   clause_decay : float;
   restart_base : int;
   max_learnts_factor : float;
+  init_polarity : bool;
 }
 
 let default_options =
@@ -35,6 +36,7 @@ let default_options =
     clause_decay = 0.999;
     restart_base = 100;
     max_learnts_factor = 0.4;
+    init_polarity = false;
   }
 
 type stats = {
@@ -102,6 +104,7 @@ type t = {
   mutable model : int array;
   mutable last_result : lastres;
   mutable conflict_core : int list;  (* assumption lits of final conflict *)
+  mutable terminate : (unit -> bool) option;  (* polled during search *)
   (* stats *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
@@ -139,6 +142,7 @@ let create ?(options = default_options) () =
     model = [||];
     last_result = RNone;
     conflict_core = [];
+    terminate = None;
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
@@ -236,7 +240,7 @@ let new_var t =
   t.level.(v) <- 0;
   t.reason.(v) <- None;
   t.activity.(v) <- 0.0;
-  t.polarity.(v) <- false;
+  t.polarity.(v) <- t.opts.init_polarity;
   t.seen.(v) <- false;
   t.heap_pos.(v) <- -1;
   heap_insert t v;
@@ -623,6 +627,12 @@ let luby y x =
 type result = Sat | Unsat
 
 exception Found_unsat
+exception Interrupted
+
+let check_terminate t =
+  match t.terminate with
+  | Some f -> if f () then raise Interrupted
+  | None -> ()
 
 let search t ~assumptions ~conflict_budget =
   (* returns Some result, or None if budget exhausted (restart) *)
@@ -635,6 +645,7 @@ let search t ~assumptions ~conflict_budget =
   let result = ref None in
   (try
      while !result = None do
+       check_terminate t;
        match propagate t with
        | Some confl ->
            t.n_conflicts <- t.n_conflicts + 1;
@@ -727,7 +738,14 @@ let solve ?(assumptions = []) t =
       | Some r -> r
       | None -> loop (restarts + 1)
     in
-    let r = loop 0 in
+    let r =
+      try loop 0
+      with Interrupted ->
+        (* leave the solver reusable: unwind to level 0 *)
+        cancel_until t 0;
+        t.last_result <- RNone;
+        raise Interrupted
+    in
     (match r with
     | Sat ->
         t.model <- Array.sub t.assigns 0 t.nvars;
@@ -736,6 +754,26 @@ let solve ?(assumptions = []) t =
     cancel_until t 0;
     r
   end
+
+let set_terminate t f = t.terminate <- f
+
+let export t =
+  (* Snapshot the problem: all original clauses plus the level-0 trail
+     (root-level units and their propagation consequences) as unit
+     clauses. Learnt clauses are implied and intentionally left out, so
+     a portfolio racer starts from the same logical problem with its
+     own search dynamics. *)
+  if decision_level t > 0 then cancel_until t 0;
+  let units =
+    List.init t.trail_len (fun i -> [ Lit.of_int t.trail.(i) ])
+  in
+  let clauses =
+    List.rev_map
+      (fun c -> Array.to_list (Array.map Lit.of_int c.lits))
+      t.clauses
+  in
+  let clauses = if t.ok then clauses else [ [] ] in
+  (t.nvars, List.rev_append (List.rev units) clauses)
 
 let value t l =
   if t.last_result <> RSat then invalid_arg "Solver.value: last result not Sat";
@@ -760,6 +798,36 @@ let stats t =
     restarts = t.n_restarts;
     learnt_clauses = t.n_learnt_total;
     deleted_clauses = t.n_deleted;
+  }
+
+let diff_stats a b =
+  {
+    conflicts = a.conflicts - b.conflicts;
+    decisions = a.decisions - b.decisions;
+    propagations = a.propagations - b.propagations;
+    restarts = a.restarts - b.restarts;
+    learnt_clauses = a.learnt_clauses - b.learnt_clauses;
+    deleted_clauses = a.deleted_clauses - b.deleted_clauses;
+  }
+
+let add_stats a b =
+  {
+    conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    learnt_clauses = a.learnt_clauses + b.learnt_clauses;
+    deleted_clauses = a.deleted_clauses + b.deleted_clauses;
+  }
+
+let zero_stats =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnt_clauses = 0;
+    deleted_clauses = 0;
   }
 
 let pp_stats fmt s =

@@ -19,6 +19,8 @@ type options = {
   clause_decay : float;
   restart_base : int;  (** conflicts per Luby unit *)
   max_learnts_factor : float;  (** learnt DB size as fraction of clauses *)
+  init_polarity : bool;
+      (** initial saved phase of fresh variables (portfolio diversification) *)
 }
 
 val default_options : options
@@ -36,8 +38,25 @@ val add_clause : t -> Lit.t list -> unit
 
 type result = Sat | Unsat
 
+exception Interrupted
+(** Raised out of {!solve} when the termination callback fires. The
+    solver unwinds to decision level 0 and stays usable. *)
+
 val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve the current clause set under the given assumptions. *)
+
+val set_terminate : t -> (unit -> bool) option -> unit
+(** Install (or clear) a callback polled once per search-loop step
+    (conflict or decision). When it returns [true], the current [solve]
+    raises {!Interrupted}. Used by the portfolio runner to cancel
+    losers through a shared atomic flag. *)
+
+val export : t -> int * Lit.t list list
+(** [(nvars, clauses)]: a snapshot of the problem — every original
+    clause plus the root-level trail as unit clauses (learnt clauses
+    are implied and omitted). Loading the snapshot into a fresh solver
+    yields an equisatisfiable instance with identical variable
+    numbering; a trivially-unsat solver exports the empty clause. *)
 
 val value : t -> Lit.t -> bool
 (** Value of a literal in the model of the last [Sat] answer. Raises
@@ -63,4 +82,11 @@ type stats = {
 }
 
 val stats : t -> stats
+val diff_stats : stats -> stats -> stats
+(** Componentwise [a - b]: the cost of one check on a cumulative
+    counter. *)
+
+val add_stats : stats -> stats -> stats
+val zero_stats : stats
+
 val pp_stats : Format.formatter -> stats -> unit

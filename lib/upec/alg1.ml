@@ -1,9 +1,10 @@
 open Rtl
 module U = Ipc.Unroller
 
-let check_once ?solver_options spec s =
+(* Shared two-instance session setup for the 2-cycle property. *)
+let setup_engine ?solver_options ?portfolio spec =
   let eng =
-    Ipc.Engine.create ?solver_options ~two_instance:true
+    Ipc.Engine.create ?solver_options ?portfolio ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
   Ipc.Engine.ensure_frames eng 1;
@@ -12,27 +13,26 @@ let check_once ?solver_options spec s =
     Macros.primary_input_constraints eng spec ~frame:f;
     Macros.victim_task_executing eng spec ~frame:f
   done;
+  eng
+
+let check_once ?solver_options ?portfolio spec s =
+  let eng = setup_engine ?solver_options ?portfolio spec in
   Macros.state_equivalence_assume eng spec ~frame:0 s;
   let goal = Macros.state_equivalence_goal eng spec ~frame:1 s in
-  match Ipc.Engine.check eng goal with
-  | Ipc.Engine.Holds -> None
-  | Ipc.Engine.Cex cex -> Some (cex, Macros.violations eng spec cex ~frame:1 s)
+  let r =
+    match Ipc.Engine.check eng goal with
+    | Ipc.Engine.Holds -> None
+    | Ipc.Engine.Cex cex ->
+        Some (cex, Macros.violations eng spec cex ~frame:1 s)
+  in
+  (r, Ipc.Engine.last_stats eng, Ipc.Engine.last_winner eng)
 
 (* Incremental variant: one engine for the whole fixed-point loop. The
    State_Equivalence(S) assumption travels through solver assumptions
    and each iteration's obligation is armed by an activation literal,
    so learnt clauses survive across iterations. *)
-let make_incremental_checker ?solver_options spec s0 =
-  let eng =
-    Ipc.Engine.create ?solver_options ~two_instance:true
-      spec.Spec.soc.Soc.Builder.netlist
-  in
-  Ipc.Engine.ensure_frames eng 1;
-  Macros.assume_env eng spec ~frames:1;
-  for f = 0 to 1 do
-    Macros.primary_input_constraints eng spec ~frame:f;
-    Macros.victim_task_executing eng spec ~frame:f
-  done;
+let make_incremental_checker ?solver_options ?portfolio spec s0 =
+  let eng = setup_engine ?solver_options ?portfolio spec in
   let g = Ipc.Engine.graph eng in
   (* per-svar condition literals at both cycles, computed once *)
   let conds = Hashtbl.create 256 in
@@ -57,27 +57,172 @@ let make_incremental_checker ?solver_options spec s0 =
              fst (Hashtbl.find conds (Structural.svar_name sv)) :: acc)
            s []
     in
-    match Ipc.Engine.check_sat eng assumptions with
-    | None -> None
-    | Some cex -> Some (cex, Macros.violations eng spec cex ~frame:1 s)
+    let r =
+      match Ipc.Engine.check_sat eng assumptions with
+      | None -> None
+      | Some cex -> Some (cex, Macros.violations eng spec cex ~frame:1 s)
+    in
+    (r, Ipc.Engine.last_stats eng, Ipc.Engine.last_winner eng)
+
+(* --- per-svar decomposition (the parallel strategy) ------------------
+
+   Instead of one monolithic check whose S_cex is whatever happens to
+   differ in the solver's model, decide for every state variable
+   independently whether it *can* differ at cycle 1 under
+   State_Equivalence(S) at cycle 0:
+
+     S_cex := { sv in S | SAT( eq-assumptions(S)@0 /\ diff_sv@1 ) }
+
+   Each membership is a semantic fact about the formula, so S_cex — and
+   with it the whole refinement trace and the final S — is identical for
+   every job count and schedule. It is also at least as large as any
+   single model's violation set, so the fixed point is reached in no
+   more iterations than the monolithic check needs.
+
+   Persistent svars are checked first: any satisfiable one proves the
+   design vulnerable and ends the run without touching the rest. *)
+
+type worker_state = {
+  w_eng : Ipc.Engine.t;
+  w_conds : (string, Aig.lit * Aig.lit) Hashtbl.t;
+      (* svar name -> (eq@0 assumption, activation literal arming diff@1) *)
+}
+
+let make_worker ?solver_options ?portfolio spec s0 =
+  let eng = setup_engine ?solver_options ?portfolio spec in
+  let g = Ipc.Engine.graph eng in
+  let conds = Hashtbl.create 256 in
+  Structural.Svar_set.iter
+    (fun sv ->
+      let eq0 = Macros.sv_condition eng spec ~frame:0 sv in
+      let diff1 = Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) in
+      let act = Aig.fresh_var g in
+      Ipc.Engine.assume_implication eng act diff1;
+      Hashtbl.replace conds (Structural.svar_name sv) (eq0, act))
+    s0;
+  { w_eng = eng; w_conds = conds }
+
+let check_svar w s sv =
+  let assumptions =
+    snd (Hashtbl.find w.w_conds (Structural.svar_name sv))
+    :: Structural.Svar_set.fold
+         (fun sv' acc ->
+           fst (Hashtbl.find w.w_conds (Structural.svar_name sv')) :: acc)
+         s []
+  in
+  ( Ipc.Engine.sat w.w_eng assumptions,
+    Ipc.Engine.last_stats w.w_eng,
+    Ipc.Engine.last_winner w.w_eng )
+
+(* Deterministic counterexample for the report: a worker's engine has
+   solved a schedule-dependent sequence of obligations, so its model is
+   not reproducible. Re-derive the witness on a fresh sequential engine
+   for one fixed svar. *)
+let extract_cex ?solver_options spec s sv =
+  let eng = setup_engine ?solver_options spec in
+  Macros.state_equivalence_assume eng spec ~frame:0 s;
+  Ipc.Engine.check_sat eng
+    [ Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) ]
+
+let run_per_svar ~jobs ?solver_options ?portfolio ~max_iterations spec s0
+    finish record_step =
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      let engines = Array.make (Parallel.Pool.jobs pool) None in
+      let worker wid =
+        match engines.(wid) with
+        | Some w -> w
+        | None ->
+            let w = make_worker ?solver_options ?portfolio spec s0 in
+            engines.(wid) <- Some w;
+            w
+      in
+      let check_batch s svs =
+        Parallel.Pool.map_wid pool
+          (fun wid sv ->
+            let sat, stats, winner = check_svar (worker wid) s sv in
+            (sv, sat, stats, winner))
+          svs
+      in
+      let stats_of results =
+        List.fold_left
+          (fun (acc, w) (_, _, st, win) ->
+            ( Satsolver.Solver.add_stats acc st,
+              match win with Some _ -> win | None -> w ))
+          (Satsolver.Solver.zero_stats, None)
+          results
+      in
+      let sat_set results =
+        List.fold_left
+          (fun acc (sv, sat, _, _) ->
+            if sat then Structural.Svar_set.add sv acc else acc)
+          Structural.Svar_set.empty results
+      in
+      let rec loop iter s =
+        if iter > max_iterations then
+          finish (Report.Inconclusive "iteration budget exhausted")
+        else begin
+          let it0 = Unix.gettimeofday () in
+          let pers, rest =
+            Structural.Svar_set.partition (Spec.is_pers spec) s
+          in
+          let pers_results =
+            check_batch s (Structural.Svar_set.elements pers)
+          in
+          let pers_hit = sat_set pers_results in
+          if not (Structural.Svar_set.is_empty pers_hit) then begin
+            (* Vulnerable: no need to classify the remaining svars. *)
+            let stats, winner = stats_of pers_results in
+            record_step ~iter ~s ~s_cex:pers_hit ~pers_hit
+              ~seconds:(Unix.gettimeofday () -. it0)
+              ~stats:(Some stats) ~winner;
+            let witness = Structural.Svar_set.min_elt pers_hit in
+            match extract_cex ?solver_options spec s witness with
+            | Some cex -> finish (Report.Vulnerable { s_cex = pers_hit; cex })
+            | None ->
+                finish
+                  (Report.Inconclusive
+                     "per-svar SAT not reproducible on a fresh engine")
+          end
+          else begin
+            let rest_results =
+              check_batch s (Structural.Svar_set.elements rest)
+            in
+            let s_cex = sat_set rest_results in
+            let stats, winner =
+              let s1, w1 = stats_of pers_results in
+              let s2, w2 = stats_of rest_results in
+              ( Satsolver.Solver.add_stats s1 s2,
+                match w2 with Some _ -> w2 | None -> w1 )
+            in
+            record_step ~iter ~s ~s_cex ~pers_hit:Structural.Svar_set.empty
+              ~seconds:(Unix.gettimeofday () -. it0)
+              ~stats:(Some stats) ~winner;
+            if Structural.Svar_set.is_empty s_cex then
+              finish (Report.Secure { s_final = s })
+            else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
+          end
+        end
+      in
+      loop 1 s0)
 
 let run ?initial_s ?(max_iterations = 64) ?solver_options
-    ?(incremental = false) spec =
+    ?(incremental = false) ?jobs ?portfolio spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let s0 =
     match initial_s with Some s -> s | None -> Spec.s_neg_victim spec
   in
-  let checker =
-    if incremental then make_incremental_checker ?solver_options spec s0
-    else check_once ?solver_options spec
-  in
   let steps = ref [] in
+  let procedure =
+    match jobs with
+    | Some _ -> "UPEC-SSC (Alg. 1, per-svar)"
+    | None ->
+        if incremental then "UPEC-SSC (Alg. 1, incremental)"
+        else "UPEC-SSC (Alg. 1)"
+  in
   let finish verdict =
     {
-      Report.procedure =
-        (if incremental then "UPEC-SSC (Alg. 1, incremental)"
-         else "UPEC-SSC (Alg. 1)");
+      Report.procedure;
       variant = spec.Spec.variant;
       verdict;
       steps = List.rev !steps;
@@ -86,45 +231,57 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
       svar_count = Structural.Svar_set.cardinal (Structural.all_svars nl);
     }
   in
-  let rec loop iter s =
-    if iter > max_iterations then
-      finish (Report.Inconclusive "iteration budget exhausted")
-    else begin
-      let it0 = Unix.gettimeofday () in
-      match checker s with
-      | None ->
-          steps :=
-            {
-              Report.st_iter = iter;
-              st_k = 1;
-              st_s_size = Structural.Svar_set.cardinal s;
-              st_cex = Structural.Svar_set.empty;
-              st_pers_hit = Structural.Svar_set.empty;
-              st_seconds = Unix.gettimeofday () -. it0;
-            }
-            :: !steps;
-          finish (Report.Secure { s_final = s })
-      | Some (cex, s_cex) ->
-          let pers_hit =
-            Structural.Svar_set.filter (Spec.is_pers spec) s_cex
-          in
-          steps :=
-            {
-              Report.st_iter = iter;
-              st_k = 1;
-              st_s_size = Structural.Svar_set.cardinal s;
-              st_cex = s_cex;
-              st_pers_hit = pers_hit;
-              st_seconds = Unix.gettimeofday () -. it0;
-            }
-            :: !steps;
-          if Structural.Svar_set.is_empty s_cex then
-            finish
-              (Report.Inconclusive
-                 "counterexample without S_cex (spurious model)")
-          else if not (Structural.Svar_set.is_empty pers_hit) then
-            finish (Report.Vulnerable { s_cex; cex })
-          else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
-    end
+  let record_step ~iter ~s ~s_cex ~pers_hit ~seconds ~stats ~winner =
+    steps :=
+      {
+        Report.st_iter = iter;
+        st_k = 1;
+        st_s_size = Structural.Svar_set.cardinal s;
+        st_cex = s_cex;
+        st_pers_hit = pers_hit;
+        st_seconds = seconds;
+        st_stats = stats;
+        st_winner = winner;
+      }
+      :: !steps
   in
-  loop 1 s0
+  match jobs with
+  | Some j ->
+      run_per_svar ~jobs:(max 1 j) ?solver_options ?portfolio ~max_iterations
+        spec s0 finish record_step
+  | None ->
+      let checker =
+        if incremental then
+          make_incremental_checker ?solver_options ?portfolio spec s0
+        else check_once ?solver_options ?portfolio spec
+      in
+      let rec loop iter s =
+        if iter > max_iterations then
+          finish (Report.Inconclusive "iteration budget exhausted")
+        else begin
+          let it0 = Unix.gettimeofday () in
+          let result, stats, winner = checker s in
+          match result with
+          | None ->
+              record_step ~iter ~s ~s_cex:Structural.Svar_set.empty
+                ~pers_hit:Structural.Svar_set.empty
+                ~seconds:(Unix.gettimeofday () -. it0)
+                ~stats:(Some stats) ~winner;
+              finish (Report.Secure { s_final = s })
+          | Some (cex, s_cex) ->
+              let pers_hit =
+                Structural.Svar_set.filter (Spec.is_pers spec) s_cex
+              in
+              record_step ~iter ~s ~s_cex ~pers_hit
+                ~seconds:(Unix.gettimeofday () -. it0)
+                ~stats:(Some stats) ~winner;
+              if Structural.Svar_set.is_empty s_cex then
+                finish
+                  (Report.Inconclusive
+                     "counterexample without S_cex (spurious model)")
+              else if not (Structural.Svar_set.is_empty pers_hit) then
+                finish (Report.Vulnerable { s_cex; cex })
+              else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
+        end
+      in
+      loop 1 s0

@@ -18,6 +18,8 @@ val run :
   ?max_iterations:int ->
   ?solver_options:Satsolver.Solver.options ->
   ?incremental:bool ->
+  ?jobs:int ->
+  ?portfolio:int ->
   Spec.t ->
   Report.run
 (** [incremental] (default [false], matching the paper's per-iteration
@@ -25,4 +27,16 @@ val run :
     State_Equivalence(S) assumption is passed as solver assumptions and
     each iteration's obligation is armed by an activation literal, so
     learnt clauses are reused as S shrinks. Verdicts are identical
-    either way; the bench harness compares the runtimes. *)
+    either way; the bench harness compares the runtimes.
+
+    [jobs] selects the per-svar strategy: every iteration decides
+    independently, for each state variable in S, whether it can differ
+    at cycle 1 — those checks run on a pool of [jobs] workers, each
+    with its own engine (AIG and solver state are not shareable between
+    domains). Per-svar verdicts are semantic, so the refinement trace,
+    the final S and the verdict are identical for every [jobs] value;
+    [jobs = 1] runs the same strategy sequentially. Omitting [jobs]
+    keeps the monolithic single-check iteration.
+
+    [portfolio] (default 1) races that many diversified solver
+    configurations inside every SAT call (orthogonal to [jobs]). *)

@@ -6,10 +6,10 @@ type outcome =
   | Found_vulnerable
   | Gave_up
 
-let check_once ?solver_options ?(reset_start = false) spec s_frames k =
-  (* s_frames: array of length k+1 with the per-cycle sets *)
+(* Shared session setup for the Fig. 4 unrolled property at depth k. *)
+let setup_engine ?solver_options ?portfolio ~reset_start spec k =
   let eng =
-    Ipc.Engine.create ?solver_options ~two_instance:true
+    Ipc.Engine.create ?solver_options ?portfolio ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
   Ipc.Engine.ensure_frames eng k;
@@ -22,6 +22,12 @@ let check_once ?solver_options ?(reset_start = false) spec s_frames k =
     if f <= 1 then Macros.victim_task_executing eng spec ~frame:f
     else Macros.victim_port_equal eng spec ~frame:f
   done;
+  eng
+
+let check_once ?solver_options ?portfolio ?(reset_start = false) spec s_frames
+    k =
+  (* s_frames: array of length k+1 with the per-cycle sets *)
+  let eng = setup_engine ?solver_options ?portfolio ~reset_start spec k in
   Macros.state_equivalence_assume eng spec ~frame:0 s_frames.(0);
   let g = Ipc.Engine.graph eng in
   let goal = ref Aig.true_lit in
@@ -30,27 +36,69 @@ let check_once ?solver_options ?(reset_start = false) spec s_frames k =
       Aig.mk_and g !goal
         (Macros.state_equivalence_goal eng spec ~frame:j s_frames.(j))
   done;
-  match Ipc.Engine.check eng !goal with
-  | Ipc.Engine.Holds -> None
-  | Ipc.Engine.Cex cex ->
-      let per_frame =
-        List.init k (fun j ->
-            let j = j + 1 in
-            (j, Macros.violations eng spec cex ~frame:j s_frames.(j)))
-      in
-      Some (cex, per_frame)
+  let r =
+    match Ipc.Engine.check eng !goal with
+    | Ipc.Engine.Holds -> None
+    | Ipc.Engine.Cex cex ->
+        let per_frame =
+          List.init k (fun j ->
+              let j = j + 1 in
+              (j, Macros.violations eng spec cex ~frame:j s_frames.(j)))
+        in
+        Some (cex, per_frame)
+  in
+  (r, Ipc.Engine.last_stats eng, Ipc.Engine.last_winner eng)
+
+(* Per-(frame, svar) decomposition for the parallel strategy. The
+   unrolled property assumes equivalence only at cycle 0 — and sf.(0)
+   never shrinks — so the assumption set of every individual check is
+   constant: frame-0 equivalence is asserted permanently at worker
+   construction, and each pair (j, sv) gets one activation literal
+   arming diff_sv@j. Pair verdicts are therefore semantic facts, and
+   the whole trace is identical for every job count. *)
+type worker_state = {
+  w_k : int;
+  w_eng : Ipc.Engine.t;
+  w_acts : (int * string, Aig.lit) Hashtbl.t;  (* (frame, svar) -> act *)
+}
+
+let make_worker ?solver_options ?portfolio ~reset_start spec s0 k =
+  let eng = setup_engine ?solver_options ?portfolio ~reset_start spec k in
+  Macros.state_equivalence_assume eng spec ~frame:0 s0;
+  let g = Ipc.Engine.graph eng in
+  let acts = Hashtbl.create 1024 in
+  for j = 1 to k do
+    Structural.Svar_set.iter
+      (fun sv ->
+        let diff = Aig.lit_not (Macros.sv_condition eng spec ~frame:j sv) in
+        let act = Aig.fresh_var g in
+        Ipc.Engine.assume_implication eng act diff;
+        Hashtbl.replace acts (j, Structural.svar_name sv) act)
+      s0
+  done;
+  { w_k = k; w_eng = eng; w_acts = acts }
+
+let extract_cex ?solver_options ~reset_start spec s0 k (j, sv) =
+  let eng = setup_engine ?solver_options ~reset_start spec k in
+  Macros.state_equivalence_assume eng spec ~frame:0 s0;
+  Ipc.Engine.check_sat eng
+    [ Aig.lit_not (Macros.sv_condition eng spec ~frame:j sv) ]
 
 let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
-    ?(reset_start = false) spec =
+    ?(reset_start = false) ?jobs ?portfolio spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let s0 = Spec.s_neg_victim spec in
   let steps = ref [] in
+  let per_svar = jobs <> None in
   let finish verdict outcome =
     ( {
         Report.procedure =
-          (if reset_start then "BMC-from-reset (Alg. 2 property)"
-           else "UPEC-SSC-unrolled (Alg. 2)");
+          (match (reset_start, per_svar) with
+          | true, false -> "BMC-from-reset (Alg. 2 property)"
+          | true, true -> "BMC-from-reset (Alg. 2 property, per-svar)"
+          | false, false -> "UPEC-SSC-unrolled (Alg. 2)"
+          | false, true -> "UPEC-SSC-unrolled (Alg. 2, per-svar)");
         variant = spec.Spec.variant;
         verdict;
         steps = List.rev !steps;
@@ -60,7 +108,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
       },
       outcome )
   in
-  let record iter k s_size cex pers dt =
+  let record ?stats ?winner iter k s_size cex pers dt =
     steps :=
       {
         Report.st_iter = iter;
@@ -69,78 +117,245 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
         st_cex = cex;
         st_pers_hit = pers;
         st_seconds = dt;
+        st_stats = stats;
+        st_winner = winner;
       }
       :: !steps
   in
   (* growable array of per-cycle sets *)
   let s_frames = ref [| s0; s0 |] in
-  let rec loop iter k =
-    if iter > max_iterations then
-      finish (Report.Inconclusive "iteration budget exhausted") Gave_up
-    else begin
-      let it0 = Unix.gettimeofday () in
-      let sf = !s_frames in
-      match check_once ?solver_options ~reset_start spec sf k with
-      | None ->
-          let dt = Unix.gettimeofday () -. it0 in
-          record iter k (Structural.Svar_set.cardinal sf.(k))
-            Structural.Svar_set.empty Structural.Svar_set.empty dt;
-          if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
-            if reset_start then
-              (* a concrete-start (BMC) pass proves nothing beyond the
-                 window: report it as such *)
-              finish
-                (Report.Inconclusive
-                   (Printf.sprintf
-                      "BMC from reset: no detection within %d cycles (no \
-                       inductive meaning)" k))
-                (Hold { s_final = sf.(k); k })
-            else
-              finish
-                (Report.Secure { s_final = sf.(k) })
-                (Hold { s_final = sf.(k); k })
-          else if k >= max_k then
-            finish (Report.Inconclusive "max unrolling reached") Gave_up
-          else begin
-            s_frames := Array.append sf [| sf.(k) |];
-            loop (iter + 1) (k + 1)
-          end
-      | Some (cex, per_frame) ->
-          let dt = Unix.gettimeofday () -. it0 in
-          let all_cex =
+  match jobs with
+  | None ->
+      let rec loop iter k =
+        if iter > max_iterations then
+          finish (Report.Inconclusive "iteration budget exhausted") Gave_up
+        else begin
+          let it0 = Unix.gettimeofday () in
+          let sf = !s_frames in
+          let result, st, win =
+            check_once ?solver_options ?portfolio ~reset_start spec sf k
+          in
+          match result with
+          | None ->
+              let dt = Unix.gettimeofday () -. it0 in
+              record ~stats:st ?winner:win iter k
+                (Structural.Svar_set.cardinal sf.(k))
+                Structural.Svar_set.empty Structural.Svar_set.empty dt;
+              if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
+                if reset_start then
+                  (* a concrete-start (BMC) pass proves nothing beyond the
+                     window: report it as such *)
+                  finish
+                    (Report.Inconclusive
+                       (Printf.sprintf
+                          "BMC from reset: no detection within %d cycles (no \
+                           inductive meaning)" k))
+                    (Hold { s_final = sf.(k); k })
+                else
+                  finish
+                    (Report.Secure { s_final = sf.(k) })
+                    (Hold { s_final = sf.(k); k })
+              else if k >= max_k then
+                finish (Report.Inconclusive "max unrolling reached") Gave_up
+              else begin
+                s_frames := Array.append sf [| sf.(k) |];
+                loop (iter + 1) (k + 1)
+              end
+          | Some (cex, per_frame) ->
+              let dt = Unix.gettimeofday () -. it0 in
+              let all_cex =
+                List.fold_left
+                  (fun acc (_, v) -> Structural.Svar_set.union acc v)
+                  Structural.Svar_set.empty per_frame
+              in
+              let pers_hit =
+                Structural.Svar_set.filter (Spec.is_pers spec) all_cex
+              in
+              record ~stats:st ?winner:win iter k
+                (Structural.Svar_set.cardinal sf.(k))
+                all_cex pers_hit dt;
+              if Structural.Svar_set.is_empty all_cex then
+                finish
+                  (Report.Inconclusive
+                     "counterexample without S_cex (spurious model)")
+                  Gave_up
+              else if not (Structural.Svar_set.is_empty pers_hit) then
+                finish
+                  (Report.Vulnerable { s_cex = all_cex; cex })
+                  Found_vulnerable
+              else begin
+                List.iter
+                  (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
+                  per_frame;
+                loop (iter + 1) k
+              end
+        end
+      in
+      loop 1 1
+  | Some j ->
+      let jobs = max 1 j in
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          let engines = Array.make (Parallel.Pool.jobs pool) None in
+          let worker k wid =
+            match engines.(wid) with
+            | Some w when w.w_k = k -> w
+            | _ ->
+                let w =
+                  make_worker ?solver_options ?portfolio ~reset_start spec s0
+                    k
+                in
+                engines.(wid) <- Some w;
+                w
+          in
+          let check_pairs k pairs =
+            Parallel.Pool.map_wid pool
+              (fun wid (j, sv) ->
+                let w = worker k wid in
+                let act = Hashtbl.find w.w_acts (j, Structural.svar_name sv) in
+                ( (j, sv),
+                  Ipc.Engine.sat w.w_eng [ act ],
+                  Ipc.Engine.last_stats w.w_eng,
+                  Ipc.Engine.last_winner w.w_eng ))
+              pairs
+          in
+          let stats_of results =
             List.fold_left
-              (fun acc (_, v) -> Structural.Svar_set.union acc v)
-              Structural.Svar_set.empty per_frame
+              (fun (acc, w) (_, _, st, win) ->
+                ( Satsolver.Solver.add_stats acc st,
+                  match win with Some _ -> win | None -> w ))
+              (Satsolver.Solver.zero_stats, None)
+              results
           in
-          let pers_hit =
-            Structural.Svar_set.filter (Spec.is_pers spec) all_cex
+          let rec loop iter k =
+            if iter > max_iterations then
+              finish (Report.Inconclusive "iteration budget exhausted") Gave_up
+            else begin
+              let it0 = Unix.gettimeofday () in
+              let sf = !s_frames in
+              let pairs p =
+                List.concat_map
+                  (fun j ->
+                    Structural.Svar_set.fold
+                      (fun sv acc -> if p sv then (j, sv) :: acc else acc)
+                      sf.(j) []
+                    |> List.rev)
+                  (List.init k (fun i -> i + 1))
+              in
+              (* Persistent svars first: any hit ends the run early. *)
+              let pers_results = check_pairs k (pairs (Spec.is_pers spec)) in
+              let pers_sat =
+                List.filter (fun (_, sat, _, _) -> sat) pers_results
+              in
+              if pers_sat <> [] then begin
+                let pers_hit =
+                  List.fold_left
+                    (fun acc ((_, sv), _, _, _) ->
+                      Structural.Svar_set.add sv acc)
+                    Structural.Svar_set.empty pers_sat
+                in
+                let st, win = stats_of pers_results in
+                record ~stats:st ?winner:win iter k
+                  (Structural.Svar_set.cardinal sf.(k))
+                  pers_hit pers_hit
+                  (Unix.gettimeofday () -. it0);
+                (* deterministic witness: smallest frame, then svar order *)
+                let witness =
+                  List.fold_left
+                    (fun acc ((j, sv), _, _, _) ->
+                      match acc with
+                      | None -> Some (j, sv)
+                      | Some (j', sv') ->
+                          if
+                            j < j'
+                            || (j = j' && Structural.compare_svar sv sv' < 0)
+                          then Some (j, sv)
+                          else acc)
+                    None pers_sat
+                  |> Option.get
+                in
+                match
+                  extract_cex ?solver_options ~reset_start spec s0 k witness
+                with
+                | Some cex ->
+                    finish
+                      (Report.Vulnerable { s_cex = pers_hit; cex })
+                      Found_vulnerable
+                | None ->
+                    finish
+                      (Report.Inconclusive
+                         "per-svar SAT not reproducible on a fresh engine")
+                      Gave_up
+              end
+              else begin
+                let rest_results =
+                  check_pairs k (pairs (fun sv -> not (Spec.is_pers spec sv)))
+                in
+                let per_frame =
+                  List.init k (fun i ->
+                      let j = i + 1 in
+                      ( j,
+                        List.fold_left
+                          (fun acc ((j', sv), sat, _, _) ->
+                            if sat && j' = j then
+                              Structural.Svar_set.add sv acc
+                            else acc)
+                          Structural.Svar_set.empty rest_results ))
+                in
+                let all_cex =
+                  List.fold_left
+                    (fun acc (_, v) -> Structural.Svar_set.union acc v)
+                    Structural.Svar_set.empty per_frame
+                in
+                let st, win =
+                  let s1, w1 = stats_of pers_results in
+                  let s2, w2 = stats_of rest_results in
+                  ( Satsolver.Solver.add_stats s1 s2,
+                    match w2 with Some _ -> w2 | None -> w1 )
+                in
+                record ~stats:st ?winner:win iter k
+                  (Structural.Svar_set.cardinal sf.(k))
+                  all_cex Structural.Svar_set.empty
+                  (Unix.gettimeofday () -. it0);
+                if Structural.Svar_set.is_empty all_cex then
+                  if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
+                    if reset_start then
+                      finish
+                        (Report.Inconclusive
+                           (Printf.sprintf
+                              "BMC from reset: no detection within %d cycles \
+                               (no inductive meaning)" k))
+                        (Hold { s_final = sf.(k); k })
+                    else
+                      finish
+                        (Report.Secure { s_final = sf.(k) })
+                        (Hold { s_final = sf.(k); k })
+                  else if k >= max_k then
+                    finish (Report.Inconclusive "max unrolling reached") Gave_up
+                  else begin
+                    s_frames := Array.append sf [| sf.(k) |];
+                    loop (iter + 1) (k + 1)
+                  end
+                else begin
+                  List.iter
+                    (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
+                    per_frame;
+                  loop (iter + 1) k
+                end
+              end
+            end
           in
-          record iter k (Structural.Svar_set.cardinal sf.(k)) all_cex pers_hit
-            dt;
-          if Structural.Svar_set.is_empty all_cex then
-            finish
-              (Report.Inconclusive
-                 "counterexample without S_cex (spurious model)")
-              Gave_up
-          else if not (Structural.Svar_set.is_empty pers_hit) then
-            finish (Report.Vulnerable { s_cex = all_cex; cex }) Found_vulnerable
-          else begin
-            List.iter
-              (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
-              per_frame;
-            loop (iter + 1) k
-          end
-    end
-  in
-  loop 1 1
+          loop 1 1)
 
-let conclude ?max_k ?max_iterations ?solver_options spec =
-  let report, outcome = run ?max_k ?max_iterations ?solver_options spec in
+let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio spec =
+  let report, outcome =
+    run ?max_k ?max_iterations ?solver_options ?jobs ?portfolio spec
+  in
   match outcome with
   | Found_vulnerable | Gave_up -> report
   | Hold { s_final; k = _ } ->
       let induction =
-        Alg1.run ~initial_s:s_final ?max_iterations ?solver_options spec
+        Alg1.run ~initial_s:s_final ?max_iterations ?solver_options ?jobs
+          ?portfolio spec
       in
       {
         induction with

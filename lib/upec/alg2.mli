@@ -20,17 +20,28 @@ val run :
   ?max_iterations:int ->
   ?solver_options:Satsolver.Solver.options ->
   ?reset_start:bool ->
+  ?jobs:int ->
+  ?portfolio:int ->
   Spec.t ->
   Report.run * outcome
 (** [reset_start] pins cycle 0 to the concrete reset state, degrading
     IPC to plain bounded model checking — the E9 comparison. A [Hold]
     outcome under [reset_start] carries no inductive meaning; it shows
-    BMC finding nothing within the window. *)
+    BMC finding nothing within the window.
+
+    [jobs] selects the per-(frame, svar) strategy: each pair [(j, sv)]
+    with [sv] in the cycle-[j] set is decided independently on a pool
+    of [jobs] workers. The unrolled property only assumes equivalence
+    at cycle 0 — a set that never shrinks — so pair verdicts are
+    semantic and the trace is identical for every [jobs] value.
+    [portfolio] races that many solver configurations per SAT call. *)
 
 val conclude :
   ?max_k:int ->
   ?max_iterations:int ->
   ?solver_options:Satsolver.Solver.options ->
+  ?jobs:int ->
+  ?portfolio:int ->
   Spec.t ->
   Report.run
 (** Run the unrolled procedure; on [Hold], finish with the Algorithm 1

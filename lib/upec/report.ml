@@ -7,6 +7,8 @@ type step = {
   st_cex : Structural.Svar_set.t;
   st_pers_hit : Structural.Svar_set.t;
   st_seconds : float;
+  st_stats : Satsolver.Solver.stats option;
+  st_winner : int option;
 }
 
 type verdict =
@@ -71,3 +73,34 @@ let pp fmt r =
       Format.fprintf fmt "%a@," Ipc.Cex.pp cex
   | Secure _ | Inconclusive _ -> ());
   Format.fprintf fmt "total: %.2fs@]" r.total_seconds
+
+let pp_stats fmt r =
+  Format.fprintf fmt "@[<v>--- solver statistics (%s) ---@," r.procedure;
+  Format.fprintf fmt
+    "iter  conflicts  decisions  propagations  restarts  learnt  winner@,";
+  let have_any = ref false in
+  List.iter
+    (fun s ->
+      match s.st_stats with
+      | None -> ()
+      | Some st ->
+          have_any := true;
+          Format.fprintf fmt "%4d  %9d  %9d  %12d  %8d  %6d  %6s@," s.st_iter
+            st.Satsolver.Solver.conflicts st.Satsolver.Solver.decisions
+            st.Satsolver.Solver.propagations st.Satsolver.Solver.restarts
+            st.Satsolver.Solver.learnt_clauses
+            (match s.st_winner with
+            | Some w -> Printf.sprintf "#%d" w
+            | None -> "-"))
+    r.steps;
+  if not !have_any then Format.fprintf fmt "(no per-step statistics recorded)@,";
+  (let total =
+     List.fold_left
+       (fun acc s ->
+         match s.st_stats with
+         | Some st -> Satsolver.Solver.add_stats acc st
+         | None -> acc)
+       Satsolver.Solver.zero_stats r.steps
+   in
+   Format.fprintf fmt "total: %a@," Satsolver.Solver.pp_stats total);
+  Format.fprintf fmt "@]"

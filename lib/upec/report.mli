@@ -9,6 +9,10 @@ type step = {
   st_cex : Structural.Svar_set.t;  (** S_cex (empty when the check held) *)
   st_pers_hit : Structural.Svar_set.t;  (** S_cex ∩ S_pers *)
   st_seconds : float;
+  st_stats : Satsolver.Solver.stats option;
+      (** aggregate solver work of this iteration, when recorded *)
+  st_winner : int option;
+      (** portfolio configuration that won this iteration's last race *)
 }
 
 type verdict =
@@ -41,3 +45,9 @@ val pp : Format.formatter -> run -> unit
 
 val pp_summary : Format.formatter -> run -> unit
 (** One line: verdict, iterations, time. *)
+
+val pp_stats : Format.formatter -> run -> unit
+(** Per-iteration solver statistics and portfolio winners, plus the
+    aggregate. Separate from {!pp} so that reports remain comparable
+    across job counts — solver work is scheduling-dependent, the
+    verdict and iteration table are not. *)

@@ -88,6 +88,25 @@ let test_multi_frame_unroll () =
   | Ipc.Engine.Holds -> ()
   | Ipc.Engine.Cex _ -> Alcotest.fail "k=3 unrolling should hold")
 
+let test_pre_encode_incremental () =
+  (* the pre-encoding keeps a high-water mark: re-encoding the same
+     frames allocates no new SAT variables; new frames do *)
+  let nl = build_counter () in
+  let eng = Ipc.Engine.create ~two_instance:false nl in
+  Ipc.Engine.ensure_frames eng 1;
+  Ipc.Engine.pre_encode eng;
+  let n1 = Ipc.Engine.sat_vars eng in
+  Alcotest.(check bool) "some vars encoded" true (n1 > 0);
+  Ipc.Engine.pre_encode eng;
+  Alcotest.(check int) "repeat allocates nothing" n1 (Ipc.Engine.sat_vars eng);
+  Ipc.Engine.ensure_frames eng 2;
+  Ipc.Engine.pre_encode eng;
+  let n2 = Ipc.Engine.sat_vars eng in
+  Alcotest.(check bool) "new frame allocates" true (n2 > n1);
+  Ipc.Engine.pre_encode eng;
+  Alcotest.(check int) "repeat after growth allocates nothing" n2
+    (Ipc.Engine.sat_vars eng)
+
 (* ---- two-instance checks ---- *)
 
 let secret_sig nl = List.hd nl.Netlist.inputs
@@ -330,6 +349,8 @@ let () =
           Alcotest.test_case "increment holds" `Quick test_increment_holds;
           Alcotest.test_case "symbolic start cex" `Quick test_symbolic_start_cex;
           Alcotest.test_case "multi-frame unroll" `Quick test_multi_frame_unroll;
+          Alcotest.test_case "incremental pre-encoding" `Quick
+            test_pre_encode_incremental;
         ] );
       ( "two-instance",
         [

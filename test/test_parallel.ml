@@ -1,0 +1,202 @@
+(* Tests for the domain pool and the portfolio SAT runner, and the
+   determinism guarantee of the parallel UPEC-SSC strategy: identical
+   verdicts, refinement traces and final sets for every job count. *)
+
+module Pool = Parallel.Pool
+module Portfolio = Parallel.Portfolio
+module S = Satsolver.Solver
+module L = Satsolver.Lit
+
+(* ---- pool ---- *)
+
+let test_map_order jobs () =
+  Pool.with_pool ~jobs (fun pool ->
+      let items = List.init 100 Fun.id in
+      let results = Pool.map pool (fun x -> x * x) items in
+      Alcotest.(check (list int))
+        "results in submission order"
+        (List.map (fun x -> x * x) items)
+        results)
+
+let test_map_wid () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let wids = Pool.map_wid pool (fun wid _ -> wid) (List.init 64 Fun.id) in
+      List.iter
+        (fun wid ->
+          Alcotest.(check bool) "worker id in range" true (wid >= 0 && wid < 4))
+        wids)
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Pool.map pool
+          (fun x -> if x = 17 then failwith "task 17 failed" else x)
+          (List.init 40 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure msg ->
+          Alcotest.(check string) "first failing task wins" "task 17 failed" msg)
+
+let test_pool_reusable () =
+  (* several map calls over one pool; workers must not wedge *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let r = Pool.map pool (fun x -> x + round) (List.init 20 Fun.id) in
+        Alcotest.(check int) "round sum"
+          (List.fold_left ( + ) 0 (List.init 20 (fun x -> x + round)))
+          (List.fold_left ( + ) 0 r)
+      done)
+
+(* ---- portfolio ---- *)
+
+let random_cnf rs =
+  let nvars = 12 + Random.State.int rs 8 in
+  let nclauses = 3 * nvars + Random.State.int rs (3 * nvars) in
+  let clause () =
+    List.init 3 (fun _ ->
+        L.make (Random.State.int rs nvars) (Random.State.bool rs))
+  in
+  (nvars, List.init nclauses (fun _ -> clause ()))
+
+let sequential_verdict nvars clauses =
+  let s = S.create () in
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) clauses;
+  S.solve s
+
+let clause_satisfied model clause =
+  List.exists
+    (fun l ->
+      let v = model.(L.var l) in
+      if L.sign l then v else not v)
+    clause
+
+let test_portfolio_agrees () =
+  let rs = Random.State.make [| 0x5eed |] in
+  for _ = 1 to 50 do
+    let nvars, clauses = random_cnf rs in
+    let seq = sequential_verdict nvars clauses in
+    let o =
+      Portfolio.solve ~jobs:4 ~nvars ~clauses ~assumptions:[] ()
+    in
+    (match (seq, o.Portfolio.verdict) with
+    | S.Unsat, Portfolio.Unsat -> ()
+    | S.Sat, Portfolio.Sat model ->
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "model satisfies clause" true
+              (clause_satisfied model c))
+          clauses
+    | S.Sat, Portfolio.Unsat -> Alcotest.fail "portfolio says Unsat, solver Sat"
+    | S.Unsat, Portfolio.Sat _ ->
+        Alcotest.fail "portfolio says Sat, solver Unsat");
+    Alcotest.(check bool) "winner index valid" true (o.Portfolio.winner >= 0)
+  done
+
+let test_portfolio_jobs1_inline () =
+  (* jobs <= 1 must behave exactly like the sequential default solve *)
+  let rs = Random.State.make [| 42 |] in
+  for _ = 1 to 10 do
+    let nvars, clauses = random_cnf rs in
+    let seq = sequential_verdict nvars clauses in
+    let o = Portfolio.solve ~jobs:1 ~nvars ~clauses ~assumptions:[] () in
+    Alcotest.(check bool) "same verdict" true
+      (match (seq, o.Portfolio.verdict) with
+      | S.Sat, Portfolio.Sat _ | S.Unsat, Portfolio.Unsat -> true
+      | _ -> false);
+    Alcotest.(check int) "winner is config 0" 0 o.Portfolio.winner
+  done
+
+(* ---- parallel Alg. 1: determinism across job counts ---- *)
+
+let spec_of variant =
+  let soc = Soc.Builder.build Soc.Config.formal_tiny Soc.Builder.Formal in
+  Upec.Spec.make soc variant
+
+(* runs build separate SoC instances, so svars differ by internal signal
+   id across runs; compare the (unique) names instead *)
+let names s =
+  List.map Rtl.Structural.svar_name (Rtl.Structural.Svar_set.elements s)
+  |> List.sort compare
+
+let check_svar_set msg a b =
+  Alcotest.(check (list string)) msg (names a) (names b)
+
+let check_same_run r1 r4 =
+  Alcotest.(check string) "same procedure" r1.Upec.Report.procedure
+    r4.Upec.Report.procedure;
+  Alcotest.(check int) "same iteration count" (Upec.Report.iterations r1)
+    (Upec.Report.iterations r4);
+  List.iter2
+    (fun s1 s4 ->
+      Alcotest.(check int) "same |S|" s1.Upec.Report.st_s_size
+        s4.Upec.Report.st_s_size;
+      check_svar_set "same S_cex" s1.Upec.Report.st_cex s4.Upec.Report.st_cex;
+      check_svar_set "same persistent hits" s1.Upec.Report.st_pers_hit
+        s4.Upec.Report.st_pers_hit)
+    r1.Upec.Report.steps r4.Upec.Report.steps;
+  match (r1.Upec.Report.verdict, r4.Upec.Report.verdict) with
+  | Upec.Report.Secure { s_final = f1 }, Upec.Report.Secure { s_final = f4 } ->
+      check_svar_set "same final S" f1 f4
+  | ( Upec.Report.Vulnerable { s_cex = c1; _ },
+      Upec.Report.Vulnerable { s_cex = c4; _ } ) ->
+      check_svar_set "same S_cex" c1 c4
+  | v1, v4 ->
+      Alcotest.fail
+        (Format.asprintf "verdicts differ: %a vs %a" Upec.Report.pp_verdict v1
+           Upec.Report.pp_verdict v4)
+
+let test_alg1_jobs_deterministic_vulnerable () =
+  let r1 = Upec.Alg1.run ~jobs:1 (spec_of Upec.Spec.Vulnerable) in
+  let r4 = Upec.Alg1.run ~jobs:4 (spec_of Upec.Spec.Vulnerable) in
+  Alcotest.(check bool) "vulnerable" true (Upec.Report.is_vulnerable r1);
+  check_same_run r1 r4
+
+let test_alg1_jobs_deterministic_secure () =
+  let r1 = Upec.Alg1.run ~jobs:1 (spec_of Upec.Spec.Secure) in
+  let r4 = Upec.Alg1.run ~jobs:4 (spec_of Upec.Spec.Secure) in
+  Alcotest.(check bool) "secure" true (Upec.Report.is_secure r1);
+  check_same_run r1 r4
+
+let test_alg1_jobs_matches_legacy_verdicts () =
+  (* the per-svar strategy must agree with the monolithic iteration on
+     the verdict and (for secure runs) the final inductive set *)
+  let legacy = Upec.Alg1.run (spec_of Upec.Spec.Secure) in
+  let per_svar = Upec.Alg1.run ~jobs:2 (spec_of Upec.Spec.Secure) in
+  Alcotest.(check bool) "both secure" true
+    (Upec.Report.is_secure legacy && Upec.Report.is_secure per_svar);
+  match (legacy.Upec.Report.verdict, per_svar.Upec.Report.verdict) with
+  | Upec.Report.Secure { s_final = f1 }, Upec.Report.Secure { s_final = f2 } ->
+      check_svar_set "same greatest fixed point" f1 f2
+  | _ -> Alcotest.fail "unreachable"
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order (jobs=1)" `Quick (test_map_order 1);
+          Alcotest.test_case "map order (jobs=4)" `Quick (test_map_order 4);
+          Alcotest.test_case "worker ids" `Quick test_map_wid;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "pool reusable" `Quick test_pool_reusable;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "agrees with sequential (50 CNFs)" `Quick
+            test_portfolio_agrees;
+          Alcotest.test_case "jobs=1 inline" `Quick test_portfolio_jobs1_inline;
+        ] );
+      ( "alg1-jobs",
+        [
+          Alcotest.test_case "vulnerable: jobs 1 = jobs 4" `Slow
+            test_alg1_jobs_deterministic_vulnerable;
+          Alcotest.test_case "secure: jobs 1 = jobs 4" `Slow
+            test_alg1_jobs_deterministic_secure;
+          Alcotest.test_case "per-svar = legacy fixed point" `Slow
+            test_alg1_jobs_matches_legacy_verdicts;
+        ] );
+    ]
