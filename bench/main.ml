@@ -549,6 +549,102 @@ let a5 ctx =
      final inductive UNSAT dominates either way@."
 
 (* ---------------------------------------------------------------- *)
+(* Certification overhead: proof logging + independent checking      *)
+(* ---------------------------------------------------------------- *)
+
+let certify_experiment ctx =
+  section ctx "certify: verdict certification overhead";
+  paper_note ctx
+    "every verdict is revalidated independently: UNSAT results by a \
+     forward RUP check of the solver's DRUP trace, SAT models by clause \
+     evaluation, counterexamples by simulator replay. This experiment \
+     measures what that double-checking costs next to the solving itself.";
+  let cfg =
+    {
+      Soc.Config.formal_default with
+      Soc.Config.pub_depth = 4;
+      priv_depth = 4;
+    }
+  in
+  let runs =
+    [
+      ( "alg1-vulnerable",
+        fun () -> Upec.Alg1.run ~certify:true (spec ~cfg Upec.Spec.Vulnerable) );
+      ( "alg1-secure",
+        fun () -> Upec.Alg1.run ~certify:true (spec ~cfg Upec.Spec.Secure) );
+      ( "alg1-secure-portfolio2",
+        fun () ->
+          Upec.Alg1.run ~certify:true ~portfolio:2 (spec ~cfg Upec.Spec.Secure)
+      );
+      ( "alg2-vulnerable",
+        fun () ->
+          Upec.Alg2.conclude ~certify:true (spec ~cfg Upec.Spec.Vulnerable) );
+    ]
+  in
+  Format.fprintf ctx.fmt
+    "run                    | verdict | solve    | check    | overhead | \
+     proof steps | cex replay@.";
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let r, dt = time f in
+        let c =
+          match r.Upec.Report.cert with
+          | Some c -> c
+          | None -> failwith "certified run produced no cert info"
+        in
+        let t = c.Upec.Report.ct_totals in
+        let verdict =
+          if Upec.Report.is_vulnerable r then "VULN"
+          else if Upec.Report.is_secure r then "SECURE"
+          else "INCONCL"
+        in
+        let cex_str =
+          match c.Upec.Report.ct_cex_validated with
+          | Some true -> "PASSED"
+          | Some false -> "FAILED"
+          | None -> "n/a"
+        in
+        Format.fprintf ctx.fmt
+          "%-22s | %-7s | %7.3fs | %7.3fs | %7.1f%% | %11d | %s@." name verdict
+          t.Cert.Proof.solve_seconds t.Cert.Proof.check_seconds
+          (if t.Cert.Proof.solve_seconds > 0. then
+             100. *. t.Cert.Proof.check_seconds /. t.Cert.Proof.solve_seconds
+           else 0.)
+          t.Cert.Proof.proof_steps cex_str;
+        (name, verdict, dt, t, c.Upec.Report.ct_cex_validated))
+      runs
+  in
+  let oc = open_out "BENCH_certify.json" in
+  Printf.fprintf oc "{\n  \"runs\": [\n";
+  List.iteri
+    (fun i (name, verdict, dt, t, cex) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"verdict\": \"%s\", \"total_seconds\": \
+         %.3f,\n\
+        \      \"solve_seconds\": %.3f, \"check_seconds\": %.3f,\n\
+        \      \"proof_steps\": %d, \"proof_lits\": %d,\n\
+        \      \"unsat_checked\": %d, \"sat_checked\": %d, \"cex_validated\": \
+         %s }%s\n"
+        name verdict dt t.Cert.Proof.solve_seconds t.Cert.Proof.check_seconds
+        t.Cert.Proof.proof_steps t.Cert.Proof.proof_lits
+        t.Cert.Proof.unsat_checked t.Cert.Proof.sat_checked
+        (match cex with
+        | Some true -> "true"
+        | Some false -> "false"
+        | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.fprintf ctx.fmt "wrote BENCH_certify.json@.";
+  Format.fprintf ctx.fmt
+    "=> counterexample replay and model checks are effectively free; the \
+     forward RUP check re-propagates every learnt clause once and is the \
+     dominant certification cost — the same order as the solve itself on \
+     proof-heavy UNSAT verdicts@."
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks for the substrate kernels               *)
 (* ---------------------------------------------------------------- *)
 
@@ -634,6 +730,7 @@ let all_experiments ~full =
     ("A3", a3);
     ("A4", a4);
     ("A5", a5);
+    ("certify", certify_experiment);
     ("kernels", kernels);
   ]
 

@@ -101,18 +101,34 @@ let stats_flag_arg =
   let doc = "Print per-iteration solver statistics and portfolio winners." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let certify_arg =
+  let doc =
+    "Certify every verdict: UNSAT results are revalidated by an independent \
+     RUP proof checker, SAT models by clause evaluation, and vulnerable \
+     counterexamples are replayed through the standalone simulator."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let cex_vcd_arg =
+  let doc =
+    "Dump the counterexample as paired VCD waveforms \\$(docv).A.vcd / \
+     \\$(docv).B.vcd (one file per instance)."
+  in
+  Arg.(value & opt (some string) None & info [ "cex-vcd" ] ~doc ~docv:"PREFIX")
+
 let resolve_jobs = function
   | Some 0 -> Some (Parallel.Pool.default_jobs ())
   | j -> j
 
 let check_cmd =
   let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
-      incremental jobs portfolio stats =
+      incremental jobs portfolio stats certify cex_vcd =
     let spec = spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
     let jobs = resolve_jobs jobs in
     let report =
-      if alg = 2 then Upec.Alg2.conclude ~max_k ?jobs ~portfolio spec
-      else Upec.Alg1.run ~incremental ?jobs ~portfolio spec
+      if alg = 2 then
+        Upec.Alg2.conclude ~max_k ?jobs ~portfolio ~certify ?cex_vcd spec
+      else Upec.Alg1.run ~incremental ?jobs ~portfolio ~certify ?cex_vcd spec
     in
     Format.printf "%a@." Upec.Report.pp report;
     if stats then Format.printf "%a@." Upec.Report.pp_stats report;
@@ -128,7 +144,8 @@ let check_cmd =
     Term.(
       const run $ variant_arg $ alg_arg $ pers_arg $ depth_arg $ banks_arg
       $ arbiter_arg $ no_dma_arg $ no_hwpe_arg $ max_k_arg $ full_cex_arg
-      $ incremental_arg $ jobs_arg $ portfolio_arg $ stats_flag_arg)
+      $ incremental_arg $ jobs_arg $ portfolio_arg $ stats_flag_arg
+      $ certify_arg $ cex_vcd_arg)
 
 let invariants_cmd =
   let run variant depth banks arbiter =

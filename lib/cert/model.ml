@@ -1,0 +1,13 @@
+module L = Satsolver.Lit
+
+let lit_true value l = if L.sign l then value (L.var l) else not (value (L.var l))
+
+let check ~clauses ~value =
+  let rec loop i = function
+    | [] -> Ok ()
+    | c :: rest ->
+        if List.exists (lit_true value) c then loop (i + 1) rest
+        else
+          Error (Printf.sprintf "model falsifies clause %d of the formula" i)
+  in
+  loop 0 clauses

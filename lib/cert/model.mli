@@ -1,0 +1,10 @@
+(** SAT-side certification: does a claimed model really satisfy the
+    formula? Trivial by design — evaluating a CNF under an assignment
+    involves none of the solver's machinery, which is the point. *)
+
+module L = Satsolver.Lit
+
+val check :
+  clauses:L.t list list -> value:(int -> bool) -> (unit, string) result
+(** [check ~clauses ~value] verifies that every clause contains a
+    literal made true by the assignment [value : var -> bool]. *)

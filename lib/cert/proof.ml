@@ -1,0 +1,130 @@
+module S = Satsolver.Solver
+module L = Satsolver.Lit
+
+type step = Add of L.t array | Delete of L.t array
+
+type t = {
+  mutable rev_steps : step list;
+  mutable n_adds : int;
+  mutable n_deletes : int;
+  mutable n_lits : int;
+}
+
+let create () = { rev_steps = []; n_adds = 0; n_deletes = 0; n_lits = 0 }
+
+let record p step =
+  (match step with
+  | Add c ->
+      p.n_adds <- p.n_adds + 1;
+      p.n_lits <- p.n_lits + Array.length c
+  | Delete c ->
+      p.n_deletes <- p.n_deletes + 1;
+      p.n_lits <- p.n_lits + Array.length c);
+  p.rev_steps <- step :: p.rev_steps
+
+let tracer p =
+  {
+    S.trace_add = (fun c -> record p (Add c));
+    S.trace_delete = (fun c -> record p (Delete c));
+  }
+
+let steps p = List.rev p.rev_steps
+let of_steps steps =
+  let p = create () in
+  List.iter (record p) steps;
+  p
+
+let n_adds p = p.n_adds
+let n_deletes p = p.n_deletes
+let n_lits p = p.n_lits
+let length p = p.n_adds + p.n_deletes
+
+(* ---- DRUP text form ---- *)
+
+let output_step fmt step =
+  let clause prefix c =
+    Format.fprintf fmt "%s" prefix;
+    Array.iter (fun l -> Format.fprintf fmt "%d " (L.to_dimacs l)) c;
+    Format.fprintf fmt "0@\n"
+  in
+  match step with Add c -> clause "" c | Delete c -> clause "d " c
+
+let output_drup fmt p =
+  List.iter (output_step fmt) (steps p);
+  Format.fprintf fmt "@?"
+
+let to_string p = Format.asprintf "%a" output_drup p
+
+let file_tracer oc =
+  let line prefix c =
+    output_string oc prefix;
+    Array.iter
+      (fun l ->
+        output_string oc (string_of_int (L.to_dimacs l));
+        output_char oc ' ')
+      c;
+    output_string oc "0\n"
+  in
+  { S.trace_add = line ""; trace_delete = line "d " }
+
+let parse_drup text =
+  let rev = ref [] in
+  let current = ref [] in
+  let deleting = ref false in
+  let flush () =
+    let c = Array.of_list (List.rev !current) in
+    rev := (if !deleting then Delete c else Add c) :: !rev;
+    current := [];
+    deleting := false
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         String.split_on_char ' ' line
+         |> List.iter (fun tok ->
+                match String.trim tok with
+                | "" -> ()
+                | "d" -> deleting := true
+                | tok -> (
+                    match int_of_string_opt tok with
+                    | Some 0 -> flush ()
+                    | Some i -> current := L.of_dimacs i :: !current
+                    | None -> failwith ("Proof.parse_drup: bad token " ^ tok))));
+  List.rev !rev
+
+(* ---- certification accounting ---- *)
+
+type totals = {
+  unsat_checked : int;
+  sat_checked : int;
+  proof_steps : int;
+  proof_lits : int;
+  solve_seconds : float;
+  check_seconds : float;
+}
+
+let zero_totals =
+  {
+    unsat_checked = 0;
+    sat_checked = 0;
+    proof_steps = 0;
+    proof_lits = 0;
+    solve_seconds = 0.0;
+    check_seconds = 0.0;
+  }
+
+let add_totals a b =
+  {
+    unsat_checked = a.unsat_checked + b.unsat_checked;
+    sat_checked = a.sat_checked + b.sat_checked;
+    proof_steps = a.proof_steps + b.proof_steps;
+    proof_lits = a.proof_lits + b.proof_lits;
+    solve_seconds = a.solve_seconds +. b.solve_seconds;
+    check_seconds = a.check_seconds +. b.check_seconds;
+  }
+
+let pp_totals fmt t =
+  Format.fprintf fmt
+    "%d UNSAT proof(s) checked (%d steps, %d lits), %d model(s) checked; \
+     solve %.3fs, check %.3fs"
+    t.unsat_checked t.proof_steps t.proof_lits t.sat_checked t.solve_seconds
+    t.check_seconds

@@ -1,0 +1,61 @@
+(** DRUP certificate recording.
+
+    A proof is the ordered stream of clause additions and deletions
+    emitted by {!Satsolver.Solver} through its tracer hook. Interpreted
+    as a DRUP certificate, each added clause must be derivable from the
+    original formula plus the earlier (undeleted) additions by unit
+    propagation alone — which is exactly what {!Rup.check} verifies. *)
+
+module L = Satsolver.Lit
+
+type step = Add of L.t array | Delete of L.t array
+
+type t
+(** In-memory recorder (append-only). *)
+
+val create : unit -> t
+val record : t -> step -> unit
+val tracer : t -> Satsolver.Solver.tracer
+(** The sink to install with [Solver.set_tracer]. *)
+
+val steps : t -> step list
+(** Steps in emission order. *)
+
+val of_steps : step list -> t
+
+val n_adds : t -> int
+val n_deletes : t -> int
+
+val n_lits : t -> int
+(** Total literal count over all steps — the certificate size. *)
+
+val length : t -> int
+(** Total step count. *)
+
+val output_drup : Format.formatter -> t -> unit
+(** Standard DRUP text: one clause per line, deletions prefixed [d],
+    clauses terminated by [0]. *)
+
+val to_string : t -> string
+
+val file_tracer : out_channel -> Satsolver.Solver.tracer
+(** A streaming sink writing DRUP text directly to a channel: bounded
+    memory for proofs too large to keep in-core. *)
+
+val parse_drup : string -> step list
+(** Inverse of {!output_drup}; raises [Failure] on malformed input. *)
+
+(** {1 Certification accounting} *)
+
+type totals = {
+  unsat_checked : int;  (** UNSAT verdicts revalidated by {!Rup.check} *)
+  sat_checked : int;  (** SAT models revalidated by {!Model.check} *)
+  proof_steps : int;
+  proof_lits : int;
+  solve_seconds : float;  (** wall time of the certified solves *)
+  check_seconds : float;  (** wall time spent checking certificates *)
+}
+
+val zero_totals : totals
+val add_totals : totals -> totals -> totals
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,308 @@
+(* Forward RUP certificate checker.
+
+   This is a deliberately independent implementation: the only machinery
+   is unit propagation over a clause database, written from scratch —
+   none of the solver's search loop, conflict analysis, restart or
+   deletion heuristics are involved. A clause C is RUP (reverse unit
+   propagable) w.r.t. a database F when asserting the negation of every
+   literal of C and running unit propagation on F yields a conflict;
+   equivalently, F entails C by the weakest useful proof system. A DRUP
+   certificate is valid when every added clause is RUP w.r.t. the
+   original formula plus the earlier (undeleted) additions, and the
+   stream ends in a derived conflict.
+
+   Literals are manipulated in the [Satsolver.Lit] int encoding
+   (2*var + sign bit, negation = [lxor 1]) — sharing the encoding is
+   what lets the checker consume the solver's certificate directly. *)
+
+module L = Satsolver.Lit
+
+type clause = { c_lits : int array; mutable c_active : bool }
+
+(* growable watch list *)
+type wvec = { mutable data : clause array; mutable len : int }
+
+let dummy = { c_lits = [||]; c_active = false }
+let wvec () = { data = [||]; len = 0 }
+
+let wpush v c =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let data = Array.make (max 4 (2 * cap)) dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- c;
+  v.len <- v.len + 1
+
+type t = {
+  mutable nv : int;
+  mutable assigns : int array;  (* by var: 0 unset, 1 true, -1 false *)
+  mutable watches : wvec array;  (* by lit code: clauses watching it *)
+  mutable trail : int array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  index : (int list, clause list ref) Hashtbl.t;  (* for deletions *)
+  mutable contradiction : bool;  (* empty clause derived / root conflict *)
+  mutable props : int;
+}
+
+let create nvars =
+  let nv = max 1 nvars in
+  {
+    nv;
+    assigns = Array.make nv 0;
+    watches = Array.init (2 * nv) (fun _ -> wvec ());
+    trail = Array.make (max 16 nv) 0;
+    trail_len = 0;
+    qhead = 0;
+    index = Hashtbl.create 1024;
+    contradiction = false;
+    props = 0;
+  }
+
+let ensure_var st v =
+  if v >= st.nv then begin
+    let nv = max (v + 1) (2 * st.nv) in
+    let assigns = Array.make nv 0 in
+    Array.blit st.assigns 0 assigns 0 st.nv;
+    let watches = Array.init (2 * nv) (fun _ -> wvec ()) in
+    Array.blit st.watches 0 watches 0 (2 * st.nv);
+    st.assigns <- assigns;
+    st.watches <- watches;
+    st.nv <- nv
+  end
+
+let value st l =
+  let a = st.assigns.(l lsr 1) in
+  if l land 1 = 0 then a else -a
+
+let enqueue st l =
+  st.assigns.(l lsr 1) <- (if l land 1 = 0 then 1 else -1);
+  if st.trail_len = Array.length st.trail then begin
+    let trail = Array.make (2 * st.trail_len) 0 in
+    Array.blit st.trail 0 trail 0 st.trail_len;
+    st.trail <- trail
+  end;
+  st.trail.(st.trail_len) <- l;
+  st.trail_len <- st.trail_len + 1
+
+exception Conflict
+
+let propagate st =
+  while st.qhead < st.trail_len do
+    let p = st.trail.(st.qhead) in
+    st.qhead <- st.qhead + 1;
+    st.props <- st.props + 1;
+    let fl = p lxor 1 in
+    (* every clause watching [fl] — which just became false *)
+    let ws = st.watches.(fl) in
+    let i = ref 0 in
+    while !i < ws.len do
+      let c = ws.data.(!i) in
+      if not c.c_active then begin
+        ws.data.(!i) <- ws.data.(ws.len - 1);
+        ws.len <- ws.len - 1
+      end
+      else begin
+        if c.c_lits.(0) = fl then begin
+          c.c_lits.(0) <- c.c_lits.(1);
+          c.c_lits.(1) <- fl
+        end;
+        if value st c.c_lits.(0) = 1 then incr i
+        else begin
+          let n = Array.length c.c_lits in
+          let k = ref 2 in
+          while !k < n && value st c.c_lits.(!k) = -1 do
+            incr k
+          done;
+          if !k < n then begin
+            c.c_lits.(1) <- c.c_lits.(!k);
+            c.c_lits.(!k) <- fl;
+            wpush st.watches.(c.c_lits.(1)) c;
+            ws.data.(!i) <- ws.data.(ws.len - 1);
+            ws.len <- ws.len - 1
+          end
+          else if value st c.c_lits.(0) = -1 then raise Conflict
+          else begin
+            if value st c.c_lits.(0) = 0 then enqueue st c.c_lits.(0);
+            incr i
+          end
+        end
+      end
+    done
+  done
+
+let propagate_root st =
+  try propagate st
+  with Conflict ->
+    st.contradiction <- true;
+    st.qhead <- st.trail_len
+
+(* [lits] sorted, deduplicated, tautology-free *)
+let insert st lits =
+  Array.iter (fun l -> ensure_var st (l lsr 1)) lits;
+  let key = Array.to_list lits in
+  let cl = { c_lits = Array.copy lits; c_active = true } in
+  (match Hashtbl.find_opt st.index key with
+  | Some r -> r := cl :: !r
+  | None -> Hashtbl.add st.index key (ref [ cl ]));
+  let n = Array.length cl.c_lits in
+  if n = 0 then st.contradiction <- true
+  else begin
+    (* bring up to two non-false literals to the watch positions *)
+    let w = ref 0 in
+    (try
+       for k = 0 to n - 1 do
+         if value st cl.c_lits.(k) <> -1 then begin
+           let tmp = cl.c_lits.(!w) in
+           cl.c_lits.(!w) <- cl.c_lits.(k);
+           cl.c_lits.(k) <- tmp;
+           incr w;
+           if !w = 2 then raise Exit
+         end
+       done
+     with Exit -> ());
+    if !w = 0 then st.contradiction <- true
+    else if !w = 1 then begin
+      (* unit (or already satisfied) at level 0: the remaining literals
+         are permanently false, so the clause can never be watched —
+         record its level-0 consequence instead *)
+      if value st cl.c_lits.(0) = 0 then begin
+        enqueue st cl.c_lits.(0);
+        propagate_root st
+      end
+    end
+    else begin
+      wpush st.watches.(cl.c_lits.(0)) cl;
+      wpush st.watches.(cl.c_lits.(1)) cl
+    end
+  end
+
+(* Is asserting the negation of [lits] refuted by unit propagation?
+   Temporary assignments are undone before returning. *)
+let rup_implied st lits =
+  st.contradiction
+  ||
+  let root = st.trail_len in
+  let ok = ref false in
+  (try
+     Array.iter
+       (fun l ->
+         ensure_var st (l lsr 1);
+         match value st l with
+         | 1 -> raise Exit (* contains a level-0 truth: trivially implied *)
+         | -1 -> ()
+         | _ -> enqueue st (l lxor 1))
+       lits;
+     try propagate st with Conflict -> ok := true
+   with Exit -> ok := true);
+  for i = root to st.trail_len - 1 do
+    st.assigns.(st.trail.(i) lsr 1) <- 0
+  done;
+  st.trail_len <- root;
+  st.qhead <- root;
+  !ok
+
+let delete st lits =
+  match Hashtbl.find_opt st.index (Array.to_list lits) with
+  | Some r -> (
+      match !r with
+      | c :: rest ->
+          (* lazy detach: propagation skips inactive clauses. Level-0
+             assignments implied by the clause are kept (drat-trim
+             forward-mode semantics; the solver never revokes them
+             either). *)
+          c.c_active <- false;
+          r := rest;
+          true
+      | [] -> false)
+  | None -> false
+
+let assumptions_conflict st assumptions =
+  st.contradiction
+  ||
+  let root = st.trail_len in
+  let ok = ref false in
+  (try
+     List.iter
+       (fun l ->
+         ensure_var st (l lsr 1);
+         match value st l with
+         | -1 -> raise Exit (* assumption already refuted at level 0 *)
+         | 1 -> ()
+         | _ -> enqueue st l)
+       assumptions;
+     try propagate st with Conflict -> ok := true
+   with Exit -> ok := true);
+  for i = root to st.trail_len - 1 do
+    st.assigns.(st.trail.(i) lsr 1) <- 0
+  done;
+  st.trail_len <- root;
+  st.qhead <- root;
+  !ok
+
+(* ---- driver ---- *)
+
+type summary = { adds : int; deletes : int; propagations : int }
+
+exception Check_failed of string
+
+let normalize lits =
+  let sorted = List.sort_uniq Stdlib.compare lits in
+  let rec tauto = function
+    | a :: (b :: _ as rest) -> a lxor 1 = b || tauto rest
+    | _ -> false
+  in
+  if tauto sorted then None else Some (Array.of_list sorted)
+
+let check ?(assumptions = []) ~nvars ~clauses ~proof () =
+  let st = create nvars in
+  let adds = ref 0 and deletes = ref 0 in
+  try
+    List.iter
+      (fun c ->
+        match normalize (List.map L.to_int c) with
+        | None -> () (* tautologies are vacuous *)
+        | Some arr -> insert st arr)
+      clauses;
+    propagate_root st;
+    List.iteri
+      (fun i step ->
+        match step with
+        | Proof.Add lits -> (
+            incr adds;
+            match normalize (Array.to_list (Array.map L.to_int lits)) with
+            | None -> () (* a tautology is trivially implied *)
+            | Some arr ->
+                if rup_implied st arr then insert st arr
+                else
+                  raise
+                    (Check_failed
+                       (Printf.sprintf
+                          "step %d: added clause is not implied by unit \
+                           propagation"
+                          i)))
+        | Proof.Delete lits -> (
+            incr deletes;
+            match normalize (Array.to_list (Array.map L.to_int lits)) with
+            | None ->
+                raise
+                  (Check_failed
+                     (Printf.sprintf "step %d: deletion of a tautology" i))
+            | Some arr ->
+                if not (delete st arr) then
+                  raise
+                    (Check_failed
+                       (Printf.sprintf
+                          "step %d: deleted clause is not in the database" i))))
+      proof;
+    if
+      st.contradiction
+      || assumptions_conflict st (List.map L.to_int assumptions)
+    then Ok { adds = !adds; deletes = !deletes; propagations = st.props }
+    else
+      Error
+        "certificate does not derive a conflict: no empty clause was added \
+         and unit propagation under the assumptions succeeds"
+  with Check_failed msg -> Error msg

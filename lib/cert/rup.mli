@@ -1,0 +1,33 @@
+(** Independent forward RUP certificate checker.
+
+    Validates a DRUP certificate (a {!Proof.step} stream) against the
+    original CNF using only unit propagation over its own clause
+    database — none of the solver's search machinery is reused, so a
+    bug in the solver's learning, restarts or deletion cannot also hide
+    in the checker. The only shared convention is the literal encoding
+    of {!Satsolver.Lit}. *)
+
+module L = Satsolver.Lit
+
+type summary = {
+  adds : int;  (** addition steps processed *)
+  deletes : int;  (** deletion steps processed *)
+  propagations : int;  (** literals propagated while checking *)
+}
+
+val check :
+  ?assumptions:L.t list ->
+  nvars:int ->
+  clauses:L.t list list ->
+  proof:Proof.step list ->
+  unit ->
+  (summary, string) result
+(** [check ~assumptions ~nvars ~clauses ~proof ()] replays the
+    certificate forward: each added clause must be derivable from the
+    current database by unit propagation (or be satisfied at level 0);
+    each deleted clause must be present. The certificate is accepted
+    when a conflict is established — either the empty clause is derived
+    (plain unsatisfiability), or, for UNSAT-under-assumptions verdicts,
+    asserting the assumption literals makes unit propagation fail on
+    the final database. Returns [Error reason] otherwise; a corrupted
+    certificate is reported with its failing step index. *)

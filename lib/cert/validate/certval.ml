@@ -1,0 +1,176 @@
+open Rtl
+
+type mismatch = {
+  v_instance : Ipc.Unroller.instance;
+  v_frame : int;
+  v_svar : Structural.svar;
+  v_expected : Bitvec.t;
+  v_simulated : Bitvec.t;
+}
+
+type result = {
+  v_ok : bool;
+  v_mismatches : mismatch list;
+  v_frames : int;
+  v_diverged : Structural.Svar_set.t;
+  v_missing : Structural.Svar_set.t;
+  v_vcd_files : string list;
+}
+
+let load_state nl eng cex inst =
+  List.iter
+    (fun (s : Expr.signal) ->
+      Sim.Engine.set_param eng s.Expr.s_name (Ipc.Cex.param_value cex s))
+    nl.Netlist.params;
+  Structural.Svar_set.iter
+    (fun sv ->
+      let v = Ipc.Cex.svar_value cex inst ~frame:0 sv in
+      match sv with
+      | Structural.Sreg s -> Sim.Engine.poke_reg eng s.Expr.s_name v
+      | Structural.Smem (m, i) -> Sim.Engine.poke_mem eng m.Expr.m_name i v)
+    (Structural.all_svars nl)
+
+(* Waveform selection: every register and primary input, plus the cells
+   of any claimed memory svars (dumping whole memories would drown the
+   divergence being inspected). *)
+let vcd_signals nl claimed =
+  let regs =
+    List.map
+      (fun (r : Netlist.reg_def) ->
+        (r.Netlist.rd_signal.Expr.s_name, Expr.reg r.Netlist.rd_signal))
+      nl.Netlist.regs
+  in
+  let inputs =
+    List.map (fun (s : Expr.signal) -> (s.Expr.s_name, Expr.input s))
+      nl.Netlist.inputs
+  in
+  let cells =
+    Structural.Svar_set.fold
+      (fun sv acc ->
+        match sv with
+        | Structural.Smem (m, i) ->
+            ( Structural.svar_name sv,
+              Expr.memread m (Expr.of_int ~width:m.Expr.m_addr_width i) )
+            :: acc
+        | Structural.Sreg _ -> acc)
+      claimed []
+  in
+  inputs @ regs @ List.rev cells
+
+let sim_svar eng sv =
+  match sv with
+  | Structural.Sreg s -> Sim.Engine.reg_value eng s.Expr.s_name
+  | Structural.Smem (m, i) -> Sim.Engine.mem_value eng m.Expr.m_name i
+
+let validate ?vcd_prefix ?(claimed = Structural.Svar_set.empty) nl cex =
+  let k = Ipc.Cex.frames cex in
+  let two = Ipc.Cex.two_instance cex in
+  let instances =
+    if two then [ Ipc.Unroller.A; Ipc.Unroller.B ] else [ Ipc.Unroller.A ]
+  in
+  let svars = Structural.all_svars nl in
+  (* one engine per instance, stepped in lockstep so divergence can be
+     observed on the simulators themselves, not on the SAT model *)
+  let engines =
+    List.map
+      (fun inst ->
+        let eng = Sim.Engine.create nl in
+        load_state nl eng cex inst;
+        (inst, eng))
+      instances
+  in
+  let vcds, vcd_files =
+    match vcd_prefix with
+    | None -> ([], [])
+    | Some prefix ->
+        let sigs = vcd_signals nl claimed in
+        let opened =
+          List.map
+            (fun (inst, eng) ->
+              let path =
+                Printf.sprintf "%s.%s.vcd" prefix
+                  (match inst with Ipc.Unroller.A -> "A" | Ipc.Unroller.B -> "B")
+              in
+              let oc = open_out path in
+              let module_name =
+                match inst with Ipc.Unroller.A -> "instance_A" | _ -> "instance_B"
+              in
+              ((Sim.Vcd.attach eng oc ~module_name sigs, oc), path))
+            engines
+        in
+        (List.map fst opened, List.map snd opened)
+  in
+  let mismatches = ref [] in
+  let diverged = ref Structural.Svar_set.empty in
+  for frame = 1 to k do
+    (* drive cycle [frame-1] inputs into every instance, step together *)
+    List.iter
+      (fun (inst, eng) ->
+        List.iter
+          (fun (s : Expr.signal) ->
+            Sim.Engine.set_input eng s.Expr.s_name
+              (Ipc.Cex.input_value cex inst ~frame:(frame - 1) s))
+          nl.Netlist.inputs;
+        Sim.Engine.step eng)
+      engines;
+    (* replay fidelity: simulated state must equal the SAT witness *)
+    List.iter
+      (fun (inst, eng) ->
+        Structural.Svar_set.iter
+          (fun sv ->
+            let expected = Ipc.Cex.svar_value cex inst ~frame sv in
+            let simulated = sim_svar eng sv in
+            if not (Bitvec.equal expected simulated) then
+              mismatches :=
+                {
+                  v_instance = inst;
+                  v_frame = frame;
+                  v_svar = sv;
+                  v_expected = expected;
+                  v_simulated = simulated;
+                }
+                :: !mismatches)
+          svars)
+      engines;
+    (* divergence: which svars differ between the *simulated* instances *)
+    (match engines with
+    | [ (_, ea); (_, eb) ] ->
+        Structural.Svar_set.iter
+          (fun sv ->
+            if not (Bitvec.equal (sim_svar ea sv) (sim_svar eb sv)) then
+              diverged := Structural.Svar_set.add sv !diverged)
+          svars
+    | _ -> ())
+  done;
+  List.iter (fun (v, oc) -> Sim.Vcd.close v; close_out oc) vcds;
+  let missing = Structural.Svar_set.diff claimed !diverged in
+  {
+    v_ok = !mismatches = [] && Structural.Svar_set.is_empty missing;
+    v_mismatches = List.rev !mismatches;
+    v_frames = k;
+    v_diverged = !diverged;
+    v_missing = missing;
+    v_vcd_files = vcd_files;
+  }
+
+let pp_mismatch fmt mm =
+  Format.fprintf fmt "instance %a, cycle %d, %a: cex=%a sim=%a"
+    Ipc.Unroller.pp_instance mm.v_instance mm.v_frame Structural.pp_svar
+    mm.v_svar Bitvec.pp mm.v_expected Bitvec.pp mm.v_simulated
+
+let pp_result fmt r =
+  if r.v_ok then
+    Format.fprintf fmt
+      "counterexample validated: %d cycle(s) replayed, %d svar(s) diverge"
+      r.v_frames
+      (Structural.Svar_set.cardinal r.v_diverged)
+  else begin
+    Format.fprintf fmt "counterexample REJECTED:";
+    List.iter (fun mm -> Format.fprintf fmt "@\n  %a" pp_mismatch mm)
+      r.v_mismatches;
+    Structural.Svar_set.iter
+      (fun sv ->
+        Format.fprintf fmt "@\n  claimed divergence of %a not observed"
+          Structural.pp_svar sv)
+      r.v_missing
+  end

@@ -69,6 +69,9 @@ let input_value t inst ~frame (s : Expr.signal) =
 let param_value t (s : Expr.signal) = Hashtbl.find t.pvals s.Expr.s_name
 let param_value_by_name t name = Hashtbl.find t.pvals name
 
+let poke_svar t inst ~frame sv v =
+  Hashtbl.replace t.svals (key inst frame (Structural.svar_name sv)) v
+
 let diff_svars t ~frame =
   if not t.two then Structural.Svar_set.empty
   else

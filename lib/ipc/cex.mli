@@ -25,6 +25,12 @@ val diff_svars : t -> frame:int -> Structural.Svar_set.t
 
 val diff_inputs : t -> frame:int -> Expr.signal list
 
+val poke_svar :
+  t -> Unroller.instance -> frame:int -> Structural.svar -> Bitvec.t -> unit
+(** Overwrite one recorded state value. Fault-injection hook for
+    validator tests — a mutated witness must be rejected by
+    {!Certval.validate}; never used by the extraction pipeline. *)
+
 val pp : Format.formatter -> t -> unit
 (** Waveform dump: parameters, then per cycle the inputs and the
     differing state variables with their A/B values. *)

@@ -1,6 +1,8 @@
 module S = Satsolver.Solver
 module L = Satsolver.Lit
 
+exception Certification_failed of string
+
 type t = {
   g : Aig.t;
   u : Unroller.t;
@@ -8,14 +10,18 @@ type t = {
   cnf : Aig.Cnf.ctx;
   portfolio : int;  (* configs raced per solve; <= 1 means sequential *)
   configs : S.options list option;
+  seq_options : S.options option;  (* for certified sequential re-solves *)
+  certify : bool;
   mutable pre_encoded : int;  (* high-water mark: frames <= this are done *)
   mutable params_encoded : bool;
   mutable last_stats : S.stats;
   mutable last_winner_ : int option;
+  mutable last_losers_ : S.stats;
+  mutable cert_tot : Cert.Proof.totals;
 }
 
-let create ?solver_options ?(portfolio = 1) ?portfolio_configs ~two_instance nl
-    =
+let create ?solver_options ?(portfolio = 1) ?portfolio_configs
+    ?(certify = false) ~two_instance nl =
   let g = Aig.create () in
   let u = Unroller.create g nl ~two_instance in
   let solver = S.create ?options:solver_options () in
@@ -27,10 +33,14 @@ let create ?solver_options ?(portfolio = 1) ?portfolio_configs ~two_instance nl
     cnf;
     portfolio;
     configs = portfolio_configs;
+    seq_options = solver_options;
+    certify;
     pre_encoded = -1;
     params_encoded = false;
     last_stats = S.zero_stats;
     last_winner_ = None;
+    last_losers_ = S.zero_stats;
+    cert_tot = Cert.Proof.zero_totals;
   }
 
 let unroller t = t.u
@@ -85,14 +95,66 @@ let model_fn_of t sat_value =
   let g = t.g in
   fun l -> Aig.eval g (fun var_lit -> sat_value var_lit) l
 
+(* Certified solves always go through the export/portfolio path (with
+   jobs possibly 1): the engine's incremental solver keeps activation
+   clauses from every past obligation, while a certificate must be
+   checked against one self-contained CNF snapshot. *)
+let solve_certified t ~configs ~nvars ~clauses ~assumptions =
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Parallel.Portfolio.solve ?configs ~certify:true
+      ~jobs:(max 1 t.portfolio) ~nvars ~clauses ~assumptions ()
+  in
+  let solve_s = Unix.gettimeofday () -. t0 in
+  let proof =
+    match o.Parallel.Portfolio.proof with
+    | Some p -> p
+    | None -> assert false (* certify:true always records *)
+  in
+  let t1 = Unix.gettimeofday () in
+  (match o.Parallel.Portfolio.verdict with
+  | Parallel.Portfolio.Unsat -> (
+      match
+        Cert.Rup.check ~assumptions ~nvars ~clauses
+          ~proof:(Cert.Proof.steps proof) ()
+      with
+      | Ok _ ->
+          t.cert_tot <-
+            Cert.Proof.add_totals t.cert_tot
+              {
+                Cert.Proof.zero_totals with
+                Cert.Proof.unsat_checked = 1;
+                proof_steps = Cert.Proof.length proof;
+                proof_lits = Cert.Proof.n_lits proof;
+                solve_seconds = solve_s;
+                check_seconds = Unix.gettimeofday () -. t1;
+              }
+      | Error msg ->
+          raise (Certification_failed ("UNSAT certificate rejected: " ^ msg)))
+  | Parallel.Portfolio.Sat model -> (
+      let value v = v < Array.length model && model.(v) in
+      match Cert.Model.check ~clauses ~value with
+      | Ok () ->
+          t.cert_tot <-
+            Cert.Proof.add_totals t.cert_tot
+              {
+                Cert.Proof.zero_totals with
+                Cert.Proof.sat_checked = 1;
+                solve_seconds = solve_s;
+                check_seconds = Unix.gettimeofday () -. t1;
+              }
+      | Error msg -> raise (Certification_failed ("model rejected: " ^ msg))));
+  o
+
 let solve_raw t extra =
   pre_encode t;
   let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
-  if t.portfolio <= 1 then begin
+  if (not t.certify) && t.portfolio <= 1 then begin
     let before = S.stats t.solver in
     let r = S.solve ~assumptions t.solver in
     t.last_stats <- S.diff_stats (S.stats t.solver) before;
     t.last_winner_ <- None;
+    t.last_losers_ <- S.zero_stats;
     match r with
     | S.Unsat -> `Unsat
     | S.Sat ->
@@ -103,12 +165,22 @@ let solve_raw t extra =
   end
   else begin
     let nvars, clauses = S.export t.solver in
+    let configs =
+      match (t.configs, t.seq_options) with
+      | (Some _ as cs), _ -> cs
+      | None, Some o when t.portfolio <= 1 -> Some [ o ]
+      | None, _ -> None
+    in
     let o =
-      Parallel.Portfolio.solve ?configs:t.configs ~jobs:t.portfolio ~nvars
-        ~clauses ~assumptions ()
+      if t.certify then solve_certified t ~configs ~nvars ~clauses ~assumptions
+      else
+        Parallel.Portfolio.solve ?configs ~jobs:t.portfolio ~nvars ~clauses
+          ~assumptions ()
     in
     t.last_stats <- o.Parallel.Portfolio.stats;
-    t.last_winner_ <- Some o.Parallel.Portfolio.winner;
+    t.last_winner_ <-
+      (if t.portfolio > 1 then Some o.Parallel.Portfolio.winner else None);
+    t.last_losers_ <- o.Parallel.Portfolio.losers_stats;
     match o.Parallel.Portfolio.verdict with
     | Parallel.Portfolio.Unsat -> `Unsat
     | Parallel.Portfolio.Sat model ->
@@ -138,3 +210,6 @@ let check t goal =
 let solve_stats t = S.stats t.solver
 let last_stats t = t.last_stats
 let last_winner t = t.last_winner_
+let last_losers_stats t = t.last_losers_
+let certifying t = t.certify
+let cert_totals t = t.cert_tot

@@ -9,14 +9,28 @@
     With [portfolio > 1], every solve exports the current CNF and races
     that many diversified solver configurations in parallel domains (see
     {!Parallel.Portfolio}); the verdict is identical to the sequential
-    one, but learnt clauses are not carried between checks. *)
+    one, but learnt clauses are not carried between checks.
+
+    With [certify], every solve is self-checking: the CNF snapshot is
+    solved with DRUP tracing on, UNSAT verdicts are revalidated by the
+    independent forward checker {!Cert.Rup} and SAT models by
+    {!Cert.Model}; a rejected certificate raises
+    {!Certification_failed} rather than returning an unvouched verdict.
+    Certified solves always take the snapshot path, so the incremental
+    clause reuse of sequential mode is traded for checkability. *)
 
 type t
+
+exception Certification_failed of string
+(** A solver verdict whose certificate the independent checker rejected
+    — either the solver or the checker is wrong, and the verdict cannot
+    be trusted. *)
 
 val create :
   ?solver_options:Satsolver.Solver.options ->
   ?portfolio:int ->
   ?portfolio_configs:Satsolver.Solver.options list ->
+  ?certify:bool ->
   two_instance:bool ->
   Rtl.Netlist.t ->
   t
@@ -69,3 +83,13 @@ val last_stats : t -> Satsolver.Solver.stats
 val last_winner : t -> int option
 (** Index of the configuration that won the most recent portfolio race;
     [None] after a sequential solve. *)
+
+val last_losers_stats : t -> Satsolver.Solver.stats
+(** Summed statistics of the losing configurations of the most recent
+    portfolio race — zero after a sequential solve. *)
+
+val certifying : t -> bool
+
+val cert_totals : t -> Cert.Proof.totals
+(** Cumulative certification accounting for this engine: verdicts
+    checked, proof sizes, and solve vs check wall time. *)

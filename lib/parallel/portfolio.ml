@@ -1,7 +1,14 @@
 module S = Satsolver.Solver
 
 type verdict = Sat of bool array | Unsat
-type outcome = { verdict : verdict; winner : int; stats : S.stats }
+
+type outcome = {
+  verdict : verdict;
+  winner : int;
+  stats : S.stats;
+  losers_stats : S.stats;
+  proof : Cert.Proof.t option;
+}
 
 let default_configs k =
   let d = S.default_options in
@@ -28,15 +35,25 @@ let default_configs k =
           var_decay = if i mod 3 = 0 then 0.93 else 0.97;
         })
 
-let run_config ~nvars ~clauses opts =
+let run_config ~certify ~nvars ~clauses opts =
   let s = S.create ~options:opts () in
+  (* the tracer must be live before clause loading so level-0
+     strengthenings of the input clauses are part of the certificate *)
+  let proof =
+    if certify then begin
+      let p = Cert.Proof.create () in
+      S.set_tracer s (Some (Cert.Proof.tracer p));
+      Some p
+    end
+    else None
+  in
   for _ = 1 to nvars do
     ignore (S.new_var s)
   done;
   List.iter (S.add_clause s) clauses;
-  s
+  (s, proof)
 
-let solve ?configs ~jobs ~nvars ~clauses ~assumptions () =
+let solve ?configs ?(certify = false) ~jobs ~nvars ~clauses ~assumptions () =
   let configs =
     match configs with
     | Some (_ :: _ as cs) -> cs
@@ -46,21 +63,31 @@ let solve ?configs ~jobs ~nvars ~clauses ~assumptions () =
   let configs = Array.of_list configs in
   if k <= 1 then begin
     (* Inline sequential solve with configuration 0. *)
-    let s = run_config ~nvars ~clauses configs.(0) in
+    let s, proof = run_config ~certify ~nvars ~clauses configs.(0) in
     let verdict =
       match S.solve ~assumptions s with
       | S.Sat -> Sat (Array.init nvars (S.value_var s))
       | S.Unsat -> Unsat
     in
-    { verdict; winner = 0; stats = S.stats s }
+    {
+      verdict;
+      winner = 0;
+      stats = S.stats s;
+      losers_stats = S.zero_stats;
+      proof;
+    }
   end
   else begin
     let winner = Atomic.make (-1) in
     let outcomes = Array.make k None in
+    (* every racer — including cancelled losers — records its stats
+       here before its domain exits; the join gives the happens-before
+       edge that makes the reads below safe *)
+    let all_stats = Array.make k S.zero_stats in
     let body i () =
-      let s = run_config ~nvars ~clauses configs.(i) in
+      let s, proof = run_config ~certify ~nvars ~clauses configs.(i) in
       S.set_terminate s (Some (fun () -> Atomic.get winner >= 0));
-      match S.solve ~assumptions s with
+      (match S.solve ~assumptions s with
       | exception S.Interrupted -> ()
       | r ->
           if Atomic.compare_and_set winner (-1) i then
@@ -69,11 +96,25 @@ let solve ?configs ~jobs ~nvars ~clauses ~assumptions () =
               | S.Sat -> Sat (Array.init nvars (S.value_var s))
               | S.Unsat -> Unsat
             in
-            outcomes.(i) <- Some { verdict; winner = i; stats = S.stats s }
+            outcomes.(i) <-
+              Some
+                {
+                  verdict;
+                  winner = i;
+                  stats = S.stats s;
+                  losers_stats = S.zero_stats;
+                  proof;
+                });
+      all_stats.(i) <- S.stats s
     in
     let doms = List.init k (fun i -> Domain.spawn (body i)) in
     List.iter Domain.join doms;
     match outcomes.(Atomic.get winner) with
-    | Some o -> o
+    | Some o ->
+        let losers = ref S.zero_stats in
+        Array.iteri
+          (fun i st -> if i <> o.winner then losers := S.add_stats !losers st)
+          all_stats;
+        { o with losers_stats = !losers }
     | None -> assert false (* some domain always finishes and wins *)
   end

@@ -8,7 +8,17 @@
     {!Satsolver.Solver.set_terminate} and abandon their search. *)
 
 type verdict = Sat of bool array  (** model, indexed by variable *) | Unsat
-type outcome = { verdict : verdict; winner : int; stats : Satsolver.Solver.stats }
+
+type outcome = {
+  verdict : verdict;
+  winner : int;
+  stats : Satsolver.Solver.stats;  (** the winner's counters *)
+  losers_stats : Satsolver.Solver.stats;
+      (** summed counters of every losing configuration — the wasted
+          work the race paid for its latency win; zero when [jobs <= 1] *)
+  proof : Cert.Proof.t option;
+      (** the winner's DRUP certificate when [certify] was set *)
+}
 
 val default_configs : int -> Satsolver.Solver.options list
 (** [default_configs k] returns [k] configurations. Configuration 0 is
@@ -19,6 +29,7 @@ val default_configs : int -> Satsolver.Solver.options list
 
 val solve :
   ?configs:Satsolver.Solver.options list ->
+  ?certify:bool ->
   jobs:int ->
   nvars:int ->
   clauses:Satsolver.Lit.t list list ->
@@ -28,4 +39,7 @@ val solve :
 (** Race [min jobs (length configs)] configurations, each in its own
     domain with its own solver over a private copy of the CNF. With
     [jobs <= 1] only configuration 0 runs, inline — bit-for-bit the
-    sequential solve. *)
+    sequential solve. With [certify], every racer records a DRUP
+    certificate and the winner's is returned — the proof that is
+    checked is always the proof of the solver whose verdict is
+    reported. *)

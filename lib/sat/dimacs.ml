@@ -1,38 +1,70 @@
+(* Lines are split first so 'c' comments and the 'p' header keep their
+   line-oriented meaning; within a line, any blank characters separate
+   tokens (spaces, tabs, and the stray '\r' of CRLF files). SATLIB
+   archives additionally end some files with a '%' line followed by a
+   lone '0' — everything from a '%' token on is ignored. *)
+
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
+let tokens_of_line line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && is_space line.[!i] do
+      incr i
+    done;
+    let start = !i in
+    while !i < n && not (is_space line.[!i]) do
+      incr i
+    done;
+    if !i > start then toks := String.sub line start (!i - start) :: !toks
+  done;
+  List.rev !toks
+
+exception Done
+
 let parse text =
   let nvars = ref 0 in
   let clauses = ref [] in
   let current = ref [] in
   let lines = String.split_on_char '\n' text in
-  List.iter
-    (fun line ->
-      let line = String.trim line in
-      if line = "" || line.[0] = 'c' then ()
-      else if line.[0] = 'p' then begin
-        match
-          List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
-        with
-        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
-        | _ -> failwith "Dimacs.parse: malformed problem line"
-      end
-      else
-        List.iter
-          (fun tok ->
-            if tok <> "" then begin
-              let i =
-                try int_of_string tok
-                with Failure _ -> failwith ("Dimacs.parse: bad token " ^ tok)
-              in
-              if i = 0 then begin
-                clauses := List.rev !current :: !clauses;
-                current := []
-              end
-              else begin
-                nvars := max !nvars (abs i);
-                current := Lit.of_dimacs i :: !current
-              end
-            end)
-          (String.split_on_char ' ' line))
-    lines;
+  (try
+     List.iter
+       (fun line ->
+         match tokens_of_line line with
+         | [] -> ()
+         | first :: _ when String.length first > 0 && first.[0] = 'c' -> ()
+         | "%" :: _ -> raise Done
+         | "p" :: rest -> (
+             match rest with
+             | [ "cnf"; nv; _nc ] -> (
+                 match int_of_string_opt nv with
+                 | Some n -> nvars := max !nvars n
+                 | None -> failwith "Dimacs.parse: malformed problem line")
+             | _ -> failwith "Dimacs.parse: malformed problem line")
+         | toks ->
+             List.iter
+               (fun tok ->
+                 if tok = "%" then raise Done
+                 else
+                   let i =
+                     match int_of_string_opt tok with
+                     | Some i -> i
+                     | None ->
+                         failwith ("Dimacs.parse: bad token " ^ tok)
+                   in
+                   if i = 0 then begin
+                     clauses := List.rev !current :: !clauses;
+                     current := []
+                   end
+                   else begin
+                     nvars := max !nvars (abs i);
+                     current := Lit.of_dimacs i :: !current
+                   end)
+               toks)
+       lines
+   with Done -> ());
   if !current <> [] then clauses := List.rev !current :: !clauses;
   (!nvars, List.rev !clauses)
 

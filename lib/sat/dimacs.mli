@@ -3,8 +3,9 @@
 
 val parse : string -> int * Lit.t list list
 (** [parse text] reads a DIMACS CNF body and returns
-    [(num_vars, clauses)]. Comment lines and the problem line are
-    handled; raises [Failure] on malformed input. *)
+    [(num_vars, clauses)]. Comment lines, blank lines, tabs, CRLF line
+    endings, trailing whitespace and the SATLIB ['%'] end marker are
+    all tolerated; raises [Failure] on malformed input. *)
 
 val parse_file : string -> int * Lit.t list list
 

@@ -48,6 +48,11 @@ type stats = {
   deleted_clauses : int;
 }
 
+type tracer = {
+  trace_add : Lit.t array -> unit;
+  trace_delete : Lit.t array -> unit;
+}
+
 (* Growable clause vectors for watch lists. *)
 module Cvec = struct
   type t = { mutable data : clause array; mutable len : int }
@@ -105,6 +110,7 @@ type t = {
   mutable last_result : lastres;
   mutable conflict_core : int list;  (* assumption lits of final conflict *)
   mutable terminate : (unit -> bool) option;  (* polled during search *)
+  mutable tracer : tracer option;  (* DRUP certificate sink *)
   (* stats *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
@@ -143,6 +149,7 @@ let create ?(options = default_options) () =
     last_result = RNone;
     conflict_core = [];
     terminate = None;
+    tracer = None;
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
@@ -367,6 +374,22 @@ let propagate t =
     None
   with Conflict c -> Some c
 
+(* ---- proof tracing ---- *)
+
+(* The callbacks receive fresh arrays: clause literal arrays are mutated
+   later by watch reordering, so aliasing would corrupt the certificate. *)
+let trace_add t lits =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> tr.trace_add (Array.map Lit.of_int lits)
+
+let trace_delete t lits =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> tr.trace_delete (Array.map Lit.of_int lits)
+
+let set_tracer t tr = t.tracer <- tr
+
 (* ---- clause addition ---- *)
 
 let add_clause t lits =
@@ -375,6 +398,7 @@ let add_clause t lits =
     if decision_level t > 0 then cancel_until t 0;
     (* normalise: dedupe, drop false-at-0, detect tautology / sat-at-0 *)
     let lits = List.sort_uniq Stdlib.compare (List.map Lit.to_int lits) in
+    let n_orig = List.length lits in
     let tauto =
       let rec chk = function
         | a :: (b :: _ as rest) -> if a lxor 1 = b then true else chk rest
@@ -386,12 +410,25 @@ let add_clause t lits =
       let lits = List.filter (fun l -> lit_value t l <> -1) lits in
       let sat0 = List.exists (fun l -> lit_value t l = 1) lits in
       if not sat0 then
+        (* the stored clause may be a strict strengthening of the input
+           (false-at-0 literals dropped); trace it so a proof checker's
+           clause database mirrors ours.  The strengthened clause is RUP
+           w.r.t. the input clause plus the root-level units. *)
+        let simplified = List.length lits < n_orig in
         match lits with
-        | [] -> t.ok <- false
+        | [] ->
+            trace_add t [||];
+            t.ok <- false
         | [ l ] -> (
+            if simplified then trace_add t [| l |];
             enqueue t l None;
-            match propagate t with None -> () | Some _ -> t.ok <- false)
+            match propagate t with
+            | None -> ()
+            | Some _ ->
+                trace_add t [||];
+                t.ok <- false)
         | _ ->
+            if simplified then trace_add t (Array.of_list lits);
             let c =
               {
                 lits = Array.of_list lits;
@@ -578,6 +615,7 @@ let reduce_db t =
   Array.iteri
     (fun i c ->
       if i < n / 2 && c.lbd > 2 && not (locked c) then begin
+        trace_delete t c.lits;
         c.removed <- true;
         (* watches cleaned lazily; detach eagerly to keep lists short *)
         detach t c;
@@ -651,12 +689,14 @@ let search t ~assumptions ~conflict_budget =
            t.n_conflicts <- t.n_conflicts + 1;
            incr conflicts_here;
            if decision_level t = 0 then begin
+             trace_add t [||];
              t.ok <- false;
              t.conflict_core <- [];
              result := Some Unsat
            end
            else begin
              let lits, bt, lbd = analyze t confl in
+             trace_add t lits;
              cancel_until t bt;
              (if Array.length lits = 1 then enqueue t lits.(0) None
               else begin

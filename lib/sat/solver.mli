@@ -51,6 +51,27 @@ val set_terminate : t -> (unit -> bool) option -> unit
     raises {!Interrupted}. Used by the portfolio runner to cancel
     losers through a shared atomic flag. *)
 
+(** {1 Proof tracing (DRUP)} *)
+
+type tracer = {
+  trace_add : Lit.t array -> unit;
+  trace_delete : Lit.t array -> unit;
+}
+(** Certificate sink. [trace_add] fires for every clause the solver adds
+    beyond the clauses given to {!add_clause}: learnt clauses (unit and
+    multi-literal), input clauses strengthened at level 0 (false
+    literals dropped), and the empty clause when unsatisfiability is
+    detected without assumptions. [trace_delete] fires when a learnt
+    clause is removed by database reduction. Every traced addition is
+    RUP with respect to the input clauses plus the previously traced
+    additions (minus deletions), so the stream — interpreted as a DRUP
+    certificate — can be validated by unit propagation alone. The
+    arrays are fresh; the callee may keep them. *)
+
+val set_tracer : t -> tracer option -> unit
+(** Install (or clear) the certificate sink. Install it before the
+    first {!add_clause} so level-0 strengthenings are captured. *)
+
 val export : t -> int * Lit.t list list
 (** [(nvars, clauses)]: a snapshot of the problem — every original
     clause plus the root-level trail as unit clauses (learnt clauses

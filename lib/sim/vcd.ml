@@ -28,17 +28,49 @@ let emit_value oc id v =
     Printf.fprintf oc " %s\n" id
   end
 
+(* VCD identifiers may not contain whitespace (it delimits the tokens
+   of a [$var] line) and bracketed suffixes are reserved for the
+   bit-select field. Hierarchical SoC names ("soc.sram0.mem[3]") are
+   therefore split into a sanitised reference plus an index token. *)
+let sanitize name =
+  let safe c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '$' -> c
+    | _ -> '_'
+  in
+  let s = String.map safe name in
+  if s = "" then "_" else s
+
+let split_index name =
+  (* "mem[3]" -> ("mem", Some "[3]"); anything else -> (name, None) *)
+  match String.rindex_opt name '[' with
+  | Some i when String.length name > i + 1 && name.[String.length name - 1] = ']'
+    -> (
+      let idx = String.sub name (i + 1) (String.length name - i - 2) in
+      match int_of_string_opt idx with
+      | Some _ when i > 0 ->
+          (String.sub name 0 i, Some (Printf.sprintf "[%s]" idx))
+      | _ -> (name, None))
+  | _ -> (name, None)
+
 let attach engine oc ?(module_name = "top") exprs =
   let signals =
     List.mapi (fun i (name, e) -> (name, e, vcd_id i)) exprs
   in
   Printf.fprintf oc "$date reproduction run $end\n";
   Printf.fprintf oc "$version upec-ssc sim $end\n";
-  Printf.fprintf oc "$timescale 1ns $end\n";
-  Printf.fprintf oc "$scope module %s $end\n" module_name;
+  Printf.fprintf oc "$timescale 1 ns $end\n";
+  Printf.fprintf oc "$scope module %s $end\n" (sanitize module_name);
   List.iter
     (fun (name, e, id) ->
-      Printf.fprintf oc "$var wire %d %s %s $end\n" (Expr.width e) id name)
+      let base, index = split_index name in
+      match index with
+      | Some idx ->
+          Printf.fprintf oc "$var wire %d %s %s %s $end\n" (Expr.width e) id
+            (sanitize base) idx
+      | None ->
+          Printf.fprintf oc "$var wire %d %s %s $end\n" (Expr.width e) id
+            (sanitize name))
     signals;
   Printf.fprintf oc "$upscope $end\n$enddefinitions $end\n";
   let t = { oc; signals; last = []; time = 0; closed = false } in

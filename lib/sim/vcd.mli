@@ -11,7 +11,10 @@ type t
 val attach :
   Engine.t -> out_channel -> ?module_name:string -> (string * Expr.t) list -> t
 (** Write the VCD header now and a snapshot after every subsequent step.
-    The channel is flushed but not closed by {!close}. *)
+    The channel is flushed but not closed by {!close}. Signal names are
+    sanitised to the VCD identifier alphabet and a trailing ["[i]"]
+    (memory cell) becomes the standard bit-select token, so
+    hierarchical SoC names are emitted well-formed. *)
 
 val close : t -> unit
 (** Stop recording (detaches are not possible; the hook becomes a

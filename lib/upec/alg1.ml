@@ -1,12 +1,16 @@
 open Rtl
 module U = Ipc.Unroller
 
-(* Shared two-instance session setup for the 2-cycle property. *)
-let setup_engine ?solver_options ?portfolio spec =
+(* Shared two-instance session setup for the 2-cycle property.
+   [register] lets the caller keep a handle on every engine a run
+   creates (certification totals are summed over all of them). *)
+let setup_engine ?solver_options ?portfolio ?(certify = false)
+    ?(register = fun (_ : Ipc.Engine.t) -> ()) spec =
   let eng =
-    Ipc.Engine.create ?solver_options ?portfolio ~two_instance:true
+    Ipc.Engine.create ?solver_options ?portfolio ~certify ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
+  register eng;
   Ipc.Engine.ensure_frames eng 1;
   Macros.assume_env eng spec ~frames:1;
   for f = 0 to 1 do
@@ -15,8 +19,8 @@ let setup_engine ?solver_options ?portfolio spec =
   done;
   eng
 
-let check_once ?solver_options ?portfolio spec s =
-  let eng = setup_engine ?solver_options ?portfolio spec in
+let check_once ?solver_options ?portfolio ?certify ?register spec s =
+  let eng = setup_engine ?solver_options ?portfolio ?certify ?register spec in
   Macros.state_equivalence_assume eng spec ~frame:0 s;
   let goal = Macros.state_equivalence_goal eng spec ~frame:1 s in
   let r =
@@ -25,14 +29,18 @@ let check_once ?solver_options ?portfolio spec s =
     | Ipc.Engine.Cex cex ->
         Some (cex, Macros.violations eng spec cex ~frame:1 s)
   in
-  (r, Ipc.Engine.last_stats eng, Ipc.Engine.last_winner eng)
+  ( r,
+    Ipc.Engine.last_stats eng,
+    Ipc.Engine.last_winner eng,
+    Ipc.Engine.last_losers_stats eng )
 
 (* Incremental variant: one engine for the whole fixed-point loop. The
    State_Equivalence(S) assumption travels through solver assumptions
    and each iteration's obligation is armed by an activation literal,
    so learnt clauses survive across iterations. *)
-let make_incremental_checker ?solver_options ?portfolio spec s0 =
-  let eng = setup_engine ?solver_options ?portfolio spec in
+let make_incremental_checker ?solver_options ?portfolio ?certify ?register spec
+    s0 =
+  let eng = setup_engine ?solver_options ?portfolio ?certify ?register spec in
   let g = Ipc.Engine.graph eng in
   (* per-svar condition literals at both cycles, computed once *)
   let conds = Hashtbl.create 256 in
@@ -62,7 +70,10 @@ let make_incremental_checker ?solver_options ?portfolio spec s0 =
       | None -> None
       | Some cex -> Some (cex, Macros.violations eng spec cex ~frame:1 s)
     in
-    (r, Ipc.Engine.last_stats eng, Ipc.Engine.last_winner eng)
+    ( r,
+      Ipc.Engine.last_stats eng,
+      Ipc.Engine.last_winner eng,
+      Ipc.Engine.last_losers_stats eng )
 
 (* --- per-svar decomposition (the parallel strategy) ------------------
 
@@ -88,8 +99,8 @@ type worker_state = {
       (* svar name -> (eq@0 assumption, activation literal arming diff@1) *)
 }
 
-let make_worker ?solver_options ?portfolio spec s0 =
-  let eng = setup_engine ?solver_options ?portfolio spec in
+let make_worker ?solver_options ?portfolio ?certify ?register spec s0 =
+  let eng = setup_engine ?solver_options ?portfolio ?certify ?register spec in
   let g = Ipc.Engine.graph eng in
   let conds = Hashtbl.create 256 in
   Structural.Svar_set.iter
@@ -112,48 +123,52 @@ let check_svar w s sv =
   in
   ( Ipc.Engine.sat w.w_eng assumptions,
     Ipc.Engine.last_stats w.w_eng,
-    Ipc.Engine.last_winner w.w_eng )
+    Ipc.Engine.last_winner w.w_eng,
+    Ipc.Engine.last_losers_stats w.w_eng )
 
 (* Deterministic counterexample for the report: a worker's engine has
    solved a schedule-dependent sequence of obligations, so its model is
    not reproducible. Re-derive the witness on a fresh sequential engine
    for one fixed svar. *)
-let extract_cex ?solver_options spec s sv =
-  let eng = setup_engine ?solver_options spec in
+let extract_cex ?solver_options ?certify ?register spec s sv =
+  let eng = setup_engine ?solver_options ?certify ?register spec in
   Macros.state_equivalence_assume eng spec ~frame:0 s;
   Ipc.Engine.check_sat eng
     [ Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) ]
 
-let run_per_svar ~jobs ?solver_options ?portfolio ~max_iterations spec s0
-    finish record_step =
+let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register
+    ~max_iterations spec s0 finish record_step validate_cex =
   Parallel.Pool.with_pool ~jobs (fun pool ->
       let engines = Array.make (Parallel.Pool.jobs pool) None in
       let worker wid =
         match engines.(wid) with
         | Some w -> w
         | None ->
-            let w = make_worker ?solver_options ?portfolio spec s0 in
+            let w =
+              make_worker ?solver_options ?portfolio ?certify ?register spec s0
+            in
             engines.(wid) <- Some w;
             w
       in
       let check_batch s svs =
         Parallel.Pool.map_wid pool
           (fun wid sv ->
-            let sat, stats, winner = check_svar (worker wid) s sv in
-            (sv, sat, stats, winner))
+            let sat, stats, winner, losers = check_svar (worker wid) s sv in
+            (sv, sat, stats, winner, losers))
           svs
       in
       let stats_of results =
         List.fold_left
-          (fun (acc, w) (_, _, st, win) ->
+          (fun (acc, w, lacc) (_, _, st, win, lo) ->
             ( Satsolver.Solver.add_stats acc st,
-              match win with Some _ -> win | None -> w ))
-          (Satsolver.Solver.zero_stats, None)
+              (match win with Some _ -> win | None -> w),
+              Satsolver.Solver.add_stats lacc lo ))
+          (Satsolver.Solver.zero_stats, None, Satsolver.Solver.zero_stats)
           results
       in
       let sat_set results =
         List.fold_left
-          (fun acc (sv, sat, _, _) ->
+          (fun acc (sv, sat, _, _, _) ->
             if sat then Structural.Svar_set.add sv acc else acc)
           Structural.Svar_set.empty results
       in
@@ -171,13 +186,22 @@ let run_per_svar ~jobs ?solver_options ?portfolio ~max_iterations spec s0
           let pers_hit = sat_set pers_results in
           if not (Structural.Svar_set.is_empty pers_hit) then begin
             (* Vulnerable: no need to classify the remaining svars. *)
-            let stats, winner = stats_of pers_results in
+            let stats, winner, losers = stats_of pers_results in
             record_step ~iter ~s ~s_cex:pers_hit ~pers_hit
               ~seconds:(Unix.gettimeofday () -. it0)
-              ~stats:(Some stats) ~winner;
+              ~stats:(Some stats) ~winner ~losers:(Some losers);
             let witness = Structural.Svar_set.min_elt pers_hit in
-            match extract_cex ?solver_options spec s witness with
-            | Some cex -> finish (Report.Vulnerable { s_cex = pers_hit; cex })
+            match extract_cex ?solver_options ?certify ?register spec s witness
+            with
+            | Some cex ->
+                if
+                  validate_cex ~claimed:(Structural.Svar_set.singleton witness)
+                    cex
+                then finish (Report.Vulnerable { s_cex = pers_hit; cex })
+                else
+                  finish
+                    (Report.Inconclusive
+                       "counterexample rejected by simulator validation")
             | None ->
                 finish
                   (Report.Inconclusive
@@ -188,15 +212,16 @@ let run_per_svar ~jobs ?solver_options ?portfolio ~max_iterations spec s0
               check_batch s (Structural.Svar_set.elements rest)
             in
             let s_cex = sat_set rest_results in
-            let stats, winner =
-              let s1, w1 = stats_of pers_results in
-              let s2, w2 = stats_of rest_results in
+            let stats, winner, losers =
+              let s1, w1, l1 = stats_of pers_results in
+              let s2, w2, l2 = stats_of rest_results in
               ( Satsolver.Solver.add_stats s1 s2,
-                match w2 with Some _ -> w2 | None -> w1 )
+                (match w2 with Some _ -> w2 | None -> w1),
+                Satsolver.Solver.add_stats l1 l2 )
             in
             record_step ~iter ~s ~s_cex ~pers_hit:Structural.Svar_set.empty
               ~seconds:(Unix.gettimeofday () -. it0)
-              ~stats:(Some stats) ~winner;
+              ~stats:(Some stats) ~winner ~losers:(Some losers);
             if Structural.Svar_set.is_empty s_cex then
               finish (Report.Secure { s_final = s })
             else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
@@ -206,7 +231,7 @@ let run_per_svar ~jobs ?solver_options ?portfolio ~max_iterations spec s0
       loop 1 s0)
 
 let run ?initial_s ?(max_iterations = 64) ?solver_options
-    ?(incremental = false) ?jobs ?portfolio spec =
+    ?(incremental = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let s0 =
@@ -220,6 +245,30 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
         if incremental then "UPEC-SSC (Alg. 1, incremental)"
         else "UPEC-SSC (Alg. 1)"
   in
+  (* engine registry: workers create engines inside pool domains, so the
+     list is mutex-protected; reads happen after the pool has drained *)
+  let reg_mu = Mutex.create () in
+  let engines = ref [] in
+  let register e =
+    Mutex.lock reg_mu;
+    engines := e :: !engines;
+    Mutex.unlock reg_mu
+  in
+  let cex_validated = ref None in
+  let validate_cex ~claimed cex =
+    if certify then begin
+      let v = Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex in
+      cex_validated := Some v.Certval.v_ok;
+      v.Certval.v_ok
+    end
+    else begin
+      (match cex_vcd with
+      | Some _ ->
+          ignore (Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex)
+      | None -> ());
+      true
+    end
+  in
   let finish verdict =
     {
       Report.procedure;
@@ -229,9 +278,21 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
       total_seconds = Unix.gettimeofday () -. t0;
       state_bits = Netlist.state_bits nl;
       svar_count = Structural.Svar_set.cardinal (Structural.all_svars nl);
+      cert =
+        (if certify then
+           Some
+             {
+               Report.ct_totals =
+                 List.fold_left
+                   (fun acc e ->
+                     Cert.Proof.add_totals acc (Ipc.Engine.cert_totals e))
+                   Cert.Proof.zero_totals !engines;
+               ct_cex_validated = !cex_validated;
+             }
+         else None);
     }
   in
-  let record_step ~iter ~s ~s_cex ~pers_hit ~seconds ~stats ~winner =
+  let record_step ~iter ~s ~s_cex ~pers_hit ~seconds ~stats ~winner ~losers =
     steps :=
       {
         Report.st_iter = iter;
@@ -242,31 +303,33 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
         st_seconds = seconds;
         st_stats = stats;
         st_winner = winner;
+        st_losers = losers;
       }
       :: !steps
   in
   match jobs with
   | Some j ->
-      run_per_svar ~jobs:(max 1 j) ?solver_options ?portfolio ~max_iterations
-        spec s0 finish record_step
+      run_per_svar ~jobs:(max 1 j) ?solver_options ?portfolio ~certify
+        ~register ~max_iterations spec s0 finish record_step validate_cex
   | None ->
       let checker =
         if incremental then
-          make_incremental_checker ?solver_options ?portfolio spec s0
-        else check_once ?solver_options ?portfolio spec
+          make_incremental_checker ?solver_options ?portfolio ~certify
+            ~register spec s0
+        else check_once ?solver_options ?portfolio ~certify ~register spec
       in
       let rec loop iter s =
         if iter > max_iterations then
           finish (Report.Inconclusive "iteration budget exhausted")
         else begin
           let it0 = Unix.gettimeofday () in
-          let result, stats, winner = checker s in
+          let result, stats, winner, losers = checker s in
           match result with
           | None ->
               record_step ~iter ~s ~s_cex:Structural.Svar_set.empty
                 ~pers_hit:Structural.Svar_set.empty
                 ~seconds:(Unix.gettimeofday () -. it0)
-                ~stats:(Some stats) ~winner;
+                ~stats:(Some stats) ~winner ~losers:(Some losers);
               finish (Report.Secure { s_final = s })
           | Some (cex, s_cex) ->
               let pers_hit =
@@ -274,13 +337,18 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
               in
               record_step ~iter ~s ~s_cex ~pers_hit
                 ~seconds:(Unix.gettimeofday () -. it0)
-                ~stats:(Some stats) ~winner;
+                ~stats:(Some stats) ~winner ~losers:(Some losers);
               if Structural.Svar_set.is_empty s_cex then
                 finish
                   (Report.Inconclusive
                      "counterexample without S_cex (spurious model)")
               else if not (Structural.Svar_set.is_empty pers_hit) then
-                finish (Report.Vulnerable { s_cex; cex })
+                if validate_cex ~claimed:s_cex cex then
+                  finish (Report.Vulnerable { s_cex; cex })
+                else
+                  finish
+                    (Report.Inconclusive
+                       "counterexample rejected by simulator validation")
               else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
         end
       in

@@ -20,6 +20,8 @@ val run :
   ?incremental:bool ->
   ?jobs:int ->
   ?portfolio:int ->
+  ?certify:bool ->
+  ?cex_vcd:string ->
   Spec.t ->
   Report.run
 (** [incremental] (default [false], matching the paper's per-iteration
@@ -39,4 +41,14 @@ val run :
     keeps the monolithic single-check iteration.
 
     [portfolio] (default 1) races that many diversified solver
-    configurations inside every SAT call (orthogonal to [jobs]). *)
+    configurations inside every SAT call (orthogonal to [jobs]).
+
+    [certify] (default [false]) makes every verdict self-checking:
+    UNSAT solver results are revalidated by the independent RUP checker
+    ({!Cert.Rup}), SAT models by clause evaluation, and a vulnerable
+    verdict's counterexample is replayed through the standalone
+    simulator ({!Certval.validate}) — a rejected replay downgrades the
+    verdict to [Inconclusive]. Accounting lands in [Report.cert].
+    [cex_vcd] (implies waveform dumping even without [certify]) writes
+    paired [<prefix>.A.vcd] / [<prefix>.B.vcd] traces of the validated
+    counterexample. *)

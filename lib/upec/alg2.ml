@@ -7,11 +7,13 @@ type outcome =
   | Gave_up
 
 (* Shared session setup for the Fig. 4 unrolled property at depth k. *)
-let setup_engine ?solver_options ?portfolio ~reset_start spec k =
+let setup_engine ?solver_options ?portfolio ?(certify = false)
+    ?(register = fun (_ : Ipc.Engine.t) -> ()) ~reset_start spec k =
   let eng =
-    Ipc.Engine.create ?solver_options ?portfolio ~two_instance:true
+    Ipc.Engine.create ?solver_options ?portfolio ~certify ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
+  register eng;
   Ipc.Engine.ensure_frames eng k;
   if reset_start then Macros.assume_reset_state eng spec;
   Macros.assume_env eng spec ~frames:k;
@@ -24,10 +26,13 @@ let setup_engine ?solver_options ?portfolio ~reset_start spec k =
   done;
   eng
 
-let check_once ?solver_options ?portfolio ?(reset_start = false) spec s_frames
-    k =
+let check_once ?solver_options ?portfolio ?certify ?register
+    ?(reset_start = false) spec s_frames k =
   (* s_frames: array of length k+1 with the per-cycle sets *)
-  let eng = setup_engine ?solver_options ?portfolio ~reset_start spec k in
+  let eng =
+    setup_engine ?solver_options ?portfolio ?certify ?register ~reset_start
+      spec k
+  in
   Macros.state_equivalence_assume eng spec ~frame:0 s_frames.(0);
   let g = Ipc.Engine.graph eng in
   let goal = ref Aig.true_lit in
@@ -47,7 +52,10 @@ let check_once ?solver_options ?portfolio ?(reset_start = false) spec s_frames
         in
         Some (cex, per_frame)
   in
-  (r, Ipc.Engine.last_stats eng, Ipc.Engine.last_winner eng)
+  ( r,
+    Ipc.Engine.last_stats eng,
+    Ipc.Engine.last_winner eng,
+    Ipc.Engine.last_losers_stats eng )
 
 (* Per-(frame, svar) decomposition for the parallel strategy. The
    unrolled property assumes equivalence only at cycle 0 — and sf.(0)
@@ -62,8 +70,12 @@ type worker_state = {
   w_acts : (int * string, Aig.lit) Hashtbl.t;  (* (frame, svar) -> act *)
 }
 
-let make_worker ?solver_options ?portfolio ~reset_start spec s0 k =
-  let eng = setup_engine ?solver_options ?portfolio ~reset_start spec k in
+let make_worker ?solver_options ?portfolio ?certify ?register ~reset_start spec
+    s0 k =
+  let eng =
+    setup_engine ?solver_options ?portfolio ?certify ?register ~reset_start
+      spec k
+  in
   Macros.state_equivalence_assume eng spec ~frame:0 s0;
   let g = Ipc.Engine.graph eng in
   let acts = Hashtbl.create 1024 in
@@ -78,19 +90,42 @@ let make_worker ?solver_options ?portfolio ~reset_start spec s0 k =
   done;
   { w_k = k; w_eng = eng; w_acts = acts }
 
-let extract_cex ?solver_options ~reset_start spec s0 k (j, sv) =
-  let eng = setup_engine ?solver_options ~reset_start spec k in
+let extract_cex ?solver_options ?certify ?register ~reset_start spec s0 k
+    (j, sv) =
+  let eng = setup_engine ?solver_options ?certify ?register ~reset_start spec k in
   Macros.state_equivalence_assume eng spec ~frame:0 s0;
   Ipc.Engine.check_sat eng
     [ Aig.lit_not (Macros.sv_condition eng spec ~frame:j sv) ]
 
 let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
-    ?(reset_start = false) ?jobs ?portfolio spec =
+    ?(reset_start = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let s0 = Spec.s_neg_victim spec in
   let steps = ref [] in
   let per_svar = jobs <> None in
+  let reg_mu = Mutex.create () in
+  let engines = ref [] in
+  let register e =
+    Mutex.lock reg_mu;
+    engines := e :: !engines;
+    Mutex.unlock reg_mu
+  in
+  let cex_validated = ref None in
+  let validate_cex ~claimed cex =
+    if certify then begin
+      let v = Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex in
+      cex_validated := Some v.Certval.v_ok;
+      v.Certval.v_ok
+    end
+    else begin
+      (match cex_vcd with
+      | Some _ ->
+          ignore (Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex)
+      | None -> ());
+      true
+    end
+  in
   let finish verdict outcome =
     ( {
         Report.procedure =
@@ -105,10 +140,22 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
         total_seconds = Unix.gettimeofday () -. t0;
         state_bits = Netlist.state_bits nl;
         svar_count = Structural.Svar_set.cardinal (Structural.all_svars nl);
+        cert =
+          (if certify then
+             Some
+               {
+                 Report.ct_totals =
+                   List.fold_left
+                     (fun acc e ->
+                       Cert.Proof.add_totals acc (Ipc.Engine.cert_totals e))
+                     Cert.Proof.zero_totals !engines;
+                 ct_cex_validated = !cex_validated;
+               }
+           else None);
       },
       outcome )
   in
-  let record ?stats ?winner iter k s_size cex pers dt =
+  let record ?stats ?winner ?losers iter k s_size cex pers dt =
     steps :=
       {
         Report.st_iter = iter;
@@ -119,6 +166,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
         st_seconds = dt;
         st_stats = stats;
         st_winner = winner;
+        st_losers = losers;
       }
       :: !steps
   in
@@ -132,13 +180,14 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
         else begin
           let it0 = Unix.gettimeofday () in
           let sf = !s_frames in
-          let result, st, win =
-            check_once ?solver_options ?portfolio ~reset_start spec sf k
+          let result, st, win, lo =
+            check_once ?solver_options ?portfolio ~certify ~register
+              ~reset_start spec sf k
           in
           match result with
           | None ->
               let dt = Unix.gettimeofday () -. it0 in
-              record ~stats:st ?winner:win iter k
+              record ~stats:st ?winner:win ~losers:lo iter k
                 (Structural.Svar_set.cardinal sf.(k))
                 Structural.Svar_set.empty Structural.Svar_set.empty dt;
               if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
@@ -171,7 +220,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
               let pers_hit =
                 Structural.Svar_set.filter (Spec.is_pers spec) all_cex
               in
-              record ~stats:st ?winner:win iter k
+              record ~stats:st ?winner:win ~losers:lo iter k
                 (Structural.Svar_set.cardinal sf.(k))
                 all_cex pers_hit dt;
               if Structural.Svar_set.is_empty all_cex then
@@ -180,9 +229,15 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                      "counterexample without S_cex (spurious model)")
                   Gave_up
               else if not (Structural.Svar_set.is_empty pers_hit) then
-                finish
-                  (Report.Vulnerable { s_cex = all_cex; cex })
-                  Found_vulnerable
+                if validate_cex ~claimed:all_cex cex then
+                  finish
+                    (Report.Vulnerable { s_cex = all_cex; cex })
+                    Found_vulnerable
+                else
+                  finish
+                    (Report.Inconclusive
+                       "counterexample rejected by simulator validation")
+                    Gave_up
               else begin
                 List.iter
                   (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
@@ -201,8 +256,8 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
             | Some w when w.w_k = k -> w
             | _ ->
                 let w =
-                  make_worker ?solver_options ?portfolio ~reset_start spec s0
-                    k
+                  make_worker ?solver_options ?portfolio ~certify ~register
+                    ~reset_start spec s0 k
                 in
                 engines.(wid) <- Some w;
                 w
@@ -215,15 +270,17 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                 ( (j, sv),
                   Ipc.Engine.sat w.w_eng [ act ],
                   Ipc.Engine.last_stats w.w_eng,
-                  Ipc.Engine.last_winner w.w_eng ))
+                  Ipc.Engine.last_winner w.w_eng,
+                  Ipc.Engine.last_losers_stats w.w_eng ))
               pairs
           in
           let stats_of results =
             List.fold_left
-              (fun (acc, w) (_, _, st, win) ->
+              (fun (acc, w, lacc) (_, _, st, win, lo) ->
                 ( Satsolver.Solver.add_stats acc st,
-                  match win with Some _ -> win | None -> w ))
-              (Satsolver.Solver.zero_stats, None)
+                  (match win with Some _ -> win | None -> w),
+                  Satsolver.Solver.add_stats lacc lo ))
+              (Satsolver.Solver.zero_stats, None, Satsolver.Solver.zero_stats)
               results
           in
           let rec loop iter k =
@@ -244,24 +301,24 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
               (* Persistent svars first: any hit ends the run early. *)
               let pers_results = check_pairs k (pairs (Spec.is_pers spec)) in
               let pers_sat =
-                List.filter (fun (_, sat, _, _) -> sat) pers_results
+                List.filter (fun (_, sat, _, _, _) -> sat) pers_results
               in
               if pers_sat <> [] then begin
                 let pers_hit =
                   List.fold_left
-                    (fun acc ((_, sv), _, _, _) ->
+                    (fun acc ((_, sv), _, _, _, _) ->
                       Structural.Svar_set.add sv acc)
                     Structural.Svar_set.empty pers_sat
                 in
-                let st, win = stats_of pers_results in
-                record ~stats:st ?winner:win iter k
+                let st, win, lo = stats_of pers_results in
+                record ~stats:st ?winner:win ~losers:lo iter k
                   (Structural.Svar_set.cardinal sf.(k))
                   pers_hit pers_hit
                   (Unix.gettimeofday () -. it0);
                 (* deterministic witness: smallest frame, then svar order *)
                 let witness =
                   List.fold_left
-                    (fun acc ((j, sv), _, _, _) ->
+                    (fun acc ((j, sv), _, _, _, _) ->
                       match acc with
                       | None -> Some (j, sv)
                       | Some (j', sv') ->
@@ -274,12 +331,23 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                   |> Option.get
                 in
                 match
-                  extract_cex ?solver_options ~reset_start spec s0 k witness
+                  extract_cex ?solver_options ~certify ~register ~reset_start
+                    spec s0 k witness
                 with
                 | Some cex ->
-                    finish
-                      (Report.Vulnerable { s_cex = pers_hit; cex })
-                      Found_vulnerable
+                    if
+                      validate_cex
+                        ~claimed:(Structural.Svar_set.singleton (snd witness))
+                        cex
+                    then
+                      finish
+                        (Report.Vulnerable { s_cex = pers_hit; cex })
+                        Found_vulnerable
+                    else
+                      finish
+                        (Report.Inconclusive
+                           "counterexample rejected by simulator validation")
+                        Gave_up
                 | None ->
                     finish
                       (Report.Inconclusive
@@ -295,7 +363,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                       let j = i + 1 in
                       ( j,
                         List.fold_left
-                          (fun acc ((j', sv), sat, _, _) ->
+                          (fun acc ((j', sv), sat, _, _, _) ->
                             if sat && j' = j then
                               Structural.Svar_set.add sv acc
                             else acc)
@@ -306,13 +374,14 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                     (fun acc (_, v) -> Structural.Svar_set.union acc v)
                     Structural.Svar_set.empty per_frame
                 in
-                let st, win =
-                  let s1, w1 = stats_of pers_results in
-                  let s2, w2 = stats_of rest_results in
+                let st, win, lo =
+                  let s1, w1, l1 = stats_of pers_results in
+                  let s2, w2, l2 = stats_of rest_results in
                   ( Satsolver.Solver.add_stats s1 s2,
-                    match w2 with Some _ -> w2 | None -> w1 )
+                    (match w2 with Some _ -> w2 | None -> w1),
+                    Satsolver.Solver.add_stats l1 l2 )
                 in
-                record ~stats:st ?winner:win iter k
+                record ~stats:st ?winner:win ~losers:lo iter k
                   (Structural.Svar_set.cardinal sf.(k))
                   all_cex Structural.Svar_set.empty
                   (Unix.gettimeofday () -. it0);
@@ -346,16 +415,18 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
           in
           loop 1 1)
 
-let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio spec =
+let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
+    ?cex_vcd spec =
   let report, outcome =
-    run ?max_k ?max_iterations ?solver_options ?jobs ?portfolio spec
+    run ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
+      ?cex_vcd spec
   in
   match outcome with
   | Found_vulnerable | Gave_up -> report
   | Hold { s_final; k = _ } ->
       let induction =
         Alg1.run ~initial_s:s_final ?max_iterations ?solver_options ?jobs
-          ?portfolio spec
+          ?portfolio ?certify ?cex_vcd spec
       in
       {
         induction with
@@ -363,4 +434,5 @@ let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio spec =
         steps = report.Report.steps @ induction.Report.steps;
         total_seconds =
           report.Report.total_seconds +. induction.Report.total_seconds;
+        cert = Report.merge_cert report.Report.cert induction.Report.cert;
       }

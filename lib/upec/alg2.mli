@@ -22,6 +22,8 @@ val run :
   ?reset_start:bool ->
   ?jobs:int ->
   ?portfolio:int ->
+  ?certify:bool ->
+  ?cex_vcd:string ->
   Spec.t ->
   Report.run * outcome
 (** [reset_start] pins cycle 0 to the concrete reset state, degrading
@@ -34,7 +36,13 @@ val run :
     of [jobs] workers. The unrolled property only assumes equivalence
     at cycle 0 — a set that never shrinks — so pair verdicts are
     semantic and the trace is identical for every [jobs] value.
-    [portfolio] races that many solver configurations per SAT call. *)
+    [portfolio] races that many solver configurations per SAT call.
+
+    [certify] and [cex_vcd] behave as in {!Alg1.run}: every UNSAT
+    result is revalidated by the independent RUP checker, SAT models by
+    clause evaluation, and a vulnerable verdict's multi-cycle
+    counterexample is replayed through the standalone simulator before
+    it is reported. *)
 
 val conclude :
   ?max_k:int ->
@@ -42,7 +50,10 @@ val conclude :
   ?solver_options:Satsolver.Solver.options ->
   ?jobs:int ->
   ?portfolio:int ->
+  ?certify:bool ->
+  ?cex_vcd:string ->
   Spec.t ->
   Report.run
 (** Run the unrolled procedure; on [Hold], finish with the Algorithm 1
-    induction from the computed set and merge the reports. *)
+    induction from the computed set and merge the reports (certification
+    accounting from both phases is summed). *)

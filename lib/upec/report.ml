@@ -9,12 +9,18 @@ type step = {
   st_seconds : float;
   st_stats : Satsolver.Solver.stats option;
   st_winner : int option;
+  st_losers : Satsolver.Solver.stats option;
 }
 
 type verdict =
   | Secure of { s_final : Structural.Svar_set.t }
   | Vulnerable of { s_cex : Structural.Svar_set.t; cex : Ipc.Cex.t }
   | Inconclusive of string
+
+type cert_info = {
+  ct_totals : Cert.Proof.totals;
+  ct_cex_validated : bool option;
+}
 
 type run = {
   procedure : string;
@@ -24,7 +30,21 @@ type run = {
   total_seconds : float;
   state_bits : int;
   svar_count : int;
+  cert : cert_info option;
 }
+
+let merge_cert a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b ->
+      Some
+        {
+          ct_totals = Cert.Proof.add_totals a.ct_totals b.ct_totals;
+          ct_cex_validated =
+            (match b.ct_cex_validated with
+            | Some _ as s -> s
+            | None -> a.ct_cex_validated);
+        }
 
 let is_secure r = match r.verdict with Secure _ -> true | _ -> false
 let is_vulnerable r = match r.verdict with Vulnerable _ -> true | _ -> false
@@ -72,12 +92,22 @@ let pp fmt r =
       Format.fprintf fmt "S_cex: %a@," Structural.pp_svar_set s_cex;
       Format.fprintf fmt "%a@," Ipc.Cex.pp cex
   | Secure _ | Inconclusive _ -> ());
+  (match r.cert with
+  | None -> ()
+  | Some c ->
+      Format.fprintf fmt "certification: %a@," Cert.Proof.pp_totals c.ct_totals;
+      Format.fprintf fmt "counterexample validation: %s@,"
+        (match c.ct_cex_validated with
+        | Some true -> "PASSED (simulator replay reproduces the divergence)"
+        | Some false -> "FAILED"
+        | None -> "n/a (no counterexample)"));
   Format.fprintf fmt "total: %.2fs@]" r.total_seconds
 
 let pp_stats fmt r =
   Format.fprintf fmt "@[<v>--- solver statistics (%s) ---@," r.procedure;
   Format.fprintf fmt
-    "iter  conflicts  decisions  propagations  restarts  learnt  winner@,";
+    "iter  conflicts  decisions  propagations  restarts  learnt  winner  \
+     losers(cfl/prop)@,";
   let have_any = ref false in
   List.iter
     (fun s ->
@@ -85,13 +115,20 @@ let pp_stats fmt r =
       | None -> ()
       | Some st ->
           have_any := true;
-          Format.fprintf fmt "%4d  %9d  %9d  %12d  %8d  %6d  %6s@," s.st_iter
-            st.Satsolver.Solver.conflicts st.Satsolver.Solver.decisions
-            st.Satsolver.Solver.propagations st.Satsolver.Solver.restarts
-            st.Satsolver.Solver.learnt_clauses
+          Format.fprintf fmt "%4d  %9d  %9d  %12d  %8d  %6d  %6s  %16s@,"
+            s.st_iter st.Satsolver.Solver.conflicts
+            st.Satsolver.Solver.decisions st.Satsolver.Solver.propagations
+            st.Satsolver.Solver.restarts st.Satsolver.Solver.learnt_clauses
             (match s.st_winner with
             | Some w -> Printf.sprintf "#%d" w
-            | None -> "-"))
+            | None -> "-")
+            (match s.st_losers with
+            | Some l
+              when l.Satsolver.Solver.conflicts > 0
+                   || l.Satsolver.Solver.propagations > 0 ->
+                Printf.sprintf "%d/%d" l.Satsolver.Solver.conflicts
+                  l.Satsolver.Solver.propagations
+            | _ -> "-"))
     r.steps;
   if not !have_any then Format.fprintf fmt "(no per-step statistics recorded)@,";
   (let total =

@@ -13,6 +13,9 @@ type step = {
       (** aggregate solver work of this iteration, when recorded *)
   st_winner : int option;
       (** portfolio configuration that won this iteration's last race *)
+  st_losers : Satsolver.Solver.stats option;
+      (** summed work of the losing portfolio configurations — the
+          price paid for racing, visible next to the winner's cost *)
 }
 
 type verdict =
@@ -22,6 +25,14 @@ type verdict =
   | Inconclusive of string
       (** iteration budget exhausted or an internal anomaly *)
 
+type cert_info = {
+  ct_totals : Cert.Proof.totals;
+      (** aggregated over every engine the run created *)
+  ct_cex_validated : bool option;
+      (** [Some ok] when a counterexample went through simulator
+          validation; [None] for runs without a counterexample *)
+}
+
 type run = {
   procedure : string;  (** "UPEC-SSC" or "UPEC-SSC-unrolled" *)
   variant : Spec.variant;
@@ -30,7 +41,10 @@ type run = {
   total_seconds : float;
   state_bits : int;
   svar_count : int;
+  cert : cert_info option;  (** present when the run was certified *)
 }
+
+val merge_cert : cert_info option -> cert_info option -> cert_info option
 
 val is_secure : run -> bool
 val is_vulnerable : run -> bool

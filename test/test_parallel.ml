@@ -109,6 +109,82 @@ let test_portfolio_jobs1_inline () =
     Alcotest.(check int) "winner is config 0" 0 o.Portfolio.winner
   done
 
+let pigeonhole p h =
+  let v pi hi = L.make ((pi * h) + hi) true in
+  let at_least = List.init p (fun pi -> List.init h (fun hi -> v pi hi)) in
+  let at_most =
+    List.concat_map
+      (fun hi ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p2 > p1 then Some [ L.negate (v p1 hi); L.negate (v p2 hi) ]
+                else None)
+              (List.init p Fun.id))
+          (List.init p Fun.id))
+      (List.init h Fun.id)
+  in
+  (p * h, at_least @ at_most)
+
+let test_portfolio_losers_stats () =
+  (* a loser may be cancelled at any point — before its first decision
+     included — so exact counters are scheduling-dependent. What is
+     deterministic: a conflict-free problem yields zero conflicts in
+     every racer (interrupted or not), and the loser aggregate can
+     never exceed what all racers together could have done *)
+  let nvars, clauses = (2, [ [ L.make 0 true; L.make 1 true ] ]) in
+  let o = Portfolio.solve ~jobs:4 ~nvars ~clauses ~assumptions:[] () in
+  (match o.Portfolio.verdict with
+  | Portfolio.Sat _ -> ()
+  | Portfolio.Unsat -> Alcotest.fail "trivial SAT reported Unsat");
+  Alcotest.(check int) "no conflicts anywhere" 0
+    o.Portfolio.losers_stats.S.conflicts;
+  Alcotest.(check bool) "bounded decisions" true
+    (o.Portfolio.losers_stats.S.decisions <= 3 * 2);
+  (* jobs=1 runs inline: no race, no losers *)
+  let o1 = Portfolio.solve ~jobs:1 ~nvars ~clauses ~assumptions:[] () in
+  Alcotest.(check bool) "no losers inline" true
+    (o1.Portfolio.losers_stats = S.zero_stats)
+
+let test_portfolio_losers_after_cancellation () =
+  (* a hard UNSAT race: losers are interrupted mid-search, and their
+     partial work must still be collected consistently (the aggregate
+     never crashes, is non-negative, and the verdict stays sound) *)
+  let nvars, clauses = pigeonhole 8 7 in
+  for _ = 1 to 3 do
+    let o = Portfolio.solve ~jobs:4 ~nvars ~clauses ~assumptions:[] () in
+    Alcotest.(check bool) "unsat" true (o.Portfolio.verdict = Portfolio.Unsat);
+    let l = o.Portfolio.losers_stats in
+    Alcotest.(check bool) "counters non-negative" true
+      (l.S.conflicts >= 0 && l.S.decisions >= 0 && l.S.propagations >= 0);
+    Alcotest.(check bool) "winner valid" true
+      (o.Portfolio.winner >= 0 && o.Portfolio.winner < 4)
+  done
+
+let test_portfolio_certified () =
+  (* the proof returned must be the winner's and must check out against
+     the original CNF, for both the raced and the inline path *)
+  let nvars, clauses = pigeonhole 6 5 in
+  List.iter
+    (fun jobs ->
+      let o =
+        Portfolio.solve ~certify:true ~jobs ~nvars ~clauses ~assumptions:[] ()
+      in
+      Alcotest.(check bool) "unsat" true (o.Portfolio.verdict = Portfolio.Unsat);
+      match o.Portfolio.proof with
+      | None -> Alcotest.fail "certified race returned no proof"
+      | Some p -> (
+          match
+            Cert.Rup.check ~nvars ~clauses ~proof:(Cert.Proof.steps p) ()
+          with
+          | Ok _ -> ()
+          | Error msg ->
+              Alcotest.fail
+                (Printf.sprintf "winner's proof rejected (jobs=%d): %s" jobs
+                   msg)))
+    [ 1; 4 ]
+
 (* ---- parallel Alg. 1: determinism across job counts ---- *)
 
 let spec_of variant =
@@ -189,6 +265,12 @@ let () =
           Alcotest.test_case "agrees with sequential (50 CNFs)" `Quick
             test_portfolio_agrees;
           Alcotest.test_case "jobs=1 inline" `Quick test_portfolio_jobs1_inline;
+          Alcotest.test_case "losers' stats aggregated" `Quick
+            test_portfolio_losers_stats;
+          Alcotest.test_case "losers consistent under cancellation" `Quick
+            test_portfolio_losers_after_cancellation;
+          Alcotest.test_case "certified: winner's proof checks" `Quick
+            test_portfolio_certified;
         ] );
       ( "alg1-jobs",
         [

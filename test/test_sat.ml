@@ -211,6 +211,61 @@ let test_dimacs_roundtrip () =
     (Solver.value s (lit 1 false));
   Alcotest.(check bool) "x3 true" true (Solver.value s (lit 2 true))
 
+let test_dimacs_robustness () =
+  (* comments anywhere, blank lines, tabs, CRLF, trailing whitespace,
+     clauses split across lines, SATLIB '%' end marker *)
+  let text =
+    "c header comment\r\n\
+     \r\n\
+     p cnf 4 4   \r\n\
+     1\t-2 0\n\
+     c mid comment\n\
+     \   \n\
+     2 3\n\
+     0\n\
+     -1 4 0  \n\
+     -4 0\n\
+     %\n\
+     0\n\
+     this is garbage after the end marker\n"
+  in
+  let nv, clauses = Dimacs.parse text in
+  Alcotest.(check int) "vars" 4 nv;
+  Alcotest.(check int) "clauses" 4 (List.length clauses);
+  let expect = "p cnf 4 4\n1 -2 0\n2 3 0\n-1 4 0\n-4 0\n" in
+  Alcotest.(check string) "printed"
+    expect
+    (Format.asprintf "%a" Dimacs.print (nv, clauses));
+  (* a clause not terminated by 0 at EOF is still flushed *)
+  let _, c2 = Dimacs.parse "p cnf 2 1\n1 2\n" in
+  Alcotest.(check int) "unterminated clause" 1 (List.length c2);
+  (* malformed input still errors *)
+  (match Dimacs.parse "p cnf 2 1\n1 x 0\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "junk literal must be rejected")
+
+let qcheck_dimacs_roundtrip =
+  (* print/parse is the identity on arbitrary well-formed problems *)
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 1 12) (fun nc ->
+          let* nv = int_range 1 8 in
+          let* clauses =
+            list_size (return nc)
+              (list_size (int_range 1 4)
+                 (let* v = int_range 0 (nv - 1) in
+                  let* s = bool in
+                  return (Lit.make v s)))
+          in
+          return (nv, clauses)))
+  in
+  QCheck.Test.make ~count:200 ~name:"dimacs print/parse roundtrip"
+    (QCheck.make gen)
+    (fun (nv, clauses) ->
+      let printed = Format.asprintf "%a" Dimacs.print (nv, clauses) in
+      let nv', clauses' = Dimacs.parse printed in
+      nv = nv' && clauses = clauses')
+
 let test_stats_populated () =
   let s = mk_solver (5 * 4) in
   pigeonhole s 5 4;
@@ -316,6 +371,7 @@ let () =
           Alcotest.test_case "new vars after solve" `Quick
             test_new_vars_after_solve;
           Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "dimacs robustness" `Quick test_dimacs_robustness;
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
         ] );
       ( "property",
@@ -325,5 +381,6 @@ let () =
             qcheck_random_all_variants;
             qcheck_random_assumptions;
             qcheck_lit_encoding;
+            qcheck_dimacs_roundtrip;
           ] );
     ]

@@ -163,6 +163,52 @@ let test_vcd () =
   Alcotest.(check bool) "has var decl" true (contains contents "$var wire 8");
   Alcotest.(check bool) "has timesteps" true (contains contents "#3")
 
+let test_vcd_hierarchical_names () =
+  (* hierarchical SoC names must come out as well-formed VCD: sanitised
+     identifiers, a memory-cell suffix as the standard bit-select token,
+     and a proper $timescale declaration *)
+  let nl = build_counter () in
+  let eng = Sim.Engine.create nl in
+  let rd = Netlist.find_reg nl "count" in
+  let sig_ = Expr.reg rd.Netlist.rd_signal in
+  let path = Filename.temp_file "upec" ".vcd" in
+  let oc = open_out path in
+  let v =
+    Sim.Vcd.attach eng oc ~module_name:"instance_A"
+      [
+        ("soc.sram0.mem[3]", sig_);
+        ("xbar_pub.pub0.arb.last", sig_);
+        ("weird name!@#", sig_);
+      ]
+  in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 2;
+  Sim.Vcd.close v;
+  close_out oc;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "timescale declared" true
+    (contains contents "$timescale 1 ns $end");
+  Alcotest.(check bool) "scope named" true
+    (contains contents "$scope module instance_A $end");
+  (* the memory-cell index becomes a separate bit-select token *)
+  Alcotest.(check bool) "bit-select token" true
+    (contains contents "soc.sram0.mem [3] $end");
+  Alcotest.(check bool) "plain hierarchical name kept" true
+    (contains contents "xbar_pub.pub0.arb.last $end");
+  (* no raw illegal characters survive in any $var line *)
+  Alcotest.(check bool) "illegal chars sanitised" false
+    (contains contents "weird name!@#");
+  Alcotest.(check bool) "sanitised replacement present" true
+    (contains contents "weird_name___ $end")
+
 (* qcheck: simulator counter matches a functional model *)
 let qcheck_counter_model =
   QCheck.Test.make ~count:100 ~name:"counter matches functional model"
@@ -198,6 +244,8 @@ let () =
         [
           Alcotest.test_case "trace" `Quick test_trace;
           Alcotest.test_case "vcd dump" `Quick test_vcd;
+          Alcotest.test_case "vcd hierarchical names" `Quick
+            test_vcd_hierarchical_names;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest qcheck_counter_model ]);
     ]
