@@ -116,19 +116,100 @@ let cex_vcd_arg =
   in
   Arg.(value & opt (some string) None & info [ "cex-vcd" ] ~doc ~docv:"PREFIX")
 
+let conflict_budget_arg =
+  let doc =
+    "Give up on any single SAT call after \\$(docv) conflicts (0 = \
+     unlimited). Exhausted calls are retried with escalating budgets; a \
+     state variable still undecided afterwards is excluded conservatively \
+     and reported, it never aborts the run."
+  in
+  Arg.(value & opt int 0 & info [ "conflict-budget" ] ~doc ~docv:"N")
+
+let prop_budget_arg =
+  let doc = "Per-SAT-call propagation cap (0 = unlimited)." in
+  Arg.(value & opt int 0 & info [ "prop-budget" ] ~doc ~docv:"N")
+
+let timeout_arg =
+  let doc = "Per-SAT-call wall-clock cap in seconds (0 = unlimited)." in
+  Arg.(value & opt float 0.0 & info [ "timeout" ] ~doc ~docv:"SECS")
+
+let budget_retries_arg =
+  let doc = "Extra attempts for a budget-exhausted SAT call." in
+  Arg.(value & opt int 2 & info [ "budget-retries" ] ~doc ~docv:"N")
+
+let budget_escalation_arg =
+  let doc = "Budget scale factor applied on each retry." in
+  Arg.(value & opt float 4.0 & info [ "budget-escalation" ] ~doc ~docv:"F")
+
+let checkpoint_arg =
+  let doc =
+    "Persist the iteration state to \\$(docv) (atomic rename) after every \
+     completed iteration, and on SIGINT/SIGTERM. Resume with \\$(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"FILE")
+
+let resume_arg =
+  let doc =
+    "Resume from a checkpoint written by \\$(b,--checkpoint). The stored \
+     config hash must match the current design/variant/persistence options; \
+     a mismatch is refused."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
+
 let resolve_jobs = function
   | Some 0 -> Some (Parallel.Pool.default_jobs ())
   | j -> j
 
+let budget_of ~conflicts ~props ~seconds =
+  {
+    Satsolver.Solver.max_conflicts = (if conflicts > 0 then conflicts else -1);
+    max_propagations = (if props > 0 then props else -1);
+    max_seconds = (if seconds > 0.0 then seconds else 0.0);
+  }
+
 let check_cmd =
   let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
-      incremental jobs portfolio stats certify cex_vcd =
+      incremental jobs portfolio stats certify cex_vcd conflict_budget
+      prop_budget timeout budget_retries budget_escalation checkpoint_file
+      resume_file =
     let spec = spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
     let jobs = resolve_jobs jobs in
+    let budget =
+      budget_of ~conflicts:conflict_budget ~props:prop_budget ~seconds:timeout
+    in
+    let resume =
+      match resume_file with
+      | None -> None
+      | Some file -> (
+          match Upec.Checkpoint.load file with
+          | Ok ck -> Some ck
+          | Error msg ->
+              Format.eprintf "upec_ssc: cannot resume from %s: %s@." file msg;
+              exit 3)
+    in
+    (* Cooperative interruption: the handler only flips a flag; every
+       in-flight solve polls it and unwinds, the algorithm discards the
+       partial iteration (the checkpoint keeps the last completed one)
+       and we still get a partial report before the nonzero exit. *)
+    let stop = Atomic.make false in
+    let on_signal _ = Atomic.set stop true in
+    List.iter
+      (fun s -> Sys.set_signal s (Sys.Signal_handle on_signal))
+      [ Sys.sigint; Sys.sigterm ];
+    let should_stop () = Atomic.get stop in
     let report =
-      if alg = 2 then
-        Upec.Alg2.conclude ~max_k ?jobs ~portfolio ~certify ?cex_vcd spec
-      else Upec.Alg1.run ~incremental ?jobs ~portfolio ~certify ?cex_vcd spec
+      try
+        if alg = 2 then
+          Upec.Alg2.conclude ~max_k ?jobs ~portfolio ~certify ?cex_vcd ~budget
+            ~budget_retries ~budget_escalation ?checkpoint_file ?resume
+            ~should_stop spec
+        else
+          Upec.Alg1.run ~incremental ?jobs ~portfolio ~certify ?cex_vcd ~budget
+            ~budget_retries ~budget_escalation ?checkpoint_file ?resume
+            ~should_stop spec
+      with Invalid_argument msg when resume <> None ->
+        Format.eprintf "upec_ssc: checkpoint refused: %s@." msg;
+        exit 3
     in
     Format.printf "%a@." Upec.Report.pp report;
     if stats then Format.printf "%a@." Upec.Report.pp_stats report;
@@ -136,6 +217,14 @@ let check_cmd =
     | true, Upec.Report.Vulnerable { cex; _ } ->
         Format.printf "%a@." Ipc.Cex.pp_full cex
     | _ -> ());
+    if Atomic.get stop then begin
+      (match checkpoint_file with
+      | Some file when Sys.file_exists file ->
+          Format.eprintf
+            "upec_ssc: interrupted; resume with --resume %s@." file
+      | _ -> Format.eprintf "upec_ssc: interrupted@.");
+      exit 130
+    end;
     if Upec.Report.is_vulnerable report then exit 10 else exit 0
   in
   let doc = "Run the UPEC-SSC security analysis." in
@@ -145,7 +234,9 @@ let check_cmd =
       const run $ variant_arg $ alg_arg $ pers_arg $ depth_arg $ banks_arg
       $ arbiter_arg $ no_dma_arg $ no_hwpe_arg $ max_k_arg $ full_cex_arg
       $ incremental_arg $ jobs_arg $ portfolio_arg $ stats_flag_arg
-      $ certify_arg $ cex_vcd_arg)
+      $ certify_arg $ cex_vcd_arg $ conflict_budget_arg $ prop_budget_arg
+      $ timeout_arg $ budget_retries_arg $ budget_escalation_arg
+      $ checkpoint_arg $ resume_arg)
 
 let invariants_cmd =
   let run variant depth banks arbiter =

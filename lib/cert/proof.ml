@@ -67,6 +67,28 @@ let file_tracer oc =
   in
   { S.trace_add = line ""; trace_delete = line "d " }
 
+let complete_marker = "c qed"
+let truncated_marker = "c truncated"
+
+let with_file_tracer path f =
+  let oc = open_out path in
+  match f (file_tracer oc) with
+  | v ->
+      output_string oc (complete_marker ^ "\n");
+      close_out oc;
+      v
+  | exception e ->
+      (* abnormal exit (budget exhaustion, interrupt, a certification
+         failure raised mid-solve): still flush and close the sink, and
+         stamp the file so a reader can tell a cut-short certificate
+         from a complete one *)
+      let bt = Printexc.get_raw_backtrace () in
+      (try
+         output_string oc (truncated_marker ^ "\n");
+         close_out oc
+       with _ -> close_out_noerr oc);
+      Printexc.raise_with_backtrace e bt
+
 let parse_drup text =
   let rev = ref [] in
   let current = ref [] in
@@ -79,16 +101,22 @@ let parse_drup text =
   in
   String.split_on_char '\n' text
   |> List.iter (fun line ->
-         String.split_on_char ' ' line
-         |> List.iter (fun tok ->
-                match String.trim tok with
-                | "" -> ()
-                | "d" -> deleting := true
-                | tok -> (
-                    match int_of_string_opt tok with
-                    | Some 0 -> flush ()
-                    | Some i -> current := L.of_dimacs i :: !current
-                    | None -> failwith ("Proof.parse_drup: bad token " ^ tok))));
+         let line = String.trim line in
+         (* "c ..." comment lines — including the completion/truncation
+            markers of [with_file_tracer] — are not proof steps *)
+         if not (line = "c" || (String.length line >= 2 && line.[0] = 'c' && line.[1] = ' '))
+         then
+           String.split_on_char ' ' line
+           |> List.iter (fun tok ->
+                  match String.trim tok with
+                  | "" -> ()
+                  | "d" -> deleting := true
+                  | tok -> (
+                      match int_of_string_opt tok with
+                      | Some 0 -> flush ()
+                      | Some i -> current := L.of_dimacs i :: !current
+                      | None ->
+                          failwith ("Proof.parse_drup: bad token " ^ tok))));
   List.rev !rev
 
 (* ---- certification accounting ---- *)
@@ -96,6 +124,7 @@ let parse_drup text =
 type totals = {
   unsat_checked : int;
   sat_checked : int;
+  unknown_skipped : int;
   proof_steps : int;
   proof_lits : int;
   solve_seconds : float;
@@ -106,6 +135,7 @@ let zero_totals =
   {
     unsat_checked = 0;
     sat_checked = 0;
+    unknown_skipped = 0;
     proof_steps = 0;
     proof_lits = 0;
     solve_seconds = 0.0;
@@ -116,6 +146,7 @@ let add_totals a b =
   {
     unsat_checked = a.unsat_checked + b.unsat_checked;
     sat_checked = a.sat_checked + b.sat_checked;
+    unknown_skipped = a.unknown_skipped + b.unknown_skipped;
     proof_steps = a.proof_steps + b.proof_steps;
     proof_lits = a.proof_lits + b.proof_lits;
     solve_seconds = a.solve_seconds +. b.solve_seconds;
@@ -127,4 +158,6 @@ let pp_totals fmt t =
     "%d UNSAT proof(s) checked (%d steps, %d lits), %d model(s) checked; \
      solve %.3fs, check %.3fs"
     t.unsat_checked t.proof_steps t.proof_lits t.sat_checked t.solve_seconds
-    t.check_seconds
+    t.check_seconds;
+  if t.unknown_skipped > 0 then
+    Format.fprintf fmt "; %d unknown verdict(s) uncertified" t.unknown_skipped

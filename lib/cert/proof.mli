@@ -42,14 +42,34 @@ val file_tracer : out_channel -> Satsolver.Solver.tracer
 (** A streaming sink writing DRUP text directly to a channel: bounded
     memory for proofs too large to keep in-core. *)
 
+val complete_marker : string
+(** Comment line stamped at the end of a DRUP file that was written to
+    completion by {!with_file_tracer}. *)
+
+val truncated_marker : string
+(** Comment line stamped when the writer exited abnormally: the file is
+    a valid DRUP prefix but not the whole certificate. *)
+
+val with_file_tracer : string -> (Satsolver.Solver.tracer -> 'a) -> 'a
+(** [with_file_tracer path f] opens [path], hands [f] a streaming DRUP
+    sink, and {e always} closes the file: on normal return the file ends
+    with {!complete_marker}, on an exception (budget exhaustion,
+    interrupt, solver failure) it ends with {!truncated_marker} and the
+    exception is re-raised — abnormal exits leave a truncation-detectable
+    file, never a silently short one. *)
+
 val parse_drup : string -> step list
-(** Inverse of {!output_drup}; raises [Failure] on malformed input. *)
+(** Inverse of {!output_drup}; tolerates ["c ..."] comment lines (such
+    as the markers above); raises [Failure] on malformed input. *)
 
 (** {1 Certification accounting} *)
 
 type totals = {
   unsat_checked : int;  (** UNSAT verdicts revalidated by {!Rup.check} *)
   sat_checked : int;  (** SAT models revalidated by {!Model.check} *)
+  unknown_skipped : int;
+      (** solves that ended [Unknown] (budget exhausted / interrupted):
+          nothing to certify, but the gap is accounted, not hidden *)
   proof_steps : int;
   proof_lits : int;
   solve_seconds : float;  (** wall time of the certified solves *)

@@ -102,6 +102,17 @@ let validate ?vcd_prefix ?(claimed = Structural.Svar_set.empty) nl cex =
   in
   let mismatches = ref [] in
   let diverged = ref Structural.Svar_set.empty in
+  (* the replay loop can raise (simulator failure, interrupt): the VCD
+     headers and whatever frames were dumped must still reach disk as a
+     well-formed, inspectable prefix *)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (v, oc) ->
+          (try Sim.Vcd.close v with _ -> ());
+          close_out_noerr oc)
+        vcds)
+    (fun () ->
   for frame = 1 to k do
     (* drive cycle [frame-1] inputs into every instance, step together *)
     List.iter
@@ -141,8 +152,7 @@ let validate ?vcd_prefix ?(claimed = Structural.Svar_set.empty) nl cex =
               diverged := Structural.Svar_set.add sv !diverged)
           svars
     | _ -> ())
-  done;
-  List.iter (fun (v, oc) -> Sim.Vcd.close v; close_out oc) vcds;
+  done);
   let missing = Structural.Svar_set.diff claimed !diverged in
   {
     v_ok = !mismatches = [] && Structural.Svar_set.is_empty missing;

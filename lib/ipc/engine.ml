@@ -2,6 +2,7 @@ module S = Satsolver.Solver
 module L = Satsolver.Lit
 
 exception Certification_failed of string
+exception Unknown_verdict of string
 
 type t = {
   g : Aig.t;
@@ -18,6 +19,8 @@ type t = {
   mutable last_winner_ : int option;
   mutable last_losers_ : S.stats;
   mutable cert_tot : Cert.Proof.totals;
+  mutable budget : S.budget;  (* applies to every subsequent solve *)
+  mutable interrupt : (unit -> bool) option;  (* cooperative cancellation *)
 }
 
 let create ?solver_options ?(portfolio = 1) ?portfolio_configs
@@ -41,7 +44,13 @@ let create ?solver_options ?(portfolio = 1) ?portfolio_configs
     last_winner_ = None;
     last_losers_ = S.zero_stats;
     cert_tot = Cert.Proof.zero_totals;
+    budget = S.no_budget;
+    interrupt = None;
   }
+
+let set_budget t b = t.budget <- b
+let budget t = t.budget
+let set_interrupt t f = t.interrupt <- f
 
 let unroller t = t.u
 let graph t = t.g
@@ -102,18 +111,30 @@ let model_fn_of t sat_value =
 let solve_certified t ~configs ~nvars ~clauses ~assumptions =
   let t0 = Unix.gettimeofday () in
   let o =
-    Parallel.Portfolio.solve ?configs ~certify:true
-      ~jobs:(max 1 t.portfolio) ~nvars ~clauses ~assumptions ()
+    Parallel.Portfolio.solve ?configs ~certify:true ~budget:t.budget
+      ?interrupt:t.interrupt ~jobs:(max 1 t.portfolio) ~nvars ~clauses
+      ~assumptions ()
   in
   let solve_s = Unix.gettimeofday () -. t0 in
-  let proof =
-    match o.Parallel.Portfolio.proof with
-    | Some p -> p
-    | None -> assert false (* certify:true always records *)
-  in
   let t1 = Unix.gettimeofday () in
   (match o.Parallel.Portfolio.verdict with
+  | Parallel.Portfolio.Unknown _ ->
+      (* nothing to certify — but the gap in coverage is accounted, so a
+         certification summary cannot silently overstate what it vouches
+         for *)
+      t.cert_tot <-
+        Cert.Proof.add_totals t.cert_tot
+          {
+            Cert.Proof.zero_totals with
+            Cert.Proof.unknown_skipped = 1;
+            solve_seconds = solve_s;
+          }
   | Parallel.Portfolio.Unsat -> (
+      let proof =
+        match o.Parallel.Portfolio.proof with
+        | Some p -> p
+        | None -> assert false (* certify:true always records *)
+      in
       match
         Cert.Rup.check ~assumptions ~nvars ~clauses
           ~proof:(Cert.Proof.steps proof) ()
@@ -151,13 +172,20 @@ let solve_raw t extra =
   let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
   if (not t.certify) && t.portfolio <= 1 then begin
     let before = S.stats t.solver in
-    let r = S.solve ~assumptions t.solver in
-    t.last_stats <- S.diff_stats (S.stats t.solver) before;
+    S.set_terminate t.solver t.interrupt;
     t.last_winner_ <- None;
     t.last_losers_ <- S.zero_stats;
-    match r with
-    | S.Unsat -> `Unsat
-    | S.Sat ->
+    match
+      let r = S.solve_bounded ~assumptions ~budget:t.budget t.solver in
+      t.last_stats <- S.diff_stats (S.stats t.solver) before;
+      r
+    with
+    | S.Unknown reason -> `Unknown reason
+    | exception S.Interrupted ->
+        t.last_stats <- S.diff_stats (S.stats t.solver) before;
+        `Unknown "interrupted"
+    | S.Solved S.Unsat -> `Unsat
+    | S.Solved S.Sat ->
         let sat_value lit =
           try S.value t.solver lit with Invalid_argument _ -> false
         in
@@ -174,14 +202,18 @@ let solve_raw t extra =
     let o =
       if t.certify then solve_certified t ~configs ~nvars ~clauses ~assumptions
       else
-        Parallel.Portfolio.solve ?configs ~jobs:t.portfolio ~nvars ~clauses
-          ~assumptions ()
+        Parallel.Portfolio.solve ?configs ~budget:t.budget
+          ?interrupt:t.interrupt ~jobs:t.portfolio ~nvars ~clauses ~assumptions
+          ()
     in
     t.last_stats <- o.Parallel.Portfolio.stats;
     t.last_winner_ <-
-      (if t.portfolio > 1 then Some o.Parallel.Portfolio.winner else None);
+      (if t.portfolio > 1 && o.Parallel.Portfolio.winner >= 0 then
+         Some o.Parallel.Portfolio.winner
+       else None);
     t.last_losers_ <- o.Parallel.Portfolio.losers_stats;
     match o.Parallel.Portfolio.verdict with
+    | Parallel.Portfolio.Unknown reason -> `Unknown reason
     | Parallel.Portfolio.Unsat -> `Unsat
     | Parallel.Portfolio.Sat model ->
         let sat_value lit =
@@ -194,18 +226,43 @@ let solve_raw t extra =
   end
 
 type outcome = Holds | Cex of Cex.t
+type 'a bounded = Decided of 'a | Unknown of string
 
-let check_sat t extra =
+let check_sat_bounded t extra =
   match solve_raw t extra with
-  | `Unsat -> None
-  | `Sat value -> Some (Cex.extract t.u (model_fn_of t value))
+  | `Unsat -> Decided None
+  | `Sat value -> Decided (Some (Cex.extract t.u (model_fn_of t value)))
+  | `Unknown reason -> Unknown reason
 
-let sat t extra = match solve_raw t extra with `Unsat -> false | `Sat _ -> true
+let sat_bounded t extra =
+  match solve_raw t extra with
+  | `Unsat -> Decided false
+  | `Sat _ -> Decided true
+  | `Unknown reason -> Unknown reason
+
+let check_bounded t goal =
+  match check_sat_bounded t [ Aig.lit_not goal ] with
+  | Decided None -> Decided Holds
+  | Decided (Some cex) -> Decided (Cex cex)
+  | Unknown reason -> Unknown reason
+
+(* Legacy unbounded API: an engine without budget or interrupt can never
+   answer Unknown, so these only raise for callers that installed a
+   budget and then used the wrong entry point. *)
+let check_sat t extra =
+  match check_sat_bounded t extra with
+  | Decided r -> r
+  | Unknown reason -> raise (Unknown_verdict reason)
+
+let sat t extra =
+  match sat_bounded t extra with
+  | Decided b -> b
+  | Unknown reason -> raise (Unknown_verdict reason)
 
 let check t goal =
-  match check_sat t [ Aig.lit_not goal ] with
-  | None -> Holds
-  | Some cex -> Cex cex
+  match check_bounded t goal with
+  | Decided o -> o
+  | Unknown reason -> raise (Unknown_verdict reason)
 
 let solve_stats t = S.stats t.solver
 let last_stats t = t.last_stats

@@ -26,6 +26,12 @@ exception Certification_failed of string
     — either the solver or the checker is wrong, and the verdict cannot
     be trusted. *)
 
+exception Unknown_verdict of string
+(** Raised by the unbounded entry points ({!check}, {!check_sat},
+    {!sat}) when a solve ends [Unknown] — only possible after
+    {!set_budget} or {!set_interrupt}; budget-aware callers use the
+    [_bounded] variants instead. *)
+
 val create :
   ?solver_options:Satsolver.Solver.options ->
   ?portfolio:int ->
@@ -56,7 +62,28 @@ val sat_vars : t -> int
 (** Number of SAT variables allocated so far (observability hook for the
     incremental pre-encoding). *)
 
+val set_budget : t -> Satsolver.Solver.budget -> unit
+(** Resource budget applied to every subsequent solve (each portfolio
+    racer gets the full budget independently). Default
+    {!Satsolver.Solver.no_budget}. *)
+
+val budget : t -> Satsolver.Solver.budget
+
+val set_interrupt : t -> (unit -> bool) option -> unit
+(** Cooperative cancellation hook, polled from inside every subsequent
+    solve. When it returns [true] the solve unwinds and reports
+    [Unknown "interrupted"]; the engine stays usable. *)
+
 type outcome = Holds | Cex of Cex.t
+
+type 'a bounded = Decided of 'a | Unknown of string
+    (** Three-valued solve result: [Unknown reason] when the budget ran
+        out or the interrupt fired before a verdict — a resource fact
+        about this solve, not a property of the instance. *)
+
+val check_bounded : t -> Aig.lit -> outcome bounded
+val check_sat_bounded : t -> Aig.lit list -> Cex.t option bounded
+val sat_bounded : t -> Aig.lit list -> bool bounded
 
 val check : t -> Aig.lit -> outcome
 (** [check t goal] decides whether the assumptions imply [goal]. If

@@ -9,7 +9,16 @@ type t = {
   sleep_cv : Condition.t;
   stop : bool Atomic.t;
   rr : int Atomic.t;  (* round-robin submission cursor *)
+  (* crash / stall accounting. running.(wid) is (start_time, generation)
+     of the task the worker is executing, or (0., g) when idle; the
+     generation lets the watchdog flag each overrunning task once. *)
+  running : (float * int) Atomic.t array;
+  task_deadline : float;  (* <= 0: no watchdog *)
+  on_stall : (int -> float -> unit) option;
+  stalled_count : int Atomic.t;
+  crashed_count : int Atomic.t;  (* tasks that raised outside [map]'s net *)
   mutable domains : unit Domain.t list;
+  mutable watchdog_dom : unit Domain.t option;
   mutable shut : bool;
 }
 
@@ -22,6 +31,8 @@ let default_jobs () =
   | None -> Domain.recommended_domain_count ()
 
 let jobs t = t.n_jobs
+let stalled t = Atomic.get t.stalled_count
+let crashed t = Atomic.get t.crashed_count
 
 let try_pop t i =
   let mu = t.qlocks.(i) in
@@ -45,13 +56,23 @@ let find_task t wid =
       in
       scan 1
 
+(* Run one task with full isolation: a raising task must never kill its
+   worker domain — [map] catches its own exceptions into the result
+   slot, so anything escaping here is a bare [submit] task, which has
+   nowhere to deliver the exception anyway. *)
+let run_isolated t wid task =
+  let _, gen = Atomic.get t.running.(wid) in
+  Atomic.set t.running.(wid) (Unix.gettimeofday (), gen + 1);
+  (try task.run wid with _ -> Atomic.incr t.crashed_count);
+  Atomic.set t.running.(wid) (0., gen + 1)
+
 let worker t wid =
   let continue = ref true in
   while !continue do
     match find_task t wid with
     | Some task ->
         Atomic.decr t.pending;
-        task.run wid
+        run_isolated t wid task
     | None ->
         Mutex.lock t.sleep_mu;
         if Atomic.get t.stop then continue := false
@@ -59,7 +80,31 @@ let worker t wid =
         Mutex.unlock t.sleep_mu
   done
 
-let create ~jobs =
+(* The watchdog polls worker progress a few times per deadline window
+   and flags — it cannot kill — any task running past its deadline.
+   Flagging is once per task: the generation counter distinguishes a
+   long task from a fresh one on the same worker. *)
+let watchdog t =
+  let interval = Float.max 0.005 (Float.min 0.25 (t.task_deadline /. 4.)) in
+  let flagged = Array.make t.n_jobs (-1) in
+  while not (Atomic.get t.stop) do
+    Unix.sleepf interval;
+    let now = Unix.gettimeofday () in
+    Array.iteri
+      (fun wid cell ->
+        let since, gen = Atomic.get cell in
+        if since > 0. && now -. since > t.task_deadline && flagged.(wid) <> gen
+        then begin
+          flagged.(wid) <- gen;
+          Atomic.incr t.stalled_count;
+          match t.on_stall with
+          | Some f -> ( try f wid (now -. since) with _ -> ())
+          | None -> ()
+        end)
+      t.running
+  done
+
+let create ?(task_deadline = 0.) ?on_stall ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
     {
@@ -71,16 +116,25 @@ let create ~jobs =
       sleep_cv = Condition.create ();
       stop = Atomic.make false;
       rr = Atomic.make 0;
+      running = Array.init jobs (fun _ -> Atomic.make (0., 0));
+      task_deadline;
+      on_stall;
+      stalled_count = Atomic.make 0;
+      crashed_count = Atomic.make 0;
       domains = [];
+      watchdog_dom = None;
       shut = false;
     }
   in
-  if jobs > 1 then
+  if jobs > 1 then begin
     t.domains <-
       List.init jobs (fun wid -> Domain.spawn (fun () -> worker t wid));
+    if task_deadline > 0. then
+      t.watchdog_dom <- Some (Domain.spawn (fun () -> watchdog t))
+  end;
   t
 
-let submit t task =
+let submit_task t task =
   let i = Atomic.fetch_and_add t.rr 1 mod t.n_jobs in
   let mu = t.qlocks.(i) in
   Mutex.lock mu;
@@ -90,6 +144,11 @@ let submit t task =
   Mutex.lock t.sleep_mu;
   Condition.broadcast t.sleep_cv;
   Mutex.unlock t.sleep_mu
+
+let submit t f =
+  if t.shut then invalid_arg "Pool.submit: pool is shut down";
+  if t.n_jobs = 1 then run_isolated t 0 { run = f }
+  else submit_task t { run = f }
 
 let map_wid t f items =
   if t.shut then invalid_arg "Pool.map: pool is shut down";
@@ -105,7 +164,7 @@ let map_wid t f items =
     let done_mu = Mutex.create () in
     let done_cv = Condition.create () in
     for i = 0 to n - 1 do
-      submit t
+      submit_task t
         {
           run =
             (fun wid ->
@@ -126,7 +185,9 @@ let map_wid t f items =
       Condition.wait done_cv done_mu
     done;
     Mutex.unlock done_mu;
-    (* Deterministic error choice: lowest submission index wins. *)
+    (* Deterministic error choice: lowest submission index wins. All
+       tasks have settled, so sibling results are complete — a caller
+       catching the re-raise can keep using the pool. *)
     Array.iter
       (function
         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
@@ -142,6 +203,9 @@ let map_wid t f items =
 
 let map t f items = map_wid t (fun _ x -> f x) items
 
+(* Never raises: joins are defensive, the call is idempotent, and a
+   non-idle pool (queued tasks abandoned by a failed [map] caller) is
+   drained by the workers before they observe [stop]. *)
 let shutdown t =
   if not t.shut then begin
     t.shut <- true;
@@ -149,10 +213,23 @@ let shutdown t =
     Mutex.lock t.sleep_mu;
     Condition.broadcast t.sleep_cv;
     Mutex.unlock t.sleep_mu;
-    List.iter Domain.join t.domains;
-    t.domains <- []
+    List.iter (fun d -> try Domain.join d with _ -> ()) t.domains;
+    t.domains <- [];
+    (match t.watchdog_dom with
+    | Some d -> ( try Domain.join d with _ -> ())
+    | None -> ());
+    t.watchdog_dom <- None
   end
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+let with_pool ?task_deadline ?on_stall ~jobs f =
+  let t = create ?task_deadline ?on_stall ~jobs () in
+  match f t with
+  | v ->
+      shutdown t;
+      v
+  | exception e ->
+      (* shutdown never raises, so the callback's exception — not a
+         masking [Finally_raised] — is what the caller sees *)
+      let bt = Printexc.get_raw_backtrace () in
+      shutdown t;
+      Printexc.raise_with_backtrace e bt

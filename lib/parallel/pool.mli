@@ -9,7 +9,21 @@
     Results are always returned in submission order, so callers get
     deterministic output regardless of scheduling. If any task raises,
     the exception of the lowest-indexed failing task is re-raised in the
-    caller after all tasks of that [map] have settled. *)
+    caller after all tasks of that [map] have settled — sibling results
+    are complete, no worker dies, and the pool stays usable.
+
+    {b Crash isolation.} A task that raises can never kill its worker
+    domain: [map] captures the exception into the task's result slot,
+    and exceptions escaping a bare {!submit} task are swallowed (counted
+    by {!crashed}). {!shutdown} never raises, even on a pool whose
+    [map] caller failed with tasks still queued — the workers drain the
+    queue before stopping.
+
+    {b Watchdog.} With [task_deadline] set, a dedicated watchdog domain
+    polls worker progress and flags — it cannot kill — every task that
+    runs past the deadline: {!stalled} counts them and [on_stall]
+    (called as [on_stall wid elapsed], at most once per task) lets the
+    caller log or escalate. *)
 
 type t
 
@@ -17,11 +31,24 @@ val default_jobs : unit -> int
 (** [UPEC_JOBS] from the environment if set to a positive integer,
     otherwise {!Domain.recommended_domain_count}. *)
 
-val create : jobs:int -> t
+val create :
+  ?task_deadline:float -> ?on_stall:(int -> float -> unit) -> jobs:int -> unit -> t
 (** Spawn a pool with [jobs] workers ([jobs >= 1]; values above the
-    recommended domain count are allowed but rarely useful). *)
+    recommended domain count are allowed but rarely useful).
+    [task_deadline] (seconds, default off) arms the watchdog. *)
 
 val jobs : t -> int
+
+val stalled : t -> int
+(** Tasks flagged by the watchdog as exceeding their deadline so far. *)
+
+val crashed : t -> int
+(** Exceptions swallowed from bare {!submit} tasks (not [map] tasks,
+    whose exceptions are delivered to the [map] caller). *)
+
+val submit : t -> (int -> unit) -> unit
+(** Enqueue a raw task (receives the worker id). Fire-and-forget: an
+    exception it raises is swallowed and counted by {!crashed}. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Apply [f] to every element, in parallel; blocks until all are done.
@@ -33,7 +60,14 @@ val map_wid : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
     proof engines that are not safe to share between domains. *)
 
 val shutdown : t -> unit
-(** Join all workers. The pool must be idle; using it afterwards raises. *)
+(** Join all workers (after they drain any queued tasks). Idempotent;
+    never raises. Using the pool afterwards raises. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
-(** [create], run, [shutdown] — also on exceptions. *)
+val with_pool :
+  ?task_deadline:float ->
+  ?on_stall:(int -> float -> unit) ->
+  jobs:int ->
+  (t -> 'a) ->
+  'a
+(** [create], run, [shutdown] — also on exceptions, in which case the
+    callback's exception (not a shutdown artifact) reaches the caller. *)

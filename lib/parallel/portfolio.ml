@@ -1,6 +1,6 @@
 module S = Satsolver.Solver
 
-type verdict = Sat of bool array | Unsat
+type verdict = Sat of bool array | Unsat | Unknown of string
 
 type outcome = {
   verdict : verdict;
@@ -53,7 +53,8 @@ let run_config ~certify ~nvars ~clauses opts =
   List.iter (S.add_clause s) clauses;
   (s, proof)
 
-let solve ?configs ?(certify = false) ~jobs ~nvars ~clauses ~assumptions () =
+let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
+    ~nvars ~clauses ~assumptions () =
   let configs =
     match configs with
     | Some (_ :: _ as cs) -> cs
@@ -64,10 +65,15 @@ let solve ?configs ?(certify = false) ~jobs ~nvars ~clauses ~assumptions () =
   if k <= 1 then begin
     (* Inline sequential solve with configuration 0. *)
     let s, proof = run_config ~certify ~nvars ~clauses configs.(0) in
+    (match interrupt with
+    | Some f -> S.set_terminate s (Some f)
+    | None -> ());
     let verdict =
-      match S.solve ~assumptions s with
-      | S.Sat -> Sat (Array.init nvars (S.value_var s))
-      | S.Unsat -> Unsat
+      match S.solve_bounded ~assumptions ~budget s with
+      | S.Solved S.Sat -> Sat (Array.init nvars (S.value_var s))
+      | S.Solved S.Unsat -> Unsat
+      | S.Unknown reason -> Unknown reason
+      | exception S.Interrupted -> Unknown "interrupted"
     in
     {
       verdict;
@@ -80,16 +86,28 @@ let solve ?configs ?(certify = false) ~jobs ~nvars ~clauses ~assumptions () =
   else begin
     let winner = Atomic.make (-1) in
     let outcomes = Array.make k None in
-    (* every racer — including cancelled losers — records its stats
-       here before its domain exits; the join gives the happens-before
-       edge that makes the reads below safe *)
+    (* every racer — including cancelled losers and budget-exhausted
+       ones — records its stats here before its domain exits; the join
+       gives the happens-before edge that makes the reads below safe *)
     let all_stats = Array.make k S.zero_stats in
+    let unknowns = Array.make k None in
     let body i () =
       let s, proof = run_config ~certify ~nvars ~clauses configs.(i) in
-      S.set_terminate s (Some (fun () -> Atomic.get winner >= 0));
-      (match S.solve ~assumptions s with
-      | exception S.Interrupted -> ()
-      | r ->
+      let cancelled () =
+        Atomic.get winner >= 0
+        || match interrupt with Some f -> f () | None -> false
+      in
+      S.set_terminate s (Some cancelled);
+      (match S.solve_bounded ~assumptions ~budget s with
+      | exception S.Interrupted ->
+          (* a loser cancelled by the winner, or an external interrupt *)
+          unknowns.(i) <- Some "interrupted"
+      | S.Unknown reason ->
+          (* out of budget: this racer retires but MUST NOT abort the
+             race — a sibling with different search dynamics may still
+             decide the instance within the same budget *)
+          unknowns.(i) <- Some reason
+      | S.Solved r ->
           if Atomic.compare_and_set winner (-1) i then
             let verdict =
               match r with
@@ -109,12 +127,34 @@ let solve ?configs ?(certify = false) ~jobs ~nvars ~clauses ~assumptions () =
     in
     let doms = List.init k (fun i -> Domain.spawn (body i)) in
     List.iter Domain.join doms;
-    match outcomes.(Atomic.get winner) with
-    | Some o ->
-        let losers = ref S.zero_stats in
-        Array.iteri
-          (fun i st -> if i <> o.winner then losers := S.add_stats !losers st)
-          all_stats;
-        { o with losers_stats = !losers }
-    | None -> assert false (* some domain always finishes and wins *)
+    let w = Atomic.get winner in
+    if w < 0 then begin
+      (* no racer decided: every configuration exhausted its budget (or
+         was interrupted). Surface the first reason; the summed stats
+         say what the whole race spent learning nothing. *)
+      let reason =
+        let rec first i =
+          if i >= k then "budget exhausted"
+          else match unknowns.(i) with Some r -> r | None -> first (i + 1)
+        in
+        first 0
+      in
+      let total = Array.fold_left S.add_stats S.zero_stats all_stats in
+      {
+        verdict = Unknown reason;
+        winner = -1;
+        stats = total;
+        losers_stats = S.zero_stats;
+        proof = None;
+      }
+    end
+    else
+      match outcomes.(w) with
+      | Some o ->
+          let losers = ref S.zero_stats in
+          Array.iteri
+            (fun i st -> if i <> o.winner then losers := S.add_stats !losers st)
+            all_stats;
+          { o with losers_stats = !losers }
+      | None -> assert false (* winner index always has an outcome *)
   end

@@ -7,12 +7,19 @@
     publishes itself through an atomic flag; the losers poll it via
     {!Satsolver.Solver.set_terminate} and abandon their search. *)
 
-type verdict = Sat of bool array  (** model, indexed by variable *) | Unsat
+type verdict =
+  | Sat of bool array  (** model, indexed by variable *)
+  | Unsat
+  | Unknown of string
+      (** no racer decided within its budget (or all were interrupted);
+          the string names the exhausted resource *)
 
 type outcome = {
   verdict : verdict;
-  winner : int;
-  stats : Satsolver.Solver.stats;  (** the winner's counters *)
+  winner : int;  (** -1 when the verdict is [Unknown] *)
+  stats : Satsolver.Solver.stats;
+      (** the winner's counters; for [Unknown], the summed counters of
+          every racer — the work spent learning nothing *)
   losers_stats : Satsolver.Solver.stats;
       (** summed counters of every losing configuration — the wasted
           work the race paid for its latency win; zero when [jobs <= 1] *)
@@ -30,6 +37,8 @@ val default_configs : int -> Satsolver.Solver.options list
 val solve :
   ?configs:Satsolver.Solver.options list ->
   ?certify:bool ->
+  ?budget:Satsolver.Solver.budget ->
+  ?interrupt:(unit -> bool) ->
   jobs:int ->
   nvars:int ->
   clauses:Satsolver.Lit.t list list ->
@@ -42,4 +51,11 @@ val solve :
     sequential solve. With [certify], every racer records a DRUP
     certificate and the winner's is returned — the proof that is
     checked is always the proof of the solver whose verdict is
-    reported. *)
+    reported.
+
+    [budget] applies to every racer independently. A racer that runs
+    out of budget retires quietly; it never aborts the race. The
+    outcome is [Unknown] only when {e no} configuration decides the
+    instance. [interrupt] is polled by every racer and cancels the
+    whole race cooperatively (outcome [Unknown "interrupted"] if no
+    winner had been published). *)

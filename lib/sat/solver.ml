@@ -48,6 +48,38 @@ type stats = {
   deleted_clauses : int;
 }
 
+type budget = {
+  max_conflicts : int;
+  max_propagations : int;
+  max_seconds : float;
+}
+
+let no_budget = { max_conflicts = -1; max_propagations = -1; max_seconds = 0.0 }
+
+let conflict_budget n = { no_budget with max_conflicts = n }
+let time_budget s = { no_budget with max_seconds = s }
+
+let scale_budget b f =
+  let scale_i n = if n < 0 then n else max 1 (int_of_float (float_of_int n *. f)) in
+  {
+    max_conflicts = scale_i b.max_conflicts;
+    max_propagations = scale_i b.max_propagations;
+    max_seconds = (if b.max_seconds <= 0.0 then b.max_seconds else b.max_seconds *. f);
+  }
+
+let pp_budget fmt b =
+  let parts =
+    (if b.max_conflicts >= 0 then [ Printf.sprintf "conflicts<=%d" b.max_conflicts ] else [])
+    @ (if b.max_propagations >= 0 then
+         [ Printf.sprintf "propagations<=%d" b.max_propagations ]
+       else [])
+    @
+    if b.max_seconds > 0.0 then [ Printf.sprintf "time<=%.3gs" b.max_seconds ]
+    else []
+  in
+  Format.fprintf fmt "%s"
+    (if parts = [] then "unlimited" else String.concat " " parts)
+
 type tracer = {
   trace_add : Lit.t array -> unit;
   trace_delete : Lit.t array -> unit;
@@ -111,6 +143,13 @@ type t = {
   mutable conflict_core : int list;  (* assumption lits of final conflict *)
   mutable terminate : (unit -> bool) option;  (* polled during search *)
   mutable tracer : tracer option;  (* DRUP certificate sink *)
+  (* resource limits of the in-flight [solve_bounded] call, as absolute
+     thresholds against the cumulative counters; -1 / nonpositive
+     deadline mean unlimited *)
+  mutable lim_conflicts : int;
+  mutable lim_propagations : int;
+  mutable lim_deadline : float;  (* Unix.gettimeofday threshold *)
+  mutable lim_clock_poll : int;  (* countdown until the next clock read *)
   (* stats *)
   mutable n_conflicts : int;
   mutable n_decisions : int;
@@ -150,6 +189,10 @@ let create ?(options = default_options) () =
     conflict_core = [];
     terminate = None;
     tracer = None;
+    lim_conflicts = -1;
+    lim_propagations = -1;
+    lim_deadline = 0.0;
+    lim_clock_poll = 0;
     n_conflicts = 0;
     n_decisions = 0;
     n_propagations = 0;
@@ -666,11 +709,26 @@ type result = Sat | Unsat
 
 exception Found_unsat
 exception Interrupted
+exception Budget_exhausted of string
 
 let check_terminate t =
-  match t.terminate with
+  (match t.terminate with
   | Some f -> if f () then raise Interrupted
-  | None -> ()
+  | None -> ());
+  if t.lim_conflicts >= 0 && t.n_conflicts >= t.lim_conflicts then
+    raise (Budget_exhausted "conflict budget exhausted");
+  if t.lim_propagations >= 0 && t.n_propagations >= t.lim_propagations then
+    raise (Budget_exhausted "propagation budget exhausted");
+  if t.lim_deadline > 0.0 then begin
+    (* the clock is orders of magnitude dearer than a counter compare:
+       read it once every 256 search steps *)
+    t.lim_clock_poll <- t.lim_clock_poll - 1;
+    if t.lim_clock_poll <= 0 then begin
+      t.lim_clock_poll <- 256;
+      if Unix.gettimeofday () > t.lim_deadline then
+        raise (Budget_exhausted "time budget exhausted")
+    end
+  end
 
 let search t ~assumptions ~conflict_budget =
   (* returns Some result, or None if budget exhausted (restart) *)
@@ -759,15 +817,35 @@ let search t ~assumptions ~conflict_budget =
   | Exit -> None
   | Found_unsat -> !result)
 
-let solve ?(assumptions = []) t =
+type outcome = Solved of result | Unknown of string
+
+let clear_limits t =
+  t.lim_conflicts <- -1;
+  t.lim_propagations <- -1;
+  t.lim_deadline <- 0.0
+
+let set_limits t budget =
+  t.lim_conflicts <-
+    (if budget.max_conflicts < 0 then -1
+     else t.n_conflicts + budget.max_conflicts);
+  t.lim_propagations <-
+    (if budget.max_propagations < 0 then -1
+     else t.n_propagations + budget.max_propagations);
+  t.lim_deadline <-
+    (if budget.max_seconds <= 0.0 then 0.0
+     else Unix.gettimeofday () +. budget.max_seconds);
+  t.lim_clock_poll <- 0
+
+let solve_bounded ?(assumptions = []) ?(budget = no_budget) t =
   if not t.ok then begin
     t.last_result <- RUnsat;
     t.conflict_core <- [];
-    Unsat
+    Solved Unsat
   end
   else begin
     cancel_until t 0;
     t.conflict_core <- [];
+    set_limits t budget;
     let rec loop restarts =
       let budget =
         if t.opts.use_restarts then
@@ -778,22 +856,36 @@ let solve ?(assumptions = []) t =
       | Some r -> r
       | None -> loop (restarts + 1)
     in
-    let r =
-      try loop 0
-      with Interrupted ->
+    match loop 0 with
+    | r ->
+        clear_limits t;
+        (match r with
+        | Sat ->
+            t.model <- Array.sub t.assigns 0 t.nvars;
+            t.last_result <- RSat
+        | Unsat -> t.last_result <- RUnsat);
+        cancel_until t 0;
+        Solved r
+    | exception Interrupted ->
         (* leave the solver reusable: unwind to level 0 *)
+        clear_limits t;
         cancel_until t 0;
         t.last_result <- RNone;
         raise Interrupted
-    in
-    (match r with
-    | Sat ->
-        t.model <- Array.sub t.assigns 0 t.nvars;
-        t.last_result <- RSat
-    | Unsat -> t.last_result <- RUnsat);
-    cancel_until t 0;
-    r
+    | exception Budget_exhausted reason ->
+        (* same unwinding discipline as Interrupted, but the exhaustion
+           is a result, not a control transfer: the caller keeps racing
+           siblings or escalates the budget on the same solver *)
+        clear_limits t;
+        cancel_until t 0;
+        t.last_result <- RNone;
+        Unknown reason
   end
+
+let solve ?(assumptions = []) t =
+  match solve_bounded ~assumptions t with
+  | Solved r -> r
+  | Unknown _ -> assert false (* no budget was set *)
 
 let set_terminate t f = t.terminate <- f
 

@@ -45,6 +45,39 @@ exception Interrupted
 val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve the current clause set under the given assumptions. *)
 
+(** {1 Resource budgets} *)
+
+type budget = {
+  max_conflicts : int;  (** per-call conflict cap; negative = unlimited *)
+  max_propagations : int;  (** per-call propagation cap; negative = unlimited *)
+  max_seconds : float;  (** per-call wall-clock cap; nonpositive = unlimited *)
+}
+(** Per-[solve_bounded] resource limits, measured from the start of the
+    call (the cumulative counters keep running across calls). *)
+
+val no_budget : budget
+val conflict_budget : int -> budget
+val time_budget : float -> budget
+
+val scale_budget : budget -> float -> budget
+(** Multiply every finite limit by the factor (escalating retries);
+    unlimited components stay unlimited. *)
+
+val pp_budget : Format.formatter -> budget -> unit
+
+type outcome = Solved of result | Unknown of string
+(** [Unknown reason] when the budget ran out before a verdict; [reason]
+    names the exhausted resource. *)
+
+val solve_bounded : ?assumptions:Lit.t list -> ?budget:budget -> t -> outcome
+(** Like {!solve}, but gives up with [Unknown] once the budget is
+    exhausted instead of searching forever. The solver unwinds to
+    decision level 0 and stays usable — clauses learnt before the
+    exhaustion are kept, so a retry with a larger budget resumes from a
+    strictly stronger clause database. A termination callback firing
+    still raises {!Interrupted}: cancellation is a control transfer,
+    exhaustion is a result. *)
+
 val set_terminate : t -> (unit -> bool) option -> unit
 (** Install (or clear) a callback polled once per search-loop step
     (conflict or decision). When it returns [true], the current [solve]

@@ -1,16 +1,20 @@
 open Rtl
 module U = Ipc.Unroller
+module S = Satsolver.Solver
 
 (* Shared two-instance session setup for the 2-cycle property.
    [register] lets the caller keep a handle on every engine a run
-   creates (certification totals are summed over all of them). *)
+   creates (certification totals are summed over all of them);
+   [interrupt] is the cooperative cancellation hook installed into the
+   engine, polled from inside every solve. *)
 let setup_engine ?solver_options ?portfolio ?(certify = false)
-    ?(register = fun (_ : Ipc.Engine.t) -> ()) spec =
+    ?(register = fun (_ : Ipc.Engine.t) -> ()) ?interrupt spec =
   let eng =
     Ipc.Engine.create ?solver_options ?portfolio ~certify ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
   register eng;
+  Ipc.Engine.set_interrupt eng interrupt;
   Ipc.Engine.ensure_frames eng 1;
   Macros.assume_env eng spec ~frames:1;
   for f = 0 to 1 do
@@ -19,15 +23,36 @@ let setup_engine ?solver_options ?portfolio ?(certify = false)
   done;
   eng
 
-let check_once ?solver_options ?portfolio ?certify ?register spec s =
-  let eng = setup_engine ?solver_options ?portfolio ?certify ?register spec in
+(* Escalating-budget retry around one bounded engine call: attempt 0
+   runs under [budget]; every budget-exhausted Unknown is retried with
+   the limits scaled by [escalation], at most [retries] extra times.
+   An interrupt is a control transfer, not exhaustion — never retried. *)
+let with_retries ~budget ~retries ~escalation eng solve =
+  let rec attempt n b =
+    Ipc.Engine.set_budget eng b;
+    match solve () with
+    | Ipc.Engine.Unknown reason when reason <> "interrupted" && n < retries ->
+        attempt (n + 1) (S.scale_budget b escalation)
+    | r -> r
+  in
+  attempt 0 budget
+
+let check_once ?solver_options ?portfolio ?certify ?register ?interrupt
+    ~budget ~retries ~escalation spec s =
+  let eng =
+    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt spec
+  in
   Macros.state_equivalence_assume eng spec ~frame:0 s;
   let goal = Macros.state_equivalence_goal eng spec ~frame:1 s in
   let r =
-    match Ipc.Engine.check eng goal with
-    | Ipc.Engine.Holds -> None
-    | Ipc.Engine.Cex cex ->
-        Some (cex, Macros.violations eng spec cex ~frame:1 s)
+    match
+      with_retries ~budget ~retries ~escalation eng (fun () ->
+          Ipc.Engine.check_bounded eng goal)
+    with
+    | Ipc.Engine.Decided Ipc.Engine.Holds -> `Holds
+    | Ipc.Engine.Decided (Ipc.Engine.Cex cex) ->
+        `Cex (cex, Macros.violations eng spec cex ~frame:1 s)
+    | Ipc.Engine.Unknown reason -> `Unknown reason
   in
   ( r,
     Ipc.Engine.last_stats eng,
@@ -38,9 +63,11 @@ let check_once ?solver_options ?portfolio ?certify ?register spec s =
    State_Equivalence(S) assumption travels through solver assumptions
    and each iteration's obligation is armed by an activation literal,
    so learnt clauses survive across iterations. *)
-let make_incremental_checker ?solver_options ?portfolio ?certify ?register spec
-    s0 =
-  let eng = setup_engine ?solver_options ?portfolio ?certify ?register spec in
+let make_incremental_checker ?solver_options ?portfolio ?certify ?register
+    ?interrupt ~budget ~retries ~escalation spec s0 =
+  let eng =
+    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt spec
+  in
   let g = Ipc.Engine.graph eng in
   (* per-svar condition literals at both cycles, computed once *)
   let conds = Hashtbl.create 256 in
@@ -66,9 +93,14 @@ let make_incremental_checker ?solver_options ?portfolio ?certify ?register spec
            s []
     in
     let r =
-      match Ipc.Engine.check_sat eng assumptions with
-      | None -> None
-      | Some cex -> Some (cex, Macros.violations eng spec cex ~frame:1 s)
+      match
+        with_retries ~budget ~retries ~escalation eng (fun () ->
+            Ipc.Engine.check_sat_bounded eng assumptions)
+      with
+      | Ipc.Engine.Decided None -> `Holds
+      | Ipc.Engine.Decided (Some cex) ->
+          `Cex (cex, Macros.violations eng spec cex ~frame:1 s)
+      | Ipc.Engine.Unknown reason -> `Unknown reason
     in
     ( r,
       Ipc.Engine.last_stats eng,
@@ -99,8 +131,11 @@ type worker_state = {
       (* svar name -> (eq@0 assumption, activation literal arming diff@1) *)
 }
 
-let make_worker ?solver_options ?portfolio ?certify ?register spec s0 =
-  let eng = setup_engine ?solver_options ?portfolio ?certify ?register spec in
+let make_worker ?solver_options ?portfolio ?certify ?register ?interrupt spec
+    s0 =
+  let eng =
+    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt spec
+  in
   let g = Ipc.Engine.graph eng in
   let conds = Hashtbl.create 256 in
   Structural.Svar_set.iter
@@ -113,7 +148,7 @@ let make_worker ?solver_options ?portfolio ?certify ?register spec s0 =
     s0;
   { w_eng = eng; w_conds = conds }
 
-let check_svar w s sv =
+let check_svar ~budget ~retries ~escalation w s sv =
   let assumptions =
     snd (Hashtbl.find w.w_conds (Structural.svar_name sv))
     :: Structural.Svar_set.fold
@@ -121,7 +156,8 @@ let check_svar w s sv =
            fst (Hashtbl.find w.w_conds (Structural.svar_name sv')) :: acc)
          s []
   in
-  ( Ipc.Engine.sat w.w_eng assumptions,
+  ( with_retries ~budget ~retries ~escalation w.w_eng (fun () ->
+        Ipc.Engine.sat_bounded w.w_eng assumptions),
     Ipc.Engine.last_stats w.w_eng,
     Ipc.Engine.last_winner w.w_eng,
     Ipc.Engine.last_losers_stats w.w_eng )
@@ -129,15 +165,21 @@ let check_svar w s sv =
 (* Deterministic counterexample for the report: a worker's engine has
    solved a schedule-dependent sequence of obligations, so its model is
    not reproducible. Re-derive the witness on a fresh sequential engine
-   for one fixed svar. *)
-let extract_cex ?solver_options ?certify ?register spec s sv =
-  let eng = setup_engine ?solver_options ?certify ?register spec in
+   for one fixed svar, without a budget — only an interrupt can stop it,
+   surfacing as a missing witness. *)
+let extract_cex ?solver_options ?certify ?register ?interrupt spec s sv =
+  let eng = setup_engine ?solver_options ?certify ?register ?interrupt spec in
   Macros.state_equivalence_assume eng spec ~frame:0 s;
-  Ipc.Engine.check_sat eng
-    [ Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) ]
+  match
+    Ipc.Engine.check_sat_bounded eng
+      [ Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) ]
+  with
+  | Ipc.Engine.Decided r -> r
+  | Ipc.Engine.Unknown _ -> None
 
-let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register
-    ~max_iterations spec s0 finish record_step validate_cex =
+let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
+    ~budget ~retries ~escalation ~max_iterations ~start_iter ~initial_unknown
+    ~stopped ~note_unknowns ~post_iter spec s0 finish record_step validate_cex =
   Parallel.Pool.with_pool ~jobs (fun pool ->
       let engines = Array.make (Parallel.Pool.jobs pool) None in
       let worker wid =
@@ -145,7 +187,8 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register
         | Some w -> w
         | None ->
             let w =
-              make_worker ?solver_options ?portfolio ?certify ?register spec s0
+              make_worker ?solver_options ?portfolio ?certify ?register
+                ?interrupt spec s0
             in
             engines.(wid) <- Some w;
             w
@@ -153,89 +196,214 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register
       let check_batch s svs =
         Parallel.Pool.map_wid pool
           (fun wid sv ->
-            let sat, stats, winner, losers = check_svar (worker wid) s sv in
-            (sv, sat, stats, winner, losers))
+            let verdict, stats, winner, losers =
+              check_svar ~budget ~retries ~escalation (worker wid) s sv
+            in
+            (sv, verdict, stats, winner, losers))
           svs
       in
       let stats_of results =
         List.fold_left
           (fun (acc, w, lacc) (_, _, st, win, lo) ->
-            ( Satsolver.Solver.add_stats acc st,
+            ( S.add_stats acc st,
               (match win with Some _ -> win | None -> w),
-              Satsolver.Solver.add_stats lacc lo ))
-          (Satsolver.Solver.zero_stats, None, Satsolver.Solver.zero_stats)
+              S.add_stats lacc lo ))
+          (S.zero_stats, None, S.zero_stats)
           results
       in
       let sat_set results =
         List.fold_left
-          (fun acc (sv, sat, _, _, _) ->
-            if sat then Structural.Svar_set.add sv acc else acc)
+          (fun acc (sv, v, _, _, _) ->
+            if v = Ipc.Engine.Decided true then Structural.Svar_set.add sv acc
+            else acc)
           Structural.Svar_set.empty results
       in
+      (* budget-degraded svars of a batch; interrupts are excluded — an
+         interrupted iteration is discarded wholesale, never recorded as
+         degradation (that would make resume schedule-dependent) *)
+      let unknown_list results =
+        List.filter_map
+          (fun (sv, v, _, _, _) ->
+            match v with
+            | Ipc.Engine.Unknown reason when reason <> "interrupted" ->
+                Some (sv, reason)
+            | _ -> None)
+          results
+      in
+      (* Unknown svars stay in S — and with it in the cycle-0 equality
+         assumption of every later check — but leave the goal set: we
+         stop trying to decide them. Removing them from S would weaken
+         the assumptions and could manufacture spurious divergences
+         (false VULNERABLE on a secure design); keeping them assumed is
+         sound for SAT answers (a model under extra equalities is still
+         a real trace pair) and the unproven equalities degrade any
+         Secure claim to Inconclusive at [finish]. *)
+      let undecided = ref initial_unknown in
       let rec loop iter s =
         if iter > max_iterations then
           finish (Report.Inconclusive "iteration budget exhausted")
         else begin
           let it0 = Unix.gettimeofday () in
           let pers, rest =
-            Structural.Svar_set.partition (Spec.is_pers spec) s
+            Structural.Svar_set.partition (Spec.is_pers spec)
+              (Structural.Svar_set.diff s !undecided)
           in
           let pers_results =
             check_batch s (Structural.Svar_set.elements pers)
           in
-          let pers_hit = sat_set pers_results in
-          if not (Structural.Svar_set.is_empty pers_hit) then begin
-            (* Vulnerable: no need to classify the remaining svars. *)
-            let stats, winner, losers = stats_of pers_results in
-            record_step ~iter ~s ~s_cex:pers_hit ~pers_hit
-              ~seconds:(Unix.gettimeofday () -. it0)
-              ~stats:(Some stats) ~winner ~losers:(Some losers);
-            let witness = Structural.Svar_set.min_elt pers_hit in
-            match extract_cex ?solver_options ?certify ?register spec s witness
-            with
-            | Some cex ->
-                if
-                  validate_cex ~claimed:(Structural.Svar_set.singleton witness)
-                    cex
-                then finish (Report.Vulnerable { s_cex = pers_hit; cex })
-                else
+          if stopped () then finish (Report.Inconclusive "interrupted")
+          else begin
+            let pers_hit = sat_set pers_results in
+            if not (Structural.Svar_set.is_empty pers_hit) then begin
+              (* Vulnerable: no need to classify the remaining svars.
+                 Another svar's Unknown cannot retract a concrete SAT. *)
+              let stats, winner, losers = stats_of pers_results in
+              let unknown = unknown_list pers_results in
+              note_unknowns unknown;
+              record_step ~iter ~s ~s_cex:pers_hit ~pers_hit
+                ~unknown:
+                  (List.fold_left
+                     (fun acc (sv, _) -> Structural.Svar_set.add sv acc)
+                     Structural.Svar_set.empty unknown)
+                ~seconds:(Unix.gettimeofday () -. it0)
+                ~stats:(Some stats) ~winner ~losers:(Some losers);
+              let witness = Structural.Svar_set.min_elt pers_hit in
+              match
+                extract_cex ?solver_options ?certify ?register ?interrupt spec
+                  s witness
+              with
+              | Some cex ->
+                  if
+                    validate_cex ~claimed:(Structural.Svar_set.singleton witness)
+                      cex
+                  then finish (Report.Vulnerable { s_cex = pers_hit; cex })
+                  else
+                    finish
+                      (Report.Inconclusive
+                         "counterexample rejected by simulator validation")
+              | None ->
                   finish
                     (Report.Inconclusive
-                       "counterexample rejected by simulator validation")
-            | None ->
-                finish
-                  (Report.Inconclusive
-                     "per-svar SAT not reproducible on a fresh engine")
-          end
-          else begin
-            let rest_results =
-              check_batch s (Structural.Svar_set.elements rest)
-            in
-            let s_cex = sat_set rest_results in
-            let stats, winner, losers =
-              let s1, w1, l1 = stats_of pers_results in
-              let s2, w2, l2 = stats_of rest_results in
-              ( Satsolver.Solver.add_stats s1 s2,
-                (match w2 with Some _ -> w2 | None -> w1),
-                Satsolver.Solver.add_stats l1 l2 )
-            in
-            record_step ~iter ~s ~s_cex ~pers_hit:Structural.Svar_set.empty
-              ~seconds:(Unix.gettimeofday () -. it0)
-              ~stats:(Some stats) ~winner ~losers:(Some losers);
-            if Structural.Svar_set.is_empty s_cex then
-              finish (Report.Secure { s_final = s })
-            else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
+                       (if stopped () then "interrupted"
+                        else "per-svar SAT not reproducible on a fresh engine"))
+            end
+            else begin
+              let rest_results =
+                check_batch s (Structural.Svar_set.elements rest)
+              in
+              if stopped () then finish (Report.Inconclusive "interrupted")
+              else begin
+                let s_cex = sat_set rest_results in
+                let unknown = unknown_list pers_results @ unknown_list rest_results in
+                note_unknowns unknown;
+                let unknown_set =
+                  List.fold_left
+                    (fun acc (sv, _) -> Structural.Svar_set.add sv acc)
+                    Structural.Svar_set.empty unknown
+                in
+                undecided := Structural.Svar_set.union !undecided unknown_set;
+                let stats, winner, losers =
+                  let s1, w1, l1 = stats_of pers_results in
+                  let s2, w2, l2 = stats_of rest_results in
+                  ( S.add_stats s1 s2,
+                    (match w2 with Some _ -> w2 | None -> w1),
+                    S.add_stats l1 l2 )
+                in
+                record_step ~iter ~s ~s_cex ~pers_hit:Structural.Svar_set.empty
+                  ~unknown:unknown_set
+                  ~seconds:(Unix.gettimeofday () -. it0)
+                  ~stats:(Some stats) ~winner ~losers:(Some losers);
+                if Structural.Svar_set.is_empty s_cex then
+                  (* every goal still being decided held under the full
+                     assumption set: fixed point (a non-empty [undecided]
+                     degrades the verdict at [finish]) *)
+                  finish (Report.Secure { s_final = s })
+                else begin
+                  let s' = Structural.Svar_set.diff s s_cex in
+                  post_iter ~next_iter:(iter + 1) ~s:s';
+                  loop (iter + 1) s'
+                end
+              end
+            end
           end
         end
       in
-      loop 1 s0)
+      loop start_iter s0)
+
+let svar_table nl =
+  let tbl = Hashtbl.create 256 in
+  Structural.Svar_set.iter
+    (fun sv -> Hashtbl.replace tbl (Structural.svar_name sv) sv)
+    (Structural.all_svars nl);
+  tbl
+
+let resolve_names tbl names ~what =
+  List.fold_left
+    (fun acc n ->
+      match Hashtbl.find_opt tbl n with
+      | Some sv -> Structural.Svar_set.add sv acc
+      | None ->
+          invalid_arg
+            (Printf.sprintf "%s: checkpoint names unknown state var %s" what n))
+    Structural.Svar_set.empty names
+
+let variant_tag = function
+  | Spec.Vulnerable -> "vulnerable"
+  | Spec.Secure -> "secure"
 
 let run ?initial_s ?(max_iterations = 64) ?solver_options
-    ?(incremental = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd spec =
+    ?(incremental = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd
+    ?(budget = S.no_budget) ?(budget_retries = 2) ?(budget_escalation = 4.0)
+    ?checkpoint_file ?resume ?should_stop spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
-  let s0 =
-    match initial_s with Some s -> s | None -> Spec.s_neg_victim spec
+  let config_hash = lazy (Checkpoint.config_hash ~alg:Checkpoint.Alg1 spec) in
+  let unknowns_acc = ref [] (* reverse order *) in
+  let note_unknowns us =
+    List.iter
+      (fun (sv, reason) ->
+        let entry = (Structural.svar_name sv, reason) in
+        if not (List.mem entry !unknowns_acc) then
+          unknowns_acc := entry :: !unknowns_acc)
+      us
+  in
+  let start_iter, s0 =
+    match resume with
+    | None -> (
+        ( 1,
+          match initial_s with
+          | Some s -> s
+          | None -> Spec.s_neg_victim spec ))
+    | Some ck ->
+        if ck.Checkpoint.ck_alg <> Checkpoint.Alg1 then
+          invalid_arg "Alg1.run: checkpoint was written by another algorithm";
+        if ck.Checkpoint.ck_config_hash <> Lazy.force config_hash then
+          invalid_arg
+            "Alg1.run: checkpoint config hash mismatch (different design, \
+             variant or persistence model)";
+        unknowns_acc := List.rev ck.Checkpoint.ck_unknown;
+        let tbl = svar_table nl in
+        ( ck.Checkpoint.ck_iter,
+          resolve_names tbl ck.Checkpoint.ck_frames.(0) ~what:"Alg1.run" )
+  in
+  let stopped () = match should_stop with Some f -> f () | None -> false in
+  let post_iter ~next_iter ~s =
+    match checkpoint_file with
+    | None -> ()
+    | Some path ->
+        Checkpoint.save path
+          {
+            Checkpoint.ck_alg = Checkpoint.Alg1;
+            ck_variant = variant_tag spec.Spec.variant;
+            ck_config_hash = Lazy.force config_hash;
+            ck_iter = next_iter;
+            ck_k = 1;
+            ck_frames =
+              [|
+                List.map Structural.svar_name (Structural.Svar_set.elements s);
+              |];
+            ck_unknown = List.rev !unknowns_acc;
+          }
   in
   let steps = ref [] in
   let procedure =
@@ -270,6 +438,24 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
     end
   in
   let finish verdict =
+    let unknowns = List.rev !unknowns_acc in
+    (* the fixed point assumed equality of every undecided svar without
+       proving it, so a Secure claim is contaminated by any Unknown —
+       degrade. A Vulnerable verdict rests on a concrete validated
+       witness (extra equality assumptions only restrict the start
+       space, never invent traces) and stands. *)
+    let undecided_names =
+      List.sort_uniq compare (List.map fst unknowns)
+    in
+    let verdict =
+      match verdict with
+      | Report.Secure _ when undecided_names <> [] ->
+          Report.Inconclusive
+            (Printf.sprintf "budget exhausted on %d state var(s): %s"
+               (List.length undecided_names)
+               (String.concat ", " undecided_names))
+      | v -> v
+    in
     {
       Report.procedure;
       variant = spec.Spec.variant;
@@ -290,9 +476,15 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
                ct_cex_validated = !cex_validated;
              }
          else None);
+      unknowns;
+      resumed_from =
+        (match resume with
+        | Some ck -> Some ck.Checkpoint.ck_iter
+        | None -> None);
     }
   in
-  let record_step ~iter ~s ~s_cex ~pers_hit ~seconds ~stats ~winner ~losers =
+  let record_step ~iter ~s ~s_cex ~pers_hit ~unknown ~seconds ~stats ~winner
+      ~losers =
     steps :=
       {
         Report.st_iter = iter;
@@ -300,6 +492,7 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
         st_s_size = Structural.Svar_set.cardinal s;
         st_cex = s_cex;
         st_pers_hit = pers_hit;
+        st_unknown = unknown;
         st_seconds = seconds;
         st_stats = stats;
         st_winner = winner;
@@ -309,14 +502,29 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
   in
   match jobs with
   | Some j ->
+      let initial_unknown =
+        match resume with
+        | None -> Structural.Svar_set.empty
+        | Some ck ->
+            resolve_names (svar_table nl)
+              (List.map fst ck.Checkpoint.ck_unknown)
+              ~what:"Alg1.run"
+      in
       run_per_svar ~jobs:(max 1 j) ?solver_options ?portfolio ~certify
-        ~register ~max_iterations spec s0 finish record_step validate_cex
+        ~register ?interrupt:should_stop ~budget ~retries:budget_retries
+        ~escalation:budget_escalation ~max_iterations ~start_iter
+        ~initial_unknown ~stopped ~note_unknowns ~post_iter spec s0 finish
+        record_step validate_cex
   | None ->
       let checker =
         if incremental then
           make_incremental_checker ?solver_options ?portfolio ~certify
-            ~register spec s0
-        else check_once ?solver_options ?portfolio ~certify ~register spec
+            ~register ?interrupt:should_stop ~budget ~retries:budget_retries
+            ~escalation:budget_escalation spec s0
+        else
+          check_once ?solver_options ?portfolio ~certify ~register
+            ?interrupt:should_stop ~budget ~retries:budget_retries
+            ~escalation:budget_escalation spec
       in
       let rec loop iter s =
         if iter > max_iterations then
@@ -325,31 +533,47 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
           let it0 = Unix.gettimeofday () in
           let result, stats, winner, losers = checker s in
           match result with
-          | None ->
+          | `Unknown reason ->
+              (* a monolithic check cannot attribute exhaustion to one
+                 svar; the run ends inconclusive — but never crashes *)
+              finish
+                (Report.Inconclusive
+                   (if stopped () || reason = "interrupted" then "interrupted"
+                    else "undecided within budget: " ^ reason))
+          | `Holds ->
               record_step ~iter ~s ~s_cex:Structural.Svar_set.empty
                 ~pers_hit:Structural.Svar_set.empty
+                ~unknown:Structural.Svar_set.empty
                 ~seconds:(Unix.gettimeofday () -. it0)
                 ~stats:(Some stats) ~winner ~losers:(Some losers);
               finish (Report.Secure { s_final = s })
-          | Some (cex, s_cex) ->
-              let pers_hit =
-                Structural.Svar_set.filter (Spec.is_pers spec) s_cex
-              in
-              record_step ~iter ~s ~s_cex ~pers_hit
-                ~seconds:(Unix.gettimeofday () -. it0)
-                ~stats:(Some stats) ~winner ~losers:(Some losers);
-              if Structural.Svar_set.is_empty s_cex then
-                finish
-                  (Report.Inconclusive
-                     "counterexample without S_cex (spurious model)")
-              else if not (Structural.Svar_set.is_empty pers_hit) then
-                if validate_cex ~claimed:s_cex cex then
-                  finish (Report.Vulnerable { s_cex; cex })
-                else
+          | `Cex (cex, s_cex) ->
+              if stopped () then finish (Report.Inconclusive "interrupted")
+              else begin
+                let pers_hit =
+                  Structural.Svar_set.filter (Spec.is_pers spec) s_cex
+                in
+                record_step ~iter ~s ~s_cex ~pers_hit
+                  ~unknown:Structural.Svar_set.empty
+                  ~seconds:(Unix.gettimeofday () -. it0)
+                  ~stats:(Some stats) ~winner ~losers:(Some losers);
+                if Structural.Svar_set.is_empty s_cex then
                   finish
                     (Report.Inconclusive
-                       "counterexample rejected by simulator validation")
-              else loop (iter + 1) (Structural.Svar_set.diff s s_cex)
+                       "counterexample without S_cex (spurious model)")
+                else if not (Structural.Svar_set.is_empty pers_hit) then
+                  if validate_cex ~claimed:s_cex cex then
+                    finish (Report.Vulnerable { s_cex; cex })
+                  else
+                    finish
+                      (Report.Inconclusive
+                         "counterexample rejected by simulator validation")
+                else begin
+                  let s' = Structural.Svar_set.diff s s_cex in
+                  post_iter ~next_iter:(iter + 1) ~s:s';
+                  loop (iter + 1) s'
+                end
+              end
         end
       in
-      loop 1 s0
+      loop start_iter s0

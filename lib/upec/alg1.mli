@@ -22,6 +22,12 @@ val run :
   ?portfolio:int ->
   ?certify:bool ->
   ?cex_vcd:string ->
+  ?budget:Satsolver.Solver.budget ->
+  ?budget_retries:int ->
+  ?budget_escalation:float ->
+  ?checkpoint_file:string ->
+  ?resume:Checkpoint.t ->
+  ?should_stop:(unit -> bool) ->
   Spec.t ->
   Report.run
 (** [incremental] (default [false], matching the paper's per-iteration
@@ -51,4 +57,29 @@ val run :
     verdict to [Inconclusive]. Accounting lands in [Report.cert].
     [cex_vcd] (implies waveform dumping even without [certify]) writes
     paired [<prefix>.A.vcd] / [<prefix>.B.vcd] traces of the validated
-    counterexample. *)
+    counterexample.
+
+    {b Resource governance.} [budget] (default unlimited) bounds every
+    SAT call; a call that exhausts it is retried up to [budget_retries]
+    (default 2) more times with the limits scaled by [budget_escalation]
+    (default 4.0) each attempt. In the per-svar strategy a svar still
+    undecided after the last retry is degraded: it stays in S — and
+    with it in the cycle-0 equality assumption, so no spurious
+    divergence can be manufactured by weakened assumptions — but is no
+    longer checked, and is recorded in [Report.unknowns]. Any degraded
+    svar turns a would-be Secure verdict into [Inconclusive] (the fixed
+    point assumed its equality without proving it); a Vulnerable
+    verdict rests on a concrete validated witness and stands. In the
+    monolithic strategies an exhausted check ends the run
+    [Inconclusive] since exhaustion cannot be attributed to one svar.
+    The run never hangs, crashes or aborts on exhaustion.
+
+    {b Checkpoint/resume.} [checkpoint_file] persists the iteration
+    frontier after every completed iteration (atomically — see
+    {!Checkpoint}). [resume] restarts from such a state: the config
+    hash is verified ([Invalid_argument] on mismatch) and the final
+    verdict is identical to an uninterrupted run's. [should_stop] is
+    polled from inside every solve; when it fires, in-flight solves
+    unwind cooperatively, the partially-completed iteration is
+    discarded (the checkpoint keeps the last {e completed} iteration)
+    and the run returns [Inconclusive "interrupted"]. *)

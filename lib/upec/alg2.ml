@@ -1,5 +1,6 @@
 open Rtl
 module U = Ipc.Unroller
+module S = Satsolver.Solver
 
 type outcome =
   | Hold of { s_final : Structural.Svar_set.t; k : int }
@@ -8,12 +9,13 @@ type outcome =
 
 (* Shared session setup for the Fig. 4 unrolled property at depth k. *)
 let setup_engine ?solver_options ?portfolio ?(certify = false)
-    ?(register = fun (_ : Ipc.Engine.t) -> ()) ~reset_start spec k =
+    ?(register = fun (_ : Ipc.Engine.t) -> ()) ?interrupt ~reset_start spec k =
   let eng =
     Ipc.Engine.create ?solver_options ?portfolio ~certify ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
   register eng;
+  Ipc.Engine.set_interrupt eng interrupt;
   Ipc.Engine.ensure_frames eng k;
   if reset_start then Macros.assume_reset_state eng spec;
   Macros.assume_env eng spec ~frames:k;
@@ -26,12 +28,23 @@ let setup_engine ?solver_options ?portfolio ?(certify = false)
   done;
   eng
 
-let check_once ?solver_options ?portfolio ?certify ?register
-    ?(reset_start = false) spec s_frames k =
+(* Escalating-budget retry; see Alg1. Interrupts are never retried. *)
+let with_retries ~budget ~retries ~escalation eng solve =
+  let rec attempt n b =
+    Ipc.Engine.set_budget eng b;
+    match solve () with
+    | Ipc.Engine.Unknown reason when reason <> "interrupted" && n < retries ->
+        attempt (n + 1) (S.scale_budget b escalation)
+    | r -> r
+  in
+  attempt 0 budget
+
+let check_once ?solver_options ?portfolio ?certify ?register ?interrupt
+    ?(reset_start = false) ~budget ~retries ~escalation spec s_frames k =
   (* s_frames: array of length k+1 with the per-cycle sets *)
   let eng =
-    setup_engine ?solver_options ?portfolio ?certify ?register ~reset_start
-      spec k
+    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt
+      ~reset_start spec k
   in
   Macros.state_equivalence_assume eng spec ~frame:0 s_frames.(0);
   let g = Ipc.Engine.graph eng in
@@ -42,15 +55,19 @@ let check_once ?solver_options ?portfolio ?certify ?register
         (Macros.state_equivalence_goal eng spec ~frame:j s_frames.(j))
   done;
   let r =
-    match Ipc.Engine.check eng !goal with
-    | Ipc.Engine.Holds -> None
-    | Ipc.Engine.Cex cex ->
+    match
+      with_retries ~budget ~retries ~escalation eng (fun () ->
+          Ipc.Engine.check_bounded eng !goal)
+    with
+    | Ipc.Engine.Decided Ipc.Engine.Holds -> `Holds
+    | Ipc.Engine.Decided (Ipc.Engine.Cex cex) ->
         let per_frame =
           List.init k (fun j ->
               let j = j + 1 in
               (j, Macros.violations eng spec cex ~frame:j s_frames.(j)))
         in
-        Some (cex, per_frame)
+        `Cex (cex, per_frame)
+    | Ipc.Engine.Unknown reason -> `Unknown reason
   in
   ( r,
     Ipc.Engine.last_stats eng,
@@ -70,11 +87,11 @@ type worker_state = {
   w_acts : (int * string, Aig.lit) Hashtbl.t;  (* (frame, svar) -> act *)
 }
 
-let make_worker ?solver_options ?portfolio ?certify ?register ~reset_start spec
-    s0 k =
+let make_worker ?solver_options ?portfolio ?certify ?register ?interrupt
+    ~reset_start spec s0 k =
   let eng =
-    setup_engine ?solver_options ?portfolio ?certify ?register ~reset_start
-      spec k
+    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt
+      ~reset_start spec k
   in
   Macros.state_equivalence_assume eng spec ~frame:0 s0;
   let g = Ipc.Engine.graph eng in
@@ -90,20 +107,78 @@ let make_worker ?solver_options ?portfolio ?certify ?register ~reset_start spec
   done;
   { w_k = k; w_eng = eng; w_acts = acts }
 
-let extract_cex ?solver_options ?certify ?register ~reset_start spec s0 k
-    (j, sv) =
-  let eng = setup_engine ?solver_options ?certify ?register ~reset_start spec k in
+let extract_cex ?solver_options ?certify ?register ?interrupt ~reset_start spec
+    s0 k (j, sv) =
+  let eng =
+    setup_engine ?solver_options ?certify ?register ?interrupt ~reset_start
+      spec k
+  in
   Macros.state_equivalence_assume eng spec ~frame:0 s0;
-  Ipc.Engine.check_sat eng
-    [ Aig.lit_not (Macros.sv_condition eng spec ~frame:j sv) ]
+  match
+    Ipc.Engine.check_sat_bounded eng
+      [ Aig.lit_not (Macros.sv_condition eng spec ~frame:j sv) ]
+  with
+  | Ipc.Engine.Decided r -> r
+  | Ipc.Engine.Unknown _ -> None
+
+let svar_table nl =
+  let tbl = Hashtbl.create 256 in
+  Structural.Svar_set.iter
+    (fun sv -> Hashtbl.replace tbl (Structural.svar_name sv) sv)
+    (Structural.all_svars nl);
+  tbl
+
+let resolve_names tbl names ~what =
+  List.fold_left
+    (fun acc n ->
+      match Hashtbl.find_opt tbl n with
+      | Some sv -> Structural.Svar_set.add sv acc
+      | None ->
+          invalid_arg
+            (Printf.sprintf "%s: checkpoint names unknown state var %s" what n))
+    Structural.Svar_set.empty names
+
+let variant_tag = function
+  | Spec.Vulnerable -> "vulnerable"
+  | Spec.Secure -> "secure"
+
+(* Undecided (frame, svar) pairs are recorded in checkpoints and reports
+   as "name@j"; the reason string stays plain. *)
+let pair_entry j sv = Printf.sprintf "%s@%d" (Structural.svar_name sv) j
+
+let parse_pair_entry n =
+  match String.rindex_opt n '@' with
+  | None -> None
+  | Some i -> (
+      match
+        int_of_string_opt (String.sub n (i + 1) (String.length n - i - 1))
+      with
+      | Some j -> Some (j, String.sub n 0 i)
+      | None -> None)
 
 let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
-    ?(reset_start = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd spec =
+    ?(reset_start = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd
+    ?(budget = S.no_budget) ?(budget_retries = 2) ?(budget_escalation = 4.0)
+    ?checkpoint_file ?resume ?should_stop spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let s0 = Spec.s_neg_victim spec in
   let steps = ref [] in
   let per_svar = jobs <> None in
+  let config_hash = lazy (Checkpoint.config_hash ~alg:Checkpoint.Alg2 spec) in
+  let unknowns_acc = ref [] in
+  (* undecided (frame, svar-name) pairs: excluded from the goal lists
+     but NOT from the per-cycle sets — the sets feed the induction's
+     assumption side, and weakening it could manufacture spurious
+     divergences (see Alg1) *)
+  let undecided : (int * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let note_unknown j sv reason =
+    Hashtbl.replace undecided (j, Structural.svar_name sv) ();
+    let entry = (pair_entry j sv, reason) in
+    if not (List.mem entry !unknowns_acc) then
+      unknowns_acc := entry :: !unknowns_acc
+  in
+  let stopped () = match should_stop with Some f -> f () | None -> false in
   let reg_mu = Mutex.create () in
   let engines = ref [] in
   let register e =
@@ -127,6 +202,22 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
     end
   in
   let finish verdict outcome =
+    let unknowns = List.rev !unknowns_acc in
+    (* undecided pairs are unproven goals, so a standalone Secure claim
+       is degraded; the [Hold] outcome survives — {!conclude}'s
+       induction re-decides every svar from scratch and subsumes the
+       bounded window, so unrolled-phase Unknowns cannot contaminate
+       its verdict *)
+    let verdict =
+      match verdict with
+      | Report.Secure _ when unknowns <> [] ->
+          Report.Inconclusive
+            (Printf.sprintf
+               "budget exhausted on %d (cycle, state var) pair(s): %s"
+               (List.length unknowns)
+               (String.concat ", " (List.map fst unknowns)))
+      | v -> v
+    in
     ( {
         Report.procedure =
           (match (reset_start, per_svar) with
@@ -152,10 +243,15 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                  ct_cex_validated = !cex_validated;
                }
            else None);
+        unknowns;
+        resumed_from =
+          (match resume with
+          | Some ck -> Some ck.Checkpoint.ck_iter
+          | None -> None);
       },
       outcome )
   in
-  let record ?stats ?winner ?losers iter k s_size cex pers dt =
+  let record ?stats ?winner ?losers ~unknown iter k s_size cex pers dt =
     steps :=
       {
         Report.st_iter = iter;
@@ -163,6 +259,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
         st_s_size = s_size;
         st_cex = cex;
         st_pers_hit = pers;
+        st_unknown = unknown;
         st_seconds = dt;
         st_stats = stats;
         st_winner = winner;
@@ -172,6 +269,50 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
   in
   (* growable array of per-cycle sets *)
   let s_frames = ref [| s0; s0 |] in
+  let start_iter, start_k =
+    match resume with
+    | None -> (1, 1)
+    | Some ck ->
+        if ck.Checkpoint.ck_alg <> Checkpoint.Alg2 then
+          invalid_arg "Alg2.run: checkpoint was written by another algorithm";
+        if ck.Checkpoint.ck_config_hash <> Lazy.force config_hash then
+          invalid_arg
+            "Alg2.run: checkpoint config hash mismatch (different design, \
+             variant or persistence model)";
+        unknowns_acc := List.rev ck.Checkpoint.ck_unknown;
+        List.iter
+          (fun (n, _) ->
+            match parse_pair_entry n with
+            | Some (j, name) -> Hashtbl.replace undecided (j, name) ()
+            | None -> ())
+          ck.Checkpoint.ck_unknown;
+        let tbl = svar_table nl in
+        s_frames :=
+          Array.map
+            (fun names -> resolve_names tbl names ~what:"Alg2.run")
+            ck.Checkpoint.ck_frames;
+        (ck.Checkpoint.ck_iter, ck.Checkpoint.ck_k)
+  in
+  let post_iter ~next_iter ~k =
+    match checkpoint_file with
+    | None -> ()
+    | Some path ->
+        Checkpoint.save path
+          {
+            Checkpoint.ck_alg = Checkpoint.Alg2;
+            ck_variant = variant_tag spec.Spec.variant;
+            ck_config_hash = Lazy.force config_hash;
+            ck_iter = next_iter;
+            ck_k = k;
+            ck_frames =
+              Array.map
+                (fun s ->
+                  List.map Structural.svar_name
+                    (Structural.Svar_set.elements s))
+                !s_frames;
+            ck_unknown = List.rev !unknowns_acc;
+          }
+  in
   match jobs with
   | None ->
       let rec loop iter k =
@@ -182,12 +323,20 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
           let sf = !s_frames in
           let result, st, win, lo =
             check_once ?solver_options ?portfolio ~certify ~register
-              ~reset_start spec sf k
+              ?interrupt:should_stop ~reset_start ~budget
+              ~retries:budget_retries ~escalation:budget_escalation spec sf k
           in
           match result with
-          | None ->
+          | `Unknown reason ->
+              finish
+                (Report.Inconclusive
+                   (if stopped () || reason = "interrupted" then "interrupted"
+                    else "undecided within budget: " ^ reason))
+                Gave_up
+          | `Holds ->
               let dt = Unix.gettimeofday () -. it0 in
-              record ~stats:st ?winner:win ~losers:lo iter k
+              record ~stats:st ?winner:win ~losers:lo
+                ~unknown:Structural.Svar_set.empty iter k
                 (Structural.Svar_set.cardinal sf.(k))
                 Structural.Svar_set.empty Structural.Svar_set.empty dt;
               if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
@@ -208,45 +357,52 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                 finish (Report.Inconclusive "max unrolling reached") Gave_up
               else begin
                 s_frames := Array.append sf [| sf.(k) |];
+                post_iter ~next_iter:(iter + 1) ~k:(k + 1);
                 loop (iter + 1) (k + 1)
               end
-          | Some (cex, per_frame) ->
-              let dt = Unix.gettimeofday () -. it0 in
-              let all_cex =
-                List.fold_left
-                  (fun acc (_, v) -> Structural.Svar_set.union acc v)
-                  Structural.Svar_set.empty per_frame
-              in
-              let pers_hit =
-                Structural.Svar_set.filter (Spec.is_pers spec) all_cex
-              in
-              record ~stats:st ?winner:win ~losers:lo iter k
-                (Structural.Svar_set.cardinal sf.(k))
-                all_cex pers_hit dt;
-              if Structural.Svar_set.is_empty all_cex then
-                finish
-                  (Report.Inconclusive
-                     "counterexample without S_cex (spurious model)")
-                  Gave_up
-              else if not (Structural.Svar_set.is_empty pers_hit) then
-                if validate_cex ~claimed:all_cex cex then
-                  finish
-                    (Report.Vulnerable { s_cex = all_cex; cex })
-                    Found_vulnerable
-                else
+          | `Cex (cex, per_frame) ->
+              if stopped () then
+                finish (Report.Inconclusive "interrupted") Gave_up
+              else begin
+                let dt = Unix.gettimeofday () -. it0 in
+                let all_cex =
+                  List.fold_left
+                    (fun acc (_, v) -> Structural.Svar_set.union acc v)
+                    Structural.Svar_set.empty per_frame
+                in
+                let pers_hit =
+                  Structural.Svar_set.filter (Spec.is_pers spec) all_cex
+                in
+                record ~stats:st ?winner:win ~losers:lo
+                  ~unknown:Structural.Svar_set.empty iter k
+                  (Structural.Svar_set.cardinal sf.(k))
+                  all_cex pers_hit dt;
+                if Structural.Svar_set.is_empty all_cex then
                   finish
                     (Report.Inconclusive
-                       "counterexample rejected by simulator validation")
+                       "counterexample without S_cex (spurious model)")
                     Gave_up
-              else begin
-                List.iter
-                  (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
-                  per_frame;
-                loop (iter + 1) k
+                else if not (Structural.Svar_set.is_empty pers_hit) then
+                  if validate_cex ~claimed:all_cex cex then
+                    finish
+                      (Report.Vulnerable { s_cex = all_cex; cex })
+                      Found_vulnerable
+                  else
+                    finish
+                      (Report.Inconclusive
+                         "counterexample rejected by simulator validation")
+                      Gave_up
+                else begin
+                  List.iter
+                    (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
+                    per_frame;
+                  post_iter ~next_iter:(iter + 1) ~k;
+                  loop (iter + 1) k
+                end
               end
         end
       in
-      loop 1 1
+      loop start_iter start_k
   | Some j ->
       let jobs = max 1 j in
       Parallel.Pool.with_pool ~jobs (fun pool ->
@@ -257,7 +413,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
             | _ ->
                 let w =
                   make_worker ?solver_options ?portfolio ~certify ~register
-                    ~reset_start spec s0 k
+                    ?interrupt:should_stop ~reset_start spec s0 k
                 in
                 engines.(wid) <- Some w;
                 w
@@ -268,7 +424,9 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                 let w = worker k wid in
                 let act = Hashtbl.find w.w_acts (j, Structural.svar_name sv) in
                 ( (j, sv),
-                  Ipc.Engine.sat w.w_eng [ act ],
+                  with_retries ~budget ~retries:budget_retries
+                    ~escalation:budget_escalation w.w_eng (fun () ->
+                      Ipc.Engine.sat_bounded w.w_eng [ act ]),
                   Ipc.Engine.last_stats w.w_eng,
                   Ipc.Engine.last_winner w.w_eng,
                   Ipc.Engine.last_losers_stats w.w_eng ))
@@ -277,11 +435,23 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
           let stats_of results =
             List.fold_left
               (fun (acc, w, lacc) (_, _, st, win, lo) ->
-                ( Satsolver.Solver.add_stats acc st,
+                ( S.add_stats acc st,
                   (match win with Some _ -> win | None -> w),
-                  Satsolver.Solver.add_stats lacc lo ))
-              (Satsolver.Solver.zero_stats, None, Satsolver.Solver.zero_stats)
+                  S.add_stats lacc lo ))
+              (S.zero_stats, None, S.zero_stats)
               results
+          in
+          (* budget-degraded pairs join [undecided]; interrupts are
+             excluded — an interrupted iteration is discarded wholesale *)
+          let handle_unknowns results =
+            List.fold_left
+              (fun acc ((j, sv), v, _, _, _) ->
+                match v with
+                | Ipc.Engine.Unknown reason when reason <> "interrupted" ->
+                    note_unknown j sv reason;
+                    Structural.Svar_set.add sv acc
+                | _ -> acc)
+              Structural.Svar_set.empty results
           in
           let rec loop iter k =
             if iter > max_iterations then
@@ -293,146 +463,196 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                 List.concat_map
                   (fun j ->
                     Structural.Svar_set.fold
-                      (fun sv acc -> if p sv then (j, sv) :: acc else acc)
+                      (fun sv acc ->
+                        if
+                          p sv
+                          && not
+                               (Hashtbl.mem undecided
+                                  (j, Structural.svar_name sv))
+                        then (j, sv) :: acc
+                        else acc)
                       sf.(j) []
                     |> List.rev)
                   (List.init k (fun i -> i + 1))
               in
               (* Persistent svars first: any hit ends the run early. *)
               let pers_results = check_pairs k (pairs (Spec.is_pers spec)) in
-              let pers_sat =
-                List.filter (fun (_, sat, _, _, _) -> sat) pers_results
-              in
-              if pers_sat <> [] then begin
-                let pers_hit =
-                  List.fold_left
-                    (fun acc ((_, sv), _, _, _, _) ->
-                      Structural.Svar_set.add sv acc)
-                    Structural.Svar_set.empty pers_sat
-                in
-                let st, win, lo = stats_of pers_results in
-                record ~stats:st ?winner:win ~losers:lo iter k
-                  (Structural.Svar_set.cardinal sf.(k))
-                  pers_hit pers_hit
-                  (Unix.gettimeofday () -. it0);
-                (* deterministic witness: smallest frame, then svar order *)
-                let witness =
-                  List.fold_left
-                    (fun acc ((j, sv), _, _, _, _) ->
-                      match acc with
-                      | None -> Some (j, sv)
-                      | Some (j', sv') ->
-                          if
-                            j < j'
-                            || (j = j' && Structural.compare_svar sv sv' < 0)
-                          then Some (j, sv)
-                          else acc)
-                    None pers_sat
-                  |> Option.get
-                in
-                match
-                  extract_cex ?solver_options ~certify ~register ~reset_start
-                    spec s0 k witness
-                with
-                | Some cex ->
-                    if
-                      validate_cex
-                        ~claimed:(Structural.Svar_set.singleton (snd witness))
-                        cex
-                    then
-                      finish
-                        (Report.Vulnerable { s_cex = pers_hit; cex })
-                        Found_vulnerable
-                    else
-                      finish
-                        (Report.Inconclusive
-                           "counterexample rejected by simulator validation")
-                        Gave_up
-                | None ->
-                    finish
-                      (Report.Inconclusive
-                         "per-svar SAT not reproducible on a fresh engine")
-                      Gave_up
-              end
+              if stopped () then
+                finish (Report.Inconclusive "interrupted") Gave_up
               else begin
-                let rest_results =
-                  check_pairs k (pairs (fun sv -> not (Spec.is_pers spec sv)))
+                let pers_sat =
+                  List.filter
+                    (fun (_, v, _, _, _) -> v = Ipc.Engine.Decided true)
+                    pers_results
                 in
-                let per_frame =
-                  List.init k (fun i ->
-                      let j = i + 1 in
-                      ( j,
-                        List.fold_left
-                          (fun acc ((j', sv), sat, _, _, _) ->
-                            if sat && j' = j then
-                              Structural.Svar_set.add sv acc
+                if pers_sat <> [] then begin
+                  let pers_hit =
+                    List.fold_left
+                      (fun acc ((_, sv), _, _, _, _) ->
+                        Structural.Svar_set.add sv acc)
+                      Structural.Svar_set.empty pers_sat
+                  in
+                  let st, win, lo = stats_of pers_results in
+                  let unknown = handle_unknowns pers_results in
+                  record ~stats:st ?winner:win ~losers:lo ~unknown iter k
+                    (Structural.Svar_set.cardinal sf.(k))
+                    pers_hit pers_hit
+                    (Unix.gettimeofday () -. it0);
+                  (* deterministic witness: smallest frame, then svar order *)
+                  let witness =
+                    List.fold_left
+                      (fun acc ((j, sv), _, _, _, _) ->
+                        match acc with
+                        | None -> Some (j, sv)
+                        | Some (j', sv') ->
+                            if
+                              j < j'
+                              || (j = j' && Structural.compare_svar sv sv' < 0)
+                            then Some (j, sv)
                             else acc)
-                          Structural.Svar_set.empty rest_results ))
-                in
-                let all_cex =
-                  List.fold_left
-                    (fun acc (_, v) -> Structural.Svar_set.union acc v)
-                    Structural.Svar_set.empty per_frame
-                in
-                let st, win, lo =
-                  let s1, w1, l1 = stats_of pers_results in
-                  let s2, w2, l2 = stats_of rest_results in
-                  ( Satsolver.Solver.add_stats s1 s2,
-                    (match w2 with Some _ -> w2 | None -> w1),
-                    Satsolver.Solver.add_stats l1 l2 )
-                in
-                record ~stats:st ?winner:win ~losers:lo iter k
-                  (Structural.Svar_set.cardinal sf.(k))
-                  all_cex Structural.Svar_set.empty
-                  (Unix.gettimeofday () -. it0);
-                if Structural.Svar_set.is_empty all_cex then
-                  if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
-                    if reset_start then
+                      None pers_sat
+                    |> Option.get
+                  in
+                  match
+                    extract_cex ?solver_options ~certify ~register
+                      ?interrupt:should_stop ~reset_start spec s0 k witness
+                  with
+                  | Some cex ->
+                      if
+                        validate_cex
+                          ~claimed:(Structural.Svar_set.singleton (snd witness))
+                          cex
+                      then
+                        finish
+                          (Report.Vulnerable { s_cex = pers_hit; cex })
+                          Found_vulnerable
+                      else
+                        finish
+                          (Report.Inconclusive
+                             "counterexample rejected by simulator validation")
+                          Gave_up
+                  | None ->
                       finish
                         (Report.Inconclusive
-                           (Printf.sprintf
-                              "BMC from reset: no detection within %d cycles \
-                               (no inductive meaning)" k))
-                        (Hold { s_final = sf.(k); k })
-                    else
-                      finish
-                        (Report.Secure { s_final = sf.(k) })
-                        (Hold { s_final = sf.(k); k })
-                  else if k >= max_k then
-                    finish (Report.Inconclusive "max unrolling reached") Gave_up
-                  else begin
-                    s_frames := Array.append sf [| sf.(k) |];
-                    loop (iter + 1) (k + 1)
-                  end
+                           (if stopped () then "interrupted"
+                            else
+                              "per-svar SAT not reproducible on a fresh engine"))
+                        Gave_up
+                end
                 else begin
-                  List.iter
-                    (fun (j, v) -> sf.(j) <- Structural.Svar_set.diff sf.(j) v)
-                    per_frame;
-                  loop (iter + 1) k
+                  let rest_results =
+                    check_pairs k (pairs (fun sv -> not (Spec.is_pers spec sv)))
+                  in
+                  if stopped () then
+                    finish (Report.Inconclusive "interrupted") Gave_up
+                  else begin
+                    let per_frame =
+                      List.init k (fun i ->
+                          let j = i + 1 in
+                          ( j,
+                            List.fold_left
+                              (fun acc ((j', sv), v, _, _, _) ->
+                                if v = Ipc.Engine.Decided true && j' = j then
+                                  Structural.Svar_set.add sv acc
+                                else acc)
+                              Structural.Svar_set.empty rest_results ))
+                    in
+                    let all_cex =
+                      List.fold_left
+                        (fun acc (_, v) -> Structural.Svar_set.union acc v)
+                        Structural.Svar_set.empty per_frame
+                    in
+                    let st, win, lo =
+                      let s1, w1, l1 = stats_of pers_results in
+                      let s2, w2, l2 = stats_of rest_results in
+                      ( S.add_stats s1 s2,
+                        (match w2 with Some _ -> w2 | None -> w1),
+                        S.add_stats l1 l2 )
+                    in
+                    let unknown =
+                      Structural.Svar_set.union
+                        (handle_unknowns pers_results)
+                        (handle_unknowns rest_results)
+                    in
+                    record ~stats:st ?winner:win ~losers:lo ~unknown iter k
+                      (Structural.Svar_set.cardinal sf.(k))
+                      all_cex Structural.Svar_set.empty
+                      (Unix.gettimeofday () -. it0);
+                    if Structural.Svar_set.is_empty all_cex then
+                      if Structural.Svar_set.equal sf.(k) sf.(k - 1) then
+                        if reset_start then
+                          finish
+                            (Report.Inconclusive
+                               (Printf.sprintf
+                                  "BMC from reset: no detection within %d \
+                                   cycles (no inductive meaning)" k))
+                            (Hold { s_final = sf.(k); k })
+                        else
+                          finish
+                            (Report.Secure { s_final = sf.(k) })
+                            (Hold { s_final = sf.(k); k })
+                      else if k >= max_k then
+                        finish
+                          (Report.Inconclusive "max unrolling reached")
+                          Gave_up
+                      else begin
+                        s_frames := Array.append sf [| sf.(k) |];
+                        post_iter ~next_iter:(iter + 1) ~k:(k + 1);
+                        loop (iter + 1) (k + 1)
+                      end
+                    else begin
+                      List.iter
+                        (fun (j, v) ->
+                          sf.(j) <- Structural.Svar_set.diff sf.(j) v)
+                        per_frame;
+                      post_iter ~next_iter:(iter + 1) ~k;
+                      loop (iter + 1) k
+                    end
+                  end
                 end
               end
             end
           in
-          loop 1 1)
+          loop start_iter start_k)
 
 let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
-    ?cex_vcd spec =
-  let report, outcome =
-    run ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
-      ?cex_vcd spec
-  in
-  match outcome with
-  | Found_vulnerable | Gave_up -> report
-  | Hold { s_final; k = _ } ->
+    ?cex_vcd ?budget ?budget_retries ?budget_escalation ?checkpoint_file
+    ?resume ?should_stop spec =
+  match resume with
+  | Some ck when ck.Checkpoint.ck_alg = Checkpoint.Alg1 ->
+      (* the unrolled phase had already reached Hold when this Alg. 1
+         checkpoint was written: resume the induction directly *)
       let induction =
-        Alg1.run ~initial_s:s_final ?max_iterations ?solver_options ?jobs
-          ?portfolio ?certify ?cex_vcd spec
+        Alg1.run ?max_iterations ?solver_options ?jobs ?portfolio ?certify
+          ?cex_vcd ?budget ?budget_retries ?budget_escalation ?checkpoint_file
+          ~resume:ck ?should_stop spec
       in
       {
         induction with
         Report.procedure = "UPEC-SSC-unrolled + induction";
-        steps = report.Report.steps @ induction.Report.steps;
-        total_seconds =
-          report.Report.total_seconds +. induction.Report.total_seconds;
-        cert = Report.merge_cert report.Report.cert induction.Report.cert;
       }
+  | _ -> (
+      let report, outcome =
+        run ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
+          ?cex_vcd ?budget ?budget_retries ?budget_escalation ?checkpoint_file
+          ?resume ?should_stop spec
+      in
+      match outcome with
+      | Found_vulnerable | Gave_up -> report
+      | Hold { s_final; k = _ } ->
+          let induction =
+            Alg1.run ~initial_s:s_final ?max_iterations ?solver_options ?jobs
+              ?portfolio ?certify ?cex_vcd ?budget ?budget_retries
+              ?budget_escalation ?checkpoint_file ?should_stop spec
+          in
+          {
+            induction with
+            Report.procedure = "UPEC-SSC-unrolled + induction";
+            steps = report.Report.steps @ induction.Report.steps;
+            total_seconds =
+              report.Report.total_seconds +. induction.Report.total_seconds;
+            cert = Report.merge_cert report.Report.cert induction.Report.cert;
+            unknowns = report.Report.unknowns @ induction.Report.unknowns;
+            resumed_from = report.Report.resumed_from;
+          }
+      )

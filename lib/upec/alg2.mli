@@ -24,6 +24,12 @@ val run :
   ?portfolio:int ->
   ?certify:bool ->
   ?cex_vcd:string ->
+  ?budget:Satsolver.Solver.budget ->
+  ?budget_retries:int ->
+  ?budget_escalation:float ->
+  ?checkpoint_file:string ->
+  ?resume:Checkpoint.t ->
+  ?should_stop:(unit -> bool) ->
   Spec.t ->
   Report.run * outcome
 (** [reset_start] pins cycle 0 to the concrete reset state, degrading
@@ -42,7 +48,22 @@ val run :
     result is revalidated by the independent RUP checker, SAT models by
     clause evaluation, and a vulnerable verdict's multi-cycle
     counterexample is replayed through the standalone simulator before
-    it is reported. *)
+    it is reported.
+
+    {b Resource governance} ([budget], [budget_retries],
+    [budget_escalation]) works as in {!Alg1.run}; in the per-svar
+    strategy a pair [(j, sv)] still Unknown after the last retry stays
+    in the cycle-[j] set but is no longer checked, recorded in
+    [Report.unknowns] as ["name@j"]. Any undecided pair degrades a
+    standalone Secure verdict to [Inconclusive]; the [Hold] outcome
+    survives, because {!conclude}'s induction re-decides every svar
+    from scratch and subsumes the bounded window.
+
+    {b Checkpoint/resume} ([checkpoint_file], [resume], [should_stop])
+    also as in {!Alg1.run}; the checkpoint stores the full per-cycle
+    frame array and the current unroll depth. [resume] refuses
+    checkpoints written by Algorithm 1 ([Invalid_argument]); use
+    {!conclude} to resume a combined run from either phase. *)
 
 val conclude :
   ?max_k:int ->
@@ -52,8 +73,19 @@ val conclude :
   ?portfolio:int ->
   ?certify:bool ->
   ?cex_vcd:string ->
+  ?budget:Satsolver.Solver.budget ->
+  ?budget_retries:int ->
+  ?budget_escalation:float ->
+  ?checkpoint_file:string ->
+  ?resume:Checkpoint.t ->
+  ?should_stop:(unit -> bool) ->
   Spec.t ->
   Report.run
 (** Run the unrolled procedure; on [Hold], finish with the Algorithm 1
     induction from the computed set and merge the reports (certification
-    accounting from both phases is summed). *)
+    accounting from both phases is summed).
+
+    With [checkpoint_file], the unrolled phase writes Alg2 checkpoints
+    and the induction phase overwrites them with Alg1 checkpoints; a
+    [resume] checkpoint of either kind is routed to the right phase
+    (an Alg1 checkpoint skips the unrolled phase entirely). *)

@@ -6,6 +6,7 @@ type step = {
   st_s_size : int;
   st_cex : Structural.Svar_set.t;
   st_pers_hit : Structural.Svar_set.t;
+  st_unknown : Structural.Svar_set.t;
   st_seconds : float;
   st_stats : Satsolver.Solver.stats option;
   st_winner : int option;
@@ -31,6 +32,8 @@ type run = {
   state_bits : int;
   svar_count : int;
   cert : cert_info option;
+  unknowns : (string * string) list;
+  resumed_from : int option;
 }
 
 let merge_cert a b =
@@ -75,18 +78,31 @@ let pp fmt r =
   Format.fprintf fmt "@[<v>=== %s on SoC (%d state bits, %d state vars) ===@,"
     r.procedure r.state_bits r.svar_count;
   Format.fprintf fmt "variant: %s@," (variant_name r.variant);
-  Format.fprintf fmt "iter  k   |S|    |S_cex|  persistent hits  time@,";
+  Format.fprintf fmt "iter  k   |S|    |S_cex|  unk  persistent hits  time@,";
   List.iter
     (fun s ->
-      Format.fprintf fmt "%4d  %d  %5d  %7d  %15s  %6.2fs@," s.st_iter s.st_k
-        s.st_s_size
+      Format.fprintf fmt "%4d  %d  %5d  %7d  %3d  %15s  %6.2fs@," s.st_iter
+        s.st_k s.st_s_size
         (Structural.Svar_set.cardinal s.st_cex)
+        (Structural.Svar_set.cardinal s.st_unknown)
         (if Structural.Svar_set.is_empty s.st_pers_hit then "-"
          else
            Format.asprintf "%a" Structural.pp_svar_set s.st_pers_hit)
         s.st_seconds)
     r.steps;
   Format.fprintf fmt "verdict: %a@," pp_verdict r.verdict;
+  (match r.resumed_from with
+  | Some iter -> Format.fprintf fmt "resumed from iteration %d@," iter
+  | None -> ());
+  (match r.unknowns with
+  | [] -> ()
+  | us ->
+      Format.fprintf fmt
+        "%d check(s) left UNKNOWN (assumed but no longer checked):@,"
+        (List.length us);
+      List.iter
+        (fun (name, reason) -> Format.fprintf fmt "  %s: %s@," name reason)
+        us);
   (match r.verdict with
   | Vulnerable { cex; s_cex } ->
       Format.fprintf fmt "S_cex: %a@," Structural.pp_svar_set s_cex;

@@ -8,6 +8,9 @@ type step = {
   st_s_size : int;  (** |S| going into the check *)
   st_cex : Structural.Svar_set.t;  (** S_cex (empty when the check held) *)
   st_pers_hit : Structural.Svar_set.t;  (** S_cex ∩ S_pers *)
+  st_unknown : Structural.Svar_set.t;
+      (** svars whose check stayed Unknown after every budgeted retry:
+          kept in the equivalence assumption but no longer checked *)
   st_seconds : float;
   st_stats : Satsolver.Solver.stats option;
       (** aggregate solver work of this iteration, when recorded *)
@@ -42,6 +45,15 @@ type run = {
   state_bits : int;
   svar_count : int;
   cert : cert_info option;  (** present when the run was certified *)
+  unknowns : (string * string) list;
+      (** every svar (Alg1) or cycle\@svar pair (Alg2) degraded to
+          Unknown over the whole run, with the exhausted-resource
+          reason; any unknown downgrades a Secure verdict to
+          [Inconclusive], since the fixed point assumed the undecided
+          equalities without proving them *)
+  resumed_from : int option;
+      (** iteration the run was resumed at, when started from a
+          checkpoint *)
 }
 
 val merge_cert : cert_info option -> cert_info option -> cert_info option

@@ -47,6 +47,70 @@ let test_pool_reusable () =
           (List.fold_left ( + ) 0 r)
       done)
 
+let test_map_crash_keeps_pool_alive () =
+  (* a raising task must neither deadlock the map nor wedge the pool:
+     the exception reaches the caller after all siblings settled, and
+     the same pool keeps answering *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match
+         Pool.map pool
+           (fun x -> if x mod 7 = 3 then failwith "boom" else x)
+           (List.init 50 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure _ -> ());
+      let r = Pool.map pool (fun x -> x * 2) (List.init 30 Fun.id) in
+      Alcotest.(check (list int))
+        "pool alive after a crashed map"
+        (List.init 30 (fun x -> x * 2))
+        r)
+
+let test_submit_crash_isolation () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let done_count = Atomic.make 0 in
+      for i = 0 to 9 do
+        Pool.submit pool (fun _wid ->
+            if i mod 2 = 0 then failwith "submit crash"
+            else Atomic.incr done_count)
+      done;
+      (* a map call is a barrier: all prior submits have settled after it *)
+      ignore (Pool.map pool Fun.id [ 1; 2; 3 ]);
+      Alcotest.(check int) "crashes counted, not fatal" 5 (Pool.crashed pool);
+      Alcotest.(check int) "surviving submits ran" 5 (Atomic.get done_count))
+
+let test_watchdog_flags_stall () =
+  let stalls = Atomic.make 0 in
+  Pool.with_pool ~task_deadline:0.05
+    ~on_stall:(fun _wid elapsed ->
+      Alcotest.(check bool) "elapsed past deadline" true (elapsed >= 0.05);
+      Atomic.incr stalls)
+    ~jobs:2
+    (fun pool ->
+      let r =
+        Pool.map pool
+          (fun x ->
+            if x = 0 then Unix.sleepf 0.25;
+            x + 1)
+          [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check (list int))
+        "stalled task still completes" [ 1; 2; 3; 4 ] r);
+  Alcotest.(check bool) "watchdog flagged the slow task" true
+    (Atomic.get stalls >= 1)
+
+let test_shutdown_with_queued_tasks () =
+  (* shutdown on a non-idle pool drains the queue and never raises *)
+  let pool = Pool.create ~jobs:3 () in
+  let ran = Atomic.make 0 in
+  for _ = 1 to 20 do
+    Pool.submit pool (fun _ ->
+        Unix.sleepf 0.01;
+        Atomic.incr ran)
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "queue drained before stopping" 20 (Atomic.get ran);
+  Pool.shutdown pool (* idempotent *)
+
 (* ---- portfolio ---- *)
 
 let random_cnf rs =
@@ -91,7 +155,9 @@ let test_portfolio_agrees () =
           clauses
     | S.Sat, Portfolio.Unsat -> Alcotest.fail "portfolio says Unsat, solver Sat"
     | S.Unsat, Portfolio.Sat _ ->
-        Alcotest.fail "portfolio says Sat, solver Unsat");
+        Alcotest.fail "portfolio says Sat, solver Unsat"
+    | _, Portfolio.Unknown r ->
+        Alcotest.fail ("unbudgeted portfolio returned Unknown: " ^ r));
     Alcotest.(check bool) "winner index valid" true (o.Portfolio.winner >= 0)
   done
 
@@ -137,7 +203,8 @@ let test_portfolio_losers_stats () =
   let o = Portfolio.solve ~jobs:4 ~nvars ~clauses ~assumptions:[] () in
   (match o.Portfolio.verdict with
   | Portfolio.Sat _ -> ()
-  | Portfolio.Unsat -> Alcotest.fail "trivial SAT reported Unsat");
+  | Portfolio.Unsat -> Alcotest.fail "trivial SAT reported Unsat"
+  | Portfolio.Unknown r -> Alcotest.fail ("unexpected Unknown: " ^ r));
   Alcotest.(check int) "no conflicts anywhere" 0
     o.Portfolio.losers_stats.S.conflicts;
   Alcotest.(check bool) "bounded decisions" true
@@ -259,6 +326,14 @@ let () =
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
           Alcotest.test_case "pool reusable" `Quick test_pool_reusable;
+          Alcotest.test_case "crashed map keeps pool alive" `Quick
+            test_map_crash_keeps_pool_alive;
+          Alcotest.test_case "submit crash isolation" `Quick
+            test_submit_crash_isolation;
+          Alcotest.test_case "watchdog flags stall" `Quick
+            test_watchdog_flags_stall;
+          Alcotest.test_case "shutdown with queued tasks" `Quick
+            test_shutdown_with_queued_tasks;
         ] );
       ( "portfolio",
         [

@@ -348,6 +348,63 @@ let qcheck_lit_encoding =
       && Lit.sign (Lit.negate l) = not sign
       && Lit.of_dimacs (Lit.to_dimacs l) = l)
 
+(* ---- resource budgets ---- *)
+
+let php s pigeons holes = pigeonhole s pigeons holes
+
+let test_budget_unknown_then_reusable () =
+  let s = mk_solver (8 * 7) in
+  php s 8 7;
+  (match Solver.solve_bounded ~budget:(Solver.conflict_budget 10) s with
+  | Solver.Unknown reason ->
+      Alcotest.(check string)
+        "reason names the resource" "conflict budget exhausted" reason
+  | Solver.Solved _ -> Alcotest.fail "php(8,7) decided within 10 conflicts");
+  (* the same solver stays usable and keeps its learnt clauses: an
+     unbudgeted call finishes the proof *)
+  Alcotest.(check bool)
+    "unsat after lifting the budget" true
+    (Solver.solve_bounded s = Solver.Solved Solver.Unsat)
+
+let test_budget_trivial_within () =
+  let s = mk_solver 3 in
+  Solver.add_clause s [ lit 0 true; lit 1 true ];
+  Solver.add_clause s [ lit 2 false ];
+  Alcotest.(check bool)
+    "trivial sat fits any budget" true
+    (Solver.solve_bounded ~budget:(Solver.conflict_budget 1) s
+    = Solver.Solved Solver.Sat)
+
+let test_time_budget () =
+  let s = mk_solver (9 * 8) in
+  php s 9 8;
+  match Solver.solve_bounded ~budget:(Solver.time_budget 1e-6) s with
+  | Solver.Unknown reason ->
+      Alcotest.(check string)
+        "reason names the resource" "time budget exhausted" reason
+  | Solver.Solved _ -> Alcotest.fail "php(9,8) decided within a microsecond"
+
+let test_budget_escalation_converges () =
+  let s = mk_solver (8 * 7) in
+  php s 8 7;
+  let rec attempt n b =
+    match Solver.solve_bounded ~budget:b s with
+    | Solver.Solved r -> (n, r)
+    | Solver.Unknown _ -> attempt (n + 1) (Solver.scale_budget b 4.0)
+  in
+  let attempts, r = attempt 0 (Solver.conflict_budget 5) in
+  Alcotest.(check bool) "eventually unsat" true (r = Solver.Unsat);
+  Alcotest.(check bool)
+    (Printf.sprintf "needed escalation (%d attempts)" attempts)
+    true (attempts > 0)
+
+let test_scale_budget () =
+  let b = Solver.scale_budget (Solver.conflict_budget 10) 4.0 in
+  Alcotest.(check int) "conflicts scaled" 40 b.Solver.max_conflicts;
+  Alcotest.(check int) "unlimited stays unlimited" (-1) b.Solver.max_propagations;
+  Alcotest.(check (float 1e-9))
+    "unset time stays unset" 0.0 b.Solver.max_seconds
+
 let () =
   Alcotest.run "sat"
     [
@@ -373,6 +430,17 @@ let () =
           Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "dimacs robustness" `Quick test_dimacs_robustness;
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "unknown then reusable" `Quick
+            test_budget_unknown_then_reusable;
+          Alcotest.test_case "trivial sat within budget" `Quick
+            test_budget_trivial_within;
+          Alcotest.test_case "time budget" `Quick test_time_budget;
+          Alcotest.test_case "escalation converges" `Quick
+            test_budget_escalation_converges;
+          Alcotest.test_case "scale_budget" `Quick test_scale_budget;
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
