@@ -809,7 +809,37 @@ let all_experiments ~full =
     ("kernels", kernels);
   ]
 
-let write_smoke_json ~jobs ~total results =
+(* Tracing overhead calibration for the smoke artefact: the same small
+   proof, untraced then traced to a throwaway file, best-of-3 each so a
+   scheduler hiccup cannot fake a regression. Runs before the main
+   sink is installed ([Obs.Trace] allows one sink per process). *)
+let measure_trace_overhead () =
+  let cfg =
+    {
+      Soc.Config.formal_default with
+      Soc.Config.pub_depth = 4;
+      priv_depth = 4;
+      with_dma = false;
+      with_hwpe = false;
+    }
+  in
+  let proof () = ignore (Upec.Alg1.run (spec ~cfg Upec.Spec.Vulnerable)) in
+  proof () (* warm-up: first run pays one-off allocation costs *);
+  let best f =
+    let m = ref infinity in
+    for _ = 1 to 3 do
+      let _, dt = time f in
+      if dt < !m then m := dt
+    done;
+    !m
+  in
+  let plain = best proof in
+  let path = Filename.temp_file "upec-trace-overhead" ".jsonl" in
+  let traced = best (fun () -> Obs.Trace.with_file path proof) in
+  (try Sys.remove path with Sys_error _ -> ());
+  if plain > 0. then (traced -. plain) /. plain *. 100. else 0.
+
+let write_smoke_json ~jobs ~total ~overhead_pct results =
   let oc = open_out "BENCH_smoke.json" in
   Printf.fprintf oc "{\n  \"mode\": \"smoke\",\n  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"experiments\": [\n" total;
@@ -819,16 +849,53 @@ let write_smoke_json ~jobs ~total results =
         dt
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"trace_overhead_percent\": %.2f,\n" overhead_pct;
+  (* Per-phase profile of the smoke run itself, from the metrics
+     registry: where the proof time actually went. *)
+  let snap = Obs.Metrics.snapshot () in
+  let hist_sum name =
+    match List.assoc_opt name snap.Obs.Metrics.histograms with
+    | Some hs -> hs.Obs.Metrics.hs_sum
+    | None -> 0.0
+  in
+  let counter name =
+    match List.assoc_opt name snap.Obs.Metrics.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  Printf.fprintf oc "  \"profile\": {\n";
+  let phases =
+    [
+      "sat.solve_seconds";
+      "unroll.frame_seconds";
+      "ipc.pre_encode_seconds";
+      "pool.task_seconds";
+    ]
+  in
+  List.iter
+    (fun name -> Printf.fprintf oc "    \"%s\": %.4f,\n" name (hist_sum name))
+    phases;
+  let counters = [ "sat.solves"; "sat.conflicts"; "ipc.checks"; "pool.tasks" ]
+  in
+  List.iteri
+    (fun i name ->
+      Printf.fprintf oc "    \"%s\": %d%s\n" name (counter name)
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
+  Printf.fprintf oc "  }\n}\n";
   close_out oc;
   Format.printf "wrote BENCH_smoke.json@."
 
 let usage () =
   Format.printf
-    "usage: main.exe [E1..E9 A1..A5 kernels]* [smoke] [full] [-j N]@."
+    "usage: main.exe [E1..E9 A1..A5 kernels]* [smoke] [full] [-j N] [--trace \
+     FILE] [--metrics FILE]@."
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let trace_file = ref None in
+  let metrics_file = ref None in
   let rec parse jobs sel = function
     | [] -> (jobs, List.rev sel)
     | ("-j" | "--jobs") :: n :: rest -> (
@@ -837,7 +904,13 @@ let () =
         | None ->
             usage ();
             exit 1)
-    | ("-j" | "--jobs") :: [] ->
+    | "--trace" :: path :: rest ->
+        trace_file := Some path;
+        parse jobs sel rest
+    | "--metrics" :: path :: rest ->
+        metrics_file := Some path;
+        parse jobs sel rest
+    | ("-j" | "--jobs" | "--trace" | "--metrics") :: [] ->
         usage ();
         exit 1
     | a :: rest -> parse jobs (a :: sel) rest
@@ -845,6 +918,19 @@ let () =
   let jobs_arg, args = parse None [] args in
   let full = List.mem "full" args in
   let smoke = List.mem "smoke" args in
+  (* Calibrate before installing the main sink (one sink per process),
+     then reset the registry so the smoke profile reflects only the
+     experiments themselves. *)
+  let overhead_pct = if smoke then measure_trace_overhead () else 0.0 in
+  if smoke then Obs.Metrics.reset ();
+  (match !trace_file with
+  | Some path ->
+      Obs.Trace.set_sink (open_out path);
+      at_exit Obs.Trace.close
+  | None -> ());
+  (match !metrics_file with
+  | Some path -> at_exit (fun () -> Obs.Metrics.dump_file path)
+  | None -> ());
   let selected = List.filter (fun a -> a <> "full" && a <> "smoke") args in
   let experiments = all_experiments ~full in
   let to_run =
@@ -894,4 +980,4 @@ let () =
     Format.printf " (aggregate speedup %.2fx on %d domains)" (sum /. wall)
       outer_jobs;
   Format.printf "@.";
-  if smoke then write_smoke_json ~jobs:outer_jobs ~total:wall results
+  if smoke then write_smoke_json ~jobs:outer_jobs ~total:wall ~overhead_pct results

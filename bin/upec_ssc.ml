@@ -156,6 +156,22 @@ let resume_arg =
   in
   Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
 
+let trace_arg =
+  let doc =
+    "Stream observability spans (solver, unroller, pool, per-iteration \
+     phases) to \\$(docv) as JSONL. The sink is buffered with whole lines \
+     and flushed on exit — also on interrupt — so the file is always \
+     parseable."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let metrics_arg =
+  let doc =
+    "Write the final metrics registry (counters, gauges, log-scale \
+     histograms) to \\$(docv) as JSON on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
 let resolve_jobs = function
   | Some 0 -> Some (Parallel.Pool.default_jobs ())
   | j -> j
@@ -171,7 +187,19 @@ let check_cmd =
   let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
       incremental jobs portfolio stats certify cex_vcd conflict_budget
       prop_budget timeout budget_retries budget_escalation checkpoint_file
-      resume_file =
+      resume_file trace_file metrics_file =
+    (* [exit] is used for status codes below, so scope-based closing
+       (Fun.protect) would never run: close the sink from [at_exit],
+       which fires on every exit path including the interrupt ones.
+       Obs.Trace.close is idempotent and flushes whole lines only. *)
+    (match trace_file with
+    | Some path ->
+        Obs.Trace.set_sink (open_out path);
+        at_exit Obs.Trace.close
+    | None -> ());
+    (match metrics_file with
+    | Some path -> at_exit (fun () -> Obs.Metrics.dump_file path)
+    | None -> ());
     let spec = spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
     let jobs = resolve_jobs jobs in
     let budget =
@@ -212,7 +240,10 @@ let check_cmd =
         exit 3
     in
     Format.printf "%a@." Upec.Report.pp report;
-    if stats then Format.printf "%a@." Upec.Report.pp_stats report;
+    if stats then begin
+      Format.printf "%a@." Upec.Report.pp_stats report;
+      Format.printf "%a@." Upec.Report.pp_metrics report
+    end;
     (match (full_cex, report.Upec.Report.verdict) with
     | true, Upec.Report.Vulnerable { cex; _ } ->
         Format.printf "%a@." Ipc.Cex.pp_full cex
@@ -236,7 +267,7 @@ let check_cmd =
       $ incremental_arg $ jobs_arg $ portfolio_arg $ stats_flag_arg
       $ certify_arg $ cex_vcd_arg $ conflict_budget_arg $ prop_budget_arg
       $ timeout_arg $ budget_retries_arg $ budget_escalation_arg
-      $ checkpoint_arg $ resume_arg)
+      $ checkpoint_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 let invariants_cmd =
   let run variant depth banks arbiter =

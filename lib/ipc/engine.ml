@@ -62,7 +62,9 @@ let assume_implication t a b = Aig.Cnf.assert_implies t.cnf a b
    consults a SAT variable allocated after solving. Incremental: the set
    of state variables and inputs at a materialised frame never changes,
    so frames at or below the high-water mark are skipped. *)
-let pre_encode t =
+let h_pre_encode = Obs.Metrics.histogram "ipc.pre_encode_seconds"
+
+let pre_encode_core t =
   let nl = Unroller.netlist t.u in
   let instances =
     if Unroller.two_instance t.u then [ Unroller.A; Unroller.B ]
@@ -96,6 +98,15 @@ let pre_encode t =
       nl.Rtl.Netlist.params;
     t.params_encoded <- true
   end
+
+let pre_encode t =
+  (* Only instrument when there is work to do: the common call is a
+     no-op re-check on the hot path of every SAT query. *)
+  if t.pre_encoded < Unroller.frames t.u || not t.params_encoded then
+    Obs.Metrics.time h_pre_encode (fun () ->
+        Obs.Trace.with_span "ipc.pre_encode"
+          ~attrs:[ ("frames", Obs.Trace.Int (Unroller.frames t.u)) ]
+          (fun () -> pre_encode_core t))
 
 let sat_vars t = S.nvars t.solver
 
@@ -167,7 +178,9 @@ let solve_certified t ~configs ~nvars ~clauses ~assumptions =
       | Error msg -> raise (Certification_failed ("model rejected: " ^ msg))));
   o
 
-let solve_raw t extra =
+let m_checks = Obs.Metrics.counter "ipc.checks"
+
+let solve_raw_core t extra =
   pre_encode t;
   let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
   if (not t.certify) && t.portfolio <= 1 then begin
@@ -224,6 +237,20 @@ let solve_raw t extra =
         in
         `Sat (fun l -> sat_value (Aig.Cnf.sat_lit t.cnf l))
   end
+
+let solve_raw t extra =
+  Obs.Metrics.incr m_checks;
+  Obs.Trace.with_span "ipc.check"
+    ~attrs:
+      [
+        ( "mode",
+          Obs.Trace.Str
+            (if t.certify then "certified"
+             else if t.portfolio > 1 then "portfolio"
+             else "incremental") );
+        ("assumptions", Obs.Trace.Int (List.length extra));
+      ]
+    (fun () -> solve_raw_core t extra)
 
 type outcome = Holds | Cex of Cex.t
 type 'a bounded = Decided of 'a | Unknown of string

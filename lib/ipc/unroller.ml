@@ -117,8 +117,18 @@ let env_of t inst i =
   }
 
 (* Compute frame i+1 of one instance from frame i. *)
+let h_frame_seconds = Obs.Metrics.histogram "unroll.frame_seconds"
+
 let advance t inst =
   let i = (frames_of t inst).len - 1 in
+  Obs.Metrics.time h_frame_seconds @@ fun () ->
+  Obs.Trace.with_span "unroll.advance"
+    ~attrs:
+      [
+        ("frame", Obs.Trace.Int (i + 1));
+        ("instance", Obs.Trace.Str (match inst with A -> "A" | B -> "B"));
+      ]
+  @@ fun () ->
   let blast = Blaster.blaster t.g (env_of t inst i) in
   let next = new_frame () in
   List.iter

@@ -1,0 +1,211 @@
+type counter = { c : int Atomic.t }
+type gauge = { g : float Atomic.t }
+
+let nbuckets = 32
+let lowest = 1e-6
+
+type histogram = {
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+(* Creation is rare and cold; updates go through the returned handle
+   and never touch the registry, so a plain Hashtbl + mutex is fine. *)
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
+
+let intern name make classify =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some i -> (
+          match classify i with
+          | Some x -> x
+          | None ->
+              invalid_arg
+                ("Obs.Metrics: " ^ name
+               ^ " already registered as a different instrument kind"))
+      | None ->
+          let x = make () in
+          x)
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = { c = Atomic.make 0 } in
+      Hashtbl.replace registry name (C c);
+      c)
+    (function C c -> Some c | _ -> None)
+
+let incr c = Atomic.incr c.c
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let counter_value c = Atomic.get c.c
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = { g = Atomic.make 0.0 } in
+      Hashtbl.replace registry name (G g);
+      g)
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g v
+
+let histogram name =
+  intern name
+    (fun () ->
+      let h =
+        {
+          h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.0;
+        }
+      in
+      Hashtbl.replace registry name (H h);
+      h)
+    (function H h -> Some h | _ -> None)
+
+let bucket_of v =
+  if v < lowest then 0
+  else
+    let i = int_of_float (Float.log2 (v /. lowest)) in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+let bucket_upper i = lowest *. Float.pow 2.0 (float_of_int (i + 1))
+
+(* Boxed-float CAS: compare_and_set is physical equality, and [old] is
+   exactly the box we read, so the loop is ABA-safe. *)
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let observe h v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  Atomic.incr h.h_buckets.(bucket_of v);
+  Atomic.incr h.h_count;
+  atomic_add_float h.h_sum v
+
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let snap_hist h =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    let n = Atomic.get h.h_buckets.(i) in
+    if n > 0 then buckets := (bucket_upper i, n) :: !buckets
+  done;
+  {
+    hs_count = Atomic.get h.h_count;
+    hs_sum = Atomic.get h.h_sum;
+    hs_buckets = !buckets;
+  }
+
+let snapshot () =
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.iter
+        (fun name i ->
+          match i with
+          | C c -> cs := (name, Atomic.get c.c) :: !cs
+          | G g -> gs := (name, Atomic.get g.g) :: !gs
+          | H h -> hs := (name, snap_hist h) :: !hs)
+        registry);
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters = List.sort by_name !cs;
+    gauges = List.sort by_name !gs;
+    histograms = List.sort by_name !hs;
+  }
+
+let hist_mean hs =
+  if hs.hs_count = 0 then 0.0 else hs.hs_sum /. float_of_int hs.hs_count
+
+let pp_table fmt s =
+  Format.fprintf fmt "@[<v>--- metrics ---@,";
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-36s %12d@," name v)
+    s.counters;
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-36s %12.3f@," name v)
+    s.gauges;
+  List.iter
+    (fun (name, hs) ->
+      Format.fprintf fmt "%-36s count=%d sum=%.4f mean=%.6f@," name
+        hs.hs_count hs.hs_sum (hist_mean hs))
+    s.histograms;
+  Format.fprintf fmt "@]"
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let to_json s =
+  let b = Buffer.create 1024 in
+  let obj render xs =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        render x)
+      xs;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_string b "{\"counters\":";
+  obj
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%S:%d" name v))
+    s.counters;
+  Buffer.add_string b ",\"gauges\":";
+  obj
+    (fun (name, v) ->
+      Buffer.add_string b (Printf.sprintf "%S:%s" name (json_float v)))
+    s.gauges;
+  Buffer.add_string b ",\"histograms\":";
+  obj
+    (fun (name, hs) ->
+      Buffer.add_string b
+        (Printf.sprintf "%S:{\"count\":%d,\"sum\":%s,\"buckets\":[" name
+           hs.hs_count (json_float hs.hs_sum));
+      List.iteri
+        (fun i (ub, n) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "[%s,%d]" (json_float ub) n))
+        hs.hs_buckets;
+      Buffer.add_string b "]}")
+    s.histograms;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let dump_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json (snapshot ()));
+      output_char oc '\n')
+
+let reset () =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | C c -> Atomic.set c.c 0
+          | G g -> Atomic.set g.g 0.0
+          | H h ->
+              Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+              Atomic.set h.h_count 0;
+              Atomic.set h.h_sum 0.0)
+        registry)

@@ -1,0 +1,79 @@
+(** Process-wide metrics registry: counters, gauges and log-scale
+    histograms with lock-free atomic updates.
+
+    Instruments are created (or looked up) by name — creation takes a
+    lock, so call sites should hoist their handles to module level and
+    update through them on the hot path. Updates are wait-free for
+    counters and bucket counts and a CAS loop for float cells; no
+    update ever blocks another domain.
+
+    Histograms are log₂-scale: bucket [i] counts observations in
+    [[lb·2^i, lb·2^(i+1))] with [lb = 1e-6] and 32 buckets, spanning
+    one microsecond to ~4000 s — wide enough for solve times and
+    dimensionless ratios alike. Values below the lowest bound land in
+    bucket 0, values beyond the highest in the last bucket. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find or create the named counter (starts at 0). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+(** Find or create the named gauge (starts at 0.0). *)
+
+val set_gauge : gauge -> float -> unit
+
+val histogram : string -> histogram
+(** Find or create the named histogram. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation (negative values are clamped to 0). *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and observes its wall-clock duration in
+    seconds, also when [f] raises. *)
+
+(** {2 Snapshots and dumps} *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list;
+      (** (inclusive upper bound of bucket, count), non-empty buckets
+          only, ascending *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+(** All lists sorted by name. A snapshot is cumulative for the whole
+    process since start (or the last {!reset}). *)
+
+val snapshot : unit -> snapshot
+
+val hist_mean : hist_snapshot -> float
+(** [hs_sum / hs_count]; 0 when empty. *)
+
+val pp_table : Format.formatter -> snapshot -> unit
+(** Human-readable table: counters, gauges, then histograms with
+    count/mean/max-bucket. *)
+
+val to_json : snapshot -> string
+(** The snapshot as one JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{name:{"count":..,
+    "sum":..,"buckets":[[ub,n],..]},..}}]. *)
+
+val dump_file : string -> unit
+(** Write [to_json (snapshot ())] to the given path. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument in place — existing handles stay
+    valid. Meant for tests and for bracketing measurements. *)

@@ -1,0 +1,62 @@
+(** Span tracer: nested, domain-safe begin/end spans streamed as JSONL.
+
+    One process-global sink. When no sink is installed every call is a
+    cheap no-op (one atomic load), so instrumentation can stay compiled
+    into hot paths. Events are buffered as complete lines and flushed
+    wholesale, so a file cut short by a crash or interrupt is still
+    line-by-line parseable JSON.
+
+    Span nesting is tracked per domain: a span opened on a worker
+    domain parents to the innermost span open {e on that domain}, and
+    every event records the domain id, so cross-domain traces can be
+    reassembled.
+
+    Schema (one JSON object per line):
+    {v
+    {"ev":"begin","id":N,"parent":M,"name":S,"t":T,"dom":D,"attrs":{..}}
+    {"ev":"end","id":N,"name":S,"t":T,"dom":D,"attrs":{..}}
+    {"ev":"instant","id":N,"parent":M,"name":S,"t":T,"dom":D,"attrs":{..}}
+    v}
+    [t] is seconds since the sink was installed; [parent] is 0 for
+    root spans; an [end] whose body raised carries ["error":true] in
+    its attrs. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val set_sink : out_channel -> unit
+(** Install [oc] as the global trace sink and start the clock. The
+    channel is owned by the tracer from now on: {!close} closes it.
+    Raises [Invalid_argument] if a sink is already installed. *)
+
+val close : unit -> unit
+(** Flush buffered events, close the sink channel and uninstall the
+    sink. Idempotent; a no-op when no sink is installed. Spans still
+    open keep unwinding harmlessly (their events are dropped). *)
+
+val with_file : string -> (unit -> 'a) -> 'a
+(** [with_file path f] traces [f ()] into [path]. The sink is closed
+    (and the buffer flushed) on both normal and exceptional exit, so
+    an aborted run leaves a parseable prefix. *)
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed. Use to skip costly attribute
+    construction, not for correctness. *)
+
+val with_span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] emits a [begin] event, runs [f] with the span
+    as the innermost parent on this domain, and emits the matching
+    [end] event — also when [f] raises (the [end] then carries
+    ["error":true]). When tracing is disabled this is just [f ()]. *)
+
+val event : ?attrs:(string * attr) list -> string -> unit
+(** Zero-duration [instant] event under the current span. *)
+
+val emit_span :
+  ?attrs:(string * attr) list -> string -> t0:float -> t1:float -> unit
+(** Manual span for non-lexical scopes: emits a [begin]/[end] pair
+    with the given absolute [Unix.gettimeofday] bounds, parented under
+    the current span of this domain. *)

@@ -34,6 +34,11 @@ let jobs t = t.n_jobs
 let stalled t = Atomic.get t.stalled_count
 let crashed t = Atomic.get t.crashed_count
 
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+let m_steals = Obs.Metrics.counter "pool.steals"
+let g_queue_depth = Obs.Metrics.gauge "pool.queue_depth"
+let h_task_seconds = Obs.Metrics.histogram "pool.task_seconds"
+
 let try_pop t i =
   let mu = t.qlocks.(i) in
   Mutex.lock mu;
@@ -51,7 +56,9 @@ let find_task t wid =
         if k = n then None
         else
           match try_pop t ((wid + k) mod n) with
-          | Some _ as r -> r
+          | Some _ as r ->
+              Obs.Metrics.incr m_steals;
+              r
           | None -> scan (k + 1)
       in
       scan 1
@@ -62,8 +69,18 @@ let find_task t wid =
    nowhere to deliver the exception anyway. *)
 let run_isolated t wid task =
   let _, gen = Atomic.get t.running.(wid) in
-  Atomic.set t.running.(wid) (Unix.gettimeofday (), gen + 1);
-  (try task.run wid with _ -> Atomic.incr t.crashed_count);
+  let t0 = Unix.gettimeofday () in
+  Atomic.set t.running.(wid) (t0, gen + 1);
+  Obs.Metrics.incr m_tasks;
+  let body () =
+    try task.run wid with _ -> Atomic.incr t.crashed_count
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "pool.task"
+      ~attrs:[ ("worker", Obs.Trace.Int wid) ]
+      body
+  else body ();
+  Obs.Metrics.observe h_task_seconds (Unix.gettimeofday () -. t0);
   Atomic.set t.running.(wid) (0., gen + 1)
 
 let worker t wid =
@@ -141,6 +158,7 @@ let submit_task t task =
   Queue.add task t.queues.(i);
   Mutex.unlock mu;
   Atomic.incr t.pending;
+  Obs.Metrics.set_gauge g_queue_depth (float_of_int (Atomic.get t.pending));
   Mutex.lock t.sleep_mu;
   Condition.broadcast t.sleep_cv;
   Mutex.unlock t.sleep_mu

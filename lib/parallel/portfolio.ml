@@ -53,6 +53,9 @@ let run_config ~certify ~nvars ~clauses opts =
   List.iter (S.add_clause s) clauses;
   (s, proof)
 
+let m_races = Obs.Metrics.counter "portfolio.races"
+let h_winner_margin = Obs.Metrics.histogram "portfolio.winner_margin_seconds"
+
 let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
     ~nvars ~clauses ~assumptions () =
   let configs =
@@ -84,7 +87,9 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
     }
   end
   else begin
+    Obs.Metrics.incr m_races;
     let winner = Atomic.make (-1) in
+    let t_win = Atomic.make 0.0 in
     let outcomes = Array.make k None in
     (* every racer — including cancelled losers and budget-exhausted
        ones — records its stats here before its domain exits; the join
@@ -108,7 +113,8 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
              decide the instance within the same budget *)
           unknowns.(i) <- Some reason
       | S.Solved r ->
-          if Atomic.compare_and_set winner (-1) i then
+          if Atomic.compare_and_set winner (-1) i then begin
+            Atomic.set t_win (Unix.gettimeofday ());
             let verdict =
               match r with
               | S.Sat -> Sat (Array.init nvars (S.value_var s))
@@ -122,12 +128,24 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
                   stats = S.stats s;
                   losers_stats = S.zero_stats;
                   proof;
-                });
+                }
+          end);
       all_stats.(i) <- S.stats s
     in
-    let doms = List.init k (fun i -> Domain.spawn (body i)) in
-    List.iter Domain.join doms;
+    Obs.Trace.with_span "portfolio.race"
+      ~attrs:[ ("k", Obs.Trace.Int k) ]
+      (fun () ->
+        let doms = List.init k (fun i -> Domain.spawn (body i)) in
+        List.iter Domain.join doms);
     let w = Atomic.get winner in
+    (* Winner margin: how long the decided race kept spinning until the
+       cancelled losers actually unwound and joined — the cost of
+       cooperative (poll-based) cancellation. *)
+    if w >= 0 then begin
+      let tw = Atomic.get t_win in
+      if tw > 0.0 then
+        Obs.Metrics.observe h_winner_margin (Unix.gettimeofday () -. tw)
+    end;
     if w < 0 then begin
       (* no racer decided: every configuration exhausted its budget (or
          was interrupted). Surface the first reason; the summed stats

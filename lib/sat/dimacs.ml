@@ -24,8 +24,11 @@ let tokens_of_line line =
 
 exception Done
 
+let m_header_mismatch = Obs.Metrics.counter "dimacs.header_mismatch"
+
 let parse text =
   let nvars = ref 0 in
+  let declared = ref None in
   let clauses = ref [] in
   let current = ref [] in
   let lines = String.split_on_char '\n' text in
@@ -38,9 +41,11 @@ let parse text =
          | "%" :: _ -> raise Done
          | "p" :: rest -> (
              match rest with
-             | [ "cnf"; nv; _nc ] -> (
+             | [ "cnf"; nv; nc ] -> (
                  match int_of_string_opt nv with
-                 | Some n -> nvars := max !nvars n
+                 | Some n ->
+                     nvars := max !nvars n;
+                     declared := int_of_string_opt nc
                  | None -> failwith "Dimacs.parse: malformed problem line")
              | _ -> failwith "Dimacs.parse: malformed problem line")
          | toks ->
@@ -66,14 +71,33 @@ let parse text =
        lines
    with Done -> ());
   if !current <> [] then clauses := List.rev !current :: !clauses;
-  (!nvars, List.rev !clauses)
+  let clauses = List.rev !clauses in
+  (* A wrong header is not fatal (the clauses themselves are
+     authoritative) but it usually means a truncated or hand-edited
+     file — surface it instead of silently ignoring it. *)
+  (match !declared with
+  | Some nc when nc <> List.length clauses ->
+      Obs.Metrics.incr m_header_mismatch;
+      Obs.Trace.event "dimacs.header_mismatch"
+        ~attrs:
+          [
+            ("declared", Obs.Trace.Int nc);
+            ("parsed", Obs.Trace.Int (List.length clauses));
+          ]
+  | _ -> ());
+  (!nvars, clauses)
 
 let parse_file path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  parse text
+  (* binary mode: a CRLF file must reach the tokenizer verbatim (it
+     strips '\r' itself), and [in_channel_length] only matches the
+     bytes read when no newline translation happens *)
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      parse text)
 
 let print fmt (nvars, clauses) =
   Format.fprintf fmt "p cnf %d %d@." nvars (List.length clauses);

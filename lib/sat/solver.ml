@@ -836,7 +836,7 @@ let set_limits t budget =
      else Unix.gettimeofday () +. budget.max_seconds);
   t.lim_clock_poll <- 0
 
-let solve_bounded ?(assumptions = []) ?(budget = no_budget) t =
+let solve_bounded_core ?(assumptions = []) ?(budget = no_budget) t =
   if not t.ok then begin
     t.last_result <- RUnsat;
     t.conflict_core <- [];
@@ -881,6 +881,57 @@ let solve_bounded ?(assumptions = []) ?(budget = no_budget) t =
         t.last_result <- RNone;
         Unknown reason
   end
+
+(* Observability handles, hoisted so the per-solve cost is a handful
+   of atomic adds (plus one span line when tracing is on). *)
+let m_solves = Obs.Metrics.counter "sat.solves"
+let m_budget_exhausted = Obs.Metrics.counter "sat.budget_exhausted"
+let m_conflicts = Obs.Metrics.counter "sat.conflicts"
+let m_propagations = Obs.Metrics.counter "sat.propagations"
+let m_restarts = Obs.Metrics.counter "sat.restarts"
+let h_solve_seconds = Obs.Metrics.histogram "sat.solve_seconds"
+let h_ppc = Obs.Metrics.histogram "sat.propagations_per_conflict"
+
+let solve_bounded ?(assumptions = []) ?(budget = no_budget) t =
+  Obs.Metrics.incr m_solves;
+  let c0 = t.n_conflicts
+  and p0 = t.n_propagations
+  and r0 = t.n_restarts in
+  let t0 = Unix.gettimeofday () in
+  let finish verdict =
+    let dc = t.n_conflicts - c0 and dp = t.n_propagations - p0 in
+    Obs.Metrics.add m_conflicts dc;
+    Obs.Metrics.add m_propagations dp;
+    Obs.Metrics.add m_restarts (t.n_restarts - r0);
+    Obs.Metrics.observe h_solve_seconds (Unix.gettimeofday () -. t0);
+    if dc > 0 then
+      Obs.Metrics.observe h_ppc (float_of_int dp /. float_of_int dc);
+    (match verdict with
+    | Some (Unknown _) -> Obs.Metrics.incr m_budget_exhausted
+    | _ -> ());
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit_span "sat.solve" ~t0 ~t1:(Unix.gettimeofday ())
+        ~attrs:
+          [
+            ( "result",
+              Obs.Trace.Str
+                (match verdict with
+                | Some (Solved Sat) -> "sat"
+                | Some (Solved Unsat) -> "unsat"
+                | Some (Unknown _) -> "unknown"
+                | None -> "interrupted") );
+            ("conflicts", Obs.Trace.Int dc);
+            ("propagations", Obs.Trace.Int dp);
+          ]
+  in
+  match solve_bounded_core ~assumptions ~budget t with
+  | r ->
+      finish (Some r);
+      r
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish None;
+      Printexc.raise_with_backtrace e bt
 
 let solve ?(assumptions = []) t =
   match solve_bounded ~assumptions t with

@@ -1,44 +1,62 @@
 open Rtl
 
 type t = {
-  names : string list;
-  exprs : (string * Expr.t) list;
-  mutable rows : Bitvec.t list list;  (** reversed; each row parallel to names *)
+  names : string array;
+  index : (string, int) Hashtbl.t;  (** name -> column *)
+  exprs : Expr.t array;
+  mutable rows : Bitvec.t array array;  (** growable; [len] rows valid *)
+  mutable len : int;
 }
 
 let attach engine exprs =
-  let t = { names = List.map fst exprs; exprs; rows = [] } in
+  let names = Array.of_list (List.map fst exprs) in
+  let index = Hashtbl.create (max 16 (Array.length names)) in
+  Array.iteri
+    (fun i n -> if not (Hashtbl.mem index n) then Hashtbl.add index n i)
+    names;
+  let t =
+    {
+      names;
+      index;
+      exprs = Array.of_list (List.map snd exprs);
+      rows = [||];
+      len = 0;
+    }
+  in
   Engine.on_step engine (fun eng ->
-      let row = List.map (fun (_, e) -> Engine.peek eng e) t.exprs in
-      t.rows <- row :: t.rows);
+      if t.len = Array.length t.rows then begin
+        let cap = max 16 (2 * Array.length t.rows) in
+        let rows = Array.make cap [||] in
+        Array.blit t.rows 0 rows 0 t.len;
+        t.rows <- rows
+      end;
+      t.rows.(t.len) <- Array.map (fun e -> Engine.peek eng e) t.exprs;
+      t.len <- t.len + 1);
   t
 
-let length t = List.length t.rows
+let length t = t.len
 
 let index_of t name =
-  let rec find i = function
-    | [] -> raise Not_found
-    | n :: _ when String.equal n name -> i
-    | _ :: rest -> find (i + 1) rest
-  in
-  find 0 t.names
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg ("Trace.index_of: unknown signal " ^ name)
 
 let get t name cycle =
   let idx = index_of t name in
-  let rows = List.rev t.rows in
-  match List.nth_opt rows cycle with
-  | Some row -> List.nth row idx
-  | None -> invalid_arg "Trace.get: cycle out of range"
+  if cycle < 0 || cycle >= t.len then
+    invalid_arg "Trace.get: cycle out of range";
+  t.rows.(cycle).(idx)
 
 let series t name =
   let idx = index_of t name in
-  List.rev_map (fun row -> List.nth row idx) t.rows
+  List.init t.len (fun c -> t.rows.(c).(idx))
 
 let pp fmt t =
-  Format.fprintf fmt "@[<v>cycle  %s@," (String.concat "  " t.names);
-  List.iteri
-    (fun i row ->
-      Format.fprintf fmt "%5d  %s@," i
-        (String.concat "  " (List.map Bitvec.to_string row)))
-    (List.rev t.rows);
+  Format.fprintf fmt "@[<v>cycle  %s@,"
+    (String.concat "  " (Array.to_list t.names));
+  for c = 0 to t.len - 1 do
+    Format.fprintf fmt "%5d  %s@," c
+      (String.concat "  "
+         (Array.to_list (Array.map Bitvec.to_string t.rows.(c))))
+  done;
   Format.fprintf fmt "@]"

@@ -14,10 +14,12 @@ val length : t -> int
 
 val get : t -> string -> int -> Bitvec.t
 (** [get t name cycle] is the recorded value; [cycle] counts from 0 =
-    first recorded step. Raises [Not_found] / [Invalid_argument]. *)
+    first recorded step. O(1). Raises [Invalid_argument] for an
+    unknown signal name or an out-of-range cycle. *)
 
 val series : t -> string -> Bitvec.t list
-(** All recorded values of one signal, oldest first. *)
+(** All recorded values of one signal, oldest first. Raises
+    [Invalid_argument] for an unknown signal name. *)
 
 val pp : Format.formatter -> t -> unit
 (** Tabular dump, one row per cycle. *)

@@ -2,8 +2,10 @@ open Rtl
 
 type t = {
   oc : out_channel;
-  signals : (string * Expr.t * string) list;  (** name, expr, vcd id *)
-  mutable last : (string * Bitvec.t) list;  (** vcd id -> last value *)
+  mutable signals : (string * Expr.t * string) list;
+      (** name, expr, vcd id; emptied by [close] so the engine hook
+          stops evaluating (and retaining) the expressions *)
+  last : (string, Bitvec.t) Hashtbl.t;  (** vcd id -> last value *)
   mutable time : int;
   mutable closed : bool;
 }
@@ -73,13 +75,21 @@ let attach engine oc ?(module_name = "top") exprs =
             (sanitize name))
     signals;
   Printf.fprintf oc "$upscope $end\n$enddefinitions $end\n";
-  let t = { oc; signals; last = []; time = 0; closed = false } in
+  let t =
+    {
+      oc;
+      signals;
+      last = Hashtbl.create (max 16 (List.length signals));
+      time = 0;
+      closed = false;
+    }
+  in
   Printf.fprintf oc "#0\n";
   List.iter
     (fun (_, e, id) ->
       let v = Engine.peek engine e in
       emit_value oc id v;
-      t.last <- (id, v) :: t.last)
+      Hashtbl.replace t.last id v)
     signals;
   Engine.on_step engine (fun eng ->
       if not t.closed then begin
@@ -89,18 +99,28 @@ let attach engine oc ?(module_name = "top") exprs =
           (fun (_, e, id) ->
             let v = Engine.peek eng e in
             let changed =
-              match List.assoc_opt id t.last with
+              match Hashtbl.find_opt t.last id with
               | Some prev -> not (Bitvec.equal prev v)
               | None -> true
             in
             if changed then begin
               emit_value t.oc id v;
-              t.last <- (id, v) :: List.remove_assoc id t.last
+              Hashtbl.replace t.last id v
             end)
           t.signals
       end);
   t
 
 let close t =
-  t.closed <- true;
-  flush t.oc
+  if not t.closed then begin
+    t.closed <- true;
+    (* Final timestamp: without it viewers clip the dump at the last
+       change, hiding the final cycle's values. *)
+    Printf.fprintf t.oc "#%d\n" (t.time + 1);
+    (* The on_step hook cannot be detached, but it can be made free:
+       drop the expression list (so nothing is evaluated or retained)
+       and the last-value table. *)
+    t.signals <- [];
+    Hashtbl.reset t.last;
+    flush t.oc
+  end

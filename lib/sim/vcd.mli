@@ -18,4 +18,6 @@ val attach :
 
 val close : t -> unit
 (** Stop recording (detaches are not possible; the hook becomes a
-    no-op) and flush the channel. *)
+    no-op and releases the signal expressions and last-value table),
+    emit a final [#time] marker so the last cycle stays visible in
+    viewers, and flush the channel. Idempotent. *)

@@ -149,6 +149,9 @@ let make_worker ?solver_options ?portfolio ?certify ?register ?interrupt spec
   { w_eng = eng; w_conds = conds }
 
 let check_svar ~budget ~retries ~escalation w s sv =
+  Obs.Trace.with_span "alg1.svar"
+    ~attrs:[ ("svar", Obs.Trace.Str (Structural.svar_name sv)) ]
+  @@ fun () ->
   let assumptions =
     snd (Hashtbl.find w.w_conds (Structural.svar_name sv))
     :: Structural.Svar_set.fold
@@ -481,10 +484,23 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
         (match resume with
         | Some ck -> Some ck.Checkpoint.ck_iter
         | None -> None);
+      metrics = Some (Obs.Metrics.snapshot ());
     }
   in
   let record_step ~iter ~s ~s_cex ~pers_hit ~unknown ~seconds ~stats ~winner
       ~losers =
+    (* [record_step] is the single funnel both the sequential and the
+       per-svar paths go through, so the per-iteration span lives here
+       as a manual (non-lexical) span reconstructed from [seconds]. *)
+    (if Obs.Trace.enabled () then
+       let t1 = Unix.gettimeofday () in
+       Obs.Trace.emit_span "alg1.iter" ~t0:(t1 -. seconds) ~t1
+         ~attrs:
+           [
+             ("iter", Obs.Trace.Int iter);
+             ("s_size", Obs.Trace.Int (Structural.Svar_set.cardinal s));
+             ("cex_size", Obs.Trace.Int (Structural.Svar_set.cardinal s_cex));
+           ]);
     steps :=
       {
         Report.st_iter = iter;

@@ -248,10 +248,20 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
           (match resume with
           | Some ck -> Some ck.Checkpoint.ck_iter
           | None -> None);
+        metrics = Some (Obs.Metrics.snapshot ());
       },
       outcome )
   in
   let record ?stats ?winner ?losers ~unknown iter k s_size cex pers dt =
+    (if Obs.Trace.enabled () then
+       let t1 = Unix.gettimeofday () in
+       Obs.Trace.emit_span "alg2.iter" ~t0:(t1 -. dt) ~t1
+         ~attrs:
+           [
+             ("iter", Obs.Trace.Int iter);
+             ("k", Obs.Trace.Int k);
+             ("s_size", Obs.Trace.Int s_size);
+           ]);
     steps :=
       {
         Report.st_iter = iter;
@@ -421,6 +431,13 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
           let check_pairs k pairs =
             Parallel.Pool.map_wid pool
               (fun wid (j, sv) ->
+                Obs.Trace.with_span "alg2.pair"
+                  ~attrs:
+                    [
+                      ("svar", Obs.Trace.Str (Structural.svar_name sv));
+                      ("frame", Obs.Trace.Int j);
+                    ]
+                @@ fun () ->
                 let w = worker k wid in
                 let act = Hashtbl.find w.w_acts (j, Structural.svar_name sv) in
                 ( (j, sv),

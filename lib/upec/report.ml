@@ -34,6 +34,7 @@ type run = {
   cert : cert_info option;
   unknowns : (string * string) list;
   resumed_from : int option;
+  metrics : Obs.Metrics.snapshot option;
 }
 
 let merge_cert a b =
@@ -118,6 +119,11 @@ let pp fmt r =
         | Some false -> "FAILED"
         | None -> "n/a (no counterexample)"));
   Format.fprintf fmt "total: %.2fs@]" r.total_seconds
+
+let pp_metrics fmt r =
+  match r.metrics with
+  | None -> Format.fprintf fmt "(no metrics snapshot recorded)"
+  | Some s -> Obs.Metrics.pp_table fmt s
 
 let pp_stats fmt r =
   Format.fprintf fmt "@[<v>--- solver statistics (%s) ---@," r.procedure;

@@ -54,6 +54,10 @@ type run = {
   resumed_from : int option;
       (** iteration the run was resumed at, when started from a
           checkpoint *)
+  metrics : Obs.Metrics.snapshot option;
+      (** process-wide cumulative {!Obs.Metrics} snapshot taken when
+          the report was assembled; for a [conclude] run (unrolled +
+          induction) the induction-phase snapshot covers both phases *)
 }
 
 val merge_cert : cert_info option -> cert_info option -> cert_info option
@@ -71,6 +75,10 @@ val pp : Format.formatter -> run -> unit
 
 val pp_summary : Format.formatter -> run -> unit
 (** One line: verdict, iterations, time. *)
+
+val pp_metrics : Format.formatter -> run -> unit
+(** The embedded {!Obs.Metrics} snapshot as a human table; a notice
+    when the run recorded none. *)
 
 val pp_stats : Format.formatter -> run -> unit
 (** Per-iteration solver statistics and portfolio winners, plus the

@@ -244,6 +244,43 @@ let test_dimacs_robustness () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "junk literal must be rejected")
 
+let test_dimacs_header_mismatch_counter () =
+  let c = Obs.Metrics.counter "dimacs.header_mismatch" in
+  let before = Obs.Metrics.counter_value c in
+  (* header promises 3 clauses, file has 1 *)
+  let nv, clauses = Dimacs.parse "p cnf 2 3\n1 2 0\n" in
+  Alcotest.(check int) "vars" 2 nv;
+  Alcotest.(check int) "clauses still parsed" 1 (List.length clauses);
+  Alcotest.(check int) "mismatch counted" (before + 1)
+    (Obs.Metrics.counter_value c);
+  (* a consistent header does not bump the counter *)
+  ignore (Dimacs.parse "p cnf 2 1\n1 2 0\n");
+  Alcotest.(check int) "no false positive" (before + 1)
+    (Obs.Metrics.counter_value c)
+
+let test_dimacs_parse_file_fd_cleanup () =
+  (* parse_file must close its channel even when parsing raises;
+     regression for the fd leak on malformed input *)
+  let path = Filename.temp_file "upec" ".cnf" in
+  let oc = open_out path in
+  output_string oc "p cnf 2 1\n1 x 0\n";
+  close_out oc;
+  let count_fds () =
+    if Sys.file_exists "/proc/self/fd" then
+      Array.length (Sys.readdir "/proc/self/fd")
+    else -1
+  in
+  let before = count_fds () in
+  for _ = 1 to 50 do
+    match Dimacs.parse_file path with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "malformed file must be rejected"
+  done;
+  let after = count_fds () in
+  Sys.remove path;
+  if before >= 0 then
+    Alcotest.(check int) "no fd leaked across 50 failing parses" before after
+
 let qcheck_dimacs_roundtrip =
   (* print/parse is the identity on arbitrary well-formed problems *)
   let gen =
@@ -429,6 +466,10 @@ let () =
             test_new_vars_after_solve;
           Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "dimacs robustness" `Quick test_dimacs_robustness;
+          Alcotest.test_case "dimacs header mismatch counter" `Quick
+            test_dimacs_header_mismatch_counter;
+          Alcotest.test_case "dimacs parse_file fd cleanup" `Quick
+            test_dimacs_parse_file_fd_cleanup;
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
         ] );
       ( "budget",

@@ -209,6 +209,110 @@ let test_vcd_hierarchical_names () =
   Alcotest.(check bool) "sanitised replacement present" true
     (contains contents "weird_name___ $end")
 
+let test_trace_error_semantics () =
+  let nl = build_counter () in
+  let eng = Sim.Engine.create nl in
+  let rd = Netlist.find_reg nl "count" in
+  let tr = Sim.Trace.attach eng [ ("count", Expr.reg rd.Netlist.rd_signal) ] in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 2;
+  (* unknown names and out-of-range cycles raise the same exception
+     with an identifying message — no bare Not_found anywhere *)
+  Alcotest.check_raises "get unknown signal"
+    (Invalid_argument "Trace.index_of: unknown signal nope") (fun () ->
+      ignore (Sim.Trace.get tr "nope" 0));
+  Alcotest.check_raises "series unknown signal"
+    (Invalid_argument "Trace.index_of: unknown signal nope") (fun () ->
+      ignore (Sim.Trace.series tr "nope"));
+  Alcotest.check_raises "cycle past the end"
+    (Invalid_argument "Trace.get: cycle out of range") (fun () ->
+      ignore (Sim.Trace.get tr "count" 2));
+  Alcotest.check_raises "negative cycle"
+    (Invalid_argument "Trace.get: cycle out of range") (fun () ->
+      ignore (Sim.Trace.get tr "count" (-1)));
+  (* and the trace keeps recording correctly after the failed lookups *)
+  Sim.Engine.run eng 1;
+  Alcotest.(check int) "value after errors" 3
+    (Bitvec.to_int (Sim.Trace.get tr "count" 2))
+
+let test_trace_accessor_perf () =
+  (* O(1) accessors: random access over a long trace must not rescan
+     the row list. 2000 cycles x 2000 random gets was minutes with the
+     old list representation; generous bound, but quadratic blows it. *)
+  let nl = build_counter () in
+  let eng = Sim.Engine.create nl in
+  let rd = Netlist.find_reg nl "count" in
+  let tr = Sim.Trace.attach eng [ ("count", Expr.reg rd.Netlist.rd_signal) ] in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 2000;
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to 1999 do
+    let cycle = i * 997 mod 2000 in
+    ignore (Sim.Trace.get tr "count" cycle)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "length" 2000 (Sim.Trace.length tr);
+  Alcotest.(check bool)
+    (Printf.sprintf "2000 random gets fast enough (%.3fs)" dt)
+    true (dt < 1.0)
+
+let test_vcd_final_timestep () =
+  let nl = build_counter () in
+  let eng = Sim.Engine.create nl in
+  let rd = Netlist.find_reg nl "count" in
+  let path = Filename.temp_file "upec" ".vcd" in
+  let oc = open_out path in
+  let v = Sim.Vcd.attach eng oc [ ("count", Expr.reg rd.Netlist.rd_signal) ] in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 3;
+  Sim.Vcd.close v;
+  Sim.Vcd.close v (* idempotent *);
+  let size_at_close = (Unix.stat path).Unix.st_size in
+  (* the hook is dead after close: further steps add nothing *)
+  Sim.Engine.run eng 5;
+  flush oc;
+  close_out oc;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let final_size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "last cycle marker" true (contains contents "#3");
+  (* close emits a final timestamp past the last cycle so viewers show
+     the last values for a full cycle *)
+  Alcotest.(check bool) "final timestamp from close" true
+    (contains contents "#4");
+  Alcotest.(check int) "no output after close" size_at_close final_size
+
+let test_vcd_wide_dump_perf () =
+  (* last-value tracking must not be quadratic in signal count: 400
+     signals x 300 cycles was multi-second with the assoc list. *)
+  let nl = build_counter () in
+  let eng = Sim.Engine.create nl in
+  let rd = Netlist.find_reg nl "count" in
+  let sig_ = Expr.reg rd.Netlist.rd_signal in
+  let signals =
+    List.init 400 (fun i -> (Printf.sprintf "sig%d" i, sig_))
+  in
+  let path = Filename.temp_file "upec" ".vcd" in
+  let oc = open_out path in
+  let t0 = Unix.gettimeofday () in
+  let v = Sim.Vcd.attach eng oc signals in
+  Sim.Engine.set_input_int eng "enable" 1;
+  Sim.Engine.run eng 300;
+  Sim.Vcd.close v;
+  let dt = Unix.gettimeofday () -. t0 in
+  close_out oc;
+  Sys.remove path;
+  Alcotest.(check bool)
+    (Printf.sprintf "wide dump fast enough (%.3fs)" dt)
+    true (dt < 5.0)
+
 (* qcheck: simulator counter matches a functional model *)
 let qcheck_counter_model =
   QCheck.Test.make ~count:100 ~name:"counter matches functional model"
@@ -243,7 +347,15 @@ let () =
       ( "trace+vcd",
         [
           Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "trace error semantics" `Quick
+            test_trace_error_semantics;
+          Alcotest.test_case "trace accessor perf" `Quick
+            test_trace_accessor_perf;
           Alcotest.test_case "vcd dump" `Quick test_vcd;
+          Alcotest.test_case "vcd final timestep + close" `Quick
+            test_vcd_final_timestep;
+          Alcotest.test_case "vcd wide dump perf" `Quick
+            test_vcd_wide_dump_perf;
           Alcotest.test_case "vcd hierarchical names" `Quick
             test_vcd_hierarchical_names;
         ] );
