@@ -71,6 +71,22 @@ let e1 ctx =
 
 let print_report ctx r = Format.fprintf ctx.fmt "%a@." Upec.Report.pp r
 
+(* Problem-reduction accounting aggregated across the smoke proofs, for
+   the BENCH_smoke.json artefact. *)
+let smoke_simp : Simp.reduction option ref = ref None
+let smoke_simp_mu = Mutex.create ()
+
+let record_simp r =
+  match r.Upec.Report.simp with
+  | None -> ()
+  | Some red ->
+      Mutex.lock smoke_simp_mu;
+      (smoke_simp :=
+         match !smoke_simp with
+         | None -> Some red
+         | Some a -> Some (Simp.merge_reduction a red));
+      Mutex.unlock smoke_simp_mu
+
 let e2 ctx =
   section ctx "E2 (Sec. 4.1): UPEC-SSC detects the vulnerability";
   paper_note ctx
@@ -78,17 +94,36 @@ let e2 ctx =
      HWPE + memory variant, found with Alg. 2 unrolled to observe the \
      delayed HWPE access; iteration runtimes below one minute";
   Format.fprintf ctx.fmt "--- full S_pers, Alg. 1 (first persistent hit) ---@.";
-  let r1 = Upec.Alg1.run ?jobs:ctx.jobs (spec Upec.Spec.Vulnerable) in
+  let o = { Upec.Options.default with Upec.Options.jobs = ctx.jobs } in
+  let r1 = Upec.Alg1.run_with o (spec Upec.Spec.Vulnerable) in
   print_report ctx r1;
+  record_simp r1;
   Format.fprintf ctx.fmt
     "@.--- HWPE + memory variant: footprint-only retrieval (no timer), DMA \
-     disabled, Alg. 2 ---@.";
+     disabled, Alg. 2 (per-svar) ---@.";
+  (* per-svar (verdicts and reports are identical for every job count):
+     its witness-free pair checks are the ones the problem-reduction
+     pipeline accelerates, recorded in the smoke artefact *)
+  (* portfolio 2 routes the witness-free pair checks through the
+     snapshot path, where the reduced CNF is rebuilt from the live
+     cone — frame-0 equivalence, environment, and the one armed
+     obligation under test; every other pair's comparator cone is
+     dropped. The before -> after sizes land in the smoke artefact. *)
+  let o2 =
+    {
+      o with
+      Upec.Options.jobs =
+        (match ctx.jobs with Some j -> Some j | None -> Some 2);
+      portfolio = 2;
+    }
+  in
   let cfg = { Soc.Config.formal_default with Soc.Config.with_dma = false } in
   let r2, _ =
-    Upec.Alg2.run ?jobs:ctx.jobs
+    Upec.Alg2.run_with o2
       (spec ~cfg ~pers:Upec.Spec.Memory_only Upec.Spec.Vulnerable)
   in
   print_report ctx r2;
+  record_simp r2;
   let max_iter_time =
     List.fold_left
       (fun acc s -> max acc s.Upec.Report.st_seconds)
@@ -851,6 +886,22 @@ let write_smoke_json ~jobs ~total ~overhead_pct results =
     results;
   Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"trace_overhead_percent\": %.2f,\n" overhead_pct;
+  (* CNF problem-reduction accounting (cone-of-influence restriction of
+     witness-free solves): sizes before -> after, aggregated over the
+     smoke proofs. *)
+  (match !smoke_simp with
+  | Some red when red.Simp.red_solves > 0 ->
+      Printf.fprintf oc
+        "  \"simp\": {\n\
+        \    \"reduced_solves\": %d,\n\
+        \    \"full_vars\": %d,\n\
+        \    \"full_clauses\": %d,\n\
+        \    \"reduced_vars\": %d,\n\
+        \    \"reduced_clauses\": %d\n\
+        \  },\n"
+        red.Simp.red_solves red.Simp.red_full_vars red.Simp.red_full_clauses
+        red.Simp.red_vars red.Simp.red_clauses
+  | _ -> ());
   (* Per-phase profile of the smoke run itself, from the metrics
      registry: where the proof time actually went. *)
   let snap = Obs.Metrics.snapshot () in

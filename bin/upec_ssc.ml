@@ -79,9 +79,28 @@ let full_cex_arg =
   let doc = "Print the full counterexample waveform." in
   Arg.(value & flag & info [ "full-cex" ] ~doc)
 
-let incremental_arg =
-  let doc = "Keep one solver session across Alg. 1 iterations." in
-  Arg.(value & flag & info [ "incremental" ] ~doc)
+let no_incremental_arg =
+  let doc =
+    "Escape hatch: give every check a fresh solver session instead of \
+     keeping one warm session across iterations (and, for Alg. 2, across \
+     unrolling depths)."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let no_simp_arg =
+  let doc =
+    "Escape hatch: disable problem reduction (cone-of-influence \
+     restriction of witness-free SAT calls). Verdicts are identical with \
+     and without it."
+  in
+  Arg.(value & flag & info [ "no-simp" ] ~doc)
+
+let json_arg =
+  let doc =
+    "Write the machine-readable report (schema 2: verdict, iteration \
+     table, options echo, reduction statistics) to \\$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
 
 let jobs_arg =
   let doc =
@@ -185,9 +204,9 @@ let budget_of ~conflicts ~props ~seconds =
 
 let check_cmd =
   let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
-      incremental jobs portfolio stats certify cex_vcd conflict_budget
-      prop_budget timeout budget_retries budget_escalation checkpoint_file
-      resume_file trace_file metrics_file =
+      no_incremental no_simp json_file jobs portfolio stats certify cex_vcd
+      conflict_budget prop_budget timeout budget_retries budget_escalation
+      checkpoint_file resume_file trace_file metrics_file =
     (* [exit] is used for status codes below, so scope-based closing
        (Fun.protect) would never run: close the sink from [at_exit],
        which fires on every exit path including the interrupt ones.
@@ -225,21 +244,38 @@ let check_cmd =
       (fun s -> Sys.set_signal s (Sys.Signal_handle on_signal))
       [ Sys.sigint; Sys.sigterm ];
     let should_stop () = Atomic.get stop in
+    let options =
+      {
+        Upec.Options.default with
+        Upec.Options.max_k;
+        incremental = not no_incremental;
+        simp = not no_simp;
+        jobs;
+        portfolio;
+        certify;
+        cex_vcd;
+        budget;
+        budget_retries;
+        budget_escalation;
+        checkpoint_file;
+        should_stop = Some should_stop;
+      }
+    in
     let report =
       try
-        if alg = 2 then
-          Upec.Alg2.conclude ~max_k ?jobs ~portfolio ~certify ?cex_vcd ~budget
-            ~budget_retries ~budget_escalation ?checkpoint_file ?resume
-            ~should_stop spec
-        else
-          Upec.Alg1.run ~incremental ?jobs ~portfolio ~certify ?cex_vcd ~budget
-            ~budget_retries ~budget_escalation ?checkpoint_file ?resume
-            ~should_stop spec
+        if alg = 2 then Upec.Alg2.conclude_with ?resume options spec
+        else Upec.Alg1.run_with ?resume options spec
       with Invalid_argument msg when resume <> None ->
         Format.eprintf "upec_ssc: checkpoint refused: %s@." msg;
         exit 3
     in
     Format.printf "%a@." Upec.Report.pp report;
+    (match json_file with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Upec.Json.to_string (Upec.Report.to_json report));
+        close_out oc
+    | None -> ());
     if stats then begin
       Format.printf "%a@." Upec.Report.pp_stats report;
       Format.printf "%a@." Upec.Report.pp_metrics report
@@ -264,10 +300,11 @@ let check_cmd =
     Term.(
       const run $ variant_arg $ alg_arg $ pers_arg $ depth_arg $ banks_arg
       $ arbiter_arg $ no_dma_arg $ no_hwpe_arg $ max_k_arg $ full_cex_arg
-      $ incremental_arg $ jobs_arg $ portfolio_arg $ stats_flag_arg
-      $ certify_arg $ cex_vcd_arg $ conflict_budget_arg $ prop_budget_arg
-      $ timeout_arg $ budget_retries_arg $ budget_escalation_arg
-      $ checkpoint_arg $ resume_arg $ trace_arg $ metrics_arg)
+      $ no_incremental_arg $ no_simp_arg $ json_arg $ jobs_arg
+      $ portfolio_arg $ stats_flag_arg $ certify_arg $ cex_vcd_arg
+      $ conflict_budget_arg $ prop_budget_arg $ timeout_arg
+      $ budget_retries_arg $ budget_escalation_arg $ checkpoint_arg
+      $ resume_arg $ trace_arg $ metrics_arg)
 
 let invariants_cmd =
   let run variant depth banks arbiter =

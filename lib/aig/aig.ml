@@ -51,6 +51,13 @@ let fresh_var t =
 
 let num_nodes t = t.n
 let num_ands t = t.n_ands
+let complemented l = compl_of l = 1
+let lit_of_node n = 2 * n
+
+let fanins t node =
+  if node < 0 || node >= t.n then invalid_arg "Aig.fanins: unallocated node";
+  let f0 = t.fanin0.(node) in
+  if f0 < 0 then None else Some (f0, t.fanin1.(node))
 
 let mk_and t a b =
   (* Local simplifications. *)

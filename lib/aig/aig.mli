@@ -24,7 +24,24 @@ val num_nodes : t -> int
 
 val num_ands : t -> int
 
-(** {1 Gates} *)
+(** {1 Traversal}
+
+    Read-only structural access, for cone-of-influence analyses and
+    graph rewrites (see {!Simp}). *)
+
+val node_of : lit -> int
+(** Node index of a literal ([l / 2]). *)
+
+val complemented : lit -> bool
+(** Whether the literal carries the complement edge. *)
+
+val lit_of_node : int -> lit
+(** Positive literal of a node. *)
+
+val fanins : t -> int -> (lit * lit) option
+(** [fanins t node] is [Some (a, b)] for an AND node, [None] for the
+    constant node and free variables. Raises [Invalid_argument] for
+    unallocated node indices. *)
 
 val mk_and : t -> lit -> lit -> lit
 val mk_or : t -> lit -> lit -> lit

@@ -13,6 +13,9 @@ type t = {
   configs : S.options list option;
   seq_options : S.options option;  (* for certified sequential re-solves *)
   certify : bool;
+  simp : bool;  (* problem reduction for witness-free solves *)
+  mutable assumed : Aig.lit list;  (* permanent assumptions, reversed *)
+  mutable implications : (Aig.lit * Aig.lit) list;  (* reversed *)
   mutable pre_encoded : int;  (* high-water mark: frames <= this are done *)
   mutable params_encoded : bool;
   mutable last_stats : S.stats;
@@ -21,10 +24,13 @@ type t = {
   mutable cert_tot : Cert.Proof.totals;
   mutable budget : S.budget;  (* applies to every subsequent solve *)
   mutable interrupt : (unit -> bool) option;  (* cooperative cancellation *)
+  mutable red_solves : int;  (* solves answered on a reduced problem *)
+  mutable red_snapshot : (int * int) option;  (* last reduced (vars, clauses) *)
+  mutable red_report : Simp.reduction option;  (* finalised accounting *)
 }
 
 let create ?solver_options ?(portfolio = 1) ?portfolio_configs
-    ?(certify = false) ~two_instance nl =
+    ?(certify = false) ?(simp = true) ~two_instance nl =
   let g = Aig.create () in
   let u = Unroller.create g nl ~two_instance in
   let solver = S.create ?options:solver_options () in
@@ -38,6 +44,9 @@ let create ?solver_options ?(portfolio = 1) ?portfolio_configs
     configs = portfolio_configs;
     seq_options = solver_options;
     certify;
+    simp;
+    assumed = [];
+    implications = [];
     pre_encoded = -1;
     params_encoded = false;
     last_stats = S.zero_stats;
@@ -46,6 +55,9 @@ let create ?solver_options ?(portfolio = 1) ?portfolio_configs
     cert_tot = Cert.Proof.zero_totals;
     budget = S.no_budget;
     interrupt = None;
+    red_solves = 0;
+    red_snapshot = None;
+    red_report = None;
   }
 
 let set_budget t b = t.budget <- b
@@ -55,8 +67,14 @@ let set_interrupt t f = t.interrupt <- f
 let unroller t = t.u
 let graph t = t.g
 let ensure_frames t k = Unroller.ensure_frames t.u k
-let assume t l = Aig.Cnf.assert_lit t.cnf l
-let assume_implication t a b = Aig.Cnf.assert_implies t.cnf a b
+
+let assume t l =
+  t.assumed <- l :: t.assumed;
+  Aig.Cnf.assert_lit t.cnf l
+
+let assume_implication t a b =
+  t.implications <- (a, b) :: t.implications;
+  Aig.Cnf.assert_implies t.cnf a b
 
 (* Pre-encode every extractable variable so model extraction never
    consults a SAT variable allocated after solving. Incremental: the set
@@ -179,11 +197,73 @@ let solve_certified t ~configs ~nvars ~clauses ~assumptions =
   o
 
 let m_checks = Obs.Metrics.counter "ipc.checks"
+let m_reduced = Obs.Metrics.counter "simp.reduced_solves"
+let m_vars_saved = Obs.Metrics.counter "simp.vars_saved"
+let m_clauses_saved = Obs.Metrics.counter "simp.clauses_saved"
 
-let solve_raw_core t extra =
-  pre_encode t;
-  let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
+(* Reduced CNF for a witness-free solve on the snapshot path: rebuild
+   the cone of the tracked permanent constraints plus this solve's
+   assumption literals into a fresh graph ([Simp.Sweep]), Tseitin-encode
+   it into a throwaway solver, and export {e that}. Dropped Tseitin
+   definitions only name otherwise-unconstrained fresh variables, so the
+   reduced CNF is equisatisfiable with the full snapshot; certified
+   solves check their DRUP proof against exactly this reduced CNF. *)
+let reduced_snapshot t extra =
+  Obs.Trace.with_span "simp.snapshot"
+    ~attrs:[ ("assumptions", Obs.Trace.Int (List.length extra)) ]
+  @@ fun () ->
+  (* Per-property cone of influence over the armed obligations: an
+     implication whose activation variable is not assumed by this solve
+     is satisfied by setting that variable false, and — activation
+     variables appearing nowhere else (see {!assume_implication}) —
+     neither it nor its consequent cone can affect the verdict, so both
+     are dropped. Implications whose antecedent is not a free variable
+     are kept unconditionally. *)
+  let droppable a =
+    (not (List.memq a extra))
+    && (not (Aig.is_const a))
+    && (not (Aig.complemented a))
+    && Aig.fanins t.g (Aig.node_of a) = None
+  in
+  let kept = List.filter (fun (a, _) -> not (droppable a)) t.implications in
+  let roots =
+    List.rev_append t.assumed
+      (List.fold_left (fun acc (a, b) -> a :: b :: acc) extra kept)
+  in
+  let sw = Simp.Sweep.rebuild t.g ~roots in
+  let solver = S.create () in
+  let ctx = Aig.Cnf.create (Simp.Sweep.graph sw) solver in
+  List.iter
+    (fun l -> Aig.Cnf.assert_lit ctx (Simp.Sweep.map sw l))
+    (List.rev t.assumed);
+  List.iter
+    (fun (a, b) ->
+      Aig.Cnf.assert_implies ctx (Simp.Sweep.map sw a) (Simp.Sweep.map sw b))
+    (List.rev kept);
+  let assumptions =
+    List.map (fun l -> Aig.Cnf.sat_lit ctx (Simp.Sweep.map sw l)) extra
+  in
+  let nvars, clauses = S.export solver in
+  t.red_snapshot <- Some (nvars, List.length clauses);
+  (nvars, clauses, assumptions)
+
+let solve_raw_core t ~want_cex extra =
+  (* Reduction (simp): a witness-free solve only needs the logic that
+     can reach its constraint cone. Sequentially that means skipping
+     [pre_encode] — the lazy Tseitin encoding then IS the
+     cone-of-influence reduction; on the snapshot path the reduced CNF
+     is rebuilt from the tracked roots. Witness-producing solves always
+     encode the full extraction set, so their CNF — and with it the
+     model and the extracted counterexample — is bit-identical with
+     simp on or off. *)
+  let reduce = t.simp && not want_cex in
+  if not reduce then pre_encode t;
   if (not t.certify) && t.portfolio <= 1 then begin
+    if reduce then begin
+      t.red_solves <- t.red_solves + 1;
+      Obs.Metrics.incr m_reduced
+    end;
+    let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
     let before = S.stats t.solver in
     S.set_terminate t.solver t.interrupt;
     t.last_winner_ <- None;
@@ -205,7 +285,22 @@ let solve_raw_core t extra =
         `Sat (fun l -> sat_value (Aig.Cnf.sat_lit t.cnf l))
   end
   else begin
-    let nvars, clauses = S.export t.solver in
+    let nvars, clauses, assumptions =
+      if reduce then begin
+        t.red_solves <- t.red_solves + 1;
+        Obs.Metrics.incr m_reduced;
+        let nvars, clauses, assumptions = reduced_snapshot t extra in
+        Obs.Metrics.add m_vars_saved (max 0 (S.nvars t.solver - nvars));
+        Obs.Metrics.add m_clauses_saved
+          (max 0 (S.nclauses t.solver - List.length clauses));
+        (nvars, clauses, assumptions)
+      end
+      else begin
+        let assumptions = List.map (Aig.Cnf.sat_lit t.cnf) extra in
+        let nvars, clauses = S.export t.solver in
+        (nvars, clauses, assumptions)
+      end
+    in
     let configs =
       match (t.configs, t.seq_options) with
       | (Some _ as cs), _ -> cs
@@ -229,6 +324,8 @@ let solve_raw_core t extra =
     | Parallel.Portfolio.Unknown reason -> `Unknown reason
     | Parallel.Portfolio.Unsat -> `Unsat
     | Parallel.Portfolio.Sat model ->
+        (* only consulted by witness-producing solves, which never use
+           the reduced snapshot — the model indexes the full CNF *)
         let sat_value lit =
           let v = L.var lit in
           if v < Array.length model then
@@ -238,7 +335,7 @@ let solve_raw_core t extra =
         `Sat (fun l -> sat_value (Aig.Cnf.sat_lit t.cnf l))
   end
 
-let solve_raw t extra =
+let solve_raw t ~want_cex extra =
   Obs.Metrics.incr m_checks;
   Obs.Trace.with_span "ipc.check"
     ~attrs:
@@ -249,28 +346,47 @@ let solve_raw t extra =
              else if t.portfolio > 1 then "portfolio"
              else "incremental") );
         ("assumptions", Obs.Trace.Int (List.length extra));
+        ("reduced", Obs.Trace.Bool (t.simp && not want_cex));
       ]
-    (fun () -> solve_raw_core t extra)
+    (fun () -> solve_raw_core t ~want_cex extra)
+
+(* --- the unified three-valued interface ----------------------------- *)
+
+type query = Goal of Aig.lit | Violation of Aig.lit list
+type verdict = Proved | Refuted of Cex.t option | Unknown of string
+
+let decide ?(cex = true) t q : verdict =
+  let extra =
+    match q with Goal g -> [ Aig.lit_not g ] | Violation ls -> ls
+  in
+  match solve_raw t ~want_cex:cex extra with
+  | `Unsat -> Proved
+  | `Unknown reason -> Unknown reason
+  | `Sat value ->
+      Refuted
+        (if cex then Some (Cex.extract t.u (model_fn_of t value)) else None)
+
+(* --- legacy pairs, now thin views of [decide] ----------------------- *)
 
 type outcome = Holds | Cex of Cex.t
 type 'a bounded = Decided of 'a | Unknown of string
 
-let check_sat_bounded t extra =
-  match solve_raw t extra with
-  | `Unsat -> Decided None
-  | `Sat value -> Decided (Some (Cex.extract t.u (model_fn_of t value)))
-  | `Unknown reason -> Unknown reason
+let check_sat_bounded t extra : Cex.t option bounded =
+  match decide t (Violation extra) with
+  | Proved -> Decided None
+  | Refuted c -> Decided (Some (Option.get c))
+  | Unknown reason -> Unknown reason
 
-let sat_bounded t extra =
-  match solve_raw t extra with
-  | `Unsat -> Decided false
-  | `Sat _ -> Decided true
-  | `Unknown reason -> Unknown reason
+let sat_bounded t extra : bool bounded =
+  match decide ~cex:false t (Violation extra) with
+  | Proved -> Decided false
+  | Refuted _ -> Decided true
+  | Unknown reason -> Unknown reason
 
-let check_bounded t goal =
-  match check_sat_bounded t [ Aig.lit_not goal ] with
-  | Decided None -> Decided Holds
-  | Decided (Some cex) -> Decided (Cex cex)
+let check_bounded t goal : outcome bounded =
+  match decide t (Goal goal) with
+  | Proved -> Decided Holds
+  | Refuted c -> Decided (Cex (Option.get c))
   | Unknown reason -> Unknown reason
 
 (* Legacy unbounded API: an engine without budget or interrupt can never
@@ -291,9 +407,45 @@ let check t goal =
   | Decided o -> o
   | Unknown reason -> raise (Unknown_verdict reason)
 
+(* --- reduction accounting ------------------------------------------- *)
+
+let reduction_stats t =
+  if (not t.simp) || t.red_solves = 0 then None
+  else
+    match t.red_report with
+    | Some _ as r -> r
+    | None ->
+        (* Both sides are measured, never estimated. Reduced: the CNF
+           the reduced solves actually shipped — the last rebuilt
+           snapshot, or (sequentially) the solver's lazily-encoded
+           constraint cone. Full: the same solver after [pre_encode],
+           which is exactly the CNF a simp-off run would have held —
+           lazy Tseitin encodes each node once, so encoding the
+           extraction set now (the run is over) measures it. Cached:
+           the first call finalises the accounting. *)
+        let red_vars, red_clauses =
+          match t.red_snapshot with
+          | Some (v, c) -> (v, c)
+          | None -> (S.nvars t.solver, S.nclauses t.solver)
+        in
+        pre_encode t;
+        let r =
+          Some
+            {
+              Simp.red_solves = t.red_solves;
+              red_full_vars = S.nvars t.solver;
+              red_full_clauses = S.nclauses t.solver;
+              red_vars;
+              red_clauses;
+            }
+        in
+        t.red_report <- r;
+        r
+
 let solve_stats t = S.stats t.solver
 let last_stats t = t.last_stats
 let last_winner t = t.last_winner_
 let last_losers_stats t = t.last_losers_
 let certifying t = t.certify
+let simplifying t = t.simp
 let cert_totals t = t.cert_tot

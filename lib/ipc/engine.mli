@@ -2,9 +2,8 @@
 
     A session owns the AIG, the unroller and one SAT solver. Properties
     are given as AIG literals: assumptions are asserted permanently;
-    each {!check} call temporarily asserts the negation of the proof
-    obligation through an activation literal, so successive checks with
-    different obligations reuse all learnt clauses.
+    each solve temporarily asserts its proof obligation through solver
+    assumptions, so successive solves reuse all learnt clauses.
 
     With [portfolio > 1], every solve exports the current CNF and races
     that many diversified solver configurations in parallel domains (see
@@ -17,7 +16,15 @@
     {!Cert.Model}; a rejected certificate raises
     {!Certification_failed} rather than returning an unvouched verdict.
     Certified solves always take the snapshot path, so the incremental
-    clause reuse of sequential mode is traded for checkability. *)
+    clause reuse of sequential mode is traded for checkability.
+
+    With [simp] (the default), witness-free solves — {!decide} with
+    [~cex:false] — are answered on a {e reduced} problem: only the cone
+    of influence of the permanent constraints and the obligation is
+    encoded ({!Simp}). Witness-producing solves always encode the full
+    extraction set, so counterexamples are bit-identical with [simp] on
+    or off; certified reduced solves have their DRUP proof checked
+    against the reduced CNF they actually solved. *)
 
 type t
 
@@ -29,17 +36,20 @@ exception Certification_failed of string
 exception Unknown_verdict of string
 (** Raised by the unbounded entry points ({!check}, {!check_sat},
     {!sat}) when a solve ends [Unknown] — only possible after
-    {!set_budget} or {!set_interrupt}; budget-aware callers use the
-    [_bounded] variants instead. *)
+    {!set_budget} or {!set_interrupt}; budget-aware callers use
+    {!decide} (or the [_bounded] variants) instead. *)
 
 val create :
   ?solver_options:Satsolver.Solver.options ->
   ?portfolio:int ->
   ?portfolio_configs:Satsolver.Solver.options list ->
   ?certify:bool ->
+  ?simp:bool ->
   two_instance:bool ->
   Rtl.Netlist.t ->
   t
+(** [simp] (default [true]) enables cone-of-influence reduction for
+    witness-free solves; it never changes verdicts or counterexamples. *)
 
 val unroller : t -> Unroller.t
 val graph : t -> Aig.t
@@ -51,12 +61,17 @@ val assume : t -> Aig.lit -> unit
 
 val assume_implication : t -> Aig.lit -> Aig.lit -> unit
 (** Permanently assume [a -> b]; with a fresh activation variable as
-    [a], this arms retractable obligations for incremental checking. *)
+    [a], this arms retractable obligations for incremental checking.
+    When [a] is a free variable it must be a dedicated activation
+    literal occurring nowhere else in the problem: problem reduction
+    drops obligations whose activation variable a given solve does not
+    assume. *)
 
 val pre_encode : t -> unit
 (** Force SAT encodings for every state variable, input and parameter of
-    all materialised frames. Called implicitly before each solve;
-    incremental — frames already encoded are skipped. *)
+    all materialised frames. Called implicitly before each
+    witness-producing solve; incremental — frames already encoded are
+    skipped. *)
 
 val sat_vars : t -> int
 (** Number of SAT variables allocated so far (observability hook for the
@@ -74,29 +89,80 @@ val set_interrupt : t -> (unit -> bool) option -> unit
     solve. When it returns [true] the solve unwinds and reports
     [Unknown "interrupted"]; the engine stays usable. *)
 
+(** {1 Deciding proof obligations} *)
+
+type query =
+  | Goal of Aig.lit  (** do the assumptions imply this literal? *)
+  | Violation of Aig.lit list
+      (** is the conjunction of these literals reachable under the
+          assumptions? *)
+
+type verdict =
+  | Proved  (** the goal holds / the violation is unreachable *)
+  | Refuted of Cex.t option
+      (** a witness exists; carried unless the call said [~cex:false] *)
+  | Unknown of string
+      (** budget ran out or the interrupt fired — a resource fact about
+          this solve, not a property of the instance *)
+
+val decide : ?cex:bool -> t -> query -> verdict
+(** The one entry point every solve goes through. [Goal g] asks whether
+    the assumptions imply [g] ([Proved] iff assumptions ∧ ¬g is UNSAT);
+    [Violation ls] asks whether assumptions ∧ ⋀ls is reachable
+    ([Refuted] iff SAT — the violation exists). With [~cex:false]
+    (default [true]) no counterexample is extracted and the solve may
+    run on the reduced problem; [Refuted None] then only reports
+    existence. *)
+
+(** {1 Legacy entry points}
+
+    Thin views of {!decide}, kept so existing callers compile.
+    @deprecated Use {!decide}: [check t g] is [decide t (Goal g)],
+    [check_sat t ls] is [decide t (Violation ls)], [sat t ls] is
+    [decide ~cex:false t (Violation ls)]; the [_bounded] forms
+    correspond to matching [Unknown] instead of letting it raise. *)
+
 type outcome = Holds | Cex of Cex.t
 
 type 'a bounded = Decided of 'a | Unknown of string
     (** Three-valued solve result: [Unknown reason] when the budget ran
-        out or the interrupt fired before a verdict — a resource fact
-        about this solve, not a property of the instance. *)
+        out or the interrupt fired before a verdict. *)
 
 val check_bounded : t -> Aig.lit -> outcome bounded
+(** @deprecated Use [decide t (Goal goal)]. *)
+
 val check_sat_bounded : t -> Aig.lit list -> Cex.t option bounded
+(** @deprecated Use [decide t (Violation lits)]. *)
+
 val sat_bounded : t -> Aig.lit list -> bool bounded
+(** @deprecated Use [decide ~cex:false t (Violation lits)]. *)
 
 val check : t -> Aig.lit -> outcome
 (** [check t goal] decides whether the assumptions imply [goal]. If
     satisfiable with [¬goal], returns the extracted counterexample over
-    all materialised frames. *)
+    all materialised frames.
+    @deprecated Use [decide t (Goal goal)]. *)
 
 val check_sat : t -> Aig.lit list -> Cex.t option
 (** Low-level: is the conjunction of assumptions and the given literals
-    satisfiable? Returns the witness if so. *)
+    satisfiable? Returns the witness if so.
+    @deprecated Use [decide t (Violation lits)]. *)
 
 val sat : t -> Aig.lit list -> bool
 (** Like {!check_sat} but without counterexample extraction — the cheap
-    form for per-svar condition checks where only the verdict matters. *)
+    form for per-svar condition checks where only the verdict matters.
+    @deprecated Use [decide ~cex:false t (Violation lits)]. *)
+
+(** {1 Statistics} *)
+
+val reduction_stats : t -> Simp.reduction option
+(** Reduction accounting for this engine: how many solves ran on a
+    reduced problem and the CNF size of the unreduced encoding versus
+    what was actually given to the solver. Both sides are measured, not
+    estimated; the first call finalises the accounting (it may encode
+    the remaining extraction set to measure the unreduced size), so call
+    it only once the run is over. [None] when the engine was created
+    with [~simp:false] or no solve was ever reduced. *)
 
 val solve_stats : t -> Satsolver.Solver.stats
 (** Cumulative statistics of the engine's own solver (sequential solves
@@ -116,6 +182,9 @@ val last_losers_stats : t -> Satsolver.Solver.stats
     portfolio race — zero after a sequential solve. *)
 
 val certifying : t -> bool
+
+val simplifying : t -> bool
+(** Whether problem reduction is enabled for witness-free solves. *)
 
 val cert_totals : t -> Cert.Proof.totals
 (** Cumulative certification accounting for this engine: verdicts

@@ -958,6 +958,12 @@ let export t =
   let clauses = if t.ok then clauses else [ [] ] in
   (t.nvars, List.rev_append (List.rev units) clauses)
 
+let nclauses t =
+  (* same view of the problem as [export]: original clauses plus the
+     root-level trail as units, learnt clauses excluded *)
+  if decision_level t > 0 then cancel_until t 0;
+  List.length t.clauses + t.trail_len
+
 let value t l =
   if t.last_result <> RSat then invalid_arg "Solver.value: last result not Sat";
   let v = Lit.var l in

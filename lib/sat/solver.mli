@@ -31,6 +31,11 @@ val new_var : t -> int
 
 val nvars : t -> int
 
+val nclauses : t -> int
+(** Number of problem clauses in the {!export} view: original clauses
+    plus the root-level trail as unit clauses; learnt clauses excluded.
+    Observability hook for the CNF-reduction accounting. *)
+
 val add_clause : t -> Lit.t list -> unit
 (** Add a problem clause. Duplicate literals are removed; tautologies
     are dropped; an empty (or falsified-at-level-0) clause makes the

@@ -1,0 +1,146 @@
+module Coi = struct
+  type stats = {
+    total_nodes : int;
+    total_ands : int;
+    cone_nodes : int;
+    cone_ands : int;
+  }
+
+  (* Iterative DFS: unrolled miters nest thousands of AND levels, so a
+     recursive walk would overflow the stack. *)
+  let reachable g ~roots =
+    let seen = Array.make (Aig.num_nodes g) false in
+    let stack = ref (List.rev_map Aig.node_of roots) in
+    let push n = if not seen.(n) then stack := n :: !stack in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+          stack := rest;
+          if not seen.(n) then begin
+            seen.(n) <- true;
+            match Aig.fanins g n with
+            | None -> ()
+            | Some (a, b) ->
+                push (Aig.node_of a);
+                push (Aig.node_of b)
+          end
+    done;
+    seen
+
+  let stats g ~roots =
+    let seen = reachable g ~roots in
+    let cone_nodes = ref 0 and cone_ands = ref 0 in
+    Array.iteri
+      (fun n in_cone ->
+        if in_cone then begin
+          incr cone_nodes;
+          if Aig.fanins g n <> None then incr cone_ands
+        end)
+      seen;
+    {
+      total_nodes = Aig.num_nodes g;
+      total_ands = Aig.num_ands g;
+      cone_nodes = !cone_nodes;
+      cone_ands = !cone_ands;
+    }
+
+  let pp_stats fmt s =
+    Format.fprintf fmt "cone %d/%d nodes (%d/%d ands)" s.cone_nodes
+      s.total_nodes s.cone_ands s.total_ands
+end
+
+module Sweep = struct
+  type t = {
+    sg : Aig.t;
+    map : (int, Aig.lit) Hashtbl.t;  (* original node -> rebuilt positive lit *)
+  }
+
+  let m_rebuilds = Obs.Metrics.counter "simp.rebuilds"
+  let h_rebuild = Obs.Metrics.histogram "simp.rebuild_seconds"
+
+  let mapped_lit map l =
+    match Hashtbl.find_opt map (Aig.node_of l) with
+    | None -> None
+    | Some p -> Some (if Aig.complemented l then Aig.lit_not p else p)
+
+  let rebuild_core g ~roots =
+    let sg = Aig.create () in
+    let map = Hashtbl.create 4096 in
+    Hashtbl.add map 0 Aig.true_lit;
+    (* Post-order over the cone with an explicit stack: a node is
+       rebuilt once both fanins are; mk_and re-runs strashing and the
+       local constant rules over the kept logic. *)
+    let rec visit stack =
+      match stack with
+      | [] -> ()
+      | n :: rest when Hashtbl.mem map n -> visit rest
+      | n :: rest -> (
+          match Aig.fanins g n with
+          | None ->
+              Hashtbl.add map n (Aig.fresh_var sg);
+              visit rest
+          | Some (a, b) -> (
+              match (mapped_lit map a, mapped_lit map b) with
+              | Some ma, Some mb ->
+                  Hashtbl.add map n (Aig.mk_and sg ma mb);
+                  visit rest
+              | ma, mb ->
+                  let need l = function
+                    | Some _ -> []
+                    | None -> [ Aig.node_of l ]
+                  in
+                  visit (need a ma @ need b mb @ stack)))
+    in
+    visit (List.map Aig.node_of roots);
+    { sg; map }
+
+  let rebuild g ~roots =
+    Obs.Metrics.incr m_rebuilds;
+    Obs.Metrics.time h_rebuild (fun () ->
+        Obs.Trace.with_span "simp.rebuild"
+          ~attrs:
+            [
+              ("full_nodes", Obs.Trace.Int (Aig.num_nodes g));
+              ("roots", Obs.Trace.Int (List.length roots));
+            ]
+          (fun () -> rebuild_core g ~roots))
+
+  let graph t = t.sg
+
+  let map t l =
+    match mapped_lit t.map l with
+    | Some m -> m
+    | None -> invalid_arg "Simp.Sweep.map: literal outside the rebuilt cone"
+end
+
+type reduction = {
+  red_solves : int;
+  red_full_vars : int;
+  red_full_clauses : int;
+  red_vars : int;
+  red_clauses : int;
+}
+
+let zero_reduction =
+  {
+    red_solves = 0;
+    red_full_vars = 0;
+    red_full_clauses = 0;
+    red_vars = 0;
+    red_clauses = 0;
+  }
+
+let merge_reduction a b =
+  {
+    red_solves = a.red_solves + b.red_solves;
+    red_full_vars = max a.red_full_vars b.red_full_vars;
+    red_full_clauses = max a.red_full_clauses b.red_full_clauses;
+    red_vars = max a.red_vars b.red_vars;
+    red_clauses = max a.red_clauses b.red_clauses;
+  }
+
+let pp_reduction fmt r =
+  Format.fprintf fmt
+    "%d reduced solve(s); vars %d -> %d, clauses %d -> %d" r.red_solves
+    r.red_full_vars r.red_vars r.red_full_clauses r.red_clauses

@@ -1,0 +1,76 @@
+(** Problem reduction over And-Inverter Graphs.
+
+    A proof engine's AIG holds the {e whole} two-instance miter —
+    every state variable, input and parameter of every materialised
+    frame — while any single proof obligation only constrains the
+    logic that can reach its root literals. This module computes that
+    cone of influence and rebuilds it into a fresh, compact graph:
+
+    - {b cone of influence} ({!Coi}): the transitive fan-in of a set
+      of root literals, with size accounting against the full graph;
+    - {b sweeping rebuild} ({!Sweep}): re-derives the cone bottom-up
+      through {!Aig.mk_and}, so structural hashing and the local
+      constant-propagation rules (absorption of constants, [x & x],
+      [x & ¬x]) run again over exactly the kept logic, and node
+      numbering becomes dense — the Tseitin encoding of the rebuilt
+      graph is the reduced CNF.
+
+    Reductions are verdict-preserving by construction: the rebuilt
+    cone is structurally equivalent to the original cone, and Tseitin
+    definitions of nodes {e outside} the constrained cone are
+    satisfiable extensions (each dropped definition only names a fresh
+    variable), so adding or removing them never flips SAT/UNSAT.
+    See METHOD.md, "The reduction pipeline". *)
+
+module Coi : sig
+  type stats = {
+    total_nodes : int;  (** nodes in the full graph (constant included) *)
+    total_ands : int;
+    cone_nodes : int;  (** nodes reachable from the roots *)
+    cone_ands : int;
+  }
+
+  val reachable : Aig.t -> roots:Aig.lit list -> bool array
+  (** Per-node membership in the transitive fan-in of [roots]
+      (index = node; length = {!Aig.num_nodes}). *)
+
+  val stats : Aig.t -> roots:Aig.lit list -> stats
+
+  val pp_stats : Format.formatter -> stats -> unit
+end
+
+module Sweep : sig
+  type t
+  (** A rebuilt cone: a fresh graph plus the literal map into it. *)
+
+  val rebuild : Aig.t -> roots:Aig.lit list -> t
+  (** Rebuild the cone of [roots] into a fresh graph. Emits a
+      [simp.rebuild] span and bumps the [simp.rebuilds] counter. *)
+
+  val graph : t -> Aig.t
+
+  val map : t -> Aig.lit -> Aig.lit
+  (** Image of an original literal in the rebuilt graph. Raises
+      [Invalid_argument] for literals outside the rebuilt cone. *)
+end
+
+(** {1 Reduction accounting}
+
+    What an engine actually solved versus what the unreduced encoding
+    would have been; surfaced in reports and the smoke bench. *)
+
+type reduction = {
+  red_solves : int;  (** solves answered on a reduced problem *)
+  red_full_vars : int;  (** CNF vars of the unreduced encoding *)
+  red_full_clauses : int;
+  red_vars : int;  (** CNF vars actually given to the solver *)
+  red_clauses : int;
+}
+
+val zero_reduction : reduction
+
+val merge_reduction : reduction -> reduction -> reduction
+(** Solve counts add; sizes take the componentwise maximum (the
+    representative largest problem across engines). *)
+
+val pp_reduction : Format.formatter -> reduction -> unit

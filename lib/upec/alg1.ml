@@ -4,17 +4,20 @@ module S = Satsolver.Solver
 
 (* Shared two-instance session setup for the 2-cycle property.
    [register] lets the caller keep a handle on every engine a run
-   creates (certification totals are summed over all of them);
-   [interrupt] is the cooperative cancellation hook installed into the
-   engine, polled from inside every solve. *)
-let setup_engine ?solver_options ?portfolio ?(certify = false)
-    ?(register = fun (_ : Ipc.Engine.t) -> ()) ?interrupt spec =
+   creates (certification and reduction totals are summed over all of
+   them); the cooperative cancellation hook comes from
+   [o.should_stop], polled from inside every solve. [portfolio] is
+   explicit rather than read from [o] because counterexample
+   re-derivation always runs sequentially. *)
+let setup_engine (o : Options.t) ~portfolio
+    ?(register = fun (_ : Ipc.Engine.t) -> ()) spec =
   let eng =
-    Ipc.Engine.create ?solver_options ?portfolio ~certify ~two_instance:true
+    Ipc.Engine.create ?solver_options:o.Options.solver_options ~portfolio
+      ~certify:o.Options.certify ~simp:o.Options.simp ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
   register eng;
-  Ipc.Engine.set_interrupt eng interrupt;
+  Ipc.Engine.set_interrupt eng o.Options.should_stop;
   Ipc.Engine.ensure_frames eng 1;
   Macros.assume_env eng spec ~frames:1;
   for f = 0 to 1 do
@@ -23,34 +26,33 @@ let setup_engine ?solver_options ?portfolio ?(certify = false)
   done;
   eng
 
-(* Escalating-budget retry around one bounded engine call: attempt 0
-   runs under [budget]; every budget-exhausted Unknown is retried with
-   the limits scaled by [escalation], at most [retries] extra times.
-   An interrupt is a control transfer, not exhaustion — never retried. *)
-let with_retries ~budget ~retries ~escalation eng solve =
+(* Escalating-budget retry around one engine decision: attempt 0 runs
+   under [o.budget]; every budget-exhausted Unknown is retried with the
+   limits scaled by [o.budget_escalation], at most [o.budget_retries]
+   extra times. An interrupt is a control transfer, not exhaustion —
+   never retried. *)
+let with_retries (o : Options.t) eng (solve : unit -> Ipc.Engine.verdict) =
   let rec attempt n b =
     Ipc.Engine.set_budget eng b;
     match solve () with
-    | Ipc.Engine.Unknown reason when reason <> "interrupted" && n < retries ->
-        attempt (n + 1) (S.scale_budget b escalation)
+    | Ipc.Engine.Unknown reason
+      when reason <> "interrupted" && n < o.Options.budget_retries ->
+        attempt (n + 1) (S.scale_budget b o.Options.budget_escalation)
     | r -> r
   in
-  attempt 0 budget
+  attempt 0 o.Options.budget
 
-let check_once ?solver_options ?portfolio ?certify ?register ?interrupt
-    ~budget ~retries ~escalation spec s =
-  let eng =
-    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt spec
-  in
+let check_once (o : Options.t) ?register spec s =
+  let eng = setup_engine o ~portfolio:o.Options.portfolio ?register spec in
   Macros.state_equivalence_assume eng spec ~frame:0 s;
   let goal = Macros.state_equivalence_goal eng spec ~frame:1 s in
   let r =
     match
-      with_retries ~budget ~retries ~escalation eng (fun () ->
-          Ipc.Engine.check_bounded eng goal)
+      with_retries o eng (fun () -> Ipc.Engine.decide eng (Ipc.Engine.Goal goal))
     with
-    | Ipc.Engine.Decided Ipc.Engine.Holds -> `Holds
-    | Ipc.Engine.Decided (Ipc.Engine.Cex cex) ->
+    | Ipc.Engine.Proved -> `Holds
+    | Ipc.Engine.Refuted c ->
+        let cex = Option.get c in
         `Cex (cex, Macros.violations eng spec cex ~frame:1 s)
     | Ipc.Engine.Unknown reason -> `Unknown reason
   in
@@ -63,11 +65,8 @@ let check_once ?solver_options ?portfolio ?certify ?register ?interrupt
    State_Equivalence(S) assumption travels through solver assumptions
    and each iteration's obligation is armed by an activation literal,
    so learnt clauses survive across iterations. *)
-let make_incremental_checker ?solver_options ?portfolio ?certify ?register
-    ?interrupt ~budget ~retries ~escalation spec s0 =
-  let eng =
-    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt spec
-  in
+let make_incremental_checker (o : Options.t) ?register spec s0 =
+  let eng = setup_engine o ~portfolio:o.Options.portfolio ?register spec in
   let g = Ipc.Engine.graph eng in
   (* per-svar condition literals at both cycles, computed once *)
   let conds = Hashtbl.create 256 in
@@ -94,11 +93,12 @@ let make_incremental_checker ?solver_options ?portfolio ?certify ?register
     in
     let r =
       match
-        with_retries ~budget ~retries ~escalation eng (fun () ->
-            Ipc.Engine.check_sat_bounded eng assumptions)
+        with_retries o eng (fun () ->
+            Ipc.Engine.decide eng (Ipc.Engine.Violation assumptions))
       with
-      | Ipc.Engine.Decided None -> `Holds
-      | Ipc.Engine.Decided (Some cex) ->
+      | Ipc.Engine.Proved -> `Holds
+      | Ipc.Engine.Refuted c ->
+          let cex = Option.get c in
           `Cex (cex, Macros.violations eng spec cex ~frame:1 s)
       | Ipc.Engine.Unknown reason -> `Unknown reason
     in
@@ -131,11 +131,8 @@ type worker_state = {
       (* svar name -> (eq@0 assumption, activation literal arming diff@1) *)
 }
 
-let make_worker ?solver_options ?portfolio ?certify ?register ?interrupt spec
-    s0 =
-  let eng =
-    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt spec
-  in
+let make_worker (o : Options.t) ?register spec s0 =
+  let eng = setup_engine o ~portfolio:o.Options.portfolio ?register spec in
   let g = Ipc.Engine.graph eng in
   let conds = Hashtbl.create 256 in
   Structural.Svar_set.iter
@@ -148,7 +145,7 @@ let make_worker ?solver_options ?portfolio ?certify ?register ?interrupt spec
     s0;
   { w_eng = eng; w_conds = conds }
 
-let check_svar ~budget ~retries ~escalation w s sv =
+let check_svar (o : Options.t) w s sv =
   Obs.Trace.with_span "alg1.svar"
     ~attrs:[ ("svar", Obs.Trace.Str (Structural.svar_name sv)) ]
   @@ fun () ->
@@ -159,8 +156,9 @@ let check_svar ~budget ~retries ~escalation w s sv =
            fst (Hashtbl.find w.w_conds (Structural.svar_name sv')) :: acc)
          s []
   in
-  ( with_retries ~budget ~retries ~escalation w.w_eng (fun () ->
-        Ipc.Engine.sat_bounded w.w_eng assumptions),
+  ( with_retries o w.w_eng (fun () ->
+        Ipc.Engine.decide ~cex:false w.w_eng
+          (Ipc.Engine.Violation assumptions)),
     Ipc.Engine.last_stats w.w_eng,
     Ipc.Engine.last_winner w.w_eng,
     Ipc.Engine.last_losers_stats w.w_eng )
@@ -170,18 +168,18 @@ let check_svar ~budget ~retries ~escalation w s sv =
    not reproducible. Re-derive the witness on a fresh sequential engine
    for one fixed svar, without a budget — only an interrupt can stop it,
    surfacing as a missing witness. *)
-let extract_cex ?solver_options ?certify ?register ?interrupt spec s sv =
-  let eng = setup_engine ?solver_options ?certify ?register ?interrupt spec in
+let extract_cex (o : Options.t) ?register spec s sv =
+  let eng = setup_engine o ~portfolio:1 ?register spec in
   Macros.state_equivalence_assume eng spec ~frame:0 s;
   match
-    Ipc.Engine.check_sat_bounded eng
-      [ Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) ]
+    Ipc.Engine.decide eng
+      (Ipc.Engine.Violation
+         [ Aig.lit_not (Macros.sv_condition eng spec ~frame:1 sv) ])
   with
-  | Ipc.Engine.Decided r -> r
-  | Ipc.Engine.Unknown _ -> None
+  | Ipc.Engine.Refuted c -> c
+  | Ipc.Engine.Proved | Ipc.Engine.Unknown _ -> None
 
-let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
-    ~budget ~retries ~escalation ~max_iterations ~start_iter ~initial_unknown
+let run_per_svar (o : Options.t) ~jobs ~register ~start_iter ~initial_unknown
     ~stopped ~note_unknowns ~post_iter spec s0 finish record_step validate_cex =
   Parallel.Pool.with_pool ~jobs (fun pool ->
       let engines = Array.make (Parallel.Pool.jobs pool) None in
@@ -189,10 +187,7 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
         match engines.(wid) with
         | Some w -> w
         | None ->
-            let w =
-              make_worker ?solver_options ?portfolio ?certify ?register
-                ?interrupt spec s0
-            in
+            let w = make_worker o ~register spec s0 in
             engines.(wid) <- Some w;
             w
       in
@@ -200,7 +195,7 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
         Parallel.Pool.map_wid pool
           (fun wid sv ->
             let verdict, stats, winner, losers =
-              check_svar ~budget ~retries ~escalation (worker wid) s sv
+              check_svar o (worker wid) s sv
             in
             (sv, verdict, stats, winner, losers))
           svs
@@ -217,8 +212,9 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
       let sat_set results =
         List.fold_left
           (fun acc (sv, v, _, _, _) ->
-            if v = Ipc.Engine.Decided true then Structural.Svar_set.add sv acc
-            else acc)
+            match v with
+            | Ipc.Engine.Refuted _ -> Structural.Svar_set.add sv acc
+            | _ -> acc)
           Structural.Svar_set.empty results
       in
       (* budget-degraded svars of a batch; interrupts are excluded — an
@@ -226,7 +222,7 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
          degradation (that would make resume schedule-dependent) *)
       let unknown_list results =
         List.filter_map
-          (fun (sv, v, _, _, _) ->
+          (fun (sv, (v : Ipc.Engine.verdict), _, _, _) ->
             match v with
             | Ipc.Engine.Unknown reason when reason <> "interrupted" ->
                 Some (sv, reason)
@@ -243,7 +239,7 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
          Secure claim to Inconclusive at [finish]. *)
       let undecided = ref initial_unknown in
       let rec loop iter s =
-        if iter > max_iterations then
+        if iter > o.Options.max_iterations then
           finish (Report.Inconclusive "iteration budget exhausted")
         else begin
           let it0 = Unix.gettimeofday () in
@@ -271,10 +267,7 @@ let run_per_svar ~jobs ?solver_options ?portfolio ?certify ?register ?interrupt
                 ~seconds:(Unix.gettimeofday () -. it0)
                 ~stats:(Some stats) ~winner ~losers:(Some losers);
               let witness = Structural.Svar_set.min_elt pers_hit in
-              match
-                extract_cex ?solver_options ?certify ?register ?interrupt spec
-                  s witness
-              with
+              match extract_cex o ~register spec s witness with
               | Some cex ->
                   if
                     validate_cex ~claimed:(Structural.Svar_set.singleton witness)
@@ -354,10 +347,7 @@ let variant_tag = function
   | Spec.Vulnerable -> "vulnerable"
   | Spec.Secure -> "secure"
 
-let run ?initial_s ?(max_iterations = 64) ?solver_options
-    ?(incremental = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd
-    ?(budget = S.no_budget) ?(budget_retries = 2) ?(budget_escalation = 4.0)
-    ?checkpoint_file ?resume ?should_stop spec =
+let run_with ?initial_s ?resume (o : Options.t) spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let config_hash = lazy (Checkpoint.config_hash ~alg:Checkpoint.Alg1 spec) in
@@ -389,9 +379,11 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
         ( ck.Checkpoint.ck_iter,
           resolve_names tbl ck.Checkpoint.ck_frames.(0) ~what:"Alg1.run" )
   in
-  let stopped () = match should_stop with Some f -> f () | None -> false in
+  let stopped () =
+    match o.Options.should_stop with Some f -> f () | None -> false
+  in
   let post_iter ~next_iter ~s =
-    match checkpoint_file with
+    match o.Options.checkpoint_file with
     | None -> ()
     | Some path ->
         Checkpoint.save path
@@ -410,10 +402,10 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
   in
   let steps = ref [] in
   let procedure =
-    match jobs with
+    match o.Options.jobs with
     | Some _ -> "UPEC-SSC (Alg. 1, per-svar)"
     | None ->
-        if incremental then "UPEC-SSC (Alg. 1, incremental)"
+        if o.Options.incremental then "UPEC-SSC (Alg. 1, incremental)"
         else "UPEC-SSC (Alg. 1)"
   in
   (* engine registry: workers create engines inside pool domains, so the
@@ -427,15 +419,18 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
   in
   let cex_validated = ref None in
   let validate_cex ~claimed cex =
-    if certify then begin
-      let v = Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex in
+    if o.Options.certify then begin
+      let v =
+        Certval.validate ?vcd_prefix:o.Options.cex_vcd ~claimed nl cex
+      in
       cex_validated := Some v.Certval.v_ok;
       v.Certval.v_ok
     end
     else begin
-      (match cex_vcd with
+      (match o.Options.cex_vcd with
       | Some _ ->
-          ignore (Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex)
+          ignore
+            (Certval.validate ?vcd_prefix:o.Options.cex_vcd ~claimed nl cex)
       | None -> ());
       true
     end
@@ -468,7 +463,7 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
       state_bits = Netlist.state_bits nl;
       svar_count = Structural.Svar_set.cardinal (Structural.all_svars nl);
       cert =
-        (if certify then
+        (if o.Options.certify then
            Some
              {
                Report.ct_totals =
@@ -485,6 +480,17 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
         | Some ck -> Some ck.Checkpoint.ck_iter
         | None -> None);
       metrics = Some (Obs.Metrics.snapshot ());
+      options = Some o;
+      simp =
+        List.fold_left
+          (fun acc e ->
+            match Ipc.Engine.reduction_stats e with
+            | None -> acc
+            | Some r -> (
+                match acc with
+                | None -> Some r
+                | Some a -> Some (Simp.merge_reduction a r)))
+          None !engines;
     }
   in
   let record_step ~iter ~s ~s_cex ~pers_hit ~unknown ~seconds ~stats ~winner
@@ -516,7 +522,7 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
       }
       :: !steps
   in
-  match jobs with
+  match o.Options.jobs with
   | Some j ->
       let initial_unknown =
         match resume with
@@ -526,24 +532,17 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
               (List.map fst ck.Checkpoint.ck_unknown)
               ~what:"Alg1.run"
       in
-      run_per_svar ~jobs:(max 1 j) ?solver_options ?portfolio ~certify
-        ~register ?interrupt:should_stop ~budget ~retries:budget_retries
-        ~escalation:budget_escalation ~max_iterations ~start_iter
-        ~initial_unknown ~stopped ~note_unknowns ~post_iter spec s0 finish
-        record_step validate_cex
+      run_per_svar o ~jobs:(max 1 j) ~register ~start_iter ~initial_unknown
+        ~stopped ~note_unknowns ~post_iter spec s0 finish record_step
+        validate_cex
   | None ->
       let checker =
-        if incremental then
-          make_incremental_checker ?solver_options ?portfolio ~certify
-            ~register ?interrupt:should_stop ~budget ~retries:budget_retries
-            ~escalation:budget_escalation spec s0
-        else
-          check_once ?solver_options ?portfolio ~certify ~register
-            ?interrupt:should_stop ~budget ~retries:budget_retries
-            ~escalation:budget_escalation spec
+        if o.Options.incremental then
+          make_incremental_checker o ~register spec s0
+        else check_once o ~register spec
       in
       let rec loop iter s =
-        if iter > max_iterations then
+        if iter > o.Options.max_iterations then
           finish (Report.Inconclusive "iteration budget exhausted")
         else begin
           let it0 = Unix.gettimeofday () in
@@ -593,3 +592,25 @@ let run ?initial_s ?(max_iterations = 64) ?solver_options
         end
       in
       loop start_iter s0
+
+let run ?initial_s ?(max_iterations = 64) ?solver_options
+    ?(incremental = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd
+    ?(budget = S.no_budget) ?(budget_retries = 2) ?(budget_escalation = 4.0)
+    ?checkpoint_file ?resume ?should_stop spec =
+  run_with ?initial_s ?resume
+    {
+      Options.default with
+      Options.max_iterations;
+      solver_options;
+      incremental;
+      jobs;
+      portfolio = (match portfolio with Some p -> p | None -> 1);
+      certify;
+      cex_vcd;
+      budget;
+      budget_retries;
+      budget_escalation;
+      checkpoint_file;
+      should_stop;
+    }
+    spec

@@ -13,6 +13,43 @@ open Rtl
     attacker-visible persistent state (the induction base being the
     cycle before the victim's first transaction). *)
 
+val run_with :
+  ?initial_s:Structural.Svar_set.t ->
+  ?resume:Checkpoint.t ->
+  Options.t ->
+  Spec.t ->
+  Report.run
+(** The primary entry point; every knob lives in {!Options.t}
+    (strategy, problem reduction, certification, budgets, checkpoints
+    — see there). [initial_s] overrides the starting set (used by
+    {!Alg2.conclude_with} for the final induction); [resume] restarts
+    from a checkpoint, verifying its config hash ([Invalid_argument]
+    on mismatch) — the final verdict is identical to an uninterrupted
+    run's. [Options.max_k] and [Options.reset_start] are Alg2-only and
+    ignored here.
+
+    {b Strategy selection.} [Options.jobs = Some j] decides every
+    state variable of S independently on a pool of [j] workers
+    (verdicts are semantic facts, so the refinement trace and verdict
+    are identical for every job count); [None] runs one monolithic
+    check per iteration, reusing a single warm solver session across
+    iterations when [Options.incremental] is set.
+
+    {b Resource governance.} Every SAT call runs under
+    [Options.budget] with escalating retries; a svar still undecided
+    after the last retry is degraded — kept in the equivalence
+    assumption, no longer checked, recorded in [Report.unknowns] —
+    and any degraded svar turns a would-be Secure verdict into
+    [Inconclusive]. A Vulnerable verdict rests on a concrete validated
+    witness and stands. The run never hangs, crashes or aborts on
+    exhaustion.
+
+    {b Interrupts.} [Options.should_stop] is polled from inside every
+    solve; when it fires, in-flight solves unwind cooperatively, the
+    partially-completed iteration is discarded (the checkpoint keeps
+    the last {e completed} iteration) and the run returns
+    [Inconclusive "interrupted"]. *)
+
 val run :
   ?initial_s:Structural.Svar_set.t ->
   ?max_iterations:int ->
@@ -30,56 +67,7 @@ val run :
   ?should_stop:(unit -> bool) ->
   Spec.t ->
   Report.run
-(** [incremental] (default [false], matching the paper's per-iteration
-    tool runs) keeps a single solver session across iterations: the
-    State_Equivalence(S) assumption is passed as solver assumptions and
-    each iteration's obligation is armed by an activation literal, so
-    learnt clauses are reused as S shrinks. Verdicts are identical
-    either way; the bench harness compares the runtimes.
-
-    [jobs] selects the per-svar strategy: every iteration decides
-    independently, for each state variable in S, whether it can differ
-    at cycle 1 — those checks run on a pool of [jobs] workers, each
-    with its own engine (AIG and solver state are not shareable between
-    domains). Per-svar verdicts are semantic, so the refinement trace,
-    the final S and the verdict are identical for every [jobs] value;
-    [jobs = 1] runs the same strategy sequentially. Omitting [jobs]
-    keeps the monolithic single-check iteration.
-
-    [portfolio] (default 1) races that many diversified solver
-    configurations inside every SAT call (orthogonal to [jobs]).
-
-    [certify] (default [false]) makes every verdict self-checking:
-    UNSAT solver results are revalidated by the independent RUP checker
-    ({!Cert.Rup}), SAT models by clause evaluation, and a vulnerable
-    verdict's counterexample is replayed through the standalone
-    simulator ({!Certval.validate}) — a rejected replay downgrades the
-    verdict to [Inconclusive]. Accounting lands in [Report.cert].
-    [cex_vcd] (implies waveform dumping even without [certify]) writes
-    paired [<prefix>.A.vcd] / [<prefix>.B.vcd] traces of the validated
-    counterexample.
-
-    {b Resource governance.} [budget] (default unlimited) bounds every
-    SAT call; a call that exhausts it is retried up to [budget_retries]
-    (default 2) more times with the limits scaled by [budget_escalation]
-    (default 4.0) each attempt. In the per-svar strategy a svar still
-    undecided after the last retry is degraded: it stays in S — and
-    with it in the cycle-0 equality assumption, so no spurious
-    divergence can be manufactured by weakened assumptions — but is no
-    longer checked, and is recorded in [Report.unknowns]. Any degraded
-    svar turns a would-be Secure verdict into [Inconclusive] (the fixed
-    point assumed its equality without proving it); a Vulnerable
-    verdict rests on a concrete validated witness and stands. In the
-    monolithic strategies an exhausted check ends the run
-    [Inconclusive] since exhaustion cannot be attributed to one svar.
-    The run never hangs, crashes or aborts on exhaustion.
-
-    {b Checkpoint/resume.} [checkpoint_file] persists the iteration
-    frontier after every completed iteration (atomically — see
-    {!Checkpoint}). [resume] restarts from such a state: the config
-    hash is verified ([Invalid_argument] on mismatch) and the final
-    verdict is identical to an uninterrupted run's. [should_stop] is
-    polled from inside every solve; when it fires, in-flight solves
-    unwind cooperatively, the partially-completed iteration is
-    discarded (the checkpoint keeps the last {e completed} iteration)
-    and the run returns [Inconclusive "interrupted"]. *)
+(** Legacy optional-argument surface with its historical defaults
+    ([max_iterations] 64, [incremental] false); forwards to
+    {!run_with}. Problem reduction is on — it never changes verdicts.
+    @deprecated Use {!run_with} with an {!Options.t} record. *)

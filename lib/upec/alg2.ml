@@ -7,17 +7,20 @@ type outcome =
   | Found_vulnerable
   | Gave_up
 
-(* Shared session setup for the Fig. 4 unrolled property at depth k. *)
-let setup_engine ?solver_options ?portfolio ?(certify = false)
-    ?(register = fun (_ : Ipc.Engine.t) -> ()) ?interrupt ~reset_start spec k =
+(* Shared session setup for the Fig. 4 unrolled property at depth k.
+   [portfolio] is explicit rather than read from [o] because
+   counterexample re-derivation always runs sequentially. *)
+let setup_engine (o : Options.t) ~portfolio
+    ?(register = fun (_ : Ipc.Engine.t) -> ()) spec k =
   let eng =
-    Ipc.Engine.create ?solver_options ?portfolio ~certify ~two_instance:true
+    Ipc.Engine.create ?solver_options:o.Options.solver_options ~portfolio
+      ~certify:o.Options.certify ~simp:o.Options.simp ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
   register eng;
-  Ipc.Engine.set_interrupt eng interrupt;
+  Ipc.Engine.set_interrupt eng o.Options.should_stop;
   Ipc.Engine.ensure_frames eng k;
-  if reset_start then Macros.assume_reset_state eng spec;
+  if o.Options.reset_start then Macros.assume_reset_state eng spec;
   Macros.assume_env eng spec ~frames:k;
   for f = 0 to k do
     Macros.primary_input_constraints eng spec ~frame:f;
@@ -29,24 +32,23 @@ let setup_engine ?solver_options ?portfolio ?(certify = false)
   eng
 
 (* Escalating-budget retry; see Alg1. Interrupts are never retried. *)
-let with_retries ~budget ~retries ~escalation eng solve =
+let with_retries (o : Options.t) eng (solve : unit -> Ipc.Engine.verdict) =
   let rec attempt n b =
     Ipc.Engine.set_budget eng b;
     match solve () with
-    | Ipc.Engine.Unknown reason when reason <> "interrupted" && n < retries ->
-        attempt (n + 1) (S.scale_budget b escalation)
+    | Ipc.Engine.Unknown reason
+      when reason <> "interrupted" && n < o.Options.budget_retries ->
+        attempt (n + 1) (S.scale_budget b o.Options.budget_escalation)
     | r -> r
   in
-  attempt 0 budget
+  attempt 0 o.Options.budget
 
-let check_once ?solver_options ?portfolio ?certify ?register ?interrupt
-    ?(reset_start = false) ~budget ~retries ~escalation spec s_frames k =
-  (* s_frames: array of length k+1 with the per-cycle sets *)
-  let eng =
-    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt
-      ~reset_start spec k
-  in
-  Macros.state_equivalence_assume eng spec ~frame:0 s_frames.(0);
+(* Decide the depth-k unrolled property on one engine whose frames
+   0..k are fully constrained, and classify the result. The goal — the
+   conjunction of the per-cycle equivalence obligations — rides on
+   solver assumptions through {!Ipc.Engine.decide}, never asserted, so
+   a warm engine can be re-asked with shrunken sets. *)
+let decide_unrolled (o : Options.t) eng spec s_frames k =
   let g = Ipc.Engine.graph eng in
   let goal = ref Aig.true_lit in
   for j = 1 to k do
@@ -56,11 +58,12 @@ let check_once ?solver_options ?portfolio ?certify ?register ?interrupt
   done;
   let r =
     match
-      with_retries ~budget ~retries ~escalation eng (fun () ->
-          Ipc.Engine.check_bounded eng !goal)
+      with_retries o eng (fun () ->
+          Ipc.Engine.decide eng (Ipc.Engine.Goal !goal))
     with
-    | Ipc.Engine.Decided Ipc.Engine.Holds -> `Holds
-    | Ipc.Engine.Decided (Ipc.Engine.Cex cex) ->
+    | Ipc.Engine.Proved -> `Holds
+    | Ipc.Engine.Refuted c ->
+        let cex = Option.get c in
         let per_frame =
           List.init k (fun j ->
               let j = j + 1 in
@@ -73,6 +76,40 @@ let check_once ?solver_options ?portfolio ?certify ?register ?interrupt
     Ipc.Engine.last_stats eng,
     Ipc.Engine.last_winner eng,
     Ipc.Engine.last_losers_stats eng )
+
+let check_once (o : Options.t) ?register spec s_frames k =
+  (* s_frames: array of length k+1 with the per-cycle sets *)
+  let eng = setup_engine o ~portfolio:o.Options.portfolio ?register spec k in
+  Macros.state_equivalence_assume eng spec ~frame:0 s_frames.(0);
+  decide_unrolled o eng spec s_frames k
+
+(* Incremental monolithic session: one engine across iterations AND
+   unroll-depth growth. Frame-0 equivalence is asserted once (sound —
+   the cycle-0 set never shrinks); when k grows, only the new frame's
+   environment and input constraints are appended. Learnt clauses and
+   branching heuristics stay warm across the whole refinement. *)
+type session = { i_eng : Ipc.Engine.t; mutable i_frames : int }
+
+let extend_frame eng spec f =
+  Macros.assume_env_at eng spec ~frame:f;
+  Macros.primary_input_constraints eng spec ~frame:f;
+  if f <= 1 then Macros.victim_task_executing eng spec ~frame:f
+  else Macros.victim_port_equal eng spec ~frame:f
+
+let make_session (o : Options.t) ~register spec s0 =
+  let eng = setup_engine o ~portfolio:o.Options.portfolio ~register spec 1 in
+  Macros.state_equivalence_assume eng spec ~frame:0 s0;
+  { i_eng = eng; i_frames = 1 }
+
+let check_incr (o : Options.t) sess spec s_frames k =
+  if k > sess.i_frames then begin
+    Ipc.Engine.ensure_frames sess.i_eng k;
+    for f = sess.i_frames + 1 to k do
+      extend_frame sess.i_eng spec f
+    done;
+    sess.i_frames <- k
+  end;
+  decide_unrolled o sess.i_eng spec s_frames k
 
 (* Per-(frame, svar) decomposition for the parallel strategy. The
    unrolled property assumes equivalence only at cycle 0 — and sf.(0)
@@ -87,12 +124,8 @@ type worker_state = {
   w_acts : (int * string, Aig.lit) Hashtbl.t;  (* (frame, svar) -> act *)
 }
 
-let make_worker ?solver_options ?portfolio ?certify ?register ?interrupt
-    ~reset_start spec s0 k =
-  let eng =
-    setup_engine ?solver_options ?portfolio ?certify ?register ?interrupt
-      ~reset_start spec k
-  in
+let make_worker (o : Options.t) ~register spec s0 k =
+  let eng = setup_engine o ~portfolio:o.Options.portfolio ~register spec k in
   Macros.state_equivalence_assume eng spec ~frame:0 s0;
   let g = Ipc.Engine.graph eng in
   let acts = Hashtbl.create 1024 in
@@ -107,19 +140,16 @@ let make_worker ?solver_options ?portfolio ?certify ?register ?interrupt
   done;
   { w_k = k; w_eng = eng; w_acts = acts }
 
-let extract_cex ?solver_options ?certify ?register ?interrupt ~reset_start spec
-    s0 k (j, sv) =
-  let eng =
-    setup_engine ?solver_options ?certify ?register ?interrupt ~reset_start
-      spec k
-  in
+let extract_cex (o : Options.t) ~register spec s0 k (j, sv) =
+  let eng = setup_engine o ~portfolio:1 ~register spec k in
   Macros.state_equivalence_assume eng spec ~frame:0 s0;
   match
-    Ipc.Engine.check_sat_bounded eng
-      [ Aig.lit_not (Macros.sv_condition eng spec ~frame:j sv) ]
+    Ipc.Engine.decide eng
+      (Ipc.Engine.Violation
+         [ Aig.lit_not (Macros.sv_condition eng spec ~frame:j sv) ])
   with
-  | Ipc.Engine.Decided r -> r
-  | Ipc.Engine.Unknown _ -> None
+  | Ipc.Engine.Refuted c -> c
+  | Ipc.Engine.Proved | Ipc.Engine.Unknown _ -> None
 
 let svar_table nl =
   let tbl = Hashtbl.create 256 in
@@ -156,15 +186,13 @@ let parse_pair_entry n =
       | Some j -> Some (j, String.sub n 0 i)
       | None -> None)
 
-let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
-    ?(reset_start = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd
-    ?(budget = S.no_budget) ?(budget_retries = 2) ?(budget_escalation = 4.0)
-    ?checkpoint_file ?resume ?should_stop spec =
+let run_with ?resume (o : Options.t) spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let s0 = Spec.s_neg_victim spec in
   let steps = ref [] in
-  let per_svar = jobs <> None in
+  let per_svar = o.Options.jobs <> None in
+  let reset_start = o.Options.reset_start in
   let config_hash = lazy (Checkpoint.config_hash ~alg:Checkpoint.Alg2 spec) in
   let unknowns_acc = ref [] in
   (* undecided (frame, svar-name) pairs: excluded from the goal lists
@@ -178,7 +206,9 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
     if not (List.mem entry !unknowns_acc) then
       unknowns_acc := entry :: !unknowns_acc
   in
-  let stopped () = match should_stop with Some f -> f () | None -> false in
+  let stopped () =
+    match o.Options.should_stop with Some f -> f () | None -> false
+  in
   let reg_mu = Mutex.create () in
   let engines = ref [] in
   let register e =
@@ -188,15 +218,18 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
   in
   let cex_validated = ref None in
   let validate_cex ~claimed cex =
-    if certify then begin
-      let v = Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex in
+    if o.Options.certify then begin
+      let v =
+        Certval.validate ?vcd_prefix:o.Options.cex_vcd ~claimed nl cex
+      in
       cex_validated := Some v.Certval.v_ok;
       v.Certval.v_ok
     end
     else begin
-      (match cex_vcd with
+      (match o.Options.cex_vcd with
       | Some _ ->
-          ignore (Certval.validate ?vcd_prefix:cex_vcd ~claimed nl cex)
+          ignore
+            (Certval.validate ?vcd_prefix:o.Options.cex_vcd ~claimed nl cex)
       | None -> ());
       true
     end
@@ -220,11 +253,16 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
     in
     ( {
         Report.procedure =
-          (match (reset_start, per_svar) with
-          | true, false -> "BMC-from-reset (Alg. 2 property)"
-          | true, true -> "BMC-from-reset (Alg. 2 property, per-svar)"
-          | false, false -> "UPEC-SSC-unrolled (Alg. 2)"
-          | false, true -> "UPEC-SSC-unrolled (Alg. 2, per-svar)");
+          (let base =
+             if reset_start then "BMC-from-reset (Alg. 2 property"
+             else "UPEC-SSC-unrolled (Alg. 2"
+           in
+           let strategy =
+             if per_svar then ", per-svar)"
+             else if o.Options.incremental then ", incremental)"
+             else ")"
+           in
+           base ^ strategy);
         variant = spec.Spec.variant;
         verdict;
         steps = List.rev !steps;
@@ -232,7 +270,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
         state_bits = Netlist.state_bits nl;
         svar_count = Structural.Svar_set.cardinal (Structural.all_svars nl);
         cert =
-          (if certify then
+          (if o.Options.certify then
              Some
                {
                  Report.ct_totals =
@@ -249,6 +287,17 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
           | Some ck -> Some ck.Checkpoint.ck_iter
           | None -> None);
         metrics = Some (Obs.Metrics.snapshot ());
+        options = Some o;
+        simp =
+          List.fold_left
+            (fun acc e ->
+              match Ipc.Engine.reduction_stats e with
+              | None -> acc
+              | Some r -> (
+                  match acc with
+                  | None -> Some r
+                  | Some a -> Some (Simp.merge_reduction a r)))
+            None !engines;
       },
       outcome )
   in
@@ -304,7 +353,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
         (ck.Checkpoint.ck_iter, ck.Checkpoint.ck_k)
   in
   let post_iter ~next_iter ~k =
-    match checkpoint_file with
+    match o.Options.checkpoint_file with
     | None -> ()
     | Some path ->
         Checkpoint.save path
@@ -323,19 +372,30 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
             ck_unknown = List.rev !unknowns_acc;
           }
   in
-  match jobs with
+  match o.Options.jobs with
   | None ->
+      let session = ref None in
+      let checker sf k =
+        if o.Options.incremental then begin
+          let sess =
+            match !session with
+            | Some s -> s
+            | None ->
+                let s = make_session o ~register spec sf.(0) in
+                session := Some s;
+                s
+          in
+          check_incr o sess spec sf k
+        end
+        else check_once o ~register spec sf k
+      in
       let rec loop iter k =
-        if iter > max_iterations then
+        if iter > o.Options.max_iterations then
           finish (Report.Inconclusive "iteration budget exhausted") Gave_up
         else begin
           let it0 = Unix.gettimeofday () in
           let sf = !s_frames in
-          let result, st, win, lo =
-            check_once ?solver_options ?portfolio ~certify ~register
-              ?interrupt:should_stop ~reset_start ~budget
-              ~retries:budget_retries ~escalation:budget_escalation spec sf k
-          in
+          let result, st, win, lo = checker sf k in
           match result with
           | `Unknown reason ->
               finish
@@ -363,7 +423,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                   finish
                     (Report.Secure { s_final = sf.(k) })
                     (Hold { s_final = sf.(k); k })
-              else if k >= max_k then
+              else if k >= o.Options.max_k then
                 finish (Report.Inconclusive "max unrolling reached") Gave_up
               else begin
                 s_frames := Array.append sf [| sf.(k) |];
@@ -421,10 +481,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
             match engines.(wid) with
             | Some w when w.w_k = k -> w
             | _ ->
-                let w =
-                  make_worker ?solver_options ?portfolio ~certify ~register
-                    ?interrupt:should_stop ~reset_start spec s0 k
-                in
+                let w = make_worker o ~register spec s0 k in
                 engines.(wid) <- Some w;
                 w
           in
@@ -441,9 +498,9 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                 let w = worker k wid in
                 let act = Hashtbl.find w.w_acts (j, Structural.svar_name sv) in
                 ( (j, sv),
-                  with_retries ~budget ~retries:budget_retries
-                    ~escalation:budget_escalation w.w_eng (fun () ->
-                      Ipc.Engine.sat_bounded w.w_eng [ act ]),
+                  with_retries o w.w_eng (fun () ->
+                      Ipc.Engine.decide ~cex:false w.w_eng
+                        (Ipc.Engine.Violation [ act ])),
                   Ipc.Engine.last_stats w.w_eng,
                   Ipc.Engine.last_winner w.w_eng,
                   Ipc.Engine.last_losers_stats w.w_eng ))
@@ -462,7 +519,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
              excluded — an interrupted iteration is discarded wholesale *)
           let handle_unknowns results =
             List.fold_left
-              (fun acc ((j, sv), v, _, _, _) ->
+              (fun acc ((j, sv), (v : Ipc.Engine.verdict), _, _, _) ->
                 match v with
                 | Ipc.Engine.Unknown reason when reason <> "interrupted" ->
                     note_unknown j sv reason;
@@ -471,7 +528,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
               Structural.Svar_set.empty results
           in
           let rec loop iter k =
-            if iter > max_iterations then
+            if iter > o.Options.max_iterations then
               finish (Report.Inconclusive "iteration budget exhausted") Gave_up
             else begin
               let it0 = Unix.gettimeofday () in
@@ -499,7 +556,8 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
               else begin
                 let pers_sat =
                   List.filter
-                    (fun (_, v, _, _, _) -> v = Ipc.Engine.Decided true)
+                    (fun (_, v, _, _, _) ->
+                      match v with Ipc.Engine.Refuted _ -> true | _ -> false)
                     pers_results
                 in
                 if pers_sat <> [] then begin
@@ -530,10 +588,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                       None pers_sat
                     |> Option.get
                   in
-                  match
-                    extract_cex ?solver_options ~certify ~register
-                      ?interrupt:should_stop ~reset_start spec s0 k witness
-                  with
+                  match extract_cex o ~register spec s0 k witness with
                   | Some cex ->
                       if
                         validate_cex
@@ -569,9 +624,10 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                           ( j,
                             List.fold_left
                               (fun acc ((j', sv), v, _, _, _) ->
-                                if v = Ipc.Engine.Decided true && j' = j then
-                                  Structural.Svar_set.add sv acc
-                                else acc)
+                                match v with
+                                | Ipc.Engine.Refuted _ when j' = j ->
+                                    Structural.Svar_set.add sv acc
+                                | _ -> acc)
                               Structural.Svar_set.empty rest_results ))
                     in
                     let all_cex =
@@ -608,7 +664,7 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
                           finish
                             (Report.Secure { s_final = sf.(k) })
                             (Hold { s_final = sf.(k); k })
-                      else if k >= max_k then
+                      else if k >= o.Options.max_k then
                         finish
                           (Report.Inconclusive "max unrolling reached")
                           Gave_up
@@ -632,36 +688,27 @@ let run ?(max_k = 8) ?(max_iterations = 128) ?solver_options
           in
           loop start_iter start_k)
 
-let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
-    ?cex_vcd ?budget ?budget_retries ?budget_escalation ?checkpoint_file
-    ?resume ?should_stop spec =
+let merge_simp a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Simp.merge_reduction a b)
+
+let conclude_with ?resume (o : Options.t) spec =
   match resume with
   | Some ck when ck.Checkpoint.ck_alg = Checkpoint.Alg1 ->
       (* the unrolled phase had already reached Hold when this Alg. 1
          checkpoint was written: resume the induction directly *)
-      let induction =
-        Alg1.run ?max_iterations ?solver_options ?jobs ?portfolio ?certify
-          ?cex_vcd ?budget ?budget_retries ?budget_escalation ?checkpoint_file
-          ~resume:ck ?should_stop spec
-      in
+      let induction = Alg1.run_with ~resume:ck o spec in
       {
         induction with
         Report.procedure = "UPEC-SSC-unrolled + induction";
       }
   | _ -> (
-      let report, outcome =
-        run ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
-          ?cex_vcd ?budget ?budget_retries ?budget_escalation ?checkpoint_file
-          ?resume ?should_stop spec
-      in
+      let report, outcome = run_with ?resume o spec in
       match outcome with
       | Found_vulnerable | Gave_up -> report
       | Hold { s_final; k = _ } ->
-          let induction =
-            Alg1.run ~initial_s:s_final ?max_iterations ?solver_options ?jobs
-              ?portfolio ?certify ?cex_vcd ?budget ?budget_retries
-              ?budget_escalation ?checkpoint_file ?should_stop spec
-          in
+          let induction = Alg1.run_with ~initial_s:s_final o spec in
           {
             induction with
             Report.procedure = "UPEC-SSC-unrolled + induction";
@@ -671,5 +718,46 @@ let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
             cert = Report.merge_cert report.Report.cert induction.Report.cert;
             unknowns = report.Report.unknowns @ induction.Report.unknowns;
             resumed_from = report.Report.resumed_from;
+            simp = merge_simp report.Report.simp induction.Report.simp;
           }
       )
+
+let options_of ?max_k ?(max_iterations = 128) ?solver_options
+    ?(reset_start = false) ?jobs ?portfolio ?(certify = false) ?cex_vcd
+    ?(budget = S.no_budget) ?(budget_retries = 2) ?(budget_escalation = 4.0)
+    ?checkpoint_file ?should_stop () =
+  {
+    Options.default with
+    Options.max_iterations;
+    max_k = (match max_k with Some k -> k | None -> 8);
+    solver_options;
+    incremental = false;
+    reset_start;
+    jobs;
+    portfolio = (match portfolio with Some p -> p | None -> 1);
+    certify;
+    cex_vcd;
+    budget;
+    budget_retries;
+    budget_escalation;
+    checkpoint_file;
+    should_stop;
+  }
+
+let run ?max_k ?max_iterations ?solver_options ?reset_start ?jobs ?portfolio
+    ?certify ?cex_vcd ?budget ?budget_retries ?budget_escalation
+    ?checkpoint_file ?resume ?should_stop spec =
+  run_with ?resume
+    (options_of ?max_k ?max_iterations ?solver_options ?reset_start ?jobs
+       ?portfolio ?certify ?cex_vcd ?budget ?budget_retries ?budget_escalation
+       ?checkpoint_file ?should_stop ())
+    spec
+
+let conclude ?max_k ?max_iterations ?solver_options ?jobs ?portfolio ?certify
+    ?cex_vcd ?budget ?budget_retries ?budget_escalation ?checkpoint_file
+    ?resume ?should_stop spec =
+  conclude_with ?resume
+    (options_of ?max_k ?max_iterations ?solver_options ?jobs ?portfolio
+       ?certify ?cex_vcd ?budget ?budget_retries ?budget_escalation
+       ?checkpoint_file ?should_stop ())
+    spec

@@ -7,13 +7,72 @@ open Rtl
     vulnerability, with an {e explicit} multi-cycle counterexample as
     Sec. 3.5 advocates) or no new state variables are influenced at the
     deepest cycle. A [Hold] outcome still requires the inductive proof,
-    which {!conclude} performs by running Algorithm 1 from the final
-    set. *)
+    which {!conclude_with} performs by running Algorithm 1 from the
+    final set. *)
 
 type outcome =
   | Hold of { s_final : Structural.Svar_set.t; k : int }
   | Found_vulnerable
   | Gave_up
+
+val run_with :
+  ?resume:Checkpoint.t -> Options.t -> Spec.t -> Report.run * outcome
+(** The primary entry point; every knob lives in {!Options.t}.
+
+    [Options.reset_start] pins cycle 0 to the concrete reset state,
+    degrading IPC to plain bounded model checking — the E9 comparison.
+    A [Hold] outcome under [reset_start] carries no inductive meaning;
+    it shows BMC finding nothing within the window.
+
+    {b Strategy selection.} [Options.jobs = Some j] decides each pair
+    [(cycle, sv)] independently on a pool of [j] workers. The unrolled
+    property only assumes equivalence at cycle 0 — a set that never
+    shrinks — so pair verdicts are semantic and the trace is identical
+    for every job count. [Options.jobs = None] runs one monolithic
+    check per iteration; with [Options.incremental] set, a single warm
+    solver session is reused across iterations {e and} across
+    unroll-depth growth — when the depth grows only the new frame's
+    constraints are appended, and the shrinking per-cycle goal travels
+    on solver assumptions, so learnt clauses survive the whole
+    refinement.
+
+    {b Problem reduction.} [Options.simp] (on by default) restricts
+    witness-free solves to the cone of influence of the property; it
+    never changes verdicts, and counterexample extraction always runs
+    on the full encoding. [Options.portfolio] races that many solver
+    configurations per SAT call.
+
+    [Options.certify] and [Options.cex_vcd] behave as in
+    {!Alg1.run_with}: every UNSAT result is revalidated by the
+    independent RUP checker, SAT models by clause evaluation, and a
+    vulnerable verdict's multi-cycle counterexample is replayed through
+    the standalone simulator before it is reported.
+
+    {b Resource governance} works as in {!Alg1.run_with}; in the
+    per-svar strategy a pair [(j, sv)] still Unknown after the last
+    retry stays in the cycle-[j] set but is no longer checked, recorded
+    in [Report.unknowns] as ["name@j"]. Any undecided pair degrades a
+    standalone Secure verdict to [Inconclusive]; the [Hold] outcome
+    survives, because {!conclude_with}'s induction re-decides every
+    svar from scratch and subsumes the bounded window.
+
+    {b Checkpoint/resume} also as in {!Alg1.run_with}; the checkpoint
+    stores the full per-cycle frame array and the current unroll depth.
+    [resume] refuses checkpoints written by Algorithm 1
+    ([Invalid_argument]); use {!conclude_with} to resume a combined run
+    from either phase. *)
+
+val conclude_with : ?resume:Checkpoint.t -> Options.t -> Spec.t -> Report.run
+(** Run the unrolled procedure; on [Hold], finish with the Algorithm 1
+    induction from the computed set and merge the reports
+    (certification and reduction accounting from both phases is
+    summed).
+
+    With [Options.checkpoint_file], the unrolled phase writes Alg2
+    checkpoints and the induction phase overwrites them with Alg1
+    checkpoints; a [resume] checkpoint of either kind is routed to the
+    right phase (an Alg1 checkpoint skips the unrolled phase
+    entirely). *)
 
 val run :
   ?max_k:int ->
@@ -32,38 +91,10 @@ val run :
   ?should_stop:(unit -> bool) ->
   Spec.t ->
   Report.run * outcome
-(** [reset_start] pins cycle 0 to the concrete reset state, degrading
-    IPC to plain bounded model checking — the E9 comparison. A [Hold]
-    outcome under [reset_start] carries no inductive meaning; it shows
-    BMC finding nothing within the window.
-
-    [jobs] selects the per-(frame, svar) strategy: each pair [(j, sv)]
-    with [sv] in the cycle-[j] set is decided independently on a pool
-    of [jobs] workers. The unrolled property only assumes equivalence
-    at cycle 0 — a set that never shrinks — so pair verdicts are
-    semantic and the trace is identical for every [jobs] value.
-    [portfolio] races that many solver configurations per SAT call.
-
-    [certify] and [cex_vcd] behave as in {!Alg1.run}: every UNSAT
-    result is revalidated by the independent RUP checker, SAT models by
-    clause evaluation, and a vulnerable verdict's multi-cycle
-    counterexample is replayed through the standalone simulator before
-    it is reported.
-
-    {b Resource governance} ([budget], [budget_retries],
-    [budget_escalation]) works as in {!Alg1.run}; in the per-svar
-    strategy a pair [(j, sv)] still Unknown after the last retry stays
-    in the cycle-[j] set but is no longer checked, recorded in
-    [Report.unknowns] as ["name@j"]. Any undecided pair degrades a
-    standalone Secure verdict to [Inconclusive]; the [Hold] outcome
-    survives, because {!conclude}'s induction re-decides every svar
-    from scratch and subsumes the bounded window.
-
-    {b Checkpoint/resume} ([checkpoint_file], [resume], [should_stop])
-    also as in {!Alg1.run}; the checkpoint stores the full per-cycle
-    frame array and the current unroll depth. [resume] refuses
-    checkpoints written by Algorithm 1 ([Invalid_argument]); use
-    {!conclude} to resume a combined run from either phase. *)
+(** Legacy optional-argument surface with its historical defaults
+    ([max_k] 8, [max_iterations] 128, [incremental] false); forwards
+    to {!run_with}.
+    @deprecated Use {!run_with} with an {!Options.t} record. *)
 
 val conclude :
   ?max_k:int ->
@@ -81,11 +112,5 @@ val conclude :
   ?should_stop:(unit -> bool) ->
   Spec.t ->
   Report.run
-(** Run the unrolled procedure; on [Hold], finish with the Algorithm 1
-    induction from the computed set and merge the reports (certification
-    accounting from both phases is summed).
-
-    With [checkpoint_file], the unrolled phase writes Alg2 checkpoints
-    and the induction phase overwrites them with Alg1 checkpoints; a
-    [resume] checkpoint of either kind is routed to the right phase
-    (an Alg1 checkpoint skips the unrolled phase entirely). *)
+(** Legacy optional-argument surface; forwards to {!conclude_with}.
+    @deprecated Use {!conclude_with} with an {!Options.t} record. *)

@@ -1,0 +1,272 @@
+(* Minimal JSON tree, emitter and parser — enough for the machine-
+   readable report artefact and its round-trip test. No external
+   dependencies by design. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- emitter ---------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.17g" f in
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else s
+
+let rec emit b indent v =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if Float.is_nan f || Float.abs f = infinity then
+        Buffer.add_string b "null"
+      else Buffer.add_string b (float_repr f)
+  | Str s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          emit b (indent + 2) x)
+        xs;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\": ";
+          emit b (indent + 2) x)
+        kvs;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ---------- parser ---------- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    &&
+    match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.s && String.sub c.s c.pos n = word
+  then (
+    c.pos <- c.pos + n;
+    v)
+  else fail c ("expected " ^ word)
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.s then fail c "unterminated string";
+    let ch = c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents b
+    | '\\' -> (
+        if c.pos >= String.length c.s then fail c "unterminated escape";
+        let e = c.s.[c.pos] in
+        c.pos <- c.pos + 1;
+        match e with
+        | '"' | '\\' | '/' ->
+            Buffer.add_char b e;
+            go ()
+        | 'n' ->
+            Buffer.add_char b '\n';
+            go ()
+        | 'r' ->
+            Buffer.add_char b '\r';
+            go ()
+        | 't' ->
+            Buffer.add_char b '\t';
+            go ()
+        | 'b' ->
+            Buffer.add_char b '\b';
+            go ()
+        | 'f' ->
+            Buffer.add_char b '\012';
+            go ()
+        | 'u' ->
+            if c.pos + 4 > String.length c.s then fail c "bad \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail c "bad \\u escape"
+            in
+            (* BMP-only UTF-8 encoding; the reports never emit
+               surrogate pairs *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then (
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+            else (
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))));
+            go ()
+        | _ -> fail c "bad escape")
+    | c0 ->
+        Buffer.add_char b c0;
+        go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    c.pos < String.length c.s && is_num_char c.s.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let tok = String.sub c.s start (c.pos - start) in
+  if tok = "" then fail c "expected number";
+  match int_of_string_opt tok with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail c ("bad number " ^ tok))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+      expect c '{';
+      skip_ws c;
+      if peek c = Some '}' then (
+        expect c '}';
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              expect c ',';
+              members ((k, v) :: acc)
+          | Some '}' ->
+              expect c '}';
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members []
+  | Some '[' ->
+      expect c '[';
+      skip_ws c;
+      if peek c = Some ']' then (
+        expect c ']';
+        List [])
+      else
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              expect c ',';
+              elements (v :: acc)
+          | Some ']' ->
+              expect c ']';
+              List (List.rev (v :: acc))
+          | _ -> fail c "expected ',' or ']'"
+        in
+        elements []
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* ---------- accessors (for tests and tooling) ---------- *)
+
+let member k = function
+  | Obj kvs -> ( match List.assoc_opt k kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,40 @@
+(** Minimal dependency-free JSON: tree, pretty emitter, strict parser.
+
+    Backs the machine-readable report artefact ({!Report.to_json}) and
+    its round-trip test; not a general-purpose JSON library. Numbers
+    are kept as [Int] when they parse exactly as OCaml ints, [Float]
+    otherwise; non-finite floats emit as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), trailing newline, stable key
+    order (insertion order of the [Obj] list). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parse of a complete JSON document; raises {!Parse_error}
+    with an offset on malformed input or trailing garbage. [\u]
+    escapes outside the BMP are not supported. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t
+(** [member k (Obj ...)] is the value bound to [k], or [Null] when the
+    key is absent or the value is not an object. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -20,16 +20,19 @@ let input_by_name (spec : Spec.t) name =
     (fun (s : Expr.signal) -> s.Expr.s_name = name)
     spec.Spec.soc.Soc.Builder.netlist.Netlist.inputs
 
-let assume_env eng spec ~frames =
+let assume_env_at eng spec ~frame =
   let env = Spec.assumed_env spec in
   let u = Ipc.Engine.unroller eng in
   List.iter
     (fun inst ->
-      for f = 0 to frames do
-        let v = U.blast_at u inst ~frame:f env in
-        Ipc.Engine.assume eng v.(0)
-      done)
+      let v = U.blast_at u inst ~frame env in
+      Ipc.Engine.assume eng v.(0))
     [ U.A; U.B ]
+
+let assume_env eng spec ~frames =
+  for f = 0 to frames do
+    assume_env_at eng spec ~frame:f
+  done
 
 let primary_input_constraints eng spec ~frame =
   let u = Ipc.Engine.unroller eng in

@@ -7,6 +7,11 @@ val assume_env : Ipc.Engine.t -> Spec.t -> frames:int -> unit
 (** Assume the Expr-level environment (well-formedness, threat model,
     policy, invariants) in both instances at every cycle [0..frames]. *)
 
+val assume_env_at : Ipc.Engine.t -> Spec.t -> frame:int -> unit
+(** The same constraint at one cycle only — the building block
+    incremental sessions use to extend an existing engine when the
+    unrolling depth grows. *)
+
 val primary_input_constraints : Ipc.Engine.t -> Spec.t -> frame:int -> unit
 (** Inputs other than the victim port are equal between the instances
     at the given cycle. *)

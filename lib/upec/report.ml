@@ -35,6 +35,8 @@ type run = {
   unknowns : (string * string) list;
   resumed_from : int option;
   metrics : Obs.Metrics.snapshot option;
+  options : Options.t option;
+  simp : Simp.reduction option;
 }
 
 let merge_cert a b =
@@ -118,7 +120,134 @@ let pp fmt r =
         | Some true -> "PASSED (simulator replay reproduces the divergence)"
         | Some false -> "FAILED"
         | None -> "n/a (no counterexample)"));
+  (match r.simp with
+  | None -> ()
+  | Some red when red.Simp.red_solves > 0 ->
+      Format.fprintf fmt "reduction: %a@," Simp.pp_reduction red
+  | Some _ -> ());
   Format.fprintf fmt "total: %.2fs@]" r.total_seconds
+
+(* ---------- machine-readable artefact (schema 2) ---------- *)
+
+let svar_set_json s =
+  Json.List
+    (List.map
+       (fun sv -> Json.Str (Structural.svar_name sv))
+       (Structural.Svar_set.elements s))
+
+let verdict_json = function
+  | Secure { s_final } ->
+      Json.Obj
+        [ ("kind", Json.Str "secure"); ("s_final", svar_set_json s_final) ]
+  | Vulnerable { s_cex; cex } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "vulnerable");
+          ("s_cex", svar_set_json s_cex);
+          ("cex_frames", Json.Int (Ipc.Cex.frames cex));
+        ]
+  | Inconclusive reason ->
+      Json.Obj
+        [ ("kind", Json.Str "inconclusive"); ("reason", Json.Str reason) ]
+
+let step_json s =
+  Json.Obj
+    [
+      ("iter", Json.Int s.st_iter);
+      ("k", Json.Int s.st_k);
+      ("s_size", Json.Int s.st_s_size);
+      ("cex", svar_set_json s.st_cex);
+      ("pers_hit", svar_set_json s.st_pers_hit);
+      ("unknown", svar_set_json s.st_unknown);
+      ("seconds", Json.Float s.st_seconds);
+    ]
+
+let opt f = function None -> Json.Null | Some x -> f x
+
+let budget_json (b : Satsolver.Solver.budget) =
+  Json.Obj
+    [
+      ("max_conflicts", Json.Int b.Satsolver.Solver.max_conflicts);
+      ("max_propagations", Json.Int b.Satsolver.Solver.max_propagations);
+      ("max_seconds", Json.Float b.Satsolver.Solver.max_seconds);
+    ]
+
+let options_json (o : Options.t) =
+  Json.Obj
+    [
+      ("max_iterations", Json.Int o.Options.max_iterations);
+      ("max_k", Json.Int o.Options.max_k);
+      ( "solver_options",
+        Json.Str
+          (match o.Options.solver_options with
+          | Some _ -> "custom"
+          | None -> "default") );
+      ("incremental", Json.Bool o.Options.incremental);
+      ("simp", Json.Bool o.Options.simp);
+      ("jobs", opt (fun j -> Json.Int j) o.Options.jobs);
+      ("portfolio", Json.Int o.Options.portfolio);
+      ("certify", Json.Bool o.Options.certify);
+      ("cex_vcd", opt (fun s -> Json.Str s) o.Options.cex_vcd);
+      ("budget", budget_json o.Options.budget);
+      ("budget_retries", Json.Int o.Options.budget_retries);
+      ("budget_escalation", Json.Float o.Options.budget_escalation);
+      ("checkpoint_file", opt (fun s -> Json.Str s) o.Options.checkpoint_file);
+      ("reset_start", Json.Bool o.Options.reset_start);
+    ]
+
+let simp_json (red : Simp.reduction) =
+  Json.Obj
+    [
+      ("reduced_solves", Json.Int red.Simp.red_solves);
+      ("full_vars", Json.Int red.Simp.red_full_vars);
+      ("full_clauses", Json.Int red.Simp.red_full_clauses);
+      ("reduced_vars", Json.Int red.Simp.red_vars);
+      ("reduced_clauses", Json.Int red.Simp.red_clauses);
+    ]
+
+let cert_json c =
+  let t = c.ct_totals in
+  Json.Obj
+    [
+      ("unsat_checked", Json.Int t.Cert.Proof.unsat_checked);
+      ("sat_checked", Json.Int t.Cert.Proof.sat_checked);
+      ("unknown_skipped", Json.Int t.Cert.Proof.unknown_skipped);
+      ("proof_steps", Json.Int t.Cert.Proof.proof_steps);
+      ("proof_lits", Json.Int t.Cert.Proof.proof_lits);
+      ("solve_seconds", Json.Float t.Cert.Proof.solve_seconds);
+      ("check_seconds", Json.Float t.Cert.Proof.check_seconds);
+      ("cex_validated", opt (fun b -> Json.Bool b) c.ct_cex_validated);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.Int 2);
+      ("procedure", Json.Str r.procedure);
+      ( "variant",
+        Json.Str
+          (match r.variant with
+          | Spec.Vulnerable -> "vulnerable"
+          | Spec.Secure -> "secure") );
+      ("verdict", verdict_json r.verdict);
+      ("iterations", Json.Int (iterations r));
+      ("final_k", Json.Int (final_k r));
+      ("total_seconds", Json.Float r.total_seconds);
+      ("state_bits", Json.Int r.state_bits);
+      ("svar_count", Json.Int r.svar_count);
+      ("steps", Json.List (List.map step_json r.steps));
+      ( "unknowns",
+        Json.List
+          (List.map
+             (fun (name, reason) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("reason", Json.Str reason) ])
+             r.unknowns) );
+      ("resumed_from", opt (fun i -> Json.Int i) r.resumed_from);
+      ("cert", opt cert_json r.cert);
+      ("options", opt options_json r.options);
+      ("simp", opt simp_json r.simp);
+    ]
 
 let pp_metrics fmt r =
   match r.metrics with

@@ -58,6 +58,12 @@ type run = {
       (** process-wide cumulative {!Obs.Metrics} snapshot taken when
           the report was assembled; for a [conclude] run (unrolled +
           induction) the induction-phase snapshot covers both phases *)
+  options : Options.t option;
+      (** the options record the run was configured with (legacy entry
+          points record their assembled equivalent) *)
+  simp : Simp.reduction option;
+      (** problem-reduction accounting aggregated over every engine the
+          run created; [None] when reduction was disabled *)
 }
 
 val merge_cert : cert_info option -> cert_info option -> cert_info option
@@ -75,6 +81,13 @@ val pp : Format.formatter -> run -> unit
 
 val pp_summary : Format.formatter -> run -> unit
 (** One line: verdict, iterations, time. *)
+
+val to_json : run -> Json.t
+(** The machine-readable artefact, ["schema": 2]: verdict, iteration
+    table, degraded checks, certification accounting, the {!Options.t}
+    echo and the problem-reduction statistics. Counterexample waveforms
+    are summarised (frame count), not serialised — the VCD artefact
+    carries them. *)
 
 val pp_metrics : Format.formatter -> run -> unit
 (** The embedded {!Obs.Metrics} snapshot as a human table; a notice

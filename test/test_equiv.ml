@@ -1,0 +1,239 @@
+(* Equivalence suite for the problem-reduction pipeline.
+
+   The reduction layer (cone-of-influence + obligation dropping for
+   witness-free solves) and the incremental solver sessions are pure
+   accelerations: with [simp] off the verdict — including the
+   counterexample waveform — must be bit-identical, and with
+   [incremental] off the verdict class must agree (witness sets of
+   monolithic refinement may differ; both are correct). Exercised on
+   the two example SoCs (examples/busted_dma_timer.ml: the Fig. 1
+   DMA + timer platform = formal netlist with the full persistence
+   model; examples/busted_hwpe_memory.ml: the Sec. 4.1 HWPE + memory
+   variant = DMA disabled, memory-only persistence), including
+   certified and interrupted-then-resumed runs. Also the shape and
+   round-trip checks of the schema-2 JSON report. *)
+
+open Rtl
+module O = Upec.Options
+
+let spec_of ?(cfg = Soc.Config.formal_tiny) ?(pers = Upec.Spec.Full_pers)
+    variant =
+  let soc = Soc.Builder.build cfg Soc.Builder.Formal in
+  Upec.Spec.make ~pers_model:pers soc variant
+
+(* the Fig. 1 DMA + timer example platform *)
+let dma_timer variant = spec_of variant
+
+(* the Sec. 4.1 HWPE + memory example variant *)
+let hwpe_memory () =
+  spec_of
+    ~cfg:{ Soc.Config.formal_tiny with Soc.Config.with_dma = false }
+    ~pers:Upec.Spec.Memory_only Upec.Spec.Vulnerable
+
+(* ---- bit-exact run representation (everything but timings) ---- *)
+
+let names s =
+  String.concat ","
+    (List.map Structural.svar_name (Structural.Svar_set.elements s))
+
+let repr_verdict (r : Upec.Report.run) =
+  match r.Upec.Report.verdict with
+  | Upec.Report.Secure { s_final } -> "secure " ^ names s_final
+  | Upec.Report.Vulnerable { s_cex; cex } ->
+      "vulnerable " ^ names s_cex ^ "\n"
+      ^ Format.asprintf "%a" Ipc.Cex.pp_full cex
+  | Upec.Report.Inconclusive m -> "inconclusive " ^ m
+
+let repr_run (r : Upec.Report.run) =
+  let step (s : Upec.Report.step) =
+    Printf.sprintf "iter=%d k=%d |S|=%d cex={%s} pers={%s} unknown={%s}"
+      s.Upec.Report.st_iter s.Upec.Report.st_k s.Upec.Report.st_s_size
+      (names s.Upec.Report.st_cex)
+      (names s.Upec.Report.st_pers_hit)
+      (names s.Upec.Report.st_unknown)
+  in
+  String.concat "\n"
+    ((r.Upec.Report.procedure :: repr_verdict r
+     :: List.map step r.Upec.Report.steps)
+    @ List.map (fun (n, why) -> n ^ ":" ^ why) r.Upec.Report.unknowns)
+
+let check_identical what on off =
+  Alcotest.(check string) what (repr_run off) (repr_run on)
+
+(* ---- simp on/off: bit-identical runs ---- *)
+
+let test_alg1_simp_equiv () =
+  let run ?jobs simp =
+    Upec.Alg1.run_with
+      { O.default with O.simp; jobs }
+      (dma_timer Upec.Spec.Vulnerable)
+  in
+  check_identical "alg1 monolithic" (run true) (run false);
+  check_identical "alg1 per-svar" (run ~jobs:2 true) (run ~jobs:2 false)
+
+let test_alg2_simp_equiv () =
+  let run ?jobs simp =
+    fst (Upec.Alg2.run_with { O.default with O.simp; jobs } (hwpe_memory ()))
+  in
+  check_identical "alg2 monolithic" (run true) (run false);
+  check_identical "alg2 per-svar" (run ~jobs:2 true) (run ~jobs:2 false)
+
+let test_certified_simp_equiv () =
+  (* certification routes witness-free solves through the reduced
+     snapshot: the DRUP proof is checked against the reduced CNF, so a
+     reduction bug fails this test twice over (verdict or certificate) *)
+  let run simp =
+    Upec.Alg1.run_with
+      { O.default with O.simp; jobs = Some 2; certify = true }
+      (dma_timer Upec.Spec.Vulnerable)
+  in
+  let on = run true and off = run false in
+  check_identical "alg1 per-svar certified" on off;
+  List.iter
+    (fun (r : Upec.Report.run) ->
+      match r.Upec.Report.cert with
+      | Some c ->
+          Alcotest.(check bool)
+            "unsat certificates checked" true
+            (c.Upec.Report.ct_totals.Cert.Proof.unsat_checked > 0)
+      | None -> Alcotest.fail "certified run lost its certificate totals")
+    [ on; off ]
+
+let repr_outcome = function
+  | Upec.Alg2.Hold { s_final; k } ->
+      Printf.sprintf "hold k=%d {%s}" k (names s_final)
+  | Upec.Alg2.Found_vulnerable -> "vulnerable"
+  | Upec.Alg2.Gave_up -> "gave up"
+
+let test_bmc_reset_simp_equiv () =
+  let run simp =
+    Upec.Alg2.run_with
+      { O.default with O.simp; reset_start = true; max_k = 2 }
+      (dma_timer Upec.Spec.Vulnerable)
+  in
+  let r_on, o_on = run true and r_off, o_off = run false in
+  Alcotest.(check string) "same outcome" (repr_outcome o_off)
+    (repr_outcome o_on);
+  check_identical "bmc from reset" r_on r_off
+
+(* ---- interrupt + resume with reduction enabled ---- *)
+
+let test_resume_simp_equiv () =
+  let o = { O.default with O.jobs = Some 2 } in
+  let baseline = Upec.Alg1.run_with o (dma_timer Upec.Spec.Secure) in
+  let path = Filename.temp_file "equiv" ".ck" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let interrupted =
+        Upec.Alg1.run_with
+          {
+            o with
+            O.checkpoint_file = Some path;
+            should_stop = Some (fun () -> Sys.file_exists path);
+          }
+          (dma_timer Upec.Spec.Secure)
+      in
+      (match interrupted.Upec.Report.verdict with
+      | Upec.Report.Inconclusive "interrupted" -> ()
+      | v ->
+          Alcotest.failf "expected an interrupted run, got %s"
+            (Format.asprintf "%a" Upec.Report.pp_verdict v));
+      let ck =
+        match Upec.Checkpoint.load path with
+        | Ok ck -> ck
+        | Error m -> Alcotest.fail ("checkpoint unreadable: " ^ m)
+      in
+      let resumed =
+        Upec.Alg1.run_with ~resume:ck o (dma_timer Upec.Spec.Secure)
+      in
+      Alcotest.(check string)
+        "resumed verdict = uninterrupted verdict" (repr_verdict baseline)
+        (repr_verdict resumed))
+
+(* ---- incremental sessions vs fresh solvers: same verdict class ---- *)
+
+let test_incremental_vs_fresh () =
+  let alg1 incremental =
+    Upec.Alg1.run_with
+      { O.default with O.incremental }
+      (dma_timer Upec.Spec.Vulnerable)
+  in
+  Alcotest.(check bool) "alg1 both vulnerable" true
+    (Upec.Report.is_vulnerable (alg1 true)
+    && Upec.Report.is_vulnerable (alg1 false));
+  let alg2 incremental =
+    fst (Upec.Alg2.run_with { O.default with O.incremental } (hwpe_memory ()))
+  in
+  Alcotest.(check bool) "alg2 both vulnerable" true
+    (Upec.Report.is_vulnerable (alg2 true)
+    && Upec.Report.is_vulnerable (alg2 false))
+
+(* ---- schema-2 JSON report ---- *)
+
+let test_json_roundtrip () =
+  let r =
+    fst
+      (Upec.Alg2.run_with { O.default with O.jobs = Some 2 } (hwpe_memory ()))
+  in
+  let j = Upec.Report.to_json r in
+  let j' = Upec.Json.of_string (Upec.Json.to_string j) in
+  Alcotest.(check bool) "print/parse round-trip" true (j = j');
+  let m k = Upec.Json.member k j' in
+  let int_of what v =
+    match Upec.Json.to_int v with
+    | Some i -> i
+    | None -> Alcotest.failf "%s: not an integer" what
+  in
+  Alcotest.(check int) "schema" 2 (int_of "schema" (m "schema"));
+  Alcotest.(check (option string))
+    "verdict kind" (Some "vulnerable")
+    Upec.Json.(to_str (member "kind" (m "verdict")));
+  Alcotest.(check int)
+    "steps = iterations" (Upec.Report.iterations r)
+    (match Upec.Json.to_list (m "steps") with
+    | Some l -> List.length l
+    | None -> -1);
+  (* the options the run was configured with are echoed *)
+  Alcotest.(check (option bool))
+    "options.simp echoed" (Some true)
+    Upec.Json.(to_bool (member "simp" (m "options")));
+  Alcotest.(check (option int))
+    "options.jobs echoed" (Some 2)
+    Upec.Json.(to_int (member "jobs" (m "options")));
+  (* per-svar pair checks are witness-free, so reduction fired *)
+  let simp = m "simp" in
+  Alcotest.(check bool)
+    "reduced solves recorded" true
+    (int_of "reduced_solves" (Upec.Json.member "reduced_solves" simp) > 0);
+  Alcotest.(check bool)
+    "reduced <= full" true
+    (int_of "reduced_clauses" (Upec.Json.member "reduced_clauses" simp)
+    <= int_of "full_clauses" (Upec.Json.member "full_clauses" simp))
+
+let () =
+  Alcotest.run "equiv"
+    [
+      ( "simp",
+        [
+          Alcotest.test_case "alg1 on/off bit-identical" `Quick
+            test_alg1_simp_equiv;
+          Alcotest.test_case "alg2 on/off bit-identical" `Quick
+            test_alg2_simp_equiv;
+          Alcotest.test_case "certified on/off bit-identical" `Slow
+            test_certified_simp_equiv;
+          Alcotest.test_case "bmc-from-reset on/off bit-identical" `Slow
+            test_bmc_reset_simp_equiv;
+          Alcotest.test_case "interrupt+resume verdict preserved" `Slow
+            test_resume_simp_equiv;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "incremental vs fresh verdict class" `Quick
+            test_incremental_vs_fresh;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "schema-2 round-trip and shape" `Quick
+            test_json_roundtrip ] );
+    ]
