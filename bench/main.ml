@@ -601,27 +601,69 @@ let certify_experiment ctx =
       priv_depth = 4;
     }
   in
+  let certified ?(cert_jobs = 0) ?(portfolio = 1) () =
+    {
+      Upec.Options.default with
+      Upec.Options.certify = true;
+      cert_jobs;
+      portfolio;
+    }
+  in
   let runs =
     [
       ( "alg1-vulnerable",
-        fun () -> Upec.Alg1.run ~certify:true (spec ~cfg Upec.Spec.Vulnerable) );
+        "sequential",
+        0,
+        fun () ->
+          Upec.Alg1.run_with (certified ()) (spec ~cfg Upec.Spec.Vulnerable) );
       ( "alg1-secure",
-        fun () -> Upec.Alg1.run ~certify:true (spec ~cfg Upec.Spec.Secure) );
-      ( "alg1-secure-portfolio2",
-        fun () ->
-          Upec.Alg1.run ~certify:true ~portfolio:2 (spec ~cfg Upec.Spec.Secure)
+        "sequential",
+        0,
+        fun () -> Upec.Alg1.run_with (certified ()) (spec ~cfg Upec.Spec.Secure)
       );
-      ( "alg2-vulnerable",
+      ( "alg1-secure-portfolio2",
+        "sequential",
+        0,
         fun () ->
-          Upec.Alg2.conclude ~certify:true (spec ~cfg Upec.Spec.Vulnerable) );
+          Upec.Alg1.run_with
+            (certified ~portfolio:2 ())
+            (spec ~cfg Upec.Spec.Secure) );
+      ( "alg2-vulnerable",
+        "sequential",
+        0,
+        fun () ->
+          Upec.Alg2.conclude_with (certified ())
+            (spec ~cfg Upec.Spec.Vulnerable) );
+      (* pipelined counterparts: same workloads, streaming checker *)
+      ( "alg1-vulnerable-pipelined4",
+        "pipelined",
+        4,
+        fun () ->
+          Upec.Alg1.run_with
+            (certified ~cert_jobs:4 ())
+            (spec ~cfg Upec.Spec.Vulnerable) );
+      ( "alg1-secure-pipelined4",
+        "pipelined",
+        4,
+        fun () ->
+          Upec.Alg1.run_with
+            (certified ~cert_jobs:4 ())
+            (spec ~cfg Upec.Spec.Secure) );
+      ( "alg2-vulnerable-pipelined4",
+        "pipelined",
+        4,
+        fun () ->
+          Upec.Alg2.conclude_with
+            (certified ~cert_jobs:4 ())
+            (spec ~cfg Upec.Spec.Vulnerable) );
     ]
   in
   Format.fprintf ctx.fmt
-    "run                    | verdict | solve    | check    | overhead | \
-     proof steps | cex replay@.";
+    "run                        | mode       | verdict | solve    | check    \
+     | overhead | proof steps | epochs | cex replay@.";
   let rows =
     List.map
-      (fun (name, f) ->
+      (fun (name, mode, cert_jobs, f) ->
         let r, dt = time f in
         let c =
           match r.Upec.Report.cert with
@@ -641,29 +683,40 @@ let certify_experiment ctx =
           | None -> "n/a"
         in
         Format.fprintf ctx.fmt
-          "%-22s | %-7s | %7.3fs | %7.3fs | %7.1f%% | %11d | %s@." name verdict
-          t.Cert.Proof.solve_seconds t.Cert.Proof.check_seconds
+          "%-26s | %-10s | %-7s | %7.3fs | %7.3fs | %7.1f%% | %11d | %6d | \
+           %s@."
+          name mode verdict t.Cert.Proof.solve_seconds
+          t.Cert.Proof.check_seconds
           (if t.Cert.Proof.solve_seconds > 0. then
              100. *. t.Cert.Proof.check_seconds /. t.Cert.Proof.solve_seconds
            else 0.)
-          t.Cert.Proof.proof_steps cex_str;
-        (name, verdict, dt, t, c.Upec.Report.ct_cex_validated))
+          t.Cert.Proof.proof_steps t.Cert.Proof.epochs cex_str;
+        (name, mode, cert_jobs, verdict, dt, t, c.Upec.Report.ct_cex_validated))
       runs
   in
   let oc = open_out "BENCH_certify.json" in
   Printf.fprintf oc "{\n  \"runs\": [\n";
   List.iteri
-    (fun i (name, verdict, dt, t, cex) ->
+    (fun i (name, mode, cert_jobs, verdict, dt, t, cex) ->
+      let overhead =
+        if t.Cert.Proof.solve_seconds > 0. then
+          100. *. t.Cert.Proof.check_seconds /. t.Cert.Proof.solve_seconds
+        else 0.
+      in
       Printf.fprintf oc
-        "    { \"name\": \"%s\", \"verdict\": \"%s\", \"total_seconds\": \
-         %.3f,\n\
-        \      \"solve_seconds\": %.3f, \"check_seconds\": %.3f,\n\
-        \      \"proof_steps\": %d, \"proof_lits\": %d,\n\
+        "    { \"name\": \"%s\", \"mode\": \"%s\", \"cert_jobs\": %d, \
+         \"verdict\": \"%s\", \"total_seconds\": %.3f,\n\
+        \      \"solve_seconds\": %.3f, \"check_seconds\": %.3f, \
+         \"overhead_percent\": %.1f,\n\
+        \      \"proof_steps\": %d, \"proof_lits\": %d, \"epochs\": %d, \
+         \"spilled_epochs\": %d,\n\
         \      \"unsat_checked\": %d, \"sat_checked\": %d, \"cex_validated\": \
          %s }%s\n"
-        name verdict dt t.Cert.Proof.solve_seconds t.Cert.Proof.check_seconds
-        t.Cert.Proof.proof_steps t.Cert.Proof.proof_lits
-        t.Cert.Proof.unsat_checked t.Cert.Proof.sat_checked
+        name mode cert_jobs verdict dt t.Cert.Proof.solve_seconds
+        t.Cert.Proof.check_seconds overhead t.Cert.Proof.proof_steps
+        t.Cert.Proof.proof_lits t.Cert.Proof.epochs
+        t.Cert.Proof.spilled_epochs t.Cert.Proof.unsat_checked
+        t.Cert.Proof.sat_checked
         (match cex with
         | Some true -> "true"
         | Some false -> "false"
@@ -674,10 +727,11 @@ let certify_experiment ctx =
   close_out oc;
   Format.fprintf ctx.fmt "wrote BENCH_certify.json@.";
   Format.fprintf ctx.fmt
-    "=> counterexample replay and model checks are effectively free; the \
-     forward RUP check re-propagates every learnt clause once and is the \
-     dominant certification cost — the same order as the solve itself on \
-     proof-heavy UNSAT verdicts@."
+    "=> sequentially, the forward RUP check re-propagates every learnt \
+     clause once after the fact and costs the same order as the solve \
+     itself on proof-heavy UNSAT verdicts; the pipelined checker overlaps \
+     that work with the search, leaving only the residual drain after the \
+     final conflict as visible certification overhead@."
 
 (* ---------------------------------------------------------------- *)
 (* Budget governance: verdict quality vs conflict budget             *)

@@ -128,6 +128,15 @@ let certify_arg =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let cert_jobs_arg =
+  let doc =
+    "With \\$(b,--certify): stream each UNSAT proof into \\$(docv) parallel \
+     checker domains while the solver searches, instead of re-checking it \
+     sequentially afterwards (0 = post-hoc sequential check). Accept/reject \
+     decisions are identical; only the certification overhead shrinks."
+  in
+  Arg.(value & opt int 0 & info [ "cert-jobs" ] ~doc ~docv:"N")
+
 let cex_vcd_arg =
   let doc =
     "Dump the counterexample as paired VCD waveforms \\$(docv).A.vcd / \
@@ -204,8 +213,9 @@ let budget_of ~conflicts ~props ~seconds =
 
 let check_cmd =
   let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
-      no_incremental no_simp json_file jobs portfolio stats certify cex_vcd
-      conflict_budget prop_budget timeout budget_retries budget_escalation
+      no_incremental no_simp json_file jobs portfolio stats certify cert_jobs
+      cex_vcd conflict_budget prop_budget timeout budget_retries
+      budget_escalation
       checkpoint_file resume_file trace_file metrics_file =
     (* [exit] is used for status codes below, so scope-based closing
        (Fun.protect) would never run: close the sink from [at_exit],
@@ -253,6 +263,7 @@ let check_cmd =
         jobs;
         portfolio;
         certify;
+        cert_jobs = max 0 cert_jobs;
         cex_vcd;
         budget;
         budget_retries;
@@ -301,8 +312,8 @@ let check_cmd =
       const run $ variant_arg $ alg_arg $ pers_arg $ depth_arg $ banks_arg
       $ arbiter_arg $ no_dma_arg $ no_hwpe_arg $ max_k_arg $ full_cex_arg
       $ no_incremental_arg $ no_simp_arg $ json_arg $ jobs_arg
-      $ portfolio_arg $ stats_flag_arg $ certify_arg $ cex_vcd_arg
-      $ conflict_budget_arg $ prop_budget_arg $ timeout_arg
+      $ portfolio_arg $ stats_flag_arg $ certify_arg $ cert_jobs_arg
+      $ cex_vcd_arg $ conflict_budget_arg $ prop_budget_arg $ timeout_arg
       $ budget_retries_arg $ budget_escalation_arg $ checkpoint_arg
       $ resume_arg $ trace_arg $ metrics_arg)
 

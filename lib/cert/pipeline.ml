@@ -1,0 +1,515 @@
+(* Pipelined parallel DRUP certification.
+
+   The sequential story — record the whole certificate, then replay it
+   through {!Rup.check} after the verdict — makes certification a
+   post-hoc tax of the same order as the solve itself. This module
+   turns it into a streaming coordinator + checker-shard engine:
+
+   - The solver's tracer feeds steps straight into a {e coordinator}
+     living on the solver's own domain. The coordinator maintains the
+     checker clause database by {e trusted replay} (insert / delete /
+     propagate, but no RUP validation — validation is the expensive
+     part) and buffers the raw steps of the current epoch.
+
+   - At barrier hints (restarts, database reductions) once enough steps
+     accumulated, the epoch is {e closed}: the coordinator snapshots the
+     database state as of epoch start (arena bounds + a copy of the
+     active-flag prefix + the root-trail length — the payload arrays are
+     shared, append-only), replays the epoch into its own database, and
+     hands the compiled epoch to a checker shard via the injected
+     [dispatch] hook (inline by default; a domain pool when driven by
+     [Parallel.Portfolio]).
+
+   - A shard {!Rup.fork}s a state from the snapshot and re-validates
+     every addition of its epoch with full RUP checking. Soundness of
+     the sharding: the shard's snapshot state is semantically identical
+     to the sequential checker's state at epoch start (unit propagation
+     is confluent, and deletion keeps level-0 consequences — drat-trim
+     forward semantics — so the trusted trail replant loses nothing),
+     hence a shard accepts its epoch iff the sequential checker accepts
+     those same steps. All epochs accepted + final conflict derived =
+     sequential accept; any shard rejecting = sequential reject (the
+     sequential run fails at or before the same step).
+
+   - Backpressure: when more than [max_pending] epochs are in flight,
+     newly closed epochs {e spill} to disk in DRUP text form (stamped
+     with the {!Proof.complete_marker} / {!Proof.truncated_marker}
+     discipline) instead of stalling the solver or growing the queue;
+     they are re-read and checked during the final drain. *)
+
+module S = Satsolver.Solver
+module L = Satsolver.Lit
+
+type summary = {
+  steps : int;  (** proof steps streamed *)
+  lits : int;  (** total literals streamed *)
+  adds : int;
+  deletes : int;
+  propagations : int;  (** coordinator + all shards *)
+  epochs : int;
+  spilled_epochs : int;
+  drain_seconds : float;
+      (** wall time {!finish} spent draining after the solver was done —
+          the residual, non-overlapped cost of certification *)
+}
+
+type dispatch = {
+  d_run : (unit -> unit) -> unit;
+      (** run one epoch-check task, possibly on another domain; the
+          tasks never raise *)
+  d_shutdown : unit -> unit;  (** stop the backing workers; idempotent *)
+}
+
+let inline_dispatch = { d_run = (fun f -> f ()); d_shutdown = ignore }
+
+(* compiled epoch step: the coordinator (sole owner of the deletion
+   index) resolves every step to a dense clause id at close time, so
+   shards never need an index of their own *)
+type estep =
+  | E_add of int
+  | E_del of int
+  | E_skip  (* tautology addition: trivially implied, no clause id *)
+  | E_bad of string  (* rejected at compile time (malformed deletion) *)
+
+type epoch = {
+  e_idx : int;
+  e_step0 : int;  (* global index of the epoch's first step *)
+  (* snapshot of the database at epoch start *)
+  e_first_cid : int;
+  e_trail_len : int;
+  e_contradiction : bool;
+  e_nv : int;
+  e_prefix_active : Bytes.t;
+  (* captured after the epoch was replayed into the coordinator: the
+     arrays are append-only, so entries below [e_visible] (resp.
+     [e_trail_len]) are immutable wherever these references travel *)
+  e_data : int array;
+  e_offs : int array;
+  e_sizes : int array;
+  e_visible : int;
+  e_trail : int array;
+  e_steps : (int * estep) array;  (* (global step, op); [||] if spilled *)
+  e_spill : string option;
+}
+
+type t = {
+  st : Rup.t;  (* coordinator database: trusted replay *)
+  assumptions : int list;
+  epoch_target : int;
+  max_pending : int;
+  spill_dir : string;
+  dispatch : dispatch;
+  cancelled : bool Atomic.t;
+  (* coordinator-side accounting (solver thread only) *)
+  mutable raw : Proof.step array;
+  mutable raw_n : int;
+  mutable raw_step0 : int;
+  mutable n_steps : int;
+  mutable n_lits : int;
+  mutable n_adds : int;
+  mutable n_deletes : int;
+  mutable epochs : int;
+  mutable spilled : epoch list;  (* newest first *)
+  mutable finished : bool;
+  (* shared with shards *)
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable pending : int;
+  mutable errors : (int * int * string) list;  (* epoch, global step, msg *)
+  mutable shard_props : int;
+  mutable busy_seconds : float;
+}
+
+let m_clauses_checked = Obs.Metrics.counter "cert.clauses_checked"
+let g_checker_lag = Obs.Metrics.gauge "cert.checker_lag"
+let h_clauses_per_sec = Obs.Metrics.histogram "cert.clauses_per_sec"
+
+let default_epoch_target = 2048
+
+let create ?(dispatch = inline_dispatch) ?(epoch_target = default_epoch_target)
+    ?(max_pending = 4) ?spill_dir ?(assumptions = []) ~nvars ~clauses () =
+  let st = Rup.create nvars in
+  Rup.load_cnf st clauses;
+  {
+    st;
+    assumptions = List.map L.to_int assumptions;
+    epoch_target = max 1 epoch_target;
+    max_pending = max 0 max_pending;
+    spill_dir =
+      (match spill_dir with
+      | Some d -> d
+      | None -> Filename.get_temp_dir_name ());
+    dispatch;
+    cancelled = Atomic.make false;
+    raw = Array.make 64 (Proof.Add [||]);
+    raw_n = 0;
+    raw_step0 = 0;
+    n_steps = 0;
+    n_lits = 0;
+    n_adds = 0;
+    n_deletes = 0;
+    epochs = 0;
+    spilled = [];
+    finished = false;
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    pending = 0;
+    errors = [];
+    shard_props = 0;
+    busy_seconds = 0.0;
+  }
+
+(* ---- checker shards ---- *)
+
+exception Epoch_failed of int * string
+exception Cancelled
+
+let fork_of_epoch ep =
+  Rup.fork ~data:ep.e_data ~offs:ep.e_offs ~sizes:ep.e_sizes
+    ~visible:ep.e_visible ~base:ep.e_first_cid
+    ~prefix_active:ep.e_prefix_active ~trail:ep.e_trail
+    ~trail_len:ep.e_trail_len ~contradiction:ep.e_contradiction ~nv:ep.e_nv
+
+let poll_cancel t i =
+  if i land 63 = 0 && Atomic.get t.cancelled then raise Cancelled
+
+(* Re-validate one in-memory epoch on a fork of its snapshot. *)
+let check_epoch t ep =
+  let sh = fork_of_epoch ep in
+  let checked = ref 0 in
+  Array.iteri
+    (fun i (gstep, op) ->
+      poll_cancel t i;
+      match op with
+      | E_skip -> ()
+      | E_del cid -> Rup.deactivate sh cid
+      | E_add cid ->
+          let lits = Rup.clause_lits sh cid in
+          if Rup.rup_implied sh lits then begin
+            Rup.activate sh cid;
+            incr checked
+          end
+          else
+            raise
+              (Epoch_failed
+                 ( gstep,
+                   "added clause is not implied by unit propagation" ))
+      | E_bad msg -> raise (Epoch_failed (gstep, msg)))
+    ep.e_steps;
+  (!checked, sh.Rup.props)
+
+(* Re-validate one spilled epoch from its DRUP file. The clause ids of
+   its additions are consecutive from [e_first_cid] (the coordinator
+   replayed the same steps), which lets the re-read be verified against
+   the arena — a corrupted or mismatching file is rejected. *)
+let check_spilled t ep path =
+  let sh = fork_of_epoch ep in
+  (* deletions inside a spilled epoch are resolved by literals: rebuild
+     the index over the active snapshot (ascending, so the head of each
+     bucket is the newest clause, matching the coordinator's order) *)
+  for cid = 0 to ep.e_first_cid - 1 do
+    if Bytes.get ep.e_prefix_active cid <> '\000' then begin
+      let key = Array.to_list (Rup.clause_lits sh cid) in
+      match Hashtbl.find_opt sh.Rup.index key with
+      | Some r -> r := cid :: !r
+      | None -> Hashtbl.add sh.Rup.index key (ref [ cid ])
+    end
+  done;
+  let next_cid = ref ep.e_first_cid in
+  let gstep = ref ep.e_step0 in
+  let checked = ref 0 in
+  let emit step =
+    poll_cancel t (!gstep - ep.e_step0);
+    let g = !gstep in
+    incr gstep;
+    match step with
+    | Proof.Add c -> (
+        match Rup.normalize (Array.to_list (Array.map L.to_int c)) with
+        | None -> ()
+        | Some arr ->
+            if
+              !next_cid >= ep.e_visible
+              || arr <> Rup.clause_lits sh !next_cid
+            then
+              raise
+                (Epoch_failed
+                   (g, "spill file does not match the recorded certificate"))
+            else if Rup.rup_implied sh arr then begin
+              Rup.activate sh !next_cid;
+              (let key = Array.to_list arr in
+               match Hashtbl.find_opt sh.Rup.index key with
+               | Some r -> r := !next_cid :: !r
+               | None -> Hashtbl.add sh.Rup.index key (ref [ !next_cid ]));
+              incr next_cid;
+              incr checked
+            end
+            else
+              raise
+                (Epoch_failed
+                   (g, "added clause is not implied by unit propagation")))
+    | Proof.Delete c -> (
+        match Rup.normalize (Array.to_list (Array.map L.to_int c)) with
+        | None -> raise (Epoch_failed (g, "deletion of a tautology"))
+        | Some arr ->
+            if Rup.delete sh arr = None then
+              raise
+                (Epoch_failed (g, "deleted clause is not in the database")))
+  in
+  let ending =
+    In_channel.with_open_text path (fun ic -> Proof.read_drup_channel ic ~emit)
+  in
+  (match ending with
+  | Proof.Complete -> ()
+  | Proof.Truncated | Proof.Unterminated ->
+      raise
+        (Epoch_failed
+           ( ep.e_step0,
+             Printf.sprintf
+               "spilled epoch %d is truncated (file %s does not end with \
+                the completion marker)"
+               ep.e_idx (Filename.basename path) )));
+  (!checked, sh.Rup.props)
+
+(* Run one shard task and record its outcome; never raises (tasks may
+   execute on pool domains whose exceptions would be swallowed, or
+   inline inside the solver's tracer callback). *)
+let run_shard t ep check =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    try
+      Obs.Trace.with_span "cert.check"
+        ~attrs:
+          [
+            ("epoch", Obs.Trace.Int ep.e_idx);
+            ("steps", Obs.Trace.Int (Array.length ep.e_steps));
+          ]
+        (fun () -> Ok (check ()))
+    with
+    | Epoch_failed (gstep, msg) -> Error (gstep, msg)
+    | Cancelled -> Ok (0, 0)
+    | e -> Error (ep.e_step0, "checker exception: " ^ Printexc.to_string e)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.mu;
+  t.pending <- t.pending - 1;
+  (match result with
+  | Ok (checked, props) ->
+      t.shard_props <- t.shard_props + props;
+      t.busy_seconds <- t.busy_seconds +. dt;
+      if checked > 0 then begin
+        Obs.Metrics.add m_clauses_checked checked;
+        if dt > 0.0 then
+          Obs.Metrics.observe h_clauses_per_sec (float_of_int checked /. dt)
+      end
+  | Error (gstep, msg) -> t.errors <- (ep.e_idx, gstep, msg) :: t.errors);
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+(* ---- coordinator (solver thread) ---- *)
+
+let write_spill t ep_idx steps n =
+  let path =
+    Filename.temp_file ~temp_dir:t.spill_dir
+      (Printf.sprintf "upec-epoch-%d-" ep_idx)
+      ".drup"
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let tr = Proof.file_tracer oc in
+      match
+        for i = 0 to n - 1 do
+          match steps.(i) with
+          | Proof.Add c -> tr.S.trace_add c
+          | Proof.Delete c -> tr.S.trace_delete c
+        done
+      with
+      | () -> output_string oc (Proof.complete_marker ^ "\n")
+      | exception e ->
+          (* stamp before the [finally] close so even a failed writer
+             leaves a truncation-detectable file, never a silently
+             short one *)
+          (try output_string oc (Proof.truncated_marker ^ "\n")
+           with _ -> ());
+          raise e);
+  path
+
+let close_epoch t =
+  if t.raw_n > 0 && not (Atomic.get t.cancelled) then begin
+    let st = t.st in
+    let e_idx = t.epochs in
+    t.epochs <- e_idx + 1;
+    (* snapshot before replay: this is the database state the epoch's
+       additions must be validated against *)
+    let e_first_cid = st.Rup.a_n in
+    let e_trail_len = st.Rup.trail_len in
+    let e_contradiction = st.Rup.contradiction in
+    let e_nv = st.Rup.nv in
+    let e_prefix_active = Bytes.sub st.Rup.active 0 e_first_cid in
+    (* trusted replay: compile each step to a clause id while advancing
+       the coordinator database (no RUP validation here) *)
+    let n = t.raw_n in
+    let esteps = Array.make n (0, E_skip) in
+    for i = 0 to n - 1 do
+      let gstep = t.raw_step0 + i in
+      let op =
+        match t.raw.(i) with
+        | Proof.Add c -> (
+            match Rup.normalize (Array.to_list (Array.map L.to_int c)) with
+            | None -> E_skip
+            | Some arr -> E_add (Rup.insert st arr))
+        | Proof.Delete c -> (
+            match Rup.normalize (Array.to_list (Array.map L.to_int c)) with
+            | None -> E_bad "deletion of a tautology"
+            | Some arr -> (
+                match Rup.delete st arr with
+                | Some cid -> E_del cid
+                | None -> E_bad "deleted clause is not in the database"))
+      in
+      esteps.(i) <- (gstep, op)
+    done;
+    let ep =
+      {
+        e_idx;
+        e_step0 = t.raw_step0;
+        e_first_cid;
+        e_trail_len;
+        e_contradiction;
+        e_nv;
+        e_prefix_active;
+        e_data = st.Rup.a_data;
+        e_offs = st.Rup.a_offs;
+        e_sizes = st.Rup.a_sizes;
+        e_visible = st.Rup.a_n;
+        e_trail = st.Rup.trail;
+        e_steps = esteps;
+        e_spill = None;
+      }
+    in
+    t.raw_step0 <- t.raw_step0 + n;
+    t.raw_n <- 0;
+    Mutex.lock t.mu;
+    let backlogged = t.pending >= t.max_pending in
+    if not backlogged then t.pending <- t.pending + 1;
+    Obs.Metrics.set_gauge g_checker_lag (float_of_int t.pending);
+    Mutex.unlock t.mu;
+    if backlogged then begin
+      (* checkers are behind: spill this epoch to disk instead of
+         queueing it, and re-check it during the final drain *)
+      let path = write_spill t e_idx t.raw n in
+      t.spilled <-
+        { ep with e_steps = [||]; e_spill = Some path } :: t.spilled
+    end
+    else t.dispatch.d_run (fun () -> run_shard t ep (fun () -> check_epoch t ep))
+  end
+
+let push t step =
+  if not (Atomic.get t.cancelled || t.finished) then begin
+    if t.raw_n = Array.length t.raw then begin
+      let raw = Array.make (2 * t.raw_n) (Proof.Add [||]) in
+      Array.blit t.raw 0 raw 0 t.raw_n;
+      t.raw <- raw
+    end;
+    t.raw.(t.raw_n) <- step;
+    t.raw_n <- t.raw_n + 1;
+    t.n_steps <- t.n_steps + 1;
+    (match step with
+    | Proof.Add c ->
+        t.n_adds <- t.n_adds + 1;
+        t.n_lits <- t.n_lits + Array.length c
+    | Proof.Delete c ->
+        t.n_deletes <- t.n_deletes + 1;
+        t.n_lits <- t.n_lits + Array.length c);
+    (* hard cap: configurations without restarts never emit barriers *)
+    if t.raw_n >= 4 * t.epoch_target then close_epoch t
+  end
+
+let tracer t =
+  {
+    S.trace_add = (fun c -> push t (Proof.Add c));
+    S.trace_delete = (fun c -> push t (Proof.Delete c));
+    S.trace_barrier =
+      (fun () -> if t.raw_n >= t.epoch_target then close_epoch t);
+  }
+
+let drain t =
+  Mutex.lock t.mu;
+  while t.pending > 0 do
+    Condition.wait t.cv t.mu
+  done;
+  Mutex.unlock t.mu
+
+let remove_spills t =
+  List.iter
+    (fun ep ->
+      match ep.e_spill with
+      | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+      | None -> ())
+    t.spilled
+
+let spill_files t =
+  List.rev_map
+    (fun ep -> match ep.e_spill with Some p -> p | None -> assert false)
+    t.spilled
+
+let finish t =
+  if t.finished then invalid_arg "Pipeline.finish: already finished";
+  let t0 = Unix.gettimeofday () in
+  close_epoch t;
+  t.finished <- true;
+  (* in-flight shards first, then the spilled epochs (which needed the
+     checkers to be idle anyway — that is why they were spilled) *)
+  drain t;
+  List.iter
+    (fun ep ->
+      match ep.e_spill with
+      | None -> ()
+      | Some path ->
+          Mutex.lock t.mu;
+          t.pending <- t.pending + 1;
+          Mutex.unlock t.mu;
+          t.dispatch.d_run (fun () ->
+              run_shard t ep (fun () -> check_spilled t ep path)))
+    (List.rev t.spilled);
+  drain t;
+  t.dispatch.d_shutdown ();
+  remove_spills t;
+  Obs.Metrics.set_gauge g_checker_lag 0.0;
+  let result =
+    match
+      List.sort (fun (_, a, _) (_, b, _) -> compare a b) t.errors
+    with
+    | (eidx, gstep, msg) :: _ ->
+        Error (Printf.sprintf "epoch %d, step %d: %s" eidx gstep msg)
+    | [] ->
+        if t.st.Rup.contradiction || Rup.assumptions_conflict t.st t.assumptions
+        then
+          Ok
+            {
+              steps = t.n_steps;
+              lits = t.n_lits;
+              adds = t.n_adds;
+              deletes = t.n_deletes;
+              propagations = t.st.Rup.props + t.shard_props;
+              epochs = t.epochs;
+              spilled_epochs = List.length t.spilled;
+              drain_seconds = Unix.gettimeofday () -. t0;
+            }
+        else Error Rup.no_conflict_reason
+  in
+  result
+
+let cancel t =
+  if not t.finished then begin
+    Atomic.set t.cancelled true;
+    t.finished <- true;
+    t.raw_n <- 0;
+    (* shards poll the flag and bail out quickly; wait for them so no
+       task still references this pipeline when the caller moves on *)
+    drain t;
+    t.dispatch.d_shutdown ();
+    remove_spills t
+  end
+
+let busy_seconds t = t.busy_seconds

@@ -1,0 +1,90 @@
+(** Pipelined parallel DRUP certification: check the certificate while
+    the solver is still producing it.
+
+    A coordinator on the solver's domain consumes the tracer stream,
+    maintains the checker clause database by trusted replay, and splits
+    the stream into {e epochs} at the solver's barrier hints. Each
+    closed epoch is RUP-validated by a checker shard ({!Rup.fork}) —
+    inline by default, on pool domains when a [dispatch] is injected
+    (see [Parallel.Portfolio]). Shards share the immutable clause arena
+    by reference; only the small activity prefix is copied per epoch.
+    When more than [max_pending] epochs are in flight, newly closed
+    epochs spill to disk in DRUP text form and are re-checked during
+    {!finish} — backpressure never stalls the solver.
+
+    Accept/reject behaviour is identical to {!Rup.check} on the recorded
+    stream: shard snapshots are semantically equal to the sequential
+    checker's state at epoch start (unit propagation is confluent;
+    deletion keeps level-0 consequences), so each shard accepts exactly
+    the steps the sequential checker would.
+
+    Threading contract: {!tracer}, {!finish} and {!cancel} must be
+    called from the thread driving the solver (they mutate the
+    coordinator). A pipeline is finished or cancelled exactly once. *)
+
+type t
+
+type summary = {
+  steps : int;  (** proof steps streamed *)
+  lits : int;  (** total literals streamed *)
+  adds : int;
+  deletes : int;
+  propagations : int;  (** coordinator + all shards *)
+  epochs : int;
+  spilled_epochs : int;
+  drain_seconds : float;
+      (** wall time {!finish} spent draining after the solver was done —
+          the residual, non-overlapped cost of certification *)
+}
+
+type dispatch = {
+  d_run : (unit -> unit) -> unit;
+      (** run one epoch-check task, possibly on another domain; tasks
+          never raise *)
+  d_shutdown : unit -> unit;  (** stop the backing workers; idempotent *)
+}
+
+val inline_dispatch : dispatch
+(** Runs every check on the calling thread, at epoch-close time — the
+    streaming semantics without extra domains. *)
+
+val create :
+  ?dispatch:dispatch ->
+  ?epoch_target:int ->
+  ?max_pending:int ->
+  ?spill_dir:string ->
+  ?assumptions:Satsolver.Lit.t list ->
+  nvars:int ->
+  clauses:Satsolver.Lit.t list list ->
+  unit ->
+  t
+(** Load the original CNF (trusted) and stand ready to consume a tracer
+    stream. [epoch_target] (default 2048) is the step count past which
+    the next barrier closes an epoch (hard cap at 4x for barrier-less
+    configurations); [max_pending] (default 4) bounds in-flight epochs
+    before spilling — 0 spills every epoch; [spill_dir] defaults to the
+    system temp directory. [assumptions] are the solve's assumption
+    literals, needed for the final-conflict acceptance test. *)
+
+val tracer : t -> Satsolver.Solver.tracer
+(** The sink to install with [Solver.set_tracer] {e before} clause
+    loading, exactly like [Proof.tracer]. *)
+
+val finish : t -> (summary, string) result
+(** Close the last epoch, drain in-flight shards, re-check spilled
+    epochs, evaluate the final-conflict condition and release workers
+    and spill files. [Error] reasons name the failing epoch and global
+    step (including which epoch's spill file was truncated). Call after
+    the solver returned UNSAT. *)
+
+val cancel : t -> unit
+(** Cooperative teardown for losers and non-UNSAT outcomes: stop
+    accepting steps, let in-flight shards notice and bail, release
+    workers and spill files. Idempotent; never raises. *)
+
+val spill_files : t -> string list
+(** Paths of currently spilled epochs (before {!finish} removes them) —
+    for audit and tests. *)
+
+val busy_seconds : t -> float
+(** Total wall time shards spent checking (overlapped work). *)

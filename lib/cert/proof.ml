@@ -26,6 +26,7 @@ let tracer p =
   {
     S.trace_add = (fun c -> record p (Add c));
     S.trace_delete = (fun c -> record p (Delete c));
+    S.trace_barrier = ignore;
   }
 
 let steps p = List.rev p.rev_steps
@@ -65,7 +66,7 @@ let file_tracer oc =
       c;
     output_string oc "0\n"
   in
-  { S.trace_add = line ""; trace_delete = line "d " }
+  { S.trace_add = line ""; trace_delete = line "d "; trace_barrier = ignore }
 
 let complete_marker = "c qed"
 let truncated_marker = "c truncated"
@@ -89,34 +90,79 @@ let with_file_tracer path f =
        with _ -> close_out_noerr oc);
       Printexc.raise_with_backtrace e bt
 
-let parse_drup text =
-  let rev = ref [] in
+type stream_end = Complete | Truncated | Unterminated
+
+(* Line-incremental DRUP reader: pulls lines from [next] one at a time
+   and emits each finished step, so a 100k-step certificate is checked
+   in bounded memory — only the line and the clause under construction
+   are live. The return value reports how the stream ended, from the
+   marker lines stamped by [with_file_tracer] (or their absence). *)
+let read_drup ~next ~emit =
   let current = ref [] in
   let deleting = ref false in
+  let ending = ref Unterminated in
   let flush () =
     let c = Array.of_list (List.rev !current) in
-    rev := (if !deleting then Delete c else Add c) :: !rev;
+    emit (if !deleting then Delete c else Add c);
     current := [];
     deleting := false
   in
-  String.split_on_char '\n' text
-  |> List.iter (fun line ->
-         let line = String.trim line in
-         (* "c ..." comment lines — including the completion/truncation
-            markers of [with_file_tracer] — are not proof steps *)
-         if not (line = "c" || (String.length line >= 2 && line.[0] = 'c' && line.[1] = ' '))
-         then
-           String.split_on_char ' ' line
-           |> List.iter (fun tok ->
-                  match String.trim tok with
-                  | "" -> ()
-                  | "d" -> deleting := true
-                  | tok -> (
-                      match int_of_string_opt tok with
-                      | Some 0 -> flush ()
-                      | Some i -> current := L.of_dimacs i :: !current
-                      | None ->
-                          failwith ("Proof.parse_drup: bad token " ^ tok))));
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        (* "c ..." comment lines — including the completion/truncation
+           markers of [with_file_tracer] — are not proof steps *)
+        if line = complete_marker then ending := Complete
+        else if line = truncated_marker then ending := Truncated
+        else if
+          not
+            (line = "c"
+            || String.length line >= 2
+               && line.[0] = 'c'
+               && line.[1] = ' ')
+        then
+          String.split_on_char ' ' line
+          |> List.iter (fun tok ->
+                 match String.trim tok with
+                 | "" -> ()
+                 | "d" -> deleting := true
+                 | tok -> (
+                     match int_of_string_opt tok with
+                     | Some 0 -> flush ()
+                     | Some i -> current := L.of_dimacs i :: !current
+                     | None -> failwith ("Proof.parse_drup: bad token " ^ tok)));
+        loop ()
+  in
+  loop ();
+  !ending
+
+let line_reader_of_string text =
+  let pos = ref 0 in
+  let n = String.length text in
+  fun () ->
+    if !pos >= n then None
+    else
+      let stop =
+        match String.index_from_opt text !pos '\n' with
+        | Some i -> i
+        | None -> n
+      in
+      let line = String.sub text !pos (stop - !pos) in
+      pos := stop + 1;
+      Some line
+
+let read_drup_channel ic ~emit =
+  read_drup ~next:(fun () -> In_channel.input_line ic) ~emit
+
+let parse_drup text =
+  let rev = ref [] in
+  let (_ : stream_end) =
+    read_drup
+      ~next:(line_reader_of_string text)
+      ~emit:(fun s -> rev := s :: !rev)
+  in
   List.rev !rev
 
 (* ---- certification accounting ---- *)
@@ -127,6 +173,8 @@ type totals = {
   unknown_skipped : int;
   proof_steps : int;
   proof_lits : int;
+  epochs : int;
+  spilled_epochs : int;
   solve_seconds : float;
   check_seconds : float;
 }
@@ -138,6 +186,8 @@ let zero_totals =
     unknown_skipped = 0;
     proof_steps = 0;
     proof_lits = 0;
+    epochs = 0;
+    spilled_epochs = 0;
     solve_seconds = 0.0;
     check_seconds = 0.0;
   }
@@ -149,6 +199,8 @@ let add_totals a b =
     unknown_skipped = a.unknown_skipped + b.unknown_skipped;
     proof_steps = a.proof_steps + b.proof_steps;
     proof_lits = a.proof_lits + b.proof_lits;
+    epochs = a.epochs + b.epochs;
+    spilled_epochs = a.spilled_epochs + b.spilled_epochs;
     solve_seconds = a.solve_seconds +. b.solve_seconds;
     check_seconds = a.check_seconds +. b.check_seconds;
   }
@@ -159,5 +211,8 @@ let pp_totals fmt t =
      solve %.3fs, check %.3fs"
     t.unsat_checked t.proof_steps t.proof_lits t.sat_checked t.solve_seconds
     t.check_seconds;
+  if t.epochs > 0 then
+    Format.fprintf fmt "; pipelined in %d epoch(s) (%d spilled)" t.epochs
+      t.spilled_epochs;
   if t.unknown_skipped > 0 then
     Format.fprintf fmt "; %d unknown verdict(s) uncertified" t.unknown_skipped

@@ -58,9 +58,26 @@ val with_file_tracer : string -> (Satsolver.Solver.tracer -> 'a) -> 'a
     exception is re-raised — abnormal exits leave a truncation-detectable
     file, never a silently short one. *)
 
+type stream_end =
+  | Complete  (** the stream ended with {!complete_marker} *)
+  | Truncated  (** the stream ended with {!truncated_marker} *)
+  | Unterminated  (** no marker: writer died, or marker-less legacy text *)
+
+val read_drup :
+  next:(unit -> string option) -> emit:(step -> unit) -> stream_end
+(** Line-incremental DRUP reader: pulls lines from [next] until it
+    returns [None], emitting each completed step — bounded memory
+    regardless of certificate size. Tolerates ["c ..."] comment lines
+    and reports which end-of-stream marker (if any) was seen. Raises
+    [Failure] on malformed input. *)
+
+val read_drup_channel : in_channel -> emit:(step -> unit) -> stream_end
+(** {!read_drup} over a channel's lines. *)
+
 val parse_drup : string -> step list
-(** Inverse of {!output_drup}; tolerates ["c ..."] comment lines (such
-    as the markers above); raises [Failure] on malformed input. *)
+(** Inverse of {!output_drup}: a thin list-building wrapper over
+    {!read_drup}; tolerates ["c ..."] comment lines (such as the
+    markers above); raises [Failure] on malformed input. *)
 
 (** {1 Certification accounting} *)
 
@@ -72,8 +89,15 @@ type totals = {
           nothing to certify, but the gap is accounted, not hidden *)
   proof_steps : int;
   proof_lits : int;
+  epochs : int;  (** pipelined checking: proof epochs dispatched *)
+  spilled_epochs : int;
+      (** epochs that overflowed the checker queue and went to disk *)
   solve_seconds : float;  (** wall time of the certified solves *)
-  check_seconds : float;  (** wall time spent checking certificates *)
+  check_seconds : float;
+      (** wall time spent checking certificates; for pipelined
+          certification, only the {e residual} drain after the solver
+          finished — the overlapped work is hidden inside
+          [solve_seconds] *)
 }
 
 val zero_totals : totals

@@ -13,36 +13,61 @@
 
    Literals are manipulated in the [Satsolver.Lit] int encoding
    (2*var + sign bit, negation = [lxor 1]) — sharing the encoding is
-   what lets the checker consume the solver's certificate directly. *)
+   what lets the checker consume the solver's certificate directly.
+
+   Clause storage is a flat arena: one int array of literal payload plus
+   offset/size tables, clauses named by dense ids in insertion order.
+   The arena arrays are append-only — nothing mutates a clause once
+   written (the classic watched-literal trick of swapping lits in place
+   is replaced by per-state watch side-tables [wa]/[wb]) — so a state
+   can be forked for a parallel shard ({!Pipeline}) by capturing the
+   array references plus a copy of the small active-flag prefix: the
+   literal payload is shared, immutable and safe to read from another
+   domain once the capture is published with a happens-before edge. *)
 
 module L = Satsolver.Lit
 
-type clause = { c_lits : int array; mutable c_active : bool }
+(* growable int vector (watch lists of clause ids) *)
+type ivec = { mutable data : int array; mutable len : int }
 
-(* growable watch list *)
-type wvec = { mutable data : clause array; mutable len : int }
+let ivec () = { data = [||]; len = 0 }
 
-let dummy = { c_lits = [||]; c_active = false }
-let wvec () = { data = [||]; len = 0 }
-
-let wpush v c =
+let ipush v x =
   let cap = Array.length v.data in
   if v.len = cap then begin
-    let data = Array.make (max 4 (2 * cap)) dummy in
+    let data = Array.make (max 4 (2 * cap)) 0 in
     Array.blit v.data 0 data 0 v.len;
     v.data <- data
   end;
-  v.data.(v.len) <- c;
+  v.data.(v.len) <- x;
   v.len <- v.len + 1
 
 type t = {
+  (* arena: shared, append-only clause payload. A forked shard holds
+     captures of these arrays; the owner may grow them (replacing the
+     reference with a larger copy), which never disturbs a capture. *)
+  mutable a_data : int array;  (* flat literal payload *)
+  mutable a_dlen : int;
+  mutable a_offs : int array;  (* cid -> offset into a_data *)
+  mutable a_sizes : int array;  (* cid -> literal count *)
+  mutable a_n : int;  (* clause ids in [0, a_n) are readable *)
+  (* activity flags. cids < base live in [prefix_active] (a private
+     copy taken at fork time); cids >= base in [active], index - base.
+     An owner state has base = 0. *)
+  base : int;
+  prefix_active : Bytes.t;
+  mutable active : Bytes.t;
+  (* the two watched literals of each watched clause, by cid; -1 when
+     the clause is unwatched (unit or empty at activation) *)
+  mutable wa : int array;
+  mutable wb : int array;
   mutable nv : int;
   mutable assigns : int array;  (* by var: 0 unset, 1 true, -1 false *)
-  mutable watches : wvec array;  (* by lit code: clauses watching it *)
+  mutable watches : ivec array;  (* by lit code: cids watching it *)
   mutable trail : int array;
   mutable trail_len : int;
   mutable qhead : int;
-  index : (int list, clause list ref) Hashtbl.t;  (* for deletions *)
+  index : (int list, int list ref) Hashtbl.t;  (* for deletions *)
   mutable contradiction : bool;  (* empty clause derived / root conflict *)
   mutable props : int;
 }
@@ -50,9 +75,19 @@ type t = {
 let create nvars =
   let nv = max 1 nvars in
   {
+    a_data = Array.make 1024 0;
+    a_dlen = 0;
+    a_offs = Array.make 256 0;
+    a_sizes = Array.make 256 0;
+    a_n = 0;
+    base = 0;
+    prefix_active = Bytes.empty;
+    active = Bytes.make 256 '\000';
+    wa = Array.make 256 (-1);
+    wb = Array.make 256 (-1);
     nv;
     assigns = Array.make nv 0;
-    watches = Array.init (2 * nv) (fun _ -> wvec ());
+    watches = Array.init (2 * nv) (fun _ -> ivec ());
     trail = Array.make (max 16 nv) 0;
     trail_len = 0;
     qhead = 0;
@@ -66,12 +101,69 @@ let ensure_var st v =
     let nv = max (v + 1) (2 * st.nv) in
     let assigns = Array.make nv 0 in
     Array.blit st.assigns 0 assigns 0 st.nv;
-    let watches = Array.init (2 * nv) (fun _ -> wvec ()) in
+    let watches = Array.init (2 * nv) (fun _ -> ivec ()) in
     Array.blit st.watches 0 watches 0 (2 * st.nv);
     st.assigns <- assigns;
     st.watches <- watches;
     st.nv <- nv
   end
+
+(* make [wa]/[wb]/[active] indexable at [cid] *)
+let ensure_cid st cid =
+  (if cid >= Array.length st.wa then begin
+     let cap = max (cid + 1) (2 * Array.length st.wa) in
+     let wa = Array.make cap (-1) and wb = Array.make cap (-1) in
+     Array.blit st.wa 0 wa 0 (Array.length st.wa);
+     Array.blit st.wb 0 wb 0 (Array.length st.wb);
+     st.wa <- wa;
+     st.wb <- wb
+   end);
+  if cid >= st.base then begin
+    let i = cid - st.base in
+    if i >= Bytes.length st.active then begin
+      let cap = max (i + 1) (2 * Bytes.length st.active) in
+      let b = Bytes.make cap '\000' in
+      Bytes.blit st.active 0 b 0 (Bytes.length st.active);
+      st.active <- b
+    end
+  end
+
+let is_active st cid =
+  if cid < st.base then Bytes.unsafe_get st.prefix_active cid <> '\000'
+  else Bytes.unsafe_get st.active (cid - st.base) <> '\000'
+
+let set_active st cid v =
+  let c = if v then '\001' else '\000' in
+  if cid < st.base then Bytes.set st.prefix_active cid c
+  else Bytes.set st.active (cid - st.base) c
+
+let clause_lits st cid =
+  Array.sub st.a_data st.a_offs.(cid) st.a_sizes.(cid)
+
+(* append [lits] to the arena (no activation); returns the new cid *)
+let arena_add st lits =
+  let n = Array.length lits in
+  if st.a_dlen + n > Array.length st.a_data then begin
+    let cap = max (st.a_dlen + n) (2 * Array.length st.a_data) in
+    let data = Array.make cap 0 in
+    Array.blit st.a_data 0 data 0 st.a_dlen;
+    st.a_data <- data
+  end;
+  if st.a_n = Array.length st.a_offs then begin
+    let cap = 2 * Array.length st.a_offs in
+    let offs = Array.make cap 0 and sizes = Array.make cap 0 in
+    Array.blit st.a_offs 0 offs 0 st.a_n;
+    Array.blit st.a_sizes 0 sizes 0 st.a_n;
+    st.a_offs <- offs;
+    st.a_sizes <- sizes
+  end;
+  Array.blit lits 0 st.a_data st.a_dlen n;
+  st.a_offs.(st.a_n) <- st.a_dlen;
+  st.a_sizes.(st.a_n) <- n;
+  st.a_dlen <- st.a_dlen + n;
+  let cid = st.a_n in
+  st.a_n <- st.a_n + 1;
+  cid
 
 let value st l =
   let a = st.assigns.(l lsr 1) in
@@ -99,33 +191,36 @@ let propagate st =
     let ws = st.watches.(fl) in
     let i = ref 0 in
     while !i < ws.len do
-      let c = ws.data.(!i) in
-      if not c.c_active then begin
+      let cid = ws.data.(!i) in
+      if not (is_active st cid) then begin
         ws.data.(!i) <- ws.data.(ws.len - 1);
         ws.len <- ws.len - 1
       end
       else begin
-        if c.c_lits.(0) = fl then begin
-          c.c_lits.(0) <- c.c_lits.(1);
-          c.c_lits.(1) <- fl
-        end;
-        if value st c.c_lits.(0) = 1 then incr i
+        let la = st.wa.(cid) in
+        let lb = st.wb.(cid) in
+        let other = if la = fl then lb else la in
+        if value st other = 1 then incr i
         else begin
-          let n = Array.length c.c_lits in
-          let k = ref 2 in
-          while !k < n && value st c.c_lits.(!k) = -1 do
+          let off = st.a_offs.(cid) in
+          let n = st.a_sizes.(cid) in
+          let repl = ref (-1) in
+          let k = ref 0 in
+          while !repl < 0 && !k < n do
+            let l = st.a_data.(off + !k) in
+            if l <> la && l <> lb && value st l <> -1 then repl := l;
             incr k
           done;
-          if !k < n then begin
-            c.c_lits.(1) <- c.c_lits.(!k);
-            c.c_lits.(!k) <- fl;
-            wpush st.watches.(c.c_lits.(1)) c;
+          if !repl >= 0 then begin
+            (* move this clause's watch from [fl] to the replacement *)
+            (if la = fl then st.wa.(cid) <- !repl else st.wb.(cid) <- !repl);
+            ipush st.watches.(!repl) cid;
             ws.data.(!i) <- ws.data.(ws.len - 1);
             ws.len <- ws.len - 1
           end
-          else if value st c.c_lits.(0) = -1 then raise Conflict
+          else if value st other = -1 then raise Conflict
           else begin
-            if value st c.c_lits.(0) = 0 then enqueue st c.c_lits.(0);
+            if value st other = 0 then enqueue st other;
             incr i
           end
         end
@@ -139,45 +234,56 @@ let propagate_root st =
     st.contradiction <- true;
     st.qhead <- st.trail_len
 
-(* [lits] sorted, deduplicated, tautology-free *)
-let insert st lits =
-  Array.iter (fun l -> ensure_var st (l lsr 1)) lits;
-  let key = Array.to_list lits in
-  let cl = { c_lits = Array.copy lits; c_active = true } in
-  (match Hashtbl.find_opt st.index key with
-  | Some r -> r := cl :: !r
-  | None -> Hashtbl.add st.index key (ref [ cl ]));
-  let n = Array.length cl.c_lits in
+(* Activate an arena clause: set its flag, establish watches, record a
+   level-0 consequence if it is unit. [lits] sorted, deduplicated,
+   tautology-free (the invariant of every arena clause). *)
+let activate st cid =
+  let off = st.a_offs.(cid) in
+  let n = st.a_sizes.(cid) in
+  for k = 0 to n - 1 do
+    ensure_var st (st.a_data.(off + k) lsr 1)
+  done;
+  ensure_cid st cid;
+  set_active st cid true;
   if n = 0 then st.contradiction <- true
   else begin
-    (* bring up to two non-false literals to the watch positions *)
-    let w = ref 0 in
-    (try
-       for k = 0 to n - 1 do
-         if value st cl.c_lits.(k) <> -1 then begin
-           let tmp = cl.c_lits.(!w) in
-           cl.c_lits.(!w) <- cl.c_lits.(k);
-           cl.c_lits.(k) <- tmp;
-           incr w;
-           if !w = 2 then raise Exit
-         end
-       done
-     with Exit -> ());
-    if !w = 0 then st.contradiction <- true
-    else if !w = 1 then begin
+    (* up to two non-false literals become the watches *)
+    let w0 = ref (-1) and w1 = ref (-1) in
+    let k = ref 0 in
+    while !w1 < 0 && !k < n do
+      let l = st.a_data.(off + !k) in
+      if value st l <> -1 then if !w0 < 0 then w0 := l else w1 := l;
+      incr k
+    done;
+    if !w0 < 0 then st.contradiction <- true
+    else if !w1 < 0 then begin
       (* unit (or already satisfied) at level 0: the remaining literals
          are permanently false, so the clause can never be watched —
          record its level-0 consequence instead *)
-      if value st cl.c_lits.(0) = 0 then begin
-        enqueue st cl.c_lits.(0);
+      st.wa.(cid) <- -1;
+      st.wb.(cid) <- -1;
+      if value st !w0 = 0 then begin
+        enqueue st !w0;
         propagate_root st
       end
     end
     else begin
-      wpush st.watches.(cl.c_lits.(0)) cl;
-      wpush st.watches.(cl.c_lits.(1)) cl
+      st.wa.(cid) <- !w0;
+      st.wb.(cid) <- !w1;
+      ipush st.watches.(!w0) cid;
+      ipush st.watches.(!w1) cid
     end
   end
+
+(* [lits] sorted, deduplicated, tautology-free *)
+let insert st lits =
+  let cid = arena_add st lits in
+  let key = Array.to_list lits in
+  (match Hashtbl.find_opt st.index key with
+  | Some r -> r := cid :: !r
+  | None -> Hashtbl.add st.index key (ref [ cid ]));
+  activate st cid;
+  cid
 
 (* Is asserting the negation of [lits] refuted by unit propagation?
    Temporary assignments are undone before returning. *)
@@ -204,20 +310,22 @@ let rup_implied st lits =
   st.qhead <- root;
   !ok
 
+let deactivate st cid =
+  (* lazy detach: propagation skips inactive clauses. Level-0
+     assignments implied by the clause are kept (drat-trim forward-mode
+     semantics; the solver never revokes them either). *)
+  set_active st cid false
+
 let delete st lits =
   match Hashtbl.find_opt st.index (Array.to_list lits) with
   | Some r -> (
       match !r with
-      | c :: rest ->
-          (* lazy detach: propagation skips inactive clauses. Level-0
-             assignments implied by the clause are kept (drat-trim
-             forward-mode semantics; the solver never revokes them
-             either). *)
-          c.c_active <- false;
+      | cid :: rest ->
+          deactivate st cid;
           r := rest;
-          true
-      | [] -> false)
-  | None -> false
+          Some cid
+      | [] -> None)
+  | None -> None
 
 let assumptions_conflict st assumptions =
   st.contradiction
@@ -242,6 +350,61 @@ let assumptions_conflict st assumptions =
   st.qhead <- root;
   !ok
 
+(* Fork a checker state for one shard: share (by reference) captured
+   arena arrays — append-only, so entries below [visible] are immutable
+   wherever the references travel — plus a snapshot of the small
+   mutable state: activity prefix (ownership transfers to the fork),
+   trusted root trail, contradiction flag. The snapshot values describe
+   the database at epoch start, which is earlier than the owner's
+   current state — that is why they are explicit arguments rather than
+   read off an owner state (reading the owner's mutable fields from
+   another domain would also be a race). The caller is responsible for
+   the happens-before edge when the fork crosses domains. *)
+let fork ~data ~offs ~sizes ~visible ~base ~prefix_active ~trail ~trail_len
+    ~contradiction ~nv =
+  let nv = max 1 nv in
+  let sh =
+    {
+      a_data = data;
+      a_dlen = 0;
+      (* owner-only; a fork never appends *)
+      a_offs = offs;
+      a_sizes = sizes;
+      a_n = visible;
+      base;
+      prefix_active;
+      active = Bytes.make (max 16 (visible - base)) '\000';
+      wa = Array.make (max 16 visible) (-1);
+      wb = Array.make (max 16 visible) (-1);
+      nv;
+      assigns = Array.make nv 0;
+      watches = Array.init (2 * nv) (fun _ -> ivec ());
+      trail = Array.make (max 16 nv) 0;
+      trail_len = 0;
+      qhead = 0;
+      index = Hashtbl.create 64;
+      contradiction;
+      props = 0;
+    }
+  in
+  (* The snapshot trail is already a unit-propagation fixpoint of the
+     active prefix (the owner propagates to fixpoint after every
+     insertion and deletions never unassign), so its literals are
+     replanted as trusted facts and the queue head skips them. *)
+  for i = 0 to trail_len - 1 do
+    let l = trail.(i) in
+    ensure_var sh (l lsr 1);
+    enqueue sh l
+  done;
+  sh.qhead <- sh.trail_len;
+  (* watch the active prefix. No clause of it is unit-with-unset-lit
+     (that consequence would already be on the trail), so this builds
+     watches without triggering propagation. *)
+  for cid = 0 to base - 1 do
+    if Bytes.get prefix_active cid <> '\000' then activate sh cid
+  done;
+  sh
+
 (* ---- driver ---- *)
 
 type summary = { adds : int; deletes : int; propagations : int }
@@ -256,17 +419,27 @@ let normalize lits =
   in
   if tauto sorted then None else Some (Array.of_list sorted)
 
+let load_cnf st clauses =
+  List.iter
+    (fun c ->
+      match normalize (List.map L.to_int c) with
+      | None -> () (* tautologies are vacuous *)
+      | Some arr -> ignore (insert st arr))
+    clauses;
+  propagate_root st
+
+let final_conflict st assumptions =
+  st.contradiction || assumptions_conflict st (List.map L.to_int assumptions)
+
+let no_conflict_reason =
+  "certificate does not derive a conflict: no empty clause was added and \
+   unit propagation under the assumptions succeeds"
+
 let check ?(assumptions = []) ~nvars ~clauses ~proof () =
   let st = create nvars in
   let adds = ref 0 and deletes = ref 0 in
   try
-    List.iter
-      (fun c ->
-        match normalize (List.map L.to_int c) with
-        | None -> () (* tautologies are vacuous *)
-        | Some arr -> insert st arr)
-      clauses;
-    propagate_root st;
+    load_cnf st clauses;
     List.iteri
       (fun i step ->
         match step with
@@ -275,7 +448,7 @@ let check ?(assumptions = []) ~nvars ~clauses ~proof () =
             match normalize (Array.to_list (Array.map L.to_int lits)) with
             | None -> () (* a tautology is trivially implied *)
             | Some arr ->
-                if rup_implied st arr then insert st arr
+                if rup_implied st arr then ignore (insert st arr)
                 else
                   raise
                     (Check_failed
@@ -291,18 +464,13 @@ let check ?(assumptions = []) ~nvars ~clauses ~proof () =
                   (Check_failed
                      (Printf.sprintf "step %d: deletion of a tautology" i))
             | Some arr ->
-                if not (delete st arr) then
+                if delete st arr = None then
                   raise
                     (Check_failed
                        (Printf.sprintf
                           "step %d: deleted clause is not in the database" i))))
       proof;
-    if
-      st.contradiction
-      || assumptions_conflict st (List.map L.to_int assumptions)
-    then Ok { adds = !adds; deletes = !deletes; propagations = st.props }
-    else
-      Error
-        "certificate does not derive a conflict: no empty clause was added \
-         and unit propagation under the assumptions succeeds"
+    if final_conflict st assumptions then
+      Ok { adds = !adds; deletes = !deletes; propagations = st.props }
+    else Error no_conflict_reason
   with Check_failed msg -> Error msg

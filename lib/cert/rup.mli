@@ -5,9 +5,19 @@
     database — none of the solver's search machinery is reused, so a
     bug in the solver's learning, restarts or deletion cannot also hide
     in the checker. The only shared convention is the literal encoding
-    of {!Satsolver.Lit}. *)
+    of {!Satsolver.Lit}.
+
+    Clauses live in a flat, append-only arena (payload array + offset /
+    size tables, dense ids in insertion order); watched literals are
+    kept in per-state side tables rather than by reordering clause
+    literals in place. Nothing ever mutates a written clause, so
+    {!fork} can hand the arena prefix to a checker shard on another
+    domain by reference — the basis of the pipelined parallel checker
+    in {!Pipeline}. *)
 
 module L = Satsolver.Lit
+
+(** {1 High-level entry point} *)
 
 type summary = {
   adds : int;  (** addition steps processed *)
@@ -31,3 +41,106 @@ val check :
     asserting the assumption literals makes unit propagation fail on
     the final database. Returns [Error reason] otherwise; a corrupted
     certificate is reported with its failing step index. *)
+
+(** {1 Checker-state engine}
+
+    Low-level interface used by {!Pipeline} (and by {!check} itself).
+    The record is exposed so a coordinator can snapshot arena bounds and
+    trail lengths without copying; treat every field as read-only unless
+    you are the state's owner. *)
+
+type ivec = { mutable data : int array; mutable len : int }
+
+type t = {
+  mutable a_data : int array;  (** arena: flat literal payload *)
+  mutable a_dlen : int;
+  mutable a_offs : int array;  (** arena: cid to offset *)
+  mutable a_sizes : int array;  (** arena: cid to literal count *)
+  mutable a_n : int;  (** clause ids in [\[0, a_n)] are readable *)
+  base : int;
+      (** activity of cids below [base] lives in [prefix_active] (a
+          private copy taken by {!fork}); owner states have [base = 0] *)
+  prefix_active : Bytes.t;
+  mutable active : Bytes.t;  (** activity of cids at or above [base] *)
+  mutable wa : int array;  (** watched literal per cid (-1: unwatched) *)
+  mutable wb : int array;
+  mutable nv : int;
+  mutable assigns : int array;
+  mutable watches : ivec array;
+  mutable trail : int array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  index : (int list, int list ref) Hashtbl.t;
+  mutable contradiction : bool;
+  mutable props : int;
+}
+
+val create : int -> t
+(** [create nvars] is a fresh owner state (empty arena). *)
+
+val normalize : int list -> int array option
+(** Sort, deduplicate; [None] for tautologies. Every clause entering
+    the arena is normalized. *)
+
+val insert : t -> int array -> int
+(** Append a normalized clause to the arena, register it for deletion
+    lookup, activate it (watches / level-0 consequence / contradiction).
+    Returns its clause id. No RUP validation — callers decide whether
+    the clause is trusted (CNF, coordinator replay) or must pass
+    {!rup_implied} first (checking). *)
+
+val delete : t -> int array -> int option
+(** Deactivate the most recent active clause with these literals
+    (lazy detach; level-0 consequences are kept, matching drat-trim's
+    forward mode). Returns its cid, or [None] if absent. *)
+
+val activate : t -> int -> unit
+(** Activate an arena clause by id (shards activating their epoch's
+    additions, {!fork} rebuilding a prefix). *)
+
+val deactivate : t -> int -> unit
+
+val rup_implied : t -> int array -> bool
+(** Is the clause derivable from the active database by unit
+    propagation? Leaves the state unchanged. *)
+
+val assumptions_conflict : t -> int list -> bool
+(** Does asserting the assumption literals make propagation fail on the
+    active database? Leaves the state unchanged. *)
+
+val propagate_root : t -> unit
+(** Propagate to fixpoint; a conflict sets [contradiction]. *)
+
+val clause_lits : t -> int -> int array
+(** Copy of an arena clause's literals. *)
+
+val fork :
+  data:int array ->
+  offs:int array ->
+  sizes:int array ->
+  visible:int ->
+  base:int ->
+  prefix_active:Bytes.t ->
+  trail:int array ->
+  trail_len:int ->
+  contradiction:bool ->
+  nv:int ->
+  t
+(** Build a shard state over captured arena arrays (readable up to
+    [visible]; append-only, so the capture stays valid while the owner
+    grows) with the given epoch-start snapshot: activity of cids below
+    [base] from [prefix_active] (ownership transfers to the fork, which
+    may flip flags when its epoch deletes prefix clauses), the trusted
+    root trail replanted verbatim, and watches rebuilt over the active
+    prefix. Cross-domain use requires the caller to publish the capture
+    with a happens-before edge (e.g. a work-queue lock). *)
+
+val load_cnf : t -> L.t list list -> unit
+(** Insert the original formula (trusted) and propagate to fixpoint. *)
+
+val final_conflict : t -> L.t list -> bool
+(** The acceptance condition on the final database: a derived
+    contradiction, or propagation failure under the assumptions. *)
+
+val no_conflict_reason : string
+(** The [Error] reason when {!final_conflict} is false at stream end. *)

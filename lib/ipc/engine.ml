@@ -13,6 +13,7 @@ type t = {
   configs : S.options list option;
   seq_options : S.options option;  (* for certified sequential re-solves *)
   certify : bool;
+  cert_jobs : int;  (* > 0: pipelined streaming checker on that many domains *)
   simp : bool;  (* problem reduction for witness-free solves *)
   mutable assumed : Aig.lit list;  (* permanent assumptions, reversed *)
   mutable implications : (Aig.lit * Aig.lit) list;  (* reversed *)
@@ -30,7 +31,7 @@ type t = {
 }
 
 let create ?solver_options ?(portfolio = 1) ?portfolio_configs
-    ?(certify = false) ?(simp = true) ~two_instance nl =
+    ?(certify = false) ?(cert_jobs = 0) ?(simp = true) ~two_instance nl =
   let g = Aig.create () in
   let u = Unroller.create g nl ~two_instance in
   let solver = S.create ?options:solver_options () in
@@ -44,6 +45,7 @@ let create ?solver_options ?(portfolio = 1) ?portfolio_configs
     configs = portfolio_configs;
     seq_options = solver_options;
     certify;
+    cert_jobs = max 0 cert_jobs;
     simp;
     assumed = [];
     implications = [];
@@ -140,9 +142,9 @@ let model_fn_of t sat_value =
 let solve_certified t ~configs ~nvars ~clauses ~assumptions =
   let t0 = Unix.gettimeofday () in
   let o =
-    Parallel.Portfolio.solve ?configs ~certify:true ~budget:t.budget
-      ?interrupt:t.interrupt ~jobs:(max 1 t.portfolio) ~nvars ~clauses
-      ~assumptions ()
+    Parallel.Portfolio.solve ?configs ~certify:true ~cert_jobs:t.cert_jobs
+      ~budget:t.budget ?interrupt:t.interrupt ~jobs:(max 1 t.portfolio) ~nvars
+      ~clauses ~assumptions ()
   in
   let solve_s = Unix.gettimeofday () -. t0 in
   let t1 = Unix.gettimeofday () in
@@ -158,29 +160,58 @@ let solve_certified t ~configs ~nvars ~clauses ~assumptions =
             Cert.Proof.unknown_skipped = 1;
             solve_seconds = solve_s;
           }
-  | Parallel.Portfolio.Unsat -> (
-      let proof =
-        match o.Parallel.Portfolio.proof with
-        | Some p -> p
-        | None -> assert false (* certify:true always records *)
-      in
-      match
-        Cert.Rup.check ~assumptions ~nvars ~clauses
-          ~proof:(Cert.Proof.steps proof) ()
-      with
-      | Ok _ ->
-          t.cert_tot <-
-            Cert.Proof.add_totals t.cert_tot
-              {
-                Cert.Proof.zero_totals with
-                Cert.Proof.unsat_checked = 1;
-                proof_steps = Cert.Proof.length proof;
-                proof_lits = Cert.Proof.n_lits proof;
-                solve_seconds = solve_s;
-                check_seconds = Unix.gettimeofday () -. t1;
-              }
-      | Error msg ->
-          raise (Certification_failed ("UNSAT certificate rejected: " ^ msg)))
+  | Parallel.Portfolio.Unsat ->
+      if t.cert_jobs > 0 then begin
+        (* pipelined mode: the stream was checked while the solver ran;
+           only the residual drain after the last step counts as check
+           time — the rest overlapped the search *)
+        match o.Parallel.Portfolio.cert with
+        | Some (Ok s) ->
+            let drain = min solve_s s.Cert.Pipeline.drain_seconds in
+            t.cert_tot <-
+              Cert.Proof.add_totals t.cert_tot
+                {
+                  Cert.Proof.zero_totals with
+                  Cert.Proof.unsat_checked = 1;
+                  proof_steps = s.Cert.Pipeline.steps;
+                  proof_lits = s.Cert.Pipeline.lits;
+                  epochs = s.Cert.Pipeline.epochs;
+                  spilled_epochs = s.Cert.Pipeline.spilled_epochs;
+                  solve_seconds = solve_s -. drain;
+                  check_seconds = drain;
+                }
+        | Some (Error msg) ->
+            raise (Certification_failed ("UNSAT certificate rejected: " ^ msg))
+        | None ->
+            (* an Unsat winner always settles its pipeline *)
+            raise
+              (Certification_failed
+                 "UNSAT verdict arrived without a checked certificate stream")
+      end
+      else begin
+        let proof =
+          match o.Parallel.Portfolio.proof with
+          | Some p -> p
+          | None -> assert false (* certify:true always records *)
+        in
+        match
+          Cert.Rup.check ~assumptions ~nvars ~clauses
+            ~proof:(Cert.Proof.steps proof) ()
+        with
+        | Ok _ ->
+            t.cert_tot <-
+              Cert.Proof.add_totals t.cert_tot
+                {
+                  Cert.Proof.zero_totals with
+                  Cert.Proof.unsat_checked = 1;
+                  proof_steps = Cert.Proof.length proof;
+                  proof_lits = Cert.Proof.n_lits proof;
+                  solve_seconds = solve_s;
+                  check_seconds = Unix.gettimeofday () -. t1;
+                }
+        | Error msg ->
+            raise (Certification_failed ("UNSAT certificate rejected: " ^ msg))
+      end
   | Parallel.Portfolio.Sat model -> (
       let value v = v < Array.length model && model.(v) in
       match Cert.Model.check ~clauses ~value with

@@ -44,12 +44,21 @@ val create :
   ?portfolio:int ->
   ?portfolio_configs:Satsolver.Solver.options list ->
   ?certify:bool ->
+  ?cert_jobs:int ->
   ?simp:bool ->
   two_instance:bool ->
   Rtl.Netlist.t ->
   t
 (** [simp] (default [true]) enables cone-of-influence reduction for
-    witness-free solves; it never changes verdicts or counterexamples. *)
+    witness-free solves; it never changes verdicts or counterexamples.
+
+    [cert_jobs] (default [0]) only matters with [certify]: when positive,
+    UNSAT certificates are checked by the pipelined streaming checker
+    ({!Cert.Pipeline}) on that many checker domains {e while the solver
+    searches}, instead of by a post-hoc sequential {!Cert.Rup.check}
+    pass. Verdicts and accept/reject decisions are identical; only the
+    wall-clock attribution changes — [check_seconds] in {!cert_totals}
+    then counts only the residual drain after the solver finished. *)
 
 val unroller : t -> Unroller.t
 val graph : t -> Aig.t

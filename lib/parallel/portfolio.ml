@@ -8,6 +8,7 @@ type outcome = {
   stats : S.stats;
   losers_stats : S.stats;
   proof : Cert.Proof.t option;
+  cert : (Cert.Pipeline.summary, string) result option;
 }
 
 let default_configs k =
@@ -35,29 +36,77 @@ let default_configs k =
           var_decay = if i mod 3 = 0 then 0.93 else 0.97;
         })
 
-let run_config ~certify ~nvars ~clauses opts =
+(* Checker domains for one racer's pipeline, created lazily: a solve
+   whose certificate never fills an epoch (the common tiny proof) pays
+   for zero domains — its single epoch is checked inline at [finish].
+   All hooks run on the racer's own thread, so the lazy cell is safe. *)
+let pool_dispatch ~jobs =
+  let pool = ref None in
+  let get () =
+    match !pool with
+    | Some p -> p
+    | None ->
+        let p = Pool.create ~jobs () in
+        pool := Some p;
+        p
+  in
+  {
+    Cert.Pipeline.d_run = (fun f -> Pool.submit (get ()) (fun _wid -> f ()));
+    d_shutdown =
+      (fun () ->
+        match !pool with
+        | Some p ->
+            pool := None;
+            Pool.shutdown p
+        | None -> ());
+  }
+
+let run_config ~certify ~cert_jobs ~nvars ~clauses ~assumptions opts =
   let s = S.create ~options:opts () in
   (* the tracer must be live before clause loading so level-0
      strengthenings of the input clauses are part of the certificate *)
-  let proof =
-    if certify then begin
+  let proof, pipe =
+    if not certify then (None, None)
+    else if cert_jobs > 0 then begin
+      let p =
+        Cert.Pipeline.create
+          ~dispatch:(pool_dispatch ~jobs:cert_jobs)
+          ~assumptions ~nvars ~clauses ()
+      in
+      S.set_tracer s (Some (Cert.Pipeline.tracer p));
+      (None, Some p)
+    end
+    else begin
       let p = Cert.Proof.create () in
       S.set_tracer s (Some (Cert.Proof.tracer p));
-      Some p
+      (Some p, None)
     end
-    else None
   in
   for _ = 1 to nvars do
     ignore (S.new_var s)
   done;
   List.iter (S.add_clause s) clauses;
-  (s, proof)
+  (s, proof, pipe)
 
 let m_races = Obs.Metrics.counter "portfolio.races"
 let h_winner_margin = Obs.Metrics.histogram "portfolio.winner_margin_seconds"
 
-let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
-    ~nvars ~clauses ~assumptions () =
+(* Settle a racer's pipeline against its verdict: only an UNSAT winner
+   is checked to completion; every other stream is cancelled
+   cooperatively (in-flight shards notice and bail). *)
+let settle_pipe pipe verdict =
+  match pipe with
+  | None -> None
+  | Some p -> (
+      match verdict with
+      | Unsat -> Some (Cert.Pipeline.finish p)
+      | Sat _ | Unknown _ ->
+          Cert.Pipeline.cancel p;
+          None)
+
+let solve ?configs ?(certify = false) ?(cert_jobs = 0)
+    ?(budget = S.no_budget) ?interrupt ~jobs ~nvars ~clauses ~assumptions ()
+    =
   let configs =
     match configs with
     | Some (_ :: _ as cs) -> cs
@@ -67,7 +116,9 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
   let configs = Array.of_list configs in
   if k <= 1 then begin
     (* Inline sequential solve with configuration 0. *)
-    let s, proof = run_config ~certify ~nvars ~clauses configs.(0) in
+    let s, proof, pipe =
+      run_config ~certify ~cert_jobs ~nvars ~clauses ~assumptions configs.(0)
+    in
     (match interrupt with
     | Some f -> S.set_terminate s (Some f)
     | None -> ());
@@ -84,6 +135,7 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
       stats = S.stats s;
       losers_stats = S.zero_stats;
       proof;
+      cert = settle_pipe pipe verdict;
     }
   end
   else begin
@@ -96,8 +148,15 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
        gives the happens-before edge that makes the reads below safe *)
     let all_stats = Array.make k S.zero_stats in
     let unknowns = Array.make k None in
+    (* with pipelined certification, the checker domains are divided
+       over the racers — each stream must be checked as it is produced,
+       since any racer may turn out to be the winner *)
+    let racer_cert_jobs = if cert_jobs > 0 then max 1 (cert_jobs / k) else 0 in
     let body i () =
-      let s, proof = run_config ~certify ~nvars ~clauses configs.(i) in
+      let s, proof, pipe =
+        run_config ~certify ~cert_jobs:racer_cert_jobs ~nvars ~clauses
+          ~assumptions configs.(i)
+      in
       let cancelled () =
         Atomic.get winner >= 0
         || match interrupt with Some f -> f () | None -> false
@@ -106,12 +165,14 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
       (match S.solve_bounded ~assumptions ~budget s with
       | exception S.Interrupted ->
           (* a loser cancelled by the winner, or an external interrupt *)
-          unknowns.(i) <- Some "interrupted"
+          unknowns.(i) <- Some "interrupted";
+          Option.iter Cert.Pipeline.cancel pipe
       | S.Unknown reason ->
           (* out of budget: this racer retires but MUST NOT abort the
              race — a sibling with different search dynamics may still
              decide the instance within the same budget *)
-          unknowns.(i) <- Some reason
+          unknowns.(i) <- Some reason;
+          Option.iter Cert.Pipeline.cancel pipe
       | S.Solved r ->
           if Atomic.compare_and_set winner (-1) i then begin
             Atomic.set t_win (Unix.gettimeofday ());
@@ -120,6 +181,8 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
               | S.Sat -> Sat (Array.init nvars (S.value_var s))
               | S.Unsat -> Unsat
             in
+            (* only the winner's stream is checked to completion *)
+            let cert = settle_pipe pipe verdict in
             outcomes.(i) <-
               Some
                 {
@@ -128,8 +191,10 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
                   stats = S.stats s;
                   losers_stats = S.zero_stats;
                   proof;
+                  cert;
                 }
-          end);
+          end
+          else Option.iter Cert.Pipeline.cancel pipe);
       all_stats.(i) <- S.stats s
     in
     Obs.Trace.with_span "portfolio.race"
@@ -164,6 +229,7 @@ let solve ?configs ?(certify = false) ?(budget = S.no_budget) ?interrupt ~jobs
         stats = total;
         losers_stats = S.zero_stats;
         proof = None;
+        cert = None;
       }
     end
     else

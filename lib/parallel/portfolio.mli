@@ -24,7 +24,14 @@ type outcome = {
       (** summed counters of every losing configuration — the wasted
           work the race paid for its latency win; zero when [jobs <= 1] *)
   proof : Cert.Proof.t option;
-      (** the winner's DRUP certificate when [certify] was set *)
+      (** the winner's recorded DRUP certificate when [certify] was set
+          and [cert_jobs = 0] (post-hoc checking mode) *)
+  cert : (Cert.Pipeline.summary, string) result option;
+      (** pipelined mode ([certify] with [cert_jobs > 0]): the result of
+          checking the winner's stream, present exactly when the verdict
+          is [Unsat]. [Ok] means the certificate was validated while (and
+          just after) the solver ran; [Error] carries the failing epoch
+          and step. *)
 }
 
 val default_configs : int -> Satsolver.Solver.options list
@@ -37,6 +44,7 @@ val default_configs : int -> Satsolver.Solver.options list
 val solve :
   ?configs:Satsolver.Solver.options list ->
   ?certify:bool ->
+  ?cert_jobs:int ->
   ?budget:Satsolver.Solver.budget ->
   ?interrupt:(unit -> bool) ->
   jobs:int ->
@@ -52,6 +60,15 @@ val solve :
     certificate and the winner's is returned — the proof that is
     checked is always the proof of the solver whose verdict is
     reported.
+
+    [cert_jobs > 0] switches certification from post-hoc recording to
+    the pipelined checker ({!Cert.Pipeline}): each racer streams its
+    certificate into checker shards on [max 1 (cert_jobs / k)] pool
+    domains while it searches. Only the winner's stream is checked to
+    completion (its result lands in [cert]); losers' streams are
+    cancelled cooperatively, leaving no stuck domains. The checker
+    pool of a racer is created lazily at its first full epoch, so
+    small proofs pay for no extra domains.
 
     [budget] applies to every racer independently. A racer that runs
     out of budget retires quietly; it never aborts the race. The

@@ -83,6 +83,7 @@ let pp_budget fmt b =
 type tracer = {
   trace_add : Lit.t array -> unit;
   trace_delete : Lit.t array -> unit;
+  trace_barrier : unit -> unit;
 }
 
 (* Growable clause vectors for watch lists. *)
@@ -430,6 +431,9 @@ let trace_delete t lits =
   match t.tracer with
   | None -> ()
   | Some tr -> tr.trace_delete (Array.map Lit.of_int lits)
+
+let trace_barrier t =
+  match t.tracer with None -> () | Some tr -> tr.trace_barrier ()
 
 let set_tracer t tr = t.tracer <- tr
 
@@ -780,10 +784,14 @@ let search t ~assumptions ~conflict_budget =
              (* restart *)
              cancel_until t 0;
              t.n_restarts <- t.n_restarts + 1;
+             trace_barrier t;
              raise Exit
            end
            else begin
-             if t.nlearnts >= max_learnts then reduce_db t;
+             if t.nlearnts >= max_learnts then begin
+               reduce_db t;
+               trace_barrier t
+             end;
              (* assumption handling / decision *)
              let next = ref (-2) in
              while !next = -2 do

@@ -94,6 +94,7 @@ val set_terminate : t -> (unit -> bool) option -> unit
 type tracer = {
   trace_add : Lit.t array -> unit;
   trace_delete : Lit.t array -> unit;
+  trace_barrier : unit -> unit;
 }
 (** Certificate sink. [trace_add] fires for every clause the solver adds
     beyond the clauses given to {!add_clause}: learnt clauses (unit and
@@ -104,7 +105,13 @@ type tracer = {
     RUP with respect to the input clauses plus the previously traced
     additions (minus deletions), so the stream — interpreted as a DRUP
     certificate — can be validated by unit propagation alone. The
-    arrays are fresh; the callee may keep them. *)
+    arrays are fresh; the callee may keep them.
+
+    [trace_barrier] fires at restarts and after learnt-database
+    reductions — natural phase boundaries of the search. It carries no
+    proof content and any point between steps is a valid DRUP split; the
+    barrier is a pacing hint. A sink that only records steps ignores it;
+    a pipelined checker uses it to close an epoch ({!Cert.Pipeline}). *)
 
 val set_tracer : t -> tracer option -> unit
 (** Install (or clear) the certificate sink. Install it before the

@@ -14,7 +14,8 @@ let setup_engine (o : Options.t) ~portfolio
     ?(register = fun (_ : Ipc.Engine.t) -> ()) spec k =
   let eng =
     Ipc.Engine.create ?solver_options:o.Options.solver_options ~portfolio
-      ~certify:o.Options.certify ~simp:o.Options.simp ~two_instance:true
+      ~certify:o.Options.certify ~cert_jobs:o.Options.cert_jobs
+      ~simp:o.Options.simp ~two_instance:true
       spec.Spec.soc.Soc.Builder.netlist
   in
   register eng;

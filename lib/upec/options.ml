@@ -9,6 +9,7 @@ type t = {
   jobs : int option;
   portfolio : int;
   certify : bool;
+  cert_jobs : int;
   cex_vcd : string option;
   budget : S.budget;
   budget_retries : int;
@@ -28,6 +29,7 @@ let default =
     jobs = None;
     portfolio = 1;
     certify = false;
+    cert_jobs = 0;
     cex_vcd = None;
     budget = S.no_budget;
     budget_retries = 2;
@@ -40,7 +42,7 @@ let default =
 let pp fmt o =
   Format.fprintf fmt
     "@[<h>incremental=%b simp=%b jobs=%s portfolio=%d certify=%b \
-     reset_start=%b max_k=%d max_iterations=%d@]"
+     cert_jobs=%d reset_start=%b max_k=%d max_iterations=%d@]"
     o.incremental o.simp
     (match o.jobs with Some j -> string_of_int j | None -> "none")
-    o.portfolio o.certify o.reset_start o.max_k o.max_iterations
+    o.portfolio o.certify o.cert_jobs o.reset_start o.max_k o.max_iterations

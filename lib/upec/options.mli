@@ -31,6 +31,11 @@ type t = {
           the monolithic strategy *)
   portfolio : int;  (** solver configurations raced per SAT call *)
   certify : bool;  (** self-checking verdicts (DRUP / model / replay) *)
+  cert_jobs : int;
+      (** with [certify], [> 0] streams each UNSAT certificate into the
+          pipelined parallel checker on that many domains while the
+          solver searches ({!Cert.Pipeline}); [0] (default) keeps the
+          post-hoc sequential check. Accept/reject is identical. *)
   cex_vcd : string option;  (** waveform-pair prefix for counterexamples *)
   budget : Satsolver.Solver.budget;  (** per-solve resource budget *)
   budget_retries : int;

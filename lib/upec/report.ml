@@ -187,6 +187,7 @@ let options_json (o : Options.t) =
       ("jobs", opt (fun j -> Json.Int j) o.Options.jobs);
       ("portfolio", Json.Int o.Options.portfolio);
       ("certify", Json.Bool o.Options.certify);
+      ("cert_jobs", Json.Int o.Options.cert_jobs);
       ("cex_vcd", opt (fun s -> Json.Str s) o.Options.cex_vcd);
       ("budget", budget_json o.Options.budget);
       ("budget_retries", Json.Int o.Options.budget_retries);
@@ -205,8 +206,13 @@ let simp_json (red : Simp.reduction) =
       ("reduced_clauses", Json.Int red.Simp.red_clauses);
     ]
 
-let cert_json c =
+let cert_json ~cert_jobs c =
   let t = c.ct_totals in
+  let overhead =
+    if t.Cert.Proof.solve_seconds > 0.0 then
+      100.0 *. t.Cert.Proof.check_seconds /. t.Cert.Proof.solve_seconds
+    else 0.0
+  in
   Json.Obj
     [
       ("unsat_checked", Json.Int t.Cert.Proof.unsat_checked);
@@ -214,8 +220,12 @@ let cert_json c =
       ("unknown_skipped", Json.Int t.Cert.Proof.unknown_skipped);
       ("proof_steps", Json.Int t.Cert.Proof.proof_steps);
       ("proof_lits", Json.Int t.Cert.Proof.proof_lits);
+      ("cert_jobs", Json.Int cert_jobs);
+      ("epochs", Json.Int t.Cert.Proof.epochs);
+      ("spilled_epochs", Json.Int t.Cert.Proof.spilled_epochs);
       ("solve_seconds", Json.Float t.Cert.Proof.solve_seconds);
       ("check_seconds", Json.Float t.Cert.Proof.check_seconds);
+      ("check_overhead_percent", Json.Float overhead);
       ("cex_validated", opt (fun b -> Json.Bool b) c.ct_cex_validated);
     ]
 
@@ -244,7 +254,14 @@ let to_json r =
                  [ ("name", Json.Str name); ("reason", Json.Str reason) ])
              r.unknowns) );
       ("resumed_from", opt (fun i -> Json.Int i) r.resumed_from);
-      ("cert", opt cert_json r.cert);
+      ( "cert",
+        opt
+          (cert_json
+             ~cert_jobs:
+               (match r.options with
+               | Some o -> o.Options.cert_jobs
+               | None -> 0))
+          r.cert );
       ("options", opt options_json r.options);
       ("simp", opt simp_json r.simp);
     ]

@@ -141,6 +141,293 @@ let test_drup_roundtrip () =
   Sys.remove path;
   Alcotest.(check string) "streamed = in-core" text streamed
 
+(* ---- streaming DRUP parsing ---- *)
+
+let test_streaming_parse_drup () =
+  let nvars, clauses = pigeonhole 5 4 in
+  let _, p, _ = solve_traced nvars clauses in
+  let text = Proof.to_string p in
+  (* the streaming reader and the legacy whole-string parser agree *)
+  let streamed = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let rest = ref lines in
+  let next () =
+    match !rest with
+    | [] -> None
+    | l :: tl ->
+        rest := tl;
+        Some l
+  in
+  let ending = Proof.read_drup ~next ~emit:(fun st -> streamed := st :: !streamed) in
+  Alcotest.(check bool) "no marker in plain dump" true
+    (ending = Proof.Unterminated);
+  Alcotest.(check bool) "streamed = parse_drup" true
+    (List.rev !streamed = Proof.parse_drup text);
+  Alcotest.(check bool) "streamed = recorded" true
+    (List.rev !streamed = Proof.steps p);
+  (* end-of-stream markers are recognized, not parsed as steps *)
+  let with_suffix suffix =
+    let n = ref 0 in
+    let rest = ref (String.split_on_char '\n' (text ^ suffix)) in
+    let next () =
+      match !rest with [] -> None | l :: tl -> rest := tl; Some l
+    in
+    let e = Proof.read_drup ~next ~emit:(fun _ -> incr n) in
+    (e, !n)
+  in
+  let n_steps = List.length (Proof.steps p) in
+  Alcotest.(check bool) "complete marker" true
+    (with_suffix (Proof.complete_marker ^ "\n") = (Proof.Complete, n_steps));
+  Alcotest.(check bool) "truncated marker" true
+    (with_suffix (Proof.truncated_marker ^ "\n") = (Proof.Truncated, n_steps));
+  (* malformed input still fails loudly *)
+  match Proof.parse_drup "1 2 garbage 0\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "malformed DRUP accepted"
+
+(* ---- pipelined parallel checking ---- *)
+
+module Pipeline = Cert.Pipeline
+
+(* Pool-backed dispatch, created lazily exactly like Portfolio's. *)
+let pool_dispatch jobs =
+  let pool = ref None in
+  let get () =
+    match !pool with
+    | Some p -> p
+    | None ->
+        let p = Parallel.Pool.create ~jobs () in
+        pool := Some p;
+        p
+  in
+  {
+    Pipeline.d_run = (fun f -> Parallel.Pool.submit (get ()) (fun _ -> f ()));
+    d_shutdown =
+      (fun () ->
+        match !pool with
+        | Some p ->
+            pool := None;
+            Parallel.Pool.shutdown p
+        | None -> ());
+  }
+
+(* Replay a recorded certificate through a pipeline's tracer, injecting
+   barrier hints every [barrier_every] steps the way the solver does at
+   restarts — small epochs force real sharding on small proofs. *)
+let replay_pipeline ?dispatch ?(epoch_target = 16) ?max_pending ?assumptions
+    ?(barrier_every = 5) ~nvars ~clauses steps =
+  let p =
+    Pipeline.create ?dispatch ~epoch_target ?max_pending ?assumptions ~nvars
+      ~clauses ()
+  in
+  let tr = Pipeline.tracer p in
+  List.iteri
+    (fun i st ->
+      (match st with
+      | Proof.Add c -> tr.S.trace_add c
+      | Proof.Delete c -> tr.S.trace_delete c);
+      if (i + 1) mod barrier_every = 0 then tr.S.trace_barrier ())
+    steps;
+  p
+
+let test_pipeline_matches_sequential () =
+  (* accept/reject identity vs the sequential checker, across worker
+     counts — including rejection of the same corrupted certificates *)
+  let nvars, clauses = pigeonhole 6 5 in
+  let verdict, p, _ = solve_traced nvars clauses in
+  Alcotest.(check bool) "unsat" true (verdict = S.Unsat);
+  let steps = Proof.steps p in
+  let corrupted =
+    (* splice a non-RUP clause into the middle of the stream *)
+    let mid = List.length steps / 2 in
+    List.concat
+      [
+        List.filteri (fun i _ -> i < mid) steps;
+        [ Proof.Add [| lit (nvars + 3) true |] ];
+        List.filteri (fun i _ -> i >= mid) steps;
+      ]
+  in
+  let dispatches =
+    [ ("jobs1", fun () -> Pipeline.inline_dispatch);
+      ("jobs2", fun () -> pool_dispatch 2);
+      ("jobs4", fun () -> pool_dispatch 4) ]
+  in
+  List.iter
+    (fun (label, mk) ->
+      (* genuine certificate: accepted, in more than one epoch *)
+      let pl = replay_pipeline ~dispatch:(mk ()) ~nvars ~clauses steps in
+      (match Pipeline.finish pl with
+      | Ok s ->
+          Alcotest.(check bool) (label ^ ": multiple epochs") true
+            (s.Pipeline.epochs > 1);
+          Alcotest.(check int)
+            (label ^ ": every step checked")
+            (List.length steps) s.Pipeline.steps
+      | Error msg -> Alcotest.fail (label ^ ": genuine proof rejected: " ^ msg));
+      (* sequential control *)
+      (match Rup.check ~nvars ~clauses ~proof:steps () with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("sequential control rejected: " ^ msg));
+      (* corrupted certificate: rejected by both, shard names its epoch *)
+      let pl = replay_pipeline ~dispatch:(mk ()) ~nvars ~clauses corrupted in
+      (match Pipeline.finish pl with
+      | Ok _ -> Alcotest.fail (label ^ ": corrupted proof accepted")
+      | Error msg ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool)
+            (label ^ ": error names the epoch")
+            true (contains msg "epoch"));
+      match Rup.check ~nvars ~clauses ~proof:corrupted () with
+      | Ok _ -> Alcotest.fail "sequential accepted corrupted proof"
+      | Error _ -> ())
+    dispatches
+
+let test_pipeline_empty_and_assumptions () =
+  (* propagation-only UNSAT under assumptions: no learnt clauses, the
+     whole acceptance rests on the final assumption conflict *)
+  let nvars = 10 in
+  let clauses = List.init 9 (fun i -> [ lit i false; lit (i + 1) true ]) in
+  let assumptions = [ lit 0 true; lit 9 false ] in
+  let verdict, p, _ = solve_traced ~assumptions nvars clauses in
+  Alcotest.(check bool) "unsat" true (verdict = S.Unsat);
+  let pl =
+    replay_pipeline ~assumptions ~nvars ~clauses (Proof.steps p)
+  in
+  (match Pipeline.finish pl with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("assumption certificate rejected: " ^ msg));
+  (* the same stream without the assumptions proves nothing *)
+  let pl = replay_pipeline ~nvars ~clauses (Proof.steps p) in
+  match Pipeline.finish pl with
+  | Ok _ -> Alcotest.fail "accepted a proof of a satisfiable formula"
+  | Error _ -> ()
+
+let test_pipeline_spill_roundtrip () =
+  (* max_pending = 0 spills every closed epoch to disk; the re-check at
+     finish must accept exactly like the in-memory path and clean up *)
+  let nvars, clauses = pigeonhole 6 5 in
+  let _, p, _ = solve_traced nvars clauses in
+  let pl =
+    replay_pipeline ~max_pending:0 ~dispatch:(pool_dispatch 2) ~nvars ~clauses
+      (Proof.steps p)
+  in
+  let spills = Pipeline.spill_files pl in
+  Alcotest.(check bool) "epochs actually spilled" true (spills <> []);
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) "spill file exists" true (Sys.file_exists path);
+      (* backpressure discipline: every spill file ends with a marker *)
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let last_line =
+        match
+          String.split_on_char '\n' (String.trim text) |> List.rev
+        with
+        | l :: _ -> l
+        | [] -> ""
+      in
+      Alcotest.(check string) "complete marker last" Proof.complete_marker
+        last_line)
+    spills;
+  (match Pipeline.finish pl with
+  | Ok s ->
+      Alcotest.(check bool) "spilled epochs counted" true
+        (s.Pipeline.spilled_epochs > 0)
+  | Error msg -> Alcotest.fail ("spilled roundtrip rejected: " ^ msg));
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) "spill file removed" false (Sys.file_exists path))
+    spills
+
+let test_pipeline_truncated_spill_rejected () =
+  (* chop the completion marker (and the final conflict) off one spill
+     file: finish must reject and name the truncated epoch *)
+  let nvars, clauses = pigeonhole 5 4 in
+  let _, p, _ = solve_traced nvars clauses in
+  let pl =
+    replay_pipeline ~max_pending:0 ~nvars ~clauses (Proof.steps p)
+  in
+  (match Pipeline.spill_files pl with
+  | [] -> Alcotest.fail "expected spilled epochs"
+  | path :: _ ->
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let lines = String.split_on_char '\n' (String.trim text) in
+      let keep = List.filteri (fun i _ -> i < List.length lines - 2) lines in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+      close_out oc);
+  match Pipeline.finish pl with
+  | Ok _ -> Alcotest.fail "truncated spill accepted"
+  | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "names the epoch" true (contains msg "epoch")
+
+let test_pipeline_cancel () =
+  (* cooperative cancellation mid-stream must leave no stuck domains and
+     remove every spill file; cancel is idempotent *)
+  let nvars, clauses = pigeonhole 6 5 in
+  let _, p, _ = solve_traced nvars clauses in
+  let steps = Proof.steps p in
+  let half = List.filteri (fun i _ -> i < List.length steps / 2) steps in
+  let pl =
+    replay_pipeline ~max_pending:0 ~dispatch:(pool_dispatch 2) ~nvars ~clauses
+      half
+  in
+  let spills = Pipeline.spill_files pl in
+  Pipeline.cancel pl;
+  Pipeline.cancel pl;
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) "spill removed on cancel" false
+        (Sys.file_exists path))
+    spills
+
+let test_pipeline_portfolio_integration () =
+  (* the full wiring: racing solvers stream into per-racer pipelines;
+     the winner's stream is checked, losers cancel *)
+  let nvars, clauses = pigeonhole 6 5 in
+  List.iter
+    (fun jobs ->
+      let o =
+        Parallel.Portfolio.solve ~certify:true ~cert_jobs:2 ~jobs ~nvars
+          ~clauses ~assumptions:[] ()
+      in
+      Alcotest.(check bool) "unsat" true
+        (o.Parallel.Portfolio.verdict = Parallel.Portfolio.Unsat);
+      match o.Parallel.Portfolio.cert with
+      | Some (Ok s) ->
+          Alcotest.(check bool) "steps streamed" true (s.Pipeline.steps > 0)
+      | Some (Error msg) ->
+          Alcotest.fail ("winner's genuine stream rejected: " ^ msg)
+      | None -> Alcotest.fail "UNSAT outcome carries no cert result")
+    [ 1; 2 ];
+  (* SAT outcome: stream cancelled, no cert result, clean return *)
+  let sat_clauses = [ [ lit 0 true; lit 1 true ]; [ lit 0 false ] ] in
+  let o =
+    Parallel.Portfolio.solve ~certify:true ~cert_jobs:2 ~jobs:2 ~nvars:2
+      ~clauses:sat_clauses ~assumptions:[] ()
+  in
+  (match o.Parallel.Portfolio.verdict with
+  | Parallel.Portfolio.Sat _ -> ()
+  | _ -> Alcotest.fail "expected SAT");
+  Alcotest.(check bool) "no cert for SAT" true
+    (o.Parallel.Portfolio.cert = None)
+
 (* ---- SAT-model checking ---- *)
 
 let test_model_check () =
@@ -320,6 +607,29 @@ let test_certified_alg1_jobs_and_portfolio () =
       ("jobs4-portfolio2", Some 4, 2);
     ]
 
+let test_certified_alg1_pipelined () =
+  (* end-to-end: the engine's certify path with the streaming checker —
+     same verdict and certification coverage as the post-hoc mode *)
+  let run cert_jobs =
+    Upec.Alg1.run_with
+      {
+        Upec.Options.default with
+        Upec.Options.certify = true;
+        cert_jobs;
+      }
+      (micro_spec Upec.Spec.Secure)
+  in
+  let seq = run 0 and pipe = run 2 in
+  Alcotest.(check bool) "sequential secure" true (Upec.Report.is_secure seq);
+  Alcotest.(check bool) "pipelined secure" true (Upec.Report.is_secure pipe);
+  let ts = (cert_of seq).Upec.Report.ct_totals
+  and tp = (cert_of pipe).Upec.Report.ct_totals in
+  Alcotest.(check int) "same UNSAT coverage" ts.Proof.unsat_checked
+    tp.Proof.unsat_checked;
+  Alcotest.(check bool) "pipelined in epochs" true
+    (tp.Proof.epochs >= tp.Proof.unsat_checked);
+  Alcotest.(check bool) "sequential has no epochs" true (ts.Proof.epochs = 0)
+
 let test_certified_alg2 () =
   let r = Upec.Alg2.conclude ~certify:true (tiny_spec Upec.Spec.Vulnerable) in
   Alcotest.(check bool) "vulnerable" true (Upec.Report.is_vulnerable r);
@@ -346,6 +656,22 @@ let () =
           Alcotest.test_case "unsat under assumptions" `Quick
             test_rup_under_assumptions;
           Alcotest.test_case "drup text roundtrip" `Quick test_drup_roundtrip;
+          Alcotest.test_case "streaming drup reader" `Quick
+            test_streaming_parse_drup;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "matches sequential checker" `Quick
+            test_pipeline_matches_sequential;
+          Alcotest.test_case "assumption-only certificates" `Quick
+            test_pipeline_empty_and_assumptions;
+          Alcotest.test_case "spill roundtrip" `Quick
+            test_pipeline_spill_roundtrip;
+          Alcotest.test_case "truncated spill rejected" `Quick
+            test_pipeline_truncated_spill_rejected;
+          Alcotest.test_case "cancellation" `Quick test_pipeline_cancel;
+          Alcotest.test_case "portfolio integration" `Quick
+            test_pipeline_portfolio_integration;
         ] );
       ("model", [ Alcotest.test_case "model check" `Quick test_model_check ]);
       ( "certval",
@@ -365,6 +691,8 @@ let () =
           Alcotest.test_case "alg1 secure" `Quick test_certified_alg1_secure;
           Alcotest.test_case "alg1 jobs x portfolio" `Slow
             test_certified_alg1_jobs_and_portfolio;
+          Alcotest.test_case "alg1 pipelined vs post-hoc" `Slow
+            test_certified_alg1_pipelined;
           Alcotest.test_case "alg2 both variants" `Slow test_certified_alg2;
         ] );
     ]
