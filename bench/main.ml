@@ -876,6 +876,150 @@ let kernels ctx =
     results
 
 (* ---------------------------------------------------------------- *)
+(* Proof farm: cold vs warm service latency, hit ratio, throughput   *)
+(* ---------------------------------------------------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let farm_experiment ctx =
+  section ctx "farm: cached, sharded verification service";
+  paper_note ctx
+    "regression flows resubmit near-identical designs all day; the farm \
+     answers unchanged jobs from a content-addressed report cache and \
+     re-solves only the cone an RTL delta invalidates. This experiment \
+     serves the same job batch cold then warm at 1/2/4 worker processes, \
+     then mutates one IP (timer counter width) and measures how much of \
+     the design the delta actually re-proves.";
+  let worker_exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      "../bin/upec_farm.exe"
+  in
+  if not (Sys.file_exists worker_exe) then
+    Format.fprintf ctx.fmt
+      "upec_farm.exe not built (run dune build first) — skipping@."
+  else begin
+    let module Json = Upec.Json in
+    let job ~id ~tw ~depth =
+      Json.Obj
+        [
+          ("id", Json.Str id);
+          ( "design",
+            Json.Obj
+              [
+                ("depth", Json.Int depth);
+                ("dma", Json.Bool false);
+                ("hwpe", Json.Bool false);
+                ("uart", Json.Bool false);
+                ("timer_width", Json.Int tw);
+              ] );
+          ("options", Json.Obj [ ("jobs", Json.Int 1) ]);
+        ]
+    in
+    let batch =
+      List.concat_map
+        (fun depth ->
+          List.map
+            (fun tw -> job ~id:(Printf.sprintf "d%d-tw%d" depth tw) ~tw ~depth)
+            [ 8; 7; 6; 5 ])
+        [ 3; 4 ]
+    in
+    let n = List.length batch in
+    let serve ~cache_dir ~workers jobs =
+      let server =
+        Farm.Server.create ~cache_dir
+          ~worker_argv:[| worker_exe; "worker"; "--cache"; cache_dir |]
+          ~workers ~job_timeout:0.0 ()
+      in
+      let replies, dt = time (fun () -> Farm.Server.run_batch server ~jobs) in
+      Farm.Server.close server;
+      (replies, dt)
+    in
+    let hit_ratio replies =
+      let hits =
+        List.length
+          (List.filter
+             (fun r -> Json.to_bool (Json.member "cached" r) = Some true)
+             replies)
+      in
+      float_of_int hits /. float_of_int (List.length replies)
+    in
+    Format.fprintf ctx.fmt
+      "workers | cold batch | throughput | warm batch | hit ratio | speedup@.";
+    let rows =
+      List.map
+        (fun workers ->
+          let cache_dir = Printf.sprintf "farm-bench-cache-%d" workers in
+          rm_rf cache_dir;
+          let cold, cold_dt = serve ~cache_dir ~workers batch in
+          let warm, warm_dt = serve ~cache_dir ~workers batch in
+          assert (List.for_all (fun r -> Json.to_bool (Json.member "ok" r) = Some true) (cold @ warm));
+          let ratio = hit_ratio warm in
+          Format.fprintf ctx.fmt
+            "%7d | %9.2fs | %7.2f/s | %9.3fs | %9.2f | %6.1fx@." workers
+            cold_dt
+            (float_of_int n /. cold_dt)
+            warm_dt ratio (cold_dt /. warm_dt);
+          (workers, cold_dt, warm_dt, ratio))
+        [ 1; 2; 4 ]
+    in
+    (* the RTL delta: resubmit the depth-3 jobs one timer bit narrower;
+       the lemma cache serves everything outside the timer cone *)
+    let delta =
+      List.map
+        (fun tw -> job ~id:(Printf.sprintf "delta-tw%d" tw) ~tw ~depth:3)
+        [ 4; 3; 2 ]
+    in
+    let delta_replies, delta_dt = serve ~cache_dir:"farm-bench-cache-2" ~workers:2 delta in
+    let sum k =
+      List.fold_left
+        (fun acc r ->
+          acc + Option.value ~default:0 (Json.to_int (Json.member k r)))
+        0 delta_replies
+    in
+    let d_hits = sum "lemma_hits"
+    and d_misses = sum "lemma_misses"
+    and d_inval = sum "invalidated" in
+    Format.fprintf ctx.fmt
+      "delta pass (timer width changed, %d jobs): %d lemma hits, %d \
+       re-solved (%d invalidations), %.3fs@."
+      (List.length delta) d_hits d_misses d_inval delta_dt;
+    let oc = open_out "BENCH_farm.json" in
+    Printf.fprintf oc
+      "{\n  \"jobs_per_batch\": %d,\n  \"cores\": %d,\n  \"pool\": [\n" n
+      (Parallel.Pool.default_jobs ());
+    List.iteri
+      (fun i (workers, cold_dt, warm_dt, ratio) ->
+        Printf.fprintf oc
+          "    { \"workers\": %d, \"cold_seconds\": %.3f, \
+           \"warm_seconds\": %.3f, \"cold_throughput\": %.2f, \
+           \"warm_hit_ratio\": %.3f }%s\n"
+          workers cold_dt warm_dt
+          (float_of_int n /. cold_dt)
+          ratio
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc
+      "  ],\n\
+      \  \"delta\": { \"jobs\": %d, \"lemma_hits\": %d, \"lemma_misses\": \
+       %d, \"invalidated\": %d, \"seconds\": %.3f }\n\
+       }\n"
+      (List.length delta) d_hits d_misses d_inval delta_dt;
+    close_out oc;
+    Format.fprintf ctx.fmt "wrote BENCH_farm.json@.";
+    Format.fprintf ctx.fmt
+      "=> an unchanged resubmission never reaches a solver — the daemon \
+       serves the stored artefact from the fingerprint — and a one-IP \
+       delta re-proves only the checks whose cache key its cone \
+       intersects@."
+  end
+
+(* ---------------------------------------------------------------- *)
 
 let all_experiments ~full =
   [
@@ -895,6 +1039,7 @@ let all_experiments ~full =
     ("A5", a5);
     ("certify", certify_experiment);
     ("budget", budget_experiment);
+    ("farm", farm_experiment);
     ("kernels", kernels);
   ]
 

@@ -8,36 +8,9 @@
 
 open Cmdliner
 
-let cfg_of ~depth ~banks ~arbiter ~no_dma ~no_hwpe =
-  {
-    Soc.Config.formal_default with
-    Soc.Config.pub_depth = depth;
-    priv_depth = depth;
-    pub_banks = banks;
-    priv_banks = banks;
-    with_dma = not no_dma;
-    with_hwpe = not no_hwpe;
-    arbiter =
-      (match arbiter with
-      | "fixed" -> `Fixed_priority
-      | "tdma" -> `Tdma
-      | _ -> `Round_robin);
-  }
-
-let spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe =
-  let cfg = cfg_of ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
-  let soc = Soc.Builder.build cfg Soc.Builder.Formal in
-  let variant =
-    match variant with
-    | "secure" -> Upec.Spec.Secure
-    | _ -> Upec.Spec.Vulnerable
-  in
-  let pers_model =
-    match pers with
-    | "memory" -> Upec.Spec.Memory_only
-    | _ -> Upec.Spec.Full_pers
-  in
-  Upec.Spec.make ~pers_model soc variant
+(* The design/options semantics (string enumerations, defaults, budget
+   assembly) live in Upec.Cli, shared with the proof farm's JSON job
+   codec; this file only contributes the Cmdliner flag layer. *)
 
 let variant_arg =
   let doc = "SoC variant to analyse: 'vulnerable' or 'secure'." in
@@ -70,6 +43,36 @@ let no_dma_arg =
 let no_hwpe_arg =
   let doc = "Build the SoC without the HWPE accelerator." in
   Arg.(value & flag & info [ "no-hwpe" ] ~doc)
+
+let no_uart_arg =
+  let doc = "Build the SoC without the UART." in
+  Arg.(value & flag & info [ "no-uart" ] ~doc)
+
+let timer_width_arg =
+  let doc = "Timer counter width in bits (an easy one-IP RTL delta)." in
+  Arg.(
+    value
+    & opt int Upec.Cli.default_design.Upec.Cli.d_timer_width
+    & info [ "timer-width" ] ~doc ~docv:"BITS")
+
+let design_term =
+  let make variant pers depth banks arbiter no_dma no_hwpe no_uart timer_width
+      =
+    {
+      Upec.Cli.d_variant = variant;
+      d_pers = pers;
+      d_depth = depth;
+      d_banks = banks;
+      d_arbiter = arbiter;
+      d_dma = not no_dma;
+      d_hwpe = not no_hwpe;
+      d_uart = not no_uart;
+      d_timer_width = timer_width;
+    }
+  in
+  Term.(
+    const make $ variant_arg $ pers_arg $ depth_arg $ banks_arg $ arbiter_arg
+    $ no_dma_arg $ no_hwpe_arg $ no_uart_arg $ timer_width_arg)
 
 let max_k_arg =
   let doc = "Maximum unrolling depth for Alg. 2." in
@@ -200,23 +203,11 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
 
-let resolve_jobs = function
-  | Some 0 -> Some (Parallel.Pool.default_jobs ())
-  | j -> j
-
-let budget_of ~conflicts ~props ~seconds =
-  {
-    Satsolver.Solver.max_conflicts = (if conflicts > 0 then conflicts else -1);
-    max_propagations = (if props > 0 then props else -1);
-    max_seconds = (if seconds > 0.0 then seconds else 0.0);
-  }
-
 let check_cmd =
-  let run variant alg pers depth banks arbiter no_dma no_hwpe max_k full_cex
-      no_incremental no_simp json_file jobs portfolio stats certify cert_jobs
-      cex_vcd conflict_budget prop_budget timeout budget_retries
-      budget_escalation
-      checkpoint_file resume_file trace_file metrics_file =
+  let run design alg max_k full_cex no_incremental no_simp json_file jobs
+      portfolio stats certify cert_jobs cex_vcd conflict_budget prop_budget
+      timeout budget_retries budget_escalation checkpoint_file resume_file
+      trace_file metrics_file =
     (* [exit] is used for status codes below, so scope-based closing
        (Fun.protect) would never run: close the sink from [at_exit],
        which fires on every exit path including the interrupt ones.
@@ -229,10 +220,11 @@ let check_cmd =
     (match metrics_file with
     | Some path -> at_exit (fun () -> Obs.Metrics.dump_file path)
     | None -> ());
-    let spec = spec_of ~variant ~pers ~depth ~banks ~arbiter ~no_dma ~no_hwpe in
-    let jobs = resolve_jobs jobs in
+    let spec = Upec.Cli.spec_of design in
+    let jobs = Upec.Cli.resolve_jobs jobs in
     let budget =
-      budget_of ~conflicts:conflict_budget ~props:prop_budget ~seconds:timeout
+      Upec.Cli.budget_of ~conflicts:conflict_budget ~props:prop_budget
+        ~seconds:timeout
     in
     let resume =
       match resume_file with
@@ -309,8 +301,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const run $ variant_arg $ alg_arg $ pers_arg $ depth_arg $ banks_arg
-      $ arbiter_arg $ no_dma_arg $ no_hwpe_arg $ max_k_arg $ full_cex_arg
+      const run $ design_term $ alg_arg $ max_k_arg $ full_cex_arg
       $ no_incremental_arg $ no_simp_arg $ json_arg $ jobs_arg
       $ portfolio_arg $ stats_flag_arg $ certify_arg $ cert_jobs_arg
       $ cex_vcd_arg $ conflict_budget_arg $ prop_budget_arg $ timeout_arg
@@ -318,11 +309,8 @@ let check_cmd =
       $ resume_arg $ trace_arg $ metrics_arg)
 
 let invariants_cmd =
-  let run variant depth banks arbiter =
-    let spec =
-      spec_of ~variant ~pers:"full" ~depth ~banks ~arbiter ~no_dma:false
-        ~no_hwpe:false
-    in
+  let run design =
+    let spec = Upec.Cli.spec_of design in
     Format.printf "base case (reset state):@.";
     List.iter
       (fun (name, ok) ->
@@ -335,14 +323,13 @@ let invariants_cmd =
       (Upec.Invariant.check_inductive spec)
   in
   let doc = "Check that the assumed reachability invariants are sound." in
-  Cmd.v
-    (Cmd.info "invariants" ~doc)
-    Term.(const run $ variant_arg $ depth_arg $ banks_arg $ arbiter_arg)
+  Cmd.v (Cmd.info "invariants" ~doc) Term.(const run $ design_term)
 
 let emit_cmd =
-  let run depth banks arbiter out =
-    let cfg = cfg_of ~depth ~banks ~arbiter ~no_dma:false ~no_hwpe:false in
-    let soc = Soc.Builder.build cfg Soc.Builder.Formal in
+  let run design out =
+    let soc =
+      Soc.Builder.build (Upec.Cli.config_of design) Soc.Builder.Formal
+    in
     Rtl.Verilog.write_file out soc.Soc.Builder.netlist;
     Format.printf "wrote %s (%s)@." out
       (Rtl.Netlist.stats soc.Soc.Builder.netlist)
@@ -351,20 +338,17 @@ let emit_cmd =
     Arg.(value & opt string "soc.v" & info [ "o"; "output" ] ~doc:"Output file.")
   in
   let doc = "Export the formal-mode SoC netlist as Verilog." in
-  Cmd.v
-    (Cmd.info "emit" ~doc)
-    Term.(const run $ depth_arg $ banks_arg $ arbiter_arg $ out_arg)
+  Cmd.v (Cmd.info "emit" ~doc) Term.(const run $ design_term $ out_arg)
 
 let stats_cmd =
-  let run depth banks arbiter =
-    let cfg = cfg_of ~depth ~banks ~arbiter ~no_dma:false ~no_hwpe:false in
-    let soc = Soc.Builder.build cfg Soc.Builder.Formal in
+  let run design =
+    let soc =
+      Soc.Builder.build (Upec.Cli.config_of design) Soc.Builder.Formal
+    in
     print_endline (Rtl.Netlist.stats soc.Soc.Builder.netlist)
   in
   let doc = "Print netlist statistics for a configuration." in
-  Cmd.v
-    (Cmd.info "stats" ~doc)
-    Term.(const run $ depth_arg $ banks_arg $ arbiter_arg)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ design_term)
 
 let () =
   let doc = "UPEC-SSC: formal detection of MCU-wide timing side channels" in

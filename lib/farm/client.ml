@@ -1,0 +1,25 @@
+module Json = Upec.Json
+
+let request ~socket json =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let line = Json.to_string_compact json ^ "\n" in
+      let n = String.length line in
+      if Unix.write_substring fd line 0 n <> n then
+        failwith "Farm.Client: short write";
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let rec read_line () =
+        match Unix.read fd chunk 0 65536 with
+        | 0 -> failwith "Farm.Client: connection closed before reply"
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            let s = Buffer.contents buf in
+            (match String.index_opt s '\n' with
+            | Some i -> String.sub s 0 i
+            | None -> read_line ())
+      in
+      Json.of_string (read_line ()))

@@ -1,0 +1,8 @@
+(** Minimal farm client: one line-delimited-JSON request/reply
+    exchange per call over the daemon's Unix domain socket. *)
+
+val request : socket:string -> Upec.Json.t -> Upec.Json.t
+(** Connect, send one request line, read one reply line. Raises
+    [Unix.Unix_error] when the daemon is unreachable,
+    [Failure] on a truncated reply and [Upec.Json.Parse_error] on a
+    malformed one. *)

@@ -1,0 +1,30 @@
+module Json = Upec.Json
+
+type t = {
+  jb_id : string;
+  jb_design : Upec.Cli.design;
+  jb_alg : int;
+  jb_options : Upec.Options.t;
+}
+
+let of_json j =
+  let id =
+    match Json.to_str (Json.member "id" j) with Some s -> s | None -> ""
+  in
+  let design = Upec.Cli.design_of_json (Json.member "design" j) in
+  let alg, options = Upec.Cli.options_of_json (Json.member "options" j) in
+  { jb_id = id; jb_design = design; jb_alg = alg; jb_options = options }
+
+let to_json t =
+  Json.Obj
+    [
+      ("id", Json.Str t.jb_id);
+      ("design", Upec.Cli.design_to_json t.jb_design);
+      ("options", Upec.Cli.options_to_json ~alg:t.jb_alg t.jb_options);
+    ]
+
+let options_key t =
+  Digest.to_hex
+    (Digest.string
+       (Json.to_string_compact
+          (Upec.Cli.options_to_json ~alg:t.jb_alg t.jb_options)))

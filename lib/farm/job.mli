@@ -1,0 +1,23 @@
+(** A farm job: one verification request.
+
+    The wire format is the {!Upec.Cli} JSON codec wrapped with an
+    optional client-chosen [id] (echoed in replies so batch clients
+    can correlate): [{"id": "...", "design": {...}, "options": {...}}].
+    Every member is optional — [{}] is the default check. *)
+
+type t = {
+  jb_id : string;  (** client correlation id; "" when absent *)
+  jb_design : Upec.Cli.design;
+  jb_alg : int;  (** 1 = Alg. 1 fixed point, 2 = unrolled + induction *)
+  jb_options : Upec.Options.t;
+}
+
+val of_json : Upec.Json.t -> t
+(** [Upec.Json.Parse_error] on type-mismatched members. *)
+
+val to_json : t -> Upec.Json.t
+
+val options_key : t -> string
+(** Hex digest of everything besides the design that can change the
+    report: the algorithm and the full options wire encoding. Keys the
+    report-level cache together with {!Upec.Fingerprint.design}. *)

@@ -1,0 +1,218 @@
+module Json = Upec.Json
+
+type proc = {
+  p_pid : int;
+  p_stdin : Unix.file_descr;
+  p_stdout : Unix.file_descr;
+}
+
+type pending = {
+  j_done : reply -> unit;
+  j_deadline : float;  (** +infinity when no watchdog *)
+  j_buf : Buffer.t;
+}
+
+and reply = Reply of Json.t | Failed of string
+
+type worker = { mutable w_proc : proc option; mutable w_job : pending option }
+
+type t = {
+  t_argv : string array;
+  t_timeout : float;
+  t_workers : worker array;
+  mutable t_crashes : int;
+  mutable t_timeouts : int;
+}
+
+let create ~worker_argv ~jobs ~job_timeout =
+  {
+    t_argv = worker_argv;
+    t_timeout = job_timeout;
+    t_workers =
+      Array.init (max 1 jobs) (fun _ -> { w_proc = None; w_job = None });
+    t_crashes = 0;
+    t_timeouts = 0;
+  }
+
+let jobs t = Array.length t.t_workers
+
+let idle t =
+  Array.fold_left
+    (fun n w -> if w.w_job = None then n + 1 else n)
+    0 t.t_workers
+
+let spawn t =
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process t.t_argv.(0) t.t_argv in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  Unix.set_close_on_exec in_w;
+  Unix.set_close_on_exec out_r;
+  { p_pid = pid; p_stdin = in_w; p_stdout = out_r }
+
+let reap proc =
+  (try Unix.close proc.p_stdin with Unix.Unix_error _ -> ());
+  (try Unix.close proc.p_stdout with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] proc.p_pid) with Unix.Unix_error _ -> ()
+
+let fail_job w reason =
+  match w.w_job with
+  | None -> ()
+  | Some j ->
+      w.w_job <- None;
+      j.j_done (Failed reason)
+
+(* A worker that died (EOF on stdout, or killed by the watchdog) is
+   reaped and its slot cleared; the next submit respawns lazily. *)
+let retire w reason =
+  (match w.w_proc with Some p -> reap p | None -> ());
+  w.w_proc <- None;
+  fail_job w reason
+
+let submit t request on_done =
+  let slot =
+    Array.fold_left
+      (fun acc w -> match acc with Some _ -> acc | None -> if w.w_job = None then Some w else None)
+      None t.t_workers
+  in
+  match slot with
+  | None -> false
+  | Some w ->
+      let proc =
+        match w.w_proc with
+        | Some p -> p
+        | None ->
+            let p = spawn t in
+            w.w_proc <- Some p;
+            p
+      in
+      let line = Json.to_string_compact request ^ "\n" in
+      let ok =
+        match
+          Unix.write_substring proc.p_stdin line 0 (String.length line)
+        with
+        | n -> n = String.length line
+        | exception Unix.Unix_error _ -> false
+      in
+      if not ok then begin
+        (* stdin broken: the worker died between jobs; respawn once *)
+        t.t_crashes <- t.t_crashes + 1;
+        reap proc;
+        let p = spawn t in
+        w.w_proc <- Some p;
+        match
+          Unix.write_substring p.p_stdin line 0 (String.length line)
+        with
+        | _ ->
+            w.w_job <-
+              Some
+                {
+                  j_done = on_done;
+                  j_deadline =
+                    (if t.t_timeout > 0.0 then
+                       Unix.gettimeofday () +. t.t_timeout
+                     else infinity);
+                  j_buf = Buffer.create 4096;
+                };
+            true
+        | exception Unix.Unix_error _ ->
+            w.w_proc <- None;
+            reap p;
+            on_done (Failed "worker spawn failed");
+            true
+      end
+      else begin
+        w.w_job <-
+          Some
+            {
+              j_done = on_done;
+              j_deadline =
+                (if t.t_timeout > 0.0 then Unix.gettimeofday () +. t.t_timeout
+                 else infinity);
+              j_buf = Buffer.create 4096;
+            };
+        true
+      end
+
+let fds t =
+  Array.fold_left
+    (fun acc w ->
+      match (w.w_proc, w.w_job) with
+      | Some p, Some _ -> p.p_stdout :: acc
+      | _ -> acc)
+    [] t.t_workers
+
+let complete w line =
+  match w.w_job with
+  | None -> ()
+  | Some j -> (
+      w.w_job <- None;
+      match Json.of_string line with
+      | json -> j.j_done (Reply json)
+      | exception Json.Parse_error msg ->
+          j.j_done (Failed ("worker protocol error: " ^ msg)))
+
+let handle_readable t readable =
+  Array.iter
+    (fun w ->
+      match (w.w_proc, w.w_job) with
+      | Some p, Some j when List.memq p.p_stdout readable -> (
+          let chunk = Bytes.create 65536 in
+          match Unix.read p.p_stdout chunk 0 65536 with
+          | 0 ->
+              t.t_crashes <- t.t_crashes + 1;
+              retire w "worker crashed"
+          | n -> (
+              Buffer.add_subbytes j.j_buf chunk 0 n;
+              let s = Buffer.contents j.j_buf in
+              match String.index_opt s '\n' with
+              | Some i -> complete w (String.sub s 0 i)
+              | None -> ())
+          | exception Unix.Unix_error _ ->
+              t.t_crashes <- t.t_crashes + 1;
+              retire w "worker read error")
+      | _ -> ())
+    t.t_workers
+
+let next_deadline t =
+  Array.fold_left
+    (fun acc w ->
+      match w.w_job with
+      | Some j when j.j_deadline < infinity -> (
+          match acc with
+          | Some d -> Some (min d j.j_deadline)
+          | None -> Some j.j_deadline)
+      | _ -> acc)
+    None t.t_workers
+
+let expire t =
+  let now = Unix.gettimeofday () in
+  Array.iter
+    (fun w ->
+      match (w.w_proc, w.w_job) with
+      | Some p, Some j when j.j_deadline <= now ->
+          (* only this worker dies; the daemon and its siblings keep
+             serving — the process boundary is the blast radius *)
+          (try Unix.kill p.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          t.t_timeouts <- t.t_timeouts + 1;
+          retire w "timeout"
+      | _ -> ())
+    t.t_workers
+
+let crashes t = t.t_crashes
+let timeouts t = t.t_timeouts
+
+let close t =
+  Array.iter
+    (fun w ->
+      (match w.w_proc with
+      | Some p ->
+          (try Unix.kill p.p_pid Sys.sigterm with Unix.Unix_error _ -> ());
+          reap p
+      | None -> ());
+      w.w_proc <- None;
+      fail_job w "pool closed")
+    t.t_workers

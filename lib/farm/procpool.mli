@@ -1,0 +1,55 @@
+(** Worker {e process} pool.
+
+    Unlike [Parallel.Pool]'s domains, workers are separate processes
+    (fork/exec of the farm binary's [worker] subcommand): each job
+    runs under its own GC and heap, and a crash or a stuck solver
+    kills one worker, never the daemon. The watchdog discipline
+    mirrors [Parallel.Pool]: a per-job deadline, enforced here with
+    SIGKILL + respawn because a process (unlike a domain) can be
+    killed safely.
+
+    Protocol: one request line down the worker's stdin, one reply
+    line back on its stdout (line-delimited JSON). A worker that
+    closes its stdout (crash, exit) fails its in-flight job with an
+    error outcome and is respawned lazily.
+
+    The pool is select-friendly: the daemon multiplexes worker fds
+    with its client sockets ({!fds}/{!handle_readable}/{!deadline}). *)
+
+type t
+
+type reply =
+  | Reply of Upec.Json.t  (** worker's reply line, parsed *)
+  | Failed of string  (** crash/timeout/garbage; worker respawned *)
+
+val create : worker_argv:string array -> jobs:int -> job_timeout:float -> t
+(** [worker_argv.(0)] is the executable path. [job_timeout <= 0.]
+    disables the watchdog. Workers are spawned lazily. *)
+
+val jobs : t -> int
+val idle : t -> int
+(** Workers (spawned or not) without an in-flight job. *)
+
+val submit : t -> Upec.Json.t -> (reply -> unit) -> bool
+(** Hand one request line to an idle worker; [false] when none is
+    idle. The callback fires from {!handle_readable} or {!expire}. *)
+
+val fds : t -> Unix.file_descr list
+(** Stdout fds of busy workers, for the caller's select. *)
+
+val handle_readable : t -> Unix.file_descr list -> unit
+(** Drain readable worker fds; complete jobs fire their callbacks. *)
+
+val next_deadline : t -> float option
+(** Earliest in-flight deadline (absolute, [Unix.gettimeofday]
+    clock), for the caller's select timeout. *)
+
+val expire : t -> unit
+(** SIGKILL every worker past its deadline; their jobs fail with
+    [Failed "timeout"]. *)
+
+val crashes : t -> int
+val timeouts : t -> int
+
+val close : t -> unit
+(** Terminate every worker (TERM, then KILL) and reap. *)

@@ -1,0 +1,336 @@
+module Json = Upec.Json
+
+let m_jobs = Obs.Metrics.counter "farm.jobs"
+let m_report_hits = Obs.Metrics.counter "farm.report_hits"
+let m_report_misses = Obs.Metrics.counter "farm.report_misses"
+let m_lemma_hits = Obs.Metrics.counter "farm.lemma_hits"
+let m_lemma_misses = Obs.Metrics.counter "farm.lemma_misses"
+let m_invalidations = Obs.Metrics.counter "farm.invalidations"
+let m_worker_failures = Obs.Metrics.counter "farm.worker_failures"
+let g_queue_depth = Obs.Metrics.gauge "farm.queue_depth"
+let h_job_seconds = Obs.Metrics.histogram "farm.job_seconds"
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;
+  mutable c_alive : bool;
+}
+
+type t = {
+  t_store : Store.t;
+  t_pool : Procpool.t;
+  t_log : out_channel option;
+  t_queue : (Job.t * (Json.t -> unit)) Queue.t;
+  mutable t_shutdown : bool;
+}
+
+let create ?log ~cache_dir ~worker_argv ~workers ~job_timeout () =
+  {
+    t_store = Store.load ~dir:cache_dir;
+    t_pool = Procpool.create ~worker_argv ~jobs:workers ~job_timeout;
+    t_log = log;
+    t_queue = Queue.create ();
+    t_shutdown = false;
+  }
+
+let store t = t.t_store
+
+let log_line t dir json =
+  match t.t_log with
+  | None -> ()
+  | Some oc ->
+      output_string oc
+        (Json.to_string_compact
+           (Json.Obj [ ("dir", Json.Str dir); ("msg", json) ]));
+      output_char oc '\n';
+      flush oc
+
+let error_reply ?(id = "") msg =
+  Json.Obj
+    [ ("ok", Json.Bool false); ("id", Json.Str id); ("error", Json.Str msg) ]
+
+let submit_reply outcome =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("id", Json.Str outcome.Exec.oc_id);
+      ("report_key", Json.Str outcome.Exec.oc_report_key);
+      ("cached", Json.Bool outcome.Exec.oc_report_hit);
+      ("lemma_hits", Json.Int outcome.Exec.oc_lemma_hits);
+      ("lemma_misses", Json.Int outcome.Exec.oc_lemma_misses);
+      ("invalidated", Json.Int outcome.Exec.oc_invalidated);
+      ("seconds", Json.Float outcome.Exec.oc_seconds);
+      ("report", outcome.Exec.oc_report);
+    ]
+
+let account outcome =
+  Obs.Metrics.incr m_jobs;
+  if outcome.Exec.oc_report_hit then Obs.Metrics.incr m_report_hits
+  else Obs.Metrics.incr m_report_misses;
+  Obs.Metrics.add m_lemma_hits outcome.Exec.oc_lemma_hits;
+  Obs.Metrics.add m_lemma_misses outcome.Exec.oc_lemma_misses;
+  Obs.Metrics.add m_invalidations outcome.Exec.oc_invalidated;
+  Obs.Metrics.observe h_job_seconds outcome.Exec.oc_seconds
+
+(* Merge a worker's outcome into the cache and publish. The daemon is
+   the only writer, so this is the only place the store changes. *)
+let merge t outcome =
+  List.iter
+    (fun (svar, key, holds) -> Store.add_lemma t.t_store ~svar ~key ~holds)
+    outcome.Exec.oc_new_lemmas;
+  if not outcome.Exec.oc_report_hit then
+    Store.add_report t.t_store ~key:outcome.Exec.oc_report_key
+      outcome.Exec.oc_report;
+  Store.save t.t_store
+
+let dispatch t =
+  let rec go () =
+    if (not (Queue.is_empty t.t_queue)) && Procpool.idle t.t_pool > 0 then begin
+      let job, reply = Queue.pop t.t_queue in
+      let request = Json.Obj [ ("job", Job.to_json job) ] in
+      let accepted =
+        Procpool.submit t.t_pool request (fun r ->
+            (match r with
+            | Procpool.Reply json -> (
+                match Json.to_str (Json.member "error" json) with
+                | Some msg ->
+                    Obs.Metrics.incr m_worker_failures;
+                    reply (error_reply ~id:job.Job.jb_id msg)
+                | None -> (
+                    match Exec.outcome_of_json json with
+                    | outcome ->
+                        Obs.Trace.with_span "farm.job"
+                          ~attrs:
+                            [
+                              ("id", Obs.Trace.Str job.Job.jb_id);
+                              ( "report_key",
+                                Obs.Trace.Str outcome.Exec.oc_report_key );
+                            ]
+                          (fun () -> merge t outcome);
+                        account outcome;
+                        reply (submit_reply outcome)
+                    | exception Json.Parse_error msg ->
+                        Obs.Metrics.incr m_worker_failures;
+                        reply
+                          (error_reply ~id:job.Job.jb_id
+                             ("worker protocol error: " ^ msg))))
+            | Procpool.Failed reason ->
+                Obs.Metrics.incr m_worker_failures;
+                reply (error_reply ~id:job.Job.jb_id reason));
+            Obs.Metrics.set_gauge g_queue_depth
+              (float_of_int (Queue.length t.t_queue)))
+      in
+      if not accepted then
+        (* raced with a slot going busy; retry on the next loop turn *)
+        Queue.push (job, reply) t.t_queue
+      else go ()
+    end
+  in
+  go ();
+  Obs.Metrics.set_gauge g_queue_depth (float_of_int (Queue.length t.t_queue))
+
+let handle_submit t j reply =
+  match Job.of_json (Json.member "job" j) with
+  | exception Json.Parse_error msg -> reply (error_reply ("bad job: " ^ msg))
+  | job -> (
+      (* report-level fast path: an unchanged job never reaches a
+         worker — the daemon answers from the cache in-line *)
+      match
+        let rkey = Exec.report_key job in
+        (rkey, Store.report t.t_store ~key:rkey)
+      with
+      | rkey, Some cached ->
+          let outcome =
+            {
+              Exec.oc_id = job.Job.jb_id;
+              oc_report = Exec.mark_report_hit cached;
+              oc_report_key = rkey;
+              oc_report_hit = true;
+              oc_lemma_hits = 0;
+              oc_lemma_misses = 0;
+              oc_invalidated = 0;
+              oc_new_lemmas = [];
+              oc_seconds = 0.0;
+            }
+          in
+          account outcome;
+          reply (submit_reply outcome)
+      | _, None ->
+          Queue.push (job, reply) t.t_queue;
+          dispatch t
+      | exception e ->
+          reply
+            (error_reply ~id:job.Job.jb_id
+               ("job rejected: " ^ Printexc.to_string e)))
+
+let status_json t =
+  let lemmas, reports = Store.counts t.t_store in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("queue_depth", Json.Int (Queue.length t.t_queue));
+      ("workers", Json.Int (Procpool.jobs t.t_pool));
+      ("idle_workers", Json.Int (Procpool.idle t.t_pool));
+      ("cache_lemmas", Json.Int lemmas);
+      ("cache_reports", Json.Int reports);
+      ("worker_crashes", Json.Int (Procpool.crashes t.t_pool));
+      ("worker_timeouts", Json.Int (Procpool.timeouts t.t_pool));
+      ("jobs_served", Json.Int (Obs.Metrics.counter_value m_jobs));
+      ("report_hits", Json.Int (Obs.Metrics.counter_value m_report_hits));
+      ("report_misses", Json.Int (Obs.Metrics.counter_value m_report_misses));
+    ]
+
+let handle_request t j reply =
+  log_line t "in" j;
+  let reply out =
+    log_line t "out" out;
+    reply out
+  in
+  match Json.to_str (Json.member "op" j) with
+  | Some "submit" -> handle_submit t j reply
+  | Some "status" -> reply (status_json t)
+  | Some "ping" -> reply (Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ])
+  | Some "gc" ->
+      let cap k d =
+        match Json.to_int (Json.member k j) with Some n -> n | None -> d
+      in
+      let evl, evr =
+        Store.gc t.t_store ~max_lemmas:(cap "max_lemmas" 100_000)
+          ~max_reports:(cap "max_reports" 1_000)
+      in
+      Store.save t.t_store;
+      reply
+        (Json.Obj
+           [
+             ("ok", Json.Bool true);
+             ("evicted_lemmas", Json.Int evl);
+             ("evicted_reports", Json.Int evr);
+           ])
+  | Some "shutdown" ->
+      t.t_shutdown <- true;
+      reply (Json.Obj [ ("ok", Json.Bool true); ("bye", Json.Bool true) ])
+  | Some op -> reply (error_reply ("unknown op: " ^ op))
+  | None -> reply (error_reply "missing op")
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let conn_reply conn out =
+  if conn.c_alive then
+    match write_all conn.c_fd (Json.to_string_compact out ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error _ -> conn.c_alive <- false
+
+(* Extract complete lines from a connection buffer, leaving the
+   partial tail in place. *)
+let drain_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buf;
+      Buffer.add_string buf
+        (String.sub s (last + 1) (String.length s - last - 1));
+      String.split_on_char '\n' (String.sub s 0 last)
+
+let handle_conn_data t conn =
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Json.of_string line with
+        | j -> handle_request t j (conn_reply conn)
+        | exception Json.Parse_error msg ->
+            conn_reply conn (error_reply ("bad request: " ^ msg)))
+    (drain_lines conn.c_buf)
+
+let select_step t ~extra_read ~on_extra =
+  let pool_fds = Procpool.fds t.t_pool in
+  let fds = extra_read @ pool_fds in
+  let timeout =
+    match Procpool.next_deadline t.t_pool with
+    | Some d -> Float.max 0.01 (Float.min 1.0 (d -. Unix.gettimeofday ()))
+    | None -> 1.0
+  in
+  (match Unix.select fds [] [] timeout with
+  | readable, _, _ ->
+      Procpool.handle_readable t.t_pool
+        (List.filter (fun fd -> List.memq fd pool_fds) readable);
+      List.iter
+        (fun fd -> if List.memq fd extra_read then on_extra fd)
+        readable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  Procpool.expire t.t_pool;
+  dispatch t
+
+let serve t ~socket ~should_stop =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  let conns = ref [] in
+  let chunk = Bytes.create 65536 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+        !conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not (t.t_shutdown || should_stop ()) do
+        let extra_read =
+          listen_fd :: List.map (fun c -> c.c_fd) !conns
+        in
+        select_step t ~extra_read ~on_extra:(fun fd ->
+            if fd == listen_fd then begin
+              let cfd, _ = Unix.accept listen_fd in
+              conns :=
+                { c_fd = cfd; c_buf = Buffer.create 4096; c_alive = true }
+                :: !conns
+            end
+            else
+              match List.find_opt (fun c -> c.c_fd == fd) !conns with
+              | None -> ()
+              | Some conn -> (
+                  match Unix.read conn.c_fd chunk 0 65536 with
+                  | 0 -> conn.c_alive <- false
+                  | n ->
+                      Buffer.add_subbytes conn.c_buf chunk 0 n;
+                      handle_conn_data t conn
+                  | exception Unix.Unix_error _ -> conn.c_alive <- false));
+        (* sweep dead connections *)
+        let dead, alive = List.partition (fun c -> not c.c_alive) !conns in
+        List.iter
+          (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+          dead;
+        conns := alive
+      done)
+
+let run_batch t ~jobs =
+  let n = List.length jobs in
+  let results = Array.make n None in
+  let done_count = ref 0 in
+  List.iteri
+    (fun i j ->
+      handle_request t
+        (Json.Obj [ ("op", Json.Str "submit"); ("job", j) ])
+        (fun out ->
+          results.(i) <- Some out;
+          incr done_count))
+    jobs;
+  while !done_count < n do
+    select_step t ~extra_read:[] ~on_extra:(fun _ -> ())
+  done;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> error_reply "lost") results)
+
+let close t =
+  Procpool.close t.t_pool;
+  Store.save t.t_store

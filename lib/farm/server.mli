@@ -1,0 +1,46 @@
+(** The farm daemon: job queue, worker dispatch, cache ownership.
+
+    One [select]-driven event loop multiplexes the listening Unix
+    domain socket, every client connection and every busy worker's
+    pipe. The daemon is the cache's single writer: worker outcomes
+    (new lemmas + report) are merged and published here; workers only
+    ever read snapshots.
+
+    Request ops (one JSON object per line):
+    - [{"op":"submit","job":{...}}] — reply arrives when the job
+      completes; unchanged resubmissions are answered from the report
+      cache without dispatching a worker at all.
+    - [{"op":"status"}] — queue depth, worker/cache/failure counts.
+    - [{"op":"gc","max_lemmas":N,"max_reports":N}] — LRU eviction.
+    - [{"op":"ping"}], [{"op":"shutdown"}].
+
+    Replies: [{"ok":true,...}] or [{"ok":false,"error":"..."}], with
+    the job's [id] echoed on submit replies. *)
+
+type t
+
+val create :
+  ?log:out_channel ->
+  cache_dir:string ->
+  worker_argv:string array ->
+  workers:int ->
+  job_timeout:float ->
+  unit ->
+  t
+(** [log] receives every request and reply line (the JSONL protocol
+    log). [worker_argv] launches one worker process (the farm
+    binary's [worker] subcommand). *)
+
+val store : t -> Store.t
+
+val serve : t -> socket:string -> should_stop:(unit -> bool) -> unit
+(** Bind, listen and serve until [should_stop] or a [shutdown]
+    request. The socket file is unlinked on the way out. *)
+
+val run_batch : t -> jobs:Upec.Json.t list -> Upec.Json.t list
+(** One-shot mode: feed the job list through the same queue/pool
+    machinery (no socket) and return the submit replies in
+    submission order. *)
+
+val close : t -> unit
+(** Kill the workers and publish the index. *)

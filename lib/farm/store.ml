@@ -1,0 +1,213 @@
+module Json = Upec.Json
+
+let magic = "upec-farm-cache 1"
+
+(* svar names contain no whitespace by construction, but the index is
+   a whitespace-split format, so encode defensively. *)
+let encode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '\n' | '\t' ->
+          Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '%' && !i + 2 < n then begin
+       match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+       | Some c ->
+           Buffer.add_char b (Char.chr c);
+           i := !i + 2
+       | None -> failwith "Store.decode: bad escape"
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+type lemma_entry = { le_holds : bool; mutable le_stamp : int }
+type report_entry = { mutable re_stamp : int }
+
+type t = {
+  st_dir : string;
+  st_lemmas : (string * string, lemma_entry) Hashtbl.t;  (* (svar, key) *)
+  st_svars : (string, int) Hashtbl.t;  (* svar -> lemma count *)
+  st_reports : (string, report_entry) Hashtbl.t;  (* report key *)
+  mutable st_stamp : int;  (* monotonic LRU clock *)
+}
+
+let dir t = t.st_dir
+let index_path t = Filename.concat t.st_dir "index"
+let reports_dir t = Filename.concat t.st_dir "reports"
+let report_path t key = Filename.concat (reports_dir t) (key ^ ".json")
+
+let incr_svar t svar d =
+  let c = (match Hashtbl.find_opt t.st_svars svar with Some c -> c | None -> 0) + d in
+  if c <= 0 then Hashtbl.remove t.st_svars svar
+  else Hashtbl.replace t.st_svars svar c
+
+let tick t =
+  t.st_stamp <- t.st_stamp + 1;
+  t.st_stamp
+
+let parse_index t text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when first = magic ->
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "L"; svar; key; holds; stamp ] ->
+              let svar = decode svar in
+              let holds = holds = "1" in
+              let stamp = int_of_string stamp in
+              if not (Hashtbl.mem t.st_lemmas (svar, key)) then begin
+                Hashtbl.replace t.st_lemmas (svar, key)
+                  { le_holds = holds; le_stamp = stamp };
+                incr_svar t svar 1
+              end;
+              if stamp > t.st_stamp then t.st_stamp <- stamp
+          | [ "R"; key; stamp ] ->
+              let stamp = int_of_string stamp in
+              Hashtbl.replace t.st_reports key { re_stamp = stamp };
+              if stamp > t.st_stamp then t.st_stamp <- stamp
+          | [ "" ] | [] -> ()
+          | _ -> failwith "Store: malformed index line")
+        rest
+  | _ -> failwith "Store: bad index magic"
+
+let load ~dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let t =
+    {
+      st_dir = dir;
+      st_lemmas = Hashtbl.create 1024;
+      st_svars = Hashtbl.create 256;
+      st_reports = Hashtbl.create 64;
+      st_stamp = 0;
+    }
+  in
+  (try Unix.mkdir (reports_dir t) 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (if Sys.file_exists (index_path t) then
+     match
+       let ic = open_in_bin (index_path t) in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     with
+     | text -> (
+         try parse_index t text
+         with _ ->
+           (* damaged cache = empty cache, never a crash *)
+           Hashtbl.reset t.st_lemmas;
+           Hashtbl.reset t.st_svars;
+           Hashtbl.reset t.st_reports)
+     | exception Sys_error _ -> ());
+  (* drop index entries whose report file is gone *)
+  Hashtbl.iter
+    (fun key _ ->
+      if not (Sys.file_exists (report_path t key)) then
+        Hashtbl.remove t.st_reports key)
+    (Hashtbl.copy t.st_reports);
+  t
+
+let lemma t ~svar ~key =
+  match Hashtbl.find_opt t.st_lemmas (svar, key) with
+  | Some e ->
+      e.le_stamp <- tick t;
+      Some e.le_holds
+  | None -> None
+
+let add_lemma t ~svar ~key ~holds =
+  if not (Hashtbl.mem t.st_lemmas (svar, key)) then incr_svar t svar 1;
+  Hashtbl.replace t.st_lemmas (svar, key)
+    { le_holds = holds; le_stamp = tick t }
+
+let has_svar t ~svar = Hashtbl.mem t.st_svars svar
+
+let atomic_write ~dir:d ~path text =
+  let tmp = Filename.temp_file ~temp_dir:d (Filename.basename path) ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = String.length text in
+      if Unix.write_substring fd text 0 n <> n then
+        failwith "Store: short write";
+      Unix.fsync fd);
+  Sys.rename tmp path
+
+let report t ~key =
+  match Hashtbl.find_opt t.st_reports key with
+  | None -> None
+  | Some e -> (
+      match
+        let ic = open_in_bin (report_path t key) in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> (
+          match Json.of_string text with
+          | j ->
+              e.re_stamp <- tick t;
+              Some j
+          | exception Json.Parse_error _ -> None)
+      | exception Sys_error _ -> None)
+
+let add_report t ~key json =
+  atomic_write ~dir:t.st_dir ~path:(report_path t key) (Json.to_string json);
+  Hashtbl.replace t.st_reports key { re_stamp = tick t }
+
+let save t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Hashtbl.iter
+    (fun (svar, key) e ->
+      Printf.bprintf b "L %s %s %d %d\n" (encode svar) key
+        (if e.le_holds then 1 else 0)
+        e.le_stamp)
+    t.st_lemmas;
+  Hashtbl.iter
+    (fun key e -> Printf.bprintf b "R %s %d\n" key e.re_stamp)
+    t.st_reports;
+  atomic_write ~dir:t.st_dir ~path:(index_path t) (Buffer.contents b)
+
+let evict_oldest count stamps remove =
+  (* [stamps]: (stamp, id) list; evict the [count] oldest *)
+  let sorted = List.sort compare stamps in
+  let rec go n = function
+    | (_, id) :: rest when n > 0 ->
+        remove id;
+        go (n - 1) rest
+    | _ -> ()
+  in
+  go count sorted
+
+let gc t ~max_lemmas ~max_reports =
+  let nl = Hashtbl.length t.st_lemmas and nr = Hashtbl.length t.st_reports in
+  let evl = max 0 (nl - max_lemmas) and evr = max 0 (nr - max_reports) in
+  if evl > 0 then
+    evict_oldest evl
+      (Hashtbl.fold (fun k e acc -> (e.le_stamp, k) :: acc) t.st_lemmas [])
+      (fun (svar, key) ->
+        Hashtbl.remove t.st_lemmas (svar, key);
+        incr_svar t svar (-1));
+  if evr > 0 then
+    evict_oldest evr
+      (Hashtbl.fold (fun k e acc -> (e.re_stamp, k) :: acc) t.st_reports [])
+      (fun key ->
+        Hashtbl.remove t.st_reports key;
+        try Sys.remove (report_path t key) with Sys_error _ -> ());
+  (evl, evr)
+
+let counts t = (Hashtbl.length t.st_lemmas, Hashtbl.length t.st_reports)

@@ -1,0 +1,55 @@
+(** On-disk content-addressed verdict/lemma cache.
+
+    Layout under the cache directory:
+    - [index] — versioned text file listing every entry with an LRU
+      stamp: lemma lines carry (svar, key, verdict) inline, report
+      lines point at [reports/<key>.json];
+    - [reports/<key>.json] — cached schema-2 report artefacts.
+
+    Durability follows [Upec.Checkpoint]: every publish is
+    temp-file + write + fsync + rename, so a crash can lose at most
+    the unflushed tail of the current session, never tear a file. A
+    corrupt or version-mismatched index is treated as an empty cache
+    (the farm re-solves; it never crashes on cache damage).
+
+    Concurrency: single writer (the daemon). Worker processes open
+    read-only snapshots per job with {!load} and never call {!save};
+    the daemon merges their new lemmas and publishes. *)
+
+type t
+
+val load : dir:string -> t
+(** Open (creating the directory if needed). Never raises on cache
+    damage — a damaged index loads as empty. *)
+
+val dir : t -> string
+
+val lemma : t -> svar:string -> key:string -> bool option
+(** Cached verdict of a per-svar check, bumping its LRU stamp. *)
+
+val add_lemma : t -> svar:string -> key:string -> holds:bool -> unit
+(** In-memory until {!save}; duplicate (svar, key) pairs overwrite. *)
+
+val has_svar : t -> svar:string -> bool
+(** Whether any lemma (under any key — i.e. any design content) is
+    cached for this state variable; a lookup miss with [has_svar]
+    true is an {e invalidation}, the re-solved cone of a delta. *)
+
+val report : t -> key:string -> Upec.Json.t option
+(** Cached report, bumping its stamp; an unreadable report file is a
+    miss. *)
+
+val add_report : t -> key:string -> Upec.Json.t -> unit
+(** Publishes the report file atomically right away; the index entry
+    lands at the next {!save}. *)
+
+val save : t -> unit
+(** Publish the index atomically. *)
+
+val gc : t -> max_lemmas:int -> max_reports:int -> int * int
+(** Evict least-recently-used entries beyond the caps; report files
+    are unlinked. Returns (lemmas evicted, reports evicted). The
+    caller is expected to {!save} afterwards. *)
+
+val counts : t -> int * int
+(** (lemmas, reports) currently cached. *)

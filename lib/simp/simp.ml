@@ -28,6 +28,35 @@ module Coi = struct
     done;
     seen
 
+  (* Early-exit cone/delta intersection: walks the fan-in of [roots]
+     but stops at the first node flagged in [changed]. The farm uses
+     this to ask "can this RTL delta influence that proof obligation?"
+     without materialising the full cone. *)
+  let intersects g ~roots ~changed =
+    if Array.length changed <> Aig.num_nodes g then
+      invalid_arg "Simp.Coi.intersects: changed array length mismatch";
+    let seen = Array.make (Aig.num_nodes g) false in
+    let stack = ref (List.rev_map Aig.node_of roots) in
+    let push n = if not seen.(n) then stack := n :: !stack in
+    let hit = ref false in
+    while (not !hit) && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+          stack := rest;
+          if not seen.(n) then begin
+            seen.(n) <- true;
+            if changed.(n) then hit := true
+            else
+              match Aig.fanins g n with
+              | None -> ()
+              | Some (a, b) ->
+                  push (Aig.node_of a);
+                  push (Aig.node_of b)
+          end
+    done;
+    !hit
+
   let stats g ~roots =
     let seen = reachable g ~roots in
     let cone_nodes = ref 0 and cone_ands = ref 0 in

@@ -34,6 +34,14 @@ module Coi : sig
   (** Per-node membership in the transitive fan-in of [roots]
       (index = node; length = {!Aig.num_nodes}). *)
 
+  val intersects : Aig.t -> roots:Aig.lit list -> changed:bool array -> bool
+  (** Whether the transitive fan-in of [roots] contains a node flagged
+      in [changed] (indexed like {!reachable}'s result). Early-exits
+      on the first hit, so a positive answer can be much cheaper than
+      {!reachable}; used for cache-invalidation queries ("can this
+      delta influence that obligation?"). [Invalid_argument] when
+      [changed] does not cover the graph. *)
+
   val stats : Aig.t -> roots:Aig.lit list -> stats
 
   val pp_stats : Format.formatter -> stats -> unit

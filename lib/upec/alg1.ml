@@ -108,6 +108,20 @@ let make_incremental_checker (o : Options.t) ?register spec s0 =
       Ipc.Engine.last_winner eng,
       Ipc.Engine.last_losers_stats eng )
 
+(* --- lemma cache hook -----------------------------------------------
+
+   Each per-svar check is a semantic fact about (sv, S) and the design
+   content; the proof farm memoises them across runs. [sc_lookup]
+   answers [Some holds] when a cached lemma applies — the check is not
+   solved at all and contributes zero solver stats; [sc_store] is
+   called for every freshly decided check. Unknown results are never
+   offered to the cache: exhaustion is a property of the budget, not
+   of the formula. *)
+type svar_cache = {
+  sc_lookup : Structural.svar -> s:Structural.Svar_set.t -> bool option;
+  sc_store : Structural.svar -> s:Structural.Svar_set.t -> holds:bool -> unit;
+}
+
 (* --- per-svar decomposition (the parallel strategy) ------------------
 
    Instead of one monolithic check whose S_cex is whatever happens to
@@ -180,8 +194,9 @@ let extract_cex (o : Options.t) ?register spec s sv =
   | Ipc.Engine.Refuted c -> c
   | Ipc.Engine.Proved | Ipc.Engine.Unknown _ -> None
 
-let run_per_svar (o : Options.t) ~jobs ~register ~start_iter ~initial_unknown
-    ~stopped ~note_unknowns ~post_iter spec s0 finish record_step validate_cex =
+let run_per_svar ?svar_cache (o : Options.t) ~jobs ~register ~start_iter
+    ~initial_unknown ~stopped ~note_unknowns ~post_iter spec s0 finish
+    record_step validate_cex =
   Parallel.Pool.with_pool ~jobs (fun pool ->
       let engines = Array.make (Parallel.Pool.jobs pool) None in
       let worker wid =
@@ -192,14 +207,60 @@ let run_per_svar (o : Options.t) ~jobs ~register ~start_iter ~initial_unknown
             engines.(wid) <- Some w;
             w
       in
+      (* Cached checks are answered before the pool sees them; fresh
+         results are offered back to the cache, and the merged batch
+         keeps the caller's svar order so the rest of the loop cannot
+         tell the difference (a cached SAT carries no model — witness
+         extraction always re-solves on a fresh engine). *)
       let check_batch s svs =
-        Parallel.Pool.map_wid pool
-          (fun wid sv ->
-            let verdict, stats, winner, losers =
-              check_svar o (worker wid) s sv
-            in
-            (sv, verdict, stats, winner, losers))
-          svs
+        let cached, fresh =
+          match svar_cache with
+          | None -> ([], svs)
+          | Some c ->
+              List.partition_map
+                (fun sv ->
+                  match c.sc_lookup sv ~s with
+                  | Some holds -> Either.Left (sv, holds)
+                  | None -> Either.Right sv)
+                svs
+        in
+        let fresh_results =
+          Parallel.Pool.map_wid pool
+            (fun wid sv ->
+              let verdict, stats, winner, losers =
+                check_svar o (worker wid) s sv
+              in
+              (sv, verdict, stats, winner, losers))
+            fresh
+        in
+        match svar_cache with
+        | None -> fresh_results
+        | Some c ->
+            List.iter
+              (fun (sv, (v : Ipc.Engine.verdict), _, _, _) ->
+                match v with
+                | Ipc.Engine.Proved -> c.sc_store sv ~s ~holds:true
+                | Ipc.Engine.Refuted _ -> c.sc_store sv ~s ~holds:false
+                | Ipc.Engine.Unknown _ -> ())
+              fresh_results;
+            let by_name = Hashtbl.create (List.length fresh_results) in
+            List.iter
+              (fun ((sv, _, _, _, _) as r) ->
+                Hashtbl.replace by_name (Structural.svar_name sv) r)
+              fresh_results;
+            List.map
+              (fun sv ->
+                match Hashtbl.find_opt by_name (Structural.svar_name sv) with
+                | Some r -> r
+                | None ->
+                    let holds = List.assq sv cached in
+                    ( sv,
+                      (if holds then Ipc.Engine.Proved
+                       else Ipc.Engine.Refuted None),
+                      S.zero_stats,
+                      None,
+                      S.zero_stats ))
+              svs
       in
       let stats_of results =
         List.fold_left
@@ -348,7 +409,7 @@ let variant_tag = function
   | Spec.Vulnerable -> "vulnerable"
   | Spec.Secure -> "secure"
 
-let run_with ?initial_s ?resume (o : Options.t) spec =
+let run_with ?initial_s ?resume ?svar_cache (o : Options.t) spec =
   let nl = spec.Spec.soc.Soc.Builder.netlist in
   let t0 = Unix.gettimeofday () in
   let config_hash = lazy (Checkpoint.config_hash ~alg:Checkpoint.Alg1 spec) in
@@ -492,6 +553,7 @@ let run_with ?initial_s ?resume (o : Options.t) spec =
                 | None -> Some r
                 | Some a -> Some (Simp.merge_reduction a r)))
           None !engines;
+      cache = None;
     }
   in
   let record_step ~iter ~s ~s_cex ~pers_hit ~unknown ~seconds ~stats ~winner
@@ -533,9 +595,9 @@ let run_with ?initial_s ?resume (o : Options.t) spec =
               (List.map fst ck.Checkpoint.ck_unknown)
               ~what:"Alg1.run"
       in
-      run_per_svar o ~jobs:(max 1 j) ~register ~start_iter ~initial_unknown
-        ~stopped ~note_unknowns ~post_iter spec s0 finish record_step
-        validate_cex
+      run_per_svar ?svar_cache o ~jobs:(max 1 j) ~register ~start_iter
+        ~initial_unknown ~stopped ~note_unknowns ~post_iter spec s0 finish
+        record_step validate_cex
   | None ->
       let checker =
         if o.Options.incremental then

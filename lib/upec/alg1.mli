@@ -13,9 +13,27 @@ open Rtl
     attacker-visible persistent state (the induction base being the
     cycle before the victim's first transaction). *)
 
+type svar_cache = {
+  sc_lookup : Structural.svar -> s:Structural.Svar_set.t -> bool option;
+      (** [Some holds] answers the per-svar check [check(sv, S)]
+          without solving; [None] forces a fresh solve *)
+  sc_store : Structural.svar -> s:Structural.Svar_set.t -> holds:bool -> unit;
+      (** called for every freshly decided check; Unknown results are
+          never offered (exhaustion is a property of the budget, not
+          the formula) *)
+}
+(** Memoisation hook for the per-svar strategy, used by the proof farm
+    ({!Farm.Exec}) with {!Fingerprint.check_key}-addressed lemmas. A
+    sound cache must only answer when the design content the check
+    depends on is unchanged; the hook itself is trusted. Only the
+    per-svar strategy ([Options.jobs = Some _]) consults it — the
+    monolithic strategies solve one formula for all of S, which no
+    per-svar lemma answers. *)
+
 val run_with :
   ?initial_s:Structural.Svar_set.t ->
   ?resume:Checkpoint.t ->
+  ?svar_cache:svar_cache ->
   Options.t ->
   Spec.t ->
   Report.run

@@ -299,6 +299,7 @@ let run_with ?resume (o : Options.t) spec =
                   | None -> Some r
                   | Some a -> Some (Simp.merge_reduction a r)))
             None !engines;
+        cache = None;
       },
       outcome )
   in
@@ -694,12 +695,16 @@ let merge_simp a b =
   | None, x | x, None -> x
   | Some a, Some b -> Some (Simp.merge_reduction a b)
 
-let conclude_with ?resume (o : Options.t) spec =
+(* [svar_cache] feeds only the induction phase: its obligations are
+   exactly Alg. 1's 2-cycle per-svar checks, so farm lemmas apply
+   verbatim. The unrolled phase's (frame, svar) obligations live in a
+   k-deep formula no 2-cycle lemma answers — they always solve. *)
+let conclude_with ?resume ?svar_cache (o : Options.t) spec =
   match resume with
   | Some ck when ck.Checkpoint.ck_alg = Checkpoint.Alg1 ->
       (* the unrolled phase had already reached Hold when this Alg. 1
          checkpoint was written: resume the induction directly *)
-      let induction = Alg1.run_with ~resume:ck o spec in
+      let induction = Alg1.run_with ~resume:ck ?svar_cache o spec in
       {
         induction with
         Report.procedure = "UPEC-SSC-unrolled + induction";
@@ -709,7 +714,7 @@ let conclude_with ?resume (o : Options.t) spec =
       match outcome with
       | Found_vulnerable | Gave_up -> report
       | Hold { s_final; k = _ } ->
-          let induction = Alg1.run_with ~initial_s:s_final o spec in
+          let induction = Alg1.run_with ~initial_s:s_final ?svar_cache o spec in
           {
             induction with
             Report.procedure = "UPEC-SSC-unrolled + induction";

@@ -62,7 +62,12 @@ val run_with :
     ([Invalid_argument]); use {!conclude_with} to resume a combined run
     from either phase. *)
 
-val conclude_with : ?resume:Checkpoint.t -> Options.t -> Spec.t -> Report.run
+val conclude_with :
+  ?resume:Checkpoint.t ->
+  ?svar_cache:Alg1.svar_cache ->
+  Options.t ->
+  Spec.t ->
+  Report.run
 (** Run the unrolled procedure; on [Hold], finish with the Algorithm 1
     induction from the computed set and merge the reports
     (certification and reduction accounting from both phases is
@@ -72,7 +77,12 @@ val conclude_with : ?resume:Checkpoint.t -> Options.t -> Spec.t -> Report.run
     checkpoints and the induction phase overwrites them with Alg1
     checkpoints; a [resume] checkpoint of either kind is routed to the
     right phase (an Alg1 checkpoint skips the unrolled phase
-    entirely). *)
+    entirely).
+
+    [svar_cache] memoises the induction phase's per-svar checks (see
+    {!Alg1.svar_cache}); the unrolled phase never consults it — its
+    (cycle, svar) obligations live in a k-deep formula that no 2-cycle
+    lemma answers. *)
 
 val run :
   ?max_k:int ->

@@ -1,0 +1,69 @@
+open Rtl
+
+(** Content-addressed design and proof-obligation fingerprints.
+
+    The proof farm ({!Farm} library, [upec_farm]) keys its verdict
+    cache on {e content}, not on file paths or timestamps:
+
+    - the {b design fingerprint} ({!design}) extends
+      {!Checkpoint.config_hash} with an order-insensitive structural
+      digest of the whole netlist ({!netlist_digest}), so two builds of
+      the same configuration hash equal (signal ids and build order are
+      arbitrary, names are not) while any gate change hashes
+      differently — an unchanged job resubmission is a report-level
+      cache hit;
+    - the {b per-check lemma key} ({!check_key}) digests exactly what
+      one per-svar Algorithm 1 check [check(sv, S)] semantically
+      depends on: the next-state function of [sv], the environment
+      assumptions (and the next-state functions of the state they
+      read, since the environment is asserted at cycle 1 too), the
+      protected-range guards, and the membership of [S] restricted to
+      the check's cone of influence ({!dep}). An RTL delta outside
+      that cone leaves the key unchanged, so the cached verdict is
+      still valid and the farm serves it without re-solving; a delta
+      inside the cone changes the key and forces a re-solve of exactly
+      the intersecting checks.
+
+    Soundness of the cone restriction: the 2-cycle check constrains
+    cycle-0 state variables only through (a) the next-state function
+    of [sv], (b) the environment at cycles 0 and 1, and (c) the
+    equality assumptions for [S]. An equality assumption for a state
+    variable outside {!dep} touches only variables disjoint from the
+    rest of the formula (each such equality is independently
+    satisfiable), so it can never flip the check's verdict — see
+    METHOD.md, "The proof farm". *)
+
+type t
+(** Precomputed digests for one {!Spec.t}. *)
+
+val make : Spec.t -> t
+(** Digest the design. Cost is one structural traversal of the
+    netlist (no solving, no unrolling). *)
+
+val netlist_digest : Netlist.t -> string
+(** Hex digest of the netlist content: inputs, parameters, registers
+    (with next-state functions and reset values), memories (with
+    write ports, in port order — earlier ports win on address clash,
+    so port order is semantic) and outputs, each section sorted by
+    name. Signal/node identities never enter the digest. *)
+
+val design : t -> string
+(** Hex fingerprint of the whole design under its variant and
+    persistence model: {!Checkpoint.config_hash} plus
+    {!netlist_digest}. *)
+
+val dep : t -> Structural.svar -> Structural.Svar_set.t
+(** The state variables whose cycle-0 equality assumption can
+    influence [check(sv, S)]: the fan-in of [sv]'s next-state
+    function, plus the state read by the environment at cycles 0 and
+    1. Memoised per owning element. *)
+
+val check_key : t -> Structural.svar -> s:Structural.Svar_set.t -> string
+(** Hex lemma key for the per-svar check of [sv] under
+    State_Equivalence([s]); equal keys imply equal verdicts. *)
+
+val env_dep : t -> Structural.Svar_set.t
+(** The environment part of every {!dep} set (state read by the
+    assumed environment over two cycles). A delta inside it
+    invalidates every cached lemma of the design — the environment is
+    shared by all checks. *)

@@ -84,6 +84,46 @@ let to_string v =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* Single-line form for line-delimited protocols: no newlines anywhere
+   inside the document (strings escape theirs), no trailing newline. *)
+let rec emit_compact b v =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if Float.is_nan f || Float.abs f = infinity then
+        Buffer.add_string b "null"
+      else Buffer.add_string b (float_repr f)
+  | Str s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit_compact b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\":";
+          emit_compact b x)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string_compact v =
+  let b = Buffer.create 1024 in
+  emit_compact b v;
+  Buffer.contents b
+
 (* ---------- parser ---------- *)
 
 exception Parse_error of string

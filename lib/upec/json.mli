@@ -18,6 +18,10 @@ val to_string : t -> string
 (** Pretty-printed (2-space indent), trailing newline, stable key
     order (insertion order of the [Obj] list). *)
 
+val to_string_compact : t -> string
+(** Single-line form (no newlines, no trailing newline) for
+    line-delimited-JSON protocols such as the proof farm's. *)
+
 exception Parse_error of string
 
 val of_string : string -> t

@@ -23,6 +23,15 @@ type cert_info = {
   ct_cex_validated : bool option;
 }
 
+type cache_info = {
+  ca_fingerprint : string;
+  ca_report_hit : bool;
+  ca_lemma_hits : int;
+  ca_lemma_misses : int;
+  ca_invalidated : int;
+  ca_cached_svars : string list;
+}
+
 type run = {
   procedure : string;
   variant : Spec.variant;
@@ -37,6 +46,7 @@ type run = {
   metrics : Obs.Metrics.snapshot option;
   options : Options.t option;
   simp : Simp.reduction option;
+  cache : cache_info option;
 }
 
 let merge_cert a b =
@@ -229,6 +239,22 @@ let cert_json ~cert_jobs c =
       ("cex_validated", opt (fun b -> Json.Bool b) c.ct_cex_validated);
     ]
 
+let cache_json (c : cache_info) =
+  Json.Obj
+    [
+      ("fingerprint", Json.Str c.ca_fingerprint);
+      ("report_hit", Json.Bool c.ca_report_hit);
+      ("lemma_hits", Json.Int c.ca_lemma_hits);
+      ("lemma_misses", Json.Int c.ca_lemma_misses);
+      ("invalidated", Json.Int c.ca_invalidated);
+      ( "cached_svars",
+        Json.List
+          (List.map
+             (fun n ->
+               Json.Obj [ ("name", Json.Str n); ("cached", Json.Bool true) ])
+             c.ca_cached_svars) );
+    ]
+
 let to_json r =
   Json.Obj
     [
@@ -264,6 +290,7 @@ let to_json r =
           r.cert );
       ("options", opt options_json r.options);
       ("simp", opt simp_json r.simp);
+      ("cache", opt cache_json r.cache);
     ]
 
 let pp_metrics fmt r =

@@ -36,6 +36,22 @@ type cert_info = {
           validation; [None] for runs without a counterexample *)
 }
 
+type cache_info = {
+  ca_fingerprint : string;  (** {!Fingerprint.design} of the job *)
+  ca_report_hit : bool;
+      (** the whole report was served from the farm's verdict cache *)
+  ca_lemma_hits : int;  (** per-svar checks answered from cached lemmas *)
+  ca_lemma_misses : int;  (** per-svar checks actually solved *)
+  ca_invalidated : int;
+      (** misses whose svar had a cached lemma under an older design —
+          the re-solved cone of an RTL delta *)
+  ca_cached_svars : string list;
+      (** names of the state variables whose verdicts were served from
+          cache (sorted, deduplicated) *)
+}
+(** Cache accounting attached by the proof farm ({!Farm.Exec});
+    standalone runs carry [None]. *)
+
 type run = {
   procedure : string;  (** "UPEC-SSC" or "UPEC-SSC-unrolled" *)
   variant : Spec.variant;
@@ -64,6 +80,8 @@ type run = {
   simp : Simp.reduction option;
       (** problem-reduction accounting aggregated over every engine the
           run created; [None] when reduction was disabled *)
+  cache : cache_info option;
+      (** farm cache accounting; [None] outside the proof farm *)
 }
 
 val merge_cert : cert_info option -> cert_info option -> cert_info option

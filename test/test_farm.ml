@@ -1,0 +1,456 @@
+(* Proof-farm suite: fingerprints, the on-disk store, cache
+   invalidation soundness, and one end-to-end daemon round trip.
+
+   The soundness bar (METHOD.md, "The proof farm"): a warm run may
+   answer per-svar checks from cache but must reproduce the cold run's
+   verdict bit-for-bit — same verdict, same witness sets, same
+   iteration table. Only effort telemetry (seconds, solver/simp
+   counters, certificate totals) may reflect that less work was done.
+   And an RTL delta must re-solve exactly the checks whose
+   {!Upec.Fingerprint.check_key} it changes — never one of the
+   others. *)
+
+open Rtl
+module Cli = Upec.Cli
+module F = Upec.Fingerprint
+module Json = Upec.Json
+module O = Upec.Options
+
+(* A fast design point: one timer to mutate, no DMA/HWPE/UART, tiny
+   memories. Cold-solves in well under a second. *)
+let small =
+  {
+    Cli.default_design with
+    Cli.d_depth = 3;
+    d_dma = false;
+    d_hwpe = false;
+    d_uart = false;
+  }
+
+let fp d = F.make (Cli.spec_of d)
+
+(* Per-svar check keys of a design, at S = all svars, by name. *)
+let all_keys d =
+  let spec = Cli.spec_of d in
+  let nl = spec.Upec.Spec.soc.Soc.Builder.netlist in
+  let s = Structural.all_svars nl in
+  let f = F.make spec in
+  Structural.Svar_set.fold
+    (fun sv acc -> (Structural.svar_name sv, F.check_key f sv ~s) :: acc)
+    s []
+
+(* ---- fingerprint properties ---- *)
+
+let gen_design =
+  QCheck.Gen.(
+    let* depth = int_range 2 4 in
+    let* tw = int_range 2 8 in
+    let* dma = bool and* hwpe = bool and* uart = bool in
+    let* secure = bool in
+    return
+      {
+        Cli.default_design with
+        Cli.d_variant = (if secure then "secure" else "vulnerable");
+        d_depth = depth;
+        d_timer_width = tw;
+        d_dma = dma;
+        d_hwpe = hwpe;
+        d_uart = uart;
+      })
+
+let pp_design d =
+  Printf.sprintf "{%s depth=%d tw=%d dma=%b hwpe=%b uart=%b}" d.Cli.d_variant
+    d.Cli.d_depth d.Cli.d_timer_width d.Cli.d_dma d.Cli.d_hwpe d.Cli.d_uart
+
+let arb_design = QCheck.make ~print:pp_design gen_design
+
+let qcheck_rebuild_stable =
+  QCheck.Test.make ~count:10 ~name:"identical builds fingerprint equal"
+    arb_design (fun d ->
+      (* two independent builds: signal ids and build order differ,
+         content does not *)
+      F.design (fp d) = F.design (fp d))
+
+let qcheck_gate_change_differs =
+  QCheck.Test.make ~count:10 ~name:"any gate change fingerprints differently"
+    arb_design (fun d ->
+      let d' =
+        {
+          d with
+          Cli.d_timer_width =
+            (if d.Cli.d_timer_width >= 8 then 7 else d.Cli.d_timer_width + 1);
+        }
+      in
+      F.design (fp d) <> F.design (fp d'))
+
+let test_variant_in_fingerprint () =
+  Alcotest.(check bool)
+    "vulnerable vs secure differ" true
+    (F.design (fp small)
+    <> F.design (fp { small with Cli.d_variant = "secure" }))
+
+(* ---- check-key selectivity ---- *)
+
+(* The validated delta: shrinking the timer counter 8 -> 7 bits on the
+   full default design changes the next-state content of exactly
+   [timer.value] and — because the DMA's data register muxes the read
+   bus the timer drives — [dma.data_q]. Every other check key must
+   survive, or the farm would re-solve the whole design on every
+   one-line RTL edit. *)
+let test_delta_cone () =
+  let k8 = all_keys Cli.default_design in
+  let k7 = all_keys { Cli.default_design with Cli.d_timer_width = 7 } in
+  Alcotest.(check int) "same svar set" (List.length k8) (List.length k7);
+  let changed =
+    List.filter_map
+      (fun (n, k) ->
+        match List.assoc_opt n k7 with
+        | Some k' when k' <> k -> Some n
+        | _ -> None)
+      k8
+  in
+  Alcotest.(check (list string))
+    "changed keys = the timer cone"
+    [ "dma.data_q"; "timer.value" ]
+    (List.sort compare changed);
+  Alcotest.(check bool)
+    "most keys survive" true
+    (List.length k8 - List.length changed > List.length changed)
+
+(* ---- the on-disk store ---- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_dir name =
+  rm_rf name;
+  name
+
+let test_store_roundtrip () =
+  let dir = fresh_dir "farm-store-roundtrip" in
+  let s = Farm.Store.load ~dir in
+  Farm.Store.add_lemma s ~svar:"timer.value" ~key:"k1" ~holds:true;
+  Farm.Store.add_lemma s ~svar:"dma.data_q" ~key:"k2" ~holds:false;
+  Farm.Store.add_lemma s ~svar:"odd name []" ~key:"k3" ~holds:true;
+  Farm.Store.add_report s ~key:"r1" (Json.Obj [ ("verdict", Json.Str "ok") ]);
+  Farm.Store.save s;
+  let s' = Farm.Store.load ~dir in
+  Alcotest.(check (pair int int)) "counts" (3, 1) (Farm.Store.counts s');
+  Alcotest.(check (option bool))
+    "lemma verdict" (Some true)
+    (Farm.Store.lemma s' ~svar:"timer.value" ~key:"k1");
+  Alcotest.(check (option bool))
+    "refuted lemma" (Some false)
+    (Farm.Store.lemma s' ~svar:"dma.data_q" ~key:"k2");
+  Alcotest.(check (option bool))
+    "escaped svar name" (Some true)
+    (Farm.Store.lemma s' ~svar:"odd name []" ~key:"k3");
+  Alcotest.(check (option bool))
+    "stale key misses" None
+    (Farm.Store.lemma s' ~svar:"timer.value" ~key:"other");
+  Alcotest.(check bool)
+    "has_svar sees any key" true
+    (Farm.Store.has_svar s' ~svar:"timer.value");
+  Alcotest.(check bool)
+    "has_svar miss" false
+    (Farm.Store.has_svar s' ~svar:"nope");
+  match Farm.Store.report s' ~key:"r1" with
+  | Some (Json.Obj [ ("verdict", Json.Str "ok") ]) -> ()
+  | _ -> Alcotest.fail "report did not round-trip"
+
+let test_store_gc () =
+  let dir = fresh_dir "farm-store-gc" in
+  let s = Farm.Store.load ~dir in
+  for i = 1 to 6 do
+    Farm.Store.add_lemma s
+      ~svar:(Printf.sprintf "sv%d" i)
+      ~key:"k" ~holds:true
+  done;
+  Farm.Store.add_report s ~key:"r1" (Json.Obj []);
+  Farm.Store.add_report s ~key:"r2" (Json.Obj []);
+  (* touch the oldest lemma so LRU keeps it over sv2..sv4 *)
+  ignore (Farm.Store.lemma s ~svar:"sv1" ~key:"k");
+  ignore (Farm.Store.report s ~key:"r1");
+  let evl, evr = Farm.Store.gc s ~max_lemmas:2 ~max_reports:1 in
+  Alcotest.(check (pair int int)) "evicted" (4, 1) (evl, evr);
+  Alcotest.(check (pair int int)) "kept" (2, 1) (Farm.Store.counts s);
+  Alcotest.(check (option bool))
+    "recently used survives" (Some true)
+    (Farm.Store.lemma s ~svar:"sv1" ~key:"k");
+  Alcotest.(check (option bool))
+    "oldest evicted" None
+    (Farm.Store.lemma s ~svar:"sv2" ~key:"k");
+  Alcotest.(check bool)
+    "evicted report file unlinked" false
+    (Sys.file_exists (Filename.concat dir "reports/r2.json"));
+  Farm.Store.save s;
+  Alcotest.(check (pair int int))
+    "gc survives reload" (2, 1)
+    (Farm.Store.counts (Farm.Store.load ~dir))
+
+let test_store_damage () =
+  let dir = fresh_dir "farm-store-damage" in
+  let s = Farm.Store.load ~dir in
+  Farm.Store.add_lemma s ~svar:"a" ~key:"k" ~holds:true;
+  Farm.Store.add_report s ~key:"r" (Json.Obj []);
+  Farm.Store.save s;
+  (* index corrupted -> empty cache, no exception *)
+  let oc = open_out (Filename.concat dir "index") in
+  output_string oc "upec-farm-cache 999\ngarbage here\n";
+  close_out oc;
+  Alcotest.(check (pair int int))
+    "corrupt index loads empty" (0, 0)
+    (Farm.Store.counts (Farm.Store.load ~dir));
+  (* indexed report whose file vanished -> pruned, not crashed *)
+  let s = Farm.Store.load ~dir in
+  Farm.Store.add_report s ~key:"gone" (Json.Obj []);
+  Farm.Store.save s;
+  Unix.unlink (Filename.concat dir "reports/gone.json");
+  let s' = Farm.Store.load ~dir in
+  Alcotest.(check (pair int int)) "pruned" (0, 0) (Farm.Store.counts s')
+
+(* ---- cache invalidation soundness (in process) ---- *)
+
+let job ?(id = "t") ?(certify = false) d =
+  {
+    Farm.Job.jb_id = id;
+    jb_design = d;
+    jb_alg = 1;
+    jb_options = { O.default with O.jobs = Some 1; certify };
+  }
+
+(* Everything semantic must be byte-equal between warm and cold; strip
+   only effort telemetry: seconds, solver/simp counters, certificate
+   totals (cached checks don't re-certify) and the cache block itself. *)
+let strip_effort json =
+  let rec strip drop j =
+    match j with
+    | Json.Obj members ->
+        Json.Obj
+          (List.filter_map
+             (fun (n, v) ->
+               if List.mem n drop then None
+               else if n = "steps" then Some (n, strip_steps v)
+               else Some (n, strip drop v))
+             members)
+    | Json.List items -> Json.List (List.map (strip drop) items)
+    | j -> j
+  and strip_steps = function
+    | Json.List steps -> Json.List (List.map (strip [ "seconds" ]) steps)
+    | j -> j
+  in
+  strip [ "total_seconds"; "simp"; "cache"; "cert" ] json
+
+let semantic json = Json.to_string_compact (strip_effort json)
+
+let merge_outcome store (oc : Farm.Exec.outcome) =
+  List.iter
+    (fun (svar, key, holds) -> Farm.Store.add_lemma store ~svar ~key ~holds)
+    oc.Farm.Exec.oc_new_lemmas;
+  if not oc.Farm.Exec.oc_report_hit then
+    Farm.Store.add_report store ~key:oc.Farm.Exec.oc_report_key
+      oc.Farm.Exec.oc_report;
+  Farm.Store.save store
+
+let test_invalidation_soundness () =
+  let small7 = { small with Cli.d_timer_width = 7 } in
+  let store = Farm.Store.load ~dir:(fresh_dir "farm-inval-warm") in
+  let cold8 = Farm.Exec.run ~store (job small) in
+  Alcotest.(check bool) "cold run is a miss" false cold8.Farm.Exec.oc_report_hit;
+  merge_outcome store cold8;
+  (* the delta: 8 -> 7 bit timer. Warm run against the tw=8 cache. *)
+  let warm7 = Farm.Exec.run ~store (job small7) in
+  let cold7 =
+    Farm.Exec.run ~store:(Farm.Store.load ~dir:(fresh_dir "farm-inval-cold"))
+      (job small7)
+  in
+  Alcotest.(check bool) "warm is not a report hit" false
+    warm7.Farm.Exec.oc_report_hit;
+  Alcotest.(check bool) "warm served from lemma cache" true
+    (warm7.Farm.Exec.oc_lemma_hits > 0);
+  Alcotest.(check bool) "warm re-solved the cone" true
+    (warm7.Farm.Exec.oc_lemma_misses > 0);
+  Alcotest.(check int) "every miss is an invalidation (no new svars)"
+    warm7.Farm.Exec.oc_lemma_misses warm7.Farm.Exec.oc_invalidated;
+  Alcotest.(check string) "warm verdict bit-identical to cold"
+    (semantic cold7.Farm.Exec.oc_report)
+    (semantic warm7.Farm.Exec.oc_report);
+  (* re-solved exactly the key-changed cone: no changed-key svar may
+     be served from cache, and cold8's lemmas for unchanged keys are
+     what the warm run consumed *)
+  let changed =
+    let k8 = all_keys small and k7 = all_keys small7 in
+    List.filter_map
+      (fun (n, k) ->
+        match List.assoc_opt n k7 with
+        | Some k' when k' <> k -> Some n
+        | _ -> None)
+      k8
+  in
+  Alcotest.(check bool) "delta has a non-empty cone" true (changed <> []);
+  let cached_names =
+    match
+      Json.member "cache" warm7.Farm.Exec.oc_report |> Json.member "cached_svars"
+    with
+    | Json.List l ->
+        List.filter_map
+          (fun e ->
+            match Json.member "name" e with Json.Str s -> Some s | _ -> None)
+          l
+    | _ -> []
+  in
+  Alcotest.(check bool) "warm run cached something" true (cached_names <> []);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (n ^ " (changed key) must re-solve, not hit")
+        false (List.mem n cached_names))
+    changed;
+  (* resubmission of the warm job is now a report-level hit *)
+  merge_outcome store warm7;
+  let again = Farm.Exec.run ~store (job small7) in
+  Alcotest.(check bool) "resubmission hits" true again.Farm.Exec.oc_report_hit;
+  Alcotest.(check string) "served artefact identical"
+    (semantic warm7.Farm.Exec.oc_report)
+    (semantic again.Farm.Exec.oc_report)
+
+let test_certified_warm () =
+  let small7 = { small with Cli.d_timer_width = 7 } in
+  let store = Farm.Store.load ~dir:(fresh_dir "farm-cert-warm") in
+  merge_outcome store (Farm.Exec.run ~store (job ~certify:true small));
+  let warm = Farm.Exec.run ~store (job ~certify:true small7) in
+  let cold =
+    Farm.Exec.run ~store:(Farm.Store.load ~dir:(fresh_dir "farm-cert-cold"))
+      (job ~certify:true small7)
+  in
+  Alcotest.(check bool) "warm certified run used the cache" true
+    (warm.Farm.Exec.oc_lemma_hits > 0);
+  Alcotest.(check string) "certified verdict bit-identical"
+    (semantic cold.Farm.Exec.oc_report)
+    (semantic warm.Farm.Exec.oc_report);
+  (* the fresh cone solves are still certified *)
+  match Json.member "cert" cold.Farm.Exec.oc_report with
+  | Json.Null -> Alcotest.fail "cold certified run carries no cert block"
+  | _ -> ()
+
+(* ---- options key separates strategies ---- *)
+
+let test_options_key () =
+  let j1 = job small and j2 = job { small with Cli.d_depth = 4 } in
+  Alcotest.(check string) "options key ignores the design"
+    (Farm.Job.options_key j1) (Farm.Job.options_key j2);
+  let j3 = { j1 with Farm.Job.jb_alg = 2 } in
+  Alcotest.(check bool) "algorithm is part of the key" true
+    (Farm.Job.options_key j1 <> Farm.Job.options_key j3);
+  let j4 =
+    { j1 with Farm.Job.jb_options = { j1.Farm.Job.jb_options with O.jobs = Some 2 } }
+  in
+  Alcotest.(check bool) "job count is part of the key" true
+    (Farm.Job.options_key j1 <> Farm.Job.options_key j4);
+  Alcotest.(check bool) "report keys differ across designs" true
+    (Farm.Exec.report_key j1 <> Farm.Exec.report_key j2)
+
+(* ---- end to end: the daemon over its socket ---- *)
+
+let farm_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/upec_farm.exe"
+
+let test_daemon_roundtrip () =
+  let dir = fresh_dir "farm-e2e" in
+  Unix.mkdir dir 0o755;
+  let socket = Filename.concat dir "farm.sock" in
+  let cache = Filename.concat dir "cache" in
+  let pid =
+    Unix.create_process farm_exe
+      [|
+        farm_exe; "serve"; "--socket"; socket; "--cache"; cache;
+        "--workers"; "1";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec wait_sock n =
+        if Sys.file_exists socket then ()
+        else if n = 0 then Alcotest.fail "daemon never bound its socket"
+        else begin
+          Unix.sleepf 0.05;
+          wait_sock (n - 1)
+        end
+      in
+      wait_sock 200;
+      let submit () =
+        Farm.Client.request ~socket
+          (Json.Obj
+             [
+               ("op", Json.Str "submit");
+               ("job", Farm.Job.to_json (job ~id:"e2e" small));
+             ])
+      in
+      let r1 = submit () in
+      Alcotest.(check (option bool))
+        "first submit ok" (Some true)
+        (Json.to_bool (Json.member "ok" r1));
+      Alcotest.(check (option bool))
+        "first submit solves" (Some false)
+        (Json.to_bool (Json.member "cached" r1));
+      let r2 = submit () in
+      Alcotest.(check (option bool))
+        "resubmission served from cache" (Some true)
+        (Json.to_bool (Json.member "cached" r2));
+      Alcotest.(check string) "served verdict identical"
+        (semantic (Json.member "report" r1))
+        (semantic (Json.member "report" r2));
+      let st =
+        Farm.Client.request ~socket (Json.Obj [ ("op", Json.Str "status") ])
+      in
+      Alcotest.(check (option bool))
+        "status ok" (Some true)
+        (Json.to_bool (Json.member "ok" st));
+      let bye =
+        Farm.Client.request ~socket (Json.Obj [ ("op", Json.Str "shutdown") ])
+      in
+      Alcotest.(check (option bool))
+        "shutdown acknowledged" (Some true)
+        (Json.to_bool (Json.member "ok" bye));
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool)
+        "daemon exited cleanly" true
+        (status = Unix.WEXITED 0))
+
+let () =
+  Alcotest.run "farm"
+    [
+      ( "fingerprint",
+        [
+          QCheck_alcotest.to_alcotest qcheck_rebuild_stable;
+          QCheck_alcotest.to_alcotest qcheck_gate_change_differs;
+          Alcotest.test_case "variant in fingerprint" `Quick
+            test_variant_in_fingerprint;
+          Alcotest.test_case "delta changes exactly its cone" `Quick
+            test_delta_cone;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "lru gc" `Quick test_store_gc;
+          Alcotest.test_case "damage tolerance" `Quick test_store_damage;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "warm bit-identical, cone re-solved" `Quick
+            test_invalidation_soundness;
+          Alcotest.test_case "certified warm run" `Quick test_certified_warm;
+          Alcotest.test_case "options key" `Quick test_options_key;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "socket roundtrip" `Quick test_daemon_roundtrip ] );
+    ]
