@@ -989,6 +989,47 @@ let farm_experiment ctx =
       "delta pass (timer width changed, %d jobs): %d lemma hits, %d \
        re-solved (%d invalidations), %.3fs@."
       (List.length delta) d_hits d_misses d_inval delta_dt;
+    (* fault-tolerance rows: the lease-retry path (one injected worker
+       kill, shared chaos budget so exactly one fires) and cache-only
+       degraded mode (zero workers over a warm cache). *)
+    let retry_cache = "farm-bench-cache-retry" in
+    let rjob = [ job ~id:"retry" ~tw:8 ~depth:3 ] in
+    rm_rf retry_cache;
+    let _, clean_dt = serve ~cache_dir:retry_cache ~workers:1 rjob in
+    rm_rf retry_cache;
+    let chaos_dir = "farm-bench-chaos" in
+    rm_rf chaos_dir;
+    let retry_replies, retry_dt =
+      List.iter
+        (fun (k, v) -> Unix.putenv k v)
+        (Farm.Chaos.arm_dir ~dir:chaos_dir [ ("kill_worker_mid_job", 1) ]);
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.putenv "UPEC_FARM_CHAOS" "";
+          Unix.putenv "UPEC_FARM_CHAOS_DIR" "")
+        (fun () -> serve ~cache_dir:retry_cache ~workers:1 rjob)
+    in
+    assert (
+      List.for_all
+        (fun r -> Json.to_bool (Json.member "ok" r) = Some true)
+        retry_replies);
+    Format.fprintf ctx.fmt
+      "retry path (worker SIGKILLed mid-job, lease requeued): clean %.3fs \
+       -> faulted %.3fs (+%.0f%%), verdict served, not dropped@."
+      clean_dt retry_dt
+      ((retry_dt -. clean_dt) /. Float.max 1e-9 clean_dt *. 100.0);
+    let degraded_replies, degraded_dt =
+      serve ~cache_dir:"farm-bench-cache-1" ~workers:0 batch
+    in
+    assert (
+      List.for_all
+        (fun r -> Json.to_bool (Json.member "cached" r) = Some true)
+        degraded_replies);
+    Format.fprintf ctx.fmt
+      "degraded mode (0 workers, warm cache): %d cached verdicts in %.3fs \
+       (%.0f/s) — hits survive a dead pool@."
+      n degraded_dt
+      (float_of_int n /. degraded_dt);
     let oc = open_out "BENCH_farm.json" in
     Printf.fprintf oc
       "{\n  \"jobs_per_batch\": %d,\n  \"cores\": %d,\n  \"pool\": [\n" n
@@ -1007,9 +1048,18 @@ let farm_experiment ctx =
     Printf.fprintf oc
       "  ],\n\
       \  \"delta\": { \"jobs\": %d, \"lemma_hits\": %d, \"lemma_misses\": \
-       %d, \"invalidated\": %d, \"seconds\": %.3f }\n\
-       }\n"
+       %d, \"invalidated\": %d, \"seconds\": %.3f },\n"
       (List.length delta) d_hits d_misses d_inval delta_dt;
+    Printf.fprintf oc
+      "  \"fault_tolerance\": {\n\
+      \    \"retry_clean_seconds\": %.3f,\n\
+      \    \"retry_faulted_seconds\": %.3f,\n\
+      \    \"degraded_cache_only_jobs\": %d,\n\
+      \    \"degraded_cache_only_seconds\": %.3f,\n\
+      \    \"degraded_cache_only_throughput\": %.2f\n\
+      \  }\n}\n"
+      clean_dt retry_dt n degraded_dt
+      (float_of_int n /. degraded_dt);
     close_out oc;
     Format.fprintf ctx.fmt "wrote BENCH_farm.json@.";
     Format.fprintf ctx.fmt

@@ -1,0 +1,118 @@
+let parse spec =
+  List.filter_map
+    (fun tok ->
+      let tok = String.trim tok in
+      if tok = "" then None
+      else
+        match String.index_opt tok ':' with
+        | None -> Some (tok, 1)
+        | Some i -> (
+            let name = String.sub tok 0 i in
+            match
+              int_of_string_opt
+                (String.sub tok (i + 1) (String.length tok - i - 1))
+            with
+            | Some n -> Some (name, n)
+            | None -> Some (name, 1)))
+    (String.split_on_char ',' spec)
+
+(* In-process budgets: each process may fire [count] times. *)
+let local : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+(* The environment is re-read on every call (tests flip directives at
+   runtime; the injection points are nowhere near a hot path) and the
+   in-process budgets reset when the spec changes. *)
+let cached = ref ("", [])
+
+let directives () =
+  let spec =
+    match Sys.getenv_opt "UPEC_FARM_CHAOS" with None -> "" | Some s -> s
+  in
+  let prev_spec, prev = !cached in
+  if prev_spec = spec then prev
+  else begin
+    let d = if spec = "" then [] else parse spec in
+    Hashtbl.reset local;
+    cached := (spec, d);
+    d
+  end
+
+let budget_dir () =
+  match Sys.getenv_opt "UPEC_FARM_CHAOS_DIR" with
+  | None | Some "" -> None
+  | Some d -> Some d
+let active () = directives () <> []
+let armed name = List.mem_assoc name (directives ())
+
+let fire_local name count =
+  let r =
+    match Hashtbl.find_opt local name with
+    | Some r -> r
+    | None ->
+        let r = ref count in
+        Hashtbl.add local name r;
+        r
+  in
+  if !r > 0 then begin
+    decr r;
+    true
+  end
+  else false
+
+(* Shared budgets: one lock-serialised decimal counter file per
+   directive, so the allowance is global across the daemon, its
+   workers and their respawns. An absent file is seeded from the
+   directive count under the same lock (first toucher wins). *)
+let fire_shared ~dir name count =
+  let path = Filename.concat dir name in
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error _ -> false
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try Unix.lockf fd Unix.F_LOCK 0
+           with Unix.Unix_error _ -> ());
+          let remaining =
+            let b = Bytes.create 32 in
+            match Unix.read fd b 0 32 with
+            | 0 -> count
+            | n -> (
+                match int_of_string_opt (String.trim (Bytes.sub_string b 0 n)) with
+                | Some r -> r
+                | None -> 0)
+            | exception Unix.Unix_error _ -> 0
+          in
+          if remaining > 0 then begin
+            let s = string_of_int (remaining - 1) in
+            (try
+               ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+               Unix.ftruncate fd 0;
+               ignore (Unix.write_substring fd s 0 (String.length s))
+             with Unix.Unix_error _ -> ());
+            true
+          end
+          else false)
+
+let fire name =
+  match List.assoc_opt name (directives ()) with
+  | None -> false
+  | Some count -> (
+      match budget_dir () with
+      | Some dir -> fire_shared ~dir name count
+      | None -> fire_local name count)
+
+let arm_dir ~dir specs =
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (name, count) ->
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc (string_of_int count);
+      close_out oc)
+    specs;
+  let spec =
+    String.concat ","
+      (List.map (fun (n, c) -> Printf.sprintf "%s:%d" n c) specs)
+  in
+  [ ("UPEC_FARM_CHAOS", spec); ("UPEC_FARM_CHAOS_DIR", dir) ]

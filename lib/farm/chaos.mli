@@ -1,0 +1,46 @@
+(** Fault injection for the farm — the chaos harness.
+
+    Faults are {e directives} named in the [UPEC_FARM_CHAOS]
+    environment variable (comma-separated, each [name] or
+    [name:count], default count 1). Because workers are separate
+    processes that inherit the daemon's environment, a directive set
+    on the daemon reaches every injection point in the fleet.
+
+    A directive's remaining budget lives either in-process (each
+    process may fire [count] times — so a respawned worker re-arms,
+    which is how a {e poisoned} job is manufactured) or, when
+    [UPEC_FARM_CHAOS_DIR] names a directory, in a lock-serialised
+    budget file shared by every process (fire exactly [count] times
+    {e globally} — how a single mid-batch worker kill is
+    manufactured, surviving the respawn).
+
+    Directives wired through the farm:
+    - [kill_worker_mid_job] — the worker SIGKILLs itself after
+      reading a job, before solving it;
+    - [drop_conn] — the client closes its connection after sending a
+      request, before reading the reply (exercises retry);
+    - [stall_conn] — the client sleeps past its own read deadline
+      before reading the reply (exercises the deadline, then retry);
+    - [short_write] — every {!Wire.write_all} moves one byte per
+      syscall (exercises the short-write loops; armed, not budgeted);
+    - [truncate_store] — {!Store} publishes a report file cut in
+      half (manufactures on-disk damage the quarantine must catch).
+
+    Production builds pay one [Sys.getenv_opt] per process: with the
+    variable unset, {!armed} and {!fire} are static [false]. *)
+
+val active : unit -> bool
+(** [UPEC_FARM_CHAOS] is set and non-empty. *)
+
+val armed : string -> bool
+(** The directive is present (budget not consulted). *)
+
+val fire : string -> bool
+(** Consume one unit of the directive's budget; [true] when the
+    fault should be injected now. Never raises. *)
+
+val arm_dir : dir:string -> (string * int) list -> (string * string) list
+(** Test helper: create [dir], seed one budget file per (directive,
+    count), and return the [(name, value)] environment bindings
+    ([UPEC_FARM_CHAOS], [UPEC_FARM_CHAOS_DIR]) a spawned daemon
+    needs. *)

@@ -1,25 +1,114 @@
 module Json = Upec.Json
 
-let request ~socket json =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+type target = { tg_addr : Wire.addr; tg_token : string option }
+
+let local socket = { tg_addr = Wire.Unix_path socket; tg_token = None }
+
+let target ?token_file addr =
+  {
+    tg_addr = Wire.addr_of_string addr;
+    tg_token = Option.map Wire.load_token token_file;
+  }
+
+exception Unavailable of string
+
+(* Unseeded Random would give every client process the same jitter —
+   the retries would stampede together, which is the opposite of the
+   point. *)
+let jitter_state =
+  lazy
+    (Random.State.make
+       [|
+         Unix.getpid ();
+         int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF;
+       |])
+
+let read_reply_line ~deadline fd =
+  let buf = Buffer.create 4096 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s 0 i
+    | None ->
+        if Wire.read_more ~deadline fd buf = 0 then raise End_of_file
+        else go ()
+  in
+  go ()
+
+(* chaos: drop the connection after sending, before the reply — the
+   retry (against an idempotent server) must absorb it *)
+let chaos_drop fd =
+  if Chaos.fire "drop_conn" then begin
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise End_of_file
+  end
+
+(* chaos: stall past our own read deadline, then let the read time
+   out — exercises the deadline, then the retry *)
+let chaos_stall ~deadline =
+  if Chaos.fire "stall_conn" then
+    if deadline < infinity then
+      Unix.sleepf (Float.max 0.0 (deadline -. Unix.gettimeofday ()) +. 0.05)
+
+let attempt ~deadline t json =
+  let fd = Wire.connect ~deadline t.tg_addr in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      Unix.connect fd (Unix.ADDR_UNIX socket);
-      let line = Json.to_string_compact json ^ "\n" in
-      let n = String.length line in
-      if Unix.write_substring fd line 0 n <> n then
-        failwith "Farm.Client: short write";
-      let buf = Buffer.create 4096 in
-      let chunk = Bytes.create 65536 in
-      let rec read_line () =
-        match Unix.read fd chunk 0 65536 with
-        | 0 -> failwith "Farm.Client: connection closed before reply"
-        | n ->
-            Buffer.add_subbytes buf chunk 0 n;
-            let s = Buffer.contents buf in
-            (match String.index_opt s '\n' with
-            | Some i -> String.sub s 0 i
-            | None -> read_line ())
-      in
-      Json.of_string (read_line ()))
+      match t.tg_addr with
+      | Wire.Unix_path _ ->
+          Wire.write_all ~deadline fd (Json.to_string_compact json ^ "\n");
+          chaos_drop fd;
+          chaos_stall ~deadline;
+          Json.of_string (read_reply_line ~deadline fd)
+      | Wire.Tcp _ ->
+          let buf = Buffer.create 4096 in
+          let challenge = Json.of_string (Wire.read_frame ~deadline fd buf) in
+          (match
+             (t.tg_token, Json.to_str (Json.member "challenge" challenge))
+           with
+          | Some token, Some nonce ->
+              Wire.write_frame ~deadline fd
+                (Json.to_string_compact (Wire.auth_response ~token ~nonce))
+          | _ ->
+              (* no token (or no challenge): send the request bare and
+                 let the server's refusal come back as a normal reply *)
+              ());
+          Wire.write_frame ~deadline fd (Json.to_string_compact json);
+          chaos_drop fd;
+          chaos_stall ~deadline;
+          Json.of_string (Wire.read_frame ~deadline fd buf))
+
+let retryable = function
+  | Wire.Timeout | End_of_file -> true
+  | Unix.Unix_error _ -> true
+  | Failure _ -> true (* torn frame *)
+  | Json.Parse_error _ -> true (* torn reply line *)
+  | _ -> false
+
+let describe = function
+  | Wire.Timeout -> "deadline exceeded"
+  | End_of_file -> "connection closed before reply"
+  | Unix.Unix_error (err, fn, _) ->
+      Printf.sprintf "%s: %s" fn (Unix.error_message err)
+  | Failure msg -> msg
+  | Json.Parse_error msg -> "bad reply: " ^ msg
+  | e -> Printexc.to_string e
+
+let request ?(timeout = 600.0) ?(attempts = 3) ?(backoff = 0.25) t json =
+  let attempts = max 1 attempts in
+  let rec go n =
+    let deadline =
+      if timeout > 0.0 then Unix.gettimeofday () +. timeout else infinity
+    in
+    match attempt ~deadline t json with
+    | reply -> reply
+    | exception e when retryable e ->
+        if n >= attempts then raise (Unavailable (describe e))
+        else begin
+          let scale = 0.5 +. Random.State.float (Lazy.force jitter_state) 1.0 in
+          Unix.sleepf (backoff *. (2.0 ** float_of_int (n - 1)) *. scale);
+          go (n + 1)
+        end
+  in
+  go 1

@@ -1,8 +1,44 @@
-(** Minimal farm client: one line-delimited-JSON request/reply
-    exchange per call over the daemon's Unix domain socket. *)
+(** Fault-tolerant farm client: one request/reply exchange per call,
+    over either transport, with deadlines and bounded retries.
 
-val request : socket:string -> Upec.Json.t -> Upec.Json.t
-(** Connect, send one request line, read one reply line. Raises
-    [Unix.Unix_error] when the daemon is unreachable,
-    [Failure] on a truncated reply and [Upec.Json.Parse_error] on a
-    malformed one. *)
+    Every attempt runs under one absolute deadline covering connect,
+    write and read — a stalled daemon costs [timeout] seconds, never
+    hangs the caller. Writes loop on partial [write]. A failed
+    attempt (connect refused, deadline missed, connection dropped
+    before the reply, torn frame) is retried up to [attempts] times
+    with jittered exponential backoff; requests are idempotent on the
+    server (resubmitting a job hits its cache entry), so a retry can
+    duplicate work but never a verdict.
+
+    Over TCP the client answers the server's HMAC challenge with the
+    shared token before the request ({!Wire}); without a token it
+    sends the request bare and the server refuses it — an auth
+    refusal is a {e reply}, not an IO failure, and is never
+    retried. *)
+
+type target = { tg_addr : Wire.addr; tg_token : string option }
+
+val local : string -> target
+(** Unix-socket target, no token. *)
+
+val target : ?token_file:string -> string -> target
+(** Parse ["host:port"] or a socket path ({!Wire.addr_of_string})
+    and load the token file if given. Raises [Sys_error] on an
+    unreadable file, [Failure] on an empty token. *)
+
+exception Unavailable of string
+(** Every attempt failed; the message names the last failure. *)
+
+val request :
+  ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:float ->
+  target ->
+  Upec.Json.t ->
+  Upec.Json.t
+(** [timeout] (default 600 s, [<= 0.] disables) bounds each attempt;
+    [attempts] (default 3) bounds the retries; [backoff] (default
+    0.25 s) seeds the jittered exponential delay between them.
+    Raises {!Unavailable} when the last attempt fails and
+    [Upec.Json.Parse_error] never (torn replies are retried as IO
+    failures). *)

@@ -1,5 +1,25 @@
 module Json = Upec.Json
 
+type failure =
+  | Timeout
+  | Crashed
+  | Read_error
+  | Protocol of string
+  | Spawn_failed
+  | Closed
+
+let failure_to_string = function
+  | Timeout -> "timeout"
+  | Crashed -> "crashed"
+  | Read_error -> "read_error"
+  | Protocol msg -> "protocol: " ^ msg
+  | Spawn_failed -> "spawn_failed"
+  | Closed -> "closed"
+
+let retryable = function Closed -> false | _ -> true
+
+type reply = Reply of Json.t | Failed of failure
+
 type proc = {
   p_pid : int;
   p_stdin : Unix.file_descr;
@@ -12,9 +32,19 @@ type pending = {
   j_buf : Buffer.t;
 }
 
-and reply = Reply of Json.t | Failed of string
+type worker = {
+  mutable w_proc : proc option;
+  mutable w_job : pending option;
+  mutable w_served : bool;
+      (** the current process has delivered at least one reply *)
+}
 
-type worker = { mutable w_proc : proc option; mutable w_job : pending option }
+(* Consecutive worker deaths that never served a single reply open
+   the breaker: a broken worker binary (exec failure surfaces as an
+   instant EOF, not a spawn exception) must not melt into an
+   infinite respawn loop. *)
+let fast_fail_limit = 6
+let breaker_cooldown = 30.0
 
 type t = {
   t_argv : string array;
@@ -22,6 +52,9 @@ type t = {
   t_workers : worker array;
   mutable t_crashes : int;
   mutable t_timeouts : int;
+  mutable t_spawn_failures : int;
+  mutable t_fast_fails : int;
+  mutable t_breaker_until : float;
 }
 
 let create ~worker_argv ~jobs ~job_timeout =
@@ -29,9 +62,13 @@ let create ~worker_argv ~jobs ~job_timeout =
     t_argv = worker_argv;
     t_timeout = job_timeout;
     t_workers =
-      Array.init (max 1 jobs) (fun _ -> { w_proc = None; w_job = None });
+      Array.init (max 0 jobs) (fun _ ->
+          { w_proc = None; w_job = None; w_served = false });
     t_crashes = 0;
     t_timeouts = 0;
+    t_spawn_failures = 0;
+    t_fast_fails = 0;
+    t_breaker_until = 0.0;
   }
 
 let jobs t = Array.length t.t_workers
@@ -41,17 +78,52 @@ let idle t =
     (fun n w -> if w.w_job = None then n + 1 else n)
     0 t.t_workers
 
+let inflight t =
+  Array.fold_left
+    (fun n w -> if w.w_job = None then n else n + 1)
+    0 t.t_workers
+
+let degraded t =
+  Array.length t.t_workers = 0
+  ||
+  if t.t_fast_fails >= fast_fail_limit then
+    if Unix.gettimeofday () < t.t_breaker_until then true
+    else begin
+      (* cooldown over: half-open — probe with fresh credit *)
+      t.t_fast_fails <- 0;
+      false
+    end
+  else false
+
+let fast_fail t w =
+  if not w.w_served then begin
+    t.t_fast_fails <- t.t_fast_fails + 1;
+    if t.t_fast_fails >= fast_fail_limit then
+      t.t_breaker_until <- Unix.gettimeofday () +. breaker_cooldown
+  end
+
+(* All four pipe ends are cloexec: [create_process] dup2s [in_r] and
+   [out_w] onto the child's stdin/stdout (dup2 clears the flag), and
+   every other end vanishes at exec. Without this a worker inherits
+   the daemon's write end of its *own* stdin pipe and never sees EOF
+   when the daemon dies — an orphan that blocks forever. *)
 let spawn t =
-  let in_r, in_w = Unix.pipe ~cloexec:false () in
-  let out_r, out_w = Unix.pipe ~cloexec:false () in
-  let pid =
-    Unix.create_process t.t_argv.(0) t.t_argv in_r out_w Unix.stderr
-  in
-  Unix.close in_r;
-  Unix.close out_w;
-  Unix.set_close_on_exec in_w;
-  Unix.set_close_on_exec out_r;
-  { p_pid = pid; p_stdin = in_w; p_stdout = out_r }
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  match Unix.create_process t.t_argv.(0) t.t_argv in_r out_w Unix.stderr with
+  | pid ->
+      Unix.close in_r;
+      Unix.close out_w;
+      Some { p_pid = pid; p_stdin = in_w; p_stdout = out_r }
+  | exception Unix.Unix_error _ ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ in_r; in_w; out_r; out_w ];
+      t.t_spawn_failures <- t.t_spawn_failures + 1;
+      t.t_fast_fails <- t.t_fast_fails + 1;
+      if t.t_fast_fails >= fast_fail_limit then
+        t.t_breaker_until <- Unix.gettimeofday () +. breaker_cooldown;
+      None
 
 let reap proc =
   (try Unix.close proc.p_stdin with Unix.Unix_error _ -> ());
@@ -70,72 +142,85 @@ let fail_job w reason =
 let retire w reason =
   (match w.w_proc with Some p -> reap p | None -> ());
   w.w_proc <- None;
+  w.w_served <- false;
   fail_job w reason
 
-let submit t request on_done =
+let deadline_of t timeout =
+  let limit = match timeout with Some s -> s | None -> t.t_timeout in
+  if limit > 0.0 then Unix.gettimeofday () +. limit else infinity
+
+let submit t ?timeout request on_done =
   let slot =
     Array.fold_left
-      (fun acc w -> match acc with Some _ -> acc | None -> if w.w_job = None then Some w else None)
+      (fun acc w ->
+        match acc with
+        | Some _ -> acc
+        | None -> if w.w_job = None then Some w else None)
       None t.t_workers
   in
   match slot with
   | None -> false
-  | Some w ->
+  | Some _ when degraded t -> false
+  | Some w -> (
       let proc =
         match w.w_proc with
-        | Some p -> p
+        | Some p -> Some p
         | None ->
             let p = spawn t in
-            w.w_proc <- Some p;
+            w.w_proc <- p;
+            w.w_served <- false;
             p
       in
-      let line = Json.to_string_compact request ^ "\n" in
-      let ok =
-        match
-          Unix.write_substring proc.p_stdin line 0 (String.length line)
-        with
-        | n -> n = String.length line
-        | exception Unix.Unix_error _ -> false
-      in
-      if not ok then begin
-        (* stdin broken: the worker died between jobs; respawn once *)
-        t.t_crashes <- t.t_crashes + 1;
-        reap proc;
-        let p = spawn t in
-        w.w_proc <- Some p;
-        match
-          Unix.write_substring p.p_stdin line 0 (String.length line)
-        with
-        | _ ->
+      match proc with
+      | None ->
+          on_done (Failed Spawn_failed);
+          true
+      | Some proc -> (
+          let line = Json.to_string_compact request ^ "\n" in
+          let arm () =
             w.w_job <-
               Some
                 {
                   j_done = on_done;
-                  j_deadline =
-                    (if t.t_timeout > 0.0 then
-                       Unix.gettimeofday () +. t.t_timeout
-                     else infinity);
+                  j_deadline = deadline_of t timeout;
                   j_buf = Buffer.create 4096;
-                };
+                }
+          in
+          let write_ok p =
+            match Wire.write_all p.p_stdin line with
+            | () -> true
+            | exception (Unix.Unix_error _ | Wire.Timeout) -> false
+          in
+          if write_ok proc then begin
+            arm ();
             true
-        | exception Unix.Unix_error _ ->
+          end
+          else begin
+            (* stdin broken: the worker died between jobs; respawn once *)
+            t.t_crashes <- t.t_crashes + 1;
+            fast_fail t w;
+            reap proc;
             w.w_proc <- None;
-            reap p;
-            on_done (Failed "worker spawn failed");
-            true
-      end
-      else begin
-        w.w_job <-
-          Some
-            {
-              j_done = on_done;
-              j_deadline =
-                (if t.t_timeout > 0.0 then Unix.gettimeofday () +. t.t_timeout
-                 else infinity);
-              j_buf = Buffer.create 4096;
-            };
-        true
-      end
+            w.w_served <- false;
+            match spawn t with
+            | None ->
+                on_done (Failed Spawn_failed);
+                true
+            | Some p ->
+                w.w_proc <- Some p;
+                if write_ok p then begin
+                  arm ();
+                  true
+                end
+                else begin
+                  t.t_crashes <- t.t_crashes + 1;
+                  fast_fail t w;
+                  reap p;
+                  w.w_proc <- None;
+                  on_done (Failed Crashed);
+                  true
+                end
+          end))
 
 let fds t =
   Array.fold_left
@@ -145,15 +230,16 @@ let fds t =
       | _ -> acc)
     [] t.t_workers
 
-let complete w line =
+let complete t w line =
   match w.w_job with
   | None -> ()
   | Some j -> (
       w.w_job <- None;
+      w.w_served <- true;
+      t.t_fast_fails <- 0;
       match Json.of_string line with
       | json -> j.j_done (Reply json)
-      | exception Json.Parse_error msg ->
-          j.j_done (Failed ("worker protocol error: " ^ msg)))
+      | exception Json.Parse_error msg -> j.j_done (Failed (Protocol msg)))
 
 let handle_readable t readable =
   Array.iter
@@ -164,16 +250,18 @@ let handle_readable t readable =
           match Unix.read p.p_stdout chunk 0 65536 with
           | 0 ->
               t.t_crashes <- t.t_crashes + 1;
-              retire w "worker crashed"
+              fast_fail t w;
+              retire w Crashed
           | n -> (
               Buffer.add_subbytes j.j_buf chunk 0 n;
               let s = Buffer.contents j.j_buf in
               match String.index_opt s '\n' with
-              | Some i -> complete w (String.sub s 0 i)
+              | Some i -> complete t w (String.sub s 0 i)
               | None -> ())
           | exception Unix.Unix_error _ ->
               t.t_crashes <- t.t_crashes + 1;
-              retire w "worker read error")
+              fast_fail t w;
+              retire w Read_error)
       | _ -> ())
     t.t_workers
 
@@ -198,12 +286,13 @@ let expire t =
              serving — the process boundary is the blast radius *)
           (try Unix.kill p.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
           t.t_timeouts <- t.t_timeouts + 1;
-          retire w "timeout"
+          retire w Timeout
       | _ -> ())
     t.t_workers
 
 let crashes t = t.t_crashes
 let timeouts t = t.t_timeouts
+let spawn_failures t = t.t_spawn_failures
 
 let close t =
   Array.iter
@@ -214,5 +303,5 @@ let close t =
           reap p
       | None -> ());
       w.w_proc <- None;
-      fail_job w "pool closed")
+      fail_job w Closed)
     t.t_workers

@@ -10,29 +10,62 @@
 
     Protocol: one request line down the worker's stdin, one reply
     line back on its stdout (line-delimited JSON). A worker that
-    closes its stdout (crash, exit) fails its in-flight job with an
-    error outcome and is respawned lazily.
+    closes its stdout (crash, exit) fails its in-flight job with a
+    taxonomised {!failure} and is respawned lazily.
+
+    Failures are typed, not stringly: the server's lease layer
+    retries {!Timeout}/{!Crashed}/{!Read_error}/{!Protocol} (the
+    worker died or spoke garbage — the job itself may be fine on a
+    fresh process) and reports each class under its own metric.
+
+    The pool degrades instead of wedging: created with [jobs = 0] it
+    is permanently {!degraded} (a cache-only farm), and a run of
+    consecutive worker deaths that never produced a single reply
+    (e.g. the worker binary is broken) opens a circuit breaker —
+    {!degraded} turns true for a cooldown period so the server sheds
+    to cache-only instead of burning respawns.
 
     The pool is select-friendly: the daemon multiplexes worker fds
-    with its client sockets ({!fds}/{!handle_readable}/{!deadline}). *)
+    with its client sockets ({!fds}/{!handle_readable}/{!expire}). *)
 
 type t
 
-type reply =
-  | Reply of Upec.Json.t  (** worker's reply line, parsed *)
-  | Failed of string  (** crash/timeout/garbage; worker respawned *)
+type failure =
+  | Timeout  (** the per-job deadline expired; the worker was SIGKILLed *)
+  | Crashed  (** EOF on stdout before a reply: crash, OOM-kill, exit *)
+  | Read_error  (** the worker pipe errored mid-reply *)
+  | Protocol of string  (** a reply line that does not parse *)
+  | Spawn_failed  (** could not fork/exec a worker at all *)
+  | Closed  (** the pool was shut down with the job in flight *)
+
+val failure_to_string : failure -> string
+(** Stable lowercase tags: ["timeout"], ["crashed"], ["read_error"],
+    ["protocol: ..."], ["spawn_failed"], ["closed"]. *)
+
+val retryable : failure -> bool
+(** Whether a fresh worker could plausibly complete the job:
+    everything except [Closed]. *)
+
+type reply = Reply of Upec.Json.t  (** worker's reply line, parsed *)
+           | Failed of failure
 
 val create : worker_argv:string array -> jobs:int -> job_timeout:float -> t
 (** [worker_argv.(0)] is the executable path. [job_timeout <= 0.]
-    disables the watchdog. Workers are spawned lazily. *)
+    disables the watchdog. [jobs = 0] creates a permanently degraded
+    (cache-only) pool. Workers are spawned lazily. *)
 
 val jobs : t -> int
 val idle : t -> int
 (** Workers (spawned or not) without an in-flight job. *)
 
-val submit : t -> Upec.Json.t -> (reply -> unit) -> bool
+val inflight : t -> int
+
+val submit : t -> ?timeout:float -> Upec.Json.t -> (reply -> unit) -> bool
 (** Hand one request line to an idle worker; [false] when none is
-    idle. The callback fires from {!handle_readable} or {!expire}. *)
+    idle (or the pool is degraded). [timeout] overrides the pool
+    default for this job — the lease layer escalates it per attempt.
+    The callback fires from {!handle_readable}, {!expire} or
+    {!close}, never inside [submit] except on [Spawn_failed]. *)
 
 val fds : t -> Unix.file_descr list
 (** Stdout fds of busy workers, for the caller's select. *)
@@ -46,10 +79,15 @@ val next_deadline : t -> float option
 
 val expire : t -> unit
 (** SIGKILL every worker past its deadline; their jobs fail with
-    [Failed "timeout"]. *)
+    [Failed Timeout]. *)
+
+val degraded : t -> bool
+(** No worker can serve right now: zero-worker pool, or the
+    consecutive-death circuit breaker is open (cooldown pending). *)
 
 val crashes : t -> int
 val timeouts : t -> int
+val spawn_failures : t -> int
 
 val close : t -> unit
 (** Terminate every worker (TERM, then KILL) and reap. *)

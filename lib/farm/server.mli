@@ -1,26 +1,58 @@
-(** The farm daemon: job queue, worker dispatch, cache ownership.
+(** The farm daemon: job queue, leases, worker dispatch, cache
+    ownership, graceful degradation.
 
-    One [select]-driven event loop multiplexes the listening Unix
-    domain socket, every client connection and every busy worker's
-    pipe. The daemon is the cache's single writer: worker outcomes
-    (new lemmas + report) are merged and published here; workers only
-    ever read snapshots.
+    One [select]-driven event loop multiplexes every listening socket
+    (Unix domain and/or TCP), every client connection and every busy
+    worker's pipe. The daemon is the cache's single writer: worker
+    outcomes (new lemmas + report) are merged and published here;
+    workers only ever read snapshots.
 
-    Request ops (one JSON object per line):
+    {b Leases.} Every dispatched job is held as a lease (job, client
+    reply, attempt count, per-attempt deadline). A worker death —
+    crash, watchdog SIGKILL, torn reply — returns the lease to the
+    queue up to [job_retries] times with the per-attempt timeout
+    escalated by [retry_escalation] each round; a job that keeps
+    killing workers is reported as {e poisoned}
+    ([{"ok":false,"poisoned":true,...}]), never silently dropped. A
+    retried job re-runs from the same cache snapshot discipline as a
+    clean one, so a verdict that arrives after a retry is
+    bit-identical to an uninjected run — retries can duplicate work,
+    never manufacture answers.
+
+    {b Degradation.} The submit queue is bounded ([max_queue]): past
+    the bound, submissions are shed immediately with
+    [{"ok":false,"overloaded":true,...}]. When no worker can serve
+    (zero-worker pool, or the worker binary keeps dying — the pool's
+    circuit breaker), cache hits are still answered inline and misses
+    get [{"ok":false,"degraded":true,...}] instead of queueing
+    forever. Damaged store files are quarantined ({!Store}) and the
+    key re-solves.
+
+    {b Transport.} Unix-socket clients speak raw LDJSON as before.
+    TCP clients ({!Wire.Tcp} listeners) speak length-framed LDJSON
+    and must answer an HMAC challenge within the handshake deadline
+    when an [auth_token] is configured; unauthenticated connections
+    are refused with an error reply. Replies are written under a
+    deadline — a client that stops reading loses its connection, not
+    the daemon.
+
+    Request ops (one JSON object per line/frame):
     - [{"op":"submit","job":{...}}] — reply arrives when the job
       completes; unchanged resubmissions are answered from the report
       cache without dispatching a worker at all.
-    - [{"op":"status"}] — queue depth, worker/cache/failure counts.
+    - [{"op":"status"}] — queue/lease depth, worker/cache/failure and
+      degradation counters.
     - [{"op":"gc","max_lemmas":N,"max_reports":N}] — LRU eviction.
-    - [{"op":"ping"}], [{"op":"shutdown"}].
-
-    Replies: [{"ok":true,...}] or [{"ok":false,"error":"..."}], with
-    the job's [id] echoed on submit replies. *)
+    - [{"op":"ping"}], [{"op":"shutdown"}]. *)
 
 type t
 
 val create :
   ?log:out_channel ->
+  ?job_retries:int ->
+  ?retry_escalation:float ->
+  ?max_queue:int ->
+  ?auth_token:string ->
   cache_dir:string ->
   worker_argv:string array ->
   workers:int ->
@@ -29,18 +61,22 @@ val create :
   t
 (** [log] receives every request and reply line (the JSONL protocol
     log). [worker_argv] launches one worker process (the farm
-    binary's [worker] subcommand). *)
+    binary's [worker] subcommand). [job_retries] (default 1) bounds
+    how many times a worker-killing job is requeued before it is
+    poisoned; [retry_escalation] (default 2.0) multiplies the
+    per-attempt timeout each retry. [max_queue] (default 256) bounds
+    the submit queue. [auth_token] arms the TCP HMAC handshake. *)
 
 val store : t -> Store.t
 
-val serve : t -> socket:string -> should_stop:(unit -> bool) -> unit
-(** Bind, listen and serve until [should_stop] or a [shutdown]
-    request. The socket file is unlinked on the way out. *)
+val serve : t -> listeners:Wire.addr list -> should_stop:(unit -> bool) -> unit
+(** Bind every listener, serve until [should_stop] or a [shutdown]
+    request. Unix socket files are unlinked on the way out. *)
 
 val run_batch : t -> jobs:Upec.Json.t list -> Upec.Json.t list
-(** One-shot mode: feed the job list through the same queue/pool
-    machinery (no socket) and return the submit replies in
-    submission order. *)
+(** One-shot mode: feed the job list through the same
+    queue/lease/pool machinery (no socket) and return the submit
+    replies in submission order. *)
 
 val close : t -> unit
 (** Kill the workers and publish the index. *)

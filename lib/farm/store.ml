@@ -37,16 +37,35 @@ type report_entry = { mutable re_stamp : int }
 
 type t = {
   st_dir : string;
+  st_writer : bool;  (* may move damaged files aside *)
   st_lemmas : (string * string, lemma_entry) Hashtbl.t;  (* (svar, key) *)
   st_svars : (string, int) Hashtbl.t;  (* svar -> lemma count *)
   st_reports : (string, report_entry) Hashtbl.t;  (* report key *)
   mutable st_stamp : int;  (* monotonic LRU clock *)
+  mutable st_quarantined : int;  (* damaged files set aside this session *)
 }
 
 let dir t = t.st_dir
 let index_path t = Filename.concat t.st_dir "index"
 let reports_dir t = Filename.concat t.st_dir "reports"
 let report_path t key = Filename.concat (reports_dir t) (key ^ ".json")
+let quarantine_dir t = Filename.concat t.st_dir "quarantine"
+
+(* Move a damaged file out of the cache's namespace: it is never
+   trusted again, but it is kept for forensics and counted. Readers
+   (worker snapshots) only count — the daemon owns the files. *)
+let quarantine t path =
+  t.st_quarantined <- t.st_quarantined + 1;
+  if t.st_writer then begin
+    (try Unix.mkdir (quarantine_dir t) 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let base = Filename.concat (quarantine_dir t) (Filename.basename path) in
+    let rec dest n =
+      let p = if n = 0 then base else Printf.sprintf "%s.%d" base n in
+      if Sys.file_exists p then dest (n + 1) else p
+    in
+    try Sys.rename path (dest 0) with Sys_error _ -> ()
+  end
 
 let incr_svar t svar d =
   let c = (match Hashtbl.find_opt t.st_svars svar with Some c -> c | None -> 0) + d in
@@ -83,15 +102,17 @@ let parse_index t text =
         rest
   | _ -> failwith "Store: bad index magic"
 
-let load ~dir =
+let load ?(writer = false) ~dir () =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let t =
     {
       st_dir = dir;
+      st_writer = writer;
       st_lemmas = Hashtbl.create 1024;
       st_svars = Hashtbl.create 256;
       st_reports = Hashtbl.create 64;
       st_stamp = 0;
+      st_quarantined = 0;
     }
   in
   (try Unix.mkdir (reports_dir t) 0o755
@@ -106,10 +127,12 @@ let load ~dir =
      | text -> (
          try parse_index t text
          with _ ->
-           (* damaged cache = empty cache, never a crash *)
+           (* damaged cache = empty cache, never a crash; the broken
+              index is set aside, not overwritten silently *)
            Hashtbl.reset t.st_lemmas;
            Hashtbl.reset t.st_svars;
-           Hashtbl.reset t.st_reports)
+           Hashtbl.reset t.st_reports;
+           quarantine t (index_path t))
      | exception Sys_error _ -> ());
   (* drop index entries whose report file is gone *)
   Hashtbl.iter
@@ -134,6 +157,13 @@ let add_lemma t ~svar ~key ~holds =
 let has_svar t ~svar = Hashtbl.mem t.st_svars svar
 
 let atomic_write ~dir:d ~path text =
+  (* chaos: publish a torn artefact — the rename stays atomic, the
+     content is damaged, and the read-side quarantine must catch it *)
+  let text =
+    if Chaos.fire "truncate_store" then
+      String.sub text 0 (String.length text / 2)
+    else text
+  in
   let tmp = Filename.temp_file ~temp_dir:d (Filename.basename path) ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
   Fun.protect
@@ -149,6 +179,14 @@ let report t ~key =
   match Hashtbl.find_opt t.st_reports key with
   | None -> None
   | Some e -> (
+      let damaged () =
+        (* an unreadable or unparseable artefact is never trusted and
+           never retried: drop the index entry and set the file aside
+           so the key re-solves cleanly *)
+        Hashtbl.remove t.st_reports key;
+        quarantine t (report_path t key);
+        None
+      in
       match
         let ic = open_in_bin (report_path t key) in
         Fun.protect
@@ -160,8 +198,8 @@ let report t ~key =
           | j ->
               e.re_stamp <- tick t;
               Some j
-          | exception Json.Parse_error _ -> None)
-      | exception Sys_error _ -> None)
+          | exception Json.Parse_error _ -> damaged ())
+      | exception Sys_error _ -> damaged ())
 
 let add_report t ~key json =
   atomic_write ~dir:t.st_dir ~path:(report_path t key) (Json.to_string json);
@@ -211,3 +249,4 @@ let gc t ~max_lemmas ~max_reports =
   (evl, evr)
 
 let counts t = (Hashtbl.length t.st_lemmas, Hashtbl.length t.st_reports)
+let quarantined t = t.st_quarantined

@@ -12,15 +12,23 @@
     corrupt or version-mismatched index is treated as an empty cache
     (the farm re-solves; it never crashes on cache damage).
 
+    Damage is {e quarantined}, never trusted: a report file that
+    fails to read or parse is dropped from the index, moved to
+    [quarantine/] (writer handles only) and counted; a damaged index
+    is set aside the same way. The key re-solves cleanly — corruption
+    can cost work, never a verdict.
+
     Concurrency: single writer (the daemon). Worker processes open
     read-only snapshots per job with {!load} and never call {!save};
     the daemon merges their new lemmas and publishes. *)
 
 type t
 
-val load : dir:string -> t
+val load : ?writer:bool -> dir:string -> unit -> t
 (** Open (creating the directory if needed). Never raises on cache
-    damage — a damaged index loads as empty. *)
+    damage — a damaged index loads as empty. [writer] (default
+    [false]) marks the single-writer handle: only it may move
+    damaged files into [quarantine/]; readers just count and miss. *)
 
 val dir : t -> string
 
@@ -36,8 +44,9 @@ val has_svar : t -> svar:string -> bool
     true is an {e invalidation}, the re-solved cone of a delta. *)
 
 val report : t -> key:string -> Upec.Json.t option
-(** Cached report, bumping its stamp; an unreadable report file is a
-    miss. *)
+(** Cached report, bumping its stamp. An unreadable or unparseable
+    report file is a miss {e and} a quarantine: the entry is dropped
+    and (on a writer handle) the file moved aside. *)
 
 val add_report : t -> key:string -> Upec.Json.t -> unit
 (** Publishes the report file atomically right away; the index entry
@@ -53,3 +62,7 @@ val gc : t -> max_lemmas:int -> max_reports:int -> int * int
 
 val counts : t -> int * int
 (** (lemmas, reports) currently cached. *)
+
+val quarantined : t -> int
+(** Damaged files detected (and, as writer, moved aside) since
+    {!load}. *)

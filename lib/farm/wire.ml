@@ -1,0 +1,228 @@
+module Json = Upec.Json
+
+type addr = Unix_path of string | Tcp of string * int
+
+exception Timeout
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Unix_path s
+  | Some i -> (
+      let host = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port when port > 0 && port < 65536 ->
+          Tcp ((if host = "" then "127.0.0.1" else host), port)
+      | _ -> Unix_path s)
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let remaining deadline =
+  if deadline = infinity then None
+  else Some (deadline -. Unix.gettimeofday ())
+
+let wait fd ~deadline ~for_read =
+  match remaining deadline with
+  | None -> ()
+  | Some left ->
+      if left <= 0.0 then raise Timeout;
+      let rec go left =
+        let r, w = if for_read then ([ fd ], []) else ([], [ fd ]) in
+        match Unix.select r w [] left with
+        | [], [], [] -> raise Timeout
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            let left = deadline -. Unix.gettimeofday () in
+            if left <= 0.0 then raise Timeout else go left
+      in
+      go left
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | ip -> ip
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | h when Array.length h.Unix.h_addr_list > 0 -> h.Unix.h_addr_list.(0)
+      | _ -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "resolve", host))
+      | exception Not_found ->
+          raise (Unix.Unix_error (Unix.EHOSTUNREACH, "resolve", host)))
+
+let connect ?(deadline = infinity) addr =
+  match addr with
+  | Unix_path p ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX p)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  | Tcp (host, port) ->
+      let ip = resolve host in
+      let fd =
+        Unix.socket (Unix.domain_of_sockaddr (Unix.ADDR_INET (ip, port)))
+          Unix.SOCK_STREAM 0
+      in
+      (try
+         Unix.set_nonblock fd;
+         (match Unix.connect fd (Unix.ADDR_INET (ip, port)) with
+         | () -> ()
+         | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+           -> (
+             wait fd ~deadline ~for_read:false;
+             (* with no deadline the select is skipped; poll until the
+                connect resolves either way *)
+             (if deadline = infinity then
+                match Unix.select [] [ fd ] [] (-1.0) with
+                | _ -> ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+             match Unix.getsockopt_error fd with
+             | None -> ()
+             | Some err -> raise (Unix.Unix_error (err, "connect", ""))));
+         Unix.clear_nonblock fd;
+         fd
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e)
+
+let write_all ?(deadline = infinity) fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      wait fd ~deadline ~for_read:false;
+      let len = if Chaos.armed "short_write" then 1 else n - off in
+      match Unix.write_substring fd s off len with
+      | w -> go (off + w)
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          go off
+    end
+  in
+  go 0
+
+let read_more ?(deadline = infinity) fd buf =
+  wait fd ~deadline ~for_read:true;
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 65536 with
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        n
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        wait fd ~deadline ~for_read:true;
+        go ()
+  in
+  go ()
+
+(* -------- length framing -------- *)
+
+(* Caps a malicious or corrupt header before it becomes an
+   allocation: no farm message approaches this. *)
+let max_frame = 64 * 1024 * 1024
+
+let frame payload = Printf.sprintf "%08x\n%s\n" (String.length payload) payload
+
+let write_frame ?deadline fd payload = write_all ?deadline fd (frame payload)
+
+let pop_frame buf =
+  let s = Buffer.contents buf in
+  let have = String.length s in
+  if have < 9 then None
+  else begin
+    if s.[8] <> '\n' then failwith "Wire: bad frame header";
+    let len =
+      match int_of_string_opt ("0x" ^ String.sub s 0 8) with
+      | Some l when l >= 0 && l <= max_frame -> l
+      | Some _ -> failwith "Wire: oversized frame"
+      | None -> failwith "Wire: bad frame header"
+    in
+    let total = 9 + len + 1 in
+    if have < total then None
+    else begin
+      if s.[9 + len] <> '\n' then failwith "Wire: bad frame terminator";
+      let payload = String.sub s 9 len in
+      Buffer.clear buf;
+      Buffer.add_substring buf s total (have - total);
+      Some payload
+    end
+  end
+
+let rec read_frame ?(deadline = infinity) fd buf =
+  match pop_frame buf with
+  | Some payload -> payload
+  | None ->
+      if read_more ~deadline fd buf = 0 then raise End_of_file
+      else read_frame ~deadline fd buf
+
+(* -------- authentication -------- *)
+
+(* HMAC (RFC 2104) over the stdlib Digest hash; block size 64. *)
+let hmac ~key msg =
+  let key = if String.length key > 64 then Digest.string key else key in
+  let pad fill =
+    let b = Bytes.make 64 (Char.chr fill) in
+    String.iteri
+      (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor fill)))
+      key;
+    Bytes.to_string b
+  in
+  Digest.to_hex (Digest.string (pad 0x5c ^ Digest.string (pad 0x36 ^ msg)))
+
+let constant_time_eq a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       String.iteri
+         (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i]))
+         a;
+       !acc = 0
+     end
+
+let nonce_counter = ref 0
+
+let fresh_nonce () =
+  let urandom =
+    match open_in_bin "/dev/urandom" with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match really_input_string ic 16 with
+            | s -> Some s
+            | exception End_of_file -> None)
+    | exception Sys_error _ -> None
+  in
+  incr nonce_counter;
+  let seed =
+    match urandom with
+    | Some s -> s
+    | None ->
+        Printf.sprintf "%f:%d:%d:%d" (Unix.gettimeofday ()) (Unix.getpid ())
+          !nonce_counter
+          (Hashtbl.hash (Sys.getcwd ()))
+  in
+  Digest.to_hex (Digest.string seed)
+
+let load_token path =
+  let ic = open_in_bin path in
+  let token =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> String.trim (really_input_string ic (in_channel_length ic)))
+  in
+  if token = "" then failwith ("Wire: empty auth token in " ^ path);
+  token
+
+let auth_challenge ~nonce =
+  Json.Obj [ ("farm", Json.Str "upec-farm 1"); ("challenge", Json.Str nonce) ]
+
+let auth_response ~token ~nonce =
+  Json.Obj [ ("op", Json.Str "auth"); ("auth", Json.Str (hmac ~key:token nonce)) ]
+
+let auth_check ~token ~nonce j =
+  match Json.to_str (Json.member "auth" j) with
+  | Some mac -> constant_time_eq mac (hmac ~key:token nonce)
+  | None -> false

@@ -1,0 +1,85 @@
+(** Transport substrate for the farm protocol.
+
+    Two address families, one protocol:
+
+    - [Unix_path p] — the original local transport. Messages are raw
+      line-delimited JSON, no handshake; trust is filesystem
+      permissions on the socket.
+    - [Tcp (host, port)] — the multi-host transport. Every message is
+      a {e length-framed} LDJSON line ([%08x\n] byte-count header,
+      then exactly that many payload bytes, then ['\n']), so a
+      receiver can size its read, detect truncation, and never
+      confuse a torn write with a short message. Connections open
+      with a shared-secret HMAC challenge/response and are refused
+      (with [{"ok":false,"error":"..."}]) before any op otherwise.
+
+    All blocking reads and writes here take an absolute [deadline]
+    ([Unix.gettimeofday] clock; [infinity] disables). A missed
+    deadline raises {!Timeout} — callers decide whether that retires
+    a connection (server) or triggers a retry (client). Writes loop
+    on partial [write] and [EINTR]; a kernel that accepts one byte at
+    a time still gets the whole message. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_of_string : string -> addr
+(** ["host:port"] parses as [Tcp] (the last [':'] splits, so IPv6
+    literals work unbracketed); anything else is a [Unix_path]. *)
+
+val addr_to_string : addr -> string
+
+val connect : ?deadline:float -> addr -> Unix.file_descr
+(** Resolve and connect with the deadline applied to the TCP connect
+    itself (non-blocking connect + select). Raises {!Timeout} or
+    [Unix.Unix_error]. The returned fd is blocking. *)
+
+exception Timeout
+(** A read or write missed its deadline. *)
+
+val write_all : ?deadline:float -> Unix.file_descr -> string -> unit
+(** Write the whole string, looping on short writes and [EINTR],
+    waiting for writability under the deadline. Honours the
+    [short_write] chaos directive (one byte per syscall) so the loop
+    is exercised, not just trusted. *)
+
+val read_more : ?deadline:float -> Unix.file_descr -> Buffer.t -> int
+(** Wait (under deadline) for readability, then append one chunk to
+    [buf]; returns the byte count, 0 on EOF. *)
+
+(** {1 Length framing} *)
+
+val frame : string -> string
+(** [%08x\n] ^ payload ^ ["\n"]. *)
+
+val write_frame : ?deadline:float -> Unix.file_descr -> string -> unit
+
+val pop_frame : Buffer.t -> string option
+(** Extract one complete frame from an accumulation buffer, leaving
+    any partial tail in place; [None] when incomplete. Raises
+    [Failure] on a malformed header or a missing trailing newline —
+    framing damage, not a short read. *)
+
+val read_frame : ?deadline:float -> Unix.file_descr -> Buffer.t -> string
+(** Blocking-read frames via [buf] until one completes. Raises
+    [End_of_file] on EOF mid-frame, {!Timeout}, or [Failure] on
+    framing damage. *)
+
+(** {1 Authentication} *)
+
+val hmac : key:string -> string -> string
+(** HMAC (RFC 2104) over the stdlib [Digest] hash, hex-encoded.
+    Shared-secret transport auth, not a public signature scheme. *)
+
+val constant_time_eq : string -> string -> bool
+
+val fresh_nonce : unit -> string
+(** Unpredictable per-connection challenge (urandom when available,
+    else time/pid/counter digest). *)
+
+val load_token : string -> string
+(** Read a token file, trimmed. Raises [Sys_error]. Refuses an empty
+    token with [Failure] — an empty secret authenticates nobody. *)
+
+val auth_challenge : nonce:string -> Upec.Json.t
+val auth_response : token:string -> nonce:string -> Upec.Json.t
+val auth_check : token:string -> nonce:string -> Upec.Json.t -> bool

@@ -131,15 +131,151 @@ let fresh_dir name =
   rm_rf name;
   name
 
+let load dir = Farm.Store.load ~dir ()
+let loadw dir = Farm.Store.load ~writer:true ~dir ()
+
+(* Flip chaos directives for the duration of [f] only; the daemon
+   helpers below strip these variables before spawning, so a directive
+   set here fires in this process (the client / the in-process store),
+   never in a daemon under test. *)
+let with_chaos spec f =
+  Unix.putenv "UPEC_FARM_CHAOS" spec;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "UPEC_FARM_CHAOS" "";
+      Unix.putenv "UPEC_FARM_CHAOS_DIR" "")
+    f
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* ---- wire: addresses, framing, auth primitives ---- *)
+
+let test_addr_parsing () =
+  let check_addr msg expect got =
+    Alcotest.(check bool) msg true (got = expect)
+  in
+  check_addr "host:port is tcp"
+    (Farm.Wire.Tcp ("farm.example", 9731))
+    (Farm.Wire.addr_of_string "farm.example:9731");
+  check_addr "bare port binds loopback"
+    (Farm.Wire.Tcp ("127.0.0.1", 9731))
+    (Farm.Wire.addr_of_string ":9731");
+  check_addr "a path stays a unix socket"
+    (Farm.Wire.Unix_path "/tmp/farm.sock")
+    (Farm.Wire.addr_of_string "/tmp/farm.sock");
+  check_addr "non-numeric port stays a unix socket"
+    (Farm.Wire.Unix_path "odd:name")
+    (Farm.Wire.addr_of_string "odd:name");
+  check_addr "port 0 is not a tcp address"
+    (Farm.Wire.Unix_path "host:0")
+    (Farm.Wire.addr_of_string "host:0")
+
+let test_framing () =
+  let buf = Buffer.create 64 in
+  let msg = {|{"op":"ping"}|} in
+  let f = Farm.Wire.frame msg in
+  (* byte-at-a-time arrival: nothing pops until the last byte *)
+  String.iteri
+    (fun i c ->
+      Buffer.add_char buf c;
+      if i < String.length f - 1 then
+        Alcotest.(check (option string))
+          "incomplete frame pops nothing" None
+          (Farm.Wire.pop_frame buf))
+    f;
+  Alcotest.(check (option string))
+    "complete frame pops" (Some msg)
+    (Farm.Wire.pop_frame buf);
+  Alcotest.(check int) "buffer drained" 0 (Buffer.length buf);
+  (* two frames back to back, plus a partial tail *)
+  Buffer.add_string buf (f ^ Farm.Wire.frame "x" ^ "0000");
+  Alcotest.(check (option string)) "first" (Some msg) (Farm.Wire.pop_frame buf);
+  Alcotest.(check (option string)) "second" (Some "x") (Farm.Wire.pop_frame buf);
+  Alcotest.(check (option string)) "tail stays" None (Farm.Wire.pop_frame buf);
+  Alcotest.(check int) "tail intact" 4 (Buffer.length buf);
+  (* framing damage is loud, never a silent short message *)
+  Buffer.clear buf;
+  Buffer.add_string buf "garbage!\n";
+  match Farm.Wire.pop_frame buf with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "malformed frame header must raise"
+
+let test_auth_primitives () =
+  let mac = Farm.Wire.hmac ~key:"secret" "msg" in
+  Alcotest.(check string) "hmac is deterministic" mac
+    (Farm.Wire.hmac ~key:"secret" "msg");
+  Alcotest.(check bool) "the key separates" true
+    (mac <> Farm.Wire.hmac ~key:"other" "msg");
+  Alcotest.(check bool) "the message separates" true
+    (mac <> Farm.Wire.hmac ~key:"secret" "msg2");
+  Alcotest.(check bool) "over-long keys are hashed, not truncated" true
+    (Farm.Wire.hmac ~key:(String.make 100 'k') "m"
+    <> Farm.Wire.hmac ~key:(String.make 100 'k' ^ "x") "m");
+  Alcotest.(check bool) "ct-eq accepts" true
+    (Farm.Wire.constant_time_eq mac mac);
+  Alcotest.(check bool) "ct-eq refuses" false
+    (Farm.Wire.constant_time_eq mac (Farm.Wire.hmac ~key:"other" "msg"));
+  Alcotest.(check bool) "nonces do not repeat" true
+    (Farm.Wire.fresh_nonce () <> Farm.Wire.fresh_nonce ());
+  let nonce = Farm.Wire.fresh_nonce () in
+  Alcotest.(check bool) "a well-formed response verifies" true
+    (Farm.Wire.auth_check ~token:"tok" ~nonce
+       (Farm.Wire.auth_response ~token:"tok" ~nonce));
+  Alcotest.(check bool) "a wrong token is refused" false
+    (Farm.Wire.auth_check ~token:"tok" ~nonce
+       (Farm.Wire.auth_response ~token:"bad" ~nonce));
+  Alcotest.(check bool) "a replayed response is refused" false
+    (Farm.Wire.auth_check ~token:"tok" ~nonce:(Farm.Wire.fresh_nonce ())
+       (Farm.Wire.auth_response ~token:"tok" ~nonce))
+
+(* ---- chaos harness bookkeeping ---- *)
+
+let test_chaos_budgets () =
+  with_chaos "test_fault:2,other" (fun () ->
+      Alcotest.(check bool) "active" true (Farm.Chaos.active ());
+      Alcotest.(check bool) "armed" true (Farm.Chaos.armed "test_fault");
+      Alcotest.(check bool) "unlisted not armed" false (Farm.Chaos.armed "no");
+      Alcotest.(check bool) "unlisted never fires" false (Farm.Chaos.fire "no");
+      let f1 = Farm.Chaos.fire "test_fault" in
+      let f2 = Farm.Chaos.fire "test_fault" in
+      let f3 = Farm.Chaos.fire "test_fault" in
+      Alcotest.(check (list bool))
+        "a budget of two fires twice" [ true; true; false ] [ f1; f2; f3 ];
+      Alcotest.(check bool) "default count is one" true (Farm.Chaos.fire "other");
+      Alcotest.(check bool) "and then dry" false (Farm.Chaos.fire "other"));
+  Alcotest.(check bool) "inactive when unset" false (Farm.Chaos.active ());
+  (* shared budgets live in lockf'd counter files: the allowance is
+     global across the daemon, its workers and their respawns *)
+  let dir = fresh_dir "farm-chaos-dir" in
+  let bindings = Farm.Chaos.arm_dir ~dir [ ("test_fault", 1) ] in
+  Alcotest.(check bool) "arm_dir names the spec" true
+    (List.mem_assoc "UPEC_FARM_CHAOS" bindings
+    && List.mem_assoc "UPEC_FARM_CHAOS_DIR" bindings);
+  List.iter (fun (k, v) -> Unix.putenv k v) bindings;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "UPEC_FARM_CHAOS" "";
+      Unix.putenv "UPEC_FARM_CHAOS_DIR" "")
+    (fun () ->
+      Alcotest.(check bool) "shared budget fires once" true
+        (Farm.Chaos.fire "test_fault");
+      Alcotest.(check bool) "then globally dry" false
+        (Farm.Chaos.fire "test_fault"))
+
 let test_store_roundtrip () =
   let dir = fresh_dir "farm-store-roundtrip" in
-  let s = Farm.Store.load ~dir in
+  let s = load dir in
   Farm.Store.add_lemma s ~svar:"timer.value" ~key:"k1" ~holds:true;
   Farm.Store.add_lemma s ~svar:"dma.data_q" ~key:"k2" ~holds:false;
   Farm.Store.add_lemma s ~svar:"odd name []" ~key:"k3" ~holds:true;
   Farm.Store.add_report s ~key:"r1" (Json.Obj [ ("verdict", Json.Str "ok") ]);
   Farm.Store.save s;
-  let s' = Farm.Store.load ~dir in
+  let s' = load dir in
   Alcotest.(check (pair int int)) "counts" (3, 1) (Farm.Store.counts s');
   Alcotest.(check (option bool))
     "lemma verdict" (Some true)
@@ -165,7 +301,7 @@ let test_store_roundtrip () =
 
 let test_store_gc () =
   let dir = fresh_dir "farm-store-gc" in
-  let s = Farm.Store.load ~dir in
+  let s = load dir in
   for i = 1 to 6 do
     Farm.Store.add_lemma s
       ~svar:(Printf.sprintf "sv%d" i)
@@ -191,11 +327,11 @@ let test_store_gc () =
   Farm.Store.save s;
   Alcotest.(check (pair int int))
     "gc survives reload" (2, 1)
-    (Farm.Store.counts (Farm.Store.load ~dir))
+    (Farm.Store.counts (load dir))
 
 let test_store_damage () =
   let dir = fresh_dir "farm-store-damage" in
-  let s = Farm.Store.load ~dir in
+  let s = load dir in
   Farm.Store.add_lemma s ~svar:"a" ~key:"k" ~holds:true;
   Farm.Store.add_report s ~key:"r" (Json.Obj []);
   Farm.Store.save s;
@@ -205,14 +341,69 @@ let test_store_damage () =
   close_out oc;
   Alcotest.(check (pair int int))
     "corrupt index loads empty" (0, 0)
-    (Farm.Store.counts (Farm.Store.load ~dir));
+    (Farm.Store.counts (load dir));
   (* indexed report whose file vanished -> pruned, not crashed *)
-  let s = Farm.Store.load ~dir in
+  let s = load dir in
   Farm.Store.add_report s ~key:"gone" (Json.Obj []);
   Farm.Store.save s;
   Unix.unlink (Filename.concat dir "reports/gone.json");
-  let s' = Farm.Store.load ~dir in
+  let s' = load dir in
   Alcotest.(check (pair int int)) "pruned" (0, 0) (Farm.Store.counts s')
+
+(* A damaged artefact is never trusted, never silently dropped: the
+   writer (the daemon) moves it into quarantine/ and forgets the key;
+   a reader (a worker snapshot) only counts and misses — the files
+   belong to the daemon. *)
+let test_store_quarantine () =
+  let dir = fresh_dir "farm-store-quarantine" in
+  let s = loadw dir in
+  Farm.Store.add_report s ~key:"r" (Json.Obj [ ("verdict", Json.Str "ok") ]);
+  Farm.Store.save s;
+  let path = Filename.concat dir "reports/r.json" in
+  let oc = open_out path in
+  output_string oc "{\"verdict\":";
+  close_out oc;
+  Alcotest.(check bool)
+    "damaged report not trusted" true
+    (Farm.Store.report s ~key:"r" = None);
+  Alcotest.(check int) "counted" 1 (Farm.Store.quarantined s);
+  Alcotest.(check bool)
+    "moved out of the cache namespace" false (Sys.file_exists path);
+  Alcotest.(check bool)
+    "kept for forensics" true
+    (Sys.file_exists (Filename.concat dir "quarantine/r.json"));
+  Alcotest.(check int) "index entry dropped" 0 (snd (Farm.Store.counts s));
+  (* the reader side: count, miss, leave the file where it is *)
+  let s2 = loadw dir in
+  Farm.Store.add_report s2 ~key:"r2" (Json.Obj []);
+  Farm.Store.save s2;
+  let p2 = Filename.concat dir "reports/r2.json" in
+  let oc = open_out p2 in
+  output_string oc "garbage";
+  close_out oc;
+  let rd = load dir in
+  Alcotest.(check bool)
+    "reader misses" true
+    (Farm.Store.report rd ~key:"r2" = None);
+  Alcotest.(check int) "reader counted" 1 (Farm.Store.quarantined rd);
+  Alcotest.(check bool) "reader left the file in place" true
+    (Sys.file_exists p2)
+
+let test_store_corrupt_index_quarantined () =
+  let dir = fresh_dir "farm-store-qidx" in
+  let s = loadw dir in
+  Farm.Store.add_lemma s ~svar:"a" ~key:"k" ~holds:true;
+  Farm.Store.save s;
+  let oc = open_out (Filename.concat dir "index") in
+  output_string oc "upec-farm-cache 999\ngarbage\n";
+  close_out oc;
+  let s' = loadw dir in
+  Alcotest.(check (pair int int))
+    "empty after damage" (0, 0)
+    (Farm.Store.counts s');
+  Alcotest.(check int) "counted" 1 (Farm.Store.quarantined s');
+  Alcotest.(check bool) "broken index set aside" true
+    (Sys.file_exists (Filename.concat dir "quarantine/index"))
 
 (* ---- cache invalidation soundness (in process) ---- *)
 
@@ -259,14 +450,14 @@ let merge_outcome store (oc : Farm.Exec.outcome) =
 
 let test_invalidation_soundness () =
   let small7 = { small with Cli.d_timer_width = 7 } in
-  let store = Farm.Store.load ~dir:(fresh_dir "farm-inval-warm") in
+  let store = load (fresh_dir "farm-inval-warm") in
   let cold8 = Farm.Exec.run ~store (job small) in
   Alcotest.(check bool) "cold run is a miss" false cold8.Farm.Exec.oc_report_hit;
   merge_outcome store cold8;
   (* the delta: 8 -> 7 bit timer. Warm run against the tw=8 cache. *)
   let warm7 = Farm.Exec.run ~store (job small7) in
   let cold7 =
-    Farm.Exec.run ~store:(Farm.Store.load ~dir:(fresh_dir "farm-inval-cold"))
+    Farm.Exec.run ~store:(load (fresh_dir "farm-inval-cold"))
       (job small7)
   in
   Alcotest.(check bool) "warm is not a report hit" false
@@ -321,11 +512,11 @@ let test_invalidation_soundness () =
 
 let test_certified_warm () =
   let small7 = { small with Cli.d_timer_width = 7 } in
-  let store = Farm.Store.load ~dir:(fresh_dir "farm-cert-warm") in
+  let store = load (fresh_dir "farm-cert-warm") in
   merge_outcome store (Farm.Exec.run ~store (job ~certify:true small));
   let warm = Farm.Exec.run ~store (job ~certify:true small7) in
   let cold =
-    Farm.Exec.run ~store:(Farm.Store.load ~dir:(fresh_dir "farm-cert-cold"))
+    Farm.Exec.run ~store:(load (fresh_dir "farm-cert-cold"))
       (job ~certify:true small7)
   in
   Alcotest.(check bool) "warm certified run used the cache" true
@@ -337,6 +528,39 @@ let test_certified_warm () =
   match Json.member "cert" cold.Farm.Exec.oc_report with
   | Json.Null -> Alcotest.fail "cold certified run carries no cert block"
   | _ -> ()
+
+(* Corruption does not poison verdicts: a torn publish (the
+   [truncate_store] chaos directive) or an overwritten artefact is
+   quarantined on first read and the key re-solves to a bit-identical
+   verdict. *)
+let test_quarantined_key_resolves () =
+  let dir = fresh_dir "farm-quarantine-resolve" in
+  let store = loadw dir in
+  let cold = Farm.Exec.run ~store (job small) in
+  merge_outcome store cold;
+  with_chaos "truncate_store:1" (fun () ->
+      Farm.Store.add_report store ~key:"torn"
+        (Json.Obj [ ("pad", Json.Str (String.make 64 'x')) ]));
+  Alcotest.(check bool)
+    "torn artefact refused" true
+    (Farm.Store.report store ~key:"torn" = None);
+  Alcotest.(check bool)
+    "torn artefact quarantined" true
+    (Farm.Store.quarantined store >= 1);
+  (* now damage the real report; the key must re-solve, not hit *)
+  let path =
+    Filename.concat dir ("reports/" ^ cold.Farm.Exec.oc_report_key ^ ".json")
+  in
+  let oc = open_out path in
+  output_string oc "{\"half\":";
+  close_out oc;
+  let again = Farm.Exec.run ~store (job small) in
+  Alcotest.(check bool)
+    "damaged report is a miss, not a hit" false
+    again.Farm.Exec.oc_report_hit;
+  Alcotest.(check string) "re-solved verdict bit-identical"
+    (semantic cold.Farm.Exec.oc_report)
+    (semantic again.Farm.Exec.oc_report)
 
 (* ---- options key separates strategies ---- *)
 
@@ -355,23 +579,120 @@ let test_options_key () =
   Alcotest.(check bool) "report keys differ across designs" true
     (Farm.Exec.report_key j1 <> Farm.Exec.report_key j2)
 
-(* ---- end to end: the daemon over its socket ---- *)
+
+(* ---- graceful degradation (in process) ---- *)
 
 let farm_exe =
   Filename.concat (Filename.dirname Sys.executable_name) "../bin/upec_farm.exe"
 
-let test_daemon_roundtrip () =
-  let dir = fresh_dir "farm-e2e" in
+let worker_argv cache = [| farm_exe; "worker"; "--cache"; cache |]
+
+(* A zero-worker daemon is cache-only: hits are still answered, misses
+   are refused as degraded — never queued forever. *)
+let test_cache_only_degraded () =
+  let dir = fresh_dir "farm-degraded" in
+  Unix.mkdir dir 0o755;
+  let cache = Filename.concat dir "cache" in
+  let store = loadw cache in
+  merge_outcome store (Farm.Exec.run ~store (job ~id:"warm" small));
+  let server =
+    Farm.Server.create ~cache_dir:cache ~worker_argv:(worker_argv cache)
+      ~workers:0 ~job_timeout:0.0 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Farm.Server.close server)
+    (fun () ->
+      match
+        Farm.Server.run_batch server
+          ~jobs:
+            [
+              Farm.Job.to_json (job ~id:"warm" small);
+              Farm.Job.to_json (job ~id:"miss" { small with Cli.d_depth = 4 });
+            ]
+      with
+      | [ hit; miss ] ->
+          Alcotest.(check (option bool))
+            "hit answered" (Some true)
+            (Json.to_bool (Json.member "ok" hit));
+          Alcotest.(check (option bool))
+            "from cache" (Some true)
+            (Json.to_bool (Json.member "cached" hit));
+          Alcotest.(check (option bool))
+            "miss refused" (Some false)
+            (Json.to_bool (Json.member "ok" miss));
+          Alcotest.(check (option bool))
+            "flagged degraded" (Some true)
+            (Json.to_bool (Json.member "degraded" miss))
+      | _ -> Alcotest.fail "two replies expected")
+
+(* Past the queue bound, submissions are shed immediately as
+   overloaded — the accepted ones still complete. *)
+let test_overloaded_shedding () =
+  let dir = fresh_dir "farm-overload" in
+  Unix.mkdir dir 0o755;
+  let cache = Filename.concat dir "cache" in
+  let server =
+    Farm.Server.create ~cache_dir:cache ~worker_argv:(worker_argv cache)
+      ~workers:1 ~job_timeout:0.0 ~max_queue:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Farm.Server.close server)
+    (fun () ->
+      match
+        Farm.Server.run_batch server
+          ~jobs:
+            [
+              Farm.Job.to_json (job ~id:"q1" small);
+              Farm.Job.to_json (job ~id:"q2" { small with Cli.d_depth = 4 });
+              Farm.Job.to_json
+                (job ~id:"q3" { small with Cli.d_timer_width = 7 });
+            ]
+      with
+      | [ r1; r2; r3 ] ->
+          Alcotest.(check (option bool))
+            "leased job served" (Some true)
+            (Json.to_bool (Json.member "ok" r1));
+          Alcotest.(check (option bool))
+            "queued job served" (Some true)
+            (Json.to_bool (Json.member "ok" r2));
+          Alcotest.(check (option bool))
+            "past the bound: shed" (Some true)
+            (Json.to_bool (Json.member "overloaded" r3));
+          Alcotest.(check (option bool))
+            "shed is not ok" (Some false)
+            (Json.to_bool (Json.member "ok" r3))
+      | _ -> Alcotest.fail "three replies expected")
+
+(* ---- end to end: the daemon over its socket(s) ---- *)
+
+let rpc socket j = Farm.Client.request (Farm.Client.local socket) j
+
+let submit_op j =
+  Json.Obj [ ("op", Json.Str "submit"); ("job", Farm.Job.to_json j) ]
+
+let op name = Json.Obj [ ("op", Json.Str name) ]
+
+(* Spawn `upec_farm serve` with chaos variables stripped from the
+   inherited environment ([env] adds them back deliberately), wait for
+   the unix socket, run [f], and always reap the daemon. *)
+let with_daemon ?(env = []) ?(args = []) dirname f =
+  let dir = fresh_dir dirname in
   Unix.mkdir dir 0o755;
   let socket = Filename.concat dir "farm.sock" in
   let cache = Filename.concat dir "cache" in
+  let argv =
+    Array.of_list
+      ([ farm_exe; "serve"; "--socket"; socket; "--cache"; cache ] @ args)
+  in
+  let base =
+    List.filter
+      (fun s -> not (String.starts_with ~prefix:"UPEC_FARM_CHAOS" s))
+      (Array.to_list (Unix.environment ()))
+  in
+  let envp = Array.of_list (base @ List.map (fun (k, v) -> k ^ "=" ^ v) env) in
   let pid =
-    Unix.create_process farm_exe
-      [|
-        farm_exe; "serve"; "--socket"; socket; "--cache"; cache;
-        "--workers"; "1";
-      |]
-      Unix.stdin Unix.stdout Unix.stderr
+    Unix.create_process_env farm_exe argv envp Unix.stdin Unix.stdout
+      Unix.stderr
   in
   Fun.protect
     ~finally:(fun () ->
@@ -387,37 +708,30 @@ let test_daemon_roundtrip () =
         end
       in
       wait_sock 200;
-      let submit () =
-        Farm.Client.request ~socket
-          (Json.Obj
-             [
-               ("op", Json.Str "submit");
-               ("job", Farm.Job.to_json (job ~id:"e2e" small));
-             ])
-      in
-      let r1 = submit () in
+      f ~socket ~cache ~pid)
+
+let test_daemon_roundtrip () =
+  with_daemon ~args:[ "--workers"; "1" ] "farm-e2e"
+    (fun ~socket ~cache:_ ~pid ->
+      let r1 = rpc socket (submit_op (job ~id:"e2e" small)) in
       Alcotest.(check (option bool))
         "first submit ok" (Some true)
         (Json.to_bool (Json.member "ok" r1));
       Alcotest.(check (option bool))
         "first submit solves" (Some false)
         (Json.to_bool (Json.member "cached" r1));
-      let r2 = submit () in
+      let r2 = rpc socket (submit_op (job ~id:"e2e" small)) in
       Alcotest.(check (option bool))
         "resubmission served from cache" (Some true)
         (Json.to_bool (Json.member "cached" r2));
       Alcotest.(check string) "served verdict identical"
         (semantic (Json.member "report" r1))
         (semantic (Json.member "report" r2));
-      let st =
-        Farm.Client.request ~socket (Json.Obj [ ("op", Json.Str "status") ])
-      in
+      let st = rpc socket (op "status") in
       Alcotest.(check (option bool))
         "status ok" (Some true)
         (Json.to_bool (Json.member "ok" st));
-      let bye =
-        Farm.Client.request ~socket (Json.Obj [ ("op", Json.Str "shutdown") ])
-      in
+      let bye = rpc socket (op "shutdown") in
       Alcotest.(check (option bool))
         "shutdown acknowledged" (Some true)
         (Json.to_bool (Json.member "ok" bye));
@@ -425,6 +739,218 @@ let test_daemon_roundtrip () =
       Alcotest.(check bool)
         "daemon exited cleanly" true
         (status = Unix.WEXITED 0))
+
+(* The chaos gate: a worker SIGKILLed mid-job (shared budget of one
+   kill across the whole farm) is lease-retried and the batch
+   completes with verdicts bit-identical to an uninjected run. *)
+let test_chaos_kill_bit_identical () =
+  let budget = fresh_dir "farm-chaos-kill-budget" in
+  let env = Farm.Chaos.arm_dir ~dir:budget [ ("kill_worker_mid_job", 1) ] in
+  with_daemon ~env
+    ~args:[ "--workers"; "1"; "--job-retries"; "2" ]
+    "farm-chaos-kill"
+    (fun ~socket ~cache:_ ~pid:_ ->
+      let d2 = { small with Cli.d_depth = 4 } in
+      let r1 = rpc socket (submit_op (job ~id:"k1" small)) in
+      let r2 = rpc socket (submit_op (job ~id:"k2" d2)) in
+      Alcotest.(check (option bool))
+        "killed job completes" (Some true)
+        (Json.to_bool (Json.member "ok" r1));
+      Alcotest.(check (option bool))
+        "rest of the batch completes" (Some true)
+        (Json.to_bool (Json.member "ok" r2));
+      let clean1 =
+        Farm.Exec.run ~store:(load (fresh_dir "farm-chaos-clean1"))
+          (job ~id:"k1" small)
+      in
+      let clean2 =
+        Farm.Exec.run ~store:(load (fresh_dir "farm-chaos-clean2"))
+          (job ~id:"k2" d2)
+      in
+      Alcotest.(check string) "retried verdict bit-identical to a clean run"
+        (semantic clean1.Farm.Exec.oc_report)
+        (semantic (Json.member "report" r1));
+      Alcotest.(check string) "unkilled verdict identical too"
+        (semantic clean2.Farm.Exec.oc_report)
+        (semantic (Json.member "report" r2));
+      let st = rpc socket (op "status") in
+      Alcotest.(check bool) "the kill really happened" true
+        (match Json.to_int (Json.member "worker_crashes" st) with
+        | Some n -> n >= 1
+        | None -> false);
+      Alcotest.(check bool) "and was lease-retried" true
+        (match Json.to_int (Json.member "job_retries" st) with
+        | Some n -> n >= 1
+        | None -> false);
+      Alcotest.(check (option int))
+        "nothing poisoned" (Some 0)
+        (Json.to_int (Json.member "jobs_poisoned" st)))
+
+(* Per-process budgets (no UPEC_FARM_CHAOS_DIR) re-arm on every worker
+   respawn: the job kills every worker it touches, exhausts its
+   retries and is reported poisoned — and the daemon survives it. *)
+let test_chaos_poisoned () =
+  with_daemon
+    ~env:[ ("UPEC_FARM_CHAOS", "kill_worker_mid_job") ]
+    ~args:[ "--workers"; "1"; "--job-retries"; "1" ]
+    "farm-chaos-poison"
+    (fun ~socket ~cache:_ ~pid:_ ->
+      let r = rpc socket (submit_op (job ~id:"px" small)) in
+      Alcotest.(check (option bool))
+        "refused, not dropped" (Some false)
+        (Json.to_bool (Json.member "ok" r));
+      Alcotest.(check (option bool))
+        "flagged poisoned" (Some true)
+        (Json.to_bool (Json.member "poisoned" r));
+      Alcotest.(check (option int))
+        "after initial attempt + one retry" (Some 2)
+        (Json.to_int (Json.member "attempts" r));
+      let st = rpc socket (op "status") in
+      Alcotest.(check (option bool))
+        "daemon survives its poisoned job" (Some true)
+        (Json.to_bool (Json.member "ok" st));
+      Alcotest.(check (option int))
+        "counted" (Some 1)
+        (Json.to_int (Json.member "jobs_poisoned" st)))
+
+(* A watchdog kill is a timeout, not a crash: the failure taxonomy
+   must keep the two apart in replies and counters. *)
+let test_chaos_timeout_taxonomy () =
+  with_daemon
+    ~args:
+      [ "--workers"; "1"; "--job-retries"; "0"; "--job-timeout"; "0.01" ]
+    "farm-chaos-timeout"
+    (fun ~socket ~cache:_ ~pid:_ ->
+      let r = rpc socket (submit_op (job ~id:"slow" Cli.default_design)) in
+      Alcotest.(check (option bool))
+        "refused" (Some false)
+        (Json.to_bool (Json.member "ok" r));
+      Alcotest.(check (option bool))
+        "poisoned (no retries configured)" (Some true)
+        (Json.to_bool (Json.member "poisoned" r));
+      (match Json.to_str (Json.member "error" r) with
+      | Some msg ->
+          Alcotest.(check bool) "reply names the timeout" true
+            (contains msg "timeout")
+      | None -> Alcotest.fail "poisoned reply carries no error message");
+      let st = rpc socket (op "status") in
+      Alcotest.(check (option int))
+        "counted as a timeout" (Some 1)
+        (Json.to_int (Json.member "worker_timeouts" st));
+      Alcotest.(check (option int))
+        "not as a crash" (Some 0)
+        (Json.to_int (Json.member "worker_crashes" st)))
+
+(* Client-side faults: a dropped connection and a stalled server are
+   absorbed by the bounded retry; when every attempt fails the client
+   raises Unavailable instead of hanging. *)
+let test_client_retry () =
+  with_daemon ~args:[ "--workers"; "1" ] "farm-client-retry"
+    (fun ~socket ~cache:_ ~pid:_ ->
+      with_chaos "drop_conn:1" (fun () ->
+          let st =
+            Farm.Client.request ~timeout:10.0 ~backoff:0.01
+              (Farm.Client.local socket) (op "status")
+          in
+          Alcotest.(check (option bool))
+            "retry absorbed the dropped connection" (Some true)
+            (Json.to_bool (Json.member "ok" st)));
+      with_chaos "stall_conn:1" (fun () ->
+          let st =
+            Farm.Client.request ~timeout:0.5 ~backoff:0.01
+              (Farm.Client.local socket) (op "status")
+          in
+          Alcotest.(check (option bool))
+            "deadline + retry absorbed the stall" (Some true)
+            (Json.to_bool (Json.member "ok" st)));
+      with_chaos "drop_conn:5" (fun () ->
+          match
+            Farm.Client.request ~timeout:5.0 ~attempts:2 ~backoff:0.01
+              (Farm.Client.local socket) (op "status")
+          with
+          | _ -> Alcotest.fail "exhausted retries must raise Unavailable"
+          | exception Farm.Client.Unavailable _ -> ()));
+  (* no daemon at all: bounded failure, never a hang *)
+  match
+    Farm.Client.request ~timeout:0.5 ~attempts:2 ~backoff:0.01
+      (Farm.Client.local "farm-client-retry/nope.sock")
+      (op "status")
+  with
+  | _ -> Alcotest.fail "dead socket must raise Unavailable"
+  | exception Farm.Client.Unavailable _ -> ()
+
+(* TCP + auth, end to end: an authenticated client round-trips over
+   the network transport and shares one cache with the unix socket; a
+   wrong or missing token is refused as a reply (never retried into a
+   hang); every refusal is counted. *)
+let test_tcp_auth () =
+  let prep = fresh_dir "farm-tcp-prep" in
+  Unix.mkdir prep 0o755;
+  let token_file = Filename.concat prep "token" in
+  let oc = open_out token_file in
+  output_string oc "s3cret-farm-token\n";
+  close_out oc;
+  let bad_file = Filename.concat prep "bad-token" in
+  let oc = open_out bad_file in
+  output_string oc "wrong\n";
+  close_out oc;
+  let port = 19000 + (Unix.getpid () mod 20000) in
+  let hp = Printf.sprintf "127.0.0.1:%d" port in
+  with_daemon
+    ~args:
+      [ "--workers"; "1"; "--listen"; hp; "--auth-token-file"; token_file ]
+    "farm-tcp"
+    (fun ~socket ~cache:_ ~pid:_ ->
+      let tcp = Farm.Client.target ~token_file hp in
+      let st = Farm.Client.request ~timeout:10.0 tcp (op "status") in
+      Alcotest.(check (option bool))
+        "authed status over TCP" (Some true)
+        (Json.to_bool (Json.member "ok" st));
+      let r1 =
+        Farm.Client.request ~timeout:600.0 tcp (submit_op (job ~id:"t1" small))
+      in
+      Alcotest.(check (option bool))
+        "solve over TCP" (Some true)
+        (Json.to_bool (Json.member "ok" r1));
+      let r2 = rpc socket (submit_op (job ~id:"t1" small)) in
+      Alcotest.(check (option bool))
+        "unix side hits the same cache" (Some true)
+        (Json.to_bool (Json.member "cached" r2));
+      Alcotest.(check string) "verdict identical across transports"
+        (semantic (Json.member "report" r1))
+        (semantic (Json.member "report" r2));
+      let bad = Farm.Client.target ~token_file:bad_file hp in
+      let rb = Farm.Client.request ~timeout:10.0 bad (op "status") in
+      Alcotest.(check (option bool))
+        "wrong token refused" (Some false)
+        (Json.to_bool (Json.member "ok" rb));
+      let bare = Farm.Client.target hp in
+      let rn = Farm.Client.request ~timeout:10.0 bare (op "status") in
+      Alcotest.(check (option bool))
+        "tokenless client refused" (Some false)
+        (Json.to_bool (Json.member "ok" rn));
+      let st = rpc socket (op "status") in
+      Alcotest.(check bool) "refusals counted" true
+        (match Json.to_int (Json.member "auth_failures" st) with
+        | Some n -> n >= 2
+        | None -> false))
+
+(* Unauthenticated TCP is refused by design, at startup. *)
+let test_listen_requires_token () =
+  let dir = fresh_dir "farm-tcp-guard" in
+  Unix.mkdir dir 0o755;
+  let pid =
+    Unix.create_process farm_exe
+      [|
+        farm_exe; "serve"; "--socket";
+        Filename.concat dir "s.sock"; "--cache";
+        Filename.concat dir "cache"; "--listen"; "127.0.0.1:1";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 2 -> ()
+  | _ -> Alcotest.fail "--listen without --auth-token-file must refuse"
 
 let () =
   Alcotest.run "farm"
@@ -438,19 +964,52 @@ let () =
           Alcotest.test_case "delta changes exactly its cone" `Quick
             test_delta_cone;
         ] );
+      ( "wire",
+        [
+          Alcotest.test_case "address parsing" `Quick test_addr_parsing;
+          Alcotest.test_case "length framing" `Quick test_framing;
+          Alcotest.test_case "auth primitives" `Quick test_auth_primitives;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "directive budgets" `Quick test_chaos_budgets ] );
       ( "store",
         [
           Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
           Alcotest.test_case "lru gc" `Quick test_store_gc;
           Alcotest.test_case "damage tolerance" `Quick test_store_damage;
+          Alcotest.test_case "corruption quarantine" `Quick
+            test_store_quarantine;
+          Alcotest.test_case "corrupt index quarantined" `Quick
+            test_store_corrupt_index_quarantined;
         ] );
       ( "invalidation",
         [
           Alcotest.test_case "warm bit-identical, cone re-solved" `Quick
             test_invalidation_soundness;
           Alcotest.test_case "certified warm run" `Quick test_certified_warm;
+          Alcotest.test_case "quarantined key re-solves" `Quick
+            test_quarantined_key_resolves;
           Alcotest.test_case "options key" `Quick test_options_key;
         ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "cache-only when workerless" `Quick
+            test_cache_only_degraded;
+          Alcotest.test_case "bounded queue sheds" `Quick
+            test_overloaded_shedding;
+        ] );
       ( "daemon",
-        [ Alcotest.test_case "socket roundtrip" `Quick test_daemon_roundtrip ] );
+        [
+          Alcotest.test_case "socket roundtrip" `Quick test_daemon_roundtrip;
+          Alcotest.test_case "client retries faults" `Quick test_client_retry;
+          Alcotest.test_case "worker kill: bit-identical verdicts" `Quick
+            test_chaos_kill_bit_identical;
+          Alcotest.test_case "poisoned after retries" `Quick
+            test_chaos_poisoned;
+          Alcotest.test_case "timeout vs crash taxonomy" `Quick
+            test_chaos_timeout_taxonomy;
+          Alcotest.test_case "tcp auth round trip" `Quick test_tcp_auth;
+          Alcotest.test_case "listen requires a token" `Quick
+            test_listen_requires_token;
+        ] );
     ]
