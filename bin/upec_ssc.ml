@@ -55,10 +55,16 @@ let timer_width_arg =
     & opt int Upec.Cli.default_design.Upec.Cli.d_timer_width
     & info [ "timer-width" ] ~doc ~docv:"BITS")
 
+(* Deprecated shim layer: each flag desugars onto the declarative
+   design record (the same record a --scenario spec carries), so a
+   flag invocation and the equivalent Scenario.spec build bit-identical
+   specs and hit the same farm cache entries. New design knobs are not
+   given flags — describe them in a scenario file instead. *)
 let design_term =
   let make variant pers depth banks arbiter no_dma no_hwpe no_uart timer_width
       =
     {
+      Upec.Cli.default_design with
       Upec.Cli.d_variant = variant;
       d_pers = pers;
       d_depth = depth;
@@ -73,6 +79,38 @@ let design_term =
   Term.(
     const make $ variant_arg $ pers_arg $ depth_arg $ banks_arg $ arbiter_arg
     $ no_dma_arg $ no_hwpe_arg $ no_uart_arg $ timer_width_arg)
+
+let scenario_arg =
+  let doc =
+    "Run a named catalog scenario (e.g. 'busted_timer_d4') or a scenario \
+     spec file (JSON, see Scenarios.Scenario). The scenario supplies the \
+     design and the procedure; the individual design flags and --alg are \
+     ignored."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~doc ~docv:"NAME|FILE")
+
+let resolve_scenario name =
+  if Sys.file_exists name then (
+    try Scenarios.Scenario.load_file name
+    with Upec.Json.Parse_error msg | Sys_error msg ->
+      Format.eprintf "upec_ssc: bad scenario file %s: %s@." name msg;
+      exit 3)
+  else
+    match Scenarios.Scenario.find name with
+    | Some s -> s
+    | None ->
+        Format.eprintf
+          "upec_ssc: unknown scenario %s (not a file, not in the catalog)@."
+          name;
+        Format.eprintf "known scenarios:@.";
+        List.iter
+          (fun s ->
+            Format.eprintf "  %s@." s.Scenarios.Scenario.sp_name)
+          Scenarios.Scenario.catalog;
+        exit 3
 
 let max_k_arg =
   let doc = "Maximum unrolling depth for Alg. 2." in
@@ -100,8 +138,9 @@ let no_simp_arg =
 
 let json_arg =
   let doc =
-    "Write the machine-readable report (schema 2: verdict, iteration \
-     table, options echo, reduction statistics) to \\$(docv)."
+    "Write the machine-readable report (schema 3: verdict, iteration \
+     table, options echo, reduction statistics and, with --scenario, the \
+     scenario block) to \\$(docv)."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
 
@@ -204,10 +243,16 @@ let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
 
 let check_cmd =
-  let run design alg max_k full_cex no_incremental no_simp json_file jobs
-      portfolio stats certify cert_jobs cex_vcd conflict_budget prop_budget
-      timeout budget_retries budget_escalation checkpoint_file resume_file
-      trace_file metrics_file =
+  let run design alg scenario max_k full_cex no_incremental no_simp json_file
+      jobs portfolio stats certify cert_jobs cex_vcd conflict_budget
+      prop_budget timeout budget_retries budget_escalation checkpoint_file
+      resume_file trace_file metrics_file =
+    let scenario = Option.map resolve_scenario scenario in
+    let design, alg =
+      match scenario with
+      | Some s -> (s.Scenarios.Scenario.sp_design, s.Scenarios.Scenario.sp_alg)
+      | None -> (design, alg)
+    in
     (* [exit] is used for status codes below, so scope-based closing
        (Fun.protect) would never run: close the sink from [at_exit],
        which fires on every exit path including the interrupt ones.
@@ -272,6 +317,16 @@ let check_cmd =
         Format.eprintf "upec_ssc: checkpoint refused: %s@." msg;
         exit 3
     in
+    let report =
+      match scenario with
+      | Some s ->
+          {
+            report with
+            Upec.Report.extra =
+              [ ("scenario", Scenarios.Scenario.to_json s) ];
+          }
+      | None -> report
+    in
     Format.printf "%a@." Upec.Report.pp report;
     (match json_file with
     | Some path ->
@@ -301,8 +356,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const run $ design_term $ alg_arg $ max_k_arg $ full_cex_arg
-      $ no_incremental_arg $ no_simp_arg $ json_arg $ jobs_arg
+      const run $ design_term $ alg_arg $ scenario_arg $ max_k_arg
+      $ full_cex_arg $ no_incremental_arg $ no_simp_arg $ json_arg $ jobs_arg
       $ portfolio_arg $ stats_flag_arg $ certify_arg $ cert_jobs_arg
       $ cex_vcd_arg $ conflict_budget_arg $ prop_budget_arg $ timeout_arg
       $ budget_retries_arg $ budget_escalation_arg $ checkpoint_arg
@@ -350,7 +405,127 @@ let stats_cmd =
   let doc = "Print netlist statistics for a configuration." in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ design_term)
 
+(* The 4-scenario CI slice: two expected-vulnerable and two
+   expected-secure families whose formal runs are cheap. *)
+let smoke_names =
+  [
+    "busted_timer_d3";
+    "hwpe_progressive_d3";
+    "no_spies_d3";
+    "tdma_interconnect_d3";
+  ]
+
+let matrix_cmd =
+  let run smoke names out_dir json_file jobs stat_max_n =
+    let specs =
+      match (smoke, names) with
+      | true, [] -> List.map resolve_scenario smoke_names
+      | _, [] -> Scenarios.Scenario.catalog
+      | _, names -> List.map resolve_scenario names
+    in
+    let jobs = Upec.Cli.resolve_jobs jobs in
+    let options = { Upec.Options.default with Upec.Options.jobs } in
+    (match out_dir with
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | _ -> ());
+    Format.printf
+      "%-28s %-12s %8s | %-12s %9s %8s | %-6s %s@." "scenario" "formal"
+      "seconds" "stat" "p" "d" "replay" "status";
+    let progress o =
+      let open Scenarios.Crosscheck in
+      (match out_dir with
+      | Some dir ->
+          let path =
+            Filename.concat dir (o.oc_spec.Scenarios.Scenario.sp_name ^ ".json")
+          in
+          let oc = open_out path in
+          output_string oc
+            (Upec.Json.to_string (Upec.Report.to_json o.oc_report));
+          close_out oc
+      | None -> ());
+      Format.printf "%-28s %-12s %8.1f | %-12s %9.2e %8.2f | %-6s %s@."
+        o.oc_spec.Scenarios.Scenario.sp_name
+        (formal_verdict_string o.oc_report)
+        o.oc_report.Upec.Report.total_seconds
+        (Scenarios.Stat.verdict_to_string o.oc_stat.Scenarios.Stat.st_verdict)
+        o.oc_stat.Scenarios.Stat.st_p o.oc_stat.Scenarios.Stat.st_d
+        (match o.oc_replay with
+        | Some true -> "ok"
+        | Some false -> "FAIL"
+        | None -> "-")
+        (if o.oc_agree && o.oc_expected_ok then "ok"
+         else if not o.oc_agree then "DISAGREE"
+         else "UNEXPECTED")
+    in
+    let outcomes =
+      Scenarios.Crosscheck.run_matrix ~options ?stat_max_n ~progress specs
+    in
+    let artifact = Scenarios.Crosscheck.matrix_to_json outcomes in
+    (match json_file with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Upec.Json.to_string artifact);
+        close_out oc
+    | None -> ());
+    let bad =
+      List.filter
+        (fun o ->
+          not
+            (o.Scenarios.Crosscheck.oc_agree
+            && o.Scenarios.Crosscheck.oc_expected_ok))
+        outcomes
+    in
+    Format.printf "@.%d scenarios, %d disagreement(s), %d unexpected verdict(s)@."
+      (List.length outcomes)
+      (List.length
+         (List.filter
+            (fun o -> not o.Scenarios.Crosscheck.oc_agree)
+            outcomes))
+      (List.length
+         (List.filter
+            (fun o -> not o.Scenarios.Crosscheck.oc_expected_ok)
+            outcomes));
+    if bad <> [] then exit 10
+  in
+  let smoke_arg =
+    let doc =
+      "Run only the 4-scenario CI slice (2 expected-vulnerable, 2 \
+       expected-secure) instead of the full catalog."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let names_arg =
+    let doc = "Run only the named scenarios (overrides --smoke)." in
+    Arg.(value & pos_all string [] & info [] ~doc ~docv:"NAME")
+  in
+  let out_arg =
+    let doc = "Write one schema-3 report per scenario into \\$(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc ~docv:"DIR")
+  in
+  let matrix_json_arg =
+    let doc =
+      "Write the matrix artefact (per-scenario verdicts, statistics and \
+       agreement flags) to \\$(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let stat_max_arg =
+    let doc = "Cap the statistical sample escalation at \\$(docv) pairs." in
+    Arg.(value & opt (some int) None & info [ "stat-max" ] ~doc ~docv:"N")
+  in
+  let doc =
+    "Cross-check the scenario matrix: formal verdict vs statistical timing \
+     evidence. Exits 10 on any disagreement or unexpected verdict."
+  in
+  Cmd.v (Cmd.info "matrix" ~doc)
+    Term.(
+      const run $ smoke_arg $ names_arg $ out_arg $ matrix_json_arg $ jobs_arg
+      $ stat_max_arg)
+
 let () =
   let doc = "UPEC-SSC: formal detection of MCU-wide timing side channels" in
   let info = Cmd.info "upec_ssc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; invariants_cmd; stats_cmd; emit_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; matrix_cmd; invariants_cmd; stats_cmd; emit_cmd ]))

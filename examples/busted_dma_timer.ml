@@ -19,7 +19,11 @@ let () =
   Format.printf "reading at the retrieval point means MORE victim accesses.@.@.";
   Format.printf "victim accesses | timer at retrieval | total cycles@.";
   Format.printf "----------------+--------------------+-------------@.";
-  let readings = Scenarios.Attacks.dma_timer [ 0; 2; 4; 6; 8; 10 ] in
+  let readings =
+    Scenarios.Attacks.dma_timer_of
+      (Scenarios.Scenario.default_for Scenarios.Scenario.Busted_timer)
+      [ 0; 2; 4; 6; 8; 10 ]
+  in
   List.iter
     (fun r ->
       Format.printf "%15d | %18d | %12d@." r.Scenarios.Attacks.dt_accesses

@@ -19,7 +19,11 @@ let () =
   Format.printf "no timer IP is touched at any point.@.@.";
   Format.printf "victim accesses | zero cells above the HWPE frontier@.";
   Format.printf "----------------+-----------------------------------@.";
-  let readings = Scenarios.Attacks.hwpe_memory [ 0; 32; 64; 96; 128 ] in
+  let readings =
+    Scenarios.Attacks.hwpe_memory_of
+      (Scenarios.Scenario.default_for Scenarios.Scenario.Hwpe_progressive)
+      [ 0; 32; 64; 96; 128 ]
+  in
   List.iter
     (fun r ->
       Format.printf "%15d | %34d@." r.Scenarios.Attacks.hw_accesses

@@ -1,9 +1,12 @@
 (** Execute one farm job against a cache store.
 
     Two cache levels:
-    - {b report}: key = design fingerprint × options digest. A hit
-      returns the stored schema-2 artefact (with its [cache] block
-      re-marked [report_hit]) without building an engine at all.
+    - {b report}: key = canonical design-spec digest × options digest
+      ({!Upec.Fingerprint.design_spec}). A hit returns the stored
+      artefact (with its [cache] block re-marked [report_hit]) without
+      building a netlist or an engine at all; jobs spelled as
+      deprecated CLI flags and as {!Scenarios.Scenario} specs hit the
+      same entries.
     - {b lemma}: within a miss, every per-svar Algorithm 1 check is
       answered from {!Upec.Fingerprint.check_key}-addressed lemmas
       when its key matches ({!Upec.Alg1.svar_cache}); the refinement
@@ -32,7 +35,8 @@ type outcome = {
 }
 
 val report_key : Job.t -> string
-(** Builds the SoC and fingerprints it; no solving. *)
+(** Digest of the canonical design spec and the options wire encoding;
+    O(1) — no SoC build, no solving. *)
 
 val mark_report_hit : Upec.Json.t -> Upec.Json.t
 (** Re-mark a cached artefact's [cache] block as a report hit,

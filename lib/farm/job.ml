@@ -8,11 +8,41 @@ type t = {
 }
 
 let of_json j =
-  let id =
-    match Json.to_str (Json.member "id" j) with Some s -> s | None -> ""
+  let scenario =
+    match Json.member "scenario" j with
+    | Json.Null -> None
+    | Json.Str name -> (
+        match Scenarios.Scenario.find name with
+        | Some s -> Some s
+        | None ->
+            raise (Json.Parse_error ("scenario: unknown \"" ^ name ^ "\"")))
+    | spec_json -> Some (Scenarios.Scenario.of_json spec_json)
   in
-  let design = Upec.Cli.design_of_json (Json.member "design" j) in
+  let id =
+    match Json.to_str (Json.member "id" j) with
+    | Some s -> s
+    | None -> (
+        (* a scenario job correlates by its scenario name by default *)
+        match scenario with
+        | Some s -> s.Scenarios.Scenario.sp_name
+        | None -> "")
+  in
+  let design =
+    match (scenario, Json.member "design" j) with
+    | Some s, Json.Null -> s.Scenarios.Scenario.sp_design
+    | Some _, _ ->
+        raise (Json.Parse_error "job: \"design\" conflicts with \"scenario\"")
+    | None, dj -> Upec.Cli.design_of_json dj
+  in
   let alg, options = Upec.Cli.options_of_json (Json.member "options" j) in
+  let alg =
+    (* the scenario names its deciding procedure unless the options
+       override it explicitly *)
+    match scenario with
+    | Some s when Json.member "alg" (Json.member "options" j) = Json.Null ->
+        s.Scenarios.Scenario.sp_alg
+    | _ -> alg
+  in
   { jb_id = id; jb_design = design; jb_alg = alg; jb_options = options }
 
 let to_json t =

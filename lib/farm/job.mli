@@ -3,7 +3,15 @@
     The wire format is the {!Upec.Cli} JSON codec wrapped with an
     optional client-chosen [id] (echoed in replies so batch clients
     can correlate): [{"id": "...", "design": {...}, "options": {...}}].
-    Every member is optional — [{}] is the default check. *)
+    Every member is optional — [{}] is the default check.
+
+    Alternatively a job may name a scenario instead of a design:
+    [{"scenario": "busted_timer_d4"}] (catalog lookup) or
+    [{"scenario": {"family": "busted_timer", ...}}] (inline
+    {!Scenarios.Scenario} spec). The scenario supplies the design, the
+    deciding procedure (unless [options.alg] overrides it) and — when
+    [id] is absent — the correlation id. ["design"] and ["scenario"]
+    are mutually exclusive. *)
 
 type t = {
   jb_id : string;  (** client correlation id; "" when absent *)
@@ -13,11 +21,16 @@ type t = {
 }
 
 val of_json : Upec.Json.t -> t
-(** [Upec.Json.Parse_error] on type-mismatched members. *)
+(** [Upec.Json.Parse_error] on type-mismatched members, an unknown
+    scenario name, or a job carrying both ["design"] and
+    ["scenario"]. *)
 
 val to_json : t -> Upec.Json.t
+(** Always the desugared form ([id]/[design]/[options]) — scenario
+    jobs serialise as the design they resolved to, so replies and job
+    echoes are spec-independent. *)
 
 val options_key : t -> string
 (** Hex digest of everything besides the design that can change the
     report: the algorithm and the full options wire encoding. Keys the
-    report-level cache together with {!Upec.Fingerprint.design}. *)
+    report-level cache together with {!Upec.Fingerprint.design_spec}. *)

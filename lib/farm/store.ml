@@ -194,7 +194,13 @@ let report t ~key =
           (fun () -> really_input_string ic (in_channel_length ic))
       with
       | text -> (
-          match Json.of_string text with
+          match
+            let j = Json.of_string text in
+            (* strict parsing: a cached artefact under an unsupported
+               schema version is as untrustworthy as a torn one *)
+            ignore (Json.schema_version ~supported:[ 2; 3 ] j);
+            j
+          with
           | j ->
               e.re_stamp <- tick t;
               Some j

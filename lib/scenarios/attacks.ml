@@ -4,90 +4,29 @@ open Isa.Encoding
 type dma_timer_reading = { dt_accesses : int; dt_timer : int; dt_cycles : int }
 type hwpe_reading = { hw_accesses : int; hw_zero_cells : int }
 
-let byte_of cfg p reg =
-  Soc.Memmap.byte_addr cfg (Soc.Memmap.periph_reg_addr cfg p reg)
-
-let pub_base cfg =
-  Soc.Memmap.byte_addr cfg (Soc.Memmap.region_base cfg Soc.Memmap.Pub)
-
-let mmio_write addr value = [ Li (10, addr); Li (11, value); I (Sw (11, 10, 0)) ]
-
-(* The victim performs [n] loads from [target] and then spins; its time
-   slice ends when the scheduler (the harness, standing in for a
-   timer-interrupt driven RTOS) preempts it, so the slice length is
-   fixed by construction and only contention — not victim code length —
-   is observable afterwards. *)
-let victim_section ~target ~n =
-  [
-    L "victim";
-    Li (12, target);
-    Li (13, n);
-    Beq_l (13, 0, "victim_spin");
-    L "victim_loop";
-    I (Lw (15, 12, 0));
-    I (Addi (13, 13, -1));
-    Bne_l (13, 0, "victim_loop");
-    L "victim_spin";
-    J "victim_spin";
-  ]
-
-(* Preemptive scheduler emulation: force the core to a label by loading
-   a fresh pipeline state (bubble fetch at the entry, memory FSM idle,
-   halt flag cleared). *)
-let context_switch eng symbols label =
-  let entry = List.assoc label symbols in
-  Sim.Engine.poke_reg eng "cpu.halted" (Rtl.Bitvec.zero 1);
-  Sim.Engine.poke_reg eng "cpu.valid" (Rtl.Bitvec.zero 1);
-  Sim.Engine.poke_reg eng "cpu.mem_state" (Rtl.Bitvec.zero 2);
-  Sim.Engine.poke_reg eng "cpu.if_pc" (Rtl.Bitvec.of_int ~width:32 entry)
-
-let run_to_halt ?(max_cycles = 60000) eng =
-  let rec go cycles =
-    if cycles > max_cycles then failwith "Attacks: firmware did not halt"
-    else if Rtl.Bitvec.to_int (Sim.Engine.peek_output eng "halted") = 1 then
-      cycles
-    else begin
-      Sim.Engine.step eng;
-      go (cycles + 1)
-    end
-  in
-  go 0
-
-(* Run the three-phase schedule: preparation to its EBREAK, the victim
-   for exactly [slice] cycles, then retrieval to its EBREAK. Returns
-   (engine, total cycles). *)
-let run_schedule cfg ~rom ~symbols ~slice =
-  let soc = Soc.Builder.build cfg (Soc.Builder.Sim { rom }) in
-  let eng = Sim.Engine.create soc.Soc.Builder.netlist in
-  let prep_cycles = run_to_halt eng in
-  context_switch eng symbols "victim";
-  Sim.Engine.run eng slice;
-  context_switch eng symbols "retrieval";
-  let retrieval_cycles = run_to_halt eng in
-  (eng, prep_cycles + slice + retrieval_cycles)
-
 (* ---- E1: DMA + timer ---- *)
 
 let dma_timer_program cfg ~n =
-  mmio_write (byte_of cfg Soc.Memmap.Timer 0) 2
-  @ mmio_write (byte_of cfg Soc.Memmap.Dma 1) 0
-  @ mmio_write (byte_of cfg Soc.Memmap.Dma 2) 64
-  @ mmio_write (byte_of cfg Soc.Memmap.Dma 3) 24
-  @ mmio_write (byte_of cfg Soc.Memmap.Dma 0) 1
+  Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Timer 0) 2
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Dma 1) 0
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Dma 2) 64
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Dma 3) 24
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Dma 0) 1
   @ [ I Ebreak ]
-  @ victim_section ~target:(pub_base cfg) ~n
+  @ Scenario.victim_section ~target:(Scenario.pub_base cfg) ~n
   @ [
       L "retrieval";
-      Li (10, byte_of cfg Soc.Memmap.Timer 1);
+      Li (10, Scenario.byte_of cfg Soc.Memmap.Timer 1);
       I (Lw (28, 10, 0));
       I Ebreak;
     ]
 
-let dma_timer ?(cfg = Soc.Config.sim_default) ns =
+let dma_timer_of ?(slice = 120) spec ns =
+  let cfg = Scenario.sim_config spec in
   List.map
     (fun n ->
       let rom, symbols = assemble_with_symbols (dma_timer_program cfg ~n) in
-      let eng, cycles = run_schedule cfg ~rom ~symbols ~slice:120 in
+      let eng, cycles = Scenario.run_schedule cfg ~rom ~symbols ~slice in
       {
         dt_accesses = n;
         dt_timer = Rtl.Bitvec.to_int (Sim.Engine.mem_value eng "cpu.regs" 28);
@@ -97,11 +36,10 @@ let dma_timer ?(cfg = Soc.Config.sim_default) ns =
 
 (* ---- E7: HWPE + memory ---- *)
 
-let primed_words = 1024
 let primed_word_base = 512
 
-let hwpe_program cfg ~n =
-  let region = pub_base cfg + (primed_word_base * 4) in
+let hwpe_program cfg ~primed_words ~n =
+  let region = Scenario.pub_base cfg + (primed_word_base * 4) in
   [
     Li (5, region);
     Li (6, primed_words);
@@ -111,12 +49,12 @@ let hwpe_program cfg ~n =
     I (Addi (6, 6, -1));
     Bne_l (6, 0, "prime");
   ]
-  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 1) primed_word_base
-  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 2) primed_words
-  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 3) 1
-  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 0) 1
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Hwpe 1) primed_word_base
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Hwpe 2) primed_words
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Hwpe 3) 1
+  @ Scenario.mmio_write (Scenario.byte_of cfg Soc.Memmap.Hwpe 0) 1
   @ [ I Ebreak ]
-  @ victim_section ~target:region ~n
+  @ Scenario.victim_section ~target:region ~n
   @ [
       L "retrieval";
       Li (5, region + ((primed_words - 1) * 4));
@@ -133,11 +71,14 @@ let hwpe_program cfg ~n =
       I Ebreak;
     ]
 
-let hwpe_memory ?(cfg = Soc.Config.sim_default) ns =
+let hwpe_memory_of ?(slice = 640) ?(primed_words = 1024) spec ns =
+  let cfg = Scenario.sim_config spec in
   List.map
     (fun n ->
-      let rom, symbols = assemble_with_symbols (hwpe_program cfg ~n) in
-      let eng, _ = run_schedule cfg ~rom ~symbols ~slice:640 in
+      let rom, symbols =
+        assemble_with_symbols (hwpe_program cfg ~primed_words ~n)
+      in
+      let eng, _ = Scenario.run_schedule cfg ~rom ~symbols ~slice in
       {
         hw_accesses = n;
         hw_zero_cells =
@@ -145,6 +86,41 @@ let hwpe_memory ?(cfg = Soc.Config.sim_default) ns =
       })
     ns
 
+(* ---- deprecated flag-era shims ---- *)
+
+(* The legacy entry points took a raw simulation config; desugar its
+   structural features onto a Scenario.spec so the design construction
+   path is the same one the matrix uses. Simulation-scale size knobs
+   (memory sizes, data width) are sim_default's — which is what every
+   historical caller passed. *)
+let design_of_sim (cfg : Soc.Config.t) =
+  {
+    Upec.Cli.default_design with
+    Upec.Cli.d_banks = cfg.Soc.Config.pub_banks;
+    d_dma = cfg.Soc.Config.with_dma;
+    d_hwpe = cfg.Soc.Config.with_hwpe;
+    d_uart = cfg.Soc.Config.with_uart;
+    d_timer = cfg.Soc.Config.with_timer;
+    d_dma_on_private = cfg.Soc.Config.dma_on_private;
+    d_arbiter =
+      (match cfg.Soc.Config.arbiter with
+      | `Fixed_priority -> "fixed"
+      | `Tdma -> "tdma"
+      | `Round_robin -> "rr");
+  }
+
+let spec_of_sim family cfg =
+  {
+    (Scenario.default_for family) with
+    Scenario.sp_design = design_of_sim cfg;
+  }
+
+let dma_timer ?(cfg = Soc.Config.sim_default) ns =
+  dma_timer_of (spec_of_sim Scenario.Busted_timer cfg) ns
+
+let hwpe_memory ?(cfg = Soc.Config.sim_default) ns =
+  hwpe_memory_of (spec_of_sim Scenario.Hwpe_progressive cfg) ns
+
 let hwpe_memory_with_noise ?cfg ~noisy_timer ns =
   ignore noisy_timer;
-  hwpe_memory ?cfg ns
+  (hwpe_memory [@warning "-3"]) ?cfg ns

@@ -6,7 +6,12 @@
     image whose phases are separated by the task switch points. The
     victim's secret is its number of memory accesses [n]; the victim
     phase is padded to a fixed cycle budget so only contention — not
-    code length — reaches the attacker. *)
+    code length — reaches the attacker.
+
+    The design under test comes from a {!Scenario.spec}: the same
+    declarative record the scenario matrix, the farm and the CLI use.
+    The legacy [?cfg] entry points survive as deprecated shims that
+    desugar the config's structural features onto a spec. *)
 
 type dma_timer_reading = {
   dt_accesses : int;  (** victim accesses n *)
@@ -14,10 +19,13 @@ type dma_timer_reading = {
   dt_cycles : int;  (** total cycles to halt *)
 }
 
-val dma_timer : ?cfg:Soc.Config.t -> int list -> dma_timer_reading list
-(** The Fig. 1 attack: DMA transfer + timer auto-start. A lower timer
+val dma_timer_of :
+  ?slice:int -> Scenario.spec -> int list -> dma_timer_reading list
+(** The Fig. 1 attack: DMA transfer + timer auto-start, on the spec's
+    design at simulation scale ({!Scenario.sim_config}). A lower timer
     reading at the retrieval point means the DMA finished later, i.e.
-    more victim accesses won arbitration. *)
+    more victim accesses won arbitration. [slice] is the victim's
+    fixed cycle budget (default 120). *)
 
 type hwpe_reading = {
   hw_accesses : int;
@@ -26,13 +34,30 @@ type hwpe_reading = {
           the accelerator made less progress *)
 }
 
-val hwpe_memory : ?cfg:Soc.Config.t -> int list -> hwpe_reading list
+val hwpe_memory_of :
+  ?slice:int ->
+  ?primed_words:int ->
+  Scenario.spec ->
+  int list ->
+  hwpe_reading list
 (** The Sec. 4.1 variant: accelerator progressively overwriting a
-    primed region; retrieval scans the footprint. No timer access. *)
+    primed region; retrieval scans the footprint. No timer access.
+    Defaults keep the historical E7 amplitudes ([slice = 640],
+    [primed_words = 1024]). *)
+
+val dma_timer : ?cfg:Soc.Config.t -> int list -> dma_timer_reading list
+[@@deprecated
+  "construct a Scenario.spec and use dma_timer_of; only the config's \
+   structural features survive the desugaring"]
+
+val hwpe_memory : ?cfg:Soc.Config.t -> int list -> hwpe_reading list
+[@@deprecated
+  "construct a Scenario.spec and use hwpe_memory_of; only the config's \
+   structural features survive the desugaring"]
 
 val hwpe_memory_with_noise :
   ?cfg:Soc.Config.t -> noisy_timer:bool -> int list -> hwpe_reading list
+[@@deprecated "use hwpe_memory_of; the attack never reads the timer"]
 (** Same attack; [noisy_timer] documents that the attack is oblivious
-    to timer countermeasures (the flag exists for the E7 bench matrix
-    and has no effect on the readings — the attack never reads the
-    timer). *)
+    to timer countermeasures (the flag has no effect on the
+    readings). *)

@@ -1,0 +1,540 @@
+open Isa.Asm
+module Json = Upec.Json
+
+(* ---------------------------------------------------------------- *)
+(* Spec: a scenario as data                                          *)
+(* ---------------------------------------------------------------- *)
+
+type family =
+  | Busted_timer
+  | Busted_timer_free
+  | Hwpe_progressive
+  | Dma_contention
+  | Interrupt_victim
+  | Prefetcher
+  | Tdma_interconnect
+  | Countermeasure
+  | No_spies
+
+let all_families =
+  [
+    Busted_timer;
+    Busted_timer_free;
+    Hwpe_progressive;
+    Dma_contention;
+    Interrupt_victim;
+    Prefetcher;
+    Tdma_interconnect;
+    Countermeasure;
+    No_spies;
+  ]
+
+let family_to_string = function
+  | Busted_timer -> "busted_timer"
+  | Busted_timer_free -> "busted_timer_free"
+  | Hwpe_progressive -> "hwpe_progressive"
+  | Dma_contention -> "dma_contention"
+  | Interrupt_victim -> "interrupt_victim"
+  | Prefetcher -> "prefetcher"
+  | Tdma_interconnect -> "tdma_interconnect"
+  | Countermeasure -> "countermeasure"
+  | No_spies -> "no_spies"
+
+let family_of_string s =
+  List.find_opt (fun f -> family_to_string f = s) all_families
+
+type expectation = Expect_vulnerable | Expect_secure
+
+let expectation_to_string = function
+  | Expect_vulnerable -> "vulnerable"
+  | Expect_secure -> "secure"
+
+type spec = {
+  sp_name : string;
+  sp_family : family;
+  sp_design : Upec.Cli.design;
+  sp_alg : int;
+  sp_secret : int;
+  sp_public : int;
+  sp_expected : expectation;
+}
+
+(* Family templates: the design deltas that create (or close) the
+   channel, the procedure that decides the family fastest, and the
+   victim access-count split. Parameter sweeps start from these. *)
+
+let base_design family =
+  let d = Upec.Cli.default_design in
+  match family with
+  | Busted_timer | Interrupt_victim -> d
+  | Busted_timer_free ->
+      { d with Upec.Cli.d_dma = false; d_timer = false; d_pers = "memory" }
+  | Hwpe_progressive -> { d with Upec.Cli.d_dma = false }
+  | Dma_contention -> { d with Upec.Cli.d_dma_on_private = false }
+  | Prefetcher -> { d with Upec.Cli.d_hwpe = false }
+  | Tdma_interconnect -> { d with Upec.Cli.d_arbiter = "tdma" }
+  | Countermeasure -> { d with Upec.Cli.d_variant = "secure" }
+  | No_spies -> { d with Upec.Cli.d_dma = false; d_hwpe = false }
+
+let base_alg = function Busted_timer_free -> 2 | _ -> 1
+
+let base_expected = function
+  | Tdma_interconnect | Countermeasure | No_spies -> Expect_secure
+  | _ -> Expect_vulnerable
+
+(* Victim access counts per class. Footprint attacks watch a slow
+   secondary effect (accelerator progress through a primed region), so
+   they need a larger split than the cycle-exact timer probes. *)
+let base_split = function
+  | Busted_timer_free | Hwpe_progressive -> (48, 4)
+  | Dma_contention -> (40, 4)
+  | Prefetcher -> (28, 4)
+  | Interrupt_victim -> (16, 2)
+  | _ -> (12, 2)
+
+let default_for family =
+  let secret, public = base_split family in
+  {
+    sp_name = family_to_string family;
+    sp_family = family;
+    sp_design = base_design family;
+    sp_alg = base_alg family;
+    sp_secret = secret;
+    sp_public = public;
+    sp_expected = base_expected family;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* JSON codec                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let to_json s =
+  Json.Obj
+    [
+      ("name", Json.Str s.sp_name);
+      ("family", Json.Str (family_to_string s.sp_family));
+      ("design", Upec.Cli.design_to_json s.sp_design);
+      ("alg", Json.Int s.sp_alg);
+      ("secret_accesses", Json.Int s.sp_secret);
+      ("public_accesses", Json.Int s.sp_public);
+      ("expected", Json.Str (expectation_to_string s.sp_expected));
+    ]
+
+let parse_err msg = raise (Json.Parse_error msg)
+
+(* Design members override the family template, not the global
+   defaults: a spec that says [{"family": "tdma_interconnect",
+   "design": {"depth": 4}}] keeps the TDMA arbiter. *)
+let merge_design base over =
+  match (base, over) with
+  | Json.Obj b, Json.Obj o ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match List.assoc_opt k o with Some w -> (k, w) | None -> (k, v))
+           b)
+  | _, _ -> parse_err "design: expected object"
+
+let of_json j =
+  let family =
+    match Json.to_str (Json.member "family" j) with
+    | None -> parse_err "family: missing or not a string"
+    | Some s -> (
+        match family_of_string s with
+        | Some f -> f
+        | None -> parse_err ("family: unknown \"" ^ s ^ "\""))
+  in
+  let d = default_for family in
+  let design =
+    match Json.member "design" j with
+    | Json.Null -> d.sp_design
+    | dj ->
+        Upec.Cli.design_of_json
+          (merge_design (Upec.Cli.design_to_json d.sp_design) dj)
+  in
+  let get_int k dflt =
+    match Json.member k j with
+    | Json.Null -> dflt
+    | v -> (
+        match Json.to_int v with
+        | Some i -> i
+        | None -> parse_err (k ^ ": expected int"))
+  in
+  let expected =
+    match Json.member "expected" j with
+    | Json.Null -> d.sp_expected
+    | v -> (
+        match Json.to_str v with
+        | Some "vulnerable" -> Expect_vulnerable
+        | Some "secure" -> Expect_secure
+        | _ -> parse_err "expected: \"vulnerable\" or \"secure\"")
+  in
+  let name =
+    match Json.member "name" j with
+    | Json.Null -> d.sp_name
+    | v -> (
+        match Json.to_str v with
+        | Some s -> s
+        | None -> parse_err "name: expected string")
+  in
+  {
+    sp_name = name;
+    sp_family = family;
+    sp_design = design;
+    sp_alg = get_int "alg" d.sp_alg;
+    sp_secret = get_int "secret_accesses" d.sp_secret;
+    sp_public = get_int "public_accesses" d.sp_public;
+    sp_expected = expected;
+  }
+
+let load_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json (Json.of_string s)
+
+let canonical s = { s with sp_design = Upec.Cli.canonical s.sp_design }
+
+let fingerprint s =
+  Digest.to_hex
+    (Digest.string ("scenario:1:" ^ Json.to_string_compact (to_json (canonical s))))
+
+(* ---------------------------------------------------------------- *)
+(* Catalog: >= 8 families x >= 3 parameter points                    *)
+(* ---------------------------------------------------------------- *)
+
+type point = { pt_depth : int; pt_banks : int; pt_timer_width : int }
+
+let point ?(banks = 2) ?(timer_width = 8) depth =
+  { pt_depth = depth; pt_banks = banks; pt_timer_width = timer_width }
+
+let at_point family pt =
+  let d = default_for family in
+  let design =
+    {
+      d.sp_design with
+      Upec.Cli.d_depth = pt.pt_depth;
+      d_banks = pt.pt_banks;
+      d_timer_width = pt.pt_timer_width;
+    }
+  in
+  let name =
+    Printf.sprintf "%s_d%d%s%s" d.sp_name pt.pt_depth
+      (if pt.pt_banks <> 2 then Printf.sprintf "_b%d" pt.pt_banks else "")
+      (if pt.pt_timer_width <> 8 then Printf.sprintf "_tw%d" pt.pt_timer_width
+       else "")
+  in
+  { d with sp_name = name; sp_design = design }
+
+(* The sweep varies bank-depth everywhere and, per family, one of the
+   orthogonal axes (bank count, timer width) — every family is
+   exercised at >= 3 structurally distinct design points. *)
+let sweep_points family =
+  match family with
+  | Busted_timer | Interrupt_victim | Tdma_interconnect ->
+      [ point 3; point 4 ~banks:4; point 6 ~timer_width:6 ]
+  | Busted_timer_free | Hwpe_progressive | No_spies ->
+      [ point 3; point 4 ~banks:4; point 6 ]
+  | Dma_contention | Prefetcher ->
+      [ point 3; point 4 ~banks:4; point 6 ~timer_width:6 ]
+  | Countermeasure -> [ point 3; point 4; point 6 ~banks:4 ]
+
+let catalog =
+  List.concat_map
+    (fun family -> List.map (at_point family) (sweep_points family))
+    all_families
+
+let find name =
+  match List.find_opt (fun s -> s.sp_name = name) catalog with
+  | Some s -> Some s
+  | None ->
+      List.find_opt (fun f -> family_to_string f = name) all_families
+      |> Option.map default_for
+
+(* ---------------------------------------------------------------- *)
+(* Simulation-scale sibling                                          *)
+(* ---------------------------------------------------------------- *)
+
+(* The statistical cross-check runs the structural features that
+   create (or close) the channel — IP presence, arbitration policy,
+   bank count, DMA port topology — at simulation scale. Formal-scale
+   size knobs (bank depth, timer width) stay at their simulation
+   defaults: depth 3 SRAMs cannot hold firmware-scale footprints, and
+   a 6-bit timer wraps within one time slice. *)
+let sim_config s =
+  let d = Upec.Cli.canonical s.sp_design in
+  {
+    Soc.Config.sim_default with
+    Soc.Config.pub_banks = d.Upec.Cli.d_banks;
+    priv_banks = d.Upec.Cli.d_banks;
+    with_dma = d.Upec.Cli.d_dma;
+    with_hwpe = d.Upec.Cli.d_hwpe;
+    with_uart = d.Upec.Cli.d_uart;
+    with_timer = d.Upec.Cli.d_timer;
+    dma_on_private = d.Upec.Cli.d_dma_on_private;
+    arbiter =
+      (match d.Upec.Cli.d_arbiter with
+      | "fixed" -> `Fixed_priority
+      | "tdma" -> `Tdma
+      | _ -> `Round_robin);
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Firmware (three-phase: preparation / recording / retrieval)       *)
+(* ---------------------------------------------------------------- *)
+
+let byte_of cfg p reg =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.periph_reg_addr cfg p reg)
+
+let pub_base cfg =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.region_base cfg Soc.Memmap.Pub)
+
+let priv_base cfg =
+  Soc.Memmap.byte_addr cfg (Soc.Memmap.region_base cfg Soc.Memmap.Priv)
+
+let mmio_write addr value = [ Li (10, addr); Li (11, value); I (Sw (11, 10, 0)) ]
+
+(* The victim performs [n] loads from [target] and then spins; its
+   time slice ends when the scheduler (the harness, standing in for a
+   timer-interrupt driven RTOS) preempts it, so the slice length is
+   fixed by construction and only contention — not victim code length
+   — is observable afterwards. [victim_resume] re-enters the loop
+   without reinitialising the counter (the interrupt-driven schedule
+   preempts mid-count); [idle] parks the core between slices. *)
+let victim_section ~target ~n =
+  [
+    L "victim";
+    Li (12, target);
+    Li (13, n);
+    L "victim_resume";
+    Beq_l (13, 0, "victim_spin");
+    L "victim_loop";
+    I (Lw (15, 12, 0));
+    I (Addi (13, 13, -1));
+    Bne_l (13, 0, "victim_loop");
+    L "victim_spin";
+    J "victim_spin";
+    L "idle";
+    J "idle";
+  ]
+
+(* Back-to-back unrolled loads: a memcpy-like victim issuing a request
+   every fetch slot. The looped victim above requests only every ~6
+   cycles, which two saturating spy masters absorb into their free
+   arbitration slots without losing a beat — the denser stream is what
+   actually displaces them. *)
+let dense_victim_section ~target ~n =
+  [ L "victim"; Li (12, target) ]
+  @ List.concat (List.init n (fun _ -> [ I (Lw (15, 12, 0)) ]))
+  @ [ L "victim_spin"; J "victim_spin"; L "idle"; J "idle" ]
+
+(* Footprint attacks prime a small region and let the HWPE overwrite
+   it progressively; smaller than the legacy E7 footprint so a
+   many-trial statistical run stays cheap. *)
+let primed_words = 256
+let primed_word_base = 512
+
+let timer_dma_prep ?(len = 24) cfg =
+  mmio_write (byte_of cfg Soc.Memmap.Timer 0) 2
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 1) 0
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 2) 64
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 3) len
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 0) 1
+
+let timer_read_retrieval cfg =
+  [
+    L "retrieval";
+    Li (10, byte_of cfg Soc.Memmap.Timer 1);
+    I (Lw (28, 10, 0));
+    I Ebreak;
+  ]
+
+let hwpe_footprint_program cfg ~n =
+  let region = pub_base cfg + (primed_word_base * 4) in
+  [
+    Li (5, region);
+    Li (6, primed_words);
+    L "prime";
+    I (Sw (0, 5, 0));
+    I (Addi (5, 5, 4));
+    I (Addi (6, 6, -1));
+    Bne_l (6, 0, "prime");
+  ]
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 1) primed_word_base
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 2) primed_words
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 3) 1
+  @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 0) 1
+  @ [ I Ebreak ]
+  @ victim_section ~target:region ~n
+  @ [
+      L "retrieval";
+      Li (5, region + ((primed_words - 1) * 4));
+      Li (6, primed_words);
+      Li (28, 0);
+      L "scan";
+      I (Lw (7, 5, 0));
+      Bne_l (7, 0, "found");
+      I (Addi (28, 28, 1));
+      I (Addi (5, 5, -4));
+      I (Addi (6, 6, -1));
+      Bne_l (6, 0, "scan");
+      L "found";
+      I Ebreak;
+    ]
+
+(* Multi-master contention: a long DMA stream (plus, when present, a
+   concurrent HWPE job) crosses the victim's banks; the attacker's
+   clock is the poll loop on the DMA done bit — no timer involved. *)
+let dma_poll_retrieval cfg =
+  [
+    L "retrieval";
+    Li (10, byte_of cfg Soc.Memmap.Dma 0);
+    L "poll";
+    I (Lw (7, 10, 0));
+    I (Andi (7, 7, 2));
+    Beq_l (7, 0, "poll");
+    I Ebreak;
+  ]
+
+let contention_program cfg ~n ~hwpe =
+  (if hwpe then
+     mmio_write (byte_of cfg Soc.Memmap.Hwpe 1) 1024
+     @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 2) 512
+     @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 3) 1
+     @ mmio_write (byte_of cfg Soc.Memmap.Hwpe 0) 1
+   else [])
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 1) 0
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 2) 1600
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 3) 300
+  @ mmio_write (byte_of cfg Soc.Memmap.Dma 0) 1
+  @ [ I Ebreak ]
+  @ (if hwpe then dense_victim_section else victim_section)
+      ~target:(pub_base cfg) ~n
+  @ dma_poll_retrieval cfg
+
+let firmware s cfg ~n =
+  match s.sp_family with
+  | Busted_timer | Tdma_interconnect ->
+      timer_dma_prep cfg @ [ I Ebreak ]
+      @ victim_section ~target:(pub_base cfg) ~n
+      @ timer_read_retrieval cfg
+  | Interrupt_victim ->
+      (* longer DMA job so the contention window spans the victim's
+         first two interrupt-driven bursts *)
+      timer_dma_prep ~len:48 cfg
+      @ [ I Ebreak ]
+      @ victim_section ~target:(pub_base cfg) ~n
+      @ timer_read_retrieval cfg
+  | Countermeasure ->
+      (* Sec. 4.2 policy: the victim's protected range lives in
+         private SRAM and the spying masters are configured out of it,
+         so the victim's accesses cross no shared arbiter. *)
+      timer_dma_prep cfg @ [ I Ebreak ]
+      @ victim_section ~target:(priv_base cfg) ~n
+      @ timer_read_retrieval cfg
+  | No_spies ->
+      (* no DMA to auto-start on: free-run the timer from preparation *)
+      mmio_write (byte_of cfg Soc.Memmap.Timer 0) 1
+      @ [ I Ebreak ]
+      @ victim_section ~target:(pub_base cfg) ~n
+      @ timer_read_retrieval cfg
+  | Busted_timer_free | Hwpe_progressive -> hwpe_footprint_program cfg ~n
+  | Dma_contention -> contention_program cfg ~n ~hwpe:true
+  | Prefetcher -> contention_program cfg ~n ~hwpe:false
+
+(* ---------------------------------------------------------------- *)
+(* Schedule harness (shared with Attacks)                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Preemptive scheduler emulation: force the core to a label by
+   loading a fresh pipeline state (bubble fetch at the entry, memory
+   FSM idle, halt flag cleared). *)
+let context_switch eng symbols label =
+  let entry = List.assoc label symbols in
+  Sim.Engine.poke_reg eng "cpu.halted" (Rtl.Bitvec.zero 1);
+  Sim.Engine.poke_reg eng "cpu.valid" (Rtl.Bitvec.zero 1);
+  Sim.Engine.poke_reg eng "cpu.mem_state" (Rtl.Bitvec.zero 2);
+  Sim.Engine.poke_reg eng "cpu.if_pc" (Rtl.Bitvec.of_int ~width:32 entry)
+
+let run_to_halt ?(max_cycles = 60000) eng =
+  let rec go cycles =
+    if cycles > max_cycles then failwith "Scenario: firmware did not halt"
+    else if Rtl.Bitvec.to_int (Sim.Engine.peek_output eng "halted") = 1 then
+      cycles
+    else begin
+      Sim.Engine.step eng;
+      go (cycles + 1)
+    end
+  in
+  go 0
+
+(* Run the generalised schedule: preparation to its EBREAK, each
+   [(label, cycles)] phase in turn, then retrieval to its EBREAK.
+   Returns the engine, the total cycle count and the retrieval-phase
+   cycle count (the timer-free observable). *)
+let run_phases cfg ~rom ~symbols ~phases =
+  let soc = Soc.Builder.build cfg (Soc.Builder.Sim { rom }) in
+  let eng = Sim.Engine.create soc.Soc.Builder.netlist in
+  let prep_cycles = run_to_halt eng in
+  let slice_cycles =
+    List.fold_left
+      (fun acc (label, cycles) ->
+        context_switch eng symbols label;
+        Sim.Engine.run eng cycles;
+        acc + cycles)
+      0 phases
+  in
+  context_switch eng symbols "retrieval";
+  let retrieval_cycles = run_to_halt eng in
+  (eng, prep_cycles + slice_cycles + retrieval_cycles, retrieval_cycles)
+
+let run_schedule cfg ~rom ~symbols ~slice =
+  let eng, total, _ = run_phases cfg ~rom ~symbols ~phases:[ ("victim", slice) ] in
+  (eng, total)
+
+(* ---------------------------------------------------------------- *)
+(* Seeded trials                                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* Deterministic per-trial nuisance noise: a seeded LCG jitters the
+   scheduler's slice lengths, standing in for the interrupt skew and
+   scheduling drift a real RTOS exhibits. Both classes of a paired
+   trial share the seed, so the only systematic difference between
+   the distributions is the victim's secret. *)
+let jitter seed =
+  let state = ref (((seed * 0x9E3779B1) lxor 0x5DEECE66) land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    if bound <= 0 then 0 else (!state lsr 16) mod bound
+
+let phases_for s ~seed =
+  let j = jitter seed in
+  match s.sp_family with
+  | Interrupt_victim ->
+      (* the victim's work arrives in interrupt-driven bursts *)
+      [
+        ("victim", 48 + j 6);
+        ("idle", 24);
+        ("victim_resume", 48 + j 6);
+        ("idle", 24);
+        ("victim_resume", 48 + j 6);
+      ]
+  | Busted_timer_free | Hwpe_progressive -> [ ("victim", 240 + j 16) ]
+  | Dma_contention | Prefetcher -> [ ("victim", 200 + j 8) ]
+  | _ -> [ ("victim", 120 + j 8) ]
+
+let measure s ~seed ~n =
+  let cfg = sim_config s in
+  let rom, symbols = assemble_with_symbols (firmware s cfg ~n) in
+  let phases = phases_for s ~seed in
+  let eng, _total, retrieval_cycles = run_phases cfg ~rom ~symbols ~phases in
+  match s.sp_family with
+  | Busted_timer | Interrupt_victim | Tdma_interconnect | Countermeasure
+  | No_spies ->
+      float_of_int (Rtl.Bitvec.to_int (Sim.Engine.mem_value eng "cpu.regs" 28))
+  | Busted_timer_free | Hwpe_progressive | Dma_contention | Prefetcher ->
+      float_of_int retrieval_cycles
+
+let sample_pair s ~seed =
+  (measure s ~seed ~n:s.sp_secret, measure s ~seed ~n:s.sp_public)

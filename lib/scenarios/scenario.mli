@@ -1,0 +1,170 @@
+(** Declarative scenario specifications.
+
+    A {!spec} is the single source of truth for one verification
+    scenario: which SoC design to build (as deltas over the default
+    {!Upec.Cli.design}), which UPEC-SSC procedure decides it, which
+    victim firmware exercises it at simulation scale, and which
+    verdict class the paper predicts. Everything downstream — the
+    formal run, the statistical cross-check, the farm job, the CLI
+    flags — desugars to or from this record, so a scenario named in a
+    JSON file, a [--scenario] flag and a farm job body all denote the
+    same experiment. *)
+
+(** Attack families from the BUSted paper and its surroundings. Each
+    family fixes a design template, a procedure and a firmware shape;
+    parameter points then sweep the structural knobs. *)
+type family =
+  | Busted_timer  (** DMA contention probed through the APB timer *)
+  | Busted_timer_free
+      (** timer-free variant: persistence-limited footprint channel,
+          decided by the unrolled procedure *)
+  | Hwpe_progressive  (** HWPE progressive-write footprint attacker *)
+  | Dma_contention
+      (** multi-master bank contention, DMA ports on public SRAM only *)
+  | Interrupt_victim  (** victim work arrives in interrupt-driven bursts *)
+  | Prefetcher
+      (** cache/prefetcher-like streaming IP (DMA alone) crossing the
+          victim's banks *)
+  | Tdma_interconnect  (** time-division arbitration closes the channel *)
+  | Countermeasure
+      (** Sec. 4.2 policy: victim data in private SRAM, spies excluded *)
+  | No_spies  (** no bus-mastering IPs at all — vacuously secure *)
+
+val all_families : family list
+
+val family_to_string : family -> string
+(** snake_case name, also the JSON encoding ([family_of_string] is its
+    inverse). *)
+
+val family_of_string : string -> family option
+
+type expectation = Expect_vulnerable | Expect_secure
+
+val expectation_to_string : expectation -> string
+(** ["vulnerable"] / ["secure"]. *)
+
+type spec = {
+  sp_name : string;  (** unique within a matrix run *)
+  sp_family : family;
+  sp_design : Upec.Cli.design;  (** deltas over the default design *)
+  sp_alg : int;  (** 1 = fixed-point, 2 = unrolled + induction *)
+  sp_secret : int;  (** victim accesses in the secret class *)
+  sp_public : int;  (** victim accesses in the public class *)
+  sp_expected : expectation;
+}
+
+val default_for : family -> spec
+(** The family template: its design deltas, fastest deciding
+    procedure, access-count split and expected verdict. *)
+
+val to_json : spec -> Upec.Json.t
+
+val of_json : Upec.Json.t -> spec
+(** Only ["family"] is required; other members default from the family
+    template. ["design"] members override the {e template's} design,
+    not the global default — [{"family": "tdma_interconnect",
+    "design": {"depth": 3}}] keeps the TDMA arbiter. Raises
+    {!Upec.Json.Parse_error} on malformed input. *)
+
+val load_file : string -> spec
+(** Parse a [.json] spec file. *)
+
+val canonical : spec -> spec
+(** Normalises the embedded design ({!Upec.Cli.canonical}) so
+    equivalent spellings fingerprint identically. *)
+
+val fingerprint : spec -> string
+(** Content digest of the canonicalised spec — stable across sessions,
+    sensitive to every member. *)
+
+(** {1 Catalog} *)
+
+type point = { pt_depth : int; pt_banks : int; pt_timer_width : int }
+
+val point : ?banks:int -> ?timer_width:int -> int -> point
+(** [point depth] with [banks = 2], [timer_width = 8]. *)
+
+val at_point : family -> point -> spec
+(** The family template at a sweep point; the name encodes the
+    non-default coordinates (["busted_timer_d4_b4"]). *)
+
+val sweep_points : family -> point list
+(** At least 3 structurally distinct design points per family. *)
+
+val catalog : spec list
+(** Every family at every sweep point — the full scenario matrix. *)
+
+val find : string -> spec option
+(** Catalog lookup by name; a bare family name returns
+    {!default_for}. *)
+
+(** {1 Simulation} *)
+
+val sim_config : spec -> Soc.Config.t
+(** The simulation-scale sibling of the spec's design: structural
+    features (IP presence, arbitration, bank count, DMA topology)
+    carry over; formal-scale size knobs (bank depth, timer width) stay
+    at simulation defaults. *)
+
+val firmware : spec -> Soc.Config.t -> n:int -> Isa.Asm.stmt list
+(** The family's three-phase attack program with an [n]-access
+    victim. *)
+
+val measure : spec -> seed:int -> n:int -> float
+(** One trial: run the firmware under the seeded schedule and return
+    the family's observable (timer reading or retrieval-phase cycle
+    count). *)
+
+val sample_pair : spec -> seed:int -> float * float
+(** [(secret, public)] measurements of one paired trial: both classes
+    run under the same seed, so scheduler jitter cancels and only the
+    victim's access count differs. *)
+
+(** {1 Firmware and harness primitives}
+
+    Shared with {!Attacks}; useful for bespoke experiments. *)
+
+val byte_of : Soc.Config.t -> Soc.Memmap.periph -> int -> int
+(** Byte address of a peripheral register. *)
+
+val pub_base : Soc.Config.t -> int
+val priv_base : Soc.Config.t -> int
+
+val mmio_write : int -> int -> Isa.Asm.stmt list
+(** [mmio_write addr value] — three-statement store via r10/r11. *)
+
+val victim_section : target:int -> n:int -> Isa.Asm.stmt list
+(** Looped victim: [n] loads from [target], then spin. Defines the
+    labels [victim], [victim_resume] (re-entry without counter reset),
+    [victim_spin] and [idle]. *)
+
+val dense_victim_section : target:int -> n:int -> Isa.Asm.stmt list
+(** Unrolled back-to-back loads — a memcpy-like victim issuing a
+    request every fetch slot, dense enough to displace saturating spy
+    masters. *)
+
+val context_switch : Sim.Engine.t -> (string * int) list -> string -> unit
+(** Preemptive-scheduler emulation: point the core at a label with a
+    fresh pipeline state. *)
+
+val run_to_halt : ?max_cycles:int -> Sim.Engine.t -> int
+(** Step until the core halts; returns the cycle count. Raises
+    [Failure] after [max_cycles] (default 60000). *)
+
+val run_phases :
+  Soc.Config.t ->
+  rom:Rtl.Bitvec.t array ->
+  symbols:(string * int) list ->
+  phases:(string * int) list ->
+  Sim.Engine.t * int * int
+(** Run preparation to its halt, each [(label, cycles)] slice in turn,
+    then the [retrieval] phase to its halt. Returns the engine, the
+    total cycle count and the retrieval-phase cycle count. *)
+
+val run_schedule :
+  Soc.Config.t ->
+  rom:Rtl.Bitvec.t array ->
+  symbols:(string * int) list ->
+  slice:int ->
+  Sim.Engine.t * int
+(** Single-slice compatibility wrapper over {!run_phases}. *)

@@ -1,0 +1,257 @@
+(* Welch's t-test + Cohen's d over cycle-count samples, with
+   sample-size escalation. Pure OCaml: the Student-t tail probability
+   is computed through the regularised incomplete beta function
+   (Lanczos log-gamma + Lentz continued fraction), accurate to ~1e-10
+   over the df >= 1 range we use — far below the decision thresholds. *)
+
+type verdict = Leak | No_leak | Inconclusive
+
+type result = {
+  st_verdict : verdict;
+  st_t : float;
+  st_df : float;
+  st_p : float;  (* two-sided *)
+  st_d : float;  (* Cohen's d, pooled-sd *)
+  st_n : int;  (* samples per class at the final test *)
+  st_escalations : int;
+  st_mean_secret : float;
+  st_mean_public : float;
+  st_sd_secret : float;
+  st_sd_public : float;
+}
+
+(* ---- special functions ---- *)
+
+let rec log_gamma x =
+  (* Lanczos, g = 7, n = 9; |relative error| < 1e-13 for x > 0 *)
+  let c =
+    [|
+      0.99999999999980993;
+      676.5203681218851;
+      -1259.1392167224028;
+      771.32342877765313;
+      -176.61502916214059;
+      12.507343278686905;
+      -0.13857109526572012;
+      9.9843695780195716e-6;
+      1.5056327351493116e-7;
+    |]
+  in
+  if x < 0.5 then
+    (* reflection *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma_pos (1.0 -. x) c
+  else log_gamma_pos x c
+
+and log_gamma_pos x c =
+  let x = x -. 1.0 in
+  let a = ref c.(0) in
+  let t = x +. 7.5 in
+  for i = 1 to 8 do
+    a := !a +. (c.(i) /. (x +. float_of_int i))
+  done;
+  (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+(* Lentz's algorithm for the incomplete-beta continued fraction. *)
+let betacf a b x =
+  let max_iter = 200 and eps = 3e-14 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to max_iter do
+       let fm = float_of_int m in
+       let m2 = 2.0 *. fm in
+       let aa = fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1.0 +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1.0 +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1.0 /. !d;
+       h := !h *. !d *. !c;
+       let aa =
+         -.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2))
+       in
+       d := 1.0 +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1.0 +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1.0 /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.0) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+(* Regularised incomplete beta I_x(a, b). *)
+let betai a b x =
+  if x <= 0.0 then 0.0
+  else if x >= 1.0 then 1.0
+  else
+    let bt =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then bt *. betacf a b x /. a
+    else 1.0 -. (bt *. betacf b a (1.0 -. x) /. b)
+
+let p_value ~t ~df =
+  if df <= 0.0 then 1.0
+  else if Float.is_nan t then 1.0
+  else betai (df /. 2.0) 0.5 (df /. (df +. (t *. t)))
+
+(* ---- sample statistics ---- *)
+
+let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  (* unbiased; 0 for n < 2 *)
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+    /. float_of_int (n - 1)
+
+let welch_t sec pub =
+  let n1 = float_of_int (Array.length sec)
+  and n2 = float_of_int (Array.length pub) in
+  let v1 = variance sec and v2 = variance pub in
+  let se2 = (v1 /. n1) +. (v2 /. n2) in
+  if se2 = 0.0 then (Float.nan, 0.0)
+  else
+    let t = (mean sec -. mean pub) /. sqrt se2 in
+    let df =
+      se2 *. se2
+      /. ((v1 /. n1 *. (v1 /. n1) /. (n1 -. 1.0))
+         +. (v2 /. n2 *. (v2 /. n2) /. (n2 -. 1.0)))
+    in
+    (t, df)
+
+(* A constant-vs-constant split still deserves a magnitude: cap d so
+   zero-variance leaks (a noiseless counter) classify as huge effects
+   instead of NaN. *)
+let d_cap = 1000.0
+
+let cohen_d sec pub =
+  let n1 = float_of_int (Array.length sec)
+  and n2 = float_of_int (Array.length pub) in
+  let v1 = variance sec and v2 = variance pub in
+  let pooled =
+    (((n1 -. 1.0) *. v1) +. ((n2 -. 1.0) *. v2)) /. (n1 +. n2 -. 2.0)
+  in
+  let delta = mean sec -. mean pub in
+  if pooled = 0.0 then if delta = 0.0 then 0.0 else Float.copy_sign d_cap delta
+  else
+    let d = delta /. sqrt pooled in
+    if Float.abs d > d_cap then Float.copy_sign d_cap d else d
+
+(* ---- decision ---- *)
+
+let default_alpha = 1e-3
+let default_d_small = 0.2
+let default_d_large = 0.8
+let default_weak_p = 0.1
+
+let test ?(alpha = default_alpha) ?(d_small = default_d_small)
+    ?(d_large = default_d_large) ?(weak_p = default_weak_p) ~secret ~public ()
+    =
+  let n = min (Array.length secret) (Array.length public) in
+  if n < 2 then invalid_arg "Stat.test: need at least 2 samples per class";
+  let m1 = mean secret and m2 = mean public in
+  let v1 = variance secret and v2 = variance public in
+  let d = cohen_d secret public in
+  let t, df, p =
+    if v1 = 0.0 && v2 = 0.0 then
+      (* both classes constant: identical -> certainly no timing
+         delta; different -> a noiseless, perfectly repeatable delta *)
+      if m1 = m2 then (0.0, 0.0, 1.0) else (Float.infinity, 0.0, 0.0)
+    else
+      let t, df = welch_t secret public in
+      (t, df, p_value ~t ~df)
+  in
+  let verdict =
+    if p < alpha && Float.abs d >= d_large then Leak
+    else if p > weak_p && Float.abs d < d_small then No_leak
+    else Inconclusive
+  in
+  {
+    st_verdict = verdict;
+    st_t = t;
+    st_df = df;
+    st_p = p;
+    st_d = d;
+    st_n = n;
+    st_escalations = 0;
+    st_mean_secret = m1;
+    st_mean_public = m2;
+    st_sd_secret = sqrt v1;
+    st_sd_public = sqrt v2;
+  }
+
+let escalating ?alpha ?d_small ?d_large ?weak_p ?(init_n = 12) ?(max_n = 96)
+    ~sample () =
+  if init_n < 2 then invalid_arg "Stat.escalating: init_n < 2";
+  let secret = ref [] and public = ref [] and drawn = ref 0 in
+  let draw_upto n =
+    while !drawn < n do
+      let s, p = sample !drawn in
+      secret := s :: !secret;
+      public := p :: !public;
+      incr drawn
+    done
+  in
+  let arrays () =
+    (Array.of_list (List.rev !secret), Array.of_list (List.rev !public))
+  in
+  let rec go n escalations =
+    draw_upto n;
+    let sec, pub = arrays () in
+    let r = { (test ?alpha ?d_small ?d_large ?weak_p ~secret:sec ~public:pub ()) with st_escalations = escalations } in
+    match r.st_verdict with
+    | Leak | No_leak -> r
+    | Inconclusive ->
+        if n >= max_n then
+          (* final call on everything drawn: a significant delta is a
+             leak even if the standardised effect is mid-band *)
+          let verdict =
+            if r.st_p < (match alpha with Some a -> a | None -> default_alpha)
+            then Leak
+            else Inconclusive
+          in
+          { r with st_verdict = verdict }
+        else go (min max_n (n * 2)) (escalations + 1)
+  in
+  go init_n 0
+
+let verdict_to_string = function
+  | Leak -> "leak"
+  | No_leak -> "no_leak"
+  | Inconclusive -> "inconclusive"
+
+let json_float f =
+  (* non-finite floats emit as null in Upec.Json; keep the artefact
+     numeric *)
+  if Float.is_finite f then Upec.Json.Float f
+  else Upec.Json.Str (if f > 0.0 then "inf" else if f < 0.0 then "-inf" else "nan")
+
+let to_json r =
+  Upec.Json.Obj
+    [
+      ("verdict", Upec.Json.Str (verdict_to_string r.st_verdict));
+      ("t", json_float r.st_t);
+      ("df", json_float r.st_df);
+      ("p", json_float r.st_p);
+      ("cohen_d", json_float r.st_d);
+      ("n_per_class", Upec.Json.Int r.st_n);
+      ("escalations", Upec.Json.Int r.st_escalations);
+      ("mean_secret", json_float r.st_mean_secret);
+      ("mean_public", json_float r.st_mean_public);
+      ("sd_secret", json_float r.st_sd_secret);
+      ("sd_public", json_float r.st_sd_public);
+    ]

@@ -1,0 +1,87 @@
+(** Statistical leak detection over cycle-count samples.
+
+    The empirical half of the scenario cross-check: given paired
+    secret-class / public-class timing measurements (one pair per
+    seeded trial through {!Sim.Engine}), Welch's unequal-variance
+    t-test decides whether the two distributions differ and Cohen's d
+    sizes the effect. The decision has an explicit inconclusive band —
+    a mid-band effect at low sample count escalates the sample size
+    instead of guessing — mirroring how the formal side degrades to
+    Inconclusive rather than misreport. PASCAL-style: statistical
+    evidence complements, never replaces, the formal verdict. *)
+
+type verdict =
+  | Leak  (** significant delta with a large standardised effect *)
+  | No_leak  (** no significant delta and a negligible effect *)
+  | Inconclusive  (** mid-band after every escalation *)
+
+type result = {
+  st_verdict : verdict;
+  st_t : float;  (** Welch's t statistic (secret - public) *)
+  st_df : float;  (** Welch–Satterthwaite degrees of freedom *)
+  st_p : float;  (** two-sided p-value *)
+  st_d : float;  (** Cohen's d (pooled sd), capped at ±1000 *)
+  st_n : int;  (** samples per class at the final test *)
+  st_escalations : int;  (** sample-size doublings performed *)
+  st_mean_secret : float;
+  st_mean_public : float;
+  st_sd_secret : float;
+  st_sd_public : float;
+}
+
+val p_value : t:float -> df:float -> float
+(** Two-sided Student-t tail probability, via the regularised
+    incomplete beta function (pure OCaml, no external tables). *)
+
+val welch_t : float array -> float array -> float * float
+(** [(t, df)]; [(nan, 0.)] when both sample variances are zero. *)
+
+val cohen_d : float array -> float array -> float
+(** Pooled-sd effect size; a zero-variance nonzero delta is capped at
+    ±1000 rather than infinite. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance; [0.] for fewer than 2 samples. *)
+
+val test :
+  ?alpha:float ->
+  ?d_small:float ->
+  ?d_large:float ->
+  ?weak_p:float ->
+  secret:float array ->
+  public:float array ->
+  unit ->
+  result
+(** One fixed-size test. Decision: [p < alpha] and [|d| >= d_large] is
+    {!Leak}; [p > weak_p] and [|d| < d_small] is {!No_leak}; anything
+    in between is {!Inconclusive}. Two identical constant samples are
+    {!No_leak}; two different constants are a zero-noise {!Leak}.
+    Defaults: [alpha = 1e-3], [d_small = 0.2], [d_large = 0.8],
+    [weak_p = 0.1]. Raises [Invalid_argument] below 2 samples per
+    class. *)
+
+val escalating :
+  ?alpha:float ->
+  ?d_small:float ->
+  ?d_large:float ->
+  ?weak_p:float ->
+  ?init_n:int ->
+  ?max_n:int ->
+  sample:(int -> float * float) ->
+  unit ->
+  result
+(** Draw [(secret, public)] measurement pairs from [sample] (called
+    with the 0-based trial index — derive the trial's noise seed from
+    it) starting at [init_n] pairs, doubling while the verdict stays
+    {!Inconclusive}, up to [max_n]. At [max_n] a significant delta
+    ([p < alpha]) is ruled {!Leak} even mid-band; otherwise the result
+    stays {!Inconclusive}. Samples are drawn once and reused across
+    escalations. Defaults: [init_n = 12], [max_n = 96]. *)
+
+val verdict_to_string : verdict -> string
+(** ["leak"], ["no_leak"], ["inconclusive"]. *)
+
+val to_json : result -> Upec.Json.t
+(** The ["stat"] report block (schema 3): verdict, t, df, p, Cohen's
+    d, per-class moments and the escalation count. *)

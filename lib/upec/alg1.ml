@@ -554,6 +554,7 @@ let run_with ?initial_s ?resume ?svar_cache (o : Options.t) spec =
                 | Some a -> Some (Simp.merge_reduction a r)))
           None !engines;
       cache = None;
+      extra = [];
     }
   in
   let record_step ~iter ~s ~s_cex ~pers_hit ~unknown ~seconds ~stats ~winner

@@ -300,6 +300,7 @@ let run_with ?resume (o : Options.t) spec =
                   | Some a -> Some (Simp.merge_reduction a r)))
             None !engines;
         cache = None;
+        extra = [];
       },
       outcome )
   in

@@ -9,6 +9,8 @@ type design = {
   d_dma : bool;
   d_hwpe : bool;
   d_uart : bool;
+  d_timer : bool;
+  d_dma_on_private : bool;
   d_timer_width : int;
 }
 
@@ -22,8 +24,15 @@ let default_design =
     d_dma = true;
     d_hwpe = true;
     d_uart = true;
+    d_timer = true;
+    d_dma_on_private = Soc.Config.formal_default.Soc.Config.dma_on_private;
     d_timer_width = Soc.Config.formal_default.Soc.Config.timer_width;
   }
+
+let arbiter_of_string = function
+  | "fixed" -> `Fixed_priority
+  | "tdma" -> `Tdma
+  | _ -> `Round_robin
 
 let config_of d =
   {
@@ -35,12 +44,10 @@ let config_of d =
     with_dma = d.d_dma;
     with_hwpe = d.d_hwpe;
     with_uart = d.d_uart;
+    with_timer = d.d_timer;
+    dma_on_private = d.d_dma_on_private;
     timer_width = d.d_timer_width;
-    arbiter =
-      (match d.d_arbiter with
-      | "fixed" -> `Fixed_priority
-      | "tdma" -> `Tdma
-      | _ -> `Round_robin);
+    arbiter = arbiter_of_string d.d_arbiter;
   }
 
 let spec_of d =
@@ -77,6 +84,8 @@ let design_to_json d =
       ("dma", Json.Bool d.d_dma);
       ("hwpe", Json.Bool d.d_hwpe);
       ("uart", Json.Bool d.d_uart);
+      ("timer", Json.Bool d.d_timer);
+      ("dma_on_private", Json.Bool d.d_dma_on_private);
       ("timer_width", Json.Int d.d_timer_width);
     ]
 
@@ -116,8 +125,28 @@ let design_of_json j =
     d_dma = get_bool j "dma" d.d_dma;
     d_hwpe = get_bool j "hwpe" d.d_hwpe;
     d_uart = get_bool j "uart" d.d_uart;
+    d_timer = get_bool j "timer" d.d_timer;
+    d_dma_on_private = get_bool j "dma_on_private" d.d_dma_on_private;
     d_timer_width = get_int j "timer_width" d.d_timer_width;
   }
+
+(* Canonical form for content addressing: the historical flag layer
+   tolerates unknown enumeration strings (they fall back to the
+   defaults in [config_of]/[spec_of]), so two designs that build the
+   same spec must digest the same. *)
+let canonical d =
+  {
+    d with
+    d_variant = (match d.d_variant with "secure" -> "secure" | _ -> "vulnerable");
+    d_pers = (match d.d_pers with "memory" -> "memory" | _ -> "full");
+    d_arbiter =
+      (match d.d_arbiter with
+      | "fixed" -> "fixed"
+      | "tdma" -> "tdma"
+      | _ -> "rr");
+  }
+
+let design_key d = Json.to_string_compact (design_to_json (canonical d))
 
 let options_to_json ~alg (o : Options.t) =
   Json.Obj

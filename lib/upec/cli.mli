@@ -19,12 +19,18 @@ type design = {
   d_dma : bool;
   d_hwpe : bool;
   d_uart : bool;
+  d_timer : bool;
+  d_dma_on_private : bool;  (** give the DMA a private-crossbar master port *)
   d_timer_width : int;
 }
-(** A SoC design point, [Soc.Config.formal_default] shaped. The IP
-    presence flags and [d_timer_width] are the natural "RTL delta"
-    knobs: changing one mutates a single IP's logic while keeping the
-    rest of the design content-identical. *)
+(** A SoC design point, [Soc.Config.formal_default] shaped, covering
+    every structural knob of {!Soc.Config} that matters to the
+    security verdict. The IP presence flags and [d_timer_width] are
+    the natural "RTL delta" knobs: changing one mutates a single IP's
+    logic while keeping the rest of the design content-identical.
+    This record is the single source of design construction shared by
+    [upec_ssc], the proof farm and the scenario matrix
+    ([Scenarios.Scenario.spec] embeds one). *)
 
 val default_design : design
 (** [formal_default] at depth 8, 2 banks, round-robin, every IP on,
@@ -51,6 +57,15 @@ val budget_of :
 
 val design_to_json : design -> Json.t
 val design_of_json : Json.t -> design
+
+val canonical : design -> design
+(** Collapse unknown enumeration strings onto the defaults they fall
+    back to in {!config_of}/{!spec_of}, so designs that build the same
+    spec compare (and digest) equal. *)
+
+val design_key : design -> string
+(** Canonical compact-JSON encoding of {!canonical}[ d] — the basis of
+    the spec-derived farm cache keys ({!Fingerprint.design_spec}). *)
 
 val options_to_json : alg:int -> Options.t -> Json.t
 val options_of_json : Json.t -> int * Options.t

@@ -267,6 +267,14 @@ let make spec =
 let design fp = Lazy.force fp.fp_design
 let env_dep fp = fp.fp_env_dep
 
+(* Spec-level fingerprint: digests the declarative design record
+   instead of the elaborated netlist, so a cache probe needs no build.
+   Tied to the netlist digest by construction — [Cli.config_of] is a
+   pure function of the record — and versioned so a codec change can
+   never alias an old key. *)
+let design_spec d =
+  Digest.to_hex (Digest.string ("design-spec:1:" ^ Cli.design_key d))
+
 let dep fp sv =
   Structural.Svar_set.union fp.fp_env_dep
     (Structural.Svar_set.add sv (elem_support fp sv))

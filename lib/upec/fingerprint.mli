@@ -52,6 +52,13 @@ val design : t -> string
     persistence model: {!Checkpoint.config_hash} plus
     {!netlist_digest}. *)
 
+val design_spec : Cli.design -> string
+(** Hex fingerprint of a declarative design record
+    ({!Cli.design_key}, versioned). Two records that elaborate to the
+    same spec digest equal — flag-shim and [Scenario.spec] jobs hit
+    the same farm cache entries — and no netlist build is needed to
+    compute it, so report-level cache probes are O(1). *)
+
 val dep : t -> Structural.svar -> Structural.Svar_set.t
 (** The state variables whose cycle-0 equality assumption can
     influence [check(sv, S)]: the fan-in of [sv]'s next-state

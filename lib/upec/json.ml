@@ -310,3 +310,16 @@ let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -
 let to_str = function Str s -> Some s | _ -> None
 let to_bool = function Bool b -> Some b | _ -> None
 let to_list = function List l -> Some l | _ -> None
+
+(* ---------- schema versioning ---------- *)
+
+let schema_version ~supported j =
+  match to_int (member "schema" j) with
+  | None -> raise (Parse_error "schema: missing or non-integer version member")
+  | Some v ->
+      if List.mem v supported then v
+      else
+        raise
+          (Parse_error
+             (Printf.sprintf "schema: unsupported version %d (supported: %s)" v
+                (String.concat ", " (List.map string_of_int supported))))

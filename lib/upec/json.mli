@@ -42,3 +42,11 @@ val to_float : t -> float option
 val to_str : t -> string option
 val to_bool : t -> bool option
 val to_list : t -> t list option
+
+val schema_version : supported:int list -> t -> int
+(** Strict version gate for schema-stamped documents (reports, matrix
+    artefacts): returns the value of the ["schema"] member when it is
+    an integer listed in [supported], raises {!Parse_error} otherwise
+    — a missing member is an error, not a default. Report consumers
+    pass [~supported:[2; 3]]: schema 3 only appends optional members,
+    so every schema-2 report is also a valid schema-3 document. *)

@@ -47,6 +47,7 @@ type run = {
   options : Options.t option;
   simp : Simp.reduction option;
   cache : cache_info option;
+  extra : (string * Json.t) list;
 }
 
 let merge_cert a b =
@@ -137,7 +138,9 @@ let pp fmt r =
   | Some _ -> ());
   Format.fprintf fmt "total: %.2fs@]" r.total_seconds
 
-(* ---------- machine-readable artefact (schema 2) ---------- *)
+(* ---------- machine-readable artefact (schema 3) ---------- *)
+
+let schema_version = 3
 
 let svar_set_json s =
   Json.List
@@ -255,10 +258,14 @@ let cache_json (c : cache_info) =
              c.ca_cached_svars) );
     ]
 
+(* The [extra] blocks ride at the end of the object under their own
+   member names ("scenario", "stat", …), so schema-2 consumers that
+   ignore unknown members keep working; a member clashing with a core
+   key is dropped rather than shadowing it. *)
 let to_json r =
-  Json.Obj
+  let core =
     [
-      ("schema", Json.Int 2);
+      ("schema", Json.Int schema_version);
       ("procedure", Json.Str r.procedure);
       ( "variant",
         Json.Str
@@ -292,6 +299,10 @@ let to_json r =
       ("simp", opt simp_json r.simp);
       ("cache", opt cache_json r.cache);
     ]
+  in
+  let taken = List.map fst core in
+  Json.Obj
+    (core @ List.filter (fun (k, _) -> not (List.mem k taken)) r.extra)
 
 let pp_metrics fmt r =
   match r.metrics with

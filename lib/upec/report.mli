@@ -82,6 +82,12 @@ type run = {
           run created; [None] when reduction was disabled *)
   cache : cache_info option;
       (** farm cache accounting; [None] outside the proof farm *)
+  extra : (string * Json.t) list;
+      (** schema-3 extension blocks appended verbatim to the JSON
+          artefact under their own member names — the stable place for
+          per-scenario metadata ([("scenario", …)]) and statistical
+          cross-check results ([("stat", …)]) attached by layers above
+          this library; the procedures always produce [[]] *)
 }
 
 val merge_cert : cert_info option -> cert_info option -> cert_info option
@@ -100,12 +106,18 @@ val pp : Format.formatter -> run -> unit
 val pp_summary : Format.formatter -> run -> unit
 (** One line: verdict, iterations, time. *)
 
+val schema_version : int
+(** Version stamped into the ["schema"] member of {!to_json} —
+    currently 3. Schema 3 extends schema 2 with optional trailing
+    extension blocks ({!type-run.extra}); parsers accept both (see
+    {!Json.schema_version}). *)
+
 val to_json : run -> Json.t
-(** The machine-readable artefact, ["schema": 2]: verdict, iteration
+(** The machine-readable artefact, ["schema": 3]: verdict, iteration
     table, degraded checks, certification accounting, the {!Options.t}
-    echo and the problem-reduction statistics. Counterexample waveforms
-    are summarised (frame count), not serialised — the VCD artefact
-    carries them. *)
+    echo, the problem-reduction statistics and the [extra] extension
+    blocks. Counterexample waveforms are summarised (frame count), not
+    serialised — the VCD artefact carries them. *)
 
 val pp_metrics : Format.formatter -> run -> unit
 (** The embedded {!Obs.Metrics} snapshot as a human table; a notice

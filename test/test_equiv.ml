@@ -11,7 +11,7 @@
    model; examples/busted_hwpe_memory.ml: the Sec. 4.1 HWPE + memory
    variant = DMA disabled, memory-only persistence), including
    certified and interrupted-then-resumed runs. Also the shape and
-   round-trip checks of the schema-2 JSON report. *)
+   round-trip checks of the schema-3 JSON report. *)
 
 open Rtl
 module O = Upec.Options
@@ -170,7 +170,7 @@ let test_incremental_vs_fresh () =
     (Upec.Report.is_vulnerable (alg2 true)
     && Upec.Report.is_vulnerable (alg2 false))
 
-(* ---- schema-2 JSON report ---- *)
+(* ---- schema-3 JSON report ---- *)
 
 let test_json_roundtrip () =
   let r =
@@ -186,7 +186,11 @@ let test_json_roundtrip () =
     | Some i -> i
     | None -> Alcotest.failf "%s: not an integer" what
   in
-  Alcotest.(check int) "schema" 2 (int_of "schema" (m "schema"));
+  Alcotest.(check int) "schema" Upec.Report.schema_version
+    (int_of "schema" (m "schema"));
+  Alcotest.(check int)
+    "schema accepted by strict parsing" Upec.Report.schema_version
+    (Upec.Json.schema_version ~supported:[ 2; 3 ] j');
   Alcotest.(check (option string))
     "verdict kind" (Some "vulnerable")
     Upec.Json.(to_str (member "kind" (m "verdict")));
@@ -212,6 +216,21 @@ let test_json_roundtrip () =
     (int_of "reduced_clauses" (Upec.Json.member "reduced_clauses" simp)
     <= int_of "full_clauses" (Upec.Json.member "full_clauses" simp))
 
+(* parsers accept both report generations; anything else is refused
+   loudly rather than misread *)
+let test_schema_versions () =
+  let v2 = Upec.Json.Obj [ ("schema", Upec.Json.Int 2) ] in
+  Alcotest.(check int)
+    "schema-2 artefacts still accepted" 2
+    (Upec.Json.schema_version ~supported:[ 2; 3 ] v2);
+  let v9 = Upec.Json.Obj [ ("schema", Upec.Json.Int 9) ] in
+  (match Upec.Json.schema_version ~supported:[ 2; 3 ] v9 with
+  | _ -> Alcotest.fail "unsupported schema version accepted"
+  | exception Upec.Json.Parse_error _ -> ());
+  match Upec.Json.schema_version ~supported:[ 2; 3 ] (Upec.Json.Obj []) with
+  | _ -> Alcotest.fail "missing schema member accepted"
+  | exception Upec.Json.Parse_error _ -> ()
+
 let () =
   Alcotest.run "equiv"
     [
@@ -234,6 +253,9 @@ let () =
             test_incremental_vs_fresh;
         ] );
       ( "json",
-        [ Alcotest.test_case "schema-2 round-trip and shape" `Quick
-            test_json_roundtrip ] );
+        [ Alcotest.test_case "schema-3 round-trip and shape" `Quick
+            test_json_roundtrip;
+          Alcotest.test_case "schema versions accepted/rejected" `Quick
+            test_schema_versions;
+        ] );
     ]

@@ -273,7 +273,8 @@ let test_store_roundtrip () =
   Farm.Store.add_lemma s ~svar:"timer.value" ~key:"k1" ~holds:true;
   Farm.Store.add_lemma s ~svar:"dma.data_q" ~key:"k2" ~holds:false;
   Farm.Store.add_lemma s ~svar:"odd name []" ~key:"k3" ~holds:true;
-  Farm.Store.add_report s ~key:"r1" (Json.Obj [ ("verdict", Json.Str "ok") ]);
+  Farm.Store.add_report s ~key:"r1"
+    (Json.Obj [ ("schema", Json.Int 2); ("verdict", Json.Str "ok") ]);
   Farm.Store.save s;
   let s' = load dir in
   Alcotest.(check (pair int int)) "counts" (3, 1) (Farm.Store.counts s');
@@ -296,7 +297,7 @@ let test_store_roundtrip () =
     "has_svar miss" false
     (Farm.Store.has_svar s' ~svar:"nope");
   match Farm.Store.report s' ~key:"r1" with
-  | Some (Json.Obj [ ("verdict", Json.Str "ok") ]) -> ()
+  | Some (Json.Obj [ ("schema", Json.Int 2); ("verdict", Json.Str "ok") ]) -> ()
   | _ -> Alcotest.fail "report did not round-trip"
 
 let test_store_gc () =
@@ -307,8 +308,8 @@ let test_store_gc () =
       ~svar:(Printf.sprintf "sv%d" i)
       ~key:"k" ~holds:true
   done;
-  Farm.Store.add_report s ~key:"r1" (Json.Obj []);
-  Farm.Store.add_report s ~key:"r2" (Json.Obj []);
+  Farm.Store.add_report s ~key:"r1" (Json.Obj [ ("schema", Json.Int 3) ]);
+  Farm.Store.add_report s ~key:"r2" (Json.Obj [ ("schema", Json.Int 3) ]);
   (* touch the oldest lemma so LRU keeps it over sv2..sv4 *)
   ignore (Farm.Store.lemma s ~svar:"sv1" ~key:"k");
   ignore (Farm.Store.report s ~key:"r1");
